@@ -1,0 +1,156 @@
+// Grand reference-strategy ablation (paper §3.4).
+//
+// The original Grand (Rognvaldsson et al. 2018) models normality from the
+// "wisdom of the crowd": a vehicle's peers. The paper argues that in a
+// heterogeneous fleet this fails - "vehicles differ from each other, and so,
+// we follow another strategy ... formed using an operation period of the
+// same vehicle". This bench makes the argument quantitative by running Grand
+// with a (self) per-vehicle reference vs a (fleet) reference pooled from
+// other vehicles, on two feature spaces:
+//   * mean-aggregated features, where vehicle heterogeneity lives - here the
+//     fleet reference should misclassify healthy operation as strange;
+//   * correlation features, which are largely vehicle-invariant - here the
+//     two references should behave comparably.
+// Reported metric per (vehicle, strategy): the fraction of samples with a
+// conformal p-value below 0.05 ("strange") during healthy vs pre-failure
+// periods.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "detect/grand.h"
+#include "eval/metrics.h"
+#include "telemetry/filters.h"
+#include "transform/transformer.h"
+#include "util/statistics.h"
+#include "util/table.h"
+
+namespace navarchos {
+namespace {
+
+/// Transformed samples of one vehicle's usable records.
+std::vector<transform::TransformedSample> Samples(
+    const telemetry::VehicleHistory& vehicle, transform::TransformKind kind) {
+  const auto transformer = transform::MakeTransformer(kind);
+  return transform::TransformAll(*transformer,
+                                 telemetry::FilterRecords(vehicle.records));
+}
+
+int Main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  auto options = bench::BenchOptions::FromArgs(args);
+  bench::PrintHeader("Ablation - Grand reference strategy: self vs fleet",
+                     options);
+
+  const auto fleet = bench::MakeSetting26(options);
+
+  for (const auto transform_kind : {transform::TransformKind::kMeanAggregation,
+                                    transform::TransformKind::kCorrelation}) {
+  std::printf("\n### feature space: %s\n",
+              transform::TransformKindName(transform_kind));
+  std::vector<std::vector<transform::TransformedSample>> samples;
+  samples.reserve(fleet.vehicles.size());
+  for (const auto& vehicle : fleet.vehicles)
+    samples.push_back(Samples(vehicle, transform_kind));
+
+  util::Table table({"vehicle", "fault", "strategy", "strange-rate healthy",
+                     "strange-rate pre-failure", "separation"});
+  double self_healthy_sum = 0.0, fleet_healthy_sum = 0.0;
+  double self_separation_sum = 0.0, fleet_separation_sum = 0.0;
+  int counted = 0;
+  for (std::size_t v = 0; v < fleet.vehicles.size(); ++v) {
+    const auto& vehicle = fleet.vehicles[v];
+    if (vehicle.faults.empty()) continue;
+    const auto& fault = vehicle.faults[0];
+    if (samples[v].size() < 200) continue;
+
+    // Healthy head of this vehicle's own stream as the "self" reference.
+    // Both references are capped at the same size: the conformal p-value
+    // floor is 1/(n+1), so unequal reference sizes would distort the
+    // comparison.
+    constexpr std::size_t kReferenceSize = 180;
+    std::vector<std::vector<double>> self_reference;
+    for (const auto& sample : samples[v]) {
+      if (sample.timestamp >= fault.onset) break;
+      self_reference.push_back(sample.features);
+      if (self_reference.size() >= kReferenceSize) break;
+    }
+
+    // Pooled healthy samples of all OTHER vehicles as the "fleet" reference,
+    // spread evenly across them.
+    std::vector<std::vector<double>> fleet_reference;
+    const std::size_t per_vehicle =
+        kReferenceSize / std::max<std::size_t>(1, fleet.vehicles.size() - 1) + 1;
+    for (std::size_t other = 0; other < fleet.vehicles.size() &&
+                                fleet_reference.size() < kReferenceSize; ++other) {
+      if (other == v) continue;
+      std::size_t taken = 0;
+      for (const auto& sample : samples[other]) {
+        bool in_fault = false;
+        for (const auto& other_fault : fleet.vehicles[other].faults)
+          if (sample.timestamp >= other_fault.onset &&
+              sample.timestamp < other_fault.repair_time)
+            in_fault = true;
+        if (in_fault) continue;
+        fleet_reference.push_back(sample.features);
+        if (++taken >= per_vehicle || fleet_reference.size() >= kReferenceSize) break;
+      }
+    }
+    if (self_reference.size() < 60 || fleet_reference.size() < 60) continue;
+
+    for (const bool use_self : {true, false}) {
+      detect::GrandDetector grand;
+      grand.Fit(use_self ? self_reference : fleet_reference);
+      // Operational metric: how often does each period look "strange"
+      // (p below 0.05)? A useful reference keeps the healthy rate low and
+      // the pre-failure rate high.
+      int healthy_strange = 0, healthy_count = 0;
+      int failing_strange = 0, failing_count = 0;
+      for (const auto& sample : samples[v]) {
+        grand.Score(sample.features);
+        const bool strange = grand.last_p_value() < 0.05;
+        if (sample.timestamp >= fault.onset && sample.timestamp < fault.repair_time) {
+          ++failing_count;
+          failing_strange += strange ? 1 : 0;
+        } else if (sample.timestamp < fault.onset) {
+          ++healthy_count;
+          healthy_strange += strange ? 1 : 0;
+        }
+      }
+      if (healthy_count < 20 || failing_count < 10) continue;
+      const double healthy_rate =
+          static_cast<double>(healthy_strange) / healthy_count;
+      const double failing_rate =
+          static_cast<double>(failing_strange) / failing_count;
+      const double separation = failing_rate / std::max(0.01, healthy_rate);
+      (use_self ? self_separation_sum : fleet_separation_sum) += separation;
+      (use_self ? self_healthy_sum : fleet_healthy_sum) += healthy_rate;
+      if (!use_self) ++counted;
+      table.AddRow({vehicle.spec.DisplayName(),
+                    telemetry::FaultTypeName(fault.type),
+                    use_self ? "self" : "fleet",
+                    util::Table::Num(healthy_rate, 2),
+                    util::Table::Num(failing_rate, 2),
+                    util::Table::Num(separation, 1) + "x"});
+    }
+  }
+  std::printf("\n%s", table.ToString().c_str());
+  if (counted > 0) {
+    std::printf("\nmeans over %d failures: healthy strange-rate self %.2f vs "
+                "fleet %.2f; separation self %.1fx vs fleet %.1fx\n",
+                counted, self_healthy_sum / counted, fleet_healthy_sum / counted,
+                self_separation_sum / counted, fleet_separation_sum / counted);
+  }
+  }  // transform_kind
+  std::printf("\nreading (paper §3.4): on level-sensitive features the fleet "
+              "reference treats a heterogeneous vehicle's normal operation as "
+              "strange, which is why the paper adopts the per-vehicle 'self' "
+              "strategy; on correlation features the gap narrows because the "
+              "couplings are largely vehicle-invariant.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace navarchos
+
+int main(int argc, char** argv) { return navarchos::Main(argc, argv); }

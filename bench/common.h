@@ -1,0 +1,63 @@
+// Shared infrastructure of the reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper. The
+// expensive part - the 4 transformations x 4 techniques grid over a full
+// simulated fleet-year - is computed once per (setting, days, seed) and
+// cached as CSV in ./navarchos_bench_cache/, so fig4/fig5 compute it and
+// fig6/fig7/table1 reuse it. Delete the cache directory to force a rerun.
+#ifndef NAVARCHOS_BENCH_COMMON_H_
+#define NAVARCHOS_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "telemetry/fleet.h"
+#include "util/args.h"
+
+namespace navarchos::bench {
+
+/// Common bench options parsed from argv.
+struct BenchOptions {
+  int days = 365;
+  std::uint64_t seed = 42;
+  std::string cache_dir = "navarchos_bench_cache";
+
+  static BenchOptions FromArgs(const util::Args& args);
+};
+
+/// The simulated stand-in for the paper's setting40 fleet.
+telemetry::FleetDataset MakeSetting40(const BenchOptions& options);
+
+/// The paper's setting26: the reporting subset of setting40.
+telemetry::FleetDataset MakeSetting26(const BenchOptions& options);
+
+/// One cached grid cell (CellResult plus its setting label).
+struct GridRecord {
+  std::string setting;  ///< "setting40" or "setting26".
+  eval::CellResult cell;
+};
+
+/// Loads the grid for `setting` from the cache, computing and persisting it
+/// on a miss. `setting` must be "setting40" or "setting26".
+std::vector<GridRecord> LoadOrComputeGrid(const std::string& setting,
+                                          const BenchOptions& options);
+
+/// Renders the paper's Fig. 4/5 bar groups for one setting as a text table
+/// with ASCII bars (dark = PH15, light = PH30 in the paper; here two rows).
+std::string RenderSettingFigure(const std::vector<GridRecord>& grid,
+                                const std::string& setting);
+
+/// Prints a standard bench header (binary purpose + fleet parameters).
+void PrintHeader(const std::string& title, const BenchOptions& options);
+
+/// Renders the Fig. 4/5 grouped bar chart (F0.5 at PH=30, grouped by
+/// transformation, one bar per technique) and writes it next to the grid
+/// cache as `<cache_dir>/<name>.svg`. Prints the output path.
+void WriteSettingFigureSvg(const std::vector<GridRecord>& grid,
+                           const std::string& setting, const std::string& name,
+                           const BenchOptions& options);
+
+}  // namespace navarchos::bench
+
+#endif  // NAVARCHOS_BENCH_COMMON_H_

@@ -1,0 +1,165 @@
+// Reproduces paper Figure 2 and the §2 data exploration:
+//  * day-level (mean, std) aggregation of the six PIDs over the whole fleet,
+//  * average-linkage agglomerative clustering cut at 9 clusters,
+//  * interpretation of each cluster via fleet metadata (vehicle
+//    participation, ride length),
+//  * top-1% LOF outliers and their relation to upcoming failures, split
+//    into the paper's categories:
+//      (a) within 30 days before a failure        (paper: 0%)
+//      (b) no failure after the outlier at all    (paper: 11%)
+//      (c) at least 31 days before the next one   (paper: 89%)
+// The lesson reproduced: raw-space structure reflects vehicle/usage, not
+// health.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench/common.h"
+#include "neighbors/agglomerative.h"
+#include "neighbors/lof.h"
+#include "telemetry/filters.h"
+#include "transform/day_aggregation.h"
+#include "transform/standardizer.h"
+#include "util/statistics.h"
+#include "util/table.h"
+
+namespace navarchos {
+namespace {
+
+int Main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto options = bench::BenchOptions::FromArgs(args);
+  const int max_points = static_cast<int>(args.GetInt("max-points", 6000));
+  bench::PrintHeader("Figure 2 / Section 2 - clustering the day-aggregated fleet",
+                     options);
+
+  const auto fleet = bench::MakeSetting40(options);
+  std::printf("fleet: %zu records, %zu recorded events, failure-state fractions "
+              "PH30=%.1f%% PH15=%.1f%% (paper: 1.5M records, 121 events, 3.6%% / 1.9%%)\n",
+              fleet.TotalRecords(), fleet.TotalRecordedEvents(),
+              100.0 * fleet.FailureStateFraction(30),
+              100.0 * fleet.FailureStateFraction(15));
+
+  // Day aggregation over usable records.
+  std::vector<transform::DaySummary> days;
+  for (const auto& vehicle : fleet.vehicles) {
+    const auto usable = telemetry::FilterRecords(vehicle.records);
+    for (auto& summary : transform::AggregateByDay(vehicle.spec.id, usable))
+      days.push_back(std::move(summary));
+  }
+  std::printf("vehicle-days with enough data: %zu\n", days.size());
+
+  // Subsample deterministically if very large (memory of the n^2 matrix).
+  if (static_cast<int>(days.size()) > max_points) {
+    std::vector<transform::DaySummary> sampled;
+    const double step = static_cast<double>(days.size()) / max_points;
+    for (double pos = 0.0; pos < static_cast<double>(days.size()); pos += step)
+      sampled.push_back(days[static_cast<std::size_t>(pos)]);
+    days = std::move(sampled);
+    std::printf("subsampled to %zu points for the O(n^2) distance matrix\n",
+                days.size());
+  }
+
+  std::vector<std::vector<double>> features;
+  features.reserve(days.size());
+  for (const auto& summary : days) features.push_back(summary.features);
+  // Standardise: Euclidean distance across channels of different units.
+  transform::Standardizer standardizer;
+  standardizer.Fit(features);
+  features = standardizer.ApplyAll(features);
+
+  // --- Agglomerative clustering, cut at 9 (as the paper chose). ---
+  const auto dendrogram = neighbors::AgglomerativeAverageLinkage(features);
+  const auto labels = neighbors::CutToClusters(dendrogram, 9);
+
+  util::Table table({"cluster", "days", "vehicles", "top-vehicle share",
+                     "mean km/day", "mean speed", "interpretation"});
+  for (int cluster = 0; cluster < 9; ++cluster) {
+    std::map<int, int> per_vehicle;
+    double km = 0.0, speed = 0.0;
+    int count = 0;
+    for (std::size_t i = 0; i < days.size(); ++i) {
+      if (labels[i] != cluster) continue;
+      ++count;
+      ++per_vehicle[days[i].vehicle_id];
+      km += days[i].km_driven;
+      speed += days[i].features[1];  // raw mean speed of the day
+    }
+    if (count == 0) continue;
+    int top_vehicle_days = 0;
+    for (const auto& [vehicle, n] : per_vehicle)
+      top_vehicle_days = std::max(top_vehicle_days, n);
+    const double top_share = static_cast<double>(top_vehicle_days) / count;
+    const double mean_km = km / count;
+    std::string interpretation;
+    if (top_share > 0.7) {
+      interpretation = "data of a single vehicle";
+    } else if (mean_km > 120.0) {
+      interpretation = "long rides";
+    } else if (mean_km < 35.0) {
+      interpretation = "short rides";
+    } else {
+      interpretation = "regular rides";
+    }
+    table.AddRow({std::to_string(cluster), std::to_string(count),
+                  std::to_string(per_vehicle.size()),
+                  util::Table::Num(top_share, 2), util::Table::Num(mean_km, 1),
+                  util::Table::Num(speed / count, 1), interpretation});
+  }
+  std::printf("\n%s", table.ToString().c_str());
+  std::printf("(paper: clusters correspond to vehicle identity and usage type; "
+              "none corresponds to faulty behaviour)\n");
+
+  // --- LOF top-1% outliers vs upcoming failures. ---
+  neighbors::LofModel lof(features, 20);
+  const auto scores = lof.FitScores();
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+  const std::size_t top = std::max<std::size_t>(1, scores.size() / 100);
+
+  std::map<int, std::vector<telemetry::Minute>> repairs;
+  for (const auto& vehicle : fleet.vehicles)
+    repairs[vehicle.spec.id] = vehicle.RecordedRepairTimes();
+
+  int category_a = 0, category_b = 0, category_c = 0;
+  for (std::size_t rank = 0; rank < top; ++rank) {
+    const auto& day = days[order[rank]];
+    const telemetry::Minute t = day.day * telemetry::kMinutesPerDay;
+    const auto& vehicle_repairs = repairs[day.vehicle_id];
+    telemetry::Minute next_repair = -1;
+    for (telemetry::Minute repair : vehicle_repairs)
+      if (repair >= t && (next_repair < 0 || repair < next_repair)) next_repair = repair;
+    if (next_repair < 0) {
+      ++category_b;  // no failure after the outlier
+    } else if (next_repair - t <= 30 * telemetry::kMinutesPerDay) {
+      ++category_a;  // within 30 days of a failure
+    } else {
+      ++category_c;  // more than 30 days before the next failure
+    }
+  }
+  const double total = static_cast<double>(top);
+  std::printf("\ntop-1%% LOF outliers (%zu points) vs next failure of their "
+              "vehicle:\n", top);
+  std::printf("  (a) within 30 days of a failure : %2d  (%.0f%%)   paper: 0%%\n",
+              category_a, 100.0 * category_a / total);
+  std::printf("  (b) no failure after outlier    : %2d  (%.0f%%)   paper: 11%%\n",
+              category_b, 100.0 * category_b / total);
+  std::printf("  (c) >30 days before next failure: %2d  (%.0f%%)   paper: 89%%\n",
+              category_c, 100.0 * category_c / total);
+  std::printf("\nlesson (paper §2): raw-feature outliers are dominated by "
+              "vehicle/usage structure, so distance-based detection on raw "
+              "data fails.\nnote: simulated faults (esp. overheating) leave a "
+              "stronger raw-space footprint in their final days than the "
+              "paper's real faults did, so category (a) is larger here; the "
+              "operative conclusion - raw-space methods lose badly to "
+              "correlation-space detection - reproduces in Figures 4/5.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace navarchos
+
+int main(int argc, char** argv) { return navarchos::Main(argc, argv); }

@@ -1,0 +1,150 @@
+// Component-level microbenchmarks (google-benchmark): the computational
+// primitives behind Table 1's wall-clock numbers. Useful when tuning the
+// library: the correlation window, closest-pair scoring and the conformal
+// machinery dominate the online path; GBT and TranAD dominate fitting.
+#include <benchmark/benchmark.h>
+
+#include "detect/closest_pair.h"
+#include "detect/gbt.h"
+#include "detect/grand.h"
+#include "detect/nn/tranad.h"
+#include "neighbors/lof.h"
+#include "transform/basic_transforms.h"
+#include "util/rng.h"
+#include "util/statistics.h"
+
+namespace navarchos {
+namespace {
+
+std::vector<std::vector<double>> RandomRef(int n, int dims, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> ref(static_cast<std::size_t>(n));
+  for (auto& row : ref) {
+    row.resize(static_cast<std::size_t>(dims));
+    for (double& value : row) value = rng.Gaussian();
+  }
+  return ref;
+}
+
+void BM_PearsonCorrelationWindow(benchmark::State& state) {
+  util::Rng rng(1);
+  const int window = static_cast<int>(state.range(0));
+  std::vector<double> x(static_cast<std::size_t>(window)), y(x);
+  for (int i = 0; i < window; ++i) {
+    x[static_cast<std::size_t>(i)] = rng.Gaussian();
+    y[static_cast<std::size_t>(i)] = rng.Gaussian();
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(util::PearsonCorrelation(x, y));
+}
+BENCHMARK(BM_PearsonCorrelationWindow)->Arg(120)->Arg(300)->Arg(480);
+
+void BM_CorrelationTransformStep(benchmark::State& state) {
+  transform::TransformOptions options;
+  options.window = static_cast<int>(state.range(0));
+  options.stride = 1;  // force feature computation every step
+  transform::CorrelationTransform transformer(options);
+  util::Rng rng(2);
+  telemetry::Record record;
+  // Pre-fill the window.
+  for (int i = 0; i < options.window; ++i) {
+    for (int k = 0; k < telemetry::kNumPids; ++k)
+      record.pids[static_cast<std::size_t>(k)] = rng.Gaussian();
+    record.timestamp = i;
+    transformer.Collect(record);
+  }
+  for (auto _ : state) {
+    for (int k = 0; k < telemetry::kNumPids; ++k)
+      record.pids[static_cast<std::size_t>(k)] = rng.Gaussian();
+    ++record.timestamp;
+    benchmark::DoNotOptimize(transformer.Collect(record));
+  }
+}
+BENCHMARK(BM_CorrelationTransformStep)->Arg(300);
+
+void BM_ClosestPairScore(benchmark::State& state) {
+  detect::ClosestPairDetector detector;
+  detector.Fit(RandomRef(static_cast<int>(state.range(0)), 15, 3));
+  util::Rng rng(4);
+  std::vector<double> sample(15);
+  for (auto _ : state) {
+    for (double& value : sample) value = rng.Gaussian();
+    benchmark::DoNotOptimize(detector.Score(sample));
+  }
+}
+BENCHMARK(BM_ClosestPairScore)->Arg(60)->Arg(240);
+
+void BM_GrandScore(benchmark::State& state) {
+  detect::GrandConfig config;
+  config.ncm = static_cast<detect::GrandNcm>(state.range(0));
+  detect::GrandDetector detector(config);
+  detector.Fit(RandomRef(60, 15, 5));
+  util::Rng rng(6);
+  std::vector<double> sample(15);
+  for (auto _ : state) {
+    for (double& value : sample) value = rng.Gaussian();
+    benchmark::DoNotOptimize(detector.Score(sample));
+  }
+}
+BENCHMARK(BM_GrandScore)->Arg(0)->Arg(1)->Arg(2);  // median / knn / lof
+
+void BM_LofQuery(benchmark::State& state) {
+  neighbors::LofModel lof(RandomRef(static_cast<int>(state.range(0)), 12, 7), 10);
+  util::Rng rng(8);
+  std::vector<double> query(12);
+  for (auto _ : state) {
+    for (double& value : query) value = rng.Gaussian();
+    benchmark::DoNotOptimize(lof.Score(query));
+  }
+}
+BENCHMARK(BM_LofQuery)->Arg(60)->Arg(500);
+
+void BM_GbtFit(benchmark::State& state) {
+  const auto x = RandomRef(static_cast<int>(state.range(0)), 14, 9);
+  util::Rng rng(10);
+  std::vector<double> y;
+  for (const auto& row : x) y.push_back(row[0] * 2.0 + rng.Gaussian(0, 0.1));
+  for (auto _ : state) {
+    detect::GbtRegressor model;
+    model.Fit(x, y);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_GbtFit)->Arg(60)->Arg(240)->Unit(benchmark::kMillisecond);
+
+void BM_TranAdScoreWindow(benchmark::State& state) {
+  detect::nn::TranAdParams params;
+  params.window = 10;
+  params.epochs = 1;
+  params.max_windows_per_epoch = 8;
+  detect::nn::TranAdModel model(6, params);
+  util::Rng rng(11);
+  detect::nn::Matrix window(10, 6);
+  for (double& value : window.Data()) value = rng.Gaussian();
+  for (auto _ : state) benchmark::DoNotOptimize(model.Score(window));
+}
+BENCHMARK(BM_TranAdScoreWindow);
+
+void BM_TranAdTrainEpoch(benchmark::State& state) {
+  detect::nn::TranAdParams params;
+  params.window = 10;
+  params.epochs = 1;
+  params.max_windows_per_epoch = 50;
+  util::Rng rng(12);
+  std::vector<detect::nn::Matrix> windows;
+  for (int i = 0; i < 50; ++i) {
+    detect::nn::Matrix window(10, 6);
+    for (double& value : window.Data()) value = rng.Gaussian();
+    windows.push_back(std::move(window));
+  }
+  for (auto _ : state) {
+    detect::nn::TranAdModel model(6, params);
+    model.Train(windows);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_TranAdTrainEpoch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace navarchos
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Seed sensitivity of the headline result.
+//
+// The paper evaluates ONE fleet-year (its real dataset). The simulator can
+// generate many: this bench reruns the complete solution over several seeds
+// and reports the spread of the headline metrics (setting26, PH=30). The
+// recall ceiling is structural - a failure whose reference/calibration
+// period overlaps its own degradation window (because a service reset
+// landed inside the fault lead) is undetectable by construction - and how
+// many failures that affects varies by realisation.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "eval/metrics.h"
+#include "util/statistics.h"
+#include "util/table.h"
+
+namespace navarchos {
+namespace {
+
+int Main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  auto options = bench::BenchOptions::FromArgs(args);
+  const int num_seeds = static_cast<int>(args.GetInt("seeds", 5));
+  bench::PrintHeader("Seed sensitivity - closest-pair on correlation data, "
+                     "setting26, PH=30", options);
+
+  const eval::SweepConfig sweep;
+  util::Table table({"seed", "best F0.5", "P", "R", "detected", "FP"});
+  std::vector<double> f05s, precisions, recalls;
+  for (int s = 0; s < num_seeds; ++s) {
+    bench::BenchOptions seeded = options;
+    seeded.seed = options.seed + static_cast<std::uint64_t>(s) * 57;
+    const auto fleet = bench::MakeSetting26(seeded);
+    core::MonitorConfig config;
+    config.transform = transform::TransformKind::kCorrelation;
+    config.detector = detect::DetectorKind::kClosestPair;
+    const auto run = core::RunFleet(fleet, config);
+
+    eval::EvalResult best;
+    for (double factor : sweep.factors) {
+      const auto metrics = eval::EvaluateAlarms(run.AlarmsAt(factor), fleet, 30);
+      if (metrics.f05 > best.f05) best = metrics;
+    }
+    table.AddRow({std::to_string(seeded.seed), util::Table::Num(best.f05, 2),
+                  util::Table::Num(best.precision, 2),
+                  util::Table::Num(best.recall, 2),
+                  std::to_string(best.detected_failures) + "/" +
+                      std::to_string(best.total_failures),
+                  std::to_string(best.false_positive_episodes)});
+    f05s.push_back(best.f05);
+    precisions.push_back(best.precision);
+    recalls.push_back(best.recall);
+  }
+  std::printf("\n%s", table.ToString().c_str());
+  std::printf("\nacross %d fleet realisations: F0.5 %.2f +- %.2f, precision "
+              "%.2f +- %.2f, recall %.2f +- %.2f\n",
+              num_seeds, util::Mean(f05s), util::StdDev(f05s),
+              util::Mean(precisions), util::StdDev(precisions),
+              util::Mean(recalls), util::StdDev(recalls));
+  std::printf("(the paper's single realisation reported F0.5 0.68, precision "
+              "0.78, recall 0.44)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace navarchos
+
+int main(int argc, char** argv) { return navarchos::Main(argc, argv); }

@@ -1,0 +1,83 @@
+// Reproduces paper Table 3: the step-2 ablation. The reference profile is
+// rebuilt ONLY after repairs - standard service events are ignored - which
+// pins most vehicles to their initial operating state as Ref for the whole
+// year. The paper fine-tunes the threshold per row here (unlike Table 2) and
+// still observes a clear degradation: either precision collapses at equal
+// recall, or recall drops to 2/9, proving the value of exploiting all the
+// (admittedly partial) event information.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "eval/metrics.h"
+#include "util/table.h"
+
+namespace navarchos {
+namespace {
+
+int Main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto options = bench::BenchOptions::FromArgs(args);
+  bench::PrintHeader(
+      "Table 3 - ablation: reference reset only on repairs (services ignored)",
+      options);
+
+  const auto setting40 = bench::MakeSetting40(options);
+  const auto setting26 = setting40.ReportingSubset();
+
+  core::MonitorConfig config;
+  config.transform = transform::TransformKind::kCorrelation;
+  config.detector = detect::DetectorKind::kClosestPair;
+  config.reset_on_service = false;  // the ablation
+
+  const auto run40 = core::RunFleet(setting40, config);
+  const auto run26 = core::RunFleet(setting26, config);
+
+  // Per-row threshold tuning (the paper: "we fine tune each row separately").
+  const eval::SweepConfig sweep;
+  util::Table table({"Setting", "PH", "F0.5", "F1", "Precision", "Recall",
+                     "detected", "FP episodes", "factor"});
+  struct Row {
+    const char* setting;
+    const telemetry::FleetDataset* fleet;
+    const core::FleetRunResult* run;
+    int ph;
+  };
+  const Row rows[] = {{"setting26", &setting26, &run26, 15},
+                      {"setting26", &setting26, &run26, 30},
+                      {"setting40", &setting40, &run40, 15},
+                      {"setting40", &setting40, &run40, 30}};
+  for (const Row& row : rows) {
+    eval::EvalResult best;
+    double best_factor = sweep.factors.front();
+    for (double factor : sweep.factors) {
+      const auto metrics =
+          eval::EvaluateAlarms(row.run->AlarmsAt(factor), *row.fleet, row.ph);
+      if (metrics.f05 > best.f05) {
+        best = metrics;
+        best_factor = factor;
+      }
+    }
+    table.AddRow({row.setting, std::to_string(row.ph) + " days",
+                  util::Table::Num(best.f05, 2), util::Table::Num(best.f1, 2),
+                  util::Table::Num(best.precision, 2),
+                  util::Table::Num(best.recall, 2),
+                  std::to_string(best.detected_failures) + "/" +
+                      std::to_string(best.total_failures),
+                  std::to_string(best.false_positive_episodes),
+                  util::Table::Num(best_factor, 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\npaper's Table 3 (per-row tuned):\n"
+              "  setting26 15d: F0.5 0.18  P 0.16  R 0.44\n"
+              "  setting26 30d: F0.5 0.58  P 1.00  R 0.22\n"
+              "  setting40 15d: F0.5 0.11  P 0.10  R 0.22\n"
+              "  setting40 30d: F0.5 0.45  P 0.66  R 0.22\n"
+              "conclusion: ignoring service events degrades the solution - "
+              "leveraging all partial information matters.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace navarchos
+
+int main(int argc, char** argv) { return navarchos::Main(argc, argv); }

@@ -1,0 +1,128 @@
+// Fault-injection study: which fault families does each detector see?
+//
+// Injects each of the five simulated fault families into an otherwise
+// healthy vehicle, runs all four detectors on correlation-transformed data,
+// and reports the peak score-to-threshold ratio during the degradation
+// window. This is the kind of per-failure-mode analysis a maintenance team
+// would use to understand the coverage of the deployed solution.
+//
+// Flags: --days N (default 220), --seed S.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/monitor.h"
+#include "telemetry/fleet.h"
+#include "util/args.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace navarchos;
+
+/// Builds a single-vehicle fleet whose one vehicle degrades with `type` and
+/// is repaired near the end of monitoring.
+telemetry::FleetDataset SingleFaultFleet(telemetry::FaultType type, int days,
+                                         std::uint64_t seed) {
+  telemetry::FleetConfig config = telemetry::FleetConfig::TestScale();
+  config.num_vehicles = 1;
+  config.num_reporting = 1;
+  config.num_recorded_failures = 1;
+  config.num_hidden_failures = 0;
+  config.days = days;
+  config.fault_lead_days = 30;
+  config.service_interval_days = 70;
+  config.seed = seed;
+  telemetry::FleetDataset fleet = telemetry::GenerateFleet(config);
+  // Force the sampled fault to the requested family (regenerate records so
+  // the signals reflect it): simplest route is to resample until the drawn
+  // family matches - families are drawn uniformly, so a handful of tries.
+  std::uint64_t attempt = seed;
+  while (fleet.vehicles[0].faults.empty() ||
+         fleet.vehicles[0].faults[0].type != type) {
+    config.seed = ++attempt;
+    fleet = telemetry::GenerateFleet(config);
+  }
+  return fleet;
+}
+
+/// Peak score/threshold ratio inside the degradation window vs before it.
+struct Visibility {
+  double healthy_peak = 0.0;
+  double degraded_peak = 0.0;
+};
+
+Visibility MeasureVisibility(const telemetry::FleetDataset& fleet,
+                             detect::DetectorKind detector) {
+  core::MonitorConfig config;
+  config.transform = transform::TransformKind::kCorrelation;
+  config.detector = detector;
+  config.detector_options.tranad.epochs = 6;
+
+  const auto& vehicle = fleet.vehicles[0];
+  core::VehicleMonitor monitor(vehicle.spec.id, config);
+  std::size_t record_index = 0, event_index = 0;
+  while (record_index < vehicle.records.size() ||
+         event_index < vehicle.events.size()) {
+    const bool take_event =
+        event_index < vehicle.events.size() &&
+        (record_index >= vehicle.records.size() ||
+         vehicle.events[event_index].timestamp <=
+             vehicle.records[record_index].timestamp);
+    if (take_event) {
+      monitor.OnEvent(vehicle.events[event_index++]);
+    } else {
+      monitor.OnRecord(vehicle.records[record_index++]);
+    }
+  }
+
+  const auto& fault = vehicle.faults[0];
+  Visibility visibility;
+  for (const auto& sample : monitor.scored_samples()) {
+    const auto& stats =
+        monitor.calibrations()[static_cast<std::size_t>(sample.calibration_index)];
+    double worst_ratio = 0.0;
+    for (std::size_t c = 0; c < sample.scores.size(); ++c) {
+      const double scale = std::max(1e-9, stats.mean[c] + 3.0 * stats.stddev[c]);
+      worst_ratio = std::max(worst_ratio, sample.scores[c] / scale);
+    }
+    if (sample.timestamp >= fault.onset && sample.timestamp < fault.repair_time) {
+      visibility.degraded_peak = std::max(visibility.degraded_peak, worst_ratio);
+    } else {
+      visibility.healthy_peak = std::max(visibility.healthy_peak, worst_ratio);
+    }
+  }
+  return visibility;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const int days = static_cast<int>(args.GetInt("days", 220));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.GetInt("seed", 42));
+
+  std::printf("per-fault-family visibility: peak score relative to a 3-sigma "
+              "healthy scale,\nduring degradation vs outside it "
+              "(correlation transform)\n\n");
+  util::Table table({"fault family", "detector", "healthy peak",
+                     "degraded peak", "separation"});
+  for (int f = 0; f < telemetry::kNumFaultTypes; ++f) {
+    const auto type = static_cast<telemetry::FaultType>(f);
+    const auto fleet = SingleFaultFleet(type, days, seed);
+    for (auto detector : {detect::DetectorKind::kClosestPair,
+                          detect::DetectorKind::kXgBoost}) {
+      const Visibility visibility = MeasureVisibility(fleet, detector);
+      const double separation =
+          visibility.degraded_peak / std::max(1e-9, visibility.healthy_peak);
+      table.AddRow({telemetry::FaultTypeName(type),
+                    detect::DetectorKindName(detector),
+                    util::Table::Num(visibility.healthy_peak, 2),
+                    util::Table::Num(visibility.degraded_peak, 2),
+                    util::Table::Num(separation, 2) + "x"});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nseparation > 1 means the degradation stood out from the "
+              "vehicle's own healthy variability.\n");
+  return 0;
+}

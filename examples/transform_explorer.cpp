@@ -1,0 +1,121 @@
+// Transform explorer: how each data transformation "sees" a degradation.
+//
+// Follows one failing vehicle and prints, per transformation (including the
+// histogram and spectral extensions the paper mentions but does not
+// evaluate), how far the transformed samples drift from the healthy
+// reference as the fault develops: mean per-feature z-shift in four phases
+// of the timeline (healthy, early fault, late fault, after repair).
+//
+// Flags: --days N (default 240), --seed S.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "telemetry/filters.h"
+#include "telemetry/fleet.h"
+#include "transform/standardizer.h"
+#include "transform/transformer.h"
+#include "util/args.h"
+#include "util/statistics.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace navarchos;
+
+struct PhaseShift {
+  double healthy = 0.0;
+  double early = 0.0;
+  double late = 0.0;
+  double after = 0.0;
+};
+
+/// Mean absolute z-shift (vs the healthy baseline distribution) of the
+/// transformed samples within each phase.
+PhaseShift MeasureShift(transform::TransformKind kind,
+                        const telemetry::VehicleHistory& vehicle) {
+  const auto transformer = transform::MakeTransformer(kind);
+  const auto usable = telemetry::FilterRecords(vehicle.records);
+  const auto samples = transform::TransformAll(*transformer, usable);
+  if (samples.size() < 20 || vehicle.faults.empty()) return {};
+
+  const auto& fault = vehicle.faults[0];
+  const telemetry::Minute midpoint = fault.onset + (fault.repair_time - fault.onset) / 2;
+
+  std::vector<std::vector<double>> healthy;
+  for (const auto& sample : samples)
+    if (sample.timestamp < fault.onset) healthy.push_back(sample.features);
+  if (healthy.size() < 10) return {};
+  transform::Standardizer standardizer;
+  standardizer.Fit(healthy);
+
+  auto mean_abs_z = [&](telemetry::Minute from, telemetry::Minute to) {
+    double total = 0.0;
+    int count = 0;
+    for (const auto& sample : samples) {
+      if (sample.timestamp < from || sample.timestamp >= to) continue;
+      const auto z = standardizer.Apply(sample.features);
+      double sum = 0.0;
+      for (double value : z) sum += std::fabs(value);
+      total += sum / static_cast<double>(z.size());
+      ++count;
+    }
+    return count > 0 ? total / count : 0.0;
+  };
+
+  PhaseShift shift;
+  shift.healthy = mean_abs_z(0, fault.onset);
+  shift.early = mean_abs_z(fault.onset, midpoint);
+  shift.late = mean_abs_z(midpoint, fault.repair_time);
+  shift.after = mean_abs_z(fault.repair_time,
+                           fault.repair_time + 60 * telemetry::kMinutesPerDay);
+  return shift;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  telemetry::FleetConfig config = telemetry::FleetConfig::TestScale();
+  config.days = static_cast<int>(args.GetInt("days", 240));
+  config.seed = static_cast<std::uint64_t>(args.GetInt("seed", 42));
+  config.num_vehicles = 10;
+  config.num_reporting = 8;
+  config.num_recorded_failures = 3;
+  config.fault_lead_days = 30;
+  config.service_interval_days = 70;
+  const auto fleet = telemetry::GenerateFleet(config);
+
+  const telemetry::VehicleHistory* vehicle = nullptr;
+  for (const auto& candidate : fleet.vehicles)
+    if (!candidate.faults.empty()) vehicle = &candidate;
+  if (vehicle == nullptr) {
+    std::printf("no failing vehicle; try another seed\n");
+    return 1;
+  }
+  std::printf("vehicle %s, fault: %s (days %lld-%lld)\n\n",
+              vehicle->spec.DisplayName().c_str(),
+              telemetry::FaultTypeName(vehicle->faults[0].type),
+              static_cast<long long>(telemetry::DayOf(vehicle->faults[0].onset)),
+              static_cast<long long>(telemetry::DayOf(vehicle->faults[0].repair_time)));
+
+  util::Table table({"transformation", "healthy", "early fault", "late fault",
+                     "after repair"});
+  for (auto kind : {transform::TransformKind::kRaw, transform::TransformKind::kDelta,
+                    transform::TransformKind::kMeanAggregation,
+                    transform::TransformKind::kCorrelation,
+                    transform::TransformKind::kHistogram,
+                    transform::TransformKind::kSpectral,
+                    transform::TransformKind::kSax}) {
+    const PhaseShift shift = MeasureShift(kind, *vehicle);
+    table.AddRow({transform::TransformKindName(kind),
+                  util::Table::Num(shift.healthy, 2), util::Table::Num(shift.early, 2),
+                  util::Table::Num(shift.late, 2), util::Table::Num(shift.after, 2)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\n(values: mean |z| of transformed samples vs the pre-fault "
+              "baseline; a good transformation stays ~constant while healthy, "
+              "rises through the fault, and returns to baseline after the "
+              "repair)\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "core/fleet_runner.h"
+
+#include <algorithm>
+
+namespace navarchos::core {
+
+std::vector<Alarm> FleetRunResult::AlarmsAt(double factor_or_constant) const {
+  std::vector<Alarm> all;
+  for (std::size_t v = 0; v < scored_samples.size(); ++v) {
+    auto vehicle_alarms = AlarmsForThreshold(scored_samples[v], calibrations[v],
+                                             factor_or_constant, persistence_window,
+                                             persistence_min, channel_names,
+                                             threshold_kind);
+    all.insert(all.end(), vehicle_alarms.begin(), vehicle_alarms.end());
+  }
+  return all;
+}
+
+FleetRunResult RunFleet(const telemetry::FleetDataset& fleet,
+                        const MonitorConfig& config) {
+  FleetRunResult result;
+  const auto [pw, pm] = config.threshold.ResolvePersistence(
+      transform::EffectiveStride(config.transform, config.transform_options));
+  result.persistence_window = pw;
+  result.persistence_min = pm;
+  result.threshold_kind = config.threshold.kind;
+  result.scored_samples.resize(fleet.vehicles.size());
+  result.calibrations.resize(fleet.vehicles.size());
+
+  for (std::size_t v = 0; v < fleet.vehicles.size(); ++v) {
+    const telemetry::VehicleHistory& vehicle = fleet.vehicles[v];
+    VehicleMonitor monitor(vehicle.spec.id, config);
+
+    // Merge records and events by timestamp (events first on ties, so a
+    // same-minute service resets Ref before the next measurement arrives).
+    std::size_t ri = 0, ei = 0;
+    const auto& records = vehicle.records;
+    const auto& events = vehicle.events;
+    while (ri < records.size() || ei < events.size()) {
+      const bool take_event =
+          ei < events.size() &&
+          (ri >= records.size() || events[ei].timestamp <= records[ri].timestamp);
+      if (take_event) {
+        monitor.OnEvent(events[ei++]);
+      } else {
+        if (auto alarm = monitor.OnRecord(records[ri++])) {
+          result.alarms.push_back(std::move(*alarm));
+        }
+      }
+    }
+
+    result.scored_samples[v] = monitor.scored_samples();
+    result.calibrations[v] = monitor.calibrations();
+    if (result.channel_names.empty() && !monitor.channel_names().empty())
+      result.channel_names = monitor.channel_names();
+  }
+  return result;
+}
+
+}  // namespace navarchos::core

@@ -1,0 +1,43 @@
+// Batch execution of the streaming monitor over a whole fleet.
+//
+// Replays each vehicle's records and recorded events in timestamp order
+// through a VehicleMonitor, and collects alarms plus the full score traces
+// needed for threshold sweeps and for the paper's per-vehicle plots.
+#ifndef NAVARCHOS_CORE_FLEET_RUNNER_H_
+#define NAVARCHOS_CORE_FLEET_RUNNER_H_
+
+#include <vector>
+
+#include "core/monitor.h"
+#include "telemetry/fleet.h"
+
+namespace navarchos::core {
+
+/// Result of running one framework instantiation over a fleet.
+struct FleetRunResult {
+  /// Alarms at the config's own threshold factor/constant.
+  std::vector<Alarm> alarms;
+  /// Score traces per vehicle (index-aligned with the input fleet).
+  std::vector<std::vector<ScoredSample>> scored_samples;
+  /// Calibration stats per vehicle.
+  std::vector<std::vector<CalibrationStats>> calibrations;
+  /// Channel names (same for all vehicles).
+  std::vector<std::string> channel_names;
+  /// Resolved persistence (samples) of the run, reused by AlarmsAt.
+  int persistence_window = 20;
+  int persistence_min = 14;
+  /// Threshold rule of the run, reused by AlarmsAt.
+  detect::ThresholdConfig::Kind threshold_kind =
+      detect::ThresholdConfig::Kind::kSelfTuning;
+
+  /// Replays the recorded traces at a different threshold factor/constant.
+  std::vector<Alarm> AlarmsAt(double factor_or_constant) const;
+};
+
+/// Runs `config` over every vehicle of `fleet`.
+FleetRunResult RunFleet(const telemetry::FleetDataset& fleet,
+                        const MonitorConfig& config);
+
+}  // namespace navarchos::core
+
+#endif  // NAVARCHOS_CORE_FLEET_RUNNER_H_

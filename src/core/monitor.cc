@@ -1,0 +1,237 @@
+#include "core/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/filters.h"
+#include "util/check.h"
+#include "util/statistics.h"
+
+namespace navarchos::core {
+
+std::size_t MonitorConfig::ResolveProfileLength() const {
+  const int stride = transform::EffectiveStride(transform, transform_options);
+  const double samples = profile_minutes / static_cast<double>(stride);
+  return static_cast<std::size_t>(std::clamp(samples, 16.0, 8000.0));
+}
+
+double CalibrationStats::ThresholdOf(std::size_t c,
+                                     detect::ThresholdConfig::Kind kind,
+                                     double factor_or_constant) const {
+  if (constant_threshold) return factor_or_constant;
+  switch (kind) {
+    case detect::ThresholdConfig::Kind::kSelfTuning:
+      return mean[c] + factor_or_constant * stddev[c];
+    case detect::ThresholdConfig::Kind::kMedianMad:
+      // 1.4826 makes the MAD a consistent sigma estimator under normality.
+      return median[c] + factor_or_constant * 1.4826 * mad[c];
+    case detect::ThresholdConfig::Kind::kMaxHealthy:
+      return factor_or_constant * max[c];
+    case detect::ThresholdConfig::Kind::kConstant:
+      return factor_or_constant;
+  }
+  return factor_or_constant;
+}
+
+VehicleMonitor::VehicleMonitor(std::int32_t vehicle_id, const MonitorConfig& config)
+    : vehicle_id_(vehicle_id), config_(config) {
+  transformer_ = transform::MakeTransformer(config_.transform, config_.transform_options);
+  detect::DetectorOptions options = config_.detector_options;
+  if (options.feature_names.empty()) options.feature_names = transformer_->FeatureNames();
+  detector_ = detect::MakeDetector(config_.detector, options);
+  profile_length_ = config_.ResolveProfileLength();
+  NAVARCHOS_CHECK(profile_length_ >= detector_->MinReferenceSize());
+}
+
+void VehicleMonitor::ResetReference() {
+  reference_.clear();
+  calibration_scores_.clear();
+  fitted_ = false;
+  calibrating_ = false;
+  persistence_.reset();
+  // The raw-data buffer restarts as well: the paper discards the old data
+  // when a new reference is triggered.
+  transformer_->Reset();
+}
+
+void VehicleMonitor::OnEvent(const telemetry::FleetEvent& event) {
+  if (!event.recorded) return;  // invisible to the FMS platform
+  const bool triggers =
+      (event.type == telemetry::EventType::kService && config_.reset_on_service) ||
+      (event.type == telemetry::EventType::kRepair && config_.reset_on_repair);
+  if (triggers) ResetReference();
+}
+
+void VehicleMonitor::FitOnReference() {
+  detector_->Fit(reference_);
+  channel_names_ = detector_->ChannelNames();
+  calibration_scores_.clear();
+  fitted_ = true;
+  calibrating_ = true;
+  ++fit_count_;
+}
+
+void VehicleMonitor::FinishCalibration() {
+  // Thresholds from two sources of honestly out-of-sample healthy scores:
+  //  * burn-in scores of the period right after the maintenance event (the
+  //    data most plausibly healthy), and
+  //  * leave-block-out scores of the reference samples themselves, which
+  //    span the full reference period's variability (usage regimes,
+  //    weather) where the detector supports them.
+  std::vector<std::vector<double>> calib = calibration_scores_;
+  const int exclusion =
+      std::max(1, config_.transform_options.window / config_.transform_options.stride);
+  for (auto& row : detector_->SelfCalibrationScores(exclusion))
+    calib.push_back(std::move(row));
+
+  CalibrationStats stats;
+  stats.constant_threshold = detector_->ScoresAreProbabilities();
+  const std::size_t channels = detector_->ScoreChannels();
+  stats.mean.assign(channels, 0.0);
+  stats.stddev.assign(channels, 0.0);
+  stats.median.assign(channels, 0.0);
+  stats.mad.assign(channels, 0.0);
+  stats.max.assign(channels, 0.0);
+  std::vector<double> column(calib.size());
+  std::vector<double> deviations(calib.size());
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t i = 0; i < calib.size(); ++i) column[i] = calib[i][c];
+    stats.mean[c] = util::Mean(column);
+    stats.stddev[c] = util::StdDev(column);
+    stats.median[c] = util::Median(column);
+    for (std::size_t i = 0; i < column.size(); ++i)
+      deviations[i] = std::fabs(column[i] - stats.median[c]);
+    stats.mad[c] = util::Median(deviations);
+    stats.max[c] = util::Max(column);
+  }
+
+  std::vector<double> thresholds(channels);
+  const double factor_or_constant = detector_->ScoresAreProbabilities()
+                                        ? config_.threshold.constant
+                                        : config_.threshold.factor;
+  for (std::size_t c = 0; c < channels; ++c)
+    thresholds[c] = stats.ThresholdOf(c, config_.threshold.kind, factor_or_constant);
+  policy_ = detect::ThresholdPolicy::Explicit(std::move(thresholds));
+  calibrations_.push_back(std::move(stats));
+  calibrating_ = false;
+}
+
+std::optional<Alarm> VehicleMonitor::OnRecord(const telemetry::Record& record) {
+  if (!telemetry::IsUsable(record)) return std::nullopt;
+  auto sample = transformer_->Collect(record);
+  if (!sample) return std::nullopt;
+
+  if (!fitted_) {
+    reference_.push_back(std::move(sample->features));
+    if (reference_.size() >= profile_length_) FitOnReference();
+    return std::nullopt;
+  }
+
+  if (calibrating_) {
+    calibration_scores_.push_back(detector_->Score(sample->features));
+    const int burn_in = config_.threshold.ResolveBurnIn(
+        transform::EffectiveStride(config_.transform, config_.transform_options));
+    if (calibration_scores_.size() >= static_cast<std::size_t>(burn_in)) {
+      FinishCalibration();
+    }
+    return std::nullopt;
+  }
+
+  ScoredSample scored;
+  scored.vehicle_id = vehicle_id_;
+  scored.timestamp = sample->timestamp;
+  scored.scores = detector_->Score(sample->features);
+  scored.calibration_index = static_cast<int>(calibrations_.size()) - 1;
+  scored_samples_.push_back(scored);
+
+  // Windowed persistence: only channels violating on most recent samples
+  // raise an alarm (see ThresholdConfig).
+  if (persistence_ == nullptr) {
+    const auto [window, min_violations] = config_.threshold.ResolvePersistence(
+        transform::EffectiveStride(config_.transform, config_.transform_options));
+    persistence_ = std::make_unique<detect::PersistenceTracker>(
+        window, min_violations, scored.scores.size());
+  }
+  const auto& thresholds = policy_.thresholds();
+  std::vector<bool> violations(scored.scores.size());
+  for (std::size_t c = 0; c < scored.scores.size(); ++c)
+    violations[c] = scored.scores[c] > thresholds[c];
+  const std::vector<bool> fires = persistence_->Update(violations);
+
+  std::optional<std::size_t> worst;
+  double worst_excess = 0.0;
+  for (std::size_t c = 0; c < scored.scores.size(); ++c) {
+    // Alarm only while the channel is both persistently and currently in
+    // violation (no trailing alarms after the scores recover).
+    if (!fires[c] || !violations[c]) continue;
+    const double excess = scored.scores[c] - thresholds[c];
+    if (!worst || excess > worst_excess) {
+      worst = c;
+      worst_excess = excess;
+    }
+  }
+  if (!worst) return std::nullopt;
+  Alarm alarm;
+  alarm.vehicle_id = vehicle_id_;
+  alarm.timestamp = sample->timestamp;
+  alarm.channel = *worst;
+  alarm.channel_name = *worst < channel_names_.size()
+                           ? channel_names_[*worst]
+                           : "ch" + std::to_string(*worst);
+  alarm.score = scored.scores[*worst];
+  alarm.threshold = thresholds[*worst];
+  return alarm;
+}
+
+std::vector<Alarm> AlarmsForThreshold(const std::vector<ScoredSample>& samples,
+                                      const std::vector<CalibrationStats>& calibrations,
+                                      double factor_or_constant,
+                                      int persistence_window, int persistence_min,
+                                      const std::vector<std::string>& channel_names,
+                                      detect::ThresholdConfig::Kind kind) {
+  std::vector<Alarm> alarms;
+  std::unique_ptr<detect::PersistenceTracker> tracker;
+  int active_cycle = -1;
+  for (const ScoredSample& sample : samples) {
+    NAVARCHOS_CHECK(sample.calibration_index >= 0);
+    if (sample.calibration_index != active_cycle || tracker == nullptr) {
+      active_cycle = sample.calibration_index;
+      tracker = std::make_unique<detect::PersistenceTracker>(
+          persistence_window, persistence_min, sample.scores.size());
+    }
+    const CalibrationStats& stats =
+        calibrations[static_cast<std::size_t>(sample.calibration_index)];
+    std::vector<bool> violations(sample.scores.size());
+    std::vector<double> thresholds(sample.scores.size());
+    for (std::size_t c = 0; c < sample.scores.size(); ++c) {
+      thresholds[c] = stats.ThresholdOf(c, kind, factor_or_constant);
+      violations[c] = sample.scores[c] > thresholds[c];
+    }
+    const std::vector<bool> fires = tracker->Update(violations);
+    std::optional<std::size_t> worst;
+    double worst_excess = 0.0;
+    double worst_threshold = 0.0;
+    for (std::size_t c = 0; c < sample.scores.size(); ++c) {
+      if (!fires[c] || !violations[c]) continue;
+      const double excess = sample.scores[c] - thresholds[c];
+      if (!worst || excess > worst_excess) {
+        worst = c;
+        worst_excess = excess;
+        worst_threshold = thresholds[c];
+      }
+    }
+    if (!worst) continue;
+    Alarm alarm;
+    alarm.vehicle_id = sample.vehicle_id;
+    alarm.timestamp = sample.timestamp;
+    alarm.channel = *worst;
+    alarm.channel_name = *worst < channel_names.size() ? channel_names[*worst]
+                                                       : "ch" + std::to_string(*worst);
+    alarm.score = sample.scores[*worst];
+    alarm.threshold = worst_threshold;
+    alarms.push_back(std::move(alarm));
+  }
+  return alarms;
+}
+
+}  // namespace navarchos::core

@@ -1,0 +1,146 @@
+// The complete solution (paper §4.2, Algorithm 1): a streaming per-vehicle
+// monitor that
+//   1. filters stationary / sensor-faulty records,
+//   2. transforms the stream (step 1),
+//   3. maintains a dynamic healthy reference profile Ref that is rebuilt
+//      after every recorded maintenance event (step 2),
+//   4. fits the chosen detector on Ref, calibrates thresholds on a held-out
+//      slice, and scores subsequent samples (step 3).
+//
+// The monitor also exposes every scored sample with its calibration
+// statistics, so evaluation sweeps over threshold factors can be replayed
+// without re-fitting detectors (the factor only enters at comparison time).
+#ifndef NAVARCHOS_CORE_MONITOR_H_
+#define NAVARCHOS_CORE_MONITOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "detect/factory.h"
+#include "detect/threshold.h"
+#include "telemetry/types.h"
+#include "transform/transformer.h"
+
+namespace navarchos::core {
+
+/// Full configuration of a monitor (one framework instantiation).
+struct MonitorConfig {
+  transform::TransformKind transform = transform::TransformKind::kCorrelation;
+  transform::TransformOptions transform_options;
+  detect::DetectorKind detector = detect::DetectorKind::kClosestPair;
+  detect::DetectorOptions detector_options;
+  detect::ThresholdConfig threshold;
+  /// Operating minutes of transformed samples forming the reference profile
+  /// (resolved to a sample count through the transform's emission stride, so
+  /// per-record and windowed transforms see the same reference horizon).
+  double profile_minutes = 1200.0;
+
+  /// Resolved reference length in samples for this config's transform.
+  std::size_t ResolveProfileLength() const;
+  /// Rebuild Ref on recorded service events (Table 3 ablation sets false).
+  bool reset_on_service = true;
+  /// Rebuild Ref on recorded repair events.
+  bool reset_on_repair = true;
+};
+
+/// An alarm raised by the monitor, attributed to a score channel.
+struct Alarm {
+  std::int32_t vehicle_id = 0;
+  telemetry::Minute timestamp = 0;
+  std::size_t channel = 0;
+  std::string channel_name;
+  double score = 0.0;
+  double threshold = 0.0;
+};
+
+/// Per-channel calibration statistics of one reference cycle.
+struct CalibrationStats {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+  std::vector<double> median;
+  std::vector<double> mad;  ///< Median absolute deviation.
+  std::vector<double> max;
+  bool constant_threshold = false;  ///< True for probability-score detectors.
+
+  /// Threshold of channel `c` under the given rule and factor. Constant-
+  /// threshold detectors ignore the rule and use the factor verbatim.
+  double ThresholdOf(std::size_t c, detect::ThresholdConfig::Kind kind,
+                     double factor_or_constant) const;
+};
+
+/// One scored live sample (kept for threshold-sweep replay and Fig. 8).
+struct ScoredSample {
+  std::int32_t vehicle_id = 0;
+  telemetry::Minute timestamp = 0;
+  std::vector<double> scores;
+  int calibration_index = -1;  ///< Into VehicleMonitor::calibrations().
+};
+
+/// Streaming monitor for one vehicle (Algorithm 1).
+class VehicleMonitor {
+ public:
+  VehicleMonitor(std::int32_t vehicle_id, const MonitorConfig& config);
+
+  /// Feeds a recorded fleet event; maintenance events reset Ref.
+  void OnEvent(const telemetry::FleetEvent& event);
+
+  /// Feeds a telemetry record; returns an alarm when a threshold (at the
+  /// config's factor/constant) is violated. Unusable records are ignored.
+  std::optional<Alarm> OnRecord(const telemetry::Record& record);
+
+  /// All live scored samples so far (excludes reference-building samples).
+  const std::vector<ScoredSample>& scored_samples() const { return scored_samples_; }
+
+  /// Calibration statistics per reference cycle.
+  const std::vector<CalibrationStats>& calibrations() const { return calibrations_; }
+
+  /// Score channel names of the underlying detector.
+  const std::vector<std::string>& channel_names() const { return channel_names_; }
+
+  /// Number of completed reference cycles (fits).
+  int fit_count() const { return fit_count_; }
+
+  /// True while the reference profile is still filling.
+  bool collecting_reference() const { return !fitted_; }
+
+ private:
+  void ResetReference();
+  void FitOnReference();
+  void FinishCalibration();
+
+  std::int32_t vehicle_id_;
+  MonitorConfig config_;
+  std::size_t profile_length_ = 0;
+  std::unique_ptr<transform::Transformer> transformer_;
+  std::unique_ptr<detect::Detector> detector_;
+  std::vector<std::vector<double>> reference_;
+  std::vector<std::vector<double>> calibration_scores_;  ///< Burn-in scores.
+  bool fitted_ = false;
+  bool calibrating_ = false;
+  int fit_count_ = 0;
+  detect::ThresholdPolicy policy_;
+  std::unique_ptr<detect::PersistenceTracker> persistence_;
+  std::vector<std::string> channel_names_;
+  std::vector<CalibrationStats> calibrations_;
+  std::vector<ScoredSample> scored_samples_;
+};
+
+/// Derives alarms from recorded score traces for an arbitrary threshold
+/// factor (self-tuning detectors) or constant (probability detectors),
+/// without re-running the pipeline. `samples` must belong to a single
+/// vehicle in stream order (persistence is tracked across them; the streak
+/// resets whenever the reference cycle changes). `channel_names` may be
+/// empty.
+std::vector<Alarm> AlarmsForThreshold(const std::vector<ScoredSample>& samples,
+                                      const std::vector<CalibrationStats>& calibrations,
+                                      double factor_or_constant,
+                                      int persistence_window, int persistence_min,
+                                      const std::vector<std::string>& channel_names,
+                                      detect::ThresholdConfig::Kind kind =
+                                          detect::ThresholdConfig::Kind::kSelfTuning);
+
+}  // namespace navarchos::core
+
+#endif  // NAVARCHOS_CORE_MONITOR_H_

@@ -1,0 +1,71 @@
+#include "detect/closest_pair.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace navarchos::detect {
+
+ClosestPairDetector::ClosestPairDetector(std::vector<std::string> feature_names)
+    : feature_names_(std::move(feature_names)) {}
+
+void ClosestPairDetector::Fit(const std::vector<std::vector<double>>& ref) {
+  NAVARCHOS_CHECK(ref.size() >= MinReferenceSize());
+  const std::size_t dims = ref.front().size();
+  columns_.assign(dims, {});
+  for (auto& column : columns_) column.reserve(ref.size());
+  for (const auto& sample : ref) {
+    NAVARCHOS_CHECK(sample.size() == dims);
+    for (std::size_t d = 0; d < dims; ++d) columns_[d].push_back(sample[d]);
+  }
+  columns_temporal_ = columns_;
+  for (auto& column : columns_) std::sort(column.begin(), column.end());
+}
+
+std::vector<std::vector<double>> ClosestPairDetector::SelfCalibrationScores(
+    int exclusion_radius) const {
+  NAVARCHOS_CHECK(exclusion_radius >= 0);
+  if (columns_temporal_.empty()) return {};
+  const std::size_t n = columns_temporal_.front().size();
+  const std::size_t dims = columns_temporal_.size();
+  std::vector<std::vector<double>> scores(n, std::vector<double>(dims, 0.0));
+  for (std::size_t d = 0; d < dims; ++d) {
+    const auto& column = columns_temporal_[d];
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < n; ++j) {
+        const auto gap = static_cast<std::ptrdiff_t>(i) - static_cast<std::ptrdiff_t>(j);
+        if (std::abs(gap) <= exclusion_radius) continue;
+        best = std::min(best, std::fabs(column[j] - column[i]));
+      }
+      scores[i][d] = std::isfinite(best) ? best : 0.0;
+    }
+  }
+  return scores;
+}
+
+std::vector<double> ClosestPairDetector::Score(const std::vector<double>& sample) {
+  NAVARCHOS_CHECK(!columns_.empty());
+  NAVARCHOS_CHECK(sample.size() == columns_.size());
+  std::vector<double> scores(sample.size());
+  for (std::size_t d = 0; d < sample.size(); ++d) {
+    const auto& column = columns_[d];
+    const auto it = std::lower_bound(column.begin(), column.end(), sample[d]);
+    double best = std::numeric_limits<double>::infinity();
+    if (it != column.end()) best = std::min(best, std::fabs(*it - sample[d]));
+    if (it != column.begin()) best = std::min(best, std::fabs(*(it - 1) - sample[d]));
+    scores[d] = best;
+  }
+  return scores;
+}
+
+std::vector<std::string> ClosestPairDetector::ChannelNames() const {
+  if (!feature_names_.empty()) return feature_names_;
+  std::vector<std::string> names;
+  for (std::size_t d = 0; d < columns_.size(); ++d)
+    names.push_back("f" + std::to_string(d));
+  return names;
+}
+
+}  // namespace navarchos::detect

@@ -1,0 +1,18 @@
+#include "detect/detector.h"
+
+namespace navarchos::detect {
+
+const char* DetectorKindName(DetectorKind kind) {
+  switch (kind) {
+    case DetectorKind::kClosestPair: return "closest_pair";
+    case DetectorKind::kGrand: return "grand";
+    case DetectorKind::kTranAd: return "tranad";
+    case DetectorKind::kXgBoost: return "xgboost";
+    case DetectorKind::kIsolationForest: return "isolation_forest";
+    case DetectorKind::kMlp: return "mlp";
+    case DetectorKind::kKnnDistance: return "knn_distance";
+  }
+  return "unknown";
+}
+
+}  // namespace navarchos::detect

@@ -1,0 +1,83 @@
+// Step 3 of the paper's framework: unsupervised deviation scoring.
+//
+// A Detector is fitted on the current reference profile (Ref) of one vehicle
+// and then scores each new transformed sample. Detectors expose one or more
+// *score channels*:
+//  * closest-pair and XGBoost score each input feature separately (f
+//    channels), which makes their alarms attributable to a feature;
+//  * Grand and TranAD emit a single multivariate score (1 channel).
+#ifndef NAVARCHOS_DETECT_DETECTOR_H_
+#define NAVARCHOS_DETECT_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace navarchos::detect {
+
+/// Unsupervised anomaly scorer fitted on a healthy reference sample.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Stable identifier ("closest_pair", "grand", "tranad", "xgboost").
+  virtual std::string Name() const = 0;
+
+  /// Fits the detector on the reference profile (rows of equal length,
+  /// at least MinReferenceSize() of them). May be called repeatedly - each
+  /// call discards the previous state (dynamic reference rebuilding).
+  virtual void Fit(const std::vector<std::vector<double>>& ref) = 0;
+
+  /// Scores one sample. Returns ScoreChannels() non-negative scores; higher
+  /// means more anomalous. Stateful detectors (Grand's martingale) update
+  /// their internal state, so call exactly once per streamed sample.
+  virtual std::vector<double> Score(const std::vector<double>& sample) = 0;
+
+  /// Number of score channels (fixed after Fit).
+  virtual std::size_t ScoreChannels() const = 0;
+
+  /// Channel labels for alarm explanations (feature names when channels map
+  /// to features, {"score"} for single-channel detectors).
+  virtual std::vector<std::string> ChannelNames() const = 0;
+
+  /// Smallest reference size the detector can be fitted on.
+  virtual std::size_t MinReferenceSize() const { return 8; }
+
+  /// Optional: anomaly scores of the fitted reference samples themselves,
+  /// each computed against the reference with a temporal exclusion zone of
+  /// `exclusion_radius` samples around it. Because consecutive sliding-window
+  /// samples overlap, plain leave-one-out distances are near zero; the
+  /// exclusion zone yields honest "novel healthy sample" scores spanning the
+  /// whole reference period, which enriches threshold calibration. Returns
+  /// empty when the detector does not support it.
+  virtual std::vector<std::vector<double>> SelfCalibrationScores(
+      int exclusion_radius) const {
+    (void)exclusion_radius;
+    return {};
+  }
+
+  /// True when the detector's scores are bounded in [0, 1] (paper: Grand is
+  /// the only such technique and is thresholded with a constant instead of
+  /// the self-tuning rule).
+  virtual bool ScoresAreProbabilities() const { return false; }
+};
+
+/// The four technique choices evaluated in the paper, plus two extensions
+/// from its related-work discussion (§5): the isolation forest of Khan et
+/// al. 2019 and the MLP regression scheme of Massaro et al. 2020.
+enum class DetectorKind : int {
+  kClosestPair = 0,
+  kGrand = 1,
+  kTranAd = 2,
+  kXgBoost = 3,
+  kIsolationForest = 4,
+  kMlp = 5,
+  kKnnDistance = 6,  ///< Plain multivariate kNN distance (section-2 baseline).
+};
+
+/// Display name of a detector kind.
+const char* DetectorKindName(DetectorKind kind);
+
+}  // namespace navarchos::detect
+
+#endif  // NAVARCHOS_DETECT_DETECTOR_H_

@@ -1,0 +1,32 @@
+#include "detect/factory.h"
+
+#include "detect/closest_pair.h"
+#include "detect/tranad_detector.h"
+#include "detect/xgb_detector.h"
+#include "util/check.h"
+
+namespace navarchos::detect {
+
+std::unique_ptr<Detector> MakeDetector(DetectorKind kind,
+                                       const DetectorOptions& options) {
+  switch (kind) {
+    case DetectorKind::kClosestPair:
+      return std::make_unique<ClosestPairDetector>(options.feature_names);
+    case DetectorKind::kGrand:
+      return std::make_unique<GrandDetector>(options.grand);
+    case DetectorKind::kTranAd:
+      return std::make_unique<TranAdDetector>(options.tranad);
+    case DetectorKind::kXgBoost:
+      return std::make_unique<XgbDetector>(options.gbt, options.feature_names);
+    case DetectorKind::kIsolationForest:
+      return std::make_unique<IsolationForestDetector>(options.isolation_forest);
+    case DetectorKind::kMlp:
+      return std::make_unique<MlpDetector>(options.mlp, options.feature_names);
+    case DetectorKind::kKnnDistance:
+      return std::make_unique<KnnDistanceDetector>(options.knn_distance_k);
+  }
+  NAVARCHOS_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace navarchos::detect

@@ -1,0 +1,37 @@
+// Detector construction by kind, with per-kind default configurations.
+#ifndef NAVARCHOS_DETECT_FACTORY_H_
+#define NAVARCHOS_DETECT_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/gbt.h"
+#include "detect/grand.h"
+#include "detect/isolation_forest.h"
+#include "detect/knn_distance.h"
+#include "detect/mlp_detector.h"
+#include "detect/nn/tranad.h"
+
+namespace navarchos::detect {
+
+/// Configuration bundle for MakeDetector.
+struct DetectorOptions {
+  GrandConfig grand;
+  GbtParams gbt;
+  nn::TranAdParams tranad;
+  IsolationForestParams isolation_forest;
+  MlpParams mlp;
+  int knn_distance_k = 5;
+  /// Channel labels for the feature-attributed detectors.
+  std::vector<std::string> feature_names;
+};
+
+/// Creates a detector of the requested kind.
+std::unique_ptr<Detector> MakeDetector(DetectorKind kind,
+                                       const DetectorOptions& options = {});
+
+}  // namespace navarchos::detect
+
+#endif  // NAVARCHOS_DETECT_FACTORY_H_

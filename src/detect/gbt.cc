@@ -1,0 +1,249 @@
+#include "detect/gbt.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/statistics.h"
+
+namespace navarchos::detect {
+namespace {
+
+/// XGBoost structure score of a node given gradient/hessian sums.
+double StructureScore(double grad_sum, double hess_sum, double reg_lambda) {
+  return grad_sum * grad_sum / (hess_sum + reg_lambda);
+}
+
+struct SplitCandidate {
+  double gain = 0.0;
+  int feature = -1;
+  double threshold = 0.0;
+};
+
+}  // namespace
+
+GbtRegressor::GbtRegressor(const GbtParams& params) : params_(params) {
+  NAVARCHOS_CHECK(params_.num_trees >= 1);
+  NAVARCHOS_CHECK(params_.max_depth >= 1);
+  NAVARCHOS_CHECK(params_.learning_rate > 0.0);
+  NAVARCHOS_CHECK(params_.subsample > 0.0 && params_.subsample <= 1.0);
+  NAVARCHOS_CHECK(params_.colsample > 0.0 && params_.colsample <= 1.0);
+}
+
+double GbtRegressor::Tree::Predict(std::span<const double> row) const {
+  int node = 0;
+  while (nodes[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = nodes[static_cast<std::size_t>(node)];
+    node = row[static_cast<std::size_t>(n.feature)] < n.threshold ? n.left : n.right;
+  }
+  return nodes[static_cast<std::size_t>(node)].value;
+}
+
+void GbtRegressor::Fit(const std::vector<std::vector<double>>& x,
+                       const std::vector<double>& y) {
+  NAVARCHOS_CHECK(!x.empty());
+  NAVARCHOS_CHECK(x.size() == y.size());
+  const std::size_t n = x.size();
+  const std::size_t dims = x.front().size();
+  for (const auto& row : x) NAVARCHOS_CHECK(row.size() == dims);
+
+  trees_.clear();
+  base_score_ = util::Mean(y);
+  std::vector<double> pred(n, base_score_);
+  util::Rng rng(params_.seed);
+
+  for (int t = 0; t < params_.num_trees; ++t) {
+    // Squared loss: g = pred - y, h = 1.
+    std::vector<double> grad(n), hess(n, 1.0);
+    for (std::size_t i = 0; i < n; ++i) grad[i] = pred[i] - y[i];
+
+    // Row subsample for this tree.
+    std::vector<int> rows;
+    rows.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      if (params_.subsample >= 1.0 || rng.Bernoulli(params_.subsample))
+        rows.push_back(static_cast<int>(i));
+    if (rows.size() < 4) {
+      rows.resize(n);
+      std::iota(rows.begin(), rows.end(), 0);
+    }
+
+    // Column subsample for this tree.
+    std::vector<int> columns;
+    for (std::size_t d = 0; d < dims; ++d)
+      if (params_.colsample >= 1.0 || rng.Bernoulli(params_.colsample))
+        columns.push_back(static_cast<int>(d));
+    if (columns.empty()) columns.push_back(static_cast<int>(rng.UniformInt(
+        0, static_cast<std::int64_t>(dims) - 1)));
+
+    Tree tree;
+    // Recursive exact-greedy construction over (node, rows, depth).
+    struct Frame {
+      int node;
+      std::vector<int> rows;
+      int depth;
+    };
+    tree.nodes.push_back({});
+    std::vector<Frame> stack;
+    stack.push_back({0, rows, 0});
+
+    while (!stack.empty()) {
+      Frame frame = std::move(stack.back());
+      stack.pop_back();
+
+      double grad_sum = 0.0, hess_sum = 0.0;
+      for (int i : frame.rows) {
+        grad_sum += grad[static_cast<std::size_t>(i)];
+        hess_sum += hess[static_cast<std::size_t>(i)];
+      }
+
+      auto make_leaf = [&]() {
+        Node& leaf = tree.nodes[static_cast<std::size_t>(frame.node)];
+        leaf.feature = -1;
+        leaf.value = -params_.learning_rate * grad_sum / (hess_sum + params_.reg_lambda);
+      };
+
+      if (frame.depth >= params_.max_depth ||
+          hess_sum < 2.0 * params_.min_child_weight || frame.rows.size() < 4) {
+        make_leaf();
+        continue;
+      }
+
+      // Exact greedy split search over the sampled columns.
+      SplitCandidate best;
+      const double parent_score = StructureScore(grad_sum, hess_sum, params_.reg_lambda);
+      std::vector<std::pair<double, int>> sorted_rows;
+      sorted_rows.reserve(frame.rows.size());
+      for (int feature : columns) {
+        sorted_rows.clear();
+        for (int i : frame.rows)
+          sorted_rows.emplace_back(x[static_cast<std::size_t>(i)][static_cast<std::size_t>(feature)], i);
+        std::sort(sorted_rows.begin(), sorted_rows.end());
+
+        double left_grad = 0.0, left_hess = 0.0;
+        for (std::size_t pos = 0; pos + 1 < sorted_rows.size(); ++pos) {
+          const int i = sorted_rows[pos].second;
+          left_grad += grad[static_cast<std::size_t>(i)];
+          left_hess += hess[static_cast<std::size_t>(i)];
+          // Can't split between equal feature values.
+          if (sorted_rows[pos].first == sorted_rows[pos + 1].first) continue;
+          const double right_grad = grad_sum - left_grad;
+          const double right_hess = hess_sum - left_hess;
+          if (left_hess < params_.min_child_weight ||
+              right_hess < params_.min_child_weight) {
+            continue;
+          }
+          const double gain =
+              0.5 * (StructureScore(left_grad, left_hess, params_.reg_lambda) +
+                     StructureScore(right_grad, right_hess, params_.reg_lambda) -
+                     parent_score) -
+              params_.gamma;
+          if (gain > best.gain) {
+            best.gain = gain;
+            best.feature = feature;
+            best.threshold = 0.5 * (sorted_rows[pos].first + sorted_rows[pos + 1].first);
+          }
+        }
+      }
+
+      if (best.feature < 0) {
+        make_leaf();
+        continue;
+      }
+
+      std::vector<int> left_rows, right_rows;
+      for (int i : frame.rows) {
+        const double v = x[static_cast<std::size_t>(i)][static_cast<std::size_t>(best.feature)];
+        (v < best.threshold ? left_rows : right_rows).push_back(i);
+      }
+
+      // Reserve both children before taking any reference: push_back can
+      // reallocate the node vector.
+      const int left_id = static_cast<int>(tree.nodes.size());
+      const int right_id = left_id + 1;
+      tree.nodes.push_back({});
+      tree.nodes.push_back({});
+      Node& node = tree.nodes[static_cast<std::size_t>(frame.node)];
+      node.feature = best.feature;
+      node.threshold = best.threshold;
+      node.left = left_id;
+      node.right = right_id;
+      stack.push_back({left_id, std::move(left_rows), frame.depth + 1});
+      stack.push_back({right_id, std::move(right_rows), frame.depth + 1});
+    }
+
+    // Update predictions with the new tree.
+    for (std::size_t i = 0; i < n; ++i) pred[i] += tree.Predict(x[i]);
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+std::string GbtRegressor::Serialise() const {
+  NAVARCHOS_CHECK(fitted_);
+  std::string out = "gbt v1\n";
+  char line[128];
+  std::snprintf(line, sizeof(line), "base %.17g\n", base_score_);
+  out += line;
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    std::snprintf(line, sizeof(line), "tree %zu %zu\n", t, trees_[t].nodes.size());
+    out += line;
+    for (const Node& node : trees_[t].nodes) {
+      std::snprintf(line, sizeof(line), "%d %.17g %d %d %.17g\n", node.feature,
+                    node.threshold, node.left, node.right, node.value);
+      out += line;
+    }
+  }
+  return out;
+}
+
+bool GbtRegressor::Deserialise(const std::string& text) {
+  fitted_ = false;
+  trees_.clear();
+  std::size_t pos = 0;
+  auto next_line = [&]() {
+    if (pos >= text.size()) return std::string();
+    const std::size_t end = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, end == std::string::npos ? std::string::npos : end - pos);
+    pos = end == std::string::npos ? text.size() : end + 1;
+    return line;
+  };
+  if (next_line() != "gbt v1") return false;
+  {
+    const std::string line = next_line();
+    if (std::sscanf(line.c_str(), "base %lg", &base_score_) != 1) return false;
+  }
+  while (pos < text.size()) {
+    std::size_t index = 0, count = 0;
+    const std::string header = next_line();
+    if (header.empty()) break;
+    if (std::sscanf(header.c_str(), "tree %zu %zu", &index, &count) != 2) return false;
+    Tree tree;
+    tree.nodes.reserve(count);
+    for (std::size_t n = 0; n < count; ++n) {
+      Node node;
+      const std::string line = next_line();
+      if (std::sscanf(line.c_str(), "%d %lg %d %d %lg", &node.feature,
+                      &node.threshold, &node.left, &node.right, &node.value) != 5) {
+        return false;
+      }
+      tree.nodes.push_back(node);
+    }
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+  return true;
+}
+
+double GbtRegressor::Predict(std::span<const double> row) const {
+  NAVARCHOS_CHECK(fitted_);
+  double out = base_score_;
+  for (const Tree& tree : trees_) out += tree.Predict(row);
+  return out;
+}
+
+}  // namespace navarchos::detect

@@ -1,0 +1,79 @@
+// Gradient-boosted regression trees, from scratch.
+//
+// A compact reimplementation of the XGBoost training algorithm (Chen &
+// Guestrin, KDD 2016) specialised to squared-error regression: second-order
+// gain with L2 leaf regularisation, exact greedy splits, shrinkage, row
+// subsampling and column subsampling. This is the model behind the paper's
+// "XGBoost" technique (§3.6).
+#ifndef NAVARCHOS_DETECT_GBT_H_
+#define NAVARCHOS_DETECT_GBT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace navarchos::detect {
+
+/// Training hyper-parameters (defaults follow common XGBoost practice for
+/// small tabular datasets).
+struct GbtParams {
+  int num_trees = 60;
+  int max_depth = 4;
+  double learning_rate = 0.15;
+  double reg_lambda = 1.0;        ///< L2 penalty on leaf weights.
+  double gamma = 0.0;             ///< Minimum gain to accept a split.
+  double min_child_weight = 2.0;  ///< Minimum hessian sum per child.
+  double subsample = 0.8;         ///< Row subsampling per tree.
+  double colsample = 1.0;         ///< Column subsampling per tree.
+  std::uint64_t seed = 7;         ///< Subsampling determinism.
+};
+
+/// Boosted-tree regressor for squared error.
+class GbtRegressor {
+ public:
+  explicit GbtRegressor(const GbtParams& params = {});
+
+  /// Fits on feature rows `x` (equal length >= 1) and targets `y`.
+  void Fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y);
+
+  /// Predicts a single row (must match the fitted dimensionality).
+  double Predict(std::span<const double> row) const;
+
+  /// Number of trees actually grown (can be < num_trees if boosting stalls).
+  std::size_t tree_count() const { return trees_.size(); }
+
+  /// True after a successful Fit.
+  bool fitted() const { return fitted_; }
+
+  /// Serialises the fitted model to a line-oriented text format (base score,
+  /// then one line per node: tree index, feature, threshold, children,
+  /// value). Stable across platforms; requires fitted().
+  std::string Serialise() const;
+
+  /// Reconstructs a model from Serialise() output. Returns false (leaving
+  /// the model unfitted) on malformed input.
+  bool Deserialise(const std::string& text);
+
+ private:
+  struct Node {
+    int feature = -1;         ///< Split feature; -1 marks a leaf.
+    double threshold = 0.0;   ///< Goes left when row[feature] < threshold.
+    int left = -1;
+    int right = -1;
+    double value = 0.0;       ///< Leaf weight (already shrunk).
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    double Predict(std::span<const double> row) const;
+  };
+
+  GbtParams params_;
+  double base_score_ = 0.0;
+  std::vector<Tree> trees_;
+  bool fitted_ = false;
+};
+
+}  // namespace navarchos::detect
+
+#endif  // NAVARCHOS_DETECT_GBT_H_

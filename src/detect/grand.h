@@ -1,0 +1,90 @@
+// Grand inductive deviation detection (paper §3.4).
+//
+// Follows Rognvaldsson et al. (DMKD 2018) in the "self" strategy the paper
+// uses: normality is defined by a reference period of the *same* vehicle
+// rather than the rest of the fleet. The pipeline is
+//   1. a non-conformity measure (NCM) turns a sample into a strangeness
+//      value relative to Ref: distance to the Ref median, average kNN
+//      distance within Ref, or LOF against Ref;
+//   2. the strangeness is converted to a conformal p-value against the
+//      strangeness distribution of Ref itself;
+//   3. consecutive p-values feed an exchangeability power martingale (Dai &
+//      Bouguelia, 2020): sustained small p-values grow the martingale, and
+//      the emitted deviation score is the martingale normalised to [0, 1).
+// The deviation score is thresholded with a constant (the paper's protocol
+// for Grand, the only technique with probability-like scores).
+#ifndef NAVARCHOS_DETECT_GRAND_H_
+#define NAVARCHOS_DETECT_GRAND_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/detector.h"
+#include "neighbors/lof.h"
+#include "transform/standardizer.h"
+#include "util/rng.h"
+
+namespace navarchos::detect {
+
+/// Non-conformity measures supported by Grand.
+enum class GrandNcm : int {
+  kMedian = 0,  ///< Distance to the feature-wise median of Ref.
+  kKnn = 1,     ///< Average distance to the k nearest neighbours in Ref.
+  kLof = 2,     ///< Local outlier factor against Ref.
+};
+
+/// Display name of an NCM.
+const char* GrandNcmName(GrandNcm ncm);
+
+/// Martingale variants for the exchangeability test (Dai & Bouguelia 2020).
+enum class GrandMartingale : int {
+  kPower = 0,    ///< M *= epsilon * p^(epsilon-1) for a fixed epsilon.
+  kMixture = 1,  ///< Integral of the power martingale over epsilon in (0,1).
+};
+
+/// Configuration of the Grand detector.
+struct GrandConfig {
+  GrandNcm ncm = GrandNcm::kKnn;
+  GrandMartingale martingale = GrandMartingale::kPower;
+  int k = 10;               ///< Neighbourhood size for kNN / LOF.
+  double epsilon = 0.92;    ///< Power-martingale betting exponent in (0, 1).
+  /// The martingale's log value is clamped at 0 from below so that long
+  /// healthy stretches cannot build "credit" that masks later deviations.
+  bool clamp_martingale = true;
+};
+
+/// Grand inductive anomaly detector (single score channel in [0, 1)).
+class GrandDetector : public Detector {
+ public:
+  explicit GrandDetector(const GrandConfig& config = {});
+
+  std::string Name() const override { return "grand"; }
+  void Fit(const std::vector<std::vector<double>>& ref) override;
+  std::vector<double> Score(const std::vector<double>& sample) override;
+  std::size_t ScoreChannels() const override { return 1; }
+  std::vector<std::string> ChannelNames() const override { return {"deviation"}; }
+  bool ScoresAreProbabilities() const override { return true; }
+  std::size_t MinReferenceSize() const override;
+
+  /// Conformal p-value of the last scored sample (for tests/diagnostics).
+  double last_p_value() const { return last_p_value_; }
+
+ private:
+  double Strangeness(const std::vector<double>& standardized) const;
+
+  GrandConfig config_;
+  transform::Standardizer standardizer_;
+  std::vector<std::vector<double>> ref_standardized_;
+  std::vector<double> ref_strangeness_sorted_;
+  std::vector<double> median_;
+  std::unique_ptr<neighbors::LofModel> lof_;
+  std::unique_ptr<neighbors::KnnIndex> knn_;
+  double log_martingale_ = 0.0;
+  double last_p_value_ = 1.0;
+  util::Rng tie_rng_{0xC0FFEE};  ///< Deterministic tie-breaking stream.
+};
+
+}  // namespace navarchos::detect
+
+#endif  // NAVARCHOS_DETECT_GRAND_H_

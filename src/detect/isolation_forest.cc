@@ -1,0 +1,132 @@
+#include "detect/isolation_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace navarchos::detect {
+
+double AveragePathLength(int n) {
+  if (n <= 1) return 0.0;
+  const double dn = static_cast<double>(n);
+  const double harmonic = std::log(dn - 1.0) + 0.5772156649015329;  // H(n-1)
+  return 2.0 * harmonic - 2.0 * (dn - 1.0) / dn;
+}
+
+IsolationForestDetector::IsolationForestDetector(const IsolationForestParams& params)
+    : params_(params) {
+  NAVARCHOS_CHECK(params_.num_trees >= 1);
+  NAVARCHOS_CHECK(params_.subsample >= 2);
+}
+
+int IsolationForestDetector::BuildNode(Tree& tree,
+                                       const std::vector<std::vector<double>>& points,
+                                       std::vector<int>& indices, int begin, int end,
+                                       int depth, int depth_limit, util::Rng& rng) {
+  const int node_id = static_cast<int>(tree.nodes.size());
+  tree.nodes.push_back({});
+  const int count = end - begin;
+  if (count <= 1 || depth >= depth_limit) {
+    tree.nodes[static_cast<std::size_t>(node_id)].size = count;
+    return node_id;
+  }
+
+  // Pick a feature with spread, then a split point within its range.
+  const std::size_t dims = points.front().size();
+  int feature = -1;
+  double lo = 0.0, hi = 0.0;
+  for (int attempt = 0; attempt < 8 && feature < 0; ++attempt) {
+    const int candidate =
+        static_cast<int>(rng.UniformInt(0, static_cast<std::int64_t>(dims) - 1));
+    lo = hi = points[static_cast<std::size_t>(indices[static_cast<std::size_t>(begin)])]
+                    [static_cast<std::size_t>(candidate)];
+    for (int i = begin + 1; i < end; ++i) {
+      const double v = points[static_cast<std::size_t>(indices[static_cast<std::size_t>(i)])]
+                             [static_cast<std::size_t>(candidate)];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi > lo) feature = candidate;
+  }
+  if (feature < 0) {  // all candidate features constant in this node
+    tree.nodes[static_cast<std::size_t>(node_id)].size = count;
+    return node_id;
+  }
+  const double threshold = rng.Uniform(lo, hi);
+
+  // Partition indices in place.
+  int mid = begin;
+  for (int i = begin; i < end; ++i) {
+    const double v = points[static_cast<std::size_t>(indices[static_cast<std::size_t>(i)])]
+                           [static_cast<std::size_t>(feature)];
+    if (v < threshold) std::swap(indices[static_cast<std::size_t>(i)],
+                                 indices[static_cast<std::size_t>(mid++)]);
+  }
+  if (mid == begin || mid == end) {  // degenerate split (ties at threshold)
+    tree.nodes[static_cast<std::size_t>(node_id)].size = count;
+    return node_id;
+  }
+
+  const int left = BuildNode(tree, points, indices, begin, mid, depth + 1,
+                             depth_limit, rng);
+  const int right = BuildNode(tree, points, indices, mid, end, depth + 1,
+                              depth_limit, rng);
+  Node& node = tree.nodes[static_cast<std::size_t>(node_id)];
+  node.feature = feature;
+  node.threshold = threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+void IsolationForestDetector::Fit(const std::vector<std::vector<double>>& ref) {
+  NAVARCHOS_CHECK(ref.size() >= MinReferenceSize());
+  standardizer_.Fit(ref);
+  const auto z = standardizer_.ApplyAll(ref);
+
+  const int psi = std::min<int>(params_.subsample, static_cast<int>(z.size()));
+  const int depth_limit =
+      static_cast<int>(std::ceil(std::log2(std::max(2, psi)))) + 2;
+  expected_path_ = AveragePathLength(psi);
+
+  util::Rng rng(params_.seed);
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(params_.num_trees));
+  std::vector<int> all(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) all[i] = static_cast<int>(i);
+  for (int t = 0; t < params_.num_trees; ++t) {
+    // Subsample without replacement.
+    std::vector<int> indices = all;
+    rng.Shuffle(indices);
+    indices.resize(static_cast<std::size_t>(psi));
+    Tree tree;
+    BuildNode(tree, z, indices, 0, psi, 0, depth_limit, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double IsolationForestDetector::PathLength(const Tree& tree,
+                                           const std::vector<double>& sample) const {
+  int node_id = 0;
+  double depth = 0.0;
+  while (true) {
+    const Node& node = tree.nodes[static_cast<std::size_t>(node_id)];
+    if (node.feature < 0) return depth + AveragePathLength(node.size);
+    node_id = sample[static_cast<std::size_t>(node.feature)] < node.threshold
+                  ? node.left
+                  : node.right;
+    depth += 1.0;
+  }
+}
+
+std::vector<double> IsolationForestDetector::Score(const std::vector<double>& sample) {
+  NAVARCHOS_CHECK(!trees_.empty());
+  const std::vector<double> z = standardizer_.Apply(sample);
+  double total = 0.0;
+  for (const Tree& tree : trees_) total += PathLength(tree, z);
+  const double mean_path = total / static_cast<double>(trees_.size());
+  return {std::pow(2.0, -mean_path / std::max(1e-9, expected_path_))};
+}
+
+}  // namespace navarchos::detect

@@ -1,0 +1,65 @@
+#include "detect/knn_distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/statistics.h"
+
+namespace navarchos::detect {
+
+KnnDistanceDetector::KnnDistanceDetector(int k) : k_(k) { NAVARCHOS_CHECK(k_ >= 1); }
+
+void KnnDistanceDetector::Fit(const std::vector<std::vector<double>>& ref) {
+  NAVARCHOS_CHECK(ref.size() >= MinReferenceSize());
+  standardizer_.Fit(ref);
+  reference_ = standardizer_.ApplyAll(ref);
+  index_ = std::make_unique<neighbors::KnnIndex>(reference_);
+}
+
+double KnnDistanceDetector::MeanNeighbourDistance(std::span<const double> standardized,
+                                                  std::ptrdiff_t exclude_lo,
+                                                  std::ptrdiff_t exclude_hi) const {
+  // Linear scan with a temporal exclusion interval (used by self-
+  // calibration; live queries exclude nothing).
+  std::vector<double> distances;
+  distances.reserve(reference_.size());
+  for (std::size_t i = 0; i < reference_.size(); ++i) {
+    const auto index = static_cast<std::ptrdiff_t>(i);
+    if (index >= exclude_lo && index <= exclude_hi) continue;
+    distances.push_back(util::EuclideanDistance(reference_[i], standardized));
+  }
+  if (distances.empty()) return 0.0;
+  const std::size_t take = std::min<std::size_t>(static_cast<std::size_t>(k_),
+                                                 distances.size());
+  std::nth_element(distances.begin(),
+                   distances.begin() + static_cast<std::ptrdiff_t>(take - 1),
+                   distances.end());
+  double total = 0.0;
+  for (std::size_t i = 0; i < take; ++i) total += distances[i];
+  return total / static_cast<double>(take);
+}
+
+std::vector<double> KnnDistanceDetector::Score(const std::vector<double>& sample) {
+  NAVARCHOS_CHECK(index_ != nullptr);
+  const std::vector<double> z = standardizer_.Apply(sample);
+  const auto hits = index_->Query(z, k_);
+  double total = 0.0;
+  for (const auto& hit : hits) total += hit.distance;
+  return {total / static_cast<double>(hits.size())};
+}
+
+std::vector<std::vector<double>> KnnDistanceDetector::SelfCalibrationScores(
+    int exclusion_radius) const {
+  if (reference_.empty()) return {};
+  std::vector<std::vector<double>> scores;
+  scores.reserve(reference_.size());
+  for (std::size_t i = 0; i < reference_.size(); ++i) {
+    const auto index = static_cast<std::ptrdiff_t>(i);
+    scores.push_back({MeanNeighbourDistance(reference_[i], index - exclusion_radius,
+                                            index + exclusion_radius)});
+  }
+  return scores;
+}
+
+}  // namespace navarchos::detect

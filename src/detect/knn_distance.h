@@ -1,0 +1,48 @@
+// Multivariate kNN-distance detector: the "simple distance-based technique"
+// the paper's §2 exploration shows failing on raw data. Included as the
+// honest straw-man baseline - its score is the mean Euclidean distance from
+// the (standardised) sample to its k nearest neighbours in Ref, thresholded
+// with the same self-tuning rule as the other detectors.
+#ifndef NAVARCHOS_DETECT_KNN_DISTANCE_H_
+#define NAVARCHOS_DETECT_KNN_DISTANCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/detector.h"
+#include "neighbors/knn.h"
+#include "transform/standardizer.h"
+
+namespace navarchos::detect {
+
+/// Mean-kNN-distance detector (single score channel).
+class KnnDistanceDetector : public Detector {
+ public:
+  explicit KnnDistanceDetector(int k = 5);
+
+  std::string Name() const override { return "knn_distance"; }
+  void Fit(const std::vector<std::vector<double>>& ref) override;
+  std::vector<double> Score(const std::vector<double>& sample) override;
+  std::size_t ScoreChannels() const override { return 1; }
+  std::vector<std::string> ChannelNames() const override { return {"knn_distance"}; }
+  std::size_t MinReferenceSize() const override {
+    return static_cast<std::size_t>(k_) + 2;
+  }
+  std::vector<std::vector<double>> SelfCalibrationScores(
+      int exclusion_radius) const override;
+
+ private:
+  double MeanNeighbourDistance(std::span<const double> standardized,
+                               std::ptrdiff_t exclude_lo,
+                               std::ptrdiff_t exclude_hi) const;
+
+  int k_;
+  transform::Standardizer standardizer_;
+  std::vector<std::vector<double>> reference_;  ///< Standardised, time order.
+  std::unique_ptr<neighbors::KnnIndex> index_;
+};
+
+}  // namespace navarchos::detect
+
+#endif  // NAVARCHOS_DETECT_KNN_DISTANCE_H_

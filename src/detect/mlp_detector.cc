@@ -1,0 +1,95 @@
+#include "detect/mlp_detector.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace navarchos::detect {
+
+MlpDetector::MlpDetector(const MlpParams& params, std::vector<std::string> feature_names)
+    : params_(params), feature_names_(std::move(feature_names)) {
+  NAVARCHOS_CHECK(params_.hidden >= 1);
+  NAVARCHOS_CHECK(params_.epochs >= 1);
+}
+
+std::vector<double> MlpDetector::InputsExcluding(const std::vector<double>& sample,
+                                                 std::size_t excluded) {
+  std::vector<double> row;
+  row.reserve(sample.size() - 1);
+  for (std::size_t d = 0; d < sample.size(); ++d)
+    if (d != excluded) row.push_back(sample[d]);
+  return row;
+}
+
+double MlpDetector::Predict(Model& model, const std::vector<double>& inputs) const {
+  nn::Matrix x(1, inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) x.At(0, i) = inputs[i];
+  const nn::Matrix hidden = model.relu->Forward(model.layer1->Forward(x));
+  return model.layer2->Forward(hidden).At(0, 0);
+}
+
+void MlpDetector::Fit(const std::vector<std::vector<double>>& ref) {
+  NAVARCHOS_CHECK(ref.size() >= MinReferenceSize());
+  const std::size_t dims = ref.front().size();
+  NAVARCHOS_CHECK(dims >= 2);
+  standardizer_.Fit(ref);
+  const auto z = standardizer_.ApplyAll(ref);
+
+  models_.clear();
+  models_.resize(dims);
+  util::Rng init_rng(params_.seed);
+  util::Rng shuffle_rng(params_.seed ^ 0xABCDu);
+  for (std::size_t target = 0; target < dims; ++target) {
+    Model& model = models_[target];
+    model.layer1 = std::make_unique<nn::Linear>(static_cast<int>(dims) - 1,
+                                                params_.hidden, init_rng);
+    model.relu = std::make_unique<nn::Relu>();
+    model.layer2 = std::make_unique<nn::Linear>(params_.hidden, 1, init_rng);
+
+    std::vector<std::size_t> order(z.size());
+    std::iota(order.begin(), order.end(), 0);
+    for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+      shuffle_rng.Shuffle(order);
+      for (std::size_t i : order) {
+        const std::vector<double> inputs = InputsExcluding(z[i], target);
+        nn::Matrix x(1, inputs.size());
+        for (std::size_t d = 0; d < inputs.size(); ++d) x.At(0, d) = inputs[d];
+
+        model.layer1->ZeroGrad();
+        model.layer2->ZeroGrad();
+        const nn::Matrix h = model.relu->Forward(model.layer1->Forward(x));
+        const nn::Matrix y = model.layer2->Forward(h);
+        nn::Matrix target_value(1, 1);
+        target_value.At(0, 0) = z[i][target];
+        const nn::Matrix grad = nn::MseGrad(y, target_value, 1.0);
+        model.layer1->Backward(model.relu->Backward(model.layer2->Backward(grad)));
+        ++model.steps;
+        model.layer1->AdamStep(model.steps, params_.lr);
+        model.layer2->AdamStep(model.steps, params_.lr);
+      }
+    }
+  }
+}
+
+std::vector<double> MlpDetector::Score(const std::vector<double>& sample) {
+  NAVARCHOS_CHECK(!models_.empty());
+  const std::vector<double> z = standardizer_.Apply(sample);
+  std::vector<double> scores(models_.size());
+  for (std::size_t target = 0; target < models_.size(); ++target) {
+    const double prediction = Predict(models_[target], InputsExcluding(z, target));
+    scores[target] = std::fabs(prediction - z[target]);
+  }
+  return scores;
+}
+
+std::vector<std::string> MlpDetector::ChannelNames() const {
+  if (!feature_names_.empty()) return feature_names_;
+  std::vector<std::string> names;
+  for (std::size_t d = 0; d < models_.size(); ++d)
+    names.push_back("f" + std::to_string(d));
+  return names;
+}
+
+}  // namespace navarchos::detect

@@ -1,0 +1,63 @@
+// MLP regression detector, after Massaro et al. (IoT 2020), discussed in the
+// paper's related work (§5): a multi-layer perceptron is trained on healthy
+// data to regress one signal from the others; the prediction loss acts as
+// the anomaly score. This implementation generalises the scheme the way the
+// paper's XGBoost instantiation does - one regressor per feature, so alarms
+// remain feature-attributable - and reuses the library's neural layers.
+#ifndef NAVARCHOS_DETECT_MLP_DETECTOR_H_
+#define NAVARCHOS_DETECT_MLP_DETECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/nn/layers.h"
+#include "transform/standardizer.h"
+
+namespace navarchos::detect {
+
+/// MLP hyper-parameters.
+struct MlpParams {
+  int hidden = 32;
+  int epochs = 40;
+  double lr = 2e-3;
+  std::uint64_t seed = 23;
+};
+
+/// Per-feature MLP regression-error detector.
+class MlpDetector : public Detector {
+ public:
+  explicit MlpDetector(const MlpParams& params = {},
+                       std::vector<std::string> feature_names = {});
+
+  std::string Name() const override { return "mlp"; }
+  void Fit(const std::vector<std::vector<double>>& ref) override;
+  std::vector<double> Score(const std::vector<double>& sample) override;
+  std::size_t ScoreChannels() const override { return models_.size(); }
+  std::vector<std::string> ChannelNames() const override;
+  std::size_t MinReferenceSize() const override { return 16; }
+
+ private:
+  /// One two-layer regressor: in -> hidden -> 1.
+  struct Model {
+    std::unique_ptr<nn::Linear> layer1;
+    std::unique_ptr<nn::Relu> relu;
+    std::unique_ptr<nn::Linear> layer2;
+    int steps = 0;
+  };
+
+  static std::vector<double> InputsExcluding(const std::vector<double>& sample,
+                                             std::size_t excluded);
+  double Predict(Model& model, const std::vector<double>& inputs) const;
+
+  MlpParams params_;
+  std::vector<std::string> feature_names_;
+  std::vector<Model> models_;
+  transform::Standardizer standardizer_;
+};
+
+}  // namespace navarchos::detect
+
+#endif  // NAVARCHOS_DETECT_MLP_DETECTOR_H_

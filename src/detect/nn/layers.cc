@@ -1,0 +1,322 @@
+#include "detect/nn/layers.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace navarchos::detect::nn {
+
+void AdamUpdate(std::vector<double>& params, std::vector<double>& grads,
+                AdamBuffers& buffers, int step, double lr, double beta1,
+                double beta2, double eps) {
+  NAVARCHOS_CHECK(params.size() == grads.size());
+  if (buffers.m.size() != params.size()) {
+    buffers.m.assign(params.size(), 0.0);
+    buffers.v.assign(params.size(), 0.0);
+  }
+  const double bc1 = 1.0 - std::pow(beta1, step);
+  const double bc2 = 1.0 - std::pow(beta2, step);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    buffers.m[i] = beta1 * buffers.m[i] + (1.0 - beta1) * grads[i];
+    buffers.v[i] = beta2 * buffers.v[i] + (1.0 - beta2) * grads[i] * grads[i];
+    const double mhat = buffers.m[i] / bc1;
+    const double vhat = buffers.v[i] / bc2;
+    params[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+// ---------------------------------------------------------------- Linear --
+
+Linear::Linear(int in_dim, int out_dim, util::Rng& rng)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  NAVARCHOS_CHECK(in_dim_ > 0 && out_dim_ > 0);
+  const double scale = std::sqrt(2.0 / static_cast<double>(in_dim_ + out_dim_));
+  w_.resize(static_cast<std::size_t>(in_dim_) * static_cast<std::size_t>(out_dim_));
+  for (double& value : w_) value = rng.Gaussian(0.0, scale);
+  b_.assign(static_cast<std::size_t>(out_dim_), 0.0);
+  gw_.assign(w_.size(), 0.0);
+  gb_.assign(b_.size(), 0.0);
+}
+
+Matrix Linear::Forward(const Matrix& x) {
+  NAVARCHOS_CHECK(static_cast<int>(x.cols()) == in_dim_);
+  cached_input_ = x;
+  Matrix y(x.rows(), static_cast<std::size_t>(out_dim_));
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.Row(r);
+    auto out = y.Row(r);
+    for (int o = 0; o < out_dim_; ++o) out[static_cast<std::size_t>(o)] = b_[static_cast<std::size_t>(o)];
+    for (int i = 0; i < in_dim_; ++i) {
+      const double xi = row[static_cast<std::size_t>(i)];
+      if (xi == 0.0) continue;
+      const double* wrow = &w_[static_cast<std::size_t>(i) * static_cast<std::size_t>(out_dim_)];
+      for (int o = 0; o < out_dim_; ++o) out[static_cast<std::size_t>(o)] += xi * wrow[o];
+    }
+  }
+  return y;
+}
+
+Matrix Linear::Backward(const Matrix& grad_out) {
+  NAVARCHOS_CHECK(static_cast<int>(grad_out.cols()) == out_dim_);
+  NAVARCHOS_CHECK(grad_out.rows() == cached_input_.rows());
+  Matrix grad_in(cached_input_.rows(), static_cast<std::size_t>(in_dim_));
+  for (std::size_t r = 0; r < grad_out.rows(); ++r) {
+    const auto gout = grad_out.Row(r);
+    const auto xin = cached_input_.Row(r);
+    auto gin = grad_in.Row(r);
+    for (int o = 0; o < out_dim_; ++o) gb_[static_cast<std::size_t>(o)] += gout[static_cast<std::size_t>(o)];
+    for (int i = 0; i < in_dim_; ++i) {
+      const double xi = xin[static_cast<std::size_t>(i)];
+      double* gwrow = &gw_[static_cast<std::size_t>(i) * static_cast<std::size_t>(out_dim_)];
+      const double* wrow = &w_[static_cast<std::size_t>(i) * static_cast<std::size_t>(out_dim_)];
+      double acc = 0.0;
+      for (int o = 0; o < out_dim_; ++o) {
+        const double g = gout[static_cast<std::size_t>(o)];
+        gwrow[o] += xi * g;
+        acc += wrow[o] * g;
+      }
+      gin[static_cast<std::size_t>(i)] = acc;
+    }
+  }
+  return grad_in;
+}
+
+void Linear::ZeroGrad() {
+  std::fill(gw_.begin(), gw_.end(), 0.0);
+  std::fill(gb_.begin(), gb_.end(), 0.0);
+}
+
+void Linear::AdamStep(int step, double lr) {
+  AdamUpdate(w_, gw_, adam_w_, step, lr);
+  AdamUpdate(b_, gb_, adam_b_, step, lr);
+}
+
+// ------------------------------------------------------------------ Relu --
+
+Matrix Relu::Forward(const Matrix& x) {
+  cached_input_ = x;
+  Matrix y = x;
+  for (double& value : y.Data())
+    if (value < 0.0) value = 0.0;
+  return y;
+}
+
+Matrix Relu::Backward(const Matrix& grad_out) {
+  Matrix grad_in = grad_out;
+  auto gin = grad_in.Data();
+  const auto xin = cached_input_.Data();
+  for (std::size_t i = 0; i < gin.size(); ++i)
+    if (xin[i] <= 0.0) gin[i] = 0.0;
+  return grad_in;
+}
+
+// ------------------------------------------------------------- LayerNorm --
+
+LayerNorm::LayerNorm(int dim) : dim_(dim) {
+  NAVARCHOS_CHECK(dim_ > 0);
+  gamma_.assign(static_cast<std::size_t>(dim_), 1.0);
+  beta_.assign(static_cast<std::size_t>(dim_), 0.0);
+  g_gamma_.assign(gamma_.size(), 0.0);
+  g_beta_.assign(beta_.size(), 0.0);
+}
+
+Matrix LayerNorm::Forward(const Matrix& x) {
+  NAVARCHOS_CHECK(static_cast<int>(x.cols()) == dim_);
+  cached_norm_ = Matrix(x.rows(), x.cols());
+  cached_inv_sd_.resize(x.rows());
+  Matrix y(x.rows(), x.cols());
+  const double dn = static_cast<double>(dim_);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.Row(r);
+    double mean = 0.0;
+    for (double value : row) mean += value;
+    mean /= dn;
+    double variance = 0.0;
+    for (double value : row) variance += (value - mean) * (value - mean);
+    variance /= dn;
+    const double inv_sd = 1.0 / std::sqrt(variance + 1e-6);
+    cached_inv_sd_[r] = inv_sd;
+    auto norm = cached_norm_.Row(r);
+    auto out = y.Row(r);
+    for (int c = 0; c < dim_; ++c) {
+      norm[static_cast<std::size_t>(c)] = (row[static_cast<std::size_t>(c)] - mean) * inv_sd;
+      out[static_cast<std::size_t>(c)] =
+          norm[static_cast<std::size_t>(c)] * gamma_[static_cast<std::size_t>(c)] +
+          beta_[static_cast<std::size_t>(c)];
+    }
+  }
+  return y;
+}
+
+Matrix LayerNorm::Backward(const Matrix& grad_out) {
+  NAVARCHOS_CHECK(grad_out.rows() == cached_norm_.rows());
+  Matrix grad_in(grad_out.rows(), grad_out.cols());
+  const double dn = static_cast<double>(dim_);
+  for (std::size_t r = 0; r < grad_out.rows(); ++r) {
+    const auto gout = grad_out.Row(r);
+    const auto norm = cached_norm_.Row(r);
+    auto gin = grad_in.Row(r);
+    // d/dnorm and the two coupling sums of the layer-norm backward formula.
+    double sum_gnorm = 0.0;
+    double sum_gnorm_norm = 0.0;
+    for (int c = 0; c < dim_; ++c) {
+      const double gnorm = gout[static_cast<std::size_t>(c)] * gamma_[static_cast<std::size_t>(c)];
+      sum_gnorm += gnorm;
+      sum_gnorm_norm += gnorm * norm[static_cast<std::size_t>(c)];
+      g_gamma_[static_cast<std::size_t>(c)] +=
+          gout[static_cast<std::size_t>(c)] * norm[static_cast<std::size_t>(c)];
+      g_beta_[static_cast<std::size_t>(c)] += gout[static_cast<std::size_t>(c)];
+    }
+    const double inv_sd = cached_inv_sd_[r];
+    for (int c = 0; c < dim_; ++c) {
+      const double gnorm = gout[static_cast<std::size_t>(c)] * gamma_[static_cast<std::size_t>(c)];
+      gin[static_cast<std::size_t>(c)] =
+          inv_sd * (gnorm - sum_gnorm / dn -
+                    norm[static_cast<std::size_t>(c)] * sum_gnorm_norm / dn);
+    }
+  }
+  return grad_in;
+}
+
+void LayerNorm::ZeroGrad() {
+  std::fill(g_gamma_.begin(), g_gamma_.end(), 0.0);
+  std::fill(g_beta_.begin(), g_beta_.end(), 0.0);
+}
+
+void LayerNorm::AdamStep(int step, double lr) {
+  AdamUpdate(gamma_, g_gamma_, adam_gamma_, step, lr);
+  AdamUpdate(beta_, g_beta_, adam_beta_, step, lr);
+}
+
+// --------------------------------------------------------- SelfAttention --
+
+SelfAttention::SelfAttention(int dim, util::Rng& rng)
+    : dim_(dim),
+      wq_(dim, dim, rng),
+      wk_(dim, dim, rng),
+      wv_(dim, dim, rng),
+      wo_(dim, dim, rng) {}
+
+Matrix SelfAttention::Forward(const Matrix& x) {
+  cached_q_ = wq_.Forward(x);
+  cached_k_ = wk_.Forward(x);
+  cached_v_ = wv_.Forward(x);
+  const std::size_t length = x.rows();
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim_));
+
+  cached_attn_ = Matrix(length, length);
+  for (std::size_t i = 0; i < length; ++i) {
+    double max_logit = -1e300;
+    std::vector<double> logits(length);
+    for (std::size_t j = 0; j < length; ++j) {
+      double dot = 0.0;
+      const auto qi = cached_q_.Row(i);
+      const auto kj = cached_k_.Row(j);
+      for (int c = 0; c < dim_; ++c)
+        dot += qi[static_cast<std::size_t>(c)] * kj[static_cast<std::size_t>(c)];
+      logits[j] = dot * scale;
+      max_logit = std::max(max_logit, logits[j]);
+    }
+    double denom = 0.0;
+    for (std::size_t j = 0; j < length; ++j) {
+      logits[j] = std::exp(logits[j] - max_logit);
+      denom += logits[j];
+    }
+    for (std::size_t j = 0; j < length; ++j) cached_attn_.At(i, j) = logits[j] / denom;
+  }
+
+  Matrix context = cached_attn_.MatMul(cached_v_);
+  return wo_.Forward(context);
+}
+
+Matrix SelfAttention::Backward(const Matrix& grad_out) {
+  const std::size_t length = cached_q_.rows();
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim_));
+
+  const Matrix grad_context = wo_.Backward(grad_out);
+
+  // dV = A^T dContext; dA = dContext V^T.
+  Matrix grad_v = cached_attn_.Transposed().MatMul(grad_context);
+  Matrix grad_attn = grad_context.MatMul(cached_v_.Transposed());
+
+  // Softmax backward per row: dS_ij = A_ij (dA_ij - sum_k dA_ik A_ik).
+  Matrix grad_scores(length, length);
+  for (std::size_t i = 0; i < length; ++i) {
+    double dot = 0.0;
+    for (std::size_t j = 0; j < length; ++j)
+      dot += grad_attn.At(i, j) * cached_attn_.At(i, j);
+    for (std::size_t j = 0; j < length; ++j) {
+      grad_scores.At(i, j) = cached_attn_.At(i, j) * (grad_attn.At(i, j) - dot);
+    }
+  }
+
+  // dQ = dS K * scale; dK = dS^T Q * scale.
+  Matrix grad_q = grad_scores.MatMul(cached_k_);
+  Matrix grad_k = grad_scores.Transposed().MatMul(cached_q_);
+  for (double& value : grad_q.Data()) value *= scale;
+  for (double& value : grad_k.Data()) value *= scale;
+
+  Matrix grad_x = wq_.Backward(grad_q);
+  const Matrix grad_x_k = wk_.Backward(grad_k);
+  const Matrix grad_x_v = wv_.Backward(grad_v);
+  auto gx = grad_x.Data();
+  const auto gk = grad_x_k.Data();
+  const auto gv = grad_x_v.Data();
+  for (std::size_t i = 0; i < gx.size(); ++i) gx[i] += gk[i] + gv[i];
+  return grad_x;
+}
+
+void SelfAttention::ZeroGrad() {
+  wq_.ZeroGrad();
+  wk_.ZeroGrad();
+  wv_.ZeroGrad();
+  wo_.ZeroGrad();
+}
+
+void SelfAttention::AdamStep(int step, double lr) {
+  wq_.AdamStep(step, lr);
+  wk_.AdamStep(step, lr);
+  wv_.AdamStep(step, lr);
+  wo_.AdamStep(step, lr);
+}
+
+// --------------------------------------------------------------- Helpers --
+
+Matrix SinusoidalPositionalEncoding(int length, int dim) {
+  Matrix pe(static_cast<std::size_t>(length), static_cast<std::size_t>(dim));
+  for (int pos = 0; pos < length; ++pos) {
+    for (int i = 0; i < dim; ++i) {
+      const double rate =
+          std::pow(10000.0, -2.0 * static_cast<double>(i / 2) / static_cast<double>(dim));
+      const double angle = static_cast<double>(pos) * rate;
+      pe.At(static_cast<std::size_t>(pos), static_cast<std::size_t>(i)) =
+          (i % 2 == 0) ? std::sin(angle) : std::cos(angle);
+    }
+  }
+  return pe;
+}
+
+double MseLoss(const Matrix& prediction, const Matrix& target) {
+  NAVARCHOS_CHECK(prediction.rows() == target.rows());
+  NAVARCHOS_CHECK(prediction.cols() == target.cols());
+  const auto p = prediction.Data();
+  const auto t = target.Data();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double d = p[i] - t[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(p.size());
+}
+
+Matrix MseGrad(const Matrix& prediction, const Matrix& target, double weight) {
+  Matrix grad(prediction.rows(), prediction.cols());
+  const auto p = prediction.Data();
+  const auto t = target.Data();
+  auto g = grad.Data();
+  const double scale = 2.0 * weight / static_cast<double>(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) g[i] = scale * (p[i] - t[i]);
+  return grad;
+}
+
+}  // namespace navarchos::detect::nn

@@ -1,0 +1,128 @@
+// Minimal neural-network layers with explicit backpropagation.
+//
+// Purpose-built for the TranAD reconstruction detector: dense layers, layer
+// normalisation, ReLU, single-head self-attention and the Adam optimiser.
+// All activations are util::Matrix with shape (sequence length x feature
+// dim); batching is one window per step, which is ample for reference
+// profiles of a few thousand samples.
+//
+// Each layer caches what its backward pass needs; call Forward, then
+// Backward with the loss gradient, then AdamStep. Gradients accumulate
+// until ZeroGrad().
+#ifndef NAVARCHOS_DETECT_NN_LAYERS_H_
+#define NAVARCHOS_DETECT_NN_LAYERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/rng.h"
+
+namespace navarchos::detect::nn {
+
+using util::Matrix;
+
+/// Adam moment buffers for one parameter array.
+struct AdamBuffers {
+  std::vector<double> m;
+  std::vector<double> v;
+};
+
+/// One Adam update: params -= lr * mhat / (sqrt(vhat) + eps).
+/// `step` is the 1-based global step count (for bias correction).
+void AdamUpdate(std::vector<double>& params, std::vector<double>& grads,
+                AdamBuffers& buffers, int step, double lr,
+                double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
+
+/// Fully connected layer: y = x W + b, with x of shape (L x in).
+class Linear {
+ public:
+  Linear(int in_dim, int out_dim, util::Rng& rng);
+
+  Matrix Forward(const Matrix& x);
+  /// Accumulates weight/bias grads; returns dL/dx.
+  Matrix Backward(const Matrix& grad_out);
+  void ZeroGrad();
+  void AdamStep(int step, double lr);
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+
+ private:
+  int in_dim_;
+  int out_dim_;
+  std::vector<double> w_;   ///< (in x out), row-major.
+  std::vector<double> b_;   ///< (out).
+  std::vector<double> gw_;
+  std::vector<double> gb_;
+  AdamBuffers adam_w_;
+  AdamBuffers adam_b_;
+  Matrix cached_input_;
+};
+
+/// ReLU activation.
+class Relu {
+ public:
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& grad_out);
+
+ private:
+  Matrix cached_input_;
+};
+
+/// Layer normalisation over the feature dimension of each row.
+class LayerNorm {
+ public:
+  explicit LayerNorm(int dim);
+
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& grad_out);
+  void ZeroGrad();
+  void AdamStep(int step, double lr);
+
+ private:
+  int dim_;
+  std::vector<double> gamma_;
+  std::vector<double> beta_;
+  std::vector<double> g_gamma_;
+  std::vector<double> g_beta_;
+  AdamBuffers adam_gamma_;
+  AdamBuffers adam_beta_;
+  Matrix cached_norm_;        ///< Normalised input (before gamma/beta).
+  std::vector<double> cached_inv_sd_;
+};
+
+/// Single-head scaled dot-product self-attention with output projection.
+class SelfAttention {
+ public:
+  SelfAttention(int dim, util::Rng& rng);
+
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& grad_out);
+  void ZeroGrad();
+  void AdamStep(int step, double lr);
+
+ private:
+  int dim_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+  Matrix cached_q_;
+  Matrix cached_k_;
+  Matrix cached_v_;
+  Matrix cached_attn_;  ///< Softmax attention weights (L x L).
+};
+
+/// Pre-computed sinusoidal positional encoding added to embeddings.
+Matrix SinusoidalPositionalEncoding(int length, int dim);
+
+/// Mean squared error between two equal-shape matrices.
+double MseLoss(const Matrix& prediction, const Matrix& target);
+
+/// Gradient of MseLoss w.r.t. `prediction`, scaled by `weight`.
+Matrix MseGrad(const Matrix& prediction, const Matrix& target, double weight);
+
+}  // namespace navarchos::detect::nn
+
+#endif  // NAVARCHOS_DETECT_NN_LAYERS_H_

@@ -1,0 +1,188 @@
+#include "detect/nn/tranad.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace navarchos::detect::nn {
+TranAdModel::TranAdModel(int feature_dim, const TranAdParams& params)
+    : feature_dim_(feature_dim),
+      params_(params),
+      positional_(SinusoidalPositionalEncoding(params.window, params.d_model)),
+      init_rng_(params.seed ^ 0x72616e4144ull),
+      embed_(2 * feature_dim, params.d_model, init_rng_),
+      attention_(params.d_model, init_rng_),
+      norm1_(params.d_model),
+      ffn1_(params.d_model, params.d_ff, init_rng_),
+      ffn2_(params.d_ff, params.d_model, init_rng_),
+      norm2_(params.d_model),
+      decoder1_(params.d_model, feature_dim, init_rng_),
+      decoder2_(params.d_model, feature_dim, init_rng_) {
+  NAVARCHOS_CHECK(feature_dim_ > 0);
+  NAVARCHOS_CHECK(params_.window >= 2);
+}
+
+Matrix TranAdModel::EncoderForward(const Matrix& window, const Matrix& focus) {
+  NAVARCHOS_CHECK(static_cast<int>(window.rows()) == params_.window);
+  NAVARCHOS_CHECK(static_cast<int>(window.cols()) == feature_dim_);
+
+  // Concatenate window and focus score per position: TranAD's
+  // self-conditioning input.
+  Matrix input(window.rows(), static_cast<std::size_t>(2 * feature_dim_));
+  for (std::size_t r = 0; r < window.rows(); ++r) {
+    for (int c = 0; c < feature_dim_; ++c) {
+      input.At(r, static_cast<std::size_t>(c)) = window.At(r, static_cast<std::size_t>(c));
+      input.At(r, static_cast<std::size_t>(feature_dim_ + c)) =
+          focus.At(r, static_cast<std::size_t>(c));
+    }
+  }
+
+  cached_x_ = embed_.Forward(input);
+  {
+    auto x = cached_x_.Data();
+    const auto pe = positional_.Data();
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] += pe[i];
+  }
+
+  Matrix attn_out = attention_.Forward(cached_x_);
+  {
+    auto a = attn_out.Data();
+    const auto x = cached_x_.Data();
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] += x[i];
+  }
+  cached_x1_ = norm1_.Forward(attn_out);
+
+  Matrix ffn_out = ffn2_.Forward(relu_.Forward(ffn1_.Forward(cached_x1_)));
+  {
+    auto f = ffn_out.Data();
+    const auto x1 = cached_x1_.Data();
+    for (std::size_t i = 0; i < f.size(); ++i) f[i] += x1[i];
+  }
+  return norm2_.Forward(ffn_out);
+}
+
+void TranAdModel::EncoderBackward(const Matrix& grad_hidden) {
+  const Matrix g1 = norm2_.Backward(grad_hidden);
+  Matrix grad_x1 = ffn1_.Backward(relu_.Backward(ffn2_.Backward(g1)));
+  {
+    auto gx1 = grad_x1.Data();
+    const auto g = g1.Data();
+    for (std::size_t i = 0; i < gx1.size(); ++i) gx1[i] += g[i];  // residual
+  }
+  const Matrix g2 = norm1_.Backward(grad_x1);
+  Matrix grad_x = attention_.Backward(g2);
+  {
+    auto gx = grad_x.Data();
+    const auto g = g2.Data();
+    for (std::size_t i = 0; i < gx.size(); ++i) gx[i] += g[i];  // residual
+  }
+  embed_.Backward(grad_x);  // positional encoding is constant
+}
+
+TranAdModel::Outputs TranAdModel::ForwardPhase1(const Matrix& window) {
+  const Matrix focus(window.rows(), window.cols(), 0.0);
+  const Matrix hidden = EncoderForward(window, focus);
+  Outputs outputs;
+  outputs.o1 = decoder1_.Forward(hidden);
+  outputs.o2_hat = decoder2_.Forward(hidden);
+  return outputs;
+}
+
+Matrix TranAdModel::ForwardPhase2(const Matrix& window, const Matrix& focus) {
+  const Matrix hidden = EncoderForward(window, focus);
+  return decoder2_.Forward(hidden);
+}
+
+void TranAdModel::ZeroGrad() {
+  embed_.ZeroGrad();
+  attention_.ZeroGrad();
+  norm1_.ZeroGrad();
+  ffn1_.ZeroGrad();
+  ffn2_.ZeroGrad();
+  norm2_.ZeroGrad();
+  decoder1_.ZeroGrad();
+  decoder2_.ZeroGrad();
+}
+
+void TranAdModel::AdamStep() {
+  ++adam_step_;
+  embed_.AdamStep(adam_step_, params_.lr);
+  attention_.AdamStep(adam_step_, params_.lr);
+  norm1_.AdamStep(adam_step_, params_.lr);
+  ffn1_.AdamStep(adam_step_, params_.lr);
+  ffn2_.AdamStep(adam_step_, params_.lr);
+  norm2_.AdamStep(adam_step_, params_.lr);
+  decoder1_.AdamStep(adam_step_, params_.lr);
+  decoder2_.AdamStep(adam_step_, params_.lr);
+}
+
+void TranAdModel::Train(const std::vector<Matrix>& windows) {
+  NAVARCHOS_CHECK(!windows.empty());
+  util::Rng shuffle_rng(params_.seed ^ 0x5u);
+
+  std::vector<std::size_t> order(windows.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 1; epoch <= params_.epochs; ++epoch) {
+    // Phase weight: starts near 1 (plain reconstruction), decays toward the
+    // self-conditioned objective.
+    const double w1 = std::pow(params_.phase_decay, epoch);
+    shuffle_rng.Shuffle(order);
+    const std::size_t batch = std::min<std::size_t>(
+        order.size(), static_cast<std::size_t>(params_.max_windows_per_epoch));
+    for (std::size_t b = 0; b < batch; ++b) {
+      const Matrix& window = windows[order[b]];
+      ZeroGrad();
+
+      // ---- Phase 1 (focus = 0): both decoders reconstruct. ----
+      const Outputs outputs = ForwardPhase1(window);
+      const Matrix g_o1 = MseGrad(outputs.o1, window, w1);
+      const Matrix g_o2_hat = MseGrad(outputs.o2_hat, window, w1);
+      Matrix grad_hidden = decoder1_.Backward(g_o1);
+      {
+        const Matrix gh2 = decoder2_.Backward(g_o2_hat);
+        auto gh = grad_hidden.Data();
+        const auto g2 = gh2.Data();
+        for (std::size_t i = 0; i < gh.size(); ++i) gh[i] += g2[i];
+      }
+      EncoderBackward(grad_hidden);
+
+      // ---- Phase 2: focus = squared phase-1 error (stop-gradient). ----
+      Matrix focus(window.rows(), window.cols());
+      {
+        auto f = focus.Data();
+        const auto o1 = outputs.o1.Data();
+        const auto w = window.Data();
+        for (std::size_t i = 0; i < f.size(); ++i) {
+          const double d = o1[i] - w[i];
+          f[i] = d * d;
+        }
+      }
+      const Matrix o2 = ForwardPhase2(window, focus);
+      const Matrix g_o2 = MseGrad(o2, window, 1.0 - w1);
+      EncoderBackward(decoder2_.Backward(g_o2));
+
+      AdamStep();
+    }
+  }
+}
+
+double TranAdModel::Score(const Matrix& window) {
+  const Outputs outputs = ForwardPhase1(window);
+  Matrix focus(window.rows(), window.cols());
+  {
+    auto f = focus.Data();
+    const auto o1 = outputs.o1.Data();
+    const auto w = window.Data();
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      const double d = o1[i] - w[i];
+      f[i] = d * d;
+    }
+  }
+  const Matrix o2 = ForwardPhase2(window, focus);
+  return 0.5 * MseLoss(outputs.o1, window) + 0.5 * MseLoss(o2, window);
+}
+
+}  // namespace navarchos::detect::nn

@@ -1,0 +1,105 @@
+#include "detect/threshold.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/statistics.h"
+
+namespace navarchos::detect {
+
+int ThresholdConfig::ResolveBurnIn(int stride_records) const {
+  NAVARCHOS_CHECK(stride_records >= 1);
+  return std::clamp(static_cast<int>(std::lround(burn_in_minutes / stride_records)),
+                    4, 4000);
+}
+
+std::pair<int, int> ThresholdConfig::ResolvePersistence(int stride_records) const {
+  NAVARCHOS_CHECK(stride_records >= 1);
+  NAVARCHOS_CHECK(persistence_fraction > 0.0 && persistence_fraction <= 1.0);
+  const int window = std::clamp(
+      static_cast<int>(std::lround(persistence_minutes / stride_records)), 4, 4000);
+  const int min_violations = std::max(
+      1, static_cast<int>(std::ceil(persistence_fraction * window)));
+  return {window, min_violations};
+}
+
+ThresholdPolicy ThresholdPolicy::SelfTuning(
+    const std::vector<std::vector<double>>& healthy_scores, double factor) {
+  NAVARCHOS_CHECK(!healthy_scores.empty());
+  const std::size_t channels = healthy_scores.front().size();
+  ThresholdPolicy policy;
+  policy.thresholds_.resize(channels);
+  std::vector<double> column(healthy_scores.size());
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t i = 0; i < healthy_scores.size(); ++i) {
+      NAVARCHOS_CHECK(healthy_scores[i].size() == channels);
+      column[i] = healthy_scores[i][c];
+    }
+    const double mean = util::Mean(column);
+    const double sd = util::StdDev(column);
+    policy.thresholds_[c] = mean + factor * sd;
+  }
+  return policy;
+}
+
+ThresholdPolicy ThresholdPolicy::Constant(double value, std::size_t channels) {
+  NAVARCHOS_CHECK(channels >= 1);
+  ThresholdPolicy policy;
+  policy.thresholds_.assign(channels, value);
+  return policy;
+}
+
+PersistenceTracker::PersistenceTracker(int window, int min_count, std::size_t channels)
+    : window_(window), min_count_(min_count), channels_(channels) {
+  NAVARCHOS_CHECK(window_ >= 1);
+  NAVARCHOS_CHECK(min_count_ >= 1 && min_count_ <= window_);
+  Reset();
+}
+
+void PersistenceTracker::Reset() {
+  history_.assign(channels_, std::vector<bool>(static_cast<std::size_t>(window_), false));
+  counts_.assign(channels_, 0);
+  cursor_ = 0;
+  filled_ = 0;
+}
+
+std::vector<bool> PersistenceTracker::Update(const std::vector<bool>& violations) {
+  NAVARCHOS_CHECK(violations.size() == channels_);
+  std::vector<bool> fires(channels_, false);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    auto& ring = history_[c];
+    const std::size_t pos = static_cast<std::size_t>(cursor_);
+    if (ring[pos]) --counts_[c];
+    ring[pos] = violations[c];
+    if (violations[c]) ++counts_[c];
+    fires[c] = counts_[c] >= min_count_;
+  }
+  cursor_ = (cursor_ + 1) % window_;
+  if (filled_ < window_) ++filled_;
+  return fires;
+}
+
+ThresholdPolicy ThresholdPolicy::Explicit(std::vector<double> thresholds) {
+  NAVARCHOS_CHECK(!thresholds.empty());
+  ThresholdPolicy policy;
+  policy.thresholds_ = std::move(thresholds);
+  return policy;
+}
+
+std::optional<std::size_t> ThresholdPolicy::Violation(
+    const std::vector<double>& scores) const {
+  NAVARCHOS_CHECK(scores.size() == thresholds_.size());
+  std::optional<std::size_t> worst;
+  double worst_excess = 0.0;
+  for (std::size_t c = 0; c < scores.size(); ++c) {
+    const double excess = scores[c] - thresholds_[c];
+    if (excess > 0.0 && (!worst || excess > worst_excess)) {
+      worst = c;
+      worst_excess = excess;
+    }
+  }
+  return worst;
+}
+
+}  // namespace navarchos::detect

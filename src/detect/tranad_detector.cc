@@ -1,0 +1,50 @@
+#include "detect/tranad_detector.h"
+
+#include "util/check.h"
+
+namespace navarchos::detect {
+
+TranAdDetector::TranAdDetector(const nn::TranAdParams& params) : params_(params) {}
+
+void TranAdDetector::Fit(const std::vector<std::vector<double>>& ref) {
+  NAVARCHOS_CHECK(ref.size() >= MinReferenceSize());
+  standardizer_.Fit(ref);
+  const auto z = standardizer_.ApplyAll(ref);
+  const int dims = static_cast<int>(z.front().size());
+  const int window = params_.window;
+
+  std::vector<nn::Matrix> windows;
+  windows.reserve(z.size() - static_cast<std::size_t>(window) + 1);
+  for (std::size_t start = 0; start + static_cast<std::size_t>(window) <= z.size();
+       ++start) {
+    nn::Matrix w(static_cast<std::size_t>(window), static_cast<std::size_t>(dims));
+    for (int r = 0; r < window; ++r)
+      for (int c = 0; c < dims; ++c)
+        w.At(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+            z[start + static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+    windows.push_back(std::move(w));
+  }
+
+  model_ = std::make_unique<nn::TranAdModel>(dims, params_);
+  model_->Train(windows);
+  rolling_window_.clear();
+}
+
+std::vector<double> TranAdDetector::Score(const std::vector<double>& sample) {
+  NAVARCHOS_CHECK(model_ != nullptr);
+  rolling_window_.push_back(standardizer_.Apply(sample));
+  if (rolling_window_.size() > static_cast<std::size_t>(params_.window))
+    rolling_window_.pop_front();
+  if (rolling_window_.size() < static_cast<std::size_t>(params_.window)) return {0.0};
+
+  const int dims = static_cast<int>(rolling_window_.front().size());
+  nn::Matrix window(static_cast<std::size_t>(params_.window),
+                    static_cast<std::size_t>(dims));
+  for (int r = 0; r < params_.window; ++r)
+    for (int c = 0; c < dims; ++c)
+      window.At(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+          rolling_window_[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+  return {model_->Score(window)};
+}
+
+}  // namespace navarchos::detect

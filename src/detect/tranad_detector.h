@@ -1,0 +1,46 @@
+// Detector wrapper around the TranAD reconstruction model (paper §3.5).
+//
+// Fit() standardises the reference, slices it into overlapping windows and
+// trains the network; Score() maintains a rolling window of the most recent
+// samples and emits the reconstruction-based anomaly score. Until the first
+// window fills, scores are 0 (no evidence).
+#ifndef NAVARCHOS_DETECT_TRANAD_DETECTOR_H_
+#define NAVARCHOS_DETECT_TRANAD_DETECTOR_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/nn/tranad.h"
+#include "transform/standardizer.h"
+
+namespace navarchos::detect {
+
+/// Reconstruction-error detector (single score channel).
+class TranAdDetector : public Detector {
+ public:
+  explicit TranAdDetector(const nn::TranAdParams& params = {});
+
+  std::string Name() const override { return "tranad"; }
+  void Fit(const std::vector<std::vector<double>>& ref) override;
+  std::vector<double> Score(const std::vector<double>& sample) override;
+  std::size_t ScoreChannels() const override { return 1; }
+  std::vector<std::string> ChannelNames() const override {
+    return {"reconstruction_error"};
+  }
+  std::size_t MinReferenceSize() const override {
+    return static_cast<std::size_t>(2 * params_.window);
+  }
+
+ private:
+  nn::TranAdParams params_;
+  transform::Standardizer standardizer_;
+  std::unique_ptr<nn::TranAdModel> model_;
+  std::deque<std::vector<double>> rolling_window_;
+};
+
+}  // namespace navarchos::detect
+
+#endif  // NAVARCHOS_DETECT_TRANAD_DETECTOR_H_

@@ -1,0 +1,69 @@
+#include "detect/xgb_detector.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace navarchos::detect {
+
+XgbDetector::XgbDetector(const GbtParams& params, std::vector<std::string> feature_names)
+    : params_(params), feature_names_(std::move(feature_names)) {}
+
+std::vector<double> XgbDetector::InputsExcluding(const std::vector<double>& sample,
+                                                 std::size_t excluded) {
+  std::vector<double> row;
+  row.reserve(sample.size() - 1);
+  for (std::size_t d = 0; d < sample.size(); ++d)
+    if (d != excluded) row.push_back(sample[d]);
+  return row;
+}
+
+void XgbDetector::Fit(const std::vector<std::vector<double>>& ref) {
+  NAVARCHOS_CHECK(ref.size() >= MinReferenceSize());
+  const std::size_t dims = ref.front().size();
+  NAVARCHOS_CHECK(dims >= 2);
+
+  // Standardise so per-channel errors share a scale (keeps the self-tuning
+  // threshold meaningful across heterogeneous physical units).
+  standardizer_.Fit(ref);
+  const auto z = standardizer_.ApplyAll(ref);
+
+  models_.clear();
+  models_.reserve(dims);
+  for (std::size_t target = 0; target < dims; ++target) {
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    x.reserve(z.size());
+    y.reserve(z.size());
+    for (const auto& sample : z) {
+      x.push_back(InputsExcluding(sample, target));
+      y.push_back(sample[target]);
+    }
+    GbtParams params = params_;
+    params.seed = params_.seed + target;  // decorrelate per-target subsampling
+    GbtRegressor model(params);
+    model.Fit(x, y);
+    models_.push_back(std::move(model));
+  }
+}
+
+std::vector<double> XgbDetector::Score(const std::vector<double>& sample) {
+  NAVARCHOS_CHECK(!models_.empty());
+  const std::vector<double> z = standardizer_.Apply(sample);
+  std::vector<double> scores(models_.size());
+  for (std::size_t target = 0; target < models_.size(); ++target) {
+    const std::vector<double> row = InputsExcluding(z, target);
+    scores[target] = std::fabs(models_[target].Predict(row) - z[target]);
+  }
+  return scores;
+}
+
+std::vector<std::string> XgbDetector::ChannelNames() const {
+  if (!feature_names_.empty()) return feature_names_;
+  std::vector<std::string> names;
+  for (std::size_t d = 0; d < models_.size(); ++d)
+    names.push_back("f" + std::to_string(d));
+  return names;
+}
+
+}  // namespace navarchos::detect

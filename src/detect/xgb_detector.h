@@ -1,0 +1,48 @@
+// XGBoost-based regression detector (paper §3.6).
+//
+// Trains one boosted-tree regressor per input feature on the reference
+// profile, each predicting its target feature from the remaining ones. At
+// inference, the absolute prediction error of model j is the anomaly score
+// of channel j - so alarms are attributable to the feature whose
+// relationship with the others broke, mirroring the paper's explainability
+// note.
+#ifndef NAVARCHOS_DETECT_XGB_DETECTOR_H_
+#define NAVARCHOS_DETECT_XGB_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/gbt.h"
+#include "transform/standardizer.h"
+
+namespace navarchos::detect {
+
+/// Per-feature regression-error detector built on GbtRegressor.
+class XgbDetector : public Detector {
+ public:
+  /// `feature_names` labels the score channels (optional).
+  explicit XgbDetector(const GbtParams& params = {},
+                       std::vector<std::string> feature_names = {});
+
+  std::string Name() const override { return "xgboost"; }
+  void Fit(const std::vector<std::vector<double>>& ref) override;
+  std::vector<double> Score(const std::vector<double>& sample) override;
+  std::size_t ScoreChannels() const override { return models_.size(); }
+  std::vector<std::string> ChannelNames() const override;
+  std::size_t MinReferenceSize() const override { return 16; }
+
+ private:
+  /// Builds the model-j input row: all features except j.
+  static std::vector<double> InputsExcluding(const std::vector<double>& sample,
+                                             std::size_t excluded);
+
+  GbtParams params_;
+  std::vector<std::string> feature_names_;
+  std::vector<GbtRegressor> models_;
+  transform::Standardizer standardizer_;
+};
+
+}  // namespace navarchos::detect
+
+#endif  // NAVARCHOS_DETECT_XGB_DETECTOR_H_

@@ -1,0 +1,106 @@
+#include "eval/experiment.h"
+
+#include <atomic>
+#include <thread>
+
+#include "util/timer.h"
+
+namespace navarchos::eval {
+
+const std::vector<transform::TransformKind>& PaperTransforms() {
+  static const std::vector<transform::TransformKind> kTransforms = {
+      transform::TransformKind::kRaw,
+      transform::TransformKind::kDelta,
+      transform::TransformKind::kMeanAggregation,
+      transform::TransformKind::kCorrelation,
+  };
+  return kTransforms;
+}
+
+const std::vector<detect::DetectorKind>& PaperDetectors() {
+  static const std::vector<detect::DetectorKind> kDetectors = {
+      detect::DetectorKind::kGrand,
+      detect::DetectorKind::kClosestPair,
+      detect::DetectorKind::kTranAd,
+      detect::DetectorKind::kXgBoost,
+  };
+  return kDetectors;
+}
+
+std::vector<CellResult> RunCell(const telemetry::FleetDataset& fleet,
+                                transform::TransformKind transform_kind,
+                                detect::DetectorKind detector_kind,
+                                const SweepConfig& sweep,
+                                const core::MonitorConfig& base_config) {
+  core::MonitorConfig config = base_config;
+  config.transform = transform_kind;
+  config.detector = detector_kind;
+
+  util::Timer timer;
+  const core::FleetRunResult run = core::RunFleet(fleet, config);
+  const double runtime = timer.ElapsedSeconds();
+
+  const bool probability_scores = detector_kind == detect::DetectorKind::kGrand;
+  const std::vector<double>& thresholds =
+      probability_scores ? sweep.constants : sweep.factors;
+
+  std::vector<CellResult> results;
+  for (int ph : sweep.ph_days) {
+    CellResult best;
+    best.transform = transform_kind;
+    best.detector = detector_kind;
+    best.ph_days = ph;
+    best.runtime_seconds = runtime;
+    for (double threshold : thresholds) {
+      const auto alarms = run.AlarmsAt(threshold);
+      const EvalResult metrics = EvaluateAlarms(alarms, fleet, ph);
+      if (metrics.f05 > best.metrics.f05 ||
+          (metrics.f05 == best.metrics.f05 && best.best_threshold == 0.0)) {
+        best.metrics = metrics;
+        best.best_threshold = threshold;
+      }
+    }
+    results.push_back(best);
+  }
+  return results;
+}
+
+std::vector<CellResult> RunGrid(const telemetry::FleetDataset& fleet,
+                                const SweepConfig& sweep,
+                                const core::MonitorConfig& base_config,
+                                int threads) {
+  // Flatten the cell list so workers can claim cells off a shared counter.
+  std::vector<std::pair<transform::TransformKind, detect::DetectorKind>> cells;
+  for (transform::TransformKind transform_kind : PaperTransforms())
+    for (detect::DetectorKind detector_kind : PaperDetectors())
+      cells.emplace_back(transform_kind, detector_kind);
+
+  std::vector<std::vector<CellResult>> results(cells.size());
+  if (threads == 0)
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  threads = std::max(1, std::min<int>(threads, static_cast<int>(cells.size())));
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= cells.size()) return;
+      results[index] = RunCell(fleet, cells[index].first, cells[index].second,
+                               sweep, base_config);
+    }
+  };
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+
+  std::vector<CellResult> all;
+  for (const auto& cell : results) all.insert(all.end(), cell.begin(), cell.end());
+  return all;
+}
+
+}  // namespace navarchos::eval

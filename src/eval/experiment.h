@@ -1,0 +1,68 @@
+// Experiment grid runner behind the paper's Figures 4-7 and Tables 1-3.
+//
+// For each (transformation, technique) cell the pipeline is executed once;
+// the threshold factor (or Grand's constant) is then swept over the recorded
+// score traces, and the best F0.5 per prediction horizon is reported - the
+// paper's protocol of "using multiple factors regarding the thresholding
+// technique" / "several constant values thresholds".
+#ifndef NAVARCHOS_EVAL_EXPERIMENT_H_
+#define NAVARCHOS_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/fleet_runner.h"
+#include "eval/metrics.h"
+#include "telemetry/fleet.h"
+
+namespace navarchos::eval {
+
+/// One grid cell's outcome for one prediction horizon.
+struct CellResult {
+  transform::TransformKind transform{};
+  detect::DetectorKind detector{};
+  int ph_days = 0;
+  double best_threshold = 0.0;  ///< Factor (self-tuning) or constant (Grand).
+  EvalResult metrics;           ///< At the best threshold.
+  double runtime_seconds = 0.0; ///< Fit + score wall time (Table 1).
+};
+
+/// Sweep configuration.
+struct SweepConfig {
+  /// Self-tuning factors tried for the non-probability detectors.
+  std::vector<double> factors = {3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 14.0, 20.0, 30.0, 45.0, 70.0};
+  /// Constant thresholds tried for Grand.
+  std::vector<double> constants = {0.6, 0.8, 0.9, 0.95, 0.99, 0.995, 0.999, 0.9999};
+  /// Prediction horizons in days (paper: 15 and 30).
+  std::vector<int> ph_days = {15, 30};
+};
+
+/// Runs one (transform, detector) cell over `fleet`: executes the pipeline
+/// once, then sweeps thresholds per horizon. Returns one CellResult per
+/// horizon (same runtime for all, measured once).
+std::vector<CellResult> RunCell(const telemetry::FleetDataset& fleet,
+                                transform::TransformKind transform_kind,
+                                detect::DetectorKind detector_kind,
+                                const SweepConfig& sweep,
+                                const core::MonitorConfig& base_config);
+
+/// Runs the full grid of the paper's four transformations x four techniques.
+/// Cells are ordered transformation-major (raw, delta, mean, correlation).
+/// Cells are independent and run on up to `threads` worker threads
+/// (threads <= 1 runs sequentially; 0 picks the hardware concurrency).
+/// Results are deterministic regardless of thread count; per-cell runtimes
+/// are wall-clock and therefore noisier when cells share cores.
+std::vector<CellResult> RunGrid(const telemetry::FleetDataset& fleet,
+                                const SweepConfig& sweep,
+                                const core::MonitorConfig& base_config,
+                                int threads = 1);
+
+/// The four transformations of the paper's evaluation, in figure order.
+const std::vector<transform::TransformKind>& PaperTransforms();
+
+/// The four techniques of the paper's evaluation, in figure order.
+const std::vector<detect::DetectorKind>& PaperDetectors();
+
+}  // namespace navarchos::eval
+
+#endif  // NAVARCHOS_EVAL_EXPERIMENT_H_

@@ -1,0 +1,87 @@
+#include "eval/metrics.h"
+
+#include <map>
+#include <set>
+
+#include "util/check.h"
+
+namespace navarchos::eval {
+
+double FBeta(double precision, double recall, double beta) {
+  const double b2 = beta * beta;
+  const double denom = b2 * precision + recall;
+  if (denom <= 0.0) return 0.0;
+  return (1.0 + b2) * precision * recall / denom;
+}
+
+EvalResult EvaluateAlarms(const std::vector<core::Alarm>& alarms,
+                          const telemetry::FleetDataset& fleet, int ph_days,
+                          int episode_gap_days) {
+  NAVARCHOS_CHECK(ph_days > 0);
+  NAVARCHOS_CHECK(episode_gap_days >= 0);
+
+  // Recorded repair times per vehicle id.
+  std::map<std::int32_t, std::vector<telemetry::Minute>> repairs;
+  EvalResult result;
+  for (const auto& vehicle : fleet.vehicles) {
+    for (telemetry::Minute t : vehicle.RecordedRepairTimes()) {
+      repairs[vehicle.spec.id].push_back(t);
+      ++result.total_failures;
+    }
+  }
+
+  // Deduplicate alarms to vehicle-days (ordered by vehicle then day).
+  std::set<std::pair<std::int32_t, std::int64_t>> alarm_days;
+  for (const core::Alarm& alarm : alarms)
+    alarm_days.emplace(alarm.vehicle_id, telemetry::DayOf(alarm.timestamp));
+
+  std::set<std::pair<std::int32_t, telemetry::Minute>> detected;
+  int false_positive_episodes = 0;
+  std::int32_t episode_vehicle = -1;
+  std::int64_t episode_last_day = 0;
+  bool episode_hit = false;
+  bool episode_open = false;
+  auto close_episode = [&]() {
+    if (episode_open && !episode_hit) ++false_positive_episodes;
+    episode_open = false;
+  };
+
+  for (const auto& [vehicle_id, day] : alarm_days) {
+    const bool same_episode = episode_open && vehicle_id == episode_vehicle &&
+                              day - episode_last_day <= episode_gap_days;
+    if (!same_episode) {
+      close_episode();
+      episode_open = true;
+      episode_vehicle = vehicle_id;
+      episode_hit = false;
+    }
+    episode_last_day = day;
+
+    // Day-granular PH test, consistent with the dedup.
+    const auto it = repairs.find(vehicle_id);
+    if (it != repairs.end()) {
+      for (telemetry::Minute repair : it->second) {
+        const std::int64_t repair_day = telemetry::DayOf(repair);
+        if (day <= repair_day && day >= repair_day - ph_days) {
+          detected.emplace(vehicle_id, repair);
+          episode_hit = true;
+        }
+      }
+    }
+  }
+  close_episode();
+
+  result.false_positive_episodes = false_positive_episodes;
+  result.detected_failures = static_cast<int>(detected.size());
+  const int tp = result.detected_failures;
+  const int fp = result.false_positive_episodes;
+  result.precision = (tp + fp) > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  result.recall = result.total_failures > 0
+                      ? static_cast<double>(tp) / result.total_failures
+                      : 0.0;
+  result.f1 = FBeta(result.precision, result.recall, 1.0);
+  result.f05 = FBeta(result.precision, result.recall, 0.5);
+  return result;
+}
+
+}  // namespace navarchos::eval

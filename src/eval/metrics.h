@@ -1,0 +1,49 @@
+// Event-level evaluation (paper §4): alarms are judged against recorded
+// repair events through a prediction horizon (PH).
+//
+//   "one or more alarms that fall within PH are counted as one true positive
+//    instance, while each alarm outside of PH is counted as a false positive"
+//
+// Alarms are deduplicated per vehicle-day before counting (the monitor can
+// fire many times within one day; operationally that is a single
+// notification). Recall is over the fleet's recorded repair events, and the
+// headline metric is F0.5, weighting precision twice as much as recall.
+#ifndef NAVARCHOS_EVAL_METRICS_H_
+#define NAVARCHOS_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "core/monitor.h"
+#include "telemetry/fleet.h"
+
+namespace navarchos::eval {
+
+/// Outcome of evaluating one alarm set.
+struct EvalResult {
+  int detected_failures = 0;   ///< PH windows containing >= 1 alarm.
+  int total_failures = 0;      ///< Recorded repair events in the fleet.
+  int false_positive_episodes = 0;  ///< Alarm episodes outside every PH.
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double f05 = 0.0;
+};
+
+/// F-beta from precision and recall (0 when both are 0).
+double FBeta(double precision, double recall, double beta);
+
+/// Evaluates `alarms` against the recorded repairs of `fleet` with a
+/// `ph_days`-day prediction horizon ending at each repair.
+///
+/// Alarms are first deduplicated to vehicle-days, then merged into episodes:
+/// alarm days of one vehicle separated by at most `episode_gap_days` belong
+/// to the same operational notification. A repair counts as detected when
+/// any alarm day falls inside its PH; each episode with no day inside any PH
+/// is one false positive.
+EvalResult EvaluateAlarms(const std::vector<core::Alarm>& alarms,
+                          const telemetry::FleetDataset& fleet, int ph_days,
+                          int episode_gap_days = 3);
+
+}  // namespace navarchos::eval
+
+#endif  // NAVARCHOS_EVAL_METRICS_H_

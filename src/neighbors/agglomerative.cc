@@ -1,0 +1,168 @@
+#include "neighbors/agglomerative.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/statistics.h"
+
+namespace navarchos::neighbors {
+
+Dendrogram AgglomerativeAverageLinkage(const std::vector<std::vector<double>>& points) {
+  const std::size_t n = points.size();
+  NAVARCHOS_CHECK(n >= 2);
+
+  // Full square distance matrix: n ~ a few thousand day-points in this
+  // domain, so n^2 doubles stay comfortably in memory. Double precision
+  // matters: average-linkage merge order is sensitive to rounding, and the
+  // NN-chain result must agree with exact-arithmetic implementations.
+  std::vector<double> dist(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = util::EuclideanDistance(points[i], points[j]);
+      dist[i * n + j] = d;
+      dist[j * n + i] = d;
+    }
+  }
+
+  std::vector<bool> active(n, true);
+  std::vector<std::int32_t> cluster_id(n);       // current dendrogram id per slot
+  std::vector<std::int32_t> cluster_size(n, 1);  // leaves per slot
+  std::iota(cluster_id.begin(), cluster_id.end(), 0);
+
+  Dendrogram dendrogram;
+  dendrogram.leaf_count = static_cast<int>(n);
+  dendrogram.merges.reserve(n - 1);
+
+  // Nearest-neighbour chain.
+  std::vector<std::size_t> chain;
+  chain.reserve(n);
+  std::size_t remaining = n;
+  std::int32_t next_id = static_cast<std::int32_t>(n);
+
+  auto nearest_of = [&](std::size_t a) {
+    std::size_t best = a;
+    double best_d = std::numeric_limits<double>::infinity();
+    const double* row = &dist[a * n];
+    for (std::size_t c = 0; c < n; ++c) {
+      if (!active[c] || c == a) continue;
+      if (row[c] < best_d || (row[c] == best_d && c < best)) {
+        best_d = row[c];
+        best = c;
+      }
+    }
+    return best;
+  };
+
+  while (remaining > 1) {
+    if (chain.empty()) {
+      for (std::size_t s = 0; s < n; ++s) {
+        if (active[s]) {
+          chain.push_back(s);
+          break;
+        }
+      }
+    }
+    while (true) {
+      const std::size_t a = chain.back();
+      const std::size_t b = nearest_of(a);
+      if (chain.size() >= 2 && b == chain[chain.size() - 2]) {
+        // Reciprocal nearest neighbours: merge a and b into slot of min(a,b).
+        chain.pop_back();
+        chain.pop_back();
+        const std::size_t keep = std::min(a, b);
+        const std::size_t drop = std::max(a, b);
+        const double merge_distance = dist[a * n + b];
+        dendrogram.merges.push_back({cluster_id[keep], cluster_id[drop], merge_distance});
+        // Lance-Williams update for average linkage:
+        // d(x, keep+drop) = (n_keep d(x,keep) + n_drop d(x,drop)) / (n_keep+n_drop)
+        const double wk = static_cast<double>(cluster_size[keep]);
+        const double wd = static_cast<double>(cluster_size[drop]);
+        const double wt = wk + wd;
+        for (std::size_t c = 0; c < n; ++c) {
+          if (!active[c] || c == keep || c == drop) continue;
+          const double updated = (wk * dist[keep * n + c] + wd * dist[drop * n + c]) / wt;
+          dist[keep * n + c] = updated;
+          dist[c * n + keep] = updated;
+        }
+        active[drop] = false;
+        cluster_size[keep] += cluster_size[drop];
+        cluster_id[keep] = next_id++;
+        --remaining;
+        break;
+      }
+      chain.push_back(b);
+    }
+  }
+
+  // The NN-chain discovers merges out of height order. Cutting the tree at
+  // "the last k-1 merges" requires ascending merge distances, so sort the
+  // merges by distance and relabel the intermediate cluster ids. Average
+  // linkage is reducible (no inversions), hence every merge's children are
+  // created at a distance no larger than the merge itself and the relabel
+  // below always finds them already assigned.
+  std::vector<std::size_t> order(dendrogram.merges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return dendrogram.merges[x].distance < dendrogram.merges[y].distance;
+  });
+  // old internal id (n + raw merge index) -> new internal id.
+  std::vector<std::int32_t> new_id(2 * n - 1, -1);
+  for (std::size_t i = 0; i < n; ++i) new_id[i] = static_cast<std::int32_t>(i);
+  std::vector<Dendrogram::Merge> sorted;
+  sorted.reserve(dendrogram.merges.size());
+  std::int32_t next_sorted_id = static_cast<std::int32_t>(n);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const Dendrogram::Merge& raw = dendrogram.merges[order[rank]];
+    const std::int32_t a = new_id[static_cast<std::size_t>(raw.a)];
+    const std::int32_t b = new_id[static_cast<std::size_t>(raw.b)];
+    NAVARCHOS_CHECK(a >= 0 && b >= 0);
+    sorted.push_back({a, b, raw.distance});
+    new_id[static_cast<std::size_t>(n) + order[rank]] = next_sorted_id++;
+  }
+  dendrogram.merges = std::move(sorted);
+  return dendrogram;
+}
+
+std::vector<int> CutToClusters(const Dendrogram& dendrogram, int k) {
+  const int n = dendrogram.leaf_count;
+  NAVARCHOS_CHECK(k >= 1 && k <= n);
+
+  // Union-find over dendrogram ids; apply the first n-k merges.
+  const int total_ids = 2 * n - 1;
+  std::vector<int> parent(static_cast<std::size_t>(total_ids));
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+
+  const int merges_to_apply = n - k;
+  for (int m = 0; m < merges_to_apply; ++m) {
+    const auto& merge = dendrogram.merges[static_cast<std::size_t>(m)];
+    const int created = n + m;
+    parent[static_cast<std::size_t>(find(merge.a))] = created;
+    parent[static_cast<std::size_t>(find(merge.b))] = created;
+  }
+
+  std::vector<int> labels(static_cast<std::size_t>(n), -1);
+  std::vector<int> root_label(static_cast<std::size_t>(total_ids), -1);
+  int next_label = 0;
+  for (int leaf = 0; leaf < n; ++leaf) {
+    const int root = find(leaf);
+    if (root_label[static_cast<std::size_t>(root)] < 0)
+      root_label[static_cast<std::size_t>(root)] = next_label++;
+    labels[static_cast<std::size_t>(leaf)] = root_label[static_cast<std::size_t>(root)];
+  }
+  NAVARCHOS_CHECK(next_label == k);
+  return labels;
+}
+
+}  // namespace navarchos::neighbors

@@ -1,0 +1,42 @@
+// Average-linkage agglomerative hierarchical clustering.
+//
+// Reproduces the paper's §2 exploration: day-aggregated fleet data is
+// clustered with average-linkage + Euclidean distance and the dendrogram is
+// cut at 9 clusters. Implemented with the nearest-neighbour-chain algorithm
+// (O(n^2) time after the O(n^2) distance matrix), which is exact for
+// reducible linkages such as average linkage.
+#ifndef NAVARCHOS_NEIGHBORS_AGGLOMERATIVE_H_
+#define NAVARCHOS_NEIGHBORS_AGGLOMERATIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace navarchos::neighbors {
+
+/// The merge history of a hierarchical clustering.
+struct Dendrogram {
+  /// One agglomeration step: clusters `a` and `b` merge at linkage `distance`.
+  struct Merge {
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+    double distance = 0.0;
+  };
+  int leaf_count = 0;
+  /// Exactly leaf_count - 1 merges, ascending construction order. Cluster ids
+  /// follow scipy convention: leaves are 0..n-1, merge i creates id n + i.
+  std::vector<Merge> merges;
+};
+
+/// Builds the average-linkage dendrogram of `points` under Euclidean
+/// distance. Requires at least two points; memory is O(n^2) floats, so
+/// callers should subsample very large datasets.
+Dendrogram AgglomerativeAverageLinkage(const std::vector<std::vector<double>>& points);
+
+/// Cuts the dendrogram into exactly `k` clusters (1 <= k <= leaf_count) by
+/// undoing the last k-1 merges. Returns a label in [0, k) per leaf; labels
+/// are assigned in order of first appearance.
+std::vector<int> CutToClusters(const Dendrogram& dendrogram, int k);
+
+}  // namespace navarchos::neighbors
+
+#endif  // NAVARCHOS_NEIGHBORS_AGGLOMERATIVE_H_

@@ -1,0 +1,55 @@
+#include "neighbors/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/statistics.h"
+
+namespace navarchos::neighbors {
+
+KnnIndex::KnnIndex(std::vector<std::vector<double>> points)
+    : points_(std::move(points)) {
+  NAVARCHOS_CHECK(!points_.empty());
+  dims_ = points_.front().size();
+  for (const auto& point : points_) NAVARCHOS_CHECK(point.size() == dims_);
+}
+
+std::vector<Neighbor> KnnIndex::Query(std::span<const double> query, int k,
+                                      std::ptrdiff_t exclude) const {
+  NAVARCHOS_CHECK(k >= 1);
+  NAVARCHOS_CHECK(query.size() == dims_);
+  // Max-heap of the best k candidates (by distance squared).
+  std::vector<Neighbor> heap;
+  heap.reserve(static_cast<std::size_t>(k) + 1);
+  auto cmp = [](const Neighbor& a, const Neighbor& b) { return a.distance < b.distance; };
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (static_cast<std::ptrdiff_t>(i) == exclude) continue;
+    const double d2 = util::SquaredDistance(points_[i], query);
+    if (heap.size() < static_cast<std::size_t>(k)) {
+      heap.push_back({i, d2});
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (d2 < heap.front().distance) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = {i, d2};
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), cmp);
+  for (Neighbor& n : heap) n.distance = std::sqrt(n.distance);
+  return heap;
+}
+
+double KnnIndex::NearestDistance(std::span<const double> query,
+                                 std::ptrdiff_t exclude) const {
+  NAVARCHOS_CHECK(query.size() == dims_);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (static_cast<std::ptrdiff_t>(i) == exclude) continue;
+    best = std::min(best, util::SquaredDistance(points_[i], query));
+  }
+  return std::sqrt(best);
+}
+
+}  // namespace navarchos::neighbors

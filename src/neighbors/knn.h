@@ -1,0 +1,53 @@
+// Brute-force k-nearest-neighbour search.
+//
+// Reference profiles in this domain hold at most a few thousand samples, so
+// an exact linear scan is both simplest and fastest in practice (no index
+// build cost, cache-friendly flat storage).
+#ifndef NAVARCHOS_NEIGHBORS_KNN_H_
+#define NAVARCHOS_NEIGHBORS_KNN_H_
+
+#include <span>
+#include <vector>
+
+namespace navarchos::neighbors {
+
+/// A neighbour hit: index into the fitted point set plus Euclidean distance.
+struct Neighbor {
+  std::size_t index = 0;
+  double distance = 0.0;
+};
+
+/// Exact kNN index over a fixed point set.
+class KnnIndex {
+ public:
+  /// Takes ownership of `points` (rows of equal dimension, at least one row).
+  explicit KnnIndex(std::vector<std::vector<double>> points);
+
+  /// The `k` nearest points to `query`, ascending by distance. When
+  /// `exclude` is non-negative, that point index is skipped (used to query
+  /// neighbours of a fitted point without matching itself). Returns fewer
+  /// than `k` hits when the point set is smaller.
+  std::vector<Neighbor> Query(std::span<const double> query, int k,
+                              std::ptrdiff_t exclude = -1) const;
+
+  /// Distance from `query` to its single nearest point.
+  double NearestDistance(std::span<const double> query,
+                         std::ptrdiff_t exclude = -1) const;
+
+  /// Number of fitted points.
+  std::size_t size() const { return points_.size(); }
+
+  /// Dimensionality of the fitted points.
+  std::size_t dims() const { return dims_; }
+
+  /// Read access to fitted point `i`.
+  std::span<const double> Point(std::size_t i) const { return points_[i]; }
+
+ private:
+  std::vector<std::vector<double>> points_;
+  std::size_t dims_ = 0;
+};
+
+}  // namespace navarchos::neighbors
+
+#endif  // NAVARCHOS_NEIGHBORS_KNN_H_

@@ -1,0 +1,62 @@
+#include "neighbors/lof.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace navarchos::neighbors {
+namespace {
+
+/// Guards divisions: densities can collapse to 0 when many points coincide.
+constexpr double kMinDensity = 1e-12;
+
+}  // namespace
+
+LofModel::LofModel(std::vector<std::vector<double>> points, int k)
+    : index_(std::move(points)), k_(k) {
+  NAVARCHOS_CHECK(k_ >= 1);
+  NAVARCHOS_CHECK(index_.size() > static_cast<std::size_t>(k_));
+
+  const std::size_t n = index_.size();
+  neighbors_.resize(n);
+  k_distance_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    neighbors_[i] = index_.Query(index_.Point(i), k_, static_cast<std::ptrdiff_t>(i));
+    k_distance_[i] = neighbors_[i].back().distance;
+  }
+
+  lrd_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double reach_sum = 0.0;
+    for (const Neighbor& o : neighbors_[i])
+      reach_sum += std::max(k_distance_[o.index], o.distance);
+    lrd_[i] = static_cast<double>(neighbors_[i].size()) / std::max(reach_sum, kMinDensity);
+  }
+}
+
+double LofModel::Score(std::span<const double> query) const {
+  const auto neighbors = index_.Query(query, k_);
+  double reach_sum = 0.0;
+  double lrd_sum = 0.0;
+  for (const Neighbor& o : neighbors) {
+    reach_sum += std::max(k_distance_[o.index], o.distance);
+    lrd_sum += lrd_[o.index];
+  }
+  const double count = static_cast<double>(neighbors.size());
+  const double lrd_query = count / std::max(reach_sum, kMinDensity);
+  return (lrd_sum / count) / std::max(lrd_query, kMinDensity);
+}
+
+std::vector<double> LofModel::FitScores() const {
+  const std::size_t n = index_.size();
+  std::vector<double> scores(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double lrd_sum = 0.0;
+    for (const Neighbor& o : neighbors_[i]) lrd_sum += lrd_[o.index];
+    scores[i] = (lrd_sum / static_cast<double>(neighbors_[i].size())) /
+                std::max(lrd_[i], kMinDensity);
+  }
+  return scores;
+}
+
+}  // namespace navarchos::neighbors

@@ -1,0 +1,48 @@
+// Local Outlier Factor (Breunig et al., SIGMOD 2000).
+//
+// Used twice in the reproduction: (i) the §2 data exploration extracts the
+// top-1% LOF outliers of the day-aggregated fleet data, and (ii) Grand's
+// "lof" non-conformity measure scores samples against the reference profile.
+#ifndef NAVARCHOS_NEIGHBORS_LOF_H_
+#define NAVARCHOS_NEIGHBORS_LOF_H_
+
+#include <span>
+#include <vector>
+
+#include "neighbors/knn.h"
+
+namespace navarchos::neighbors {
+
+/// LOF model fitted on a point set.
+class LofModel {
+ public:
+  /// Fits on `points` with neighbourhood size `k`. Requires at least k+1
+  /// points. Precomputes each fitted point's k-distance and local
+  /// reachability density (lrd).
+  LofModel(std::vector<std::vector<double>> points, int k);
+
+  /// LOF score of an external query point (scored against the fitted set;
+  /// the query never counts as its own neighbour). Scores near 1 mean
+  /// inlier; substantially above 1 mean outlier.
+  double Score(std::span<const double> query) const;
+
+  /// LOF scores of the fitted points themselves (self excluded from each
+  /// neighbourhood) - what sklearn calls negative_outlier_factor_, unsigned.
+  std::vector<double> FitScores() const;
+
+  int k() const { return k_; }
+  std::size_t size() const { return index_.size(); }
+
+ private:
+  double LrdOfFitted(std::size_t i) const { return lrd_[i]; }
+
+  KnnIndex index_;
+  int k_;
+  std::vector<double> k_distance_;                  ///< Per fitted point.
+  std::vector<std::vector<Neighbor>> neighbors_;    ///< kNN of each fitted point.
+  std::vector<double> lrd_;                         ///< Local reachability density.
+};
+
+}  // namespace navarchos::neighbors
+
+#endif  // NAVARCHOS_NEIGHBORS_LOF_H_

@@ -1,0 +1,195 @@
+#include "report/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace navarchos::report {
+namespace {
+
+constexpr int kMarginLeft = 56;
+constexpr int kMarginRight = 16;
+constexpr int kMarginTop = 34;
+constexpr int kMarginBottom = 48;
+
+std::string Escape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void OpenDocument(std::ostringstream& svg, int width, int height,
+                  const std::string& title) {
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\" font-family=\"sans-serif\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  svg << "<text x=\"" << width / 2 << "\" y=\"20\" text-anchor=\"middle\" "
+         "font-size=\"14\" font-weight=\"bold\">"
+      << Escape(title) << "</text>\n";
+}
+
+void DrawYAxis(std::ostringstream& svg, double y_max, int plot_left, int plot_top,
+               int plot_bottom, int plot_right) {
+  const int ticks = 5;
+  for (int t = 0; t <= ticks; ++t) {
+    const double value = y_max * t / ticks;
+    const double y = plot_bottom - (plot_bottom - plot_top) *
+                                       (value / std::max(1e-12, y_max));
+    svg << "<line x1=\"" << plot_left << "\" y1=\"" << y << "\" x2=\"" << plot_right
+        << "\" y2=\"" << y << "\" stroke=\"#dddddd\"/>\n";
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.2g", value);
+    svg << "<text x=\"" << plot_left - 6 << "\" y=\"" << y + 4
+        << "\" text-anchor=\"end\" font-size=\"10\">" << label << "</text>\n";
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& ColourCycle() {
+  static const std::vector<std::string> kColours = {
+      "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb"};
+  return kColours;
+}
+
+std::string RenderBarChart(const BarChart& chart) {
+  NAVARCHOS_CHECK(!chart.groups.empty());
+  NAVARCHOS_CHECK(!chart.series.empty());
+  std::ostringstream svg;
+  OpenDocument(svg, chart.width, chart.height, chart.title);
+
+  const int plot_left = kMarginLeft;
+  const int plot_right = chart.width - kMarginRight;
+  const int plot_top = kMarginTop;
+  const int plot_bottom = chart.height - kMarginBottom;
+  DrawYAxis(svg, chart.y_max, plot_left, plot_top, plot_bottom, plot_right);
+
+  const double group_width =
+      static_cast<double>(plot_right - plot_left) / chart.groups.size();
+  const double bar_width = group_width * 0.8 / chart.series.size();
+
+  for (std::size_t g = 0; g < chart.groups.size(); ++g) {
+    const double group_x = plot_left + group_width * static_cast<double>(g);
+    for (std::size_t s = 0; s < chart.series.size(); ++s) {
+      const BarSeries& series = chart.series[s];
+      NAVARCHOS_CHECK(series.values.size() == chart.groups.size());
+      const double value = std::clamp(series.values[g], 0.0, chart.y_max);
+      const double bar_height =
+          (plot_bottom - plot_top) * value / std::max(1e-12, chart.y_max);
+      const double x = group_x + group_width * 0.1 + bar_width * static_cast<double>(s);
+      svg << "<rect x=\"" << x << "\" y=\"" << plot_bottom - bar_height
+          << "\" width=\"" << bar_width * 0.92 << "\" height=\"" << bar_height
+          << "\" fill=\"" << series.colour << "\"/>\n";
+    }
+    svg << "<text x=\"" << group_x + group_width / 2 << "\" y=\""
+        << plot_bottom + 16 << "\" text-anchor=\"middle\" font-size=\"11\">"
+        << Escape(chart.groups[g]) << "</text>\n";
+  }
+
+  // Legend.
+  double legend_x = plot_left;
+  const int legend_y = chart.height - 14;
+  for (const BarSeries& series : chart.series) {
+    svg << "<rect x=\"" << legend_x << "\" y=\"" << legend_y - 9
+        << "\" width=\"10\" height=\"10\" fill=\"" << series.colour << "\"/>\n";
+    svg << "<text x=\"" << legend_x + 14 << "\" y=\"" << legend_y
+        << "\" font-size=\"11\">" << Escape(series.label) << "</text>\n";
+    legend_x += 18.0 + 7.0 * static_cast<double>(series.label.size()) + 14.0;
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string RenderTraceChart(const TraceChart& chart) {
+  NAVARCHOS_CHECK(!chart.series.empty());
+  std::ostringstream svg;
+  OpenDocument(svg, chart.width, chart.height, chart.title);
+
+  const int plot_left = kMarginLeft;
+  const int plot_right = chart.width - kMarginRight;
+  const int plot_top = kMarginTop;
+  const int plot_bottom = chart.height - kMarginBottom;
+
+  // Data ranges.
+  double x_min = 1e300, x_max = -1e300, y_min = 0.0, y_max = -1e300;
+  for (const TraceSeries& series : chart.series) {
+    NAVARCHOS_CHECK(series.x.size() == series.y.size());
+    for (double x : series.x) {
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+    }
+    for (double y : series.y) y_max = std::max(y_max, y);
+  }
+  if (!(x_max > x_min)) x_max = x_min + 1.0;
+  if (!(y_max > y_min)) y_max = y_min + 1.0;
+  y_max *= 1.05;
+
+  auto to_px_x = [&](double x) {
+    return plot_left + (plot_right - plot_left) * (x - x_min) / (x_max - x_min);
+  };
+  auto to_px_y = [&](double y) {
+    return plot_bottom - (plot_bottom - plot_top) * (y - y_min) / (y_max - y_min);
+  };
+
+  DrawYAxis(svg, y_max, plot_left, plot_top, plot_bottom, plot_right);
+
+  for (const TraceMarker& marker : chart.markers) {
+    const double x = to_px_x(marker.x);
+    svg << "<line x1=\"" << x << "\" y1=\"" << plot_top << "\" x2=\"" << x
+        << "\" y2=\"" << plot_bottom << "\" stroke=\"" << marker.colour
+        << "\" stroke-width=\"1.5\"/>\n";
+    svg << "<text x=\"" << x + 3 << "\" y=\"" << plot_top + 10
+        << "\" font-size=\"10\" fill=\"" << marker.colour << "\">"
+        << Escape(marker.label) << "</text>\n";
+  }
+
+  for (const TraceSeries& series : chart.series) {
+    if (series.x.empty()) continue;
+    svg << "<polyline fill=\"none\" stroke=\"" << series.colour
+        << "\" stroke-width=\"1.2\"";
+    if (series.dashed) svg << " stroke-dasharray=\"5,4\"";
+    svg << " points=\"";
+    for (std::size_t i = 0; i < series.x.size(); ++i)
+      svg << to_px_x(series.x[i]) << "," << to_px_y(series.y[i]) << " ";
+    svg << "\"/>\n";
+  }
+
+  // Legend + x label.
+  double legend_x = plot_left;
+  const int legend_y = chart.height - 10;
+  for (const TraceSeries& series : chart.series) {
+    svg << "<line x1=\"" << legend_x << "\" y1=\"" << legend_y - 4 << "\" x2=\""
+        << legend_x + 14 << "\" y2=\"" << legend_y - 4 << "\" stroke=\""
+        << series.colour << "\" stroke-width=\"2\""
+        << (series.dashed ? " stroke-dasharray=\"5,4\"" : "") << "/>\n";
+    svg << "<text x=\"" << legend_x + 18 << "\" y=\"" << legend_y
+        << "\" font-size=\"10\">" << Escape(series.label) << "</text>\n";
+    legend_x += 24.0 + 6.5 * static_cast<double>(series.label.size()) + 10.0;
+  }
+  svg << "<text x=\"" << (plot_left + plot_right) / 2 << "\" y=\""
+      << plot_bottom + 30 << "\" text-anchor=\"middle\" font-size=\"11\">"
+      << Escape(chart.x_label) << "</text>\n";
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+util::Status WriteSvg(const std::string& path, const std::string& svg) {
+  std::ofstream out(path);
+  if (!out) return util::Status::Error("cannot open for writing: " + path);
+  out << svg;
+  out.flush();
+  if (!out) return util::Status::Error("write failed: " + path);
+  return util::Status();
+}
+
+}  // namespace navarchos::report

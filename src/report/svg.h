@@ -1,0 +1,75 @@
+// Minimal SVG chart rendering.
+//
+// The benches print text tables/diagrams; this module additionally renders
+// the paper's figures as standalone SVG files (grouped bar charts for
+// Figs. 4/5, score-trace panels for Fig. 8) so results can be eyeballed next
+// to the paper without any plotting stack.
+#ifndef NAVARCHOS_REPORT_SVG_H_
+#define NAVARCHOS_REPORT_SVG_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace navarchos::report {
+
+/// One bar series (e.g. one technique across transformations).
+struct BarSeries {
+  std::string label;
+  std::vector<double> values;  ///< One value per group.
+  std::string colour = "#4477aa";
+};
+
+/// Grouped bar chart: `groups` along the x-axis, one bar per series within
+/// each group. Y-axis spans [0, y_max].
+struct BarChart {
+  std::string title;
+  std::vector<std::string> groups;
+  std::vector<BarSeries> series;
+  double y_max = 1.0;
+  int width = 860;
+  int height = 360;
+};
+
+/// Renders the chart as an SVG document.
+std::string RenderBarChart(const BarChart& chart);
+
+/// One line series for a trace panel (e.g. a score channel over time).
+struct TraceSeries {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+  std::string colour = "#4477aa";
+  bool dashed = false;  ///< e.g. for thresholds
+};
+
+/// Vertical event markers on a trace panel.
+struct TraceMarker {
+  double x = 0.0;
+  std::string label;
+  std::string colour = "#cc3311";
+};
+
+/// A time-series panel with optional markers.
+struct TraceChart {
+  std::string title;
+  std::string x_label;
+  std::vector<TraceSeries> series;
+  std::vector<TraceMarker> markers;
+  int width = 860;
+  int height = 280;
+};
+
+/// Renders the trace chart as an SVG document.
+std::string RenderTraceChart(const TraceChart& chart);
+
+/// Writes an SVG document to `path`.
+util::Status WriteSvg(const std::string& path, const std::string& svg);
+
+/// A qualitative colour cycle (colour-blind-safe Tol palette).
+const std::vector<std::string>& ColourCycle();
+
+}  // namespace navarchos::report
+
+#endif  // NAVARCHOS_REPORT_SVG_H_

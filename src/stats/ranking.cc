@@ -1,0 +1,255 @@
+#include "stats/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/statistics.h"
+
+namespace navarchos::stats {
+
+FriedmanResult FriedmanTest(const util::Matrix& scores) {
+  const std::size_t n = scores.rows();  // datasets (blocks)
+  const std::size_t k = scores.cols();  // treatments
+  NAVARCHOS_CHECK(n >= 2 && k >= 2);
+
+  FriedmanResult result;
+  result.mean_ranks.assign(k, 0.0);
+
+  // Rank within each block. Higher score = better = lower rank number, so we
+  // rank the negated scores with midrank tie handling.
+  double tie_correction = 0.0;  // sum over blocks of sum(t^3 - t)
+  for (std::size_t row = 0; row < n; ++row) {
+    std::vector<double> negated(k);
+    for (std::size_t j = 0; j < k; ++j) negated[j] = -scores.At(row, j);
+    const std::vector<double> ranks = util::MidRanks(negated);
+    for (std::size_t j = 0; j < k; ++j) result.mean_ranks[j] += ranks[j];
+
+    // Tie sizes in this block.
+    std::vector<double> sorted(negated);
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t i = 0;
+    while (i < k) {
+      std::size_t j = i;
+      while (j + 1 < k && sorted[j + 1] == sorted[i]) ++j;
+      const double t = static_cast<double>(j - i + 1);
+      tie_correction += t * t * t - t;
+      i = j + 1;
+    }
+  }
+  for (double& r : result.mean_ranks) r /= static_cast<double>(n);
+
+  const double dn = static_cast<double>(n);
+  const double dk = static_cast<double>(k);
+  double rank_sq_sum = 0.0;
+  for (double r : result.mean_ranks) {
+    const double total_rank = r * dn;
+    rank_sq_sum += total_rank * total_rank;
+  }
+  // Tie-corrected Friedman statistic (Conover's formulation).
+  const double numerator =
+      12.0 * rank_sq_sum - 3.0 * dn * dn * dk * (dk + 1.0) * (dk + 1.0);
+  const double denominator = dn * dk * (dk + 1.0) - tie_correction / (dk - 1.0);
+  if (denominator <= 0.0) {
+    // All scores tied in every block: no evidence of any difference.
+    result.statistic = 0.0;
+    result.p_value = 1.0;
+    return result;
+  }
+  result.statistic = numerator / denominator;
+  if (result.statistic < 0.0) result.statistic = 0.0;
+  result.p_value = util::ChiSquaredSurvival(result.statistic, static_cast<int>(k) - 1);
+  return result;
+}
+
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& x,
+                                  const std::vector<double>& y) {
+  NAVARCHOS_CHECK(x.size() == y.size());
+  WilcoxonResult result;
+
+  std::vector<double> abs_diffs;
+  std::vector<int> signs;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    if (d == 0.0) continue;  // drop zero differences
+    abs_diffs.push_back(std::fabs(d));
+    signs.push_back(d > 0.0 ? 1 : -1);
+  }
+  const std::size_t n = abs_diffs.size();
+  result.effective_n = static_cast<int>(n);
+  if (n < 1) return result;  // inconclusive
+
+  const std::vector<double> ranks = util::MidRanks(abs_diffs);
+  double w_plus = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (signs[i] > 0) w_plus += ranks[i];
+  result.statistic = w_plus;
+
+  // Normal approximation with tie correction.
+  const double dn = static_cast<double>(n);
+  const double mean = dn * (dn + 1.0) / 4.0;
+  double tie_term = 0.0;
+  {
+    std::vector<double> sorted(abs_diffs);
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i;
+      while (j + 1 < n && sorted[j + 1] == sorted[i]) ++j;
+      const double t = static_cast<double>(j - i + 1);
+      tie_term += t * t * t - t;
+      i = j + 1;
+    }
+  }
+  const double variance = dn * (dn + 1.0) * (2.0 * dn + 1.0) / 24.0 - tie_term / 48.0;
+  if (variance <= 0.0) {
+    result.p_value = 1.0;
+    return result;
+  }
+  // Continuity correction toward the mean.
+  const double diff = w_plus - mean;
+  const double corrected = diff - (diff > 0 ? 0.5 : diff < 0 ? -0.5 : 0.0);
+  const double z = corrected / std::sqrt(variance);
+  result.p_value = std::min(1.0, 2.0 * (1.0 - util::NormalCdf(std::fabs(z))));
+  return result;
+}
+
+std::vector<double> HolmCorrection(const std::vector<double>& p_values) {
+  const std::size_t m = p_values.size();
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return p_values[a] < p_values[b]; });
+  std::vector<double> adjusted(m, 0.0);
+  double running_max = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double scaled = static_cast<double>(m - i) * p_values[order[i]];
+    running_max = std::max(running_max, std::min(1.0, scaled));
+    adjusted[order[i]] = running_max;
+  }
+  return adjusted;
+}
+
+CriticalDifferenceResult AnalyzeRanks(const util::Matrix& scores,
+                                      const std::vector<std::string>& names,
+                                      double alpha) {
+  const std::size_t k = scores.cols();
+  NAVARCHOS_CHECK(names.size() == k);
+
+  CriticalDifferenceResult result;
+  result.names = names;
+  result.alpha = alpha;
+  result.friedman = FriedmanTest(scores);
+  result.mean_ranks = result.friedman.mean_ranks;
+
+  result.order.resize(k);
+  std::iota(result.order.begin(), result.order.end(), 0);
+  std::sort(result.order.begin(), result.order.end(), [&](std::size_t a, std::size_t b) {
+    return result.mean_ranks[a] < result.mean_ranks[b];
+  });
+
+  // Pairwise Wilcoxon with Holm correction over all k*(k-1)/2 pairs.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  std::vector<double> raw_p;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      pairs.emplace_back(i, j);
+      raw_p.push_back(WilcoxonSignedRank(scores.Col(i), scores.Col(j)).p_value);
+    }
+  }
+  const std::vector<double> holm = HolmCorrection(raw_p);
+  result.adjusted_p.assign(k, std::vector<double>(k, 1.0));
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    result.adjusted_p[pairs[p].first][pairs[p].second] = holm[p];
+    result.adjusted_p[pairs[p].second][pairs[p].first] = holm[p];
+  }
+
+  // Build maximal contiguous indistinguishable groups along the rank order:
+  // the classic CD-diagram bars. A bar spans [a, b] in rank order when every
+  // pair inside is not significantly different at alpha.
+  auto indistinct = [&](std::size_t a, std::size_t b) {
+    return result.adjusted_p[result.order[a]][result.order[b]] > alpha;
+  };
+  std::size_t covered_up_to = 0;  // end position of the widest group emitted so far
+  for (std::size_t start = 0; start < k; ++start) {
+    std::size_t end = start;
+    while (end + 1 < k) {
+      bool extendable = true;
+      for (std::size_t inner = start; inner <= end && extendable; ++inner)
+        extendable = indistinct(inner, end + 1);
+      if (!extendable) break;
+      ++end;
+    }
+    // Emit only maximal intervals: a group starting later with end <= a
+    // previous group's end is fully contained in it.
+    if (end > start && (result.groups.empty() || end > covered_up_to)) {
+      std::vector<std::size_t> group;
+      for (std::size_t i = start; i <= end; ++i) group.push_back(result.order[i]);
+      result.groups.push_back(std::move(group));
+      covered_up_to = end;
+    }
+  }
+  return result;
+}
+
+std::string RenderCriticalDifferenceDiagram(const CriticalDifferenceResult& result,
+                                            int width) {
+  const std::size_t k = result.names.size();
+  NAVARCHOS_CHECK(width >= 8 && k >= 2);
+  std::ostringstream out;
+  char head[96];
+  std::snprintf(head, sizeof(head), "Friedman chi2=%.3f  p=%.4g  (alpha=%.2f)\n",
+                result.friedman.statistic, result.friedman.p_value, result.alpha);
+  out << head;
+
+  const double dk = static_cast<double>(k);
+  auto column_of = [&](double rank) {
+    // Rank axis from 1 (left/best) to k (right/worst).
+    const double frac = (rank - 1.0) / std::max(1.0, dk - 1.0);
+    return static_cast<int>(frac * (width - 1) + 0.5);
+  };
+
+  // Axis line with integer-rank tick labels.
+  out << std::string(static_cast<std::size_t>(width), '-') << "\n";
+  std::string ticks(static_cast<std::size_t>(width), ' ');
+  for (std::size_t r = 1; r <= k; ++r) {
+    const int col = column_of(static_cast<double>(r));
+    const std::string label = std::to_string(r);
+    for (std::size_t i = 0; i < label.size() && col + static_cast<int>(i) < width; ++i)
+      ticks[static_cast<std::size_t>(col) + i] = label[i];
+  }
+  out << ticks << "   (mean rank; 1 = best)\n";
+
+  // One line per treatment in rank order.
+  for (std::size_t pos = 0; pos < k; ++pos) {
+    const std::size_t t = result.order[pos];
+    const int col = column_of(result.mean_ranks[t]);
+    std::string line(static_cast<std::size_t>(width), ' ');
+    line[static_cast<std::size_t>(col)] = '*';
+    char rank_buf[32];
+    std::snprintf(rank_buf, sizeof(rank_buf), "%.2f", result.mean_ranks[t]);
+    out << line << "  " << result.names[t] << " (rank " << rank_buf << ")\n";
+  }
+
+  // Connector bars: one line per indistinguishable group.
+  for (const auto& group : result.groups) {
+    int lo = width, hi = 0;
+    for (std::size_t t : group) {
+      lo = std::min(lo, column_of(result.mean_ranks[t]));
+      hi = std::max(hi, column_of(result.mean_ranks[t]));
+    }
+    std::string line(static_cast<std::size_t>(width), ' ');
+    for (int c = lo; c <= hi; ++c) line[static_cast<std::size_t>(c)] = '=';
+    out << line << "  [";
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (i) out << ", ";
+      out << result.names[group[i]];
+    }
+    out << "] not significantly different\n";
+  }
+  return out.str();
+}
+
+}  // namespace navarchos::stats

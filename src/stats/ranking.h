@@ -1,0 +1,76 @@
+// Nonparametric multi-treatment comparison, in the style of the autorank
+// package used by the paper: Friedman omnibus test followed by pairwise
+// Wilcoxon signed-rank tests with Holm correction, summarised as a critical
+// difference (CD) grouping of statistically indistinguishable treatments.
+//
+// Reproduces the statistical machinery behind the paper's Figures 6 and 7.
+#ifndef NAVARCHOS_STATS_RANKING_H_
+#define NAVARCHOS_STATS_RANKING_H_
+
+#include <string>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace navarchos::stats {
+
+/// Result of the Friedman test over a datasets x treatments score matrix.
+struct FriedmanResult {
+  double statistic = 0.0;            ///< Chi-squared statistic (tie-corrected).
+  double p_value = 1.0;              ///< Upper-tail chi-squared p-value.
+  std::vector<double> mean_ranks;    ///< Mean rank per treatment (1 = best).
+};
+
+/// Friedman test. `scores` holds one row per dataset (experimental block) and
+/// one column per treatment. Higher scores are better; rank 1 is assigned to
+/// the highest score in a row (ties get midranks).
+/// Requires at least 2 rows and 2 columns.
+FriedmanResult FriedmanTest(const util::Matrix& scores);
+
+/// Result of a two-sided Wilcoxon signed-rank test.
+struct WilcoxonResult {
+  double statistic = 0.0;  ///< W+ (sum of positive-signed ranks).
+  double p_value = 1.0;    ///< Two-sided p (normal approx., tie-corrected).
+  int effective_n = 0;     ///< Pairs with non-zero difference.
+};
+
+/// Paired two-sided Wilcoxon signed-rank test between equal-length samples.
+/// Zero differences are dropped (Wilcoxon's original treatment). With fewer
+/// than one non-zero difference the test is inconclusive (p = 1).
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+/// Holm step-down correction. Returns adjusted p-values in the input order,
+/// each clamped to [0, 1] and monotone in the Holm ordering.
+std::vector<double> HolmCorrection(const std::vector<double>& p_values);
+
+/// Full autorank-style analysis producing the data behind a CD diagram.
+struct CriticalDifferenceResult {
+  FriedmanResult friedman;
+  std::vector<std::string> names;        ///< Treatment names, input order.
+  std::vector<double> mean_ranks;        ///< Mean rank per treatment.
+  std::vector<std::size_t> order;        ///< Treatment indices best -> worst.
+  /// adjusted_p[i][j]: Holm-adjusted pairwise Wilcoxon p between treatments
+  /// i and j (symmetric, diagonal = 1).
+  std::vector<std::vector<double>> adjusted_p;
+  /// Maximal groups of treatments that are pairwise indistinguishable at
+  /// `alpha` (the horizontal bars of a CD diagram). Indices into `names`.
+  std::vector<std::vector<std::size_t>> groups;
+  double alpha = 0.05;
+};
+
+/// Runs Friedman + pairwise Wilcoxon/Holm over `scores` (rows = datasets,
+/// cols = treatments, higher = better).
+CriticalDifferenceResult AnalyzeRanks(const util::Matrix& scores,
+                                      const std::vector<std::string>& names,
+                                      double alpha = 0.05);
+
+/// Renders a text critical-difference diagram: treatments on a rank axis with
+/// connector bars for indistinguishable groups (text analogue of the paper's
+/// Figures 6/7).
+std::string RenderCriticalDifferenceDiagram(const CriticalDifferenceResult& result,
+                                            int width = 72);
+
+}  // namespace navarchos::stats
+
+#endif  // NAVARCHOS_STATS_RANKING_H_

@@ -1,0 +1,147 @@
+#include "telemetry/driving_cycle.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace navarchos::telemetry {
+namespace {
+
+struct RideTypeParams {
+  double mean_speed;   ///< Target cruise speed [km/h].
+  double speed_sd;     ///< Minute-to-minute volatility.
+  double stop_prob;    ///< Probability of initiating a stop each minute.
+  double max_speed;    ///< Speed ceiling [km/h].
+  int min_duration;    ///< Shortest ride [min].
+  int max_duration;    ///< Longest ride [min].
+};
+
+RideTypeParams ParamsFor(RideType type) {
+  switch (type) {
+    case RideType::kUrban: return {32.0, 9.0, 0.16, 65.0, 8, 45};
+    case RideType::kRegional: return {68.0, 10.0, 0.04, 100.0, 20, 80};
+    case RideType::kHighway: return {102.0, 7.0, 0.01, 130.0, 35, 150};
+  }
+  return {32.0, 9.0, 0.16, 65.0, 8, 45};
+}
+
+}  // namespace
+
+double TypicalSpeed(RideType type) { return ParamsFor(type).mean_speed; }
+
+std::vector<UsageRegime> SampleRegimeSequence(int days, util::Rng& rng) {
+  std::vector<UsageRegime> regimes(static_cast<std::size_t>(days), UsageRegime::kNormal);
+  UsageRegime state = UsageRegime::kNormal;
+  for (auto& regime : regimes) {
+    if (!rng.Bernoulli(0.90)) {
+      // Transition: mostly back to normal, occasionally to a special regime.
+      state = static_cast<UsageRegime>(rng.Categorical({0.5, 0.2, 0.2, 0.1}));
+    }
+    regime = state;
+  }
+  return regimes;
+}
+
+RegimeEffect ApplyRegime(const std::array<double, kNumRideTypes>& base_mix,
+                         UsageRegime regime) {
+  RegimeEffect effect;
+  effect.mix = base_mix;
+  switch (regime) {
+    case UsageRegime::kNormal:
+      break;
+    case UsageRegime::kUrbanHeavy:
+      effect.mix = {0.75, 0.20, 0.05};
+      effect.activity_multiplier = 0.9;
+      break;
+    case UsageRegime::kLongHaul:
+      effect.mix = {0.18, 0.37, 0.45};
+      effect.activity_multiplier = 1.5;
+      break;
+    case UsageRegime::kQuiet:
+      effect.activity_multiplier = 0.35;
+      break;
+  }
+  return effect;
+}
+
+std::vector<Ride> DrivingCycle::PlanDay(
+    std::int64_t day, util::Rng& rng,
+    const std::array<double, kNumRideTypes>* mix_override, double activity) const {
+  const std::array<double, kNumRideTypes>& mix =
+      mix_override != nullptr ? *mix_override : spec_.ride_mix;
+  std::vector<Ride> rides;
+  const bool weekend = (day % 7 == 5) || (day % 7 == 6);
+  double budget = spec_.daily_operating_minutes * activity * rng.Uniform(0.6, 1.4);
+  if (weekend) budget *= 0.35;
+  if (rng.Bernoulli(weekend ? 0.35 : 0.05)) return rides;  // idle day
+
+  // Operating window 06:00 - 22:00.
+  Minute cursor = day * kMinutesPerDay + 6 * 60 + rng.UniformInt(0, 90);
+  const Minute day_end = day * kMinutesPerDay + 22 * 60;
+  while (budget > 6.0 && cursor < day_end) {
+    const auto type = static_cast<RideType>(rng.Categorical(
+        {mix[0], mix[1], mix[2]}));
+    const RideTypeParams params = ParamsFor(type);
+    int duration = static_cast<int>(
+        rng.UniformInt(params.min_duration, params.max_duration));
+    duration = std::min(duration, static_cast<int>(budget));
+    duration = std::min(duration, static_cast<int>(day_end - cursor));
+    if (duration < 5) break;
+    rides.push_back({cursor, duration, type});
+    budget -= duration;
+    // Parking gap between rides; long gaps cool the engine for a cold start.
+    cursor += duration + rng.UniformInt(25, 240);
+  }
+  return rides;
+}
+
+std::vector<DrivingMinute> DrivingCycle::Realise(const Ride& ride, util::Rng& rng) const {
+  const RideTypeParams params = ParamsFor(ride.type);
+  std::vector<DrivingMinute> trace(static_cast<std::size_t>(ride.duration_min));
+
+  // Per-ride driver style and payload: a cautious driver short-shifts, a
+  // loaded van needs more throttle everywhere. These vary ride to ride and
+  // put a noise floor under the drivetrain correlations.
+  const double ride_gear_style = rng.Uniform(0.92, 1.12);
+  const double ride_load_offset = rng.Gaussian(0.0, 0.045);
+
+  double speed = 0.0;
+  double grade = 0.0;
+  double gear_hunt = 1.0;
+  int stop_left = 0;
+  for (int m = 0; m < ride.duration_min; ++m) {
+    const double prev = speed;
+    if (stop_left > 0) {
+      // Held at a stop (traffic light, loading...).
+      --stop_left;
+      speed = 0.0;
+    } else if (rng.Bernoulli(params.stop_prob) && m > 1 &&
+               m < ride.duration_min - 2) {
+      stop_left = static_cast<int>(rng.UniformInt(0, 2));
+      speed = 0.0;
+    } else {
+      // Mean-reverting walk toward the cruise speed.
+      const double pull = 0.35 * (params.mean_speed - speed);
+      speed += pull + rng.Gaussian(0.0, params.speed_sd);
+      speed = std::clamp(speed, 0.0, params.max_speed);
+      // Ease in/out at ride boundaries.
+      if (m == 0) speed = std::min(speed, params.mean_speed * 0.5);
+      if (m == ride.duration_min - 1) speed *= 0.4;
+    }
+    grade = 0.7 * grade + rng.Gaussian(0.0, 0.2);
+    grade = std::clamp(grade, -1.0, 1.0);
+    // Gear hunting: an AR(1) multiplier around the ride's base gear style,
+    // stronger at urban speeds where shifts are frequent.
+    const double hunt_sd = speed < 55.0 ? 0.05 : 0.02;
+    gear_hunt = 1.0 + 0.6 * (gear_hunt - 1.0) + rng.Gaussian(0.0, hunt_sd);
+    gear_hunt = std::clamp(gear_hunt, 0.85, 1.25);
+    DrivingMinute& minute = trace[static_cast<std::size_t>(m)];
+    minute.speed_kmh = speed;
+    minute.accel_kmh_min = speed - prev;
+    minute.grade = grade;
+    minute.gear_style = ride_gear_style * gear_hunt;
+    minute.load_offset = ride_load_offset;
+  }
+  return trace;
+}
+
+}  // namespace navarchos::telemetry

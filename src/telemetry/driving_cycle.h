@@ -1,0 +1,92 @@
+// Driving-cycle generation: when a vehicle operates and how fast it moves.
+//
+// Produces per-minute speed profiles for rides of three types (urban,
+// regional, highway). Usage volatility — the paper's main nuisance factor —
+// comes from each vehicle's ride-type mixture plus day-to-day randomness in
+// ride counts and lengths.
+#ifndef NAVARCHOS_TELEMETRY_DRIVING_CYCLE_H_
+#define NAVARCHOS_TELEMETRY_DRIVING_CYCLE_H_
+
+#include <vector>
+
+#include "telemetry/types.h"
+#include "telemetry/vehicle.h"
+#include "util/rng.h"
+
+namespace navarchos::telemetry {
+
+/// One planned operating block of a vehicle.
+struct Ride {
+  Minute start = 0;        ///< Absolute start minute.
+  int duration_min = 0;    ///< Ride length in minutes.
+  RideType type = RideType::kUrban;
+};
+
+/// Per-minute kinematic state inside a ride.
+struct DrivingMinute {
+  double speed_kmh = 0.0;     ///< Vehicle speed.
+  double accel_kmh_min = 0.0; ///< Speed change vs the previous minute.
+  double grade = 0.0;         ///< Road grade proxy in [-1, 1] (hills).
+  /// Driver gear-choice factor: multiplies the rpm/speed ratio. Real drivers
+  /// hold different gears at the same speed, which keeps the rpm~speed
+  /// correlation from being deterministic.
+  double gear_style = 1.0;
+  /// Payload/headwind load offset for this minute (added to engine load).
+  double load_offset = 0.0;
+};
+
+/// Plans and realises rides for one vehicle.
+class DrivingCycle {
+ public:
+  explicit DrivingCycle(const VehicleSpec& spec) : spec_(spec) {}
+
+  /// Plans the rides of one day: count, start times, types and durations are
+  /// drawn from the vehicle's usage profile. Rides never overlap and fit in
+  /// the day. Weekends (day % 7 in {5,6}) see reduced activity.
+  /// `mix_override`, when non-null, replaces the vehicle's base ride mix for
+  /// this day, and `activity` scales the day's operating budget
+  /// (usage-regime modulation, see UsageRegime).
+  std::vector<Ride> PlanDay(std::int64_t day, util::Rng& rng,
+                            const std::array<double, kNumRideTypes>* mix_override =
+                                nullptr,
+                            double activity = 1.0) const;
+
+  /// Realises a ride as a per-minute speed trace. Urban rides include
+  /// full stops (speed 0, filtered out downstream as stationary records).
+  std::vector<DrivingMinute> Realise(const Ride& ride, util::Rng& rng) const;
+
+ private:
+  VehicleSpec spec_;
+};
+
+/// Mean cruising speed of a ride type [km/h].
+double TypicalSpeed(RideType type);
+
+/// Multi-day usage regimes: real vehicles switch between stretches of
+/// different use (a delivery week downtown, a long-haul week, a quiet week).
+/// This is the paper's main nuisance factor - "the use of a particular
+/// vehicle in the fleet may vary compared to ... its past usage" - and it is
+/// what makes raw/mean-aggregated features drift while correlations stay
+/// put.
+enum class UsageRegime : int {
+  kNormal = 0,    ///< The vehicle's base ride mix.
+  kUrbanHeavy = 1,///< Mostly short urban rides.
+  kLongHaul = 2,  ///< Highway-dominated stretches.
+  kQuiet = 3,     ///< Sharply reduced usage.
+};
+
+/// Markov regime sequence for `days` days (stay-probability ~0.85/day).
+std::vector<UsageRegime> SampleRegimeSequence(int days, util::Rng& rng);
+
+/// The effective ride mix of a regime given the vehicle's base mix, plus an
+/// activity multiplier for the day's operating budget.
+struct RegimeEffect {
+  std::array<double, kNumRideTypes> mix;
+  double activity_multiplier = 1.0;
+};
+RegimeEffect ApplyRegime(const std::array<double, kNumRideTypes>& base_mix,
+                         UsageRegime regime);
+
+}  // namespace navarchos::telemetry
+
+#endif  // NAVARCHOS_TELEMETRY_DRIVING_CYCLE_H_

@@ -1,0 +1,106 @@
+#include "telemetry/engine_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace navarchos::telemetry {
+namespace {
+
+/// Parking cool-down time constant [min]. Engine bays hold heat for hours:
+/// a vehicle parked one hour keeps roughly three quarters of its coolant-ambient
+/// gap, so intra-day rides mostly run at regulated temperature and only the
+/// first ride of a day is a true cold start.
+constexpr double kCooldownTauMin = 240.0;
+
+/// Air density at reference conditions (100 kPa, 20 C) [g/L].
+constexpr double kAirDensityRef = 1.19;
+
+}  // namespace
+
+EngineModel::EngineModel(const VehicleSpec& spec) : spec_(spec) {}
+
+void EngineModel::StartRide(Minute t, double ambient_c) {
+  if (last_active_ < 0) {
+    coolant_c_ = ambient_c;
+  } else {
+    const double gap = static_cast<double>(std::max<Minute>(0, t - last_active_));
+    const double decay = std::exp(-gap / kCooldownTauMin);
+    coolant_c_ = ambient_c + (coolant_c_ - ambient_c) * decay;
+  }
+  last_active_ = t;
+}
+
+double EngineModel::LoadOf(const DrivingMinute& driving, const FaultEffects& faults) const {
+  const double v = driving.speed_kmh;
+  const double accel = std::max(0.0, driving.accel_kmh_min);
+  const double uphill = std::max(0.0, driving.grade);
+  double load = spec_.mass_factor *
+                (0.14 + 0.0021 * v + 0.0000135 * v * v + 0.028 * accel + 0.16 * uphill);
+  load += driving.load_offset;  // payload / headwind
+  // A degraded engine needs more throttle (higher MAP) for the same motion.
+  load /= std::max(0.1, 1.0 - faults.combustion_loss);
+  return std::clamp(load, 0.08, 1.0);
+}
+
+PidVector EngineModel::Step(Minute t, const DrivingMinute& driving, double ambient_c,
+                            const FaultEffects& faults, util::Rng& rng) {
+  last_active_ = t;
+  const double v = driving.speed_kmh;
+  const double load = LoadOf(driving, faults);
+
+  // --- rpm: gear-dependent ratio, enriched at low speed (low gears). ---
+  double rpm;
+  if (v < 2.0) {
+    rpm = spec_.idle_rpm;
+  } else {
+    const double ratio = (spec_.ratio_base + spec_.ratio_low / (v + spec_.ratio_knee)) *
+                         driving.gear_style;
+    rpm = std::max(spec_.idle_rpm, v * ratio);
+    // Downshift under acceleration demand.
+    rpm *= 1.0 + 0.012 * std::max(0.0, driving.accel_kmh_min);
+  }
+  rpm *= 1.0 + rng.Gaussian(0.0, 0.015 + faults.rpm_noise_frac);
+  rpm = std::max(500.0, rpm);
+
+  // --- MAP: follows load; an intake leak lifts it at low load. ---
+  double map_kpa = 28.0 + 65.0 * load;
+  map_kpa += faults.map_leak_kpa * (1.0 - load);
+  map_kpa += rng.Gaussian(0.0, 1.4);
+  map_kpa = std::clamp(map_kpa, 22.0, 103.0);
+
+  // --- Intake temperature: ambient + heat soak at low airflow. ---
+  double intake_c = ambient_c + 8.0 + 6.0 * std::exp(-v / 40.0) +
+                    rng.Gaussian(0.0, 1.2);
+
+  // --- MAF: speed-density. A 4-stroke fills displacement/2 per revolution. --
+  const double intake_k = intake_c + 273.15;
+  double maf_true = spec_.volumetric_eff * (spec_.displacement_l / 2.0) *
+                    (rpm / 60.0) * (map_kpa / 101.0) * kAirDensityRef *
+                    (293.15 / intake_k);
+  double maf = maf_true * (1.0 + faults.maf_gain_delta);
+  maf *= 1.0 + rng.Gaussian(0.0, 0.02 + faults.maf_noise_frac);
+  maf = std::max(0.5, maf);
+
+  // --- Coolant: first-order relaxation toward a regulated target. ---
+  const double regulated = spec_.thermostat_c + faults.coolant_load_gain * load +
+                           2.5 * load;  // small healthy load sensitivity
+  // With the thermostat stuck open, temperature equilibrates where heat input
+  // balances airflow cooling: strongly dependent on speed and ambient.
+  const double unregulated = ambient_c + 38.0 + 30.0 * load - 0.22 * v;
+  const double target =
+      (1.0 - faults.thermostat_open) * regulated + faults.thermostat_open * unregulated;
+  const double alpha = 1.0 - std::exp(-1.0 / spec_.warmup_tau_min);
+  coolant_c_ += (target - coolant_c_) * alpha + rng.Gaussian(0.0, 0.25);
+  coolant_c_ = std::clamp(coolant_c_, ambient_c - 5.0, 125.0);
+
+  PidVector pids;
+  pids[static_cast<int>(Pid::kRpm)] = rpm;
+  pids[static_cast<int>(Pid::kSpeed)] = v;
+  pids[static_cast<int>(Pid::kCoolantTemp)] = coolant_c_;
+  pids[static_cast<int>(Pid::kIntakeTemp)] = intake_c;
+  pids[static_cast<int>(Pid::kMapIntake)] = map_kpa;
+  pids[static_cast<int>(Pid::kMafAirFlowRate)] = maf;
+  return pids;
+}
+
+}  // namespace navarchos::telemetry

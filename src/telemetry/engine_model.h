@@ -1,0 +1,52 @@
+// Engine signal synthesis: maps kinematics + weather + faults to the six
+// OBD-II PIDs.
+//
+// The model is intentionally first-principles-shaped rather than curve-fit:
+//  * rpm follows speed through a gear-dependent ratio,
+//  * MAP follows engine load (drag + acceleration + grade + mass),
+//  * MAF follows the speed-density relation ve * disp * rpm * MAP / T_intake,
+//  * coolant temperature is a first-order thermal system regulated by the
+//    thermostat, with cold starts after long parking gaps,
+//  * intake temperature tracks ambient plus low-speed heat soak.
+// These couplings are what the correlation transform measures; fault effects
+// perturb them (see telemetry/faults.h).
+#ifndef NAVARCHOS_TELEMETRY_ENGINE_MODEL_H_
+#define NAVARCHOS_TELEMETRY_ENGINE_MODEL_H_
+
+#include "telemetry/driving_cycle.h"
+#include "telemetry/faults.h"
+#include "telemetry/types.h"
+#include "telemetry/vehicle.h"
+#include "util/rng.h"
+
+namespace navarchos::telemetry {
+
+/// Stateful per-vehicle signal generator. One instance per vehicle; call
+/// StartRide at each ignition, then Step once per operating minute.
+class EngineModel {
+ public:
+  explicit EngineModel(const VehicleSpec& spec);
+
+  /// Signals ignition at time `t`. Cools the engine toward ambient according
+  /// to the parking gap since the previous ride.
+  void StartRide(Minute t, double ambient_c);
+
+  /// Produces the PID vector for one operating minute.
+  PidVector Step(Minute t, const DrivingMinute& driving, double ambient_c,
+                 const FaultEffects& faults, util::Rng& rng);
+
+  /// Current coolant temperature [deg C] (exposed for tests).
+  double coolant_c() const { return coolant_c_; }
+
+  /// Engine load in [0, 1] implied by a kinematic state (exposed for tests).
+  double LoadOf(const DrivingMinute& driving, const FaultEffects& faults) const;
+
+ private:
+  VehicleSpec spec_;
+  double coolant_c_ = 15.0;
+  Minute last_active_ = -1;
+};
+
+}  // namespace navarchos::telemetry
+
+#endif  // NAVARCHOS_TELEMETRY_ENGINE_MODEL_H_

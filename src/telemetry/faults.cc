@@ -1,0 +1,95 @@
+#include "telemetry/faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace navarchos::telemetry {
+
+const char* FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kThermostatStuckOpen: return "thermostat_stuck_open";
+    case FaultType::kMafSensorDrift: return "maf_sensor_drift";
+    case FaultType::kIntakeLeak: return "intake_leak";
+    case FaultType::kCoolantRestriction: return "coolant_restriction";
+    case FaultType::kInjectorDegradation: return "injector_degradation";
+  }
+  return "unknown";
+}
+
+void FaultEffects::Add(const FaultEffects& other) {
+  thermostat_open = std::min(1.0, thermostat_open + other.thermostat_open);
+  maf_gain_delta += other.maf_gain_delta;
+  maf_noise_frac += other.maf_noise_frac;
+  map_leak_kpa += other.map_leak_kpa;
+  coolant_load_gain += other.coolant_load_gain;
+  rpm_noise_frac += other.rpm_noise_frac;
+  combustion_loss = std::min(0.9, combustion_loss + other.combustion_loss);
+}
+
+double FaultInstance::SeverityAt(Minute t) const {
+  if (t < onset || t >= repair_time) return 0.0;
+  const double span = static_cast<double>(repair_time - onset);
+  if (span <= 0.0) return 0.0;
+  const double x = static_cast<double>(t - onset) / span;
+  // Smoothstep raised to an exponent < 1: degradation becomes noticeable
+  // around a third of the way into the lead window, so some alarms precede
+  // the repair by more than two weeks (the paper's PH=30 results dominate
+  // its PH=15 ones).
+  const double s = x * x * (3.0 - 2.0 * x);
+  return peak_severity * std::pow(s, 0.55);
+}
+
+FaultEffects EffectsOf(FaultType type, double severity) {
+  FaultEffects effects;
+  if (severity <= 0.0) return effects;
+  const double s = std::min(1.0, severity);
+  switch (type) {
+    case FaultType::kThermostatStuckOpen:
+      effects.thermostat_open = 0.95 * s;
+      break;
+    case FaultType::kMafSensorDrift:
+      // Correlations are scale-invariant, so a pure gain drift is invisible
+      // to them (only XGBoost/TranAD see the level shift); the erratic
+      // component is what breaks the rpm*map <-> MAF coupling.
+      effects.maf_gain_delta = -0.25 * s;
+      effects.maf_noise_frac = 0.45 * s;
+      break;
+    case FaultType::kIntakeLeak:
+      effects.map_leak_kpa = 28.0 * s;
+      effects.maf_gain_delta = -0.12 * s;  // unmetered air bypasses the MAF
+      break;
+    case FaultType::kCoolantRestriction:
+      effects.coolant_load_gain = 70.0 * s;
+      break;
+    case FaultType::kInjectorDegradation:
+      effects.rpm_noise_frac = 0.28 * s;
+      effects.combustion_loss = 0.50 * s;
+      break;
+  }
+  return effects;
+}
+
+FaultEffects CombinedEffectsAt(std::span<const FaultInstance> faults, Minute t) {
+  FaultEffects combined;
+  for (const FaultInstance& fault : faults)
+    combined.Add(EffectsOf(fault.type, fault.SeverityAt(t)));
+  return combined;
+}
+
+FaultInstance SampleFault(int fault_id, std::int32_t vehicle_id, Minute repair_time,
+                          int lead_days, util::Rng& rng) {
+  NAVARCHOS_CHECK(lead_days > 0);
+  FaultInstance fault;
+  fault.fault_id = fault_id;
+  fault.vehicle_id = vehicle_id;
+  fault.type = static_cast<FaultType>(rng.UniformInt(0, kNumFaultTypes - 1));
+  fault.repair_time = repair_time;
+  fault.onset = std::max<Minute>(0, repair_time - static_cast<Minute>(lead_days) *
+                                        kMinutesPerDay);
+  fault.peak_severity = rng.Uniform(0.85, 1.0);
+  return fault;
+}
+
+}  // namespace navarchos::telemetry

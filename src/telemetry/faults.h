@@ -1,0 +1,80 @@
+// Fault and degradation modelling.
+//
+// The central modelling decision of this reproduction: faults are expressed
+// as perturbations of the *couplings* between signals, not as level shifts.
+// A failing thermostat changes how coolantTemp co-moves with speed; a
+// drifting MAF sensor breaks the rpm*map -> MAF relation; an intake leak
+// distorts the rpm <-> map relation. This is precisely the structure the
+// paper's correlation transform detects and what raw-value distances miss,
+// so the simulator exercises the same mechanism the paper observed on the
+// proprietary Navarchos fleet.
+#ifndef NAVARCHOS_TELEMETRY_FAULTS_H_
+#define NAVARCHOS_TELEMETRY_FAULTS_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "telemetry/types.h"
+#include "util/rng.h"
+
+namespace navarchos::telemetry {
+
+/// Fault families simulated in the fleet.
+enum class FaultType : int {
+  kThermostatStuckOpen = 0,  ///< Coolant regulation lost; temp follows load/airflow.
+  kMafSensorDrift = 1,       ///< MAF reading gain drifts and gets noisy.
+  kIntakeLeak = 2,           ///< Unmetered air: MAP offset at low load.
+  kCoolantRestriction = 3,   ///< Radiator clog: coolant overshoots with load.
+  kInjectorDegradation = 4,  ///< Misfire-like rpm instability and torque loss.
+};
+
+/// Number of fault families.
+inline constexpr int kNumFaultTypes = 5;
+
+/// Display name of a fault family.
+const char* FaultTypeName(FaultType type);
+
+/// Instantaneous effect of active faults on the engine model, already scaled
+/// by severity. All members are zero in a healthy vehicle.
+struct FaultEffects {
+  double thermostat_open = 0.0;   ///< [0,1] loss of coolant regulation.
+  double maf_gain_delta = 0.0;    ///< Fractional MAF reading drift (+/-).
+  double maf_noise_frac = 0.0;    ///< Extra multiplicative MAF noise.
+  double map_leak_kpa = 0.0;      ///< Manifold pressure offset at low load.
+  double coolant_load_gain = 0.0; ///< Extra coolant deg C per unit load.
+  double rpm_noise_frac = 0.0;    ///< Extra multiplicative rpm noise.
+  double combustion_loss = 0.0;   ///< [0,1) torque loss (raises load for a speed).
+
+  /// Accumulates another effect set (faults are additive at this level).
+  void Add(const FaultEffects& other);
+};
+
+/// One fault: a degradation that ramps up over a lead window and ends with a
+/// repair event (or runs to the end of monitoring when never repaired).
+struct FaultInstance {
+  int fault_id = 0;
+  std::int32_t vehicle_id = 0;
+  FaultType type = FaultType::kThermostatStuckOpen;
+  Minute onset = 0;        ///< Severity starts ramping here.
+  Minute repair_time = 0;  ///< Severity peaks here; zero afterwards.
+  double peak_severity = 1.0;
+
+  /// Smooth severity in [0, peak]: 0 before onset, smoothstep ramp up to the
+  /// repair time, 0 after (the repair fixes the fault).
+  double SeverityAt(Minute t) const;
+};
+
+/// Effects of a single fault at severity `s`.
+FaultEffects EffectsOf(FaultType type, double severity);
+
+/// Combined effect of all faults of one vehicle at time `t`.
+FaultEffects CombinedEffectsAt(std::span<const FaultInstance> faults, Minute t);
+
+/// Draws a fault type (uniformly) and a peak severity for a new fault.
+FaultInstance SampleFault(int fault_id, std::int32_t vehicle_id, Minute repair_time,
+                          int lead_days, util::Rng& rng);
+
+}  // namespace navarchos::telemetry
+
+#endif  // NAVARCHOS_TELEMETRY_FAULTS_H_

@@ -1,0 +1,54 @@
+#include "telemetry/filters.h"
+
+namespace navarchos::telemetry {
+namespace {
+
+constexpr double kMovingSpeedKmh = 3.0;
+
+struct Range {
+  double lo;
+  double hi;
+};
+
+// Plausible operating envelope per PID channel.
+constexpr Range kPlausible[kNumPids] = {
+    {300.0, 7500.0},   // rpm
+    {0.0, 220.0},      // speed
+    {-30.0, 130.0},    // coolantTemp
+    {-30.0, 80.0},     // intakeTemp
+    {10.0, 110.0},     // mapIntake
+    {0.1, 400.0},      // MAFairFlowRate
+};
+
+}  // namespace
+
+bool IsStationary(const Record& record) {
+  return record.pids[static_cast<int>(Pid::kSpeed)] < kMovingSpeedKmh;
+}
+
+bool IsSensorFaulty(const Record& record) {
+  for (int i = 0; i < kNumPids; ++i) {
+    const double v = record.pids[static_cast<std::size_t>(i)];
+    if (v < kPlausible[i].lo || v > kPlausible[i].hi) return true;
+  }
+  // Inconsistent reading: engine racing while the vehicle reports no motion.
+  if (record.pids[static_cast<int>(Pid::kRpm)] > 4000.0 &&
+      record.pids[static_cast<int>(Pid::kSpeed)] < 1.0) {
+    return true;
+  }
+  return false;
+}
+
+bool IsUsable(const Record& record) {
+  return !IsStationary(record) && !IsSensorFaulty(record);
+}
+
+std::vector<Record> FilterRecords(const std::vector<Record>& records) {
+  std::vector<Record> usable;
+  usable.reserve(records.size());
+  for (const Record& record : records)
+    if (IsUsable(record)) usable.push_back(record);
+  return usable;
+}
+
+}  // namespace navarchos::telemetry

@@ -1,0 +1,30 @@
+// Record filtering (paper §3.2): "before we transform the data, we first
+// filter out records that correspond to the stationary state of the vehicle
+// and sensor faulty data".
+#ifndef NAVARCHOS_TELEMETRY_FILTERS_H_
+#define NAVARCHOS_TELEMETRY_FILTERS_H_
+
+#include <vector>
+
+#include "telemetry/types.h"
+
+namespace navarchos::telemetry {
+
+/// True when the vehicle is effectively parked or idling (speed below the
+/// moving threshold): such minutes carry no drivetrain information.
+bool IsStationary(const Record& record);
+
+/// True when any PID is outside its physically plausible range, which is how
+/// OBD dropouts and stuck sensors manifest (-40 C readings, MAF 655.35, rpm
+/// pegged at 8191 with zero speed, ...).
+bool IsSensorFaulty(const Record& record);
+
+/// True when a record survives both filters.
+bool IsUsable(const Record& record);
+
+/// Copies the usable records, preserving order.
+std::vector<Record> FilterRecords(const std::vector<Record>& records);
+
+}  // namespace navarchos::telemetry
+
+#endif  // NAVARCHOS_TELEMETRY_FILTERS_H_

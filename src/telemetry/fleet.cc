@@ -1,0 +1,319 @@
+#include "telemetry/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "telemetry/driving_cycle.h"
+#include "telemetry/engine_model.h"
+#include "util/check.h"
+
+namespace navarchos::telemetry {
+
+FleetConfig FleetConfig::PaperScale() { return FleetConfig{}; }
+
+FleetConfig FleetConfig::BenchScale() {
+  FleetConfig config;
+  config.days = 150;
+  config.service_interval_days = 45.0;
+  return config;
+}
+
+FleetConfig FleetConfig::TestScale() {
+  FleetConfig config;
+  config.num_vehicles = 8;
+  config.num_reporting = 6;
+  config.num_recorded_failures = 2;
+  config.num_hidden_failures = 1;
+  config.days = 60;
+  config.fault_lead_days = 14;
+  config.service_interval_days = 20.0;
+  return config;
+}
+
+std::vector<FleetEvent> VehicleHistory::RecordedEvents() const {
+  std::vector<FleetEvent> out;
+  for (const FleetEvent& event : events)
+    if (event.recorded) out.push_back(event);
+  return out;
+}
+
+std::vector<Minute> VehicleHistory::RecordedRepairTimes() const {
+  std::vector<Minute> out;
+  for (const FleetEvent& event : events)
+    if (event.recorded && event.type == EventType::kRepair) out.push_back(event.timestamp);
+  return out;
+}
+
+std::vector<Minute> VehicleHistory::TrueRepairTimes() const {
+  std::vector<Minute> out;
+  for (const FleetEvent& event : events)
+    if (event.type == EventType::kRepair) out.push_back(event.timestamp);
+  return out;
+}
+
+std::size_t FleetDataset::TotalRecords() const {
+  std::size_t total = 0;
+  for (const auto& vehicle : vehicles) total += vehicle.records.size();
+  return total;
+}
+
+std::size_t FleetDataset::TotalRecordedEvents() const {
+  std::size_t total = 0;
+  for (const auto& vehicle : vehicles) total += vehicle.RecordedEvents().size();
+  return total;
+}
+
+FleetDataset FleetDataset::ReportingSubset() const {
+  FleetDataset subset;
+  subset.config = config;
+  for (const auto& vehicle : vehicles)
+    if (vehicle.reporting) subset.vehicles.push_back(vehicle);
+  return subset;
+}
+
+double FleetDataset::FailureStateFraction(int horizon_days) const {
+  const Minute horizon = static_cast<Minute>(horizon_days) * kMinutesPerDay;
+  std::size_t in_failure_state = 0;
+  std::size_t total = 0;
+  for (const auto& vehicle : vehicles) {
+    const auto repairs = vehicle.RecordedRepairTimes();
+    total += vehicle.records.size();
+    for (const Record& record : vehicle.records) {
+      for (Minute repair : repairs) {
+        if (record.timestamp <= repair && record.timestamp > repair - horizon) {
+          ++in_failure_state;
+          break;
+        }
+      }
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(in_failure_state) /
+                                static_cast<double>(total);
+}
+
+namespace {
+
+/// Plans service events for one vehicle. Services happen regardless of
+/// reporting status; recording is decided separately.
+std::vector<Minute> PlanServiceTimes(const FleetConfig& config, util::Rng& rng) {
+  std::vector<Minute> services;
+  double day = rng.Uniform(10.0, config.service_interval_days);
+  while (day < static_cast<double>(config.days) - 2.0) {
+    services.push_back(static_cast<Minute>(day) * kMinutesPerDay +
+                       rng.UniformInt(9 * 60, 17 * 60));
+    day += config.service_interval_days * rng.Uniform(0.7, 1.3);
+  }
+  return services;
+}
+
+/// A real OBD-II style DTC code for event realism.
+std::string SampleDtcCode(util::Rng& rng) {
+  static const char* kCodes[] = {"P0101", "P0113", "P0128", "P0171", "P0300",
+                                 "P0325", "P0420", "P0442", "P0455", "P0507"};
+  return kCodes[rng.UniformInt(0, 9)];
+}
+
+/// DTC behaviour archetypes reproducing paper Fig. 1: DTCs mostly do NOT
+/// anticipate repairs.
+enum class DtcStyle {
+  kQuiet,          ///< Almost no DTCs (Fig. 1 vehicles 2/3).
+  kNoisyAfterFix,  ///< Burst of stored DTCs long after a repair (vehicle 1).
+  kRandom,         ///< Sporadic pending DTCs uncorrelated with anything.
+  kPredictive,     ///< Rare: a DTC shortly before the failure (vehicle 4).
+};
+
+void EmitDtcs(const FleetConfig& config, const VehicleHistory& vehicle, DtcStyle style,
+              std::vector<FleetEvent>* events, util::Rng& rng) {
+  const Minute end = static_cast<Minute>(config.days) * kMinutesPerDay;
+  auto emit = [&](Minute t, EventType type) {
+    if (t < 0 || t >= end) return;
+    FleetEvent event;
+    event.vehicle_id = vehicle.spec.id;
+    event.timestamp = t;
+    event.type = type;
+    event.code = SampleDtcCode(rng);
+    event.recorded = true;  // DTCs arrive over OBD for every vehicle.
+    events->push_back(event);
+  };
+
+  // Baseline sporadic pending codes.
+  const double rate = config.dtc_rate_per_day *
+                      (style == DtcStyle::kRandom ? 3.0 : style == DtcStyle::kQuiet ? 0.15 : 1.0);
+  double day = rng.Exponential(std::max(1e-9, rate));
+  while (day < static_cast<double>(config.days)) {
+    emit(static_cast<Minute>(day * kMinutesPerDay), EventType::kDtcPending);
+    day += rng.Exponential(std::max(1e-9, rate));
+  }
+
+  if (style == DtcStyle::kNoisyAfterFix) {
+    // Stored codes streaming for weeks after each repair without any new
+    // failure (an ECU left in a confused state).
+    for (Minute repair : vehicle.TrueRepairTimes()) {
+      const int burst = static_cast<int>(rng.UniformInt(5, 12));
+      for (int i = 0; i < burst; ++i) {
+        emit(repair + rng.UniformInt(3, 60) * kMinutesPerDay, EventType::kDtcStored);
+      }
+    }
+  }
+  if (style == DtcStyle::kPredictive) {
+    for (Minute repair : vehicle.TrueRepairTimes()) {
+      emit(repair - rng.UniformInt(2, 12) * kMinutesPerDay, EventType::kDtcStored);
+    }
+  }
+}
+
+/// Corrupts a record the way flaky OBD readers do: stuck error constants or
+/// a dropped channel.
+void CorruptRecord(Record* record, util::Rng& rng) {
+  switch (rng.UniformInt(0, 3)) {
+    case 0:  // classic -40 C sensor dropout
+      record->pids[static_cast<int>(Pid::kIntakeTemp)] = -40.0;
+      break;
+    case 1:  // MAF saturated error value
+      record->pids[static_cast<int>(Pid::kMafAirFlowRate)] = 655.35;
+      break;
+    case 2:  // coolant sensor open circuit
+      record->pids[static_cast<int>(Pid::kCoolantTemp)] = -40.0;
+      break;
+    default:  // speed dropout while the engine runs
+      record->pids[static_cast<int>(Pid::kSpeed)] = 0.0;
+      record->pids[static_cast<int>(Pid::kRpm)] = 8191.0;  // OBD max
+      break;
+  }
+}
+
+}  // namespace
+
+FleetDataset GenerateFleet(const FleetConfig& config) {
+  NAVARCHOS_CHECK(config.num_vehicles > 0);
+  NAVARCHOS_CHECK(config.num_reporting <= config.num_vehicles);
+  NAVARCHOS_CHECK(config.num_recorded_failures <= config.num_reporting);
+  NAVARCHOS_CHECK(config.num_hidden_failures <=
+                  config.num_vehicles - config.num_reporting);
+
+  util::Rng master(config.seed);
+  FleetDataset dataset;
+  dataset.config = config;
+
+  util::Rng spec_rng = master.Fork(1);
+  std::vector<VehicleSpec> specs = SampleFleetSpecs(config.num_vehicles, spec_rng);
+
+  util::Rng weather_rng = master.Fork(2);
+  const WeatherModel weather(config.weather, config.days, weather_rng);
+
+  // Choose which vehicles report and which fail.
+  std::vector<int> ids(static_cast<std::size_t>(config.num_vehicles));
+  std::iota(ids.begin(), ids.end(), 0);
+  util::Rng assign_rng = master.Fork(3);
+  assign_rng.Shuffle(ids);
+  std::vector<bool> reporting(static_cast<std::size_t>(config.num_vehicles), false);
+  for (int i = 0; i < config.num_reporting; ++i) reporting[static_cast<std::size_t>(ids[i])] = true;
+
+  std::vector<int> reporting_ids, silent_ids;
+  for (int v = 0; v < config.num_vehicles; ++v)
+    (reporting[static_cast<std::size_t>(v)] ? reporting_ids : silent_ids).push_back(v);
+  assign_rng.Shuffle(reporting_ids);
+  assign_rng.Shuffle(silent_ids);
+
+  std::vector<bool> fails(static_cast<std::size_t>(config.num_vehicles), false);
+  for (int i = 0; i < config.num_recorded_failures; ++i)
+    fails[static_cast<std::size_t>(reporting_ids[static_cast<std::size_t>(i)])] = true;
+  for (int i = 0; i < config.num_hidden_failures && i < static_cast<int>(silent_ids.size()); ++i)
+    fails[static_cast<std::size_t>(silent_ids[static_cast<std::size_t>(i)])] = true;
+
+  int next_fault_id = 0;
+  dataset.vehicles.resize(static_cast<std::size_t>(config.num_vehicles));
+  for (int v = 0; v < config.num_vehicles; ++v) {
+    VehicleHistory& vehicle = dataset.vehicles[static_cast<std::size_t>(v)];
+    vehicle.spec = specs[static_cast<std::size_t>(v)];
+    vehicle.reporting = reporting[static_cast<std::size_t>(v)];
+    util::Rng rng = master.Fork(100 + static_cast<std::uint64_t>(v));
+
+    // --- Events: services, repair (if failing), other. ---
+    for (Minute service_time : PlanServiceTimes(config, rng)) {
+      FleetEvent event;
+      event.vehicle_id = v;
+      event.timestamp = service_time;
+      event.type = EventType::kService;
+      event.code = "standard_service";
+      event.recorded = vehicle.reporting && rng.Bernoulli(config.service_record_prob);
+      vehicle.events.push_back(event);
+    }
+    if (fails[static_cast<std::size_t>(v)]) {
+      // Repair date late enough for a reference profile to exist first, but
+      // clamped so very short simulations stay valid.
+      const int latest_day = std::max(2, config.days - 3);
+      const int min_day = std::min(
+          std::max(config.fault_lead_days + 20, config.days / 3), latest_day);
+      const Minute repair_time =
+          static_cast<Minute>(rng.UniformInt(min_day, latest_day)) * kMinutesPerDay +
+          rng.UniformInt(8 * 60, 18 * 60);
+      FaultInstance fault = SampleFault(next_fault_id++, v, repair_time,
+                                        config.fault_lead_days, rng);
+      vehicle.faults.push_back(fault);
+      FleetEvent event;
+      event.vehicle_id = v;
+      event.timestamp = repair_time;
+      event.type = EventType::kRepair;
+      event.code = FaultTypeName(fault.type);
+      event.recorded = vehicle.reporting;
+      event.fault_id = fault.fault_id;
+      vehicle.events.push_back(event);
+    }
+    if (vehicle.reporting) {
+      const int extra = static_cast<int>(
+          rng.UniformInt(0, static_cast<std::int64_t>(2.0 * config.other_events_per_vehicle)));
+      for (int i = 0; i < extra; ++i) {
+        FleetEvent event;
+        event.vehicle_id = v;
+        event.timestamp = rng.UniformInt(5, config.days - 1) * kMinutesPerDay +
+                          rng.UniformInt(8 * 60, 18 * 60);
+        event.type = EventType::kOther;
+        event.code = "misc_event";
+        event.recorded = true;
+        vehicle.events.push_back(event);
+      }
+    }
+
+    // --- DTC stream (paper Fig. 1 archetypes). ---
+    const DtcStyle style = static_cast<DtcStyle>(
+        rng.Categorical({0.45, 0.20, 0.25, 0.10}));
+    EmitDtcs(config, vehicle, style, &vehicle.events, rng);
+
+    std::sort(vehicle.events.begin(), vehicle.events.end(),
+              [](const FleetEvent& a, const FleetEvent& b) {
+                return a.timestamp < b.timestamp;
+              });
+
+    // --- Telemetry records. ---
+    DrivingCycle cycle(vehicle.spec);
+    EngineModel engine(vehicle.spec);
+    const std::vector<UsageRegime> regimes = SampleRegimeSequence(config.days, rng);
+    vehicle.records.reserve(static_cast<std::size_t>(
+        config.days * vehicle.spec.daily_operating_minutes * 1.2));
+    for (int day = 0; day < config.days; ++day) {
+      const RegimeEffect regime = ApplyRegime(
+          vehicle.spec.ride_mix, regimes[static_cast<std::size_t>(day)]);
+      for (const Ride& ride :
+           cycle.PlanDay(day, rng, &regime.mix, regime.activity_multiplier)) {
+        engine.StartRide(ride.start, weather.AmbientAt(ride.start));
+        const auto trace = cycle.Realise(ride, rng);
+        for (int m = 0; m < ride.duration_min; ++m) {
+          const Minute t = ride.start + m;
+          const FaultEffects effects = CombinedEffectsAt(vehicle.faults, t);
+          Record record;
+          record.vehicle_id = v;
+          record.timestamp = t;
+          record.pids = engine.Step(t, trace[static_cast<std::size_t>(m)],
+                                    weather.AmbientAt(t), effects, rng);
+          if (rng.Bernoulli(config.sensor_fault_rate)) CorruptRecord(&record, rng);
+          vehicle.records.push_back(record);
+        }
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace navarchos::telemetry

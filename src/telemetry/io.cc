@@ -1,0 +1,99 @@
+#include "telemetry/io.h"
+
+#include <map>
+#include <string>
+
+#include "util/csv.h"
+
+namespace navarchos::telemetry {
+namespace {
+
+EventType EventTypeByName(const std::string& name) {
+  for (int t = 0; t <= 4; ++t) {
+    const auto type = static_cast<EventType>(t);
+    if (name == EventTypeName(type)) return type;
+  }
+  return EventType::kOther;
+}
+
+}  // namespace
+
+util::Status WriteFleetCsv(const std::string& prefix, const FleetDataset& fleet) {
+  util::CsvDocument records;
+  records.header = {"vehicle_id", "timestamp_min"};
+  for (int pid = 0; pid < kNumPids; ++pid) records.header.emplace_back(PidName(pid));
+  for (const auto& vehicle : fleet.vehicles) {
+    for (const Record& record : vehicle.records) {
+      std::vector<std::string> row{std::to_string(record.vehicle_id),
+                                   std::to_string(record.timestamp)};
+      for (int pid = 0; pid < kNumPids; ++pid) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f",
+                      record.pids[static_cast<std::size_t>(pid)]);
+        row.emplace_back(buf);
+      }
+      records.rows.push_back(std::move(row));
+    }
+  }
+  util::Status status = util::WriteCsv(prefix + "_records.csv", records);
+  if (!status.ok()) return status;
+
+  util::CsvDocument events;
+  events.header = {"vehicle_id", "timestamp_min", "type", "code", "recorded"};
+  for (const auto& vehicle : fleet.vehicles) {
+    for (const FleetEvent& event : vehicle.events) {
+      events.rows.push_back({std::to_string(event.vehicle_id),
+                             std::to_string(event.timestamp),
+                             EventTypeName(event.type), event.code,
+                             event.recorded ? "1" : "0"});
+    }
+  }
+  return util::WriteCsv(prefix + "_events.csv", events);
+}
+
+util::Status ReadFleetCsv(const std::string& prefix, FleetDataset* fleet) {
+  util::CsvDocument records;
+  util::Status status = util::ReadCsv(prefix + "_records.csv", &records);
+  if (!status.ok()) return status;
+  util::CsvDocument events;
+  status = util::ReadCsv(prefix + "_events.csv", &events);
+  if (!status.ok()) return status;
+
+  std::map<std::int32_t, VehicleHistory> vehicles;
+  for (const auto& row : records.rows) {
+    if (row.size() < static_cast<std::size_t>(2 + kNumPids))
+      return util::Status::Error("malformed record row");
+    Record record;
+    record.vehicle_id = std::stoi(row[0]);
+    record.timestamp = std::stoll(row[1]);
+    for (int pid = 0; pid < kNumPids; ++pid)
+      record.pids[static_cast<std::size_t>(pid)] =
+          std::stod(row[static_cast<std::size_t>(2 + pid)]);
+    auto& vehicle = vehicles[record.vehicle_id];
+    vehicle.spec.id = record.vehicle_id;
+    vehicle.records.push_back(record);
+  }
+  for (const auto& row : events.rows) {
+    if (row.size() < 5) return util::Status::Error("malformed event row");
+    FleetEvent event;
+    event.vehicle_id = std::stoi(row[0]);
+    event.timestamp = std::stoll(row[1]);
+    event.type = EventTypeByName(row[2]);
+    event.code = row[3];
+    event.recorded = row[4] == "1";
+    auto& vehicle = vehicles[event.vehicle_id];
+    vehicle.spec.id = event.vehicle_id;
+    vehicle.events.push_back(event);
+  }
+
+  fleet->vehicles.clear();
+  for (auto& [id, vehicle] : vehicles) {
+    vehicle.reporting = false;
+    for (const auto& event : vehicle.events)
+      if (event.recorded && IsMaintenanceEvent(event.type)) vehicle.reporting = true;
+    fleet->vehicles.push_back(std::move(vehicle));
+  }
+  return util::Status();
+}
+
+}  // namespace navarchos::telemetry

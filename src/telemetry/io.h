@@ -1,0 +1,31 @@
+// Fleet dataset persistence.
+//
+// Exports a generated fleet to two CSV files (records + events) in the shape
+// a real FMS backend would produce, and re-imports them. Lets downstream
+// users run the pipeline on their own OBD-II dumps by matching the format,
+// and makes simulated fleets inspectable with standard tools.
+#ifndef NAVARCHOS_TELEMETRY_IO_H_
+#define NAVARCHOS_TELEMETRY_IO_H_
+
+#include <string>
+
+#include "telemetry/fleet.h"
+#include "util/status.h"
+
+namespace navarchos::telemetry {
+
+/// Writes `fleet` as `<prefix>_records.csv` (vehicle_id, timestamp_min, six
+/// PID columns) and `<prefix>_events.csv` (vehicle_id, timestamp_min, type,
+/// code, recorded). Ground-truth fault metadata is NOT exported - the files
+/// contain exactly what a real platform would have.
+util::Status WriteFleetCsv(const std::string& prefix, const FleetDataset& fleet);
+
+/// Reads the two CSV files back into a FleetDataset. Vehicle specs and
+/// ground-truth faults are absent (defaults / empty); `reporting` is inferred
+/// as "has at least one recorded maintenance event", matching the paper's
+/// setting26 definition.
+util::Status ReadFleetCsv(const std::string& prefix, FleetDataset* fleet);
+
+}  // namespace navarchos::telemetry
+
+#endif  // NAVARCHOS_TELEMETRY_IO_H_

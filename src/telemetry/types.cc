@@ -1,0 +1,30 @@
+#include "telemetry/types.h"
+
+namespace navarchos::telemetry {
+
+const char* PidName(Pid pid) {
+  switch (pid) {
+    case Pid::kRpm: return "rpm";
+    case Pid::kSpeed: return "speed";
+    case Pid::kCoolantTemp: return "coolantTemp";
+    case Pid::kIntakeTemp: return "intakeTemp";
+    case Pid::kMapIntake: return "mapIntake";
+    case Pid::kMafAirFlowRate: return "MAFairFlowRate";
+  }
+  return "unknown";
+}
+
+const char* PidName(int index) { return PidName(static_cast<Pid>(index)); }
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kDtcPending: return "dtc_pending";
+    case EventType::kDtcStored: return "dtc_stored";
+    case EventType::kService: return "service";
+    case EventType::kRepair: return "repair";
+    case EventType::kOther: return "other";
+  }
+  return "unknown";
+}
+
+}  // namespace navarchos::telemetry

@@ -1,0 +1,87 @@
+// Core data model of the fleet telemetry domain.
+//
+// Mirrors the paper's setting: six OBD-II Parameter-ID (PID) signals sampled
+// once per operating minute, plus a partially recorded event stream of
+// services, repairs and Diagnostic Trouble Codes (DTCs).
+#ifndef NAVARCHOS_TELEMETRY_TYPES_H_
+#define NAVARCHOS_TELEMETRY_TYPES_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace navarchos::telemetry {
+
+/// Minutes since the fleet monitoring epoch (start of the simulated year).
+using Minute = std::int64_t;
+
+/// Minutes in one day.
+inline constexpr Minute kMinutesPerDay = 24 * 60;
+
+/// Converts a timestamp to a day index since the epoch.
+inline std::int64_t DayOf(Minute t) { return t / kMinutesPerDay; }
+
+/// The six OBD-II PID signals collected by the FMS platform (paper §1).
+enum class Pid : int {
+  kRpm = 0,             ///< Engine speed [rpm].
+  kSpeed = 1,           ///< Vehicle speed [km/h].
+  kCoolantTemp = 2,     ///< Engine coolant temperature [deg C].
+  kIntakeTemp = 3,      ///< Intake manifold air temperature [deg C].
+  kMapIntake = 4,       ///< Manifold absolute pressure [kPa].
+  kMafAirFlowRate = 5,  ///< Mass air flow rate [g/s].
+};
+
+/// Number of PID channels.
+inline constexpr int kNumPids = 6;
+
+/// Short display name of a PID channel ("rpm", "speed", ...).
+const char* PidName(Pid pid);
+
+/// Short display name by channel index.
+const char* PidName(int index);
+
+/// One multivariate sensor reading (all six PIDs at one minute).
+using PidVector = std::array<double, kNumPids>;
+
+/// One telemetry record: a vehicle's PID vector at a timestamp.
+struct Record {
+  std::int32_t vehicle_id = 0;
+  Minute timestamp = 0;
+  PidVector pids{};
+};
+
+/// Types of fleet events (paper §1: services, repairs, DTC pending/stored).
+enum class EventType : int {
+  kDtcPending = 0,  ///< Malfunction seen once, not repeating.
+  kDtcStored = 1,   ///< Repeating malfunction code.
+  kService = 2,     ///< Standard periodic maintenance.
+  kRepair = 3,      ///< Urgent non-periodic repair after a failure.
+  kOther = 4,       ///< Other recorded event of interest (tyres, inspection...).
+};
+
+/// Display name of an event type.
+const char* EventTypeName(EventType type);
+
+/// A maintenance or diagnostic event attached to a vehicle.
+///
+/// `recorded` models the paper's partial information: events always happen in
+/// the simulated world, but only recorded ones are visible to the detector
+/// and the evaluation (ground truth retains everything for diagnostics).
+struct FleetEvent {
+  std::int32_t vehicle_id = 0;
+  Minute timestamp = 0;
+  EventType type = EventType::kOther;
+  std::string code;      ///< DTC code or free-text event description.
+  bool recorded = true;  ///< Visible to the FMS platform.
+  int fault_id = -1;     ///< Index of the underlying fault, -1 if none.
+};
+
+/// True for event types that signify completed maintenance (service or
+/// repair) and therefore justify resetting the healthy reference profile.
+inline bool IsMaintenanceEvent(EventType type) {
+  return type == EventType::kService || type == EventType::kRepair;
+}
+
+}  // namespace navarchos::telemetry
+
+#endif  // NAVARCHOS_TELEMETRY_TYPES_H_

@@ -1,0 +1,119 @@
+#include "telemetry/vehicle.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace navarchos::telemetry {
+
+const char* VehicleModelName(VehicleModel model) {
+  switch (model) {
+    case VehicleModel::kCompact: return "compact";
+    case VehicleModel::kSedan: return "sedan";
+    case VehicleModel::kVan: return "van";
+    case VehicleModel::kPickup: return "pickup";
+  }
+  return "unknown";
+}
+
+std::string VehicleSpec::DisplayName() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "v%02d(%s)", id, VehicleModelName(model));
+  return buf;
+}
+
+namespace {
+
+VehicleSpec BaseSpecFor(VehicleModel model) {
+  VehicleSpec spec;
+  spec.model = model;
+  switch (model) {
+    case VehicleModel::kCompact:
+      spec.idle_rpm = 850.0;
+      spec.ratio_base = 25.0;
+      spec.ratio_low = 1000.0;
+      spec.ratio_knee = 16.0;
+      spec.displacement_l = 1.2;
+      spec.thermostat_c = 92.0;
+      spec.warmup_tau_min = 4.0;
+      spec.mass_factor = 0.85;
+      break;
+    case VehicleModel::kSedan:
+      spec.idle_rpm = 780.0;
+      spec.ratio_base = 21.0;
+      spec.ratio_low = 900.0;
+      spec.ratio_knee = 18.0;
+      spec.displacement_l = 1.8;
+      spec.thermostat_c = 90.0;
+      spec.warmup_tau_min = 5.0;
+      spec.mass_factor = 1.0;
+      break;
+    case VehicleModel::kVan:
+      spec.idle_rpm = 750.0;
+      spec.ratio_base = 19.0;
+      spec.ratio_low = 850.0;
+      spec.ratio_knee = 20.0;
+      spec.displacement_l = 2.2;
+      spec.thermostat_c = 88.0;
+      spec.warmup_tau_min = 7.0;
+      spec.mass_factor = 1.35;
+      break;
+    case VehicleModel::kPickup:
+      spec.idle_rpm = 720.0;
+      spec.ratio_base = 18.0;
+      spec.ratio_low = 800.0;
+      spec.ratio_knee = 22.0;
+      spec.displacement_l = 2.8;
+      spec.thermostat_c = 87.0;
+      spec.warmup_tau_min = 7.5;
+      spec.mass_factor = 1.5;
+      break;
+  }
+  return spec;
+}
+
+std::array<double, kNumRideTypes> SampleRideMix(util::Rng& rng) {
+  // Draw a usage archetype, then jitter. Archetypes reproduce the paper's
+  // cluster structure: mostly-urban vehicles, mixed vehicles, long-haul ones,
+  // and "extremely small rides" vehicles.
+  std::array<double, kNumRideTypes> mix{};
+  switch (rng.UniformInt(0, 3)) {
+    case 0: mix = {0.75, 0.20, 0.05}; break;  // urban
+    case 1: mix = {0.45, 0.40, 0.15}; break;  // mixed
+    case 2: mix = {0.15, 0.40, 0.45}; break;  // long-haul
+    default: mix = {0.90, 0.10, 0.00}; break; // short-hop
+  }
+  double total = 0.0;
+  for (double& w : mix) {
+    w = std::max(0.0, w + rng.Gaussian(0.0, 0.04));
+    total += w;
+  }
+  for (double& w : mix) w /= total;
+  return mix;
+}
+
+}  // namespace
+
+std::vector<VehicleSpec> SampleFleetSpecs(int count, util::Rng& rng) {
+  NAVARCHOS_CHECK(count > 0);
+  std::vector<VehicleSpec> fleet;
+  fleet.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto model = static_cast<VehicleModel>(
+        rng.Categorical({0.30, 0.35, 0.20, 0.15}));
+    VehicleSpec spec = BaseSpecFor(model);
+    spec.id = i;
+    // Per-unit manufacturing/wear spread so no two vehicles are identical.
+    spec.idle_rpm *= rng.Uniform(0.96, 1.04);
+    spec.ratio_base *= rng.Uniform(0.95, 1.05);
+    spec.displacement_l *= rng.Uniform(0.97, 1.03);
+    spec.thermostat_c += rng.Gaussian(0.0, 0.8);
+    spec.warmup_tau_min *= rng.Uniform(0.9, 1.1);
+    spec.ride_mix = SampleRideMix(rng);
+    spec.daily_operating_minutes = rng.Uniform(70.0, 140.0);
+    fleet.push_back(spec);
+  }
+  return fleet;
+}
+
+}  // namespace navarchos::telemetry

@@ -1,0 +1,81 @@
+// Vehicle specifications.
+//
+// The paper's fleet mixes vehicle models and usage profiles; §2 shows that
+// several clusters of the raw data correspond to single vehicles or usage
+// types. VehicleSpec carries exactly the parameters that create this
+// heterogeneity: drivetrain gearing, engine displacement, thermal behaviour
+// and the vehicle's mixture of ride types.
+#ifndef NAVARCHOS_TELEMETRY_VEHICLE_H_
+#define NAVARCHOS_TELEMETRY_VEHICLE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace navarchos::telemetry {
+
+/// Ride types a vehicle can perform in one operating block.
+enum class RideType : int {
+  kUrban = 0,     ///< Stop-and-go, low speed.
+  kRegional = 1,  ///< Mixed roads, medium speed.
+  kHighway = 2,   ///< Long rides, sustained high speed.
+};
+
+/// Number of ride types.
+inline constexpr int kNumRideTypes = 3;
+
+/// Vehicle model families present in the simulated fleet.
+enum class VehicleModel : int {
+  kCompact = 0,   ///< Small petrol car; high rpm per km/h, fast warm-up.
+  kSedan = 1,     ///< Mid-size car.
+  kVan = 2,       ///< Light commercial van; heavy, slow warm-up.
+  kPickup = 3,    ///< Utility pickup; large displacement.
+};
+
+/// Number of vehicle model families.
+inline constexpr int kNumVehicleModels = 4;
+
+/// Display name of a model family.
+const char* VehicleModelName(VehicleModel model);
+
+/// Static physical description of one vehicle.
+struct VehicleSpec {
+  std::int32_t id = 0;
+  VehicleModel model = VehicleModel::kSedan;
+
+  // Drivetrain: engine rpm at speed v is roughly
+  //   rpm = idle + v * (ratio_base + ratio_low / (v + ratio_knee))
+  // which captures low gears at low speed and the top-gear cruise ratio.
+  double idle_rpm = 800.0;        ///< Idle engine speed [rpm].
+  double ratio_base = 21.0;       ///< Top-gear rpm per km/h.
+  double ratio_low = 900.0;       ///< Low-gear enrichment numerator.
+  double ratio_knee = 18.0;       ///< Speed scale of gear transition [km/h].
+
+  // Engine breathing: MAF follows the speed-density relation
+  //   maf [g/s] ~ ve * displacement * rpm * map / (R * T_intake)
+  double displacement_l = 1.6;    ///< Engine displacement [litres].
+  double volumetric_eff = 0.85;   ///< Mean volumetric efficiency.
+
+  // Thermal model.
+  double thermostat_c = 90.0;     ///< Regulated coolant temperature [deg C].
+  double warmup_tau_min = 5.0;    ///< First-order warm-up time constant [min].
+  double mass_factor = 1.0;       ///< Load scale (heavier = more load).
+
+  // Usage profile: mixture over ride types; sums to 1.
+  std::array<double, kNumRideTypes> ride_mix{0.5, 0.35, 0.15};
+  double daily_operating_minutes = 105.0;  ///< Mean operating minutes per day.
+
+  /// Human-readable identifier like "v07(van)".
+  std::string DisplayName() const;
+};
+
+/// Samples a plausible fleet of `count` vehicles with heterogeneous models
+/// and usage mixes (deterministic given `rng`).
+std::vector<VehicleSpec> SampleFleetSpecs(int count, util::Rng& rng);
+
+}  // namespace navarchos::telemetry
+
+#endif  // NAVARCHOS_TELEMETRY_VEHICLE_H_

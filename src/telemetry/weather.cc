@@ -1,0 +1,40 @@
+#include "telemetry/weather.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace navarchos::telemetry {
+
+WeatherModel::WeatherModel(const WeatherConfig& config, int days, util::Rng& rng)
+    : config_(config) {
+  NAVARCHOS_CHECK(days > 0);
+  daily_anomaly_.resize(static_cast<std::size_t>(days));
+  double state = 0.0;
+  const double innovation_sd =
+      config.weather_noise_c * std::sqrt(1.0 - config.noise_persistence * config.noise_persistence);
+  for (auto& anomaly : daily_anomaly_) {
+    state = config.noise_persistence * state + rng.Gaussian(0.0, innovation_sd);
+    anomaly = state;
+  }
+}
+
+double WeatherModel::DailyMean(std::int64_t day) const {
+  const std::int64_t clamped =
+      std::min<std::int64_t>(std::max<std::int64_t>(day, 0),
+                             static_cast<std::int64_t>(daily_anomaly_.size()) - 1);
+  const double phase =
+      2.0 * M_PI * (static_cast<double>(day - config_.coldest_day_of_year) / 365.25);
+  return config_.annual_mean_c - config_.seasonal_amplitude_c * std::cos(phase) +
+         daily_anomaly_[static_cast<std::size_t>(clamped)];
+}
+
+double WeatherModel::AmbientAt(Minute t) const {
+  const std::int64_t day = DayOf(t);
+  const double minute_of_day = static_cast<double>(t % kMinutesPerDay);
+  // Diurnal swing: coldest ~05:00, warmest ~15:00.
+  const double phase = 2.0 * M_PI * (minute_of_day - 5.0 * 60.0) / 1440.0;
+  return DailyMean(day) - config_.diurnal_amplitude_c * std::cos(phase);
+}
+
+}  // namespace navarchos::telemetry

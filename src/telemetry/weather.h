@@ -1,0 +1,50 @@
+// Ambient weather model.
+//
+// The paper highlights "driving behavior and weather volatility" as the main
+// nuisance factors that defeat raw-signal anomaly detection. WeatherModel
+// provides a seasonal + diurnal + autocorrelated-noise ambient temperature
+// so that intakeTemp and cold-start coolant behaviour drift over the year
+// without any fault being present.
+#ifndef NAVARCHOS_TELEMETRY_WEATHER_H_
+#define NAVARCHOS_TELEMETRY_WEATHER_H_
+
+#include <vector>
+
+#include "telemetry/types.h"
+#include "util/rng.h"
+
+namespace navarchos::telemetry {
+
+/// Configuration of the climate at the fleet's operating region.
+struct WeatherConfig {
+  double annual_mean_c = 17.0;       ///< Yearly mean temperature [deg C].
+  double seasonal_amplitude_c = 10.0;///< Summer-winter half swing [deg C].
+  double diurnal_amplitude_c = 5.0;  ///< Day-night half swing [deg C].
+  double weather_noise_c = 3.0;      ///< Std-dev of day-level weather systems.
+  double noise_persistence = 0.85;   ///< AR(1) coefficient of day-level noise.
+  int coldest_day_of_year = 25;      ///< Day index of the seasonal minimum.
+};
+
+/// Deterministic ambient temperature series, precomputed per day.
+class WeatherModel {
+ public:
+  /// Builds the day-level weather for `days` days using `rng`.
+  WeatherModel(const WeatherConfig& config, int days, util::Rng& rng);
+
+  /// Ambient temperature at an absolute minute timestamp [deg C].
+  double AmbientAt(Minute t) const;
+
+  /// Day-level mean temperature (no diurnal component) [deg C].
+  double DailyMean(std::int64_t day) const;
+
+  /// Number of simulated days.
+  int days() const { return static_cast<int>(daily_anomaly_.size()); }
+
+ private:
+  WeatherConfig config_;
+  std::vector<double> daily_anomaly_;  ///< AR(1) weather-system offsets.
+};
+
+}  // namespace navarchos::telemetry
+
+#endif  // NAVARCHOS_TELEMETRY_WEATHER_H_

@@ -1,0 +1,118 @@
+#include "transform/basic_transforms.h"
+
+#include "util/check.h"
+#include "util/statistics.h"
+
+namespace navarchos::transform {
+
+using telemetry::kNumPids;
+using telemetry::PidName;
+
+std::vector<std::string> RawTransform::FeatureNames() const {
+  std::vector<std::string> names;
+  for (int i = 0; i < kNumPids; ++i) names.emplace_back(PidName(i));
+  return names;
+}
+
+std::optional<TransformedSample> RawTransform::Collect(const telemetry::Record& record) {
+  TransformedSample sample;
+  sample.timestamp = record.timestamp;
+  sample.features.assign(record.pids.begin(), record.pids.end());
+  return sample;
+}
+
+std::vector<std::string> DeltaTransform::FeatureNames() const {
+  std::vector<std::string> names;
+  for (int i = 0; i < kNumPids; ++i) names.push_back(std::string("d_") + PidName(i));
+  return names;
+}
+
+std::optional<TransformedSample> DeltaTransform::Collect(const telemetry::Record& record) {
+  if (!has_previous_) {
+    previous_ = record.pids;
+    has_previous_ = true;
+    return std::nullopt;
+  }
+  TransformedSample sample;
+  sample.timestamp = record.timestamp;
+  sample.features.resize(kNumPids);
+  for (int i = 0; i < kNumPids; ++i) {
+    sample.features[static_cast<std::size_t>(i)] =
+        record.pids[static_cast<std::size_t>(i)] - previous_[static_cast<std::size_t>(i)];
+  }
+  previous_ = record.pids;
+  return sample;
+}
+
+WindowedTransform::WindowedTransform(const TransformOptions& options)
+    : options_(options) {
+  NAVARCHOS_CHECK(options_.window >= 2);
+  NAVARCHOS_CHECK(options_.stride >= 1);
+}
+
+void WindowedTransform::Reset() {
+  window_.clear();
+  since_last_emit_ = 0;
+}
+
+std::vector<double> WindowedTransform::Channel(int pid) const {
+  std::vector<double> out;
+  out.reserve(window_.size());
+  for (const auto& pids : window_) out.push_back(pids[static_cast<std::size_t>(pid)]);
+  return out;
+}
+
+std::optional<TransformedSample> WindowedTransform::Collect(
+    const telemetry::Record& record) {
+  window_.push_back(record.pids);
+  if (window_.size() > static_cast<std::size_t>(options_.window)) window_.pop_front();
+  if (window_.size() < static_cast<std::size_t>(options_.window)) return std::nullopt;
+
+  // Emit on the first full window, then every `stride` records.
+  const bool emit = (since_last_emit_ == 0);
+  since_last_emit_ = (since_last_emit_ + 1) % options_.stride;
+  if (!emit) return std::nullopt;
+
+  TransformedSample sample;
+  sample.timestamp = record.timestamp;
+  sample.features = ComputeFeatures();
+  return sample;
+}
+
+std::vector<std::string> MeanAggregationTransform::FeatureNames() const {
+  std::vector<std::string> names;
+  for (int i = 0; i < kNumPids; ++i) names.push_back(std::string("mean_") + PidName(i));
+  return names;
+}
+
+std::vector<double> MeanAggregationTransform::ComputeFeatures() const {
+  std::vector<double> features(kNumPids, 0.0);
+  for (const auto& pids : window())
+    for (int i = 0; i < kNumPids; ++i) features[static_cast<std::size_t>(i)] += pids[static_cast<std::size_t>(i)];
+  for (double& f : features) f /= static_cast<double>(window().size());
+  return features;
+}
+
+std::vector<std::string> CorrelationTransform::FeatureNames() const {
+  std::vector<std::string> names;
+  for (int i = 0; i < kNumPids; ++i)
+    for (int j = i + 1; j < kNumPids; ++j)
+      names.push_back(std::string(PidName(i)) + "~" + PidName(j));
+  return names;
+}
+
+std::vector<double> CorrelationTransform::ComputeFeatures() const {
+  std::vector<std::vector<double>> channels(kNumPids);
+  for (int i = 0; i < kNumPids; ++i) channels[static_cast<std::size_t>(i)] = Channel(i);
+  std::vector<double> features;
+  features.reserve(CorrelationFeatureCount(kNumPids));
+  for (int i = 0; i < kNumPids; ++i) {
+    for (int j = i + 1; j < kNumPids; ++j) {
+      features.push_back(util::PearsonCorrelation(channels[static_cast<std::size_t>(i)],
+                                                  channels[static_cast<std::size_t>(j)]));
+    }
+  }
+  return features;
+}
+
+}  // namespace navarchos::transform

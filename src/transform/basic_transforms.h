@@ -1,0 +1,92 @@
+// Raw, delta and windowed mean/correlation transformations (paper §3.2).
+#ifndef NAVARCHOS_TRANSFORM_BASIC_TRANSFORMS_H_
+#define NAVARCHOS_TRANSFORM_BASIC_TRANSFORMS_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "transform/transformer.h"
+
+namespace navarchos::transform {
+
+/// Identity: emits the six PID values of every record.
+class RawTransform : public Transformer {
+ public:
+  std::string Name() const override { return "raw"; }
+  std::vector<std::string> FeatureNames() const override;
+  std::optional<TransformedSample> Collect(const telemetry::Record& record) override;
+  void Reset() override {}
+};
+
+/// First difference: emits current - previous per PID ("similar to
+/// calculating a derivative of each measurement", §3.2).
+class DeltaTransform : public Transformer {
+ public:
+  std::string Name() const override { return "delta"; }
+  std::vector<std::string> FeatureNames() const override;
+  std::optional<TransformedSample> Collect(const telemetry::Record& record) override;
+  void Reset() override { has_previous_ = false; }
+
+ private:
+  bool has_previous_ = false;
+  telemetry::PidVector previous_{};
+};
+
+/// Shared sliding-window machinery for the windowed transforms.
+class WindowedTransform : public Transformer {
+ public:
+  explicit WindowedTransform(const TransformOptions& options);
+
+  std::optional<TransformedSample> Collect(const telemetry::Record& record) override;
+  void Reset() override;
+
+ protected:
+  /// Computes the feature vector from the full window (column-major access
+  /// through window()).
+  virtual std::vector<double> ComputeFeatures() const = 0;
+
+  /// Window contents, oldest first.
+  const std::deque<telemetry::PidVector>& window() const { return window_; }
+
+  /// One PID channel of the window as a contiguous vector.
+  std::vector<double> Channel(int pid) const;
+
+  const TransformOptions& options() const { return options_; }
+
+ private:
+  TransformOptions options_;
+  std::deque<telemetry::PidVector> window_;
+  int since_last_emit_ = 0;
+};
+
+/// Per-window mean of each PID (paper's "mean aggregation").
+class MeanAggregationTransform : public WindowedTransform {
+ public:
+  using WindowedTransform::WindowedTransform;
+  std::string Name() const override { return "mean_agr"; }
+  std::vector<std::string> FeatureNames() const override;
+
+ protected:
+  std::vector<double> ComputeFeatures() const override;
+};
+
+/// Pairwise Pearson correlations of the window: the f*(f-1)/2 upper-triangle
+/// entries of the correlation matrix (paper's headline transformation).
+class CorrelationTransform : public WindowedTransform {
+ public:
+  using WindowedTransform::WindowedTransform;
+  std::string Name() const override { return "correlation"; }
+  std::vector<std::string> FeatureNames() const override;
+
+ protected:
+  std::vector<double> ComputeFeatures() const override;
+};
+
+/// Number of correlation features for `f` input channels.
+constexpr std::size_t CorrelationFeatureCount(std::size_t f) { return f * (f - 1) / 2; }
+
+}  // namespace navarchos::transform
+
+#endif  // NAVARCHOS_TRANSFORM_BASIC_TRANSFORMS_H_

@@ -1,0 +1,53 @@
+#include "transform/day_aggregation.h"
+
+#include <map>
+
+#include "util/statistics.h"
+
+namespace navarchos::transform {
+
+using telemetry::kNumPids;
+
+std::vector<std::string> DaySummaryFeatureNames() {
+  std::vector<std::string> names;
+  for (int i = 0; i < kNumPids; ++i)
+    names.push_back(std::string("mean_") + telemetry::PidName(i));
+  for (int i = 0; i < kNumPids; ++i)
+    names.push_back(std::string("std_") + telemetry::PidName(i));
+  return names;
+}
+
+std::vector<DaySummary> AggregateByDay(std::int32_t vehicle_id,
+                                       const std::vector<telemetry::Record>& records,
+                                       int min_records) {
+  std::map<std::int64_t, std::vector<const telemetry::Record*>> by_day;
+  for (const telemetry::Record& record : records)
+    by_day[telemetry::DayOf(record.timestamp)].push_back(&record);
+
+  std::vector<DaySummary> summaries;
+  for (const auto& [day, day_records] : by_day) {
+    if (static_cast<int>(day_records.size()) < min_records) continue;
+    DaySummary summary;
+    summary.vehicle_id = vehicle_id;
+    summary.day = day;
+    summary.record_count = static_cast<int>(day_records.size());
+    summary.features.resize(static_cast<std::size_t>(2 * kNumPids));
+    for (int pid = 0; pid < kNumPids; ++pid) {
+      std::vector<double> channel;
+      channel.reserve(day_records.size());
+      for (const telemetry::Record* record : day_records)
+        channel.push_back(record->pids[static_cast<std::size_t>(pid)]);
+      summary.features[static_cast<std::size_t>(pid)] = util::Mean(channel);
+      summary.features[static_cast<std::size_t>(kNumPids + pid)] = util::StdDev(channel);
+    }
+    // Speed is km/h sampled per minute -> km driven = sum(speed) / 60.
+    double km = 0.0;
+    for (const telemetry::Record* record : day_records)
+      km += record->pids[static_cast<int>(telemetry::Pid::kSpeed)] / 60.0;
+    summary.km_driven = km;
+    summaries.push_back(std::move(summary));
+  }
+  return summaries;
+}
+
+}  // namespace navarchos::transform

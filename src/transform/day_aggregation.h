@@ -1,0 +1,35 @@
+// Day-level aggregation used by the paper's data exploration (§2, Fig. 2):
+// "an aggregation is performed using an one-day timespan, and calculating
+// the mean and standard deviation of each of the PID measurements".
+#ifndef NAVARCHOS_TRANSFORM_DAY_AGGREGATION_H_
+#define NAVARCHOS_TRANSFORM_DAY_AGGREGATION_H_
+
+#include <string>
+#include <vector>
+
+#include "telemetry/types.h"
+
+namespace navarchos::transform {
+
+/// One vehicle-day summary: mean and std-dev of each PID over the day's
+/// usable records, plus distance driven (for cluster interpretation).
+struct DaySummary {
+  std::int32_t vehicle_id = 0;
+  std::int64_t day = 0;
+  std::vector<double> features;  ///< [mean x 6, std x 6].
+  double km_driven = 0.0;
+  int record_count = 0;
+};
+
+/// Feature names of DaySummary::features.
+std::vector<std::string> DaySummaryFeatureNames();
+
+/// Aggregates a vehicle's (filtered) records per day. Days with fewer than
+/// `min_records` usable records are skipped as uninformative.
+std::vector<DaySummary> AggregateByDay(std::int32_t vehicle_id,
+                                       const std::vector<telemetry::Record>& records,
+                                       int min_records = 20);
+
+}  // namespace navarchos::transform
+
+#endif  // NAVARCHOS_TRANSFORM_DAY_AGGREGATION_H_

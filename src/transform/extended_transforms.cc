@@ -1,0 +1,110 @@
+#include "transform/extended_transforms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace navarchos::transform {
+
+using telemetry::kNumPids;
+using telemetry::PidName;
+
+namespace {
+
+struct Envelope {
+  double lo;
+  double hi;
+};
+
+// Fixed binning envelope per channel (matches telemetry/filters.cc ranges,
+// trimmed to the common operating region).
+constexpr Envelope kEnvelope[kNumPids] = {
+    {500.0, 5000.0},  // rpm
+    {0.0, 140.0},     // speed
+    {0.0, 110.0},     // coolantTemp
+    {-10.0, 60.0},    // intakeTemp
+    {20.0, 105.0},    // mapIntake
+    {0.0, 80.0},      // MAF
+};
+
+}  // namespace
+
+HistogramTransform::HistogramTransform(const TransformOptions& options)
+    : WindowedTransform(options), bins_(options.histogram_bins) {
+  NAVARCHOS_CHECK(bins_ >= 2);
+}
+
+std::vector<std::string> HistogramTransform::FeatureNames() const {
+  std::vector<std::string> names;
+  for (int i = 0; i < kNumPids; ++i)
+    for (int b = 0; b < bins_; ++b)
+      names.push_back(std::string("hist_") + PidName(i) + "_b" + std::to_string(b));
+  return names;
+}
+
+std::vector<double> HistogramTransform::ComputeFeatures() const {
+  std::vector<double> features(static_cast<std::size_t>(kNumPids * bins_), 0.0);
+  const double weight = 1.0 / static_cast<double>(window().size());
+  for (const auto& pids : window()) {
+    for (int i = 0; i < kNumPids; ++i) {
+      const Envelope env = kEnvelope[i];
+      double frac = (pids[static_cast<std::size_t>(i)] - env.lo) / (env.hi - env.lo);
+      frac = std::clamp(frac, 0.0, 1.0 - 1e-12);
+      const int bin = static_cast<int>(frac * bins_);
+      features[static_cast<std::size_t>(i * bins_ + bin)] += weight;
+    }
+  }
+  return features;
+}
+
+SpectralTransform::SpectralTransform(const TransformOptions& options)
+    : WindowedTransform(options), bands_(options.spectral_bands) {
+  NAVARCHOS_CHECK(bands_ >= 1);
+}
+
+std::vector<std::string> SpectralTransform::FeatureNames() const {
+  std::vector<std::string> names;
+  for (int i = 0; i < kNumPids; ++i)
+    for (int b = 0; b < bands_; ++b)
+      names.push_back(std::string("spec_") + PidName(i) + "_band" + std::to_string(b));
+  return names;
+}
+
+std::vector<double> SpectralTransform::ComputeFeatures() const {
+  const std::size_t n = window().size();
+  std::vector<double> features;
+  features.reserve(static_cast<std::size_t>(kNumPids * bands_));
+  for (int i = 0; i < kNumPids; ++i) {
+    const std::vector<double> x = Channel(i);
+    // Naive DFT magnitudes for k = 1 .. n/2 (DC dropped). Window lengths are
+    // a few hundred samples, so O(n^2) is acceptable and keeps the code
+    // dependency-free.
+    const std::size_t half = n / 2;
+    std::vector<double> magnitude(half, 0.0);
+    for (std::size_t k = 1; k <= half; ++k) {
+      double re = 0.0, im = 0.0;
+      const double w = -2.0 * M_PI * static_cast<double>(k) / static_cast<double>(n);
+      for (std::size_t t = 0; t < n; ++t) {
+        re += x[t] * std::cos(w * static_cast<double>(t));
+        im += x[t] * std::sin(w * static_cast<double>(t));
+      }
+      magnitude[k - 1] = std::sqrt(re * re + im * im);
+    }
+    // Log-spaced band boundaries over [1, half].
+    double total = 1e-12;
+    for (double m : magnitude) total += m;
+    std::vector<double> band_energy(static_cast<std::size_t>(bands_), 0.0);
+    for (std::size_t k = 0; k < magnitude.size(); ++k) {
+      const double pos = std::log1p(static_cast<double>(k)) /
+                         std::log1p(static_cast<double>(magnitude.size()));
+      int band = static_cast<int>(pos * bands_);
+      band = std::min(band, bands_ - 1);
+      band_energy[static_cast<std::size_t>(band)] += magnitude[k];
+    }
+    for (double e : band_energy) features.push_back(e / total);
+  }
+  return features;
+}
+
+}  // namespace navarchos::transform

@@ -1,0 +1,50 @@
+// Extension transformations sketched in paper §3.1 ("frequency-domain
+// transformation, histograms, and others") but not evaluated there. Included
+// so the framework exploration can go beyond the paper's four options.
+#ifndef NAVARCHOS_TRANSFORM_EXTENDED_TRANSFORMS_H_
+#define NAVARCHOS_TRANSFORM_EXTENDED_TRANSFORMS_H_
+
+#include <string>
+#include <vector>
+
+#include "transform/basic_transforms.h"
+
+namespace navarchos::transform {
+
+/// Per-channel normalised histogram over the window. Each PID contributes
+/// `histogram_bins` features holding the fraction of window samples per bin;
+/// bin edges are fixed per channel from its plausible operating envelope so
+/// histograms are comparable across windows.
+class HistogramTransform : public WindowedTransform {
+ public:
+  explicit HistogramTransform(const TransformOptions& options);
+  std::string Name() const override { return "histogram"; }
+  std::vector<std::string> FeatureNames() const override;
+
+ protected:
+  std::vector<double> ComputeFeatures() const override;
+
+ private:
+  int bins_;
+};
+
+/// Per-channel spectral band energies: magnitude of the window's DFT grouped
+/// into `spectral_bands` log-spaced bands, normalised by total energy. The
+/// DC component is dropped so the features capture signal *dynamics* rather
+/// than level.
+class SpectralTransform : public WindowedTransform {
+ public:
+  explicit SpectralTransform(const TransformOptions& options);
+  std::string Name() const override { return "spectral"; }
+  std::vector<std::string> FeatureNames() const override;
+
+ protected:
+  std::vector<double> ComputeFeatures() const override;
+
+ private:
+  int bands_;
+};
+
+}  // namespace navarchos::transform
+
+#endif  // NAVARCHOS_TRANSFORM_EXTENDED_TRANSFORMS_H_

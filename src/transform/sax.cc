@@ -1,0 +1,97 @@
+#include "transform/sax.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/statistics.h"
+
+namespace navarchos::transform {
+
+std::vector<double> GaussianBreakpoints(int alphabet) {
+  NAVARCHOS_CHECK(alphabet >= 2);
+  // Invert the standard normal CDF at i/alphabet via bisection (erfc-based
+  // NormalCdf is available; precision needs are modest).
+  std::vector<double> breakpoints;
+  for (int i = 1; i < alphabet; ++i) {
+    const double target = static_cast<double>(i) / alphabet;
+    double lo = -8.0, hi = 8.0;
+    for (int iter = 0; iter < 80; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      (util::NormalCdf(mid) < target ? lo : hi) = mid;
+    }
+    breakpoints.push_back(0.5 * (lo + hi));
+  }
+  return breakpoints;
+}
+
+SaxTransform::SaxTransform(const TransformOptions& options, const SaxOptions& sax)
+    : WindowedTransform(options), sax_(sax), breakpoints_(GaussianBreakpoints(sax.alphabet)) {
+  NAVARCHOS_CHECK(sax_.segments >= 2);
+  NAVARCHOS_CHECK(options.window >= sax_.segments);
+}
+
+std::vector<std::string> SaxTransform::FeatureNames() const {
+  std::vector<std::string> names;
+  for (int channel = 0; channel < telemetry::kNumPids; ++channel) {
+    for (int s = 0; s < sax_.alphabet; ++s)
+      names.push_back(std::string("sax_") + telemetry::PidName(channel) + "_u" +
+                      std::to_string(s));
+    for (int a = 0; a < sax_.alphabet; ++a)
+      for (int b = 0; b < sax_.alphabet; ++b)
+        names.push_back(std::string("sax_") + telemetry::PidName(channel) + "_b" +
+                        std::to_string(a) + std::to_string(b));
+  }
+  return names;
+}
+
+std::vector<int> SaxTransform::Symbolise(const std::vector<double>& channel) const {
+  NAVARCHOS_CHECK(static_cast<int>(channel.size()) >= sax_.segments);
+  const double mean = util::Mean(channel);
+  const double sd = std::max(1e-9, util::StdDev(channel));
+
+  std::vector<int> symbols(static_cast<std::size_t>(sax_.segments));
+  const double per_segment =
+      static_cast<double>(channel.size()) / static_cast<double>(sax_.segments);
+  for (int segment = 0; segment < sax_.segments; ++segment) {
+    const std::size_t begin = static_cast<std::size_t>(segment * per_segment);
+    const std::size_t end = std::max(
+        begin + 1, static_cast<std::size_t>((segment + 1) * per_segment));
+    double total = 0.0;
+    for (std::size_t i = begin; i < end && i < channel.size(); ++i)
+      total += (channel[i] - mean) / sd;
+    const double paa = total / static_cast<double>(end - begin);
+    int symbol = 0;
+    while (symbol < static_cast<int>(breakpoints_.size()) &&
+           paa > breakpoints_[static_cast<std::size_t>(symbol)]) {
+      ++symbol;
+    }
+    symbols[static_cast<std::size_t>(segment)] = symbol;
+  }
+  return symbols;
+}
+
+std::vector<double> SaxTransform::ComputeFeatures() const {
+  const int unigrams = sax_.alphabet;
+  const int bigrams = sax_.alphabet * sax_.alphabet;
+  std::vector<double> features(
+      static_cast<std::size_t>(telemetry::kNumPids * (unigrams + bigrams)), 0.0);
+  for (int channel = 0; channel < telemetry::kNumPids; ++channel) {
+    const std::vector<int> symbols = Symbolise(Channel(channel));
+    const std::size_t base =
+        static_cast<std::size_t>(channel * (unigrams + bigrams));
+    const double unigram_weight = 1.0 / static_cast<double>(symbols.size());
+    const double bigram_weight =
+        symbols.size() > 1 ? 1.0 / static_cast<double>(symbols.size() - 1) : 0.0;
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+      features[base + static_cast<std::size_t>(symbols[i])] += unigram_weight;
+      if (i > 0) {
+        const int bigram = symbols[i - 1] * sax_.alphabet + symbols[i];
+        features[base + static_cast<std::size_t>(unigrams + bigram)] += bigram_weight;
+      }
+    }
+  }
+  return features;
+}
+
+}  // namespace navarchos::transform

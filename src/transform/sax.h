@@ -1,0 +1,56 @@
+// Symbolic Aggregate approXimation (SAX) transform — the paper's future-work
+// direction made concrete (§5: "discretizing the signal input and creating
+// artificial events is an interesting direction for future research").
+//
+// Each window is reduced per channel by Piecewise Aggregate Approximation
+// (PAA) to `segments` means, each mean is discretised into one of
+// `alphabet` symbols via standard-normal breakpoints (z-scored within the
+// window for level invariance), and the emitted features are the per-channel
+// symbol-frequency histograms plus bigram transition frequencies — an
+// "artificial event" stream in feature form that any step-3 detector can
+// consume.
+#ifndef NAVARCHOS_TRANSFORM_SAX_H_
+#define NAVARCHOS_TRANSFORM_SAX_H_
+
+#include <string>
+#include <vector>
+
+#include "transform/basic_transforms.h"
+
+namespace navarchos::transform {
+
+/// SAX options.
+struct SaxOptions {
+  int segments = 12;  ///< PAA segments per window.
+  int alphabet = 4;   ///< Symbols per channel (gaussian breakpoints).
+};
+
+/// Windowed SAX transform: per channel, `alphabet` unigram frequencies plus
+/// `alphabet`^2 bigram transition frequencies.
+class SaxTransform : public WindowedTransform {
+ public:
+  SaxTransform(const TransformOptions& options, const SaxOptions& sax = {});
+
+  std::string Name() const override { return "sax"; }
+  std::vector<std::string> FeatureNames() const override;
+
+  /// Discretises one channel of the current window (exposed for tests):
+  /// z-scores the channel, averages into segments, maps each segment mean to
+  /// a symbol in [0, alphabet).
+  std::vector<int> Symbolise(const std::vector<double>& channel) const;
+
+ protected:
+  std::vector<double> ComputeFeatures() const override;
+
+ private:
+  SaxOptions sax_;
+  std::vector<double> breakpoints_;  ///< alphabet - 1 gaussian quantiles.
+};
+
+/// Standard-normal breakpoints splitting the real line into `alphabet`
+/// equiprobable regions (as in the original SAX paper).
+std::vector<double> GaussianBreakpoints(int alphabet);
+
+}  // namespace navarchos::transform
+
+#endif  // NAVARCHOS_TRANSFORM_SAX_H_

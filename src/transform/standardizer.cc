@@ -1,0 +1,44 @@
+#include "transform/standardizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/statistics.h"
+
+namespace navarchos::transform {
+
+void Standardizer::Fit(const std::vector<std::vector<double>>& samples) {
+  NAVARCHOS_CHECK(!samples.empty());
+  const std::size_t dims = samples.front().size();
+  mean_.assign(dims, 0.0);
+  scale_.assign(dims, 1.0);
+  std::vector<double> column(samples.size());
+  for (std::size_t d = 0; d < dims; ++d) {
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      NAVARCHOS_CHECK(samples[i].size() == dims);
+      column[i] = samples[i][d];
+    }
+    mean_[d] = util::Mean(column);
+    const double sd = util::StdDev(column);
+    scale_[d] = sd > 1e-9 ? sd : 1.0;
+  }
+}
+
+std::vector<double> Standardizer::Apply(const std::vector<double>& sample) const {
+  NAVARCHOS_CHECK(fitted());
+  NAVARCHOS_CHECK(sample.size() == mean_.size());
+  std::vector<double> out(sample.size());
+  for (std::size_t d = 0; d < sample.size(); ++d)
+    out[d] = (sample[d] - mean_[d]) / scale_[d];
+  return out;
+}
+
+std::vector<std::vector<double>> Standardizer::ApplyAll(
+    const std::vector<std::vector<double>>& samples) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(samples.size());
+  for (const auto& sample : samples) out.push_back(Apply(sample));
+  return out;
+}
+
+}  // namespace navarchos::transform

@@ -1,0 +1,42 @@
+// Z-score standardisation fitted on a reference sample.
+//
+// The multivariate detectors (Grand, TranAD) compare samples with Euclidean
+// geometry, so features of different physical units must be brought to a
+// common scale. The standardiser is always fitted on the *reference* data
+// only, never on the scored stream (no leakage).
+#ifndef NAVARCHOS_TRANSFORM_STANDARDIZER_H_
+#define NAVARCHOS_TRANSFORM_STANDARDIZER_H_
+
+#include <vector>
+
+namespace navarchos::transform {
+
+/// Per-feature z-score scaler.
+class Standardizer {
+ public:
+  /// Fits means and standard deviations on `samples` (rows of equal length).
+  /// Features with (near-)zero variance get unit scale so they pass through
+  /// centred but unscaled.
+  void Fit(const std::vector<std::vector<double>>& samples);
+
+  /// Transforms one sample in place-copy.
+  std::vector<double> Apply(const std::vector<double>& sample) const;
+
+  /// Transforms a batch.
+  std::vector<std::vector<double>> ApplyAll(
+      const std::vector<std::vector<double>>& samples) const;
+
+  /// True after a successful Fit.
+  bool fitted() const { return !mean_.empty(); }
+
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& scale() const { return scale_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+}  // namespace navarchos::transform
+
+#endif  // NAVARCHOS_TRANSFORM_STANDARDIZER_H_

@@ -1,0 +1,64 @@
+#include "transform/transformer.h"
+
+#include "transform/basic_transforms.h"
+#include "transform/extended_transforms.h"
+#include "transform/sax.h"
+#include "util/check.h"
+
+namespace navarchos::transform {
+
+const char* TransformKindName(TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kRaw: return "raw";
+    case TransformKind::kDelta: return "delta";
+    case TransformKind::kMeanAggregation: return "mean_agr";
+    case TransformKind::kCorrelation: return "correlation";
+    case TransformKind::kHistogram: return "histogram";
+    case TransformKind::kSpectral: return "spectral";
+    case TransformKind::kSax: return "sax";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Transformer> MakeTransformer(TransformKind kind,
+                                             const TransformOptions& options) {
+  switch (kind) {
+    case TransformKind::kRaw:
+      return std::make_unique<RawTransform>();
+    case TransformKind::kDelta:
+      return std::make_unique<DeltaTransform>();
+    case TransformKind::kMeanAggregation:
+      return std::make_unique<MeanAggregationTransform>(options);
+    case TransformKind::kCorrelation:
+      return std::make_unique<CorrelationTransform>(options);
+    case TransformKind::kHistogram:
+      return std::make_unique<HistogramTransform>(options);
+    case TransformKind::kSpectral:
+      return std::make_unique<SpectralTransform>(options);
+    case TransformKind::kSax:
+      return std::make_unique<SaxTransform>(options);
+  }
+  NAVARCHOS_CHECK(false);
+  return nullptr;
+}
+
+int EffectiveStride(TransformKind kind, const TransformOptions& options) {
+  switch (kind) {
+    case TransformKind::kRaw:
+    case TransformKind::kDelta:
+      return 1;
+    default:
+      return options.stride;
+  }
+}
+
+std::vector<TransformedSample> TransformAll(Transformer& transformer,
+                                            const std::vector<telemetry::Record>& records) {
+  std::vector<TransformedSample> samples;
+  for (const telemetry::Record& record : records) {
+    if (auto sample = transformer.Collect(record)) samples.push_back(std::move(*sample));
+  }
+  return samples;
+}
+
+}  // namespace navarchos::transform

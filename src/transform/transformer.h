@@ -1,0 +1,95 @@
+// Step 1 of the paper's framework: data transformation.
+//
+// A Transformer consumes the filtered per-minute PID stream of one vehicle
+// and emits feature vectors in a space where behavioural change is
+// highlighted. The paper's Algorithm 1 uses the streaming protocol
+//   transformer.collect(sample); if tran.ready(): x = tran.transform(sample)
+// which Collect() expresses as an optional return.
+#ifndef NAVARCHOS_TRANSFORM_TRANSFORMER_H_
+#define NAVARCHOS_TRANSFORM_TRANSFORMER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telemetry/types.h"
+
+namespace navarchos::transform {
+
+/// A transformed observation: the feature vector plus the timestamp of the
+/// record that completed it (used to place alarms on the timeline).
+struct TransformedSample {
+  telemetry::Minute timestamp = 0;
+  std::vector<double> features;
+};
+
+/// Streaming feature extractor for one vehicle's record stream.
+///
+/// Instances are stateful (sliding-window buffers); use one per vehicle and
+/// call Reset() when a stream restarts. Thread-compatible, not thread-safe.
+class Transformer {
+ public:
+  virtual ~Transformer() = default;
+
+  /// Stable identifier ("correlation", "raw", ...).
+  virtual std::string Name() const = 0;
+
+  /// Names of the emitted features, fixed for the lifetime of the object.
+  virtual std::vector<std::string> FeatureNames() const = 0;
+
+  /// Dimensionality of emitted feature vectors.
+  std::size_t FeatureCount() const { return FeatureNames().size(); }
+
+  /// Consumes one (already filtered) record; returns a transformed sample
+  /// once the internal buffer is ready, std::nullopt otherwise.
+  virtual std::optional<TransformedSample> Collect(const telemetry::Record& record) = 0;
+
+  /// Clears internal buffers.
+  virtual void Reset() = 0;
+};
+
+/// The transformation choices evaluated in the paper plus two extensions
+/// mentioned in §3.1 ("frequency-domain transformation, histograms").
+enum class TransformKind : int {
+  kRaw = 0,
+  kDelta = 1,
+  kMeanAggregation = 2,
+  kCorrelation = 3,
+  kHistogram = 4,
+  kSpectral = 5,
+  kSax = 6,  ///< Future-work direction: discretised "artificial events".
+};
+
+/// Display name of a transformation kind.
+const char* TransformKindName(TransformKind kind);
+
+/// Options shared by the windowed transformations.
+struct TransformOptions {
+  /// Sliding-window length in operating minutes (records). Longer windows
+  /// stabilise the correlation estimates against ride-mix volatility.
+  int window = 300;
+  /// Emission stride in records: a sample is emitted every `stride` records
+  /// once the window is full.
+  int stride = 20;
+  /// Histogram bins per feature (histogram transform only).
+  int histogram_bins = 8;
+  /// Spectral bands per feature (spectral transform only).
+  int spectral_bands = 4;
+};
+
+/// Creates a transformer of the requested kind.
+std::unique_ptr<Transformer> MakeTransformer(TransformKind kind,
+                                             const TransformOptions& options = {});
+
+/// Emission stride in records of a transform kind: 1 for the per-record
+/// transforms (raw, delta), options.stride for the windowed ones.
+int EffectiveStride(TransformKind kind, const TransformOptions& options);
+
+/// Runs a transformer over a whole record stream (batch convenience).
+std::vector<TransformedSample> TransformAll(Transformer& transformer,
+                                            const std::vector<telemetry::Record>& records);
+
+}  // namespace navarchos::transform
+
+#endif  // NAVARCHOS_TRANSFORM_TRANSFORMER_H_

@@ -1,0 +1,43 @@
+#include "util/args.h"
+
+#include <cstdlib>
+
+namespace navarchos::util {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(token));
+      continue;
+    }
+    token.erase(0, 2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      flags_[token.substr(0, eq)] = token.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[token] = argv[++i];
+    } else {
+      flags_[token] = "";  // boolean switch
+    }
+  }
+}
+
+bool Args::Has(const std::string& key) const { return flags_.count(key) > 0; }
+
+std::string Args::GetString(const std::string& key, const std::string& fallback) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::GetInt(const std::string& key, std::int64_t fallback) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Args::GetDouble(const std::string& key, double fallback) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace navarchos::util

@@ -1,0 +1,44 @@
+// Tiny command-line flag parser used by benches and examples.
+//
+// Supports --name value and --name=value forms plus boolean switches.
+// Unrecognised flags are reported so that typos in bench invocations fail
+// loudly rather than silently running the default configuration.
+#ifndef NAVARCHOS_UTIL_ARGS_H_
+#define NAVARCHOS_UTIL_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace navarchos::util {
+
+/// Parsed command-line flags.
+class Args {
+ public:
+  /// Parses argv. Flags look like --key value, --key=value, or --switch.
+  Args(int argc, const char* const* argv);
+
+  /// True when --key was present.
+  bool Has(const std::string& key) const;
+
+  /// String value of --key, or `fallback` when absent.
+  std::string GetString(const std::string& key, const std::string& fallback) const;
+
+  /// Integer value of --key, or `fallback` when absent.
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback) const;
+
+  /// Double value of --key, or `fallback` when absent.
+  double GetDouble(const std::string& key, double fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace navarchos::util
+
+#endif  // NAVARCHOS_UTIL_ARGS_H_

@@ -1,0 +1,29 @@
+// Lightweight invariant-checking macros.
+//
+// The library is exception-free in the spirit of the Google style guide;
+// broken invariants abort with a diagnostic instead. Recoverable conditions
+// (bad input files, empty datasets, ...) are reported through util::Status.
+#ifndef NAVARCHOS_UTIL_CHECK_H_
+#define NAVARCHOS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace navarchos::util {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace navarchos::util
+
+/// Aborts with a diagnostic when `cond` is false. Enabled in all build types:
+/// the conditions guarded by NAVARCHOS_CHECK are programmer errors, not data
+/// errors, and silently continuing would corrupt downstream statistics.
+#define NAVARCHOS_CHECK(cond)                                          \
+  do {                                                                 \
+    if (!(cond)) ::navarchos::util::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (0)
+
+#endif  // NAVARCHOS_UTIL_CHECK_H_

@@ -1,0 +1,97 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace navarchos::util {
+namespace {
+
+bool NeedsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+void WriteCell(std::ostream& out, const std::string& cell) {
+  if (!NeedsQuoting(cell)) {
+    out << cell;
+    return;
+  }
+  out << '"';
+  for (char c : cell) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+void WriteRow(std::ostream& out, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out << ',';
+    WriteCell(out, row[i]);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+Status WriteCsv(const std::string& path, const CsvDocument& doc) {
+  std::ofstream out(path);
+  if (!out) return Status::Error("cannot open for writing: " + path);
+  WriteRow(out, doc.header);
+  for (const auto& row : doc.rows) WriteRow(out, row);
+  out.flush();
+  if (!out) return Status::Error("write failed: " + path);
+  return Status();
+}
+
+Status ReadCsv(const std::string& path, CsvDocument* doc) {
+  std::ifstream in(path);
+  if (!in) return Status::Error("cannot open for reading: " + path);
+  doc->header.clear();
+  doc->rows.clear();
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() && in.eof()) break;
+    auto cells = SplitCsvLine(line);
+    if (first) {
+      doc->header = std::move(cells);
+      first = false;
+    } else {
+      doc->rows.push_back(std::move(cells));
+    }
+  }
+  return Status();
+}
+
+}  // namespace navarchos::util

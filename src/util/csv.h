@@ -1,0 +1,33 @@
+// CSV reading and writing.
+//
+// Benches export their result tables as CSV next to the textual rendering so
+// downstream plotting can regenerate the paper's figures; the telemetry
+// simulator can also persist generated fleets for inspection.
+#ifndef NAVARCHOS_UTIL_CSV_H_
+#define NAVARCHOS_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace navarchos::util {
+
+/// In-memory CSV document: a header plus string cells.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Writes `doc` to `path`. Cells containing commas/quotes/newlines are quoted.
+Status WriteCsv(const std::string& path, const CsvDocument& doc);
+
+/// Reads `path`; the first line becomes the header. Handles quoted cells.
+Status ReadCsv(const std::string& path, CsvDocument* doc);
+
+/// Splits one CSV line into cells (RFC-4180 style quoting).
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+}  // namespace navarchos::util
+
+#endif  // NAVARCHOS_UTIL_CSV_H_

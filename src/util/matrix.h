@@ -1,0 +1,76 @@
+// Dense row-major matrix of doubles.
+//
+// Deliberately small: the library needs contiguous 2-D storage with row
+// views, a handful of BLAS-1/2 style helpers for the neural detector, and
+// nothing else. Heavy linear algebra lives in detect/nn_ops where the shapes
+// are known.
+#ifndef NAVARCHOS_UTIL_MATRIX_H_
+#define NAVARCHOS_UTIL_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace navarchos::util {
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix initialised to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix from equally sized rows. Requires a rectangular input.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& At(std::size_t r, std::size_t c) {
+    NAVARCHOS_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(std::size_t r, std::size_t c) const {
+    NAVARCHOS_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Mutable view of row `r`.
+  std::span<double> Row(std::size_t r) {
+    NAVARCHOS_CHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  /// Read-only view of row `r`.
+  std::span<const double> Row(std::size_t r) const {
+    NAVARCHOS_CHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Copy of column `c`.
+  std::vector<double> Col(std::size_t c) const;
+
+  /// Flat backing storage (row-major).
+  std::span<double> Data() { return data_; }
+  std::span<const double> Data() const { return data_; }
+
+  /// Matrix product this(rows x cols) * other(cols x k).
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace navarchos::util
+
+#endif  // NAVARCHOS_UTIL_MATRIX_H_

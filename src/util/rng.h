@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the library (fleet simulation, model
+// initialisation, subsampling) flows from util::Rng so that a fixed seed
+// reproduces a run bit-for-bit across platforms. The generator is
+// xoshiro256**, seeded through splitmix64; both are public-domain algorithms
+// by Blackman & Vigna.
+#ifndef NAVARCHOS_UTIL_RNG_H_
+#define NAVARCHOS_UTIL_RNG_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace navarchos::util {
+
+/// Deterministic, seedable random number generator (xoshiro256**).
+///
+/// Not thread-safe; create one Rng per thread or per simulated entity.
+/// Prefer Fork() over sharing when independent sub-streams are needed
+/// (e.g. one stream per vehicle) so that adding entities does not perturb
+/// the draws of existing ones.
+class Rng {
+ public:
+  /// Creates a generator from a 64-bit seed. Equal seeds produce equal streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal draw (Box-Muller, cached spare).
+  double Gaussian();
+
+  /// Normal draw with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Exponential draw with the given rate (lambda > 0).
+  double Exponential(double rate);
+
+  /// Bernoulli draw: true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to `weights`.
+  /// Requires at least one strictly positive weight.
+  std::size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of `values` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(UniformInt(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Derives an independent generator; `stream` distinguishes sub-streams
+  /// derived from the same parent state.
+  Rng Fork(std::uint64_t stream);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace navarchos::util
+
+#endif  // NAVARCHOS_UTIL_RNG_H_

@@ -1,0 +1,191 @@
+#include "util/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace navarchos::util {
+
+double Mean(std::span<const double> values) {
+  NAVARCHOS_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(std::span<const double> values) {
+  NAVARCHOS_CHECK(!values.empty());
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(values.size());
+}
+
+double SampleVariance(std::span<const double> values) {
+  NAVARCHOS_CHECK(values.size() >= 2);
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double StdDev(std::span<const double> values) { return std::sqrt(Variance(values)); }
+
+double SampleStdDev(std::span<const double> values) {
+  return std::sqrt(SampleVariance(values));
+}
+
+double Median(std::span<const double> values) {
+  NAVARCHOS_CHECK(!values.empty());
+  std::vector<double> copy(values.begin(), values.end());
+  const std::size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid),
+                   copy.end());
+  const double upper = copy[mid];
+  if (copy.size() % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lower + upper);
+}
+
+double Quantile(std::span<const double> values, double q) {
+  NAVARCHOS_CHECK(!values.empty());
+  NAVARCHOS_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  const double pos = q * static_cast<double>(copy.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, copy.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return copy[lo] + frac * (copy[hi] - copy[lo]);
+}
+
+double Min(std::span<const double> values) {
+  NAVARCHOS_CHECK(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(std::span<const double> values) {
+  NAVARCHOS_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+double PearsonCorrelation(std::span<const double> x, std::span<const double> y) {
+  NAVARCHOS_CHECK(x.size() == y.size());
+  NAVARCHOS_CHECK(x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sum_x = 0.0, sum_y = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum_x += x[i];
+    sum_y += y[i];
+  }
+  const double mx = sum_x / n;
+  const double my = sum_y / n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  const double denom = std::sqrt(sxx * syy);
+  if (denom <= 1e-30) return 0.0;
+  const double r = sxy / denom;
+  return std::clamp(r, -1.0, 1.0);
+}
+
+double EuclideanDistance(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
+  NAVARCHOS_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+std::vector<double> MidRanks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Tie block [i, j]: assign the average of ranks i+1 ... j+1.
+    const double avg = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j + 1));
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+namespace {
+
+// Regularised lower incomplete gamma P(a, x) via series / continued fraction
+// (Numerical Recipes style). Accurate enough for p-value reporting.
+double GammaP(double a, double x) {
+  NAVARCHOS_CHECK(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 0.0;
+  const double gln = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series representation.
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      del *= x / ap;
+      sum += del;
+      if (std::fabs(del) < std::fabs(sum) * 1e-14) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - gln);
+  }
+  // Continued fraction for Q(a, x); P = 1 - Q.
+  double b = x + 1.0 - a;
+  double c = 1e300;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::fabs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-14) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - gln) * h;
+  return 1.0 - q;
+}
+
+}  // namespace
+
+double ChiSquaredSurvival(double statistic, int dof) {
+  NAVARCHOS_CHECK(dof > 0);
+  if (statistic <= 0.0) return 1.0;
+  return 1.0 - GammaP(0.5 * static_cast<double>(dof), 0.5 * statistic);
+}
+
+}  // namespace navarchos::util

@@ -1,0 +1,71 @@
+// Descriptive statistics over contiguous double sequences.
+//
+// These are the numerical primitives every higher layer builds on: the
+// correlation transform, the self-tuning threshold, the conformal scoring in
+// Grand, and the evaluation harness. All functions are deterministic and
+// allocation-free unless stated otherwise.
+#ifndef NAVARCHOS_UTIL_STATISTICS_H_
+#define NAVARCHOS_UTIL_STATISTICS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace navarchos::util {
+
+/// Arithmetic mean. Requires a non-empty span.
+double Mean(std::span<const double> values);
+
+/// Population variance (divides by N). Requires a non-empty span.
+double Variance(std::span<const double> values);
+
+/// Sample variance (divides by N-1). Requires at least two values.
+double SampleVariance(std::span<const double> values);
+
+/// Population standard deviation.
+double StdDev(std::span<const double> values);
+
+/// Sample standard deviation.
+double SampleStdDev(std::span<const double> values);
+
+/// Median (averages the two central order statistics for even N).
+/// Copies the input; O(N) average via nth_element.
+double Median(std::span<const double> values);
+
+/// Linear-interpolated quantile for q in [0, 1]. Copies the input.
+double Quantile(std::span<const double> values, double q);
+
+/// Minimum element. Requires a non-empty span.
+double Min(std::span<const double> values);
+
+/// Maximum element. Requires a non-empty span.
+double Max(std::span<const double> values);
+
+/// Pearson correlation coefficient of two equal-length spans.
+///
+/// Returns 0 when either side is (numerically) constant: in the PdM pipeline
+/// a flat signal carries no co-movement information and treating it as
+/// uncorrelated keeps downstream feature vectors finite (the same convention
+/// scikit-learn users apply by imputing NaN correlations with 0).
+double PearsonCorrelation(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean distance between two equal-length vectors.
+double EuclideanDistance(std::span<const double> a, std::span<const double> b);
+
+/// Squared Euclidean distance (no sqrt).
+double SquaredDistance(std::span<const double> a, std::span<const double> b);
+
+/// Ranks with ties resolved by midrank averaging (1-based, as in
+/// scipy.stats.rankdata "average"). Used by Friedman/Wilcoxon tests.
+std::vector<double> MidRanks(std::span<const double> values);
+
+/// Standard normal cumulative distribution function.
+double NormalCdf(double z);
+
+/// Upper-tail chi-squared survival function with `dof` degrees of freedom
+/// (regularised incomplete gamma). Used by the Friedman test.
+double ChiSquaredSurvival(double statistic, int dof);
+
+}  // namespace navarchos::util
+
+#endif  // NAVARCHOS_UTIL_STATISTICS_H_

@@ -1,0 +1,37 @@
+// Minimal Status type for recoverable errors (IO, malformed input).
+#ifndef NAVARCHOS_UTIL_STATUS_H_
+#define NAVARCHOS_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace navarchos::util {
+
+/// Outcome of an operation that can fail for data-dependent reasons.
+///
+/// Usage:
+///   Status s = WriteCsv(path, table);
+///   if (!s.ok()) { log(s.message()); ... }
+class Status {
+ public:
+  /// Constructs a success status.
+  Status() = default;
+
+  /// Constructs a failure status carrying a human-readable message.
+  static Status Error(std::string message) { return Status(std::move(message)); }
+
+  /// True when the operation succeeded.
+  bool ok() const { return message_.empty(); }
+
+  /// Failure description; empty on success.
+  const std::string& message() const { return message_; }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+
+  std::string message_;
+};
+
+}  // namespace navarchos::util
+
+#endif  // NAVARCHOS_UTIL_STATUS_H_

@@ -1,0 +1,42 @@
+// ASCII table rendering for bench and example output.
+//
+// The benches reproduce the paper's tables/figures as text; Table keeps the
+// formatting consistent (aligned columns, fixed precision) across binaries.
+#ifndef NAVARCHOS_UTIL_TABLE_H_
+#define NAVARCHOS_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace navarchos::util {
+
+/// Column-aligned text table with a header row.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row of pre-formatted cells. Short rows are padded with "".
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` decimals.
+  static std::string Num(double value, int precision = 2);
+
+  /// Renders the table with a separator line under the header.
+  std::string ToString() const;
+
+  /// Renders as comma-separated values (for machine-readable bench output).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a horizontal bar of `value` scaled to `max_value` over `width`
+/// characters, e.g. for text versions of the paper's bar charts (Fig. 4/5).
+std::string AsciiBar(double value, double max_value, int width);
+
+}  // namespace navarchos::util
+
+#endif  // NAVARCHOS_UTIL_TABLE_H_

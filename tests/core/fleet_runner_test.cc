@@ -1,0 +1,146 @@
+// End-to-end integration tests: fleet simulation -> monitor -> evaluation.
+#include "core/fleet_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+
+namespace navarchos::core {
+namespace {
+
+telemetry::FleetDataset SmallFleet() {
+  telemetry::FleetConfig config = telemetry::FleetConfig::TestScale();
+  config.days = 100;
+  config.service_interval_days = 40.0;
+  config.num_vehicles = 6;
+  config.num_reporting = 5;
+  config.num_recorded_failures = 2;
+  config.num_hidden_failures = 0;
+  config.fault_lead_days = 20;
+  return telemetry::GenerateFleet(config);
+}
+
+MonitorConfig FastConfig() {
+  MonitorConfig config;
+  config.transform_options.window = 120;
+  config.transform_options.stride = 15;
+  config.profile_minutes = 600.0;
+  config.threshold.burn_in_minutes = 240.0;
+  return config;
+}
+
+TEST(FleetRunnerTest, ProducesTracesForEveryVehicle) {
+  const auto fleet = SmallFleet();
+  const auto result = RunFleet(fleet, FastConfig());
+  EXPECT_EQ(result.scored_samples.size(), fleet.vehicles.size());
+  EXPECT_EQ(result.calibrations.size(), fleet.vehicles.size());
+  EXPECT_FALSE(result.channel_names.empty());
+  std::size_t total_scored = 0;
+  for (const auto& trace : result.scored_samples) total_scored += trace.size();
+  EXPECT_GT(total_scored, 0u);
+}
+
+TEST(FleetRunnerTest, ScoredSamplesTimeOrderedPerVehicle) {
+  const auto result = RunFleet(SmallFleet(), FastConfig());
+  for (const auto& trace : result.scored_samples) {
+    for (std::size_t i = 1; i < trace.size(); ++i)
+      EXPECT_LT(trace[i - 1].timestamp, trace[i].timestamp);
+  }
+}
+
+TEST(FleetRunnerTest, CalibrationIndicesValid) {
+  const auto result = RunFleet(SmallFleet(), FastConfig());
+  for (std::size_t v = 0; v < result.scored_samples.size(); ++v) {
+    for (const auto& sample : result.scored_samples[v]) {
+      ASSERT_GE(sample.calibration_index, 0);
+      ASSERT_LT(sample.calibration_index,
+                static_cast<int>(result.calibrations[v].size()));
+    }
+  }
+}
+
+TEST(FleetRunnerTest, ReplayAtConfigFactorMatchesLiveAlarms) {
+  MonitorConfig config = FastConfig();
+  config.threshold.factor = 6.0;
+  const auto fleet = SmallFleet();
+  const auto result = RunFleet(fleet, config);
+  const auto replayed = result.AlarmsAt(6.0);
+  ASSERT_EQ(replayed.size(), result.alarms.size());
+  for (std::size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i].vehicle_id, result.alarms[i].vehicle_id);
+    EXPECT_EQ(replayed[i].timestamp, result.alarms[i].timestamp);
+    EXPECT_EQ(replayed[i].channel, result.alarms[i].channel);
+    EXPECT_NEAR(replayed[i].threshold, result.alarms[i].threshold, 1e-9);
+  }
+}
+
+TEST(FleetRunnerTest, HigherFactorNeverMoreAlarms) {
+  const auto result = RunFleet(SmallFleet(), FastConfig());
+  std::size_t previous = result.AlarmsAt(2.0).size();
+  for (double factor : {4.0, 8.0, 16.0, 32.0}) {
+    const std::size_t count = result.AlarmsAt(factor).size();
+    EXPECT_LE(count, previous);
+    previous = count;
+  }
+}
+
+TEST(FleetRunnerTest, DeterministicAcrossRuns) {
+  const auto fleet = SmallFleet();
+  const auto a = RunFleet(fleet, FastConfig());
+  const auto b = RunFleet(fleet, FastConfig());
+  ASSERT_EQ(a.alarms.size(), b.alarms.size());
+  for (std::size_t v = 0; v < a.scored_samples.size(); ++v) {
+    ASSERT_EQ(a.scored_samples[v].size(), b.scored_samples[v].size());
+    for (std::size_t i = 0; i < a.scored_samples[v].size(); i += 13) {
+      EXPECT_EQ(a.scored_samples[v][i].scores, b.scored_samples[v][i].scores);
+    }
+  }
+}
+
+TEST(RunCellTest, ReturnsOneResultPerHorizon) {
+  const auto fleet = SmallFleet();
+  eval::SweepConfig sweep;
+  sweep.factors = {4.0, 8.0};
+  const auto cells = eval::RunCell(fleet, transform::TransformKind::kCorrelation,
+                                   detect::DetectorKind::kClosestPair, sweep,
+                                   FastConfig());
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].ph_days, 15);
+  EXPECT_EQ(cells[1].ph_days, 30);
+  EXPECT_GT(cells[0].runtime_seconds, 0.0);
+  // Both horizons evaluated over the same run, so runtime is shared.
+  EXPECT_DOUBLE_EQ(cells[0].runtime_seconds, cells[1].runtime_seconds);
+}
+
+TEST(RunCellTest, BestThresholdComesFromSweepSet) {
+  const auto fleet = SmallFleet();
+  eval::SweepConfig sweep;
+  sweep.factors = {5.0, 10.0};
+  const auto cells = eval::RunCell(fleet, transform::TransformKind::kMeanAggregation,
+                                   detect::DetectorKind::kClosestPair, sweep,
+                                   FastConfig());
+  for (const auto& cell : cells) {
+    EXPECT_TRUE(cell.best_threshold == 5.0 || cell.best_threshold == 10.0);
+  }
+}
+
+TEST(RunCellTest, GrandUsesConstantSweep) {
+  const auto fleet = SmallFleet();
+  eval::SweepConfig sweep;
+  sweep.constants = {0.8, 0.99};
+  const auto cells = eval::RunCell(fleet, transform::TransformKind::kCorrelation,
+                                   detect::DetectorKind::kGrand, sweep, FastConfig());
+  for (const auto& cell : cells)
+    EXPECT_TRUE(cell.best_threshold == 0.8 || cell.best_threshold == 0.99);
+}
+
+TEST(PaperGridTest, TransformAndDetectorListsMatchPaper) {
+  EXPECT_EQ(eval::PaperTransforms().size(), 4u);
+  EXPECT_EQ(eval::PaperDetectors().size(), 4u);
+  EXPECT_EQ(eval::PaperTransforms()[3], transform::TransformKind::kCorrelation);
+  EXPECT_EQ(eval::PaperDetectors()[1], detect::DetectorKind::kClosestPair);
+}
+
+}  // namespace
+}  // namespace navarchos::core

@@ -1,0 +1,207 @@
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace navarchos::core {
+namespace {
+
+using telemetry::EventType;
+using telemetry::FleetEvent;
+using telemetry::Record;
+
+/// Builds a usable (moving, in-range) record with controllable couplings.
+Record MakeRecord(telemetry::Minute t, util::Rng& rng, double coupling_break = 0.0) {
+  Record record;
+  record.timestamp = t;
+  const double speed = 40.0 + 25.0 * rng.Uniform();
+  const double rpm = speed * 35.0 * (1.0 + 0.02 * rng.Gaussian());
+  const double map = 30.0 + 0.4 * speed + rng.Gaussian(0.0, 1.0);
+  // MAF follows rpm*map unless the coupling is broken.
+  double maf = rpm * map / 8000.0 * (1.0 + 0.02 * rng.Gaussian());
+  maf += coupling_break * (rng.Uniform() - 0.5) * 20.0;
+  record.pids = {rpm, speed, 90.0 + rng.Gaussian(0.0, 0.5),
+                 25.0 + rng.Gaussian(0.0, 1.0), map, std::max(1.0, maf)};
+  return record;
+}
+
+MonitorConfig FastConfig() {
+  MonitorConfig config;
+  config.transform_options.window = 30;
+  config.transform_options.stride = 5;
+  config.profile_minutes = 150.0;
+  config.threshold.burn_in_minutes = 50.0;
+  config.threshold.persistence_minutes = 50.0;
+  config.threshold.factor = 5.0;
+  return config;
+}
+
+FleetEvent MakeEvent(telemetry::Minute t, EventType type, bool recorded = true) {
+  FleetEvent event;
+  event.timestamp = t;
+  event.type = type;
+  event.recorded = recorded;
+  return event;
+}
+
+TEST(VehicleMonitorTest, CollectsReferenceThenCalibratesThenScores) {
+  VehicleMonitor monitor(0, FastConfig());
+  util::Rng rng(1);
+  EXPECT_TRUE(monitor.collecting_reference());
+  telemetry::Minute t = 0;
+  // Feed enough records: window 30 + (30-1)*5 strides = 175 to fill Ref,
+  // then 10*5 for burn-in, then some live.
+  for (int i = 0; i < 400; ++i) monitor.OnRecord(MakeRecord(t++, rng));
+  EXPECT_FALSE(monitor.collecting_reference());
+  EXPECT_EQ(monitor.fit_count(), 1);
+  EXPECT_EQ(monitor.calibrations().size(), 1u);
+  EXPECT_GT(monitor.scored_samples().size(), 0u);
+}
+
+TEST(VehicleMonitorTest, ServiceEventResetsReference) {
+  VehicleMonitor monitor(0, FastConfig());
+  util::Rng rng(2);
+  telemetry::Minute t = 0;
+  for (int i = 0; i < 400; ++i) monitor.OnRecord(MakeRecord(t++, rng));
+  EXPECT_EQ(monitor.fit_count(), 1);
+  monitor.OnEvent(MakeEvent(t, EventType::kService));
+  EXPECT_TRUE(monitor.collecting_reference());
+  for (int i = 0; i < 400; ++i) monitor.OnRecord(MakeRecord(t++, rng));
+  EXPECT_EQ(monitor.fit_count(), 2);
+}
+
+TEST(VehicleMonitorTest, UnrecordedEventIsInvisible) {
+  VehicleMonitor monitor(0, FastConfig());
+  util::Rng rng(3);
+  telemetry::Minute t = 0;
+  for (int i = 0; i < 400; ++i) monitor.OnRecord(MakeRecord(t++, rng));
+  monitor.OnEvent(MakeEvent(t, EventType::kService, /*recorded=*/false));
+  EXPECT_FALSE(monitor.collecting_reference());
+}
+
+TEST(VehicleMonitorTest, DtcEventsDoNotReset) {
+  VehicleMonitor monitor(0, FastConfig());
+  util::Rng rng(4);
+  telemetry::Minute t = 0;
+  for (int i = 0; i < 400; ++i) monitor.OnRecord(MakeRecord(t++, rng));
+  monitor.OnEvent(MakeEvent(t, EventType::kDtcPending));
+  monitor.OnEvent(MakeEvent(t, EventType::kDtcStored));
+  monitor.OnEvent(MakeEvent(t, EventType::kOther));
+  EXPECT_FALSE(monitor.collecting_reference());
+}
+
+TEST(VehicleMonitorTest, ResetOnServiceConfigurable) {
+  MonitorConfig config = FastConfig();
+  config.reset_on_service = false;  // Table 3 ablation
+  VehicleMonitor monitor(0, config);
+  util::Rng rng(5);
+  telemetry::Minute t = 0;
+  for (int i = 0; i < 400; ++i) monitor.OnRecord(MakeRecord(t++, rng));
+  monitor.OnEvent(MakeEvent(t, EventType::kService));
+  EXPECT_FALSE(monitor.collecting_reference());
+  monitor.OnEvent(MakeEvent(t, EventType::kRepair));
+  EXPECT_TRUE(monitor.collecting_reference());
+}
+
+TEST(VehicleMonitorTest, StationaryRecordsIgnored) {
+  VehicleMonitor monitor(0, FastConfig());
+  util::Rng rng(6);
+  Record parked;
+  parked.timestamp = 0;
+  parked.pids = {800.0, 0.0, 90.0, 25.0, 30.0, 3.0};
+  for (int i = 0; i < 500; ++i) monitor.OnRecord(parked);
+  EXPECT_TRUE(monitor.collecting_reference());  // nothing usable arrived
+}
+
+TEST(VehicleMonitorTest, SustainedCouplingBreakRaisesAlarm) {
+  VehicleMonitor monitor(0, FastConfig());
+  util::Rng rng(7);
+  telemetry::Minute t = 0;
+  for (int i = 0; i < 500; ++i) monitor.OnRecord(MakeRecord(t++, rng));
+  ASSERT_FALSE(monitor.collecting_reference());
+  // Break the rpm*map->MAF coupling hard for a sustained stretch.
+  bool alarmed = false;
+  for (int i = 0; i < 600; ++i) {
+    if (monitor.OnRecord(MakeRecord(t++, rng, /*coupling_break=*/8.0))) alarmed = true;
+  }
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(VehicleMonitorTest, HealthyStreamRaisesNoAlarmAtHighFactor) {
+  MonitorConfig config = FastConfig();
+  config.threshold.factor = 30.0;
+  VehicleMonitor monitor(0, config);
+  util::Rng rng(8);
+  telemetry::Minute t = 0;
+  int alarms = 0;
+  for (int i = 0; i < 2000; ++i)
+    if (monitor.OnRecord(MakeRecord(t++, rng))) ++alarms;
+  EXPECT_EQ(alarms, 0);
+}
+
+TEST(AlarmsForThresholdTest, ReplayMatchesThresholdSemantics) {
+  // Two-channel scores with one persistent violation stretch on channel 1.
+  std::vector<CalibrationStats> calibrations(1);
+  calibrations[0].mean = {0.0, 0.0};
+  calibrations[0].stddev = {1.0, 1.0};
+  std::vector<ScoredSample> samples;
+  for (int i = 0; i < 30; ++i) {
+    ScoredSample sample;
+    sample.vehicle_id = 3;
+    sample.timestamp = i;
+    sample.calibration_index = 0;
+    const double violating = (i >= 10 && i < 25) ? 10.0 : 0.0;
+    sample.scores = {0.1, violating};
+    samples.push_back(sample);
+  }
+  // Threshold = mean + 5 * std = 5; persistence 4-of-5.
+  const auto alarms = AlarmsForThreshold(samples, calibrations, 5.0, 5, 4, {"a", "b"});
+  ASSERT_FALSE(alarms.empty());
+  // First alarm only after 4 violations accumulate (i = 13).
+  EXPECT_EQ(alarms.front().timestamp, 13);
+  EXPECT_EQ(alarms.front().channel_name, "b");
+  // Alarms stop shortly after the violation stretch ends.
+  EXPECT_LE(alarms.back().timestamp, 26);
+}
+
+TEST(AlarmsForThresholdTest, ConstantThresholdPath) {
+  std::vector<CalibrationStats> calibrations(1);
+  calibrations[0].mean = {0.0};
+  calibrations[0].stddev = {1.0};
+  calibrations[0].constant_threshold = true;
+  std::vector<ScoredSample> samples;
+  for (int i = 0; i < 10; ++i) {
+    ScoredSample sample;
+    sample.timestamp = i;
+    sample.calibration_index = 0;
+    sample.scores = {0.95};
+    samples.push_back(sample);
+  }
+  // 0.95 < 0.99 -> no alarms at the tight constant.
+  EXPECT_TRUE(AlarmsForThreshold(samples, calibrations, 0.99, 3, 2, {}).empty());
+  // 0.95 > 0.90 -> alarms once persistence accrues.
+  const auto alarms = AlarmsForThreshold(samples, calibrations, 0.9, 3, 2, {});
+  EXPECT_FALSE(alarms.empty());
+}
+
+TEST(AlarmsForThresholdTest, CycleChangeResetsPersistence) {
+  std::vector<CalibrationStats> calibrations(2);
+  for (auto& stats : calibrations) {
+    stats.mean = {0.0};
+    stats.stddev = {1.0};
+  }
+  std::vector<ScoredSample> samples;
+  for (int i = 0; i < 6; ++i) {
+    ScoredSample sample;
+    sample.timestamp = i;
+    sample.calibration_index = i < 3 ? 0 : 1;  // cycle change at i = 3
+    sample.scores = {10.0};
+    samples.push_back(sample);
+  }
+  // Persistence 4-of-4: neither 3-sample cycle can accumulate 4 violations.
+  EXPECT_TRUE(AlarmsForThreshold(samples, calibrations, 1.0, 4, 4, {}).empty());
+}
+
+}  // namespace
+}  // namespace navarchos::core

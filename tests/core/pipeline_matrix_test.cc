@@ -1,0 +1,130 @@
+// Pipeline compatibility matrix: every transformation x every detector must
+// run end-to-end through the streaming monitor - reference fill, fit,
+// burn-in calibration, live scoring - on a realistic record stream, without
+// aborting and with finite scores. This is the guarantee that lets users
+// mix and match framework steps freely.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+#include "telemetry/driving_cycle.h"
+#include "telemetry/engine_model.h"
+#include "util/rng.h"
+
+namespace navarchos::core {
+namespace {
+
+struct Combo {
+  transform::TransformKind transform;
+  detect::DetectorKind detector;
+};
+
+std::string ComboName(const ::testing::TestParamInfo<Combo>& info) {
+  return std::string(transform::TransformKindName(info.param.transform)) + "_" +
+         detect::DetectorKindName(info.param.detector);
+}
+
+class PipelineMatrixTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(PipelineMatrixTest, RunsEndToEndOnSimulatedStream) {
+  const Combo combo = GetParam();
+
+  MonitorConfig config;
+  config.transform = combo.transform;
+  config.detector = combo.detector;
+  // Small horizons so every combination fits and scores quickly.
+  config.transform_options.window = 60;
+  config.transform_options.stride = 10;
+  config.profile_minutes = 400.0;
+  config.threshold.burn_in_minutes = 120.0;
+  config.threshold.persistence_minutes = 60.0;
+  config.detector_options.tranad.epochs = 2;
+  config.detector_options.tranad.d_model = 8;
+  config.detector_options.tranad.window = 4;
+  config.detector_options.gbt.num_trees = 10;
+  config.detector_options.mlp.epochs = 3;
+  config.detector_options.grand.k = 5;
+  VehicleMonitor monitor(0, config);
+
+  // ~6 simulated operating days through the real driving/engine models.
+  util::Rng rng(11);
+  const auto spec = telemetry::SampleFleetSpecs(1, rng).front();
+  telemetry::DrivingCycle cycle(spec);
+  telemetry::EngineModel engine(spec);
+  const telemetry::FaultEffects healthy;
+  int scored_before = 0;
+  for (int day = 0; day < 14; ++day) {
+    for (const auto& ride : cycle.PlanDay(day, rng)) {
+      engine.StartRide(ride.start, 18.0);
+      for (const auto& minute : cycle.Realise(ride, rng)) {
+        telemetry::Record record;
+        record.vehicle_id = 0;
+        record.timestamp = ride.start;
+        record.pids = engine.Step(record.timestamp, minute, 18.0, healthy, rng);
+        monitor.OnRecord(record);
+      }
+    }
+  }
+  scored_before = static_cast<int>(monitor.scored_samples().size());
+
+  // Must have completed at least one full fit + calibration cycle and
+  // produced finite scores.
+  EXPECT_FALSE(monitor.collecting_reference())
+      << "reference never filled for this combination";
+  EXPECT_GE(monitor.fit_count(), 1);
+  EXPECT_GT(scored_before, 0);
+  for (const auto& sample : monitor.scored_samples()) {
+    ASSERT_EQ(sample.scores.size(), monitor.channel_names().size());
+    for (double score : sample.scores) {
+      EXPECT_TRUE(std::isfinite(score));
+      EXPECT_GE(score, 0.0);
+    }
+  }
+
+  // A service event must cleanly reset and allow a second cycle.
+  telemetry::FleetEvent service;
+  service.vehicle_id = 0;
+  service.timestamp = 14 * telemetry::kMinutesPerDay;
+  service.type = telemetry::EventType::kService;
+  service.recorded = true;
+  monitor.OnEvent(service);
+  EXPECT_TRUE(monitor.collecting_reference());
+  for (int day = 14; day < 28; ++day) {
+    for (const auto& ride : cycle.PlanDay(day, rng)) {
+      engine.StartRide(ride.start, 18.0);
+      for (const auto& minute : cycle.Realise(ride, rng)) {
+        telemetry::Record record;
+        record.vehicle_id = 0;
+        record.timestamp = ride.start;
+        record.pids = engine.Step(record.timestamp, minute, 18.0, healthy, rng);
+        monitor.OnRecord(record);
+      }
+    }
+  }
+  EXPECT_GE(monitor.fit_count(), 2);
+}
+
+std::vector<Combo> AllCombos() {
+  std::vector<Combo> combos;
+  for (auto transform_kind :
+       {transform::TransformKind::kRaw, transform::TransformKind::kDelta,
+        transform::TransformKind::kMeanAggregation,
+        transform::TransformKind::kCorrelation, transform::TransformKind::kHistogram,
+        transform::TransformKind::kSpectral, transform::TransformKind::kSax}) {
+    for (auto detector_kind :
+         {detect::DetectorKind::kClosestPair, detect::DetectorKind::kGrand,
+          detect::DetectorKind::kTranAd, detect::DetectorKind::kXgBoost,
+          detect::DetectorKind::kIsolationForest, detect::DetectorKind::kMlp,
+          detect::DetectorKind::kKnnDistance}) {
+      combos.push_back({transform_kind, detector_kind});
+    }
+  }
+  return combos;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, PipelineMatrixTest,
+                         ::testing::ValuesIn(AllCombos()), ComboName);
+
+}  // namespace
+}  // namespace navarchos::core

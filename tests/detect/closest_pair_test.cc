@@ -1,0 +1,115 @@
+#include "detect/closest_pair.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace navarchos::detect {
+namespace {
+
+std::vector<std::vector<double>> GridRef() {
+  // Feature 0: values 0..9; feature 1: values 0, 10, 20, ... 90.
+  std::vector<std::vector<double>> ref;
+  for (int i = 0; i < 10; ++i)
+    ref.push_back({static_cast<double>(i), static_cast<double>(10 * i)});
+  return ref;
+}
+
+TEST(ClosestPairTest, ZeroScoreForSeenValues) {
+  ClosestPairDetector detector;
+  detector.Fit(GridRef());
+  const auto scores = detector.Score({5.0, 30.0});
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+  EXPECT_DOUBLE_EQ(scores[1], 0.0);
+}
+
+TEST(ClosestPairTest, DistanceToNearestValue) {
+  ClosestPairDetector detector;
+  detector.Fit(GridRef());
+  const auto scores = detector.Score({5.4, 34.0});
+  EXPECT_NEAR(scores[0], 0.4, 1e-12);
+  EXPECT_NEAR(scores[1], 4.0, 1e-12);
+}
+
+TEST(ClosestPairTest, ExtrapolationBeyondRange) {
+  ClosestPairDetector detector;
+  detector.Fit(GridRef());
+  const auto scores = detector.Score({-3.0, 120.0});
+  EXPECT_NEAR(scores[0], 3.0, 1e-12);
+  EXPECT_NEAR(scores[1], 30.0, 1e-12);
+}
+
+TEST(ClosestPairTest, ChannelsAreIndependent) {
+  ClosestPairDetector detector;
+  detector.Fit(GridRef());
+  const auto scores = detector.Score({5.0, 35.0});
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+  EXPECT_GT(scores[1], 0.0);
+}
+
+TEST(ClosestPairTest, RefitReplacesReference) {
+  ClosestPairDetector detector;
+  detector.Fit(GridRef());
+  std::vector<std::vector<double>> shifted;
+  for (int i = 0; i < 10; ++i) shifted.push_back({100.0 + i, 0.0});
+  detector.Fit(shifted);
+  EXPECT_GT(detector.Score({5.0, 0.0})[0], 90.0);
+}
+
+TEST(ClosestPairTest, ChannelNamesFromConstructor) {
+  ClosestPairDetector detector({"a", "b"});
+  detector.Fit(GridRef());
+  EXPECT_EQ(detector.ChannelNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ClosestPairTest, DefaultChannelNames) {
+  ClosestPairDetector detector;
+  detector.Fit(GridRef());
+  EXPECT_EQ(detector.ChannelNames()[0], "f0");
+}
+
+TEST(ClosestPairTest, SelfCalibrationExcludesTemporalNeighbours) {
+  // A slow ramp: adjacent samples are close, distant samples far. With
+  // exclusion radius 0 the LOO distances are tiny; with radius 3 they are
+  // at least 4 steps of the ramp.
+  std::vector<std::vector<double>> ref;
+  for (int i = 0; i < 20; ++i) ref.push_back({static_cast<double>(i)});
+  ClosestPairDetector detector;
+  detector.Fit(ref);
+  const auto tight = detector.SelfCalibrationScores(0);
+  const auto spaced = detector.SelfCalibrationScores(3);
+  ASSERT_EQ(tight.size(), 20u);
+  ASSERT_EQ(spaced.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(tight[i][0], 1.0);
+    EXPECT_DOUBLE_EQ(spaced[i][0], 4.0);
+  }
+}
+
+TEST(ClosestPairTest, SelfCalibrationHugeRadiusGivesZeros) {
+  std::vector<std::vector<double>> ref;
+  for (int i = 0; i < 10; ++i) ref.push_back({static_cast<double>(i)});
+  ClosestPairDetector detector;
+  detector.Fit(ref);
+  const auto scores = detector.SelfCalibrationScores(100);
+  for (const auto& row : scores) EXPECT_DOUBLE_EQ(row[0], 0.0);
+}
+
+TEST(ClosestPairTest, ScoresScaleInvariantPerChannel) {
+  // Doubling a channel's values doubles its distances (no cross-channel mix).
+  util::Rng rng(1);
+  std::vector<std::vector<double>> ref;
+  for (int i = 0; i < 30; ++i) ref.push_back({rng.Gaussian(), rng.Gaussian()});
+  std::vector<std::vector<double>> scaled = ref;
+  for (auto& row : scaled) row[0] *= 2.0;
+  ClosestPairDetector a, b;
+  a.Fit(ref);
+  b.Fit(scaled);
+  const auto sa = a.Score({0.5, 0.5});
+  const auto sb = b.Score({1.0, 0.5});
+  EXPECT_NEAR(sb[0], 2.0 * sa[0], 1e-9);
+  EXPECT_NEAR(sb[1], sa[1], 1e-9);
+}
+
+}  // namespace
+}  // namespace navarchos::detect

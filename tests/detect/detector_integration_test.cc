@@ -1,0 +1,126 @@
+// Cross-detector behavioural contracts, parameterised over all four
+// techniques: every detector must score an out-of-distribution sample above
+// its in-distribution baseline after fitting the same reference.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "detect/factory.h"
+#include "detect/tranad_detector.h"
+#include "util/rng.h"
+#include "util/statistics.h"
+
+namespace navarchos::detect {
+namespace {
+
+std::vector<std::vector<double>> CoupledRef(int n, util::Rng& rng) {
+  // Three features: f1 = 0.9 f0 + noise, f2 independent.
+  std::vector<std::vector<double>> ref;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian();
+    ref.push_back({x, 0.9 * x + 0.1 * rng.Gaussian(), rng.Gaussian()});
+  }
+  return ref;
+}
+
+class DetectorContractTest : public ::testing::TestWithParam<DetectorKind> {
+ protected:
+  std::unique_ptr<Detector> MakeFast() {
+    DetectorOptions options;
+    options.tranad.epochs = 6;
+    options.tranad.window = 5;
+    options.tranad.d_model = 16;
+    options.gbt.num_trees = 40;
+    options.mlp.epochs = 8;
+    return MakeDetector(GetParam(), options);
+  }
+};
+
+TEST_P(DetectorContractTest, ConstructsWithName) {
+  const auto detector = MakeFast();
+  EXPECT_EQ(detector->Name(), DetectorKindName(GetParam()));
+}
+
+TEST_P(DetectorContractTest, ScoreChannelCountStable) {
+  const auto detector = MakeFast();
+  util::Rng rng(1);
+  detector->Fit(CoupledRef(80, rng));
+  const auto scores = detector->Score({0.0, 0.0, 0.0});
+  EXPECT_EQ(scores.size(), detector->ScoreChannels());
+  EXPECT_EQ(detector->ChannelNames().size(), detector->ScoreChannels());
+}
+
+TEST_P(DetectorContractTest, ScoresAreNonNegativeAndFinite) {
+  const auto detector = MakeFast();
+  util::Rng rng(2);
+  detector->Fit(CoupledRef(80, rng));
+  for (int i = 0; i < 30; ++i) {
+    for (double s : detector->Score({rng.Gaussian(), rng.Gaussian(), rng.Gaussian()})) {
+      EXPECT_GE(s, 0.0);
+      EXPECT_TRUE(std::isfinite(s));
+    }
+  }
+}
+
+TEST_P(DetectorContractTest, OutOfDistributionScoresAboveBaseline) {
+  const auto detector = MakeFast();
+  util::Rng rng(3);
+  detector->Fit(CoupledRef(120, rng));
+
+  // Baseline: max channel score over healthy samples (skipping the first few
+  // so windowed detectors fill their buffers).
+  double healthy_peak = 0.0;
+  std::vector<double> last_healthy;
+  for (int i = 0; i < 60; ++i) {
+    const double x = rng.Gaussian();
+    last_healthy = detector->Score({x, 0.9 * x + 0.1 * rng.Gaussian(), rng.Gaussian()});
+    if (i >= 10) healthy_peak = std::max(healthy_peak, util::Max(last_healthy));
+  }
+  // Sustained broken coupling far outside the reference envelope.
+  double anomalous_peak = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    const double x = rng.Gaussian();
+    const auto scores = detector->Score({x + 6.0, -0.9 * x - 6.0, rng.Gaussian()});
+    anomalous_peak = std::max(anomalous_peak, util::Max(scores));
+  }
+  EXPECT_GT(anomalous_peak, healthy_peak);
+}
+
+TEST_P(DetectorContractTest, RefitIsClean) {
+  const auto detector = MakeFast();
+  util::Rng rng(4);
+  detector->Fit(CoupledRef(80, rng));
+  for (int i = 0; i < 20; ++i) detector->Score({9.0, -9.0, 9.0});
+  // Refit on fresh data must not be poisoned by the anomalous history.
+  detector->Fit(CoupledRef(80, rng));
+  const double x = rng.Gaussian();
+  for (double s : detector->Score({x, 0.9 * x, rng.Gaussian()}))
+    EXPECT_TRUE(std::isfinite(s));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDetectors, DetectorContractTest,
+                         ::testing::Values(DetectorKind::kClosestPair,
+                                           DetectorKind::kGrand,
+                                           DetectorKind::kTranAd,
+                                           DetectorKind::kXgBoost,
+                                           DetectorKind::kIsolationForest,
+                                           DetectorKind::kMlp),
+                         [](const auto& info) { return DetectorKindName(info.param); });
+
+TEST(TranAdDetectorTest, NeedsFullWindowBeforeScoring) {
+  nn::TranAdParams params;
+  params.window = 5;
+  params.epochs = 2;
+  params.d_model = 8;
+  TranAdDetector detector(params);
+  util::Rng rng(5);
+  detector.Fit(CoupledRef(40, rng));
+  // First window-1 scores are the no-evidence value 0.
+  for (int i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(detector.Score({0.0, 0.0, 0.0})[0], 0.0);
+  EXPECT_GE(detector.Score({0.0, 0.0, 0.0})[0], 0.0);
+}
+
+}  // namespace
+}  // namespace navarchos::detect

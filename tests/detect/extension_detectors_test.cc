@@ -1,0 +1,142 @@
+// Tests of the related-work extension detectors: isolation forest (Khan et
+// al. 2019) and the MLP regression scheme (Massaro et al. 2020).
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "detect/isolation_forest.h"
+#include "detect/mlp_detector.h"
+#include "util/rng.h"
+#include "util/statistics.h"
+
+namespace navarchos::detect {
+namespace {
+
+std::vector<std::vector<double>> BlobRef(int n, util::Rng& rng) {
+  std::vector<std::vector<double>> ref;
+  for (int i = 0; i < n; ++i) ref.push_back({rng.Gaussian(), rng.Gaussian()});
+  return ref;
+}
+
+TEST(AveragePathLengthTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(AveragePathLength(1), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePathLength(0), 0.0);
+  // c(2) = 2 * H(1) - 2 * 1/2 = 2 * 0.5772... - 1 ~ 0.154? No: H(1) = 1
+  // in the exact series; the log approximation gives ~0.15 at n = 2, and
+  // the value must grow with n.
+  EXPECT_GT(AveragePathLength(16), AveragePathLength(4));
+  EXPECT_GT(AveragePathLength(256), AveragePathLength(16));
+}
+
+TEST(IsolationForestTest, ScoresBoundedZeroOne) {
+  IsolationForestDetector detector;
+  util::Rng rng(1);
+  detector.Fit(BlobRef(128, rng));
+  for (int i = 0; i < 50; ++i) {
+    const double s = detector.Score({rng.Gaussian(), rng.Gaussian()})[0];
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(IsolationForestTest, OutlierScoresAboveInlier) {
+  IsolationForestDetector detector;
+  util::Rng rng(2);
+  detector.Fit(BlobRef(200, rng));
+  const double inlier = detector.Score({0.0, 0.0})[0];
+  const double outlier = detector.Score({8.0, -8.0})[0];
+  EXPECT_GT(outlier, inlier + 0.1);
+  EXPECT_GT(outlier, 0.6);  // classic iforest anomaly region
+  EXPECT_LT(inlier, 0.6);
+}
+
+TEST(IsolationForestTest, DeterministicForSeed) {
+  util::Rng rng(3);
+  const auto ref = BlobRef(100, rng);
+  IsolationForestDetector a, b;
+  a.Fit(ref);
+  b.Fit(ref);
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<double> q{rng.Gaussian(), rng.Gaussian()};
+    EXPECT_DOUBLE_EQ(a.Score(q)[0], b.Score(q)[0]);
+  }
+}
+
+TEST(IsolationForestTest, HandlesConstantFeature) {
+  std::vector<std::vector<double>> ref;
+  util::Rng rng(4);
+  for (int i = 0; i < 64; ++i) ref.push_back({rng.Gaussian(), 5.0});
+  IsolationForestDetector detector;
+  detector.Fit(ref);
+  const double s = detector.Score({0.0, 5.0})[0];
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(IsolationForestTest, ReportsProbabilityScores) {
+  IsolationForestDetector detector;
+  EXPECT_TRUE(detector.ScoresAreProbabilities());
+  EXPECT_EQ(detector.ScoreChannels(), 1u);
+  EXPECT_EQ(detector.Name(), "isolation_forest");
+}
+
+TEST(MlpDetectorTest, LearnsLinearCoupling) {
+  util::Rng rng(5);
+  std::vector<std::vector<double>> ref;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.Uniform(-2, 2);
+    ref.push_back({x, 2.0 * x + rng.Gaussian(0, 0.05)});
+  }
+  MlpDetector detector;
+  detector.Fit(ref);
+  const auto consistent = detector.Score({1.0, 2.0});
+  const auto broken = detector.Score({1.0, -2.0});
+  EXPECT_LT(consistent[1], 0.6);
+  EXPECT_GT(broken[1], 3.0 * std::max(consistent[1], 0.05));
+}
+
+TEST(MlpDetectorTest, OneChannelPerFeature) {
+  util::Rng rng(6);
+  std::vector<std::vector<double>> ref;
+  for (int i = 0; i < 60; ++i)
+    ref.push_back({rng.Gaussian(), rng.Gaussian(), rng.Gaussian()});
+  MlpParams params;
+  params.epochs = 5;
+  MlpDetector detector(params);
+  detector.Fit(ref);
+  EXPECT_EQ(detector.ScoreChannels(), 3u);
+  EXPECT_EQ(detector.ChannelNames().size(), 3u);
+}
+
+TEST(MlpDetectorTest, DeterministicForSeed) {
+  util::Rng rng(7);
+  std::vector<std::vector<double>> ref;
+  for (int i = 0; i < 80; ++i) ref.push_back({rng.Gaussian(), rng.Gaussian()});
+  MlpParams params;
+  params.epochs = 3;
+  MlpDetector a(params), b(params);
+  a.Fit(ref);
+  b.Fit(ref);
+  const std::vector<double> q{0.3, -0.7};
+  EXPECT_EQ(a.Score(q), b.Score(q));
+}
+
+TEST(MlpDetectorTest, ScoresNonNegativeFinite) {
+  util::Rng rng(8);
+  std::vector<std::vector<double>> ref;
+  for (int i = 0; i < 60; ++i) ref.push_back({rng.Gaussian(), rng.Gaussian()});
+  MlpParams params;
+  params.epochs = 4;
+  MlpDetector detector(params);
+  detector.Fit(ref);
+  for (int i = 0; i < 20; ++i) {
+    for (double s : detector.Score({rng.Gaussian(), rng.Gaussian()})) {
+      EXPECT_GE(s, 0.0);
+      EXPECT_TRUE(std::isfinite(s));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace navarchos::detect

@@ -1,0 +1,170 @@
+#include "detect/gbt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "detect/xgb_detector.h"
+#include "util/rng.h"
+#include "util/statistics.h"
+
+namespace navarchos::detect {
+namespace {
+
+TEST(GbtTest, LearnsLinearFunction) {
+  util::Rng rng(1);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.Uniform(-2, 2), b = rng.Uniform(-2, 2);
+    x.push_back({a, b});
+    y.push_back(3.0 * a - 2.0 * b + 1.0);
+  }
+  GbtParams params;
+  params.num_trees = 120;
+  params.learning_rate = 0.2;
+  GbtRegressor model(params);
+  model.Fit(x, y);
+  double total_error = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.Uniform(-1.5, 1.5), b = rng.Uniform(-1.5, 1.5);
+    total_error += std::fabs(model.Predict(std::vector<double>{a, b}) -
+                             (3.0 * a - 2.0 * b + 1.0));
+  }
+  EXPECT_LT(total_error / 100.0, 0.5);
+}
+
+TEST(GbtTest, LearnsNonlinearInteraction) {
+  util::Rng rng(2);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 600; ++i) {
+    const double a = rng.Uniform(-2, 2), b = rng.Uniform(-2, 2);
+    x.push_back({a, b});
+    y.push_back(a * b);
+  }
+  GbtParams params;
+  params.num_trees = 150;
+  params.max_depth = 5;
+  params.learning_rate = 0.15;
+  GbtRegressor model(params);
+  model.Fit(x, y);
+  double total_error = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.Uniform(-1.5, 1.5), b = rng.Uniform(-1.5, 1.5);
+    total_error += std::fabs(model.Predict(std::vector<double>{a, b}) - a * b);
+  }
+  EXPECT_LT(total_error / 100.0, 0.4);
+}
+
+TEST(GbtTest, ConstantTargetPredictsConstant) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  util::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    x.push_back({rng.Gaussian()});
+    y.push_back(7.5);
+  }
+  GbtRegressor model;
+  model.Fit(x, y);
+  EXPECT_NEAR(model.Predict(std::vector<double>{0.0}), 7.5, 1e-6);
+}
+
+TEST(GbtTest, BoostingReducesTrainingError) {
+  util::Rng rng(4);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.Uniform(-3, 3);
+    x.push_back({a});
+    y.push_back(std::sin(a));
+  }
+  auto train_mse = [&](int trees) {
+    GbtParams params;
+    params.num_trees = trees;
+    params.subsample = 1.0;
+    GbtRegressor model(params);
+    model.Fit(x, y);
+    double total = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = model.Predict(x[i]) - y[i];
+      total += d * d;
+    }
+    return total / static_cast<double>(x.size());
+  };
+  EXPECT_LT(train_mse(60), train_mse(5));
+}
+
+TEST(GbtTest, DeterministicForSameSeed) {
+  util::Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back({rng.Gaussian(), rng.Gaussian()});
+    y.push_back(x.back()[0] + rng.Gaussian(0, 0.1));
+  }
+  GbtRegressor a, b;
+  a.Fit(x, y);
+  b.Fit(x, y);
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<double> q{rng.Gaussian(), rng.Gaussian()};
+    EXPECT_DOUBLE_EQ(a.Predict(q), b.Predict(q));
+  }
+}
+
+TEST(GbtTest, RespectsMaxDepthViaTreeCount) {
+  GbtParams params;
+  params.num_trees = 10;
+  GbtRegressor model(params);
+  util::Rng rng(6);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back({rng.Gaussian()});
+    y.push_back(rng.Gaussian());
+  }
+  model.Fit(x, y);
+  EXPECT_EQ(model.tree_count(), 10u);
+  EXPECT_TRUE(model.fitted());
+}
+
+TEST(XgbDetectorTest, OneChannelPerFeature) {
+  util::Rng rng(7);
+  std::vector<std::vector<double>> ref;
+  for (int i = 0; i < 60; ++i) {
+    const double x = rng.Gaussian();
+    ref.push_back({x, 2.0 * x + rng.Gaussian(0, 0.05), rng.Gaussian()});
+  }
+  XgbDetector detector;
+  detector.Fit(ref);
+  EXPECT_EQ(detector.ScoreChannels(), 3u);
+}
+
+TEST(XgbDetectorTest, BrokenRelationshipScoresHigh) {
+  util::Rng rng(8);
+  std::vector<std::vector<double>> ref;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.Uniform(-2, 2);
+    ref.push_back({x, 2.0 * x + rng.Gaussian(0, 0.05)});
+  }
+  XgbDetector detector;
+  detector.Fit(ref);
+  // Consistent sample: low scores.
+  const auto consistent = detector.Score({1.0, 2.0});
+  // Broken coupling: feature 1 no longer 2 * feature 0.
+  const auto broken = detector.Score({1.0, -2.0});
+  EXPECT_LT(consistent[1], 0.5);
+  EXPECT_GT(broken[1], 4.0 * std::max(consistent[1], 0.05));
+}
+
+TEST(XgbDetectorTest, ChannelNamesPropagate) {
+  XgbDetector detector(GbtParams{}, {"x", "y"});
+  util::Rng rng(9);
+  std::vector<std::vector<double>> ref;
+  for (int i = 0; i < 30; ++i) ref.push_back({rng.Gaussian(), rng.Gaussian()});
+  detector.Fit(ref);
+  EXPECT_EQ(detector.ChannelNames(), (std::vector<std::string>{"x", "y"}));
+}
+
+}  // namespace
+}  // namespace navarchos::detect

@@ -1,0 +1,111 @@
+#include "detect/grand.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/statistics.h"
+
+namespace navarchos::detect {
+namespace {
+
+std::vector<std::vector<double>> GaussianRef(int n, util::Rng& rng) {
+  std::vector<std::vector<double>> ref;
+  for (int i = 0; i < n; ++i) ref.push_back({rng.Gaussian(), rng.Gaussian()});
+  return ref;
+}
+
+class GrandNcmTest : public ::testing::TestWithParam<GrandNcm> {};
+
+TEST_P(GrandNcmTest, ScoresAreProbabilities) {
+  GrandConfig config;
+  config.ncm = GetParam();
+  GrandDetector detector(config);
+  util::Rng rng(1);
+  detector.Fit(GaussianRef(80, rng));
+  for (int i = 0; i < 50; ++i) {
+    const auto scores = detector.Score({rng.Gaussian(), rng.Gaussian()});
+    ASSERT_EQ(scores.size(), 1u);
+    EXPECT_GE(scores[0], 0.0);
+    EXPECT_LT(scores[0], 1.0);
+  }
+}
+
+TEST_P(GrandNcmTest, SustainedOutliersDriveScoreTowardOne) {
+  GrandConfig config;
+  config.ncm = GetParam();
+  GrandDetector detector(config);
+  util::Rng rng(2);
+  detector.Fit(GaussianRef(80, rng));
+  double final_score = 0.0;
+  for (int i = 0; i < 40; ++i)
+    final_score = detector.Score({8.0 + rng.Uniform(), 8.0 + rng.Uniform()})[0];
+  EXPECT_GT(final_score, 0.95);
+}
+
+TEST_P(GrandNcmTest, HealthyStreamStaysLow) {
+  GrandConfig config;
+  config.ncm = GetParam();
+  GrandDetector detector(config);
+  util::Rng rng(3);
+  detector.Fit(GaussianRef(100, rng));
+  double max_score = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double s = detector.Score({rng.Gaussian(), rng.Gaussian()})[0];
+    max_score = std::max(max_score, s);
+  }
+  // The clamped martingale can wander but should not saturate on iid
+  // healthy data.
+  EXPECT_LT(max_score, 0.9999);
+}
+
+TEST_P(GrandNcmTest, RefitResetsMartingale) {
+  GrandConfig config;
+  config.ncm = GetParam();
+  GrandDetector detector(config);
+  util::Rng rng(4);
+  auto ref = GaussianRef(80, rng);
+  detector.Fit(ref);
+  for (int i = 0; i < 30; ++i) detector.Score({9.0, 9.0});
+  detector.Fit(ref);
+  // Right after a refit the martingale is neutral: score = 1/(1+1) = 0.5.
+  EXPECT_NEAR(detector.Score({rng.Gaussian(), rng.Gaussian()})[0], 0.5, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNcms, GrandNcmTest,
+                         ::testing::Values(GrandNcm::kMedian, GrandNcm::kKnn,
+                                           GrandNcm::kLof),
+                         [](const auto& info) { return GrandNcmName(info.param); });
+
+TEST(GrandTest, PValuesRoughlyUniformOnExchangeableData) {
+  GrandConfig config;
+  config.ncm = GrandNcm::kKnn;
+  GrandDetector detector(config);
+  util::Rng rng(5);
+  detector.Fit(GaussianRef(200, rng));
+  std::vector<double> p_values;
+  for (int i = 0; i < 500; ++i) {
+    detector.Score({rng.Gaussian(), rng.Gaussian()});
+    p_values.push_back(detector.last_p_value());
+  }
+  // Mean of uniform p-values is 0.5; allow generous tolerance.
+  EXPECT_NEAR(util::Mean(p_values), 0.5, 0.08);
+  EXPECT_GT(util::Quantile(p_values, 0.9), 0.7);
+  EXPECT_LT(util::Quantile(p_values, 0.1), 0.3);
+}
+
+TEST(GrandTest, MinReferenceDependsOnK) {
+  GrandConfig config;
+  config.k = 25;
+  GrandDetector detector(config);
+  EXPECT_EQ(detector.MinReferenceSize(), 27u);
+}
+
+TEST(GrandTest, ReportsProbabilityScores) {
+  GrandDetector detector;
+  EXPECT_TRUE(detector.ScoresAreProbabilities());
+  EXPECT_EQ(detector.ScoreChannels(), 1u);
+  EXPECT_EQ(detector.Name(), "grand");
+}
+
+}  // namespace
+}  // namespace navarchos::detect

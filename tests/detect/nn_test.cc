@@ -1,0 +1,220 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "detect/nn/layers.h"
+#include "detect/nn/tranad.h"
+#include "util/rng.h"
+
+namespace navarchos::detect::nn {
+namespace {
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& value : m.Data()) value = rng.Gaussian();
+  return m;
+}
+
+/// Scalar objective L = sum_ij c_ij * layer(x)_ij for a fixed random c.
+/// Checks the layer's input gradient against central finite differences.
+template <typename Layer>
+void CheckInputGradient(Layer& layer, Matrix x, util::Rng& rng,
+                        double tolerance = 1e-5) {
+  Matrix y = layer.Forward(x);
+  Matrix weights = RandomMatrix(y.rows(), y.cols(), rng);
+  const Matrix grad_in = layer.Backward(weights);
+
+  const double eps = 1e-5;
+  int checked = 0;
+  for (std::size_t r = 0; r < x.rows() && checked < 12; ++r) {
+    for (std::size_t c = 0; c < x.cols() && checked < 12; ++c, ++checked) {
+      Matrix x_plus = x, x_minus = x;
+      x_plus.At(r, c) += eps;
+      x_minus.At(r, c) -= eps;
+      const Matrix y_plus = layer.Forward(x_plus);
+      const Matrix y_minus = layer.Forward(x_minus);
+      double l_plus = 0.0, l_minus = 0.0;
+      for (std::size_t i = 0; i < y.Data().size(); ++i) {
+        l_plus += weights.Data()[i] * y_plus.Data()[i];
+        l_minus += weights.Data()[i] * y_minus.Data()[i];
+      }
+      const double numeric = (l_plus - l_minus) / (2.0 * eps);
+      EXPECT_NEAR(grad_in.At(r, c), numeric, tolerance)
+          << "entry (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(NnGradientTest, LinearInputGradientMatchesFiniteDifference) {
+  util::Rng rng(1);
+  Linear layer(5, 7, rng);
+  CheckInputGradient(layer, RandomMatrix(4, 5, rng), rng);
+}
+
+TEST(NnGradientTest, ReluInputGradientMatchesFiniteDifference) {
+  util::Rng rng(2);
+  Relu layer;
+  // Keep activations away from the kink for a clean finite difference.
+  Matrix x = RandomMatrix(4, 6, rng);
+  for (double& value : x.Data())
+    if (std::fabs(value) < 0.05) value = 0.2;
+  CheckInputGradient(layer, x, rng);
+}
+
+TEST(NnGradientTest, LayerNormInputGradientMatchesFiniteDifference) {
+  util::Rng rng(3);
+  LayerNorm layer(6);
+  CheckInputGradient(layer, RandomMatrix(3, 6, rng), rng, 1e-4);
+}
+
+TEST(NnGradientTest, SelfAttentionInputGradientMatchesFiniteDifference) {
+  util::Rng rng(4);
+  SelfAttention layer(4, rng);
+  CheckInputGradient(layer, RandomMatrix(5, 4, rng), rng, 1e-4);
+}
+
+TEST(NnLayersTest, LinearForwardShape) {
+  util::Rng rng(5);
+  Linear layer(3, 8, rng);
+  const Matrix y = layer.Forward(RandomMatrix(6, 3, rng));
+  EXPECT_EQ(y.rows(), 6u);
+  EXPECT_EQ(y.cols(), 8u);
+}
+
+TEST(NnLayersTest, ReluClampsNegatives) {
+  Relu layer;
+  Matrix x = Matrix::FromRows({{-1.0, 2.0, -0.5, 0.0}});
+  const Matrix y = layer.Forward(x);
+  EXPECT_DOUBLE_EQ(y.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(y.At(0, 2), 0.0);
+}
+
+TEST(NnLayersTest, LayerNormRowsHaveZeroMeanUnitVariance) {
+  util::Rng rng(6);
+  LayerNorm layer(10);
+  const Matrix y = layer.Forward(RandomMatrix(4, 10, rng));
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    double mean = 0.0, var = 0.0;
+    for (double value : y.Row(r)) mean += value;
+    mean /= 10.0;
+    for (double value : y.Row(r)) var += (value - mean) * (value - mean);
+    var /= 10.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(NnLayersTest, AttentionRowsAreConvexCombinations) {
+  // Attention output is bounded by the value range (convexity), checked
+  // indirectly: a constant input must map to a constant context.
+  util::Rng rng(7);
+  SelfAttention layer(4, rng);
+  Matrix x(5, 4, 1.0);
+  const Matrix y = layer.Forward(x);
+  for (std::size_t r = 1; r < y.rows(); ++r)
+    for (std::size_t c = 0; c < y.cols(); ++c)
+      EXPECT_NEAR(y.At(r, c), y.At(0, c), 1e-9);
+}
+
+TEST(NnLayersTest, PositionalEncodingBoundedAndDistinct) {
+  const Matrix pe = SinusoidalPositionalEncoding(10, 8);
+  for (double value : pe.Data()) {
+    EXPECT_GE(value, -1.0);
+    EXPECT_LE(value, 1.0);
+  }
+  // Different positions get different encodings.
+  bool differ = false;
+  for (std::size_t c = 0; c < 8; ++c)
+    if (pe.At(0, c) != pe.At(5, c)) differ = true;
+  EXPECT_TRUE(differ);
+}
+
+TEST(NnLayersTest, MseLossAndGradConsistent) {
+  Matrix prediction = Matrix::FromRows({{1.0, 2.0}});
+  Matrix target = Matrix::FromRows({{0.0, 4.0}});
+  EXPECT_DOUBLE_EQ(MseLoss(prediction, target), (1.0 + 4.0) / 2.0);
+  const Matrix grad = MseGrad(prediction, target, 1.0);
+  EXPECT_DOUBLE_EQ(grad.At(0, 0), 1.0);   // 2 * (1-0) / 2
+  EXPECT_DOUBLE_EQ(grad.At(0, 1), -2.0);  // 2 * (2-4) / 2
+}
+
+TEST(NnLayersTest, AdamMovesParametersAgainstGradient) {
+  std::vector<double> params{1.0, -1.0};
+  std::vector<double> grads{0.5, -0.5};
+  AdamBuffers buffers;
+  AdamUpdate(params, grads, buffers, 1, 0.1);
+  EXPECT_LT(params[0], 1.0);
+  EXPECT_GT(params[1], -1.0);
+}
+
+TEST(TranAdModelTest, TrainingReducesReconstructionError) {
+  util::Rng rng(8);
+  TranAdParams params;
+  params.window = 6;
+  params.d_model = 16;
+  params.d_ff = 32;
+  params.epochs = 10;
+  std::vector<Matrix> windows;
+  for (int i = 0; i < 60; ++i) {
+    Matrix w(6, 3);
+    for (std::size_t r = 0; r < 6; ++r) {
+      const double x = rng.Gaussian();
+      w.At(r, 0) = x;
+      w.At(r, 1) = 0.8 * x;
+      w.At(r, 2) = -x;
+    }
+    windows.push_back(std::move(w));
+  }
+  TranAdModel before(3, params);
+  const double untrained = before.Score(windows[0]);
+  TranAdModel model(3, params);
+  model.Train(windows);
+  const double trained = model.Score(windows[0]);
+  EXPECT_LT(trained, untrained);
+}
+
+TEST(TranAdModelTest, AnomalousWindowScoresHigherThanNormal) {
+  util::Rng rng(9);
+  TranAdParams params;
+  params.window = 6;
+  params.d_model = 16;
+  params.epochs = 12;
+  std::vector<Matrix> windows;
+  for (int i = 0; i < 80; ++i) {
+    Matrix w(6, 2);
+    for (std::size_t r = 0; r < 6; ++r) {
+      const double x = rng.Gaussian();
+      w.At(r, 0) = x;
+      w.At(r, 1) = x;  // strict coupling
+    }
+    windows.push_back(std::move(w));
+  }
+  TranAdModel model(2, params);
+  model.Train(windows);
+  const double normal = model.Score(windows[1]);
+  Matrix broken(6, 2);
+  for (std::size_t r = 0; r < 6; ++r) {
+    const double x = rng.Gaussian();
+    broken.At(r, 0) = x;
+    broken.At(r, 1) = -x;  // coupling inverted
+  }
+  EXPECT_GT(model.Score(broken), 2.0 * normal);
+}
+
+TEST(TranAdModelTest, DeterministicForSeed) {
+  TranAdParams params;
+  params.window = 4;
+  params.d_model = 8;
+  params.epochs = 2;
+  util::Rng rng(10);
+  std::vector<Matrix> windows;
+  for (int i = 0; i < 10; ++i) windows.push_back(RandomMatrix(4, 2, rng));
+  TranAdModel a(2, params), b(2, params);
+  a.Train(windows);
+  b.Train(windows);
+  EXPECT_DOUBLE_EQ(a.Score(windows[0]), b.Score(windows[0]));
+}
+
+}  // namespace
+}  // namespace navarchos::detect::nn

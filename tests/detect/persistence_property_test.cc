@@ -1,0 +1,88 @@
+// Property test: the ring-buffer PersistenceTracker must agree with a naive
+// count-the-last-N implementation on random violation streams.
+#include <deque>
+
+#include <gtest/gtest.h>
+
+#include "detect/threshold.h"
+#include "util/rng.h"
+
+namespace navarchos::detect {
+namespace {
+
+class NaivePersistence {
+ public:
+  NaivePersistence(int window, int min_count, std::size_t channels)
+      : window_(window), min_count_(min_count), history_(channels) {}
+
+  std::vector<bool> Update(const std::vector<bool>& violations) {
+    std::vector<bool> fires(history_.size(), false);
+    for (std::size_t c = 0; c < history_.size(); ++c) {
+      history_[c].push_back(violations[c]);
+      if (static_cast<int>(history_[c].size()) > window_) history_[c].pop_front();
+      int count = 0;
+      for (bool violated : history_[c]) count += violated ? 1 : 0;
+      fires[c] = count >= min_count_;
+    }
+    return fires;
+  }
+
+ private:
+  int window_;
+  int min_count_;
+  std::vector<std::deque<bool>> history_;
+};
+
+struct Case {
+  int window;
+  int min_count;
+  std::size_t channels;
+  double violation_rate;
+};
+
+class PersistencePropertyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PersistencePropertyTest, MatchesNaiveOnRandomStreams) {
+  const Case test_case = GetParam();
+  PersistenceTracker tracker(test_case.window, test_case.min_count,
+                             test_case.channels);
+  NaivePersistence naive(test_case.window, test_case.min_count, test_case.channels);
+  util::Rng rng(static_cast<std::uint64_t>(test_case.window * 1000 +
+                                           test_case.min_count));
+  for (int step = 0; step < 500; ++step) {
+    std::vector<bool> violations(test_case.channels);
+    for (std::size_t c = 0; c < test_case.channels; ++c)
+      violations[c] = rng.Bernoulli(test_case.violation_rate);
+    EXPECT_EQ(tracker.Update(violations), naive.Update(violations)) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PersistencePropertyTest,
+    ::testing::Values(Case{1, 1, 1, 0.5}, Case{5, 3, 2, 0.3}, Case{20, 14, 15, 0.6},
+                      Case{7, 7, 3, 0.8}, Case{50, 10, 1, 0.15}),
+    [](const auto& info) {
+      return "w" + std::to_string(info.param.window) + "m" +
+             std::to_string(info.param.min_count) + "c" +
+             std::to_string(info.param.channels);
+    });
+
+TEST(PersistenceResetPropertyTest, ResetEquivalentToFreshTracker) {
+  util::Rng rng(9);
+  PersistenceTracker reused(10, 6, 4);
+  for (int step = 0; step < 100; ++step) {
+    std::vector<bool> violations(4);
+    for (std::size_t c = 0; c < 4; ++c) violations[c] = rng.Bernoulli(0.5);
+    reused.Update(violations);
+  }
+  reused.Reset();
+  PersistenceTracker fresh(10, 6, 4);
+  for (int step = 0; step < 100; ++step) {
+    std::vector<bool> violations(4);
+    for (std::size_t c = 0; c < 4; ++c) violations[c] = rng.Bernoulli(0.5);
+    EXPECT_EQ(reused.Update(violations), fresh.Update(violations));
+  }
+}
+
+}  // namespace
+}  // namespace navarchos::detect

@@ -1,0 +1,105 @@
+// Tests of the thresholding-rule variants (kSelfTuning, kMedianMad,
+// kMaxHealthy) through CalibrationStats::ThresholdOf and the replay path.
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+#include "util/rng.h"
+
+namespace navarchos::core {
+namespace {
+
+using Kind = detect::ThresholdConfig::Kind;
+
+CalibrationStats MakeStats() {
+  CalibrationStats stats;
+  stats.mean = {1.0};
+  stats.stddev = {0.5};
+  stats.median = {0.9};
+  stats.mad = {0.3};
+  stats.max = {2.0};
+  return stats;
+}
+
+TEST(ThresholdOfTest, SelfTuningIsMeanPlusFactorStd) {
+  const CalibrationStats stats = MakeStats();
+  EXPECT_DOUBLE_EQ(stats.ThresholdOf(0, Kind::kSelfTuning, 4.0), 1.0 + 4.0 * 0.5);
+}
+
+TEST(ThresholdOfTest, MedianMadUsesConsistencyConstant) {
+  const CalibrationStats stats = MakeStats();
+  EXPECT_DOUBLE_EQ(stats.ThresholdOf(0, Kind::kMedianMad, 2.0),
+                   0.9 + 2.0 * 1.4826 * 0.3);
+}
+
+TEST(ThresholdOfTest, MaxHealthyScalesTheMax) {
+  const CalibrationStats stats = MakeStats();
+  EXPECT_DOUBLE_EQ(stats.ThresholdOf(0, Kind::kMaxHealthy, 1.5), 3.0);
+}
+
+TEST(ThresholdOfTest, ConstantDetectorIgnoresRule) {
+  CalibrationStats stats = MakeStats();
+  stats.constant_threshold = true;
+  for (Kind kind : {Kind::kSelfTuning, Kind::kMedianMad, Kind::kMaxHealthy}) {
+    EXPECT_DOUBLE_EQ(stats.ThresholdOf(0, kind, 0.77), 0.77);
+  }
+}
+
+TEST(ThresholdOfTest, MadRobustToCalibrationOutlier) {
+  // Same scores, one wild outlier: the std-based threshold balloons, the
+  // MAD-based one barely moves.
+  CalibrationStats clean = MakeStats();
+  CalibrationStats polluted = MakeStats();
+  polluted.mean = {2.0};     // outlier dragged the mean
+  polluted.stddev = {3.0};   // ... and exploded the std
+  polluted.median = {0.92};  // median almost unchanged
+  polluted.mad = {0.32};
+  const double clean_self = clean.ThresholdOf(0, Kind::kSelfTuning, 4.0);
+  const double polluted_self = polluted.ThresholdOf(0, Kind::kSelfTuning, 4.0);
+  const double clean_mad = clean.ThresholdOf(0, Kind::kMedianMad, 4.0);
+  const double polluted_mad = polluted.ThresholdOf(0, Kind::kMedianMad, 4.0);
+  EXPECT_GT(polluted_self / clean_self, 3.0);
+  EXPECT_LT(polluted_mad / clean_mad, 1.2);
+}
+
+TEST(AlarmsForThresholdKindTest, KindChangesAlarmSet) {
+  std::vector<CalibrationStats> calibrations(1, MakeStats());
+  std::vector<ScoredSample> samples;
+  for (int i = 0; i < 10; ++i) {
+    ScoredSample sample;
+    sample.timestamp = i;
+    sample.calibration_index = 0;
+    sample.scores = {2.5};  // above max(2.0), below mean + 4 * std (3.0)
+    samples.push_back(sample);
+  }
+  const auto self_tuning =
+      AlarmsForThreshold(samples, calibrations, 4.0, 4, 3, {}, Kind::kSelfTuning);
+  const auto max_healthy =
+      AlarmsForThreshold(samples, calibrations, 1.0, 4, 3, {}, Kind::kMaxHealthy);
+  EXPECT_TRUE(self_tuning.empty());
+  EXPECT_FALSE(max_healthy.empty());
+}
+
+TEST(MonitorKindTest, MonitorRunsWithEachRule) {
+  for (Kind kind : {Kind::kSelfTuning, Kind::kMedianMad, Kind::kMaxHealthy}) {
+    MonitorConfig config;
+    config.transform_options.window = 30;
+    config.transform_options.stride = 5;
+    config.profile_minutes = 150.0;
+    config.threshold.burn_in_minutes = 50.0;
+    config.threshold.kind = kind;
+    VehicleMonitor monitor(0, config);
+    util::Rng rng(3);
+    for (int i = 0; i < 600; ++i) {
+      telemetry::Record record;
+      record.timestamp = i;
+      const double speed = 50.0 + 10.0 * rng.Uniform();
+      record.pids = {speed * 35.0, speed, 90.0, 25.0, 45.0, 15.0};
+      monitor.OnRecord(record);
+    }
+    EXPECT_FALSE(monitor.collecting_reference());
+    EXPECT_EQ(monitor.fit_count(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace navarchos::core

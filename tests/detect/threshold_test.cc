@@ -1,0 +1,95 @@
+#include "detect/threshold.h"
+
+#include <gtest/gtest.h>
+
+namespace navarchos::detect {
+namespace {
+
+TEST(ThresholdPolicyTest, SelfTuningMeanPlusFactorStd) {
+  // Channel 0: scores {0, 2} -> mean 1, std 1; channel 1 constant 5.
+  const std::vector<std::vector<double>> healthy{{0.0, 5.0}, {2.0, 5.0}};
+  const ThresholdPolicy policy = ThresholdPolicy::SelfTuning(healthy, 3.0);
+  ASSERT_EQ(policy.thresholds().size(), 2u);
+  EXPECT_DOUBLE_EQ(policy.thresholds()[0], 4.0);
+  EXPECT_DOUBLE_EQ(policy.thresholds()[1], 5.0);
+}
+
+TEST(ThresholdPolicyTest, ConstantSharedAcrossChannels) {
+  const ThresholdPolicy policy = ThresholdPolicy::Constant(0.7, 3);
+  for (double threshold : policy.thresholds()) EXPECT_DOUBLE_EQ(threshold, 0.7);
+}
+
+TEST(ThresholdPolicyTest, ViolationPicksWorstChannel) {
+  const ThresholdPolicy policy = ThresholdPolicy::Constant(1.0, 3);
+  const auto violation = policy.Violation({1.5, 3.0, 0.5});
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(*violation, 1u);
+}
+
+TEST(ThresholdPolicyTest, NoViolationBelowThresholds) {
+  const ThresholdPolicy policy = ThresholdPolicy::Constant(1.0, 2);
+  EXPECT_FALSE(policy.Violation({0.5, 0.99}).has_value());
+}
+
+TEST(PersistenceTrackerTest, FiresOnlyAfterEnoughViolations) {
+  PersistenceTracker tracker(4, 3, 1);
+  EXPECT_FALSE(tracker.Update({true})[0]);
+  EXPECT_FALSE(tracker.Update({true})[0]);
+  EXPECT_TRUE(tracker.Update({true})[0]);
+}
+
+TEST(PersistenceTrackerTest, ToleratesGapsWithinWindow) {
+  PersistenceTracker tracker(4, 3, 1);
+  tracker.Update({true});
+  tracker.Update({false});
+  tracker.Update({true});
+  EXPECT_TRUE(tracker.Update({true})[0]);  // 3 of last 4
+}
+
+TEST(PersistenceTrackerTest, OldViolationsExpire) {
+  PersistenceTracker tracker(3, 2, 1);
+  tracker.Update({true});
+  tracker.Update({false});
+  tracker.Update({false});
+  // The single violation has rolled out of the window.
+  EXPECT_FALSE(tracker.Update({true})[0]);
+}
+
+TEST(PersistenceTrackerTest, ChannelsIndependent) {
+  PersistenceTracker tracker(2, 2, 2);
+  tracker.Update({true, false});
+  const auto fires = tracker.Update({true, true});
+  EXPECT_TRUE(fires[0]);
+  EXPECT_FALSE(fires[1]);
+}
+
+TEST(PersistenceTrackerTest, ResetClearsHistory) {
+  PersistenceTracker tracker(2, 2, 1);
+  tracker.Update({true});
+  tracker.Reset();
+  EXPECT_FALSE(tracker.Update({true})[0]);
+}
+
+TEST(ThresholdConfigTest, ResolvePersistenceScalesWithStride) {
+  ThresholdConfig config;
+  config.persistence_minutes = 400.0;
+  config.persistence_fraction = 0.7;
+  const auto [w20, m20] = config.ResolvePersistence(20);
+  EXPECT_EQ(w20, 20);
+  EXPECT_EQ(m20, 14);
+  const auto [w1, m1] = config.ResolvePersistence(1);
+  EXPECT_EQ(w1, 400);
+  EXPECT_EQ(m1, 280);
+}
+
+TEST(ThresholdConfigTest, ResolvePersistenceClampsTinyWindows) {
+  ThresholdConfig config;
+  config.persistence_minutes = 10.0;
+  const auto [window, min_violations] = config.ResolvePersistence(100);
+  EXPECT_GE(window, 4);
+  EXPECT_GE(min_violations, 1);
+  EXPECT_LE(min_violations, window);
+}
+
+}  // namespace
+}  // namespace navarchos::detect

@@ -1,0 +1,155 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace navarchos::eval {
+namespace {
+
+using telemetry::kMinutesPerDay;
+
+/// Builds a minimal fleet with one reporting vehicle repairing at `day`.
+telemetry::FleetDataset FleetWithRepair(int repair_day) {
+  telemetry::FleetDataset fleet;
+  telemetry::VehicleHistory vehicle;
+  vehicle.spec.id = 0;
+  vehicle.reporting = true;
+  telemetry::FleetEvent repair;
+  repair.vehicle_id = 0;
+  repair.timestamp = repair_day * kMinutesPerDay + 600;
+  repair.type = telemetry::EventType::kRepair;
+  repair.recorded = true;
+  vehicle.events.push_back(repair);
+  fleet.vehicles.push_back(std::move(vehicle));
+  return fleet;
+}
+
+core::Alarm AlarmAt(int vehicle, int day) {
+  core::Alarm alarm;
+  alarm.vehicle_id = vehicle;
+  alarm.timestamp = day * kMinutesPerDay + 300;
+  return alarm;
+}
+
+TEST(FBetaTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(FBeta(1.0, 1.0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(FBeta(0.0, 0.0, 0.5), 0.0);
+  // Paper Table 2: P = 0.78, R = 0.44 -> F0.5 = 0.68, F1 = 0.57.
+  EXPECT_NEAR(FBeta(0.78, 0.44, 0.5), 0.68, 0.01);
+  EXPECT_NEAR(FBeta(0.78, 0.44, 1.0), 0.56, 0.01);
+}
+
+TEST(FBetaTest, HalfBetaWeighsPrecision) {
+  const double precision_heavy = FBeta(0.9, 0.3, 0.5);
+  const double recall_heavy = FBeta(0.3, 0.9, 0.5);
+  EXPECT_GT(precision_heavy, recall_heavy);
+}
+
+TEST(EvaluateAlarmsTest, AlarmInsideHorizonIsDetection) {
+  const auto fleet = FleetWithRepair(100);
+  const auto result = EvaluateAlarms({AlarmAt(0, 85)}, fleet, 30);
+  EXPECT_EQ(result.detected_failures, 1);
+  EXPECT_EQ(result.false_positive_episodes, 0);
+  EXPECT_DOUBLE_EQ(result.precision, 1.0);
+  EXPECT_DOUBLE_EQ(result.recall, 1.0);
+  EXPECT_DOUBLE_EQ(result.f05, 1.0);
+}
+
+TEST(EvaluateAlarmsTest, AlarmOutsideHorizonIsFalsePositive) {
+  const auto fleet = FleetWithRepair(100);
+  const auto result = EvaluateAlarms({AlarmAt(0, 30)}, fleet, 30);
+  EXPECT_EQ(result.detected_failures, 0);
+  EXPECT_EQ(result.false_positive_episodes, 1);
+  EXPECT_DOUBLE_EQ(result.recall, 0.0);
+}
+
+TEST(EvaluateAlarmsTest, HorizonBoundariesInclusive) {
+  const auto fleet = FleetWithRepair(100);
+  EXPECT_EQ(EvaluateAlarms({AlarmAt(0, 70)}, fleet, 30).detected_failures, 1);
+  EXPECT_EQ(EvaluateAlarms({AlarmAt(0, 100)}, fleet, 30).detected_failures, 1);
+  EXPECT_EQ(EvaluateAlarms({AlarmAt(0, 69)}, fleet, 30).detected_failures, 0);
+  EXPECT_EQ(EvaluateAlarms({AlarmAt(0, 101)}, fleet, 30).detected_failures, 0);
+}
+
+TEST(EvaluateAlarmsTest, ManyAlarmsInHorizonCountOnce) {
+  const auto fleet = FleetWithRepair(100);
+  std::vector<core::Alarm> alarms;
+  for (int day = 80; day < 100; ++day) alarms.push_back(AlarmAt(0, day));
+  const auto result = EvaluateAlarms(alarms, fleet, 30);
+  EXPECT_EQ(result.detected_failures, 1);
+  EXPECT_DOUBLE_EQ(result.precision, 1.0);
+}
+
+TEST(EvaluateAlarmsTest, ConsecutiveFalseDaysAreOneEpisode) {
+  const auto fleet = FleetWithRepair(300);
+  std::vector<core::Alarm> alarms;
+  for (int day = 10; day < 17; ++day) alarms.push_back(AlarmAt(0, day));
+  const auto result = EvaluateAlarms(alarms, fleet, 30, /*episode_gap_days=*/3);
+  EXPECT_EQ(result.false_positive_episodes, 1);
+}
+
+TEST(EvaluateAlarmsTest, SeparatedFalseDaysAreSeparateEpisodes) {
+  const auto fleet = FleetWithRepair(300);
+  const auto result =
+      EvaluateAlarms({AlarmAt(0, 10), AlarmAt(0, 50)}, fleet, 30, 3);
+  EXPECT_EQ(result.false_positive_episodes, 2);
+}
+
+TEST(EvaluateAlarmsTest, EpisodeSpanningIntoHorizonIsNotFalse) {
+  const auto fleet = FleetWithRepair(100);
+  // Days 68-72: enters the PH window (70-100) -> the episode detected the
+  // failure, no false positive.
+  std::vector<core::Alarm> alarms;
+  for (int day = 68; day <= 72; ++day) alarms.push_back(AlarmAt(0, day));
+  const auto result = EvaluateAlarms(alarms, fleet, 30, 3);
+  EXPECT_EQ(result.detected_failures, 1);
+  EXPECT_EQ(result.false_positive_episodes, 0);
+}
+
+TEST(EvaluateAlarmsTest, AlarmsOnOtherVehiclesAreFalse) {
+  auto fleet = FleetWithRepair(100);
+  telemetry::VehicleHistory other;
+  other.spec.id = 1;
+  other.reporting = true;
+  fleet.vehicles.push_back(other);
+  const auto result = EvaluateAlarms({AlarmAt(1, 85)}, fleet, 30);
+  EXPECT_EQ(result.detected_failures, 0);
+  EXPECT_EQ(result.false_positive_episodes, 1);
+}
+
+TEST(EvaluateAlarmsTest, UnrecordedRepairDoesNotCount) {
+  auto fleet = FleetWithRepair(100);
+  fleet.vehicles[0].events[0].recorded = false;
+  const auto result = EvaluateAlarms({AlarmAt(0, 85)}, fleet, 30);
+  EXPECT_EQ(result.total_failures, 0);
+  EXPECT_EQ(result.false_positive_episodes, 1);
+}
+
+TEST(EvaluateAlarmsTest, MultipleVehiclesIndependentEpisodes) {
+  auto fleet = FleetWithRepair(100);
+  telemetry::VehicleHistory other;
+  other.spec.id = 1;
+  fleet.vehicles.push_back(other);
+  // Same days on different vehicles: two separate episodes.
+  const auto result =
+      EvaluateAlarms({AlarmAt(0, 10), AlarmAt(1, 10)}, fleet, 30, 3);
+  EXPECT_EQ(result.false_positive_episodes, 2);
+}
+
+TEST(EvaluateAlarmsTest, PrecisionRecallArithmetic) {
+  auto fleet = FleetWithRepair(100);
+  telemetry::VehicleHistory second = fleet.vehicles[0];
+  second.spec.id = 1;
+  second.events[0].vehicle_id = 1;
+  fleet.vehicles.push_back(second);
+  // Detect vehicle 0's repair, miss vehicle 1's, one far-away FP episode.
+  const auto result =
+      EvaluateAlarms({AlarmAt(0, 90), AlarmAt(0, 10)}, fleet, 30);
+  EXPECT_EQ(result.total_failures, 2);
+  EXPECT_EQ(result.detected_failures, 1);
+  EXPECT_EQ(result.false_positive_episodes, 1);
+  EXPECT_DOUBLE_EQ(result.precision, 0.5);
+  EXPECT_DOUBLE_EQ(result.recall, 0.5);
+}
+
+}  // namespace
+}  // namespace navarchos::eval

@@ -1,0 +1,115 @@
+// Persistence round-trips: GBT models and fleet datasets.
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "detect/gbt.h"
+#include "telemetry/io.h"
+#include "util/rng.h"
+
+namespace navarchos {
+namespace {
+
+TEST(GbtSerialisationTest, RoundTripPredictsIdentically) {
+  util::Rng rng(1);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.Uniform(-2, 2), b = rng.Uniform(-2, 2);
+    x.push_back({a, b});
+    y.push_back(std::sin(a) + 0.5 * b);
+  }
+  detect::GbtRegressor model;
+  model.Fit(x, y);
+  const std::string text = model.Serialise();
+
+  detect::GbtRegressor loaded;
+  ASSERT_TRUE(loaded.Deserialise(text));
+  EXPECT_EQ(loaded.tree_count(), model.tree_count());
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> q{rng.Uniform(-2, 2), rng.Uniform(-2, 2)};
+    EXPECT_DOUBLE_EQ(loaded.Predict(q), model.Predict(q));
+  }
+}
+
+TEST(GbtSerialisationTest, RejectsGarbage) {
+  detect::GbtRegressor model;
+  EXPECT_FALSE(model.Deserialise("not a model"));
+  EXPECT_FALSE(model.fitted());
+  EXPECT_FALSE(model.Deserialise("gbt v1\nbase abc\n"));
+}
+
+TEST(GbtSerialisationTest, RejectsTruncatedTree) {
+  util::Rng rng(2);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 60; ++i) {
+    x.push_back({rng.Gaussian()});
+    y.push_back(x.back()[0]);
+  }
+  detect::GbtRegressor model;
+  model.Fit(x, y);
+  std::string text = model.Serialise();
+  text.resize(text.size() / 2);  // truncate mid-tree
+  detect::GbtRegressor loaded;
+  EXPECT_FALSE(loaded.Deserialise(text));
+}
+
+TEST(FleetIoTest, RoundTripPreservesRecordsAndEvents) {
+  telemetry::FleetConfig config = telemetry::FleetConfig::TestScale();
+  config.days = 20;
+  const auto fleet = telemetry::GenerateFleet(config);
+  const std::string prefix = std::string(::testing::TempDir()) + "/fleet_io";
+  ASSERT_TRUE(telemetry::WriteFleetCsv(prefix, fleet).ok());
+
+  telemetry::FleetDataset loaded;
+  ASSERT_TRUE(telemetry::ReadFleetCsv(prefix, &loaded).ok());
+  ASSERT_EQ(loaded.vehicles.size(), fleet.vehicles.size());
+  EXPECT_EQ(loaded.TotalRecords(), fleet.TotalRecords());
+  EXPECT_EQ(loaded.TotalRecordedEvents(), fleet.TotalRecordedEvents());
+
+  // Per-vehicle spot checks (vehicles come back sorted by id).
+  for (std::size_t v = 0; v < fleet.vehicles.size(); ++v) {
+    const auto& original = fleet.vehicles[v];
+    const telemetry::VehicleHistory* match = nullptr;
+    for (const auto& candidate : loaded.vehicles)
+      if (candidate.spec.id == original.spec.id) match = &candidate;
+    ASSERT_NE(match, nullptr);
+    ASSERT_EQ(match->records.size(), original.records.size());
+    for (std::size_t i = 0; i < original.records.size(); i += 101) {
+      EXPECT_EQ(match->records[i].timestamp, original.records[i].timestamp);
+      for (int pid = 0; pid < telemetry::kNumPids; ++pid) {
+        EXPECT_NEAR(match->records[i].pids[static_cast<std::size_t>(pid)],
+                    original.records[i].pids[static_cast<std::size_t>(pid)], 1e-3);
+      }
+    }
+    EXPECT_EQ(match->events.size(), original.events.size());
+    EXPECT_EQ(match->RecordedRepairTimes(), original.RecordedRepairTimes());
+  }
+}
+
+TEST(FleetIoTest, ReportingInferredFromRecordedMaintenance) {
+  telemetry::FleetConfig config = telemetry::FleetConfig::TestScale();
+  config.days = 20;
+  const auto fleet = telemetry::GenerateFleet(config);
+  const std::string prefix = std::string(::testing::TempDir()) + "/fleet_io2";
+  ASSERT_TRUE(telemetry::WriteFleetCsv(prefix, fleet).ok());
+  telemetry::FleetDataset loaded;
+  ASSERT_TRUE(telemetry::ReadFleetCsv(prefix, &loaded).ok());
+  for (const auto& vehicle : loaded.vehicles) {
+    bool has_recorded_maintenance = false;
+    for (const auto& event : vehicle.events)
+      if (event.recorded && telemetry::IsMaintenanceEvent(event.type))
+        has_recorded_maintenance = true;
+    EXPECT_EQ(vehicle.reporting, has_recorded_maintenance);
+  }
+}
+
+TEST(FleetIoTest, MissingFilesFail) {
+  telemetry::FleetDataset fleet;
+  EXPECT_FALSE(telemetry::ReadFleetCsv("/nonexistent/prefix", &fleet).ok());
+}
+
+}  // namespace
+}  // namespace navarchos

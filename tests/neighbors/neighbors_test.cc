@@ -1,0 +1,206 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "neighbors/agglomerative.h"
+#include "neighbors/knn.h"
+#include "neighbors/lof.h"
+#include "util/rng.h"
+#include "util/statistics.h"
+
+namespace navarchos::neighbors {
+namespace {
+
+TEST(KnnTest, FindsExactNearestNeighbours) {
+  KnnIndex index({{0.0, 0.0}, {1.0, 0.0}, {0.0, 2.0}, {5.0, 5.0}});
+  const auto hits = index.Query(std::vector<double>{0.1, 0.0}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].index, 0u);
+  EXPECT_EQ(hits[1].index, 1u);
+  EXPECT_NEAR(hits[0].distance, 0.1, 1e-12);
+  EXPECT_NEAR(hits[1].distance, 0.9, 1e-12);
+}
+
+TEST(KnnTest, ExcludeSkipsSelf) {
+  KnnIndex index({{0.0}, {1.0}, {3.0}});
+  const auto hits = index.Query(index.Point(0), 1, 0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].index, 1u);
+}
+
+TEST(KnnTest, KLargerThanSetReturnsAll) {
+  KnnIndex index({{0.0}, {1.0}});
+  EXPECT_EQ(index.Query(std::vector<double>{0.5}, 10).size(), 2u);
+}
+
+TEST(KnnTest, NearestDistanceMatchesQuery) {
+  util::Rng rng(1);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 50; ++i) points.push_back({rng.Gaussian(), rng.Gaussian()});
+  KnnIndex index(points);
+  const std::vector<double> query{0.3, -0.2};
+  EXPECT_DOUBLE_EQ(index.NearestDistance(query), index.Query(query, 1)[0].distance);
+}
+
+TEST(KnnTest, MatchesBruteForceOnRandomData) {
+  util::Rng rng(2);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 80; ++i) points.push_back({rng.Gaussian(), rng.Gaussian(), rng.Gaussian()});
+  KnnIndex index(points);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<double> query{rng.Gaussian(), rng.Gaussian(), rng.Gaussian()};
+    const auto hits = index.Query(query, 5);
+    // Brute force.
+    std::vector<double> distances;
+    for (const auto& point : points)
+      distances.push_back(util::EuclideanDistance(point, query));
+    std::sort(distances.begin(), distances.end());
+    for (int k = 0; k < 5; ++k)
+      EXPECT_NEAR(hits[static_cast<std::size_t>(k)].distance,
+                  distances[static_cast<std::size_t>(k)], 1e-9);
+  }
+}
+
+TEST(LofTest, IsolatedPointScoresHigh) {
+  util::Rng rng(3);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 60; ++i) points.push_back({rng.Gaussian(), rng.Gaussian()});
+  LofModel lof(points, 10);
+  const double inlier_score = lof.Score(std::vector<double>{0.0, 0.0});
+  const double outlier_score = lof.Score(std::vector<double>{12.0, 12.0});
+  EXPECT_LT(inlier_score, 1.6);
+  EXPECT_GT(outlier_score, 3.0);
+}
+
+TEST(LofTest, FitScoresFlagPlantedOutlier) {
+  util::Rng rng(4);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 60; ++i) points.push_back({rng.Gaussian(), rng.Gaussian()});
+  points.push_back({15.0, -15.0});  // planted outlier at index 60
+  LofModel lof(points, 10);
+  const auto scores = lof.FitScores();
+  const std::size_t argmax =
+      std::max_element(scores.begin(), scores.end()) - scores.begin();
+  EXPECT_EQ(argmax, 60u);
+}
+
+TEST(LofTest, UniformClusterScoresNearOne) {
+  util::Rng rng(5);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 200; ++i) points.push_back({rng.Uniform(), rng.Uniform()});
+  LofModel lof(points, 15);
+  const auto scores = lof.FitScores();
+  EXPECT_NEAR(util::Mean(scores), 1.0, 0.15);
+}
+
+TEST(AgglomerativeTest, MergeCountIsLeavesMinusOne) {
+  util::Rng rng(6);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 25; ++i) points.push_back({rng.Gaussian(), rng.Gaussian()});
+  const Dendrogram dendrogram = AgglomerativeAverageLinkage(points);
+  EXPECT_EQ(dendrogram.leaf_count, 25);
+  EXPECT_EQ(dendrogram.merges.size(), 24u);
+}
+
+TEST(AgglomerativeTest, SeparatesWellSeparatedBlobs) {
+  util::Rng rng(7);
+  std::vector<std::vector<double>> points;
+  std::vector<int> truth;
+  const double centers[3][2] = {{0.0, 0.0}, {20.0, 0.0}, {0.0, 20.0}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 15; ++i) {
+      points.push_back({centers[c][0] + rng.Gaussian(), centers[c][1] + rng.Gaussian()});
+      truth.push_back(c);
+    }
+  }
+  const Dendrogram dendrogram = AgglomerativeAverageLinkage(points);
+  const auto labels = CutToClusters(dendrogram, 3);
+  // Labels must be consistent with the ground-truth partition.
+  for (std::size_t i = 0; i < points.size(); ++i)
+    for (std::size_t j = 0; j < points.size(); ++j)
+      EXPECT_EQ(labels[i] == labels[j],
+                truth[i] == truth[j]) << "pair " << i << "," << j;
+}
+
+TEST(AgglomerativeTest, CutToOneClusterIsUniform) {
+  util::Rng rng(8);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 12; ++i) points.push_back({rng.Gaussian()});
+  const auto labels = CutToClusters(AgglomerativeAverageLinkage(points), 1);
+  for (int label : labels) EXPECT_EQ(label, 0);
+}
+
+TEST(AgglomerativeTest, CutToNClustersIsAllSingletons) {
+  util::Rng rng(9);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 10; ++i) points.push_back({rng.Gaussian()});
+  const auto labels = CutToClusters(AgglomerativeAverageLinkage(points), 10);
+  std::set<int> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(AgglomerativeTest, CutProducesExactlyKClusters) {
+  util::Rng rng(10);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 40; ++i) points.push_back({rng.Gaussian(), rng.Gaussian()});
+  const Dendrogram dendrogram = AgglomerativeAverageLinkage(points);
+  for (int k : {2, 5, 9, 17}) {
+    const auto labels = CutToClusters(dendrogram, k);
+    std::set<int> distinct(labels.begin(), labels.end());
+    EXPECT_EQ(distinct.size(), static_cast<std::size_t>(k));
+  }
+}
+
+/// Naive O(n^3) average-linkage reference implementation.
+std::vector<int> NaiveAverageLinkage(const std::vector<std::vector<double>>& points,
+                                     int k) {
+  const std::size_t n = points.size();
+  std::vector<std::vector<std::size_t>> clusters(n);
+  for (std::size_t i = 0; i < n; ++i) clusters[i] = {i};
+  while (clusters.size() > static_cast<std::size_t>(k)) {
+    double best = 1e300;
+    std::size_t bi = 0, bj = 1;
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+        double total = 0.0;
+        for (std::size_t a : clusters[i])
+          for (std::size_t b : clusters[j])
+            total += util::EuclideanDistance(points[a], points[b]);
+        const double avg =
+            total / (static_cast<double>(clusters[i].size()) * clusters[j].size());
+        if (avg < best) {
+          best = avg;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(), clusters[bj].end());
+    clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(bj));
+  }
+  std::vector<int> labels(n, -1);
+  for (std::size_t c = 0; c < clusters.size(); ++c)
+    for (std::size_t i : clusters[c]) labels[i] = static_cast<int>(c);
+  return labels;
+}
+
+TEST(AgglomerativeTest, NnChainMatchesNaivePartition) {
+  // Property test: the NN-chain implementation must induce the same
+  // partition as the naive O(n^3) average-linkage on random data.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(seed);
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 18; ++i) points.push_back({rng.Gaussian(), rng.Gaussian()});
+    const auto fast = CutToClusters(AgglomerativeAverageLinkage(points), 4);
+    const auto naive = NaiveAverageLinkage(points, 4);
+    for (std::size_t i = 0; i < points.size(); ++i)
+      for (std::size_t j = 0; j < points.size(); ++j)
+        EXPECT_EQ(fast[i] == fast[j], naive[i] == naive[j])
+            << "seed " << seed << " pair " << i << "," << j;
+  }
+}
+
+}  // namespace
+}  // namespace navarchos::neighbors

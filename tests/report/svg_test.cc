@@ -1,0 +1,92 @@
+#include "report/svg.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace navarchos::report {
+namespace {
+
+BarChart SampleBarChart() {
+  BarChart chart;
+  chart.title = "demo";
+  chart.groups = {"a", "b"};
+  BarSeries one{"one", {0.5, 0.8}, "#111111"};
+  BarSeries two{"two", {0.2, 0.9}, "#222222"};
+  chart.series = {one, two};
+  return chart;
+}
+
+TEST(SvgBarChartTest, ContainsStructureAndLabels) {
+  const std::string svg = RenderBarChart(SampleBarChart());
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("demo"), std::string::npos);
+  EXPECT_NE(svg.find("one"), std::string::npos);
+  EXPECT_NE(svg.find("#222222"), std::string::npos);
+  // 2 groups x 2 series = 4 data rects plus the background.
+  std::size_t rects = 0, pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    ++pos;
+  }
+  EXPECT_GE(rects, 5u);
+}
+
+TEST(SvgBarChartTest, EscapesMarkup) {
+  BarChart chart = SampleBarChart();
+  chart.title = "a<b & c>";
+  const std::string svg = RenderBarChart(chart);
+  EXPECT_EQ(svg.find("a<b"), std::string::npos);
+  EXPECT_NE(svg.find("a&lt;b &amp; c&gt;"), std::string::npos);
+}
+
+TEST(SvgBarChartTest, ClampsOverflowingValues) {
+  BarChart chart = SampleBarChart();
+  chart.series[0].values = {5.0, -1.0};  // beyond [0, y_max]
+  const std::string svg = RenderBarChart(chart);  // must not produce negatives
+  EXPECT_EQ(svg.find("height=\"-"), std::string::npos);
+}
+
+TEST(SvgTraceChartTest, RendersSeriesMarkersAndDashes) {
+  TraceChart chart;
+  chart.title = "trace";
+  chart.x_label = "day";
+  TraceSeries series{"score", {0, 1, 2}, {0.1, 0.5, 0.2}, "#333333", false};
+  TraceSeries threshold{"thr", {0, 1, 2}, {0.4, 0.4, 0.4}, "#333333", true};
+  chart.series = {series, threshold};
+  chart.markers = {{1.0, "R", "#cc3311"}};
+  const std::string svg = RenderTraceChart(chart);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+  EXPECT_NE(svg.find("stroke-dasharray"), std::string::npos);
+  EXPECT_NE(svg.find(">R<"), std::string::npos);
+  EXPECT_NE(svg.find("day"), std::string::npos);
+}
+
+TEST(SvgTraceChartTest, HandlesDegenerateRanges) {
+  TraceChart chart;
+  chart.title = "flat";
+  TraceSeries series{"flat", {3.0, 3.0}, {0.0, 0.0}, "#333333", false};
+  chart.series = {series};
+  const std::string svg = RenderTraceChart(chart);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  EXPECT_EQ(svg.find("inf"), std::string::npos);
+}
+
+TEST(SvgWriteTest, RoundTripsToDisk) {
+  const std::string path = std::string(::testing::TempDir()) + "/chart.svg";
+  ASSERT_TRUE(WriteSvg(path, RenderBarChart(SampleBarChart())).ok());
+  EXPECT_FALSE(WriteSvg("/nonexistent/dir/x.svg", "<svg/>").ok());
+}
+
+TEST(ColourCycleTest, NonEmptyHexColours) {
+  for (const std::string& colour : ColourCycle()) {
+    ASSERT_FALSE(colour.empty());
+    EXPECT_EQ(colour[0], '#');
+    EXPECT_EQ(colour.size(), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace navarchos::report

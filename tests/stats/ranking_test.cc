@@ -1,0 +1,184 @@
+#include "stats/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace navarchos::stats {
+namespace {
+
+using util::Matrix;
+
+TEST(FriedmanTest, DetectsClearDifference) {
+  // Treatment 2 always best, treatment 0 always worst, across 12 datasets.
+  Matrix scores(12, 3);
+  util::Rng rng(1);
+  for (std::size_t r = 0; r < 12; ++r) {
+    scores.At(r, 0) = 0.1 + 0.01 * rng.Uniform();
+    scores.At(r, 1) = 0.5 + 0.01 * rng.Uniform();
+    scores.At(r, 2) = 0.9 + 0.01 * rng.Uniform();
+  }
+  const FriedmanResult result = FriedmanTest(scores);
+  EXPECT_LT(result.p_value, 0.001);
+  // Rank 1 = best: treatment 2 should have mean rank 1.
+  EXPECT_DOUBLE_EQ(result.mean_ranks[2], 1.0);
+  EXPECT_DOUBLE_EQ(result.mean_ranks[0], 3.0);
+}
+
+TEST(FriedmanTest, NoDifferenceGivesHighPValue) {
+  Matrix scores(10, 3);
+  util::Rng rng(2);
+  for (std::size_t r = 0; r < 10; ++r)
+    for (std::size_t c = 0; c < 3; ++c) scores.At(r, c) = rng.Uniform();
+  const FriedmanResult result = FriedmanTest(scores);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(FriedmanTest, AllTiedIsInconclusive) {
+  Matrix scores(5, 3, 1.0);
+  const FriedmanResult result = FriedmanTest(scores);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+  for (double rank : result.mean_ranks) EXPECT_DOUBLE_EQ(rank, 2.0);
+}
+
+TEST(FriedmanTest, MeanRanksSumInvariant) {
+  // Mean ranks always sum to k(k+1)/2.
+  Matrix scores(8, 4);
+  util::Rng rng(3);
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t c = 0; c < 4; ++c) scores.At(r, c) = rng.Gaussian();
+  const FriedmanResult result = FriedmanTest(scores);
+  double sum = 0.0;
+  for (double rank : result.mean_ranks) sum += rank;
+  EXPECT_NEAR(sum, 10.0, 1e-9);
+}
+
+TEST(WilcoxonTest, IdenticalSamplesInconclusive) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  const WilcoxonResult result = WilcoxonSignedRank(x, x);
+  EXPECT_EQ(result.effective_n, 0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(WilcoxonTest, ClearShiftIsSignificant) {
+  std::vector<double> x, y;
+  util::Rng rng(4);
+  for (int i = 0; i < 40; ++i) {
+    const double base = rng.Gaussian();
+    x.push_back(base + 1.0);
+    y.push_back(base);
+  }
+  const WilcoxonResult result = WilcoxonSignedRank(x, y);
+  EXPECT_LT(result.p_value, 0.001);
+}
+
+TEST(WilcoxonTest, SymmetricDifferencesNotSignificant) {
+  std::vector<double> x, y;
+  util::Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    x.push_back(rng.Gaussian());
+    y.push_back(rng.Gaussian());
+  }
+  const WilcoxonResult result = WilcoxonSignedRank(x, y);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(WilcoxonTest, SymmetryInArguments) {
+  std::vector<double> x{1.0, 3.0, 2.0, 5.0, 4.0, 7.0};
+  std::vector<double> y{2.0, 1.0, 4.0, 3.0, 6.0, 5.0};
+  const WilcoxonResult a = WilcoxonSignedRank(x, y);
+  const WilcoxonResult b = WilcoxonSignedRank(y, x);
+  EXPECT_NEAR(a.p_value, b.p_value, 1e-9);
+}
+
+TEST(HolmCorrectionTest, SingleHypothesisUnchanged) {
+  const auto adjusted = HolmCorrection({0.03});
+  ASSERT_EQ(adjusted.size(), 1u);
+  EXPECT_DOUBLE_EQ(adjusted[0], 0.03);
+}
+
+TEST(HolmCorrectionTest, KnownExample) {
+  // Sorted p: 0.01, 0.02, 0.04 -> adjusted 0.03, 0.04, 0.04.
+  const auto adjusted = HolmCorrection({0.04, 0.01, 0.02});
+  EXPECT_NEAR(adjusted[1], 0.03, 1e-12);
+  EXPECT_NEAR(adjusted[2], 0.04, 1e-12);
+  EXPECT_NEAR(adjusted[0], 0.04, 1e-12);
+}
+
+TEST(HolmCorrectionTest, NeverExceedsOne) {
+  const auto adjusted = HolmCorrection({0.5, 0.6, 0.9});
+  for (double p : adjusted) EXPECT_LE(p, 1.0);
+}
+
+TEST(HolmCorrectionTest, AdjustedAtLeastRaw) {
+  const auto adjusted = HolmCorrection({0.01, 0.2, 0.05, 0.5});
+  const std::vector<double> raw{0.01, 0.2, 0.05, 0.5};
+  for (std::size_t i = 0; i < raw.size(); ++i) EXPECT_GE(adjusted[i], raw[i]);
+}
+
+TEST(AnalyzeRanksTest, OrdersTreatmentsByRank) {
+  Matrix scores(10, 3);
+  util::Rng rng(6);
+  for (std::size_t r = 0; r < 10; ++r) {
+    scores.At(r, 0) = 0.9 + 0.01 * rng.Uniform();  // best
+    scores.At(r, 1) = 0.1 + 0.01 * rng.Uniform();  // worst
+    scores.At(r, 2) = 0.5 + 0.01 * rng.Uniform();  // middle
+  }
+  const auto result = AnalyzeRanks(scores, {"A", "B", "C"});
+  ASSERT_EQ(result.order.size(), 3u);
+  EXPECT_EQ(result.order[0], 0u);
+  EXPECT_EQ(result.order[1], 2u);
+  EXPECT_EQ(result.order[2], 1u);
+}
+
+TEST(AnalyzeRanksTest, IndistinguishableTreatmentsGrouped) {
+  Matrix scores(10, 3);
+  util::Rng rng(7);
+  for (std::size_t r = 0; r < 10; ++r) {
+    const double noise = rng.Gaussian();
+    scores.At(r, 0) = noise + 0.001 * rng.Gaussian();
+    scores.At(r, 1) = noise + 0.001 * rng.Gaussian();
+    scores.At(r, 2) = noise + 5.0;  // clearly better
+  }
+  const auto result = AnalyzeRanks(scores, {"A", "B", "C"});
+  // A and B should share a group; C stands alone at rank 1.
+  bool found_ab_group = false;
+  for (const auto& group : result.groups) {
+    if (group.size() == 2) {
+      const bool has_a = group[0] == 0 || group[1] == 0;
+      const bool has_b = group[0] == 1 || group[1] == 1;
+      found_ab_group = has_a && has_b;
+    }
+  }
+  EXPECT_TRUE(found_ab_group);
+}
+
+TEST(AnalyzeRanksTest, AdjustedPMatrixSymmetric) {
+  Matrix scores(8, 4);
+  util::Rng rng(8);
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t c = 0; c < 4; ++c) scores.At(r, c) = rng.Gaussian();
+  const auto result = AnalyzeRanks(scores, {"A", "B", "C", "D"});
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(result.adjusted_p[i][i], 1.0);
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_DOUBLE_EQ(result.adjusted_p[i][j], result.adjusted_p[j][i]);
+  }
+}
+
+TEST(RenderDiagramTest, ContainsAllTreatmentNames) {
+  Matrix scores(10, 3);
+  util::Rng rng(9);
+  for (std::size_t r = 0; r < 10; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      scores.At(r, c) = static_cast<double>(c) + rng.Uniform();
+  const auto result = AnalyzeRanks(scores, {"alpha", "beta", "gamma"});
+  const std::string diagram = RenderCriticalDifferenceDiagram(result);
+  EXPECT_NE(diagram.find("alpha"), std::string::npos);
+  EXPECT_NE(diagram.find("beta"), std::string::npos);
+  EXPECT_NE(diagram.find("gamma"), std::string::npos);
+  EXPECT_NE(diagram.find("Friedman"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace navarchos::stats

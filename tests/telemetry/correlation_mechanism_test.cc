@@ -1,0 +1,135 @@
+// Tests of the reproduction's central causal claim: usage and weather move
+// the marginal signal distributions while faults move the couplings, so the
+// correlation transform separates failure from usage change. These tests
+// drive the full simulator (driving cycle -> engine model) rather than
+// synthetic vectors.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/driving_cycle.h"
+#include "telemetry/engine_model.h"
+#include "telemetry/filters.h"
+#include "util/statistics.h"
+
+namespace navarchos::telemetry {
+namespace {
+
+/// Generates `minutes` of usable operation with the given ride mix and
+/// fault effects, returning per-channel series.
+std::vector<std::vector<double>> Operate(const VehicleSpec& spec,
+                                         const std::array<double, 3>& mix,
+                                         const FaultEffects& faults, int minutes,
+                                         std::uint64_t seed) {
+  DrivingCycle cycle(spec);
+  EngineModel engine(spec);
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> channels(kNumPids);
+  Minute t = 0;
+  int day = 0;
+  while (static_cast<int>(channels[0].size()) < minutes) {
+    const auto rides = cycle.PlanDay(day++, rng, &mix);
+    for (const Ride& ride : rides) {
+      engine.StartRide(ride.start, 15.0);
+      for (const DrivingMinute& minute : cycle.Realise(ride, rng)) {
+        Record record;
+        record.timestamp = t++;
+        record.pids = engine.Step(record.timestamp, minute, 15.0, faults, rng);
+        if (!IsUsable(record)) continue;
+        for (int c = 0; c < kNumPids; ++c)
+          channels[static_cast<std::size_t>(c)].push_back(
+              record.pids[static_cast<std::size_t>(c)]);
+      }
+    }
+  }
+  for (auto& channel : channels) channel.resize(static_cast<std::size_t>(minutes));
+  return channels;
+}
+
+VehicleSpec Spec() {
+  util::Rng rng(5);
+  return SampleFleetSpecs(1, rng).front();
+}
+
+constexpr std::array<double, 3> kUrban{0.8, 0.15, 0.05};
+constexpr std::array<double, 3> kHighway{0.1, 0.3, 0.6};
+
+double Corr(const std::vector<std::vector<double>>& channels, Pid a, Pid b) {
+  return util::PearsonCorrelation(channels[static_cast<std::size_t>(a)],
+                                  channels[static_cast<std::size_t>(b)]);
+}
+
+TEST(CorrelationMechanismTest, UsageChangeMovesMeansNotRpmMafCoupling) {
+  const VehicleSpec spec = Spec();
+  const FaultEffects healthy;
+  const auto urban = Operate(spec, kUrban, healthy, 1500, 1);
+  const auto highway = Operate(spec, kHighway, healthy, 1500, 2);
+
+  // Marginals move a lot with usage...
+  const double urban_speed = util::Mean(urban[static_cast<std::size_t>(Pid::kSpeed)]);
+  const double highway_speed =
+      util::Mean(highway[static_cast<std::size_t>(Pid::kSpeed)]);
+  EXPECT_GT(highway_speed, urban_speed + 20.0);
+
+  // ... while the strong mechanical coupling stays put.
+  const double urban_coupling = Corr(urban, Pid::kRpm, Pid::kMafAirFlowRate);
+  const double highway_coupling = Corr(highway, Pid::kRpm, Pid::kMafAirFlowRate);
+  EXPECT_GT(urban_coupling, 0.8);
+  EXPECT_GT(highway_coupling, 0.65);
+  EXPECT_LT(std::fabs(urban_coupling - highway_coupling), 0.25);
+}
+
+TEST(CorrelationMechanismTest, PureGainDriftInvisibleToCorrelation) {
+  // A pure MAF gain error rescales the channel; Pearson correlation is
+  // scale-invariant, so only the erratic component of the fault shows. This
+  // is exactly why the simulated MAF fault carries a noise term.
+  const VehicleSpec spec = Spec();
+  const FaultEffects healthy;
+  FaultEffects pure_gain;
+  pure_gain.maf_gain_delta = -0.4;  // no noise component
+  const auto clean = Operate(spec, kUrban, healthy, 1500, 3);
+  const auto drifted = Operate(spec, kUrban, pure_gain, 1500, 3);
+  const double clean_corr = Corr(clean, Pid::kRpm, Pid::kMafAirFlowRate);
+  const double drifted_corr = Corr(drifted, Pid::kRpm, Pid::kMafAirFlowRate);
+  EXPECT_NEAR(clean_corr, drifted_corr, 0.05);
+  // The level, however, shifts visibly (what mean aggregation would see).
+  EXPECT_LT(util::Mean(drifted[static_cast<std::size_t>(Pid::kMafAirFlowRate)]),
+            0.75 * util::Mean(clean[static_cast<std::size_t>(Pid::kMafAirFlowRate)]));
+}
+
+TEST(CorrelationMechanismTest, MafNoiseBreaksRpmMafCoupling) {
+  const VehicleSpec spec = Spec();
+  const FaultEffects healthy;
+  const FaultEffects fault = EffectsOf(FaultType::kMafSensorDrift, 1.0);
+  const auto clean = Operate(spec, kUrban, healthy, 1500, 4);
+  const auto faulty = Operate(spec, kUrban, fault, 1500, 4);
+  EXPECT_GT(Corr(clean, Pid::kRpm, Pid::kMafAirFlowRate),
+            Corr(faulty, Pid::kRpm, Pid::kMafAirFlowRate) + 0.1);
+}
+
+TEST(CorrelationMechanismTest, ThermostatFaultCouplesCoolantToSpeed) {
+  const VehicleSpec spec = Spec();
+  const FaultEffects healthy;
+  const FaultEffects fault = EffectsOf(FaultType::kThermostatStuckOpen, 1.0);
+  const auto clean = Operate(spec, kHighway, healthy, 1500, 6);
+  const auto faulty = Operate(spec, kHighway, fault, 1500, 6);
+  // Healthy: regulated coolant barely co-moves with speed. Stuck open: the
+  // equilibrium depends on airflow, so the coupling strengthens (negative:
+  // faster -> cooler).
+  const double clean_coupling = Corr(clean, Pid::kSpeed, Pid::kCoolantTemp);
+  const double faulty_coupling = Corr(faulty, Pid::kSpeed, Pid::kCoolantTemp);
+  EXPECT_LT(faulty_coupling, clean_coupling - 0.15);
+}
+
+TEST(CorrelationMechanismTest, CoolantRestrictionCouplesCoolantToLoad) {
+  const VehicleSpec spec = Spec();
+  const FaultEffects healthy;
+  const FaultEffects fault = EffectsOf(FaultType::kCoolantRestriction, 1.0);
+  const auto clean = Operate(spec, kUrban, healthy, 1500, 7);
+  const auto faulty = Operate(spec, kUrban, fault, 1500, 7);
+  EXPECT_GT(Corr(faulty, Pid::kCoolantTemp, Pid::kMapIntake),
+            Corr(clean, Pid::kCoolantTemp, Pid::kMapIntake) + 0.1);
+}
+
+}  // namespace
+}  // namespace navarchos::telemetry

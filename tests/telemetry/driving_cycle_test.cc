@@ -1,0 +1,162 @@
+#include "telemetry/driving_cycle.h"
+
+#include <gtest/gtest.h>
+
+namespace navarchos::telemetry {
+namespace {
+
+VehicleSpec TestSpec() {
+  util::Rng rng(1);
+  return SampleFleetSpecs(1, rng).front();
+}
+
+TEST(DrivingCycleTest, RidesFitInsideOperatingWindow) {
+  const VehicleSpec spec = TestSpec();
+  DrivingCycle cycle(spec);
+  util::Rng rng(2);
+  for (int day = 0; day < 30; ++day) {
+    for (const Ride& ride : cycle.PlanDay(day, rng)) {
+      EXPECT_GE(ride.start, day * kMinutesPerDay + 6 * 60);
+      EXPECT_LE(ride.start + ride.duration_min, day * kMinutesPerDay + 22 * 60);
+      EXPECT_GE(ride.duration_min, 5);
+    }
+  }
+}
+
+TEST(DrivingCycleTest, RidesDoNotOverlap) {
+  const VehicleSpec spec = TestSpec();
+  DrivingCycle cycle(spec);
+  util::Rng rng(3);
+  for (int day = 0; day < 50; ++day) {
+    Minute last_end = 0;
+    for (const Ride& ride : cycle.PlanDay(day, rng)) {
+      EXPECT_GE(ride.start, last_end);
+      last_end = ride.start + ride.duration_min;
+    }
+  }
+}
+
+TEST(DrivingCycleTest, WeekendsQuieter) {
+  const VehicleSpec spec = TestSpec();
+  DrivingCycle cycle(spec);
+  util::Rng rng(4);
+  double weekday_minutes = 0.0, weekend_minutes = 0.0;
+  int weekdays = 0, weekends = 0;
+  for (int day = 0; day < 700; ++day) {
+    double total = 0.0;
+    for (const Ride& ride : cycle.PlanDay(day, rng)) total += ride.duration_min;
+    if (day % 7 == 5 || day % 7 == 6) {
+      weekend_minutes += total;
+      ++weekends;
+    } else {
+      weekday_minutes += total;
+      ++weekdays;
+    }
+  }
+  EXPECT_LT(weekend_minutes / weekends, 0.7 * weekday_minutes / weekdays);
+}
+
+TEST(DrivingCycleTest, RealiseProducesRequestedLength) {
+  const VehicleSpec spec = TestSpec();
+  DrivingCycle cycle(spec);
+  util::Rng rng(5);
+  const Ride ride{0, 40, RideType::kRegional};
+  EXPECT_EQ(cycle.Realise(ride, rng).size(), 40u);
+}
+
+TEST(DrivingCycleTest, SpeedsWithinTypeCeiling) {
+  const VehicleSpec spec = TestSpec();
+  DrivingCycle cycle(spec);
+  util::Rng rng(6);
+  const Ride ride{0, 120, RideType::kHighway};
+  for (const DrivingMinute& minute : cycle.Realise(ride, rng)) {
+    EXPECT_GE(minute.speed_kmh, 0.0);
+    EXPECT_LE(minute.speed_kmh, 130.0);
+  }
+}
+
+TEST(DrivingCycleTest, RideTypesHaveDistinctSpeeds) {
+  const VehicleSpec spec = TestSpec();
+  DrivingCycle cycle(spec);
+  util::Rng rng(7);
+  auto mean_speed = [&](RideType type) {
+    double total = 0.0;
+    int count = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+      const Ride ride{0, 40, type};
+      for (const DrivingMinute& minute : cycle.Realise(ride, rng)) {
+        total += minute.speed_kmh;
+        ++count;
+      }
+    }
+    return total / count;
+  };
+  const double urban = mean_speed(RideType::kUrban);
+  const double regional = mean_speed(RideType::kRegional);
+  const double highway = mean_speed(RideType::kHighway);
+  EXPECT_LT(urban, regional);
+  EXPECT_LT(regional, highway);
+}
+
+TEST(DrivingCycleTest, AccelMatchesSpeedDifference) {
+  const VehicleSpec spec = TestSpec();
+  DrivingCycle cycle(spec);
+  util::Rng rng(8);
+  const Ride ride{0, 30, RideType::kUrban};
+  const auto trace = cycle.Realise(ride, rng);
+  for (std::size_t m = 1; m < trace.size(); ++m) {
+    EXPECT_NEAR(trace[m].accel_kmh_min, trace[m].speed_kmh - trace[m - 1].speed_kmh,
+                1e-9);
+  }
+}
+
+TEST(DrivingCycleTest, GearStyleBounded) {
+  const VehicleSpec spec = TestSpec();
+  DrivingCycle cycle(spec);
+  util::Rng rng(9);
+  const Ride ride{0, 60, RideType::kUrban};
+  for (const DrivingMinute& minute : cycle.Realise(ride, rng)) {
+    EXPECT_GT(minute.gear_style, 0.7);
+    EXPECT_LT(minute.gear_style, 1.5);
+  }
+}
+
+TEST(UsageRegimeTest, SequenceHasDwellStretches) {
+  util::Rng rng(10);
+  const auto regimes = SampleRegimeSequence(365, rng);
+  ASSERT_EQ(regimes.size(), 365u);
+  // Count transitions: with stay probability 0.9, expect ~36, certainly < 90.
+  int transitions = 0;
+  for (std::size_t day = 1; day < regimes.size(); ++day)
+    if (regimes[day] != regimes[day - 1]) ++transitions;
+  EXPECT_LT(transitions, 90);
+}
+
+TEST(UsageRegimeTest, MixOverridesApplied) {
+  const std::array<double, kNumRideTypes> base{0.5, 0.3, 0.2};
+  const RegimeEffect normal = ApplyRegime(base, UsageRegime::kNormal);
+  EXPECT_EQ(normal.mix, base);
+  EXPECT_DOUBLE_EQ(normal.activity_multiplier, 1.0);
+  const RegimeEffect long_haul = ApplyRegime(base, UsageRegime::kLongHaul);
+  EXPECT_GT(long_haul.mix[2], base[2]);
+  EXPECT_GT(long_haul.activity_multiplier, 1.0);
+  const RegimeEffect quiet = ApplyRegime(base, UsageRegime::kQuiet);
+  EXPECT_LT(quiet.activity_multiplier, 1.0);
+}
+
+TEST(UsageRegimeTest, QuietRegimeReducesActivity) {
+  const VehicleSpec spec = TestSpec();
+  DrivingCycle cycle(spec);
+  util::Rng rng(11);
+  double normal_minutes = 0.0, quiet_minutes = 0.0;
+  for (int day = 0; day < 300; ++day) {
+    if (day % 7 >= 5) continue;  // compare weekdays only
+    for (const Ride& ride : cycle.PlanDay(day, rng)) normal_minutes += ride.duration_min;
+    for (const Ride& ride : cycle.PlanDay(day, rng, nullptr, 0.35))
+      quiet_minutes += ride.duration_min;
+  }
+  EXPECT_LT(quiet_minutes, 0.7 * normal_minutes);
+}
+
+}  // namespace
+}  // namespace navarchos::telemetry

@@ -1,0 +1,219 @@
+#include "telemetry/engine_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/statistics.h"
+
+namespace navarchos::telemetry {
+namespace {
+
+VehicleSpec TestSpec() {
+  util::Rng rng(1);
+  return SampleFleetSpecs(1, rng).front();
+}
+
+DrivingMinute Cruise(double speed) {
+  DrivingMinute minute;
+  minute.speed_kmh = speed;
+  return minute;
+}
+
+/// Runs the engine at a steady state for `minutes` and returns the last PID
+/// vector (thermal equilibrium reached).
+PidVector SteadyState(EngineModel& engine, double speed, double ambient,
+                      const FaultEffects& faults, util::Rng& rng, int minutes = 90) {
+  PidVector pids{};
+  for (int m = 0; m < minutes; ++m)
+    pids = engine.Step(m, Cruise(speed), ambient, faults, rng);
+  return pids;
+}
+
+TEST(EngineModelTest, RpmIncreasesWithSpeed) {
+  const VehicleSpec spec = TestSpec();
+  EngineModel engine(spec);
+  engine.StartRide(0, 15.0);
+  util::Rng rng(2);
+  const FaultEffects healthy;
+  double previous_rpm = 0.0;
+  for (double speed : {20.0, 40.0, 70.0, 100.0, 125.0}) {
+    double total = 0.0;
+    for (int i = 0; i < 50; ++i)
+      total += engine.Step(i, Cruise(speed), 15.0, healthy, rng)[static_cast<int>(Pid::kRpm)];
+    const double rpm = total / 50.0;
+    EXPECT_GT(rpm, previous_rpm);
+    previous_rpm = rpm;
+  }
+}
+
+TEST(EngineModelTest, IdleRpmAtStandstill) {
+  const VehicleSpec spec = TestSpec();
+  EngineModel engine(spec);
+  engine.StartRide(0, 15.0);
+  util::Rng rng(3);
+  const FaultEffects healthy;
+  const PidVector pids = engine.Step(0, Cruise(0.0), 15.0, healthy, rng);
+  EXPECT_NEAR(pids[static_cast<int>(Pid::kRpm)], spec.idle_rpm, spec.idle_rpm * 0.1);
+}
+
+TEST(EngineModelTest, ColdStartWarmsTowardThermostat) {
+  const VehicleSpec spec = TestSpec();
+  EngineModel engine(spec);
+  engine.StartRide(0, 10.0);
+  EXPECT_NEAR(engine.coolant_c(), 10.0, 1e-9);
+  util::Rng rng(4);
+  const FaultEffects healthy;
+  SteadyState(engine, 60.0, 10.0, healthy, rng);
+  EXPECT_NEAR(engine.coolant_c(), spec.thermostat_c, 6.0);
+}
+
+TEST(EngineModelTest, ParkingGapCoolsEngine) {
+  const VehicleSpec spec = TestSpec();
+  EngineModel engine(spec);
+  engine.StartRide(0, 10.0);
+  util::Rng rng(5);
+  const FaultEffects healthy;
+  SteadyState(engine, 60.0, 10.0, healthy, rng);
+  const double warm = engine.coolant_c();
+  engine.StartRide(90 + 600, 10.0);  // 10 hours parked
+  EXPECT_LT(engine.coolant_c(), warm - 20.0);
+  EXPECT_GT(engine.coolant_c(), 9.0);
+}
+
+TEST(EngineModelTest, ShortGapKeepsHeat) {
+  const VehicleSpec spec = TestSpec();
+  EngineModel engine(spec);
+  engine.StartRide(0, 10.0);
+  util::Rng rng(6);
+  const FaultEffects healthy;
+  SteadyState(engine, 60.0, 10.0, healthy, rng);
+  const double warm = engine.coolant_c();
+  engine.StartRide(90 + 40, 10.0);  // 40 minutes parked
+  EXPECT_GT(engine.coolant_c(), warm - 20.0);
+}
+
+TEST(EngineModelTest, MafConsistentWithSpeedDensity) {
+  const VehicleSpec spec = TestSpec();
+  EngineModel engine(spec);
+  engine.StartRide(0, 20.0);
+  util::Rng rng(7);
+  const FaultEffects healthy;
+  const PidVector pids = SteadyState(engine, 80.0, 20.0, healthy, rng);
+  const double rpm = pids[static_cast<int>(Pid::kRpm)];
+  const double map = pids[static_cast<int>(Pid::kMapIntake)];
+  const double intake_k = pids[static_cast<int>(Pid::kIntakeTemp)] + 273.15;
+  const double expected = spec.volumetric_eff * (spec.displacement_l / 2.0) *
+                          (rpm / 60.0) * (map / 101.0) * 1.19 * (293.15 / intake_k);
+  EXPECT_NEAR(pids[static_cast<int>(Pid::kMafAirFlowRate)], expected, expected * 0.15);
+}
+
+TEST(EngineModelTest, MapRisesWithLoad) {
+  const VehicleSpec spec = TestSpec();
+  EngineModel engine(spec);
+  engine.StartRide(0, 15.0);
+  util::Rng rng(8);
+  const FaultEffects healthy;
+  const double map_slow = SteadyState(engine, 30.0, 15.0, healthy, rng)[static_cast<int>(Pid::kMapIntake)];
+  const double map_fast = SteadyState(engine, 110.0, 15.0, healthy, rng)[static_cast<int>(Pid::kMapIntake)];
+  EXPECT_GT(map_fast, map_slow);
+}
+
+TEST(EngineModelTest, ThermostatStuckOpenLowersCoolant) {
+  const VehicleSpec spec = TestSpec();
+  util::Rng rng(9);
+  EngineModel healthy_engine(spec);
+  healthy_engine.StartRide(0, 12.0);
+  const FaultEffects healthy;
+  const double healthy_coolant =
+      SteadyState(healthy_engine, 80.0, 12.0, healthy, rng)[static_cast<int>(Pid::kCoolantTemp)];
+
+  EngineModel faulty_engine(spec);
+  faulty_engine.StartRide(0, 12.0);
+  const FaultEffects stuck = EffectsOf(FaultType::kThermostatStuckOpen, 1.0);
+  const double faulty_coolant =
+      SteadyState(faulty_engine, 80.0, 12.0, stuck, rng)[static_cast<int>(Pid::kCoolantTemp)];
+  EXPECT_LT(faulty_coolant, healthy_coolant - 10.0);
+}
+
+TEST(EngineModelTest, CoolantRestrictionOverheatsUnderLoad) {
+  const VehicleSpec spec = TestSpec();
+  util::Rng rng(10);
+  EngineModel engine(spec);
+  engine.StartRide(0, 20.0);
+  const FaultEffects restriction = EffectsOf(FaultType::kCoolantRestriction, 1.0);
+  const double coolant =
+      SteadyState(engine, 110.0, 20.0, restriction, rng)[static_cast<int>(Pid::kCoolantTemp)];
+  EXPECT_GT(coolant, spec.thermostat_c + 8.0);
+}
+
+TEST(EngineModelTest, MafDriftLowersReportedFlow) {
+  const VehicleSpec spec = TestSpec();
+  util::Rng rng(11);
+  EngineModel a(spec), b(spec);
+  a.StartRide(0, 15.0);
+  b.StartRide(0, 15.0);
+  const FaultEffects healthy;
+  const FaultEffects drift = EffectsOf(FaultType::kMafSensorDrift, 1.0);
+  double healthy_maf = 0.0, faulty_maf = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    healthy_maf += a.Step(i, Cruise(70.0), 15.0, healthy, rng)[static_cast<int>(Pid::kMafAirFlowRate)];
+    faulty_maf += b.Step(i, Cruise(70.0), 15.0, drift, rng)[static_cast<int>(Pid::kMafAirFlowRate)];
+  }
+  EXPECT_LT(faulty_maf, healthy_maf * 0.9);
+}
+
+TEST(EngineModelTest, IntakeLeakRaisesMapAtIdleLoad) {
+  const VehicleSpec spec = TestSpec();
+  util::Rng rng(12);
+  EngineModel a(spec), b(spec);
+  a.StartRide(0, 15.0);
+  b.StartRide(0, 15.0);
+  const FaultEffects healthy;
+  const FaultEffects leak = EffectsOf(FaultType::kIntakeLeak, 1.0);
+  double healthy_map = 0.0, leak_map = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    healthy_map += a.Step(i, Cruise(25.0), 15.0, healthy, rng)[static_cast<int>(Pid::kMapIntake)];
+    leak_map += b.Step(i, Cruise(25.0), 15.0, leak, rng)[static_cast<int>(Pid::kMapIntake)];
+  }
+  EXPECT_GT(leak_map, healthy_map + 60 * 5.0);
+}
+
+TEST(EngineModelTest, InjectorFaultRaisesRpmVariance) {
+  const VehicleSpec spec = TestSpec();
+  util::Rng rng(13);
+  EngineModel a(spec), b(spec);
+  a.StartRide(0, 15.0);
+  b.StartRide(0, 15.0);
+  const FaultEffects healthy;
+  const FaultEffects injector = EffectsOf(FaultType::kInjectorDegradation, 1.0);
+  std::vector<double> healthy_rpm, faulty_rpm;
+  for (int i = 0; i < 300; ++i) {
+    healthy_rpm.push_back(a.Step(i, Cruise(70.0), 15.0, healthy, rng)[static_cast<int>(Pid::kRpm)]);
+    faulty_rpm.push_back(b.Step(i, Cruise(70.0), 15.0, injector, rng)[static_cast<int>(Pid::kRpm)]);
+  }
+  EXPECT_GT(util::StdDev(faulty_rpm), 2.0 * util::StdDev(healthy_rpm));
+}
+
+TEST(EngineModelTest, LoadBoundedAndMonotoneInSpeed) {
+  const VehicleSpec spec = TestSpec();
+  EngineModel engine(spec);
+  const FaultEffects healthy;
+  double previous = 0.0;
+  for (double speed : {0.0, 30.0, 60.0, 90.0, 120.0}) {
+    const double load = engine.LoadOf(Cruise(speed), healthy);
+    EXPECT_GE(load, 0.08);
+    EXPECT_LE(load, 1.0);
+    EXPECT_GE(load, previous);
+    previous = load;
+  }
+}
+
+TEST(EngineModelTest, CombustionLossRaisesLoad) {
+  const VehicleSpec spec = TestSpec();
+  EngineModel engine(spec);
+  const FaultEffects healthy;
+  const FaultEffects injector = EffectsOf(FaultType::kInjectorDegradation, 1.0);
+  EXPECT_GT(engine.LoadOf(Cruise(60.0), injector), engine.LoadOf(Cruise(60.0), healthy));
+}
+
+}  // namespace
+}  // namespace navarchos::telemetry

@@ -1,0 +1,126 @@
+#include "telemetry/faults.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace navarchos::telemetry {
+namespace {
+
+TEST(FaultSeverityTest, ZeroBeforeOnsetAndAfterRepair) {
+  FaultInstance fault;
+  fault.onset = 1000;
+  fault.repair_time = 2000;
+  fault.peak_severity = 1.0;
+  EXPECT_DOUBLE_EQ(fault.SeverityAt(999), 0.0);
+  EXPECT_DOUBLE_EQ(fault.SeverityAt(2000), 0.0);
+  EXPECT_DOUBLE_EQ(fault.SeverityAt(5000), 0.0);
+}
+
+TEST(FaultSeverityTest, MonotoneRampWithinWindow) {
+  FaultInstance fault;
+  fault.onset = 0;
+  fault.repair_time = 10000;
+  fault.peak_severity = 0.9;
+  double previous = -1.0;
+  for (Minute t = 0; t < 10000; t += 500) {
+    const double s = fault.SeverityAt(t);
+    EXPECT_GE(s, previous);
+    EXPECT_LE(s, 0.9);
+    previous = s;
+  }
+}
+
+TEST(FaultSeverityTest, ApproachesPeakNearRepair) {
+  FaultInstance fault;
+  fault.onset = 0;
+  fault.repair_time = 10000;
+  fault.peak_severity = 1.0;
+  EXPECT_GT(fault.SeverityAt(9999), 0.95);
+}
+
+TEST(FaultSeverityTest, RisesEarlyEnoughForLongHorizons) {
+  // The exponent < 1 shape should reach ~half severity by the window middle.
+  FaultInstance fault;
+  fault.onset = 0;
+  fault.repair_time = 10000;
+  fault.peak_severity = 1.0;
+  EXPECT_GT(fault.SeverityAt(5000), 0.5);
+}
+
+TEST(FaultEffectsTest, HealthyIsAllZero) {
+  const FaultEffects effects = EffectsOf(FaultType::kThermostatStuckOpen, 0.0);
+  EXPECT_DOUBLE_EQ(effects.thermostat_open, 0.0);
+  EXPECT_DOUBLE_EQ(effects.maf_gain_delta, 0.0);
+  EXPECT_DOUBLE_EQ(effects.coolant_load_gain, 0.0);
+}
+
+TEST(FaultEffectsTest, EachTypeTouchesItsSignature) {
+  EXPECT_GT(EffectsOf(FaultType::kThermostatStuckOpen, 1.0).thermostat_open, 0.5);
+  EXPECT_LT(EffectsOf(FaultType::kMafSensorDrift, 1.0).maf_gain_delta, -0.1);
+  EXPECT_GT(EffectsOf(FaultType::kMafSensorDrift, 1.0).maf_noise_frac, 0.1);
+  EXPECT_GT(EffectsOf(FaultType::kIntakeLeak, 1.0).map_leak_kpa, 10.0);
+  EXPECT_GT(EffectsOf(FaultType::kCoolantRestriction, 1.0).coolant_load_gain, 20.0);
+  EXPECT_GT(EffectsOf(FaultType::kInjectorDegradation, 1.0).rpm_noise_frac, 0.1);
+  EXPECT_GT(EffectsOf(FaultType::kInjectorDegradation, 1.0).combustion_loss, 0.2);
+}
+
+TEST(FaultEffectsTest, EffectsScaleWithSeverity) {
+  const FaultEffects half = EffectsOf(FaultType::kCoolantRestriction, 0.5);
+  const FaultEffects full = EffectsOf(FaultType::kCoolantRestriction, 1.0);
+  EXPECT_NEAR(half.coolant_load_gain * 2.0, full.coolant_load_gain, 1e-9);
+}
+
+TEST(FaultEffectsTest, AddClampsBoundedFields) {
+  FaultEffects a = EffectsOf(FaultType::kThermostatStuckOpen, 1.0);
+  a.Add(EffectsOf(FaultType::kThermostatStuckOpen, 1.0));
+  EXPECT_LE(a.thermostat_open, 1.0);
+  FaultEffects b = EffectsOf(FaultType::kInjectorDegradation, 1.0);
+  b.Add(EffectsOf(FaultType::kInjectorDegradation, 1.0));
+  b.Add(EffectsOf(FaultType::kInjectorDegradation, 1.0));
+  EXPECT_LE(b.combustion_loss, 0.9);
+}
+
+TEST(FaultEffectsTest, CombinedEffectsSumOverFaults) {
+  FaultInstance f1, f2;
+  f1.type = FaultType::kMafSensorDrift;
+  f1.onset = 0;
+  f1.repair_time = 1000;
+  f1.peak_severity = 1.0;
+  f2.type = FaultType::kIntakeLeak;
+  f2.onset = 0;
+  f2.repair_time = 1000;
+  f2.peak_severity = 1.0;
+  const std::vector<FaultInstance> faults{f1, f2};
+  const FaultEffects combined = CombinedEffectsAt(faults, 999);
+  EXPECT_LT(combined.maf_gain_delta, -0.2);  // both contribute
+  EXPECT_GT(combined.map_leak_kpa, 10.0);
+}
+
+TEST(SampleFaultTest, OnsetPrecedesRepairByLeadWindow) {
+  util::Rng rng(3);
+  const Minute repair = 100 * kMinutesPerDay;
+  const FaultInstance fault = SampleFault(0, 5, repair, 30, rng);
+  EXPECT_EQ(fault.repair_time, repair);
+  EXPECT_EQ(fault.onset, repair - 30 * kMinutesPerDay);
+  EXPECT_EQ(fault.vehicle_id, 5);
+  EXPECT_GE(fault.peak_severity, 0.85);
+  EXPECT_LE(fault.peak_severity, 1.0);
+}
+
+TEST(SampleFaultTest, OnsetClampedAtZero) {
+  util::Rng rng(3);
+  const FaultInstance fault = SampleFault(0, 1, 5 * kMinutesPerDay, 30, rng);
+  EXPECT_EQ(fault.onset, 0);
+}
+
+TEST(FaultTypeNamesTest, AllDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumFaultTypes; ++i)
+    names.insert(FaultTypeName(static_cast<FaultType>(i)));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumFaultTypes));
+}
+
+}  // namespace
+}  // namespace navarchos::telemetry

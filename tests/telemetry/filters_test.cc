@@ -1,0 +1,82 @@
+#include "telemetry/filters.h"
+
+#include <gtest/gtest.h>
+
+namespace navarchos::telemetry {
+namespace {
+
+Record HealthyRecord() {
+  Record record;
+  record.pids[static_cast<int>(Pid::kRpm)] = 2000.0;
+  record.pids[static_cast<int>(Pid::kSpeed)] = 60.0;
+  record.pids[static_cast<int>(Pid::kCoolantTemp)] = 90.0;
+  record.pids[static_cast<int>(Pid::kIntakeTemp)] = 25.0;
+  record.pids[static_cast<int>(Pid::kMapIntake)] = 45.0;
+  record.pids[static_cast<int>(Pid::kMafAirFlowRate)] = 15.0;
+  return record;
+}
+
+TEST(FiltersTest, HealthyRecordIsUsable) {
+  EXPECT_TRUE(IsUsable(HealthyRecord()));
+}
+
+TEST(FiltersTest, StationaryWhenSlow) {
+  Record record = HealthyRecord();
+  record.pids[static_cast<int>(Pid::kSpeed)] = 0.0;
+  EXPECT_TRUE(IsStationary(record));
+  EXPECT_FALSE(IsUsable(record));
+  record.pids[static_cast<int>(Pid::kSpeed)] = 2.9;
+  EXPECT_TRUE(IsStationary(record));
+  record.pids[static_cast<int>(Pid::kSpeed)] = 3.1;
+  EXPECT_FALSE(IsStationary(record));
+}
+
+TEST(FiltersTest, SensorDropoutValuesRejected) {
+  Record record = HealthyRecord();
+  record.pids[static_cast<int>(Pid::kIntakeTemp)] = -40.0;
+  EXPECT_TRUE(IsSensorFaulty(record));
+
+  record = HealthyRecord();
+  record.pids[static_cast<int>(Pid::kMafAirFlowRate)] = 655.35;
+  EXPECT_TRUE(IsSensorFaulty(record));
+
+  record = HealthyRecord();
+  record.pids[static_cast<int>(Pid::kCoolantTemp)] = -40.0;
+  EXPECT_TRUE(IsSensorFaulty(record));
+}
+
+TEST(FiltersTest, RacingEngineAtZeroSpeedRejected) {
+  Record record = HealthyRecord();
+  record.pids[static_cast<int>(Pid::kRpm)] = 5000.0;
+  record.pids[static_cast<int>(Pid::kSpeed)] = 0.5;
+  EXPECT_TRUE(IsSensorFaulty(record));
+}
+
+TEST(FiltersTest, OverheatingIsUsableNotFiltered) {
+  // Fault signatures (overheating, low coolant temp) must survive the
+  // filter - only physically impossible readings are dropped.
+  Record record = HealthyRecord();
+  record.pids[static_cast<int>(Pid::kCoolantTemp)] = 118.0;
+  EXPECT_FALSE(IsSensorFaulty(record));
+  record.pids[static_cast<int>(Pid::kCoolantTemp)] = 40.0;  // stuck-open thermostat
+  EXPECT_FALSE(IsSensorFaulty(record));
+}
+
+TEST(FiltersTest, FilterRecordsPreservesOrderAndDropsBad) {
+  std::vector<Record> records;
+  for (int i = 0; i < 5; ++i) {
+    Record record = HealthyRecord();
+    record.timestamp = i;
+    records.push_back(record);
+  }
+  records[1].pids[static_cast<int>(Pid::kSpeed)] = 0.0;       // stationary
+  records[3].pids[static_cast<int>(Pid::kCoolantTemp)] = -40; // faulty
+  const auto usable = FilterRecords(records);
+  ASSERT_EQ(usable.size(), 3u);
+  EXPECT_EQ(usable[0].timestamp, 0);
+  EXPECT_EQ(usable[1].timestamp, 2);
+  EXPECT_EQ(usable[2].timestamp, 4);
+}
+
+}  // namespace
+}  // namespace navarchos::telemetry

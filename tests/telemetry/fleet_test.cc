@@ -1,0 +1,205 @@
+#include "telemetry/fleet.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/filters.h"
+
+namespace navarchos::telemetry {
+namespace {
+
+FleetDataset TestFleet(std::uint64_t seed = 42) {
+  FleetConfig config = FleetConfig::TestScale();
+  config.seed = seed;
+  return GenerateFleet(config);
+}
+
+TEST(FleetTest, VehicleCountMatchesConfig) {
+  const FleetDataset fleet = TestFleet();
+  EXPECT_EQ(fleet.vehicles.size(), 8u);
+}
+
+TEST(FleetTest, ReportingCountMatchesConfig) {
+  const FleetDataset fleet = TestFleet();
+  int reporting = 0;
+  for (const auto& vehicle : fleet.vehicles) reporting += vehicle.reporting ? 1 : 0;
+  EXPECT_EQ(reporting, 6);
+}
+
+TEST(FleetTest, RecordedFailuresOnlyOnReportingVehicles) {
+  const FleetDataset fleet = TestFleet();
+  int recorded_failures = 0;
+  for (const auto& vehicle : fleet.vehicles) {
+    const auto repairs = vehicle.RecordedRepairTimes();
+    if (!repairs.empty()) {
+      EXPECT_TRUE(vehicle.reporting);
+    }
+    recorded_failures += static_cast<int>(repairs.size());
+  }
+  EXPECT_EQ(recorded_failures, 2);
+}
+
+TEST(FleetTest, HiddenFailuresExist) {
+  const FleetDataset fleet = TestFleet();
+  int hidden = 0;
+  for (const auto& vehicle : fleet.vehicles) {
+    hidden += static_cast<int>(vehicle.TrueRepairTimes().size() -
+                               vehicle.RecordedRepairTimes().size());
+  }
+  EXPECT_EQ(hidden, 1);
+}
+
+TEST(FleetTest, EveryFailingVehicleHasFaultGroundTruth) {
+  const FleetDataset fleet = TestFleet();
+  for (const auto& vehicle : fleet.vehicles) {
+    EXPECT_EQ(vehicle.TrueRepairTimes().size(), vehicle.faults.size());
+    for (const auto& fault : vehicle.faults) {
+      EXPECT_EQ(fault.vehicle_id, vehicle.spec.id);
+      EXPECT_LT(fault.onset, fault.repair_time);
+    }
+  }
+}
+
+TEST(FleetTest, EventsAreTimeOrdered) {
+  const FleetDataset fleet = TestFleet();
+  for (const auto& vehicle : fleet.vehicles) {
+    for (std::size_t i = 1; i < vehicle.events.size(); ++i)
+      EXPECT_LE(vehicle.events[i - 1].timestamp, vehicle.events[i].timestamp);
+  }
+}
+
+TEST(FleetTest, RecordsAreTimeOrderedAndStamped) {
+  const FleetDataset fleet = TestFleet();
+  for (const auto& vehicle : fleet.vehicles) {
+    ASSERT_FALSE(vehicle.records.empty());
+    for (std::size_t i = 1; i < vehicle.records.size(); ++i)
+      EXPECT_LT(vehicle.records[i - 1].timestamp, vehicle.records[i].timestamp);
+    for (const Record& record : vehicle.records)
+      EXPECT_EQ(record.vehicle_id, vehicle.spec.id);
+  }
+}
+
+TEST(FleetTest, DeterministicForSameSeed) {
+  const FleetDataset a = TestFleet(7);
+  const FleetDataset b = TestFleet(7);
+  ASSERT_EQ(a.TotalRecords(), b.TotalRecords());
+  for (std::size_t v = 0; v < a.vehicles.size(); ++v) {
+    ASSERT_EQ(a.vehicles[v].records.size(), b.vehicles[v].records.size());
+    for (std::size_t i = 0; i < a.vehicles[v].records.size(); i += 97) {
+      EXPECT_EQ(a.vehicles[v].records[i].timestamp, b.vehicles[v].records[i].timestamp);
+      EXPECT_EQ(a.vehicles[v].records[i].pids, b.vehicles[v].records[i].pids);
+    }
+  }
+}
+
+TEST(FleetTest, DifferentSeedsDiffer) {
+  const FleetDataset a = TestFleet(7);
+  const FleetDataset b = TestFleet(8);
+  EXPECT_NE(a.TotalRecords(), b.TotalRecords());
+}
+
+TEST(FleetTest, ReportingSubsetDropsNonReporting) {
+  const FleetDataset fleet = TestFleet();
+  const FleetDataset subset = fleet.ReportingSubset();
+  EXPECT_EQ(subset.vehicles.size(), 6u);
+  for (const auto& vehicle : subset.vehicles) EXPECT_TRUE(vehicle.reporting);
+}
+
+TEST(FleetTest, NonReportingVehiclesHaveNoRecordedEvents) {
+  const FleetDataset fleet = TestFleet();
+  for (const auto& vehicle : fleet.vehicles) {
+    if (vehicle.reporting) continue;
+    for (const auto& event : vehicle.RecordedEvents()) {
+      // DTCs arrive over OBD for all vehicles; maintenance events do not.
+      EXPECT_TRUE(event.type == EventType::kDtcPending ||
+                  event.type == EventType::kDtcStored);
+    }
+  }
+}
+
+TEST(FleetTest, FailureStateFractionInPlausibleRange) {
+  const FleetDataset fleet = TestFleet();
+  const double f30 = fleet.FailureStateFraction(30);
+  const double f15 = fleet.FailureStateFraction(15);
+  EXPECT_GT(f30, 0.0);
+  EXPECT_LT(f30, 0.25);
+  EXPECT_LE(f15, f30);
+}
+
+TEST(FleetTest, SensorFaultyRecordsPresentButRare) {
+  const FleetDataset fleet = TestFleet();
+  std::size_t total = 0, faulty = 0;
+  for (const auto& vehicle : fleet.vehicles) {
+    for (const Record& record : vehicle.records) {
+      ++total;
+      if (IsSensorFaulty(record)) ++faulty;
+    }
+  }
+  EXPECT_GT(faulty, 0u);
+  EXPECT_LT(static_cast<double>(faulty) / static_cast<double>(total), 0.01);
+}
+
+TEST(FleetTest, RepairClearsFaultEffects) {
+  const FleetDataset fleet = TestFleet();
+  for (const auto& vehicle : fleet.vehicles) {
+    for (const auto& fault : vehicle.faults) {
+      EXPECT_DOUBLE_EQ(fault.SeverityAt(fault.repair_time + 1), 0.0);
+    }
+  }
+}
+
+TEST(FleetPaperScaleTest, MatchesPaperHeadlineNumbers) {
+  // Paper §1: 40 vehicles, 26 with events, 9 failures, ~1.5M records,
+  // failure states 3.6% / 1.9% of the data for 30 / 15 day windows.
+  const FleetConfig config = FleetConfig::PaperScale();
+  EXPECT_EQ(config.num_vehicles, 40);
+  EXPECT_EQ(config.num_reporting, 26);
+  EXPECT_EQ(config.num_recorded_failures, 9);
+  EXPECT_EQ(config.days, 365);
+  const FleetDataset fleet = GenerateFleet(config);
+  // Same order of magnitude as the paper's 1.5M records.
+  EXPECT_GT(fleet.TotalRecords(), 800000u);
+  EXPECT_LT(fleet.TotalRecords(), 2500000u);
+  // Around a hundred-plus recorded events (paper: 121 + DTC stream).
+  EXPECT_GT(fleet.TotalRecordedEvents(), 80u);
+  // Failure-state fractions in the paper's ballpark.
+  EXPECT_GT(fleet.FailureStateFraction(30), 0.005);
+  EXPECT_LT(fleet.FailureStateFraction(30), 0.06);
+}
+
+TEST(VehicleSpecTest, FleetSpecsAreHeterogeneous) {
+  util::Rng rng(1);
+  const auto specs = SampleFleetSpecs(40, rng);
+  std::set<int> models;
+  for (const auto& spec : specs) models.insert(static_cast<int>(spec.model));
+  EXPECT_GE(models.size(), 3u);
+  // Ride mixes differ across vehicles.
+  bool mixes_differ = false;
+  for (std::size_t i = 1; i < specs.size(); ++i)
+    if (specs[i].ride_mix != specs[0].ride_mix) mixes_differ = true;
+  EXPECT_TRUE(mixes_differ);
+}
+
+TEST(VehicleSpecTest, RideMixesNormalised) {
+  util::Rng rng(2);
+  for (const auto& spec : SampleFleetSpecs(20, rng)) {
+    double total = 0.0;
+    for (double w : spec.ride_mix) {
+      EXPECT_GE(w, 0.0);
+      total += w;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(VehicleSpecTest, DisplayNameFormatsIdAndModel) {
+  VehicleSpec spec;
+  spec.id = 3;
+  spec.model = VehicleModel::kVan;
+  EXPECT_EQ(spec.DisplayName(), "v03(van)");
+}
+
+}  // namespace
+}  // namespace navarchos::telemetry

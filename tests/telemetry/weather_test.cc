@@ -1,0 +1,69 @@
+#include "telemetry/weather.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace navarchos::telemetry {
+namespace {
+
+TEST(WeatherTest, SeasonalCycleColdestNearConfiguredDay) {
+  WeatherConfig config;
+  config.weather_noise_c = 0.0;  // isolate the deterministic component
+  util::Rng rng(1);
+  WeatherModel weather(config, 365, rng);
+  const double winter = weather.DailyMean(config.coldest_day_of_year);
+  const double summer = weather.DailyMean(config.coldest_day_of_year + 182);
+  EXPECT_LT(winter, summer);
+  EXPECT_NEAR(summer - winter, 2.0 * config.seasonal_amplitude_c, 0.5);
+}
+
+TEST(WeatherTest, DiurnalCycleWarmestLateAfternoon) {
+  WeatherConfig config;
+  config.weather_noise_c = 0.0;
+  util::Rng rng(1);
+  WeatherModel weather(config, 10, rng);
+  const Minute day_start = 5 * kMinutesPerDay;
+  const double at_5am = weather.AmbientAt(day_start + 5 * 60);
+  const double at_5pm = weather.AmbientAt(day_start + 17 * 60);
+  EXPECT_LT(at_5am, at_5pm);
+  EXPECT_NEAR(at_5pm - at_5am, 2.0 * config.diurnal_amplitude_c, 0.3);
+}
+
+TEST(WeatherTest, NoiseIsDeterministicPerSeed) {
+  WeatherConfig config;
+  util::Rng rng1(7), rng2(7);
+  WeatherModel a(config, 100, rng1);
+  WeatherModel b(config, 100, rng2);
+  for (int day = 0; day < 100; ++day)
+    EXPECT_DOUBLE_EQ(a.DailyMean(day), b.DailyMean(day));
+}
+
+TEST(WeatherTest, NoiseVarianceRoughlyAsConfigured) {
+  WeatherConfig config;
+  config.seasonal_amplitude_c = 0.0;
+  config.weather_noise_c = 3.0;
+  util::Rng rng(11);
+  WeatherModel weather(config, 2000, rng);
+  double sum = 0.0, sum_sq = 0.0;
+  for (int day = 0; day < 2000; ++day) {
+    const double anomaly = weather.DailyMean(day) - config.annual_mean_c;
+    sum += anomaly;
+    sum_sq += anomaly * anomaly;
+  }
+  const double variance = sum_sq / 2000.0 - (sum / 2000.0) * (sum / 2000.0);
+  EXPECT_NEAR(std::sqrt(variance), 3.0, 0.6);
+}
+
+TEST(WeatherTest, OutOfRangeDayClampsAnomalyNotCycle) {
+  WeatherConfig config;
+  util::Rng rng(3);
+  WeatherModel weather(config, 30, rng);
+  // Should not crash and should stay within plausible bounds.
+  const double t = weather.DailyMean(400);
+  EXPECT_GT(t, config.annual_mean_c - 30.0);
+  EXPECT_LT(t, config.annual_mean_c + 30.0);
+}
+
+}  // namespace
+}  // namespace navarchos::telemetry

@@ -1,0 +1,122 @@
+#include "transform/sax.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace navarchos::transform {
+namespace {
+
+using telemetry::kNumPids;
+
+TEST(GaussianBreakpointsTest, KnownQuartiles) {
+  const auto breakpoints = GaussianBreakpoints(4);
+  ASSERT_EQ(breakpoints.size(), 3u);
+  EXPECT_NEAR(breakpoints[0], -0.6745, 1e-3);
+  EXPECT_NEAR(breakpoints[1], 0.0, 1e-6);
+  EXPECT_NEAR(breakpoints[2], 0.6745, 1e-3);
+}
+
+TEST(GaussianBreakpointsTest, MonotoneAndSymmetric) {
+  const auto breakpoints = GaussianBreakpoints(8);
+  for (std::size_t i = 1; i < breakpoints.size(); ++i)
+    EXPECT_GT(breakpoints[i], breakpoints[i - 1]);
+  for (std::size_t i = 0; i < breakpoints.size(); ++i)
+    EXPECT_NEAR(breakpoints[i], -breakpoints[breakpoints.size() - 1 - i], 1e-6);
+}
+
+SaxTransform MakeSax(int window = 48, int segments = 8, int alphabet = 4) {
+  TransformOptions options;
+  options.window = window;
+  options.stride = 1;
+  SaxOptions sax;
+  sax.segments = segments;
+  sax.alphabet = alphabet;
+  return SaxTransform(options, sax);
+}
+
+TEST(SaxTransformTest, SymboliseRampCoversAlphabet) {
+  const SaxTransform sax = MakeSax();
+  std::vector<double> ramp;
+  for (int i = 0; i < 48; ++i) ramp.push_back(static_cast<double>(i));
+  const auto symbols = sax.Symbolise(ramp);
+  ASSERT_EQ(symbols.size(), 8u);
+  EXPECT_EQ(symbols.front(), 0);
+  EXPECT_EQ(symbols.back(), 3);
+  for (std::size_t i = 1; i < symbols.size(); ++i)
+    EXPECT_GE(symbols[i], symbols[i - 1]);
+}
+
+TEST(SaxTransformTest, SymboliseLevelInvariant) {
+  const SaxTransform sax = MakeSax();
+  util::Rng rng(1);
+  std::vector<double> base, shifted;
+  for (int i = 0; i < 48; ++i) {
+    const double v = rng.Gaussian();
+    base.push_back(v);
+    shifted.push_back(100.0 + 5.0 * v);  // affine shift + scale
+  }
+  EXPECT_EQ(sax.Symbolise(base), sax.Symbolise(shifted));
+}
+
+TEST(SaxTransformTest, FeatureMassNormalised) {
+  TransformOptions options;
+  options.window = 48;
+  options.stride = 1;
+  SaxOptions sax_options;
+  SaxTransform sax(options, sax_options);
+  util::Rng rng(2);
+  std::optional<TransformedSample> sample;
+  for (int i = 0; i < 48; ++i) {
+    telemetry::Record record;
+    record.timestamp = i;
+    for (int k = 0; k < kNumPids; ++k)
+      record.pids[static_cast<std::size_t>(k)] = rng.Gaussian();
+    sample = sax.Collect(record);
+  }
+  ASSERT_TRUE(sample.has_value());
+  const int unigrams = sax_options.alphabet;
+  const int bigrams = sax_options.alphabet * sax_options.alphabet;
+  for (int channel = 0; channel < kNumPids; ++channel) {
+    const std::size_t base = static_cast<std::size_t>(channel * (unigrams + bigrams));
+    double unigram_mass = 0.0, bigram_mass = 0.0;
+    for (int u = 0; u < unigrams; ++u) unigram_mass += sample->features[base + static_cast<std::size_t>(u)];
+    for (int b = 0; b < bigrams; ++b)
+      bigram_mass += sample->features[base + static_cast<std::size_t>(unigrams + b)];
+    EXPECT_NEAR(unigram_mass, 1.0, 1e-9);
+    EXPECT_NEAR(bigram_mass, 1.0, 1e-9);
+  }
+}
+
+TEST(SaxTransformTest, FeatureNamesMatchCount) {
+  const SaxTransform sax = MakeSax();
+  EXPECT_EQ(sax.FeatureNames().size(), static_cast<std::size_t>(kNumPids * (4 + 16)));
+}
+
+TEST(SaxTransformTest, DynamicsChangeMovesBigramDistribution) {
+  // Smooth ramp vs rapid oscillation: same marginal spread, different
+  // transitions - the "artificial event" signal the paper's future work
+  // aims for.
+  const SaxTransform sax = MakeSax(48, 16, 4);
+  std::vector<double> smooth, oscillating;
+  for (int i = 0; i < 48; ++i) {
+    smooth.push_back(static_cast<double>(i % 24));
+    // Oscillation at the PAA segment scale (3 samples per segment), so the
+    // segment means alternate between the extremes.
+    oscillating.push_back(i % 6 < 3 ? 0.0 : 23.0);
+  }
+  const auto a = sax.Symbolise(smooth);
+  const auto b = sax.Symbolise(oscillating);
+  // Count monotone-adjacent transitions per stream.
+  int smooth_jumps = 0, oscillating_jumps = 0;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    smooth_jumps += std::abs(a[i] - a[i - 1]) > 1 ? 1 : 0;
+    oscillating_jumps += std::abs(b[i] - b[i - 1]) > 1 ? 1 : 0;
+  }
+  EXPECT_LT(smooth_jumps, oscillating_jumps);
+}
+
+}  // namespace
+}  // namespace navarchos::transform

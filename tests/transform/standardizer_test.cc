@@ -1,0 +1,103 @@
+#include "transform/standardizer.h"
+
+#include <gtest/gtest.h>
+
+#include "transform/day_aggregation.h"
+#include "util/rng.h"
+#include "util/statistics.h"
+
+namespace navarchos::transform {
+namespace {
+
+TEST(StandardizerTest, TransformedSampleHasZeroMeanUnitVariance) {
+  util::Rng rng(1);
+  std::vector<std::vector<double>> samples;
+  for (int i = 0; i < 500; ++i)
+    samples.push_back({rng.Gaussian(10.0, 3.0), rng.Gaussian(-5.0, 0.5)});
+  Standardizer standardizer;
+  standardizer.Fit(samples);
+  const auto z = standardizer.ApplyAll(samples);
+  std::vector<double> col0, col1;
+  for (const auto& row : z) {
+    col0.push_back(row[0]);
+    col1.push_back(row[1]);
+  }
+  EXPECT_NEAR(util::Mean(col0), 0.0, 1e-9);
+  EXPECT_NEAR(util::StdDev(col0), 1.0, 1e-9);
+  EXPECT_NEAR(util::Mean(col1), 0.0, 1e-9);
+  EXPECT_NEAR(util::StdDev(col1), 1.0, 1e-9);
+}
+
+TEST(StandardizerTest, ConstantFeaturePassesThroughCentred) {
+  std::vector<std::vector<double>> samples(10, {7.0});
+  Standardizer standardizer;
+  standardizer.Fit(samples);
+  EXPECT_DOUBLE_EQ(standardizer.Apply({7.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(standardizer.Apply({9.0})[0], 2.0);  // unit scale
+}
+
+TEST(StandardizerTest, FittedFlag) {
+  Standardizer standardizer;
+  EXPECT_FALSE(standardizer.fitted());
+  standardizer.Fit({{1.0}, {2.0}});
+  EXPECT_TRUE(standardizer.fitted());
+}
+
+TEST(DayAggregationTest, GroupsByCalendarDay) {
+  std::vector<telemetry::Record> records;
+  for (int day = 0; day < 3; ++day) {
+    for (int m = 0; m < 50; ++m) {
+      telemetry::Record record;
+      record.vehicle_id = 4;
+      record.timestamp = day * telemetry::kMinutesPerDay + 600 + m;
+      record.pids = {2000.0, 50.0 + day, 90.0, 25.0, 45.0, 15.0};
+      records.push_back(record);
+    }
+  }
+  const auto summaries = AggregateByDay(4, records, 20);
+  ASSERT_EQ(summaries.size(), 3u);
+  for (int day = 0; day < 3; ++day) {
+    EXPECT_EQ(summaries[static_cast<std::size_t>(day)].day, day);
+    EXPECT_EQ(summaries[static_cast<std::size_t>(day)].vehicle_id, 4);
+    EXPECT_EQ(summaries[static_cast<std::size_t>(day)].record_count, 50);
+    // Mean speed channel (index 1) equals the injected per-day speed.
+    EXPECT_NEAR(summaries[static_cast<std::size_t>(day)].features[1], 50.0 + day, 1e-9);
+    // Std of a constant channel is 0.
+    EXPECT_NEAR(summaries[static_cast<std::size_t>(day)].features[6], 0.0, 1e-9);
+  }
+}
+
+TEST(DayAggregationTest, SkipsSparseDays) {
+  std::vector<telemetry::Record> records;
+  for (int m = 0; m < 5; ++m) {
+    telemetry::Record record;
+    record.timestamp = m;
+    record.pids = {2000.0, 50.0, 90.0, 25.0, 45.0, 15.0};
+    records.push_back(record);
+  }
+  EXPECT_TRUE(AggregateByDay(0, records, 20).empty());
+}
+
+TEST(DayAggregationTest, KmDrivenFromSpeedSum) {
+  std::vector<telemetry::Record> records;
+  for (int m = 0; m < 60; ++m) {
+    telemetry::Record record;
+    record.timestamp = m;
+    record.pids = {2000.0, 60.0, 90.0, 25.0, 45.0, 15.0};
+    records.push_back(record);
+  }
+  const auto summaries = AggregateByDay(0, records, 20);
+  ASSERT_EQ(summaries.size(), 1u);
+  // 60 minutes at 60 km/h = 60 km.
+  EXPECT_NEAR(summaries[0].km_driven, 60.0, 1e-9);
+}
+
+TEST(DayAggregationTest, FeatureNamesHaveMeanAndStd) {
+  const auto names = DaySummaryFeatureNames();
+  ASSERT_EQ(names.size(), 12u);
+  EXPECT_EQ(names[0], "mean_rpm");
+  EXPECT_EQ(names[6], "std_rpm");
+}
+
+}  // namespace
+}  // namespace navarchos::transform

@@ -1,0 +1,251 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "transform/basic_transforms.h"
+#include "transform/extended_transforms.h"
+#include "transform/transformer.h"
+#include "util/rng.h"
+
+namespace navarchos::transform {
+namespace {
+
+using telemetry::kNumPids;
+using telemetry::Record;
+
+Record MakeRecord(telemetry::Minute t, double base) {
+  Record record;
+  record.timestamp = t;
+  for (int i = 0; i < kNumPids; ++i)
+    record.pids[static_cast<std::size_t>(i)] = base + i;
+  return record;
+}
+
+TEST(RawTransformTest, EmitsEveryRecordUnchanged) {
+  RawTransform transform;
+  const Record record = MakeRecord(5, 10.0);
+  const auto sample = transform.Collect(record);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->timestamp, 5);
+  ASSERT_EQ(sample->features.size(), static_cast<std::size_t>(kNumPids));
+  for (int i = 0; i < kNumPids; ++i)
+    EXPECT_DOUBLE_EQ(sample->features[static_cast<std::size_t>(i)], 10.0 + i);
+}
+
+TEST(RawTransformTest, FeatureNamesMatchPids) {
+  RawTransform transform;
+  const auto names = transform.FeatureNames();
+  ASSERT_EQ(names.size(), static_cast<std::size_t>(kNumPids));
+  EXPECT_EQ(names[0], "rpm");
+  EXPECT_EQ(names[5], "MAFairFlowRate");
+}
+
+TEST(DeltaTransformTest, FirstRecordProducesNothing) {
+  DeltaTransform transform;
+  EXPECT_FALSE(transform.Collect(MakeRecord(0, 1.0)).has_value());
+}
+
+TEST(DeltaTransformTest, EmitsDifferences) {
+  DeltaTransform transform;
+  transform.Collect(MakeRecord(0, 1.0));
+  const auto sample = transform.Collect(MakeRecord(1, 4.5));
+  ASSERT_TRUE(sample.has_value());
+  for (double feature : sample->features) EXPECT_DOUBLE_EQ(feature, 3.5);
+}
+
+TEST(DeltaTransformTest, ResetForgetsPrevious) {
+  DeltaTransform transform;
+  transform.Collect(MakeRecord(0, 1.0));
+  transform.Reset();
+  EXPECT_FALSE(transform.Collect(MakeRecord(1, 2.0)).has_value());
+}
+
+TEST(WindowedTransformTest, EmissionCadence) {
+  TransformOptions options;
+  options.window = 10;
+  options.stride = 3;
+  MeanAggregationTransform transform(options);
+  int emitted = 0;
+  for (int i = 0; i < 30; ++i)
+    if (transform.Collect(MakeRecord(i, static_cast<double>(i)))) ++emitted;
+  // First emission at record 10 (window full), then every 3 records:
+  // records 10, 13, 16, 19, 22, 25, 28 -> 7 samples.
+  EXPECT_EQ(emitted, 7);
+}
+
+TEST(WindowedTransformTest, ResetClearsWindow) {
+  TransformOptions options;
+  options.window = 5;
+  options.stride = 1;
+  MeanAggregationTransform transform(options);
+  for (int i = 0; i < 5; ++i) transform.Collect(MakeRecord(i, 1.0));
+  transform.Reset();
+  int emitted = 0;
+  for (int i = 0; i < 4; ++i)
+    if (transform.Collect(MakeRecord(i, 1.0))) ++emitted;
+  EXPECT_EQ(emitted, 0);  // window must refill
+}
+
+TEST(MeanAggregationTest, ComputesWindowMeans) {
+  TransformOptions options;
+  options.window = 4;
+  options.stride = 1;
+  MeanAggregationTransform transform(options);
+  std::optional<TransformedSample> sample;
+  for (int i = 1; i <= 4; ++i) sample = transform.Collect(MakeRecord(i, static_cast<double>(i)));
+  ASSERT_TRUE(sample.has_value());
+  // Channel 0 saw values 1,2,3,4 -> mean 2.5; channel k adds +k.
+  for (int k = 0; k < kNumPids; ++k)
+    EXPECT_DOUBLE_EQ(sample->features[static_cast<std::size_t>(k)], 2.5 + k);
+}
+
+TEST(CorrelationTransformTest, FeatureCountIsUpperTriangle) {
+  TransformOptions options;
+  options.window = 8;
+  CorrelationTransform transform(options);
+  EXPECT_EQ(transform.FeatureNames().size(), CorrelationFeatureCount(kNumPids));
+  EXPECT_EQ(CorrelationFeatureCount(6), 15u);
+}
+
+TEST(CorrelationTransformTest, PerfectlyCoupledChannels) {
+  TransformOptions options;
+  options.window = 16;
+  options.stride = 1;
+  CorrelationTransform transform(options);
+  util::Rng rng(1);
+  std::optional<TransformedSample> sample;
+  for (int i = 0; i < 16; ++i) {
+    Record record;
+    record.timestamp = i;
+    const double x = rng.Gaussian();
+    // All channels equal to x -> every pair perfectly correlated.
+    for (int k = 0; k < kNumPids; ++k) record.pids[static_cast<std::size_t>(k)] = x;
+    sample = transform.Collect(record);
+  }
+  ASSERT_TRUE(sample.has_value());
+  for (double feature : sample->features) EXPECT_NEAR(feature, 1.0, 1e-9);
+}
+
+TEST(CorrelationTransformTest, DetectsCouplingBreak) {
+  // Two streams: one where channel 5 follows channel 0, one where it is
+  // independent - the rpm~MAF style signature of a MAF fault.
+  TransformOptions options;
+  options.window = 64;
+  options.stride = 1;
+  auto run = [&](bool coupled) {
+    CorrelationTransform transform(options);
+    util::Rng rng(2);
+    std::optional<TransformedSample> sample;
+    for (int i = 0; i < 64; ++i) {
+      Record record;
+      record.timestamp = i;
+      const double x = rng.Gaussian();
+      for (int k = 0; k < kNumPids; ++k)
+        record.pids[static_cast<std::size_t>(k)] = rng.Gaussian();
+      record.pids[0] = x;
+      record.pids[5] = coupled ? x + 0.1 * rng.Gaussian() : rng.Gaussian();
+      sample = transform.Collect(record);
+    }
+    return sample->features[4];  // rpm~MAFairFlowRate
+  };
+  EXPECT_GT(run(true), 0.9);
+  EXPECT_LT(std::fabs(run(false)), 0.5);
+}
+
+TEST(CorrelationTransformTest, FeaturesAreBounded) {
+  TransformOptions options;
+  options.window = 12;
+  options.stride = 1;
+  CorrelationTransform transform(options);
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    Record record;
+    record.timestamp = i;
+    for (int k = 0; k < kNumPids; ++k)
+      record.pids[static_cast<std::size_t>(k)] = rng.Gaussian(0.0, 10.0);
+    if (auto sample = transform.Collect(record)) {
+      for (double feature : sample->features) {
+        EXPECT_GE(feature, -1.0);
+        EXPECT_LE(feature, 1.0);
+      }
+    }
+  }
+}
+
+TEST(HistogramTransformTest, PerChannelMassSumsToOne) {
+  TransformOptions options;
+  options.window = 20;
+  options.stride = 1;
+  options.histogram_bins = 5;
+  HistogramTransform transform(options);
+  util::Rng rng(4);
+  std::optional<TransformedSample> sample;
+  for (int i = 0; i < 20; ++i) {
+    Record record;
+    record.timestamp = i;
+    record.pids = {2000.0 + rng.Gaussian(0, 200), 60.0, 90.0, 25.0, 45.0, 15.0};
+    sample = transform.Collect(record);
+  }
+  ASSERT_TRUE(sample.has_value());
+  for (int channel = 0; channel < kNumPids; ++channel) {
+    double mass = 0.0;
+    for (int b = 0; b < 5; ++b)
+      mass += sample->features[static_cast<std::size_t>(channel * 5 + b)];
+    EXPECT_NEAR(mass, 1.0, 1e-9);
+  }
+}
+
+TEST(SpectralTransformTest, BandEnergiesNormalised) {
+  TransformOptions options;
+  options.window = 32;
+  options.stride = 1;
+  options.spectral_bands = 4;
+  SpectralTransform transform(options);
+  util::Rng rng(5);
+  std::optional<TransformedSample> sample;
+  for (int i = 0; i < 32; ++i) {
+    Record record;
+    record.timestamp = i;
+    for (int k = 0; k < kNumPids; ++k)
+      record.pids[static_cast<std::size_t>(k)] = std::sin(0.3 * i) + rng.Gaussian(0, 0.1);
+    sample = transform.Collect(record);
+  }
+  ASSERT_TRUE(sample.has_value());
+  for (int channel = 0; channel < kNumPids; ++channel) {
+    double mass = 0.0;
+    for (int b = 0; b < 4; ++b) {
+      const double e = sample->features[static_cast<std::size_t>(channel * 4 + b)];
+      EXPECT_GE(e, 0.0);
+      mass += e;
+    }
+    EXPECT_NEAR(mass, 1.0, 1e-6);
+  }
+}
+
+TEST(FactoryTest, AllKindsConstructible) {
+  for (int kind = 0; kind <= 5; ++kind) {
+    const auto transformer = MakeTransformer(static_cast<TransformKind>(kind));
+    ASSERT_NE(transformer, nullptr);
+    EXPECT_FALSE(transformer->Name().empty());
+    EXPECT_GT(transformer->FeatureCount(), 0u);
+  }
+}
+
+TEST(FactoryTest, EffectiveStrideDependsOnKind) {
+  TransformOptions options;
+  options.stride = 25;
+  EXPECT_EQ(EffectiveStride(TransformKind::kRaw, options), 1);
+  EXPECT_EQ(EffectiveStride(TransformKind::kDelta, options), 1);
+  EXPECT_EQ(EffectiveStride(TransformKind::kCorrelation, options), 25);
+  EXPECT_EQ(EffectiveStride(TransformKind::kMeanAggregation, options), 25);
+}
+
+TEST(FactoryTest, NamesMatchKinds) {
+  EXPECT_STREQ(TransformKindName(TransformKind::kRaw), "raw");
+  EXPECT_STREQ(TransformKindName(TransformKind::kCorrelation), "correlation");
+  EXPECT_STREQ(TransformKindName(TransformKind::kMeanAggregation), "mean_agr");
+  EXPECT_STREQ(TransformKindName(TransformKind::kDelta), "delta");
+}
+
+}  // namespace
+}  // namespace navarchos::transform

@@ -1,0 +1,67 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace navarchos::util {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CsvTest, RoundTripSimple) {
+  CsvDocument doc;
+  doc.header = {"a", "b"};
+  doc.rows = {{"1", "2"}, {"3", "4"}};
+  const std::string path = TempPath("simple.csv");
+  ASSERT_TRUE(WriteCsv(path, doc).ok());
+  CsvDocument read;
+  ASSERT_TRUE(ReadCsv(path, &read).ok());
+  EXPECT_EQ(read.header, doc.header);
+  EXPECT_EQ(read.rows, doc.rows);
+}
+
+TEST(CsvTest, RoundTripQuotedCells) {
+  CsvDocument doc;
+  doc.header = {"name", "note"};
+  doc.rows = {{"a,b", "says \"hi\""}, {"plain", "multi\nline"}};
+  const std::string path = TempPath("quoted.csv");
+  ASSERT_TRUE(WriteCsv(path, doc).ok());
+  // The multi-line cell survives writing; reading is line-based so we check
+  // the comma/quote cases (the common case for result tables).
+  CsvDocument read;
+  ASSERT_TRUE(ReadCsv(path, &read).ok());
+  EXPECT_EQ(read.rows[0][0], "a,b");
+  EXPECT_EQ(read.rows[0][1], "says \"hi\"");
+}
+
+TEST(CsvTest, SplitCsvLineHandlesQuotes) {
+  const auto cells = SplitCsvLine("a,\"b,c\",\"d\"\"e\"");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[1], "b,c");
+  EXPECT_EQ(cells[2], "d\"e");
+}
+
+TEST(CsvTest, SplitCsvLineEmptyCells) {
+  const auto cells = SplitCsvLine(",,");
+  ASSERT_EQ(cells.size(), 3u);
+  for (const auto& cell : cells) EXPECT_TRUE(cell.empty());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  CsvDocument doc;
+  EXPECT_FALSE(ReadCsv("/nonexistent/definitely/not/here.csv", &doc).ok());
+}
+
+TEST(CsvTest, WriteToBadPathFails) {
+  CsvDocument doc;
+  doc.header = {"x"};
+  EXPECT_FALSE(WriteCsv("/nonexistent/dir/out.csv", doc).ok());
+}
+
+}  // namespace
+}  // namespace navarchos::util

@@ -1,0 +1,81 @@
+#include "util/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace navarchos::util {
+namespace {
+
+TEST(MatrixTest, ConstructWithFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m.At(r, c), 1.5);
+}
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 6.0);
+}
+
+TEST(MatrixTest, RowViewMutates) {
+  Matrix m(2, 2);
+  auto row = m.Row(1);
+  row[0] = 9.0;
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 9.0);
+}
+
+TEST(MatrixTest, ColCopies) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  const auto col = m.Col(1);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_DOUBLE_EQ(col[0], 2.0);
+  EXPECT_DOUBLE_EQ(col[1], 4.0);
+}
+
+TEST(MatrixTest, MatMulKnownProduct) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  Matrix b = Matrix::FromRows({{5.0, 6.0}, {7.0, 8.0}});
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatMulIdentity) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  Matrix identity = Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  Matrix c = a.MatMul(identity);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t k = 0; k < 2; ++k) EXPECT_DOUBLE_EQ(c.At(r, k), a.At(r, k));
+}
+
+TEST(MatrixTest, MatMulRectangular) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0, 3.0}});     // 1x3
+  Matrix b = Matrix::FromRows({{1.0}, {2.0}, {3.0}}); // 3x1
+  Matrix c = a.MatMul(b);
+  EXPECT_EQ(c.rows(), 1u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 14.0);
+}
+
+TEST(MatrixTest, TransposedSwapsIndices) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(t.At(c, r), m.At(r, c));
+}
+
+}  // namespace
+}  // namespace navarchos::util

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "util/args.h"
+#include "util/status.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace navarchos::util {
+namespace {
+
+TEST(ArgsTest, ParsesKeyValuePairs) {
+  const char* argv[] = {"prog", "pos", "--days", "150", "--seed=7", "--verbose"};
+  Args args(6, argv);
+  EXPECT_EQ(args.GetInt("days", 0), 150);
+  EXPECT_EQ(args.GetInt("seed", 0), 7);
+  EXPECT_TRUE(args.Has("verbose"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos");
+}
+
+TEST(ArgsTest, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Args args(1, argv);
+  EXPECT_EQ(args.GetInt("days", 42), 42);
+  EXPECT_DOUBLE_EQ(args.GetDouble("x", 1.5), 1.5);
+  EXPECT_EQ(args.GetString("s", "d"), "d");
+  EXPECT_FALSE(args.Has("days"));
+}
+
+TEST(ArgsTest, DoubleParsing) {
+  const char* argv[] = {"prog", "--factor", "3.25"};
+  Args args(3, argv);
+  EXPECT_DOUBLE_EQ(args.GetDouble("factor", 0.0), 3.25);
+}
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status s = Status::Error("boom");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "boom");
+}
+
+TEST(TableTest, AlignsColumnsAndPadsShortRows) {
+  Table table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, AsciiBarScales) {
+  EXPECT_EQ(AsciiBar(1.0, 1.0, 10).size(), 10u);
+  EXPECT_EQ(AsciiBar(0.5, 1.0, 10).size(), 5u);
+  EXPECT_TRUE(AsciiBar(0.0, 1.0, 10).empty());
+  EXPECT_EQ(AsciiBar(2.0, 1.0, 10).size(), 10u);  // clamped
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), timer.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace navarchos::util

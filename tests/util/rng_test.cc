@@ -1,0 +1,164 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace navarchos::util {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(123), b(124);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.NextU64() != b.NextU64()) ++differing;
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.5, 2.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.25);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(2, 6));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 2);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(RngTest, UniformIntSingleValue) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(42, 42), 42);
+}
+
+TEST(RngTest, UniformIntNegativeRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.UniformInt(-10, -3);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -3);
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianScaledMoments) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, CategoricalProportions) {
+  Rng rng(31);
+  std::vector<int> counts(3, 0);
+  const int n = 90000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical({1.0, 2.0, 3.0})];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 1.0 / 6.0, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 2.0 / 6.0, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 3.0 / 6.0, 0.01);
+}
+
+TEST(RngTest, CategoricalSkipsZeroWeights) {
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.Categorical({0.0, 1.0, 0.0}), 1u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(99);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.NextU64() != b.NextU64()) ++differing;
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng p1(99), p2(99);
+  Rng a = p1.Fork(5);
+  Rng b = p2.Fork(5);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+}  // namespace
+}  // namespace navarchos::util

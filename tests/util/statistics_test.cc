@@ -1,0 +1,180 @@
+#include "util/statistics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace navarchos::util {
+namespace {
+
+TEST(StatisticsTest, MeanOfConstants) {
+  std::vector<double> v(10, 4.2);
+  EXPECT_DOUBLE_EQ(Mean(v), 4.2);
+}
+
+TEST(StatisticsTest, MeanSimple) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+}
+
+TEST(StatisticsTest, VarianceOfConstantsIsZero) {
+  std::vector<double> v(5, 7.0);
+  EXPECT_DOUBLE_EQ(Variance(v), 0.0);
+}
+
+TEST(StatisticsTest, PopulationVsSampleVariance) {
+  std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Variance(v), 4.0);
+  EXPECT_NEAR(SampleVariance(v), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StatisticsTest, StdDevIsSqrtVariance) {
+  std::vector<double> v{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(StdDev(v), 1.0);
+}
+
+TEST(StatisticsTest, MedianOddCount) {
+  std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Median(v), 3.0);
+}
+
+TEST(StatisticsTest, MedianEvenCountAveragesCenter) {
+  std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Median(v), 2.5);
+}
+
+TEST(StatisticsTest, MedianSingleElement) {
+  std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(Median(v), 42.0);
+}
+
+TEST(StatisticsTest, QuantileEndpoints) {
+  std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 40.0);
+}
+
+TEST(StatisticsTest, QuantileInterpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 5.0);
+}
+
+TEST(StatisticsTest, MinMax) {
+  std::vector<double> v{3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(Min(v), -1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 7.0);
+}
+
+TEST(StatisticsTest, PearsonPerfectPositive) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y{10.0, 20.0, 30.0, 40.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(StatisticsTest, PearsonPerfectNegative) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{5.0, 3.0, 1.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(StatisticsTest, PearsonConstantSideIsZeroByConvention) {
+  std::vector<double> x{1.0, 1.0, 1.0};
+  std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(StatisticsTest, PearsonAffineInvariance) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.Gaussian();
+    x.push_back(v);
+    y.push_back(0.8 * v + 0.3 * rng.Gaussian());
+  }
+  const double r = PearsonCorrelation(x, y);
+  std::vector<double> x2, y2;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x2.push_back(5.0 * x[i] - 100.0);
+    y2.push_back(-2.0 * y[i] + 7.0);
+  }
+  EXPECT_NEAR(PearsonCorrelation(x2, y2), -r, 1e-10);
+}
+
+TEST(StatisticsTest, PearsonBounded) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x, y;
+    for (int i = 0; i < 20; ++i) {
+      x.push_back(rng.Gaussian());
+      y.push_back(rng.Gaussian());
+    }
+    const double r = PearsonCorrelation(x, y);
+    EXPECT_GE(r, -1.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(StatisticsTest, EuclideanDistanceKnown) {
+  std::vector<double> a{0.0, 0.0};
+  std::vector<double> b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+}
+
+TEST(StatisticsTest, DistanceToSelfIsZero) {
+  std::vector<double> a{1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+TEST(StatisticsTest, MidRanksNoTies) {
+  std::vector<double> v{30.0, 10.0, 20.0};
+  const auto ranks = MidRanks(v);
+  EXPECT_DOUBLE_EQ(ranks[0], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(StatisticsTest, MidRanksAveragesTies) {
+  std::vector<double> v{1.0, 2.0, 2.0, 3.0};
+  const auto ranks = MidRanks(v);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(StatisticsTest, MidRanksAllTied) {
+  std::vector<double> v{5.0, 5.0, 5.0};
+  const auto ranks = MidRanks(v);
+  for (double r : ranks) EXPECT_DOUBLE_EQ(r, 2.0);
+}
+
+TEST(StatisticsTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(StatisticsTest, ChiSquaredSurvivalKnownValues) {
+  // chi2 with 1 dof: P(X > 3.841) = 0.05.
+  EXPECT_NEAR(ChiSquaredSurvival(3.841, 1), 0.05, 1e-3);
+  // chi2 with 3 dof: P(X > 7.815) = 0.05.
+  EXPECT_NEAR(ChiSquaredSurvival(7.815, 3), 0.05, 1e-3);
+  EXPECT_DOUBLE_EQ(ChiSquaredSurvival(0.0, 2), 1.0);
+}
+
+TEST(StatisticsTest, ChiSquaredSurvivalMonotone) {
+  double previous = 1.0;
+  for (double x = 0.5; x < 20.0; x += 0.5) {
+    const double s = ChiSquaredSurvival(x, 4);
+    EXPECT_LE(s, previous);
+    previous = s;
+  }
+}
+
+}  // namespace
+}  // namespace navarchos::util
