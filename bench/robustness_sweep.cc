@@ -1,0 +1,123 @@
+// Robustness sweep: detection-metric degradation under telemetry corruption.
+//
+// The paper's fleet stream is clean by construction; real OBD-II transport is
+// not. This bench corrupts the simulated fleet with the CorruptionModel at
+// increasing severity (multiples of the "moderate" preset: dropout bursts,
+// stuck-at runs, NaN channels, spikes, clipping, duplicates, bounded clock
+// skew) and runs the best configuration (closest-pair on correlation data,
+// setting26) through the hardened monitor at each level. Reported per level:
+// event recall / precision / F0.5 at the best swept factor, false-alarm
+// episodes per vehicle-month, and the ingest DataQualityReport next to the
+// injected-corruption manifest it is judged against.
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "bench/common.h"
+#include "eval/metrics.h"
+#include "telemetry/corruption.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace navarchos {
+namespace {
+
+int Main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  auto options = bench::BenchOptions::FromArgs(args);
+  const int ph_days = static_cast<int>(args.GetInt("ph", 30));
+  bench::PrintHeader(
+      "Robustness sweep - closest-pair on correlation data, setting26, "
+      "corruption severity x detection metrics",
+      options);
+
+  const auto fleet = bench::MakeSetting26(options);
+  const double vehicle_months = static_cast<double>(fleet.vehicles.size()) *
+                                static_cast<double>(options.days) / 30.0;
+
+  core::MonitorConfig config;
+  config.transform = transform::TransformKind::kCorrelation;
+  config.detector = detect::DetectorKind::kClosestPair;
+  config.ingest.drop_stuck_runs = true;  // corruption-hardened policy
+  const eval::SweepConfig sweep;
+
+  util::Table table({"severity", "corrupt", "recall", "precision", "F0.5",
+                     "FP/veh-mo", "dup m/r", "nan m/r", "reorder m/r",
+                     "stuck m/r", "quarantine"});
+  util::CsvDocument csv;
+  csv.header = {"severity", "corrupted_records", "recall", "precision", "f05",
+                "fp_per_vehicle_month", "quarantine_events"};
+  for (const double severity : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    const telemetry::CorruptionConfig corruption =
+        telemetry::CorruptionConfig::Moderate().Scaled(severity);
+    telemetry::CorruptionManifest manifest;
+    const telemetry::CorruptionModel model(corruption);
+    const auto corrupted = model.CorruptFleet(fleet, &manifest);
+
+    const auto run = core::RunFleet(corrupted, config);
+    // The hardened pipeline must never leak non-finite scores, whatever the
+    // severity.
+    std::size_t non_finite = 0;
+    for (const auto& trace : run.scored_samples)
+      for (const auto& sample : trace)
+        for (double score : sample.scores)
+          if (!std::isfinite(score)) ++non_finite;
+    if (non_finite > 0) {
+      std::printf("FAIL: %zu non-finite scores at severity %.1f\n", non_finite,
+                  severity);
+      return 1;
+    }
+
+    eval::EvalResult best;
+    for (double factor : sweep.factors) {
+      const auto metrics =
+          eval::EvaluateAlarms(run.AlarmsAt(factor), fleet, ph_days);
+      if (metrics.f05 > best.f05) best = metrics;
+    }
+
+    const core::DataQualityReport quality = run.TotalQuality();
+    const auto pair = [](std::size_t manifest_count, std::size_t report_count) {
+      return std::to_string(manifest_count) + "/" + std::to_string(report_count);
+    };
+    table.AddRow(
+        {util::Table::Num(severity, 1), std::to_string(manifest.Total()),
+         util::Table::Num(best.recall, 2), util::Table::Num(best.precision, 2),
+         util::Table::Num(best.f05, 2),
+         util::Table::Num(best.false_positive_episodes / vehicle_months, 3),
+         pair(manifest.CountOf(telemetry::CorruptionKind::kDuplicate),
+              quality.duplicates_dropped),
+         pair(manifest.CountOf(telemetry::CorruptionKind::kNanChannel),
+              quality.non_finite_dropped),
+         pair(manifest.CountOf(telemetry::CorruptionKind::kClockSkew),
+              quality.reordered_recovered + quality.late_dropped),
+         pair(manifest.CountOf(telemetry::CorruptionKind::kStuckAt),
+              quality.stuck_run_records),
+         std::to_string(quality.quarantine_events)});
+    csv.rows.push_back(
+        {util::Table::Num(severity, 1), std::to_string(manifest.Total()),
+         util::Table::Num(best.recall, 4), util::Table::Num(best.precision, 4),
+         util::Table::Num(best.f05, 4),
+         util::Table::Num(best.false_positive_episodes / vehicle_months, 4),
+         std::to_string(quality.quarantine_events)});
+  }
+
+  std::printf("\n%s", table.ToString().c_str());
+  std::printf(
+      "\nm/r columns: injected by the corruption manifest / observed by the\n"
+      "monitor's DataQualityReport. Duplicates and NaN channels must match\n"
+      "exactly when they hit deliverable records; reorder and stuck counts\n"
+      "are detection-side views (a skewed record whose displaced neighbours\n"
+      "were dropped arrives in order; stuck runs are counted from the run-\n"
+      "length threshold onwards). All scores verified finite at every level.\n");
+
+  std::filesystem::create_directories(options.cache_dir);
+  const std::string csv_path = options.cache_dir + "/robustness_sweep.csv";
+  const util::Status status = util::WriteCsv(csv_path, csv);
+  if (status.ok()) std::printf("(csv: %s)\n", csv_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace navarchos
+
+int main(int argc, char** argv) { return navarchos::Main(argc, argv); }

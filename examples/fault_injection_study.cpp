@@ -74,6 +74,7 @@ Visibility MeasureVisibility(const telemetry::FleetDataset& fleet,
       monitor.OnRecord(vehicle.records[record_index++]);
     }
   }
+  monitor.Flush();  // drain the ingest guard's reorder buffer
 
   const auto& fault = vehicle.faults[0];
   Visibility visibility;

@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
   }
 
   telemetry::FleetDataset fleet;
-  const util::Status status = telemetry::ReadFleetCsv(prefix, &fleet);
+  telemetry::FleetCsvStats csv_stats;
+  const util::Status status = telemetry::ReadFleetCsv(prefix, &fleet, &csv_stats);
   if (!status.ok()) {
     std::fprintf(stderr, "import failed: %s\n", status.message().c_str());
     return 1;
@@ -49,6 +50,11 @@ int main(int argc, char** argv) {
   std::printf("loaded %zu vehicles, %zu records, %zu recorded events\n",
               fleet.vehicles.size(), fleet.TotalRecords(),
               fleet.TotalRecordedEvents());
+  if (csv_stats.skipped_record_rows > 0 || csv_stats.skipped_event_rows > 0) {
+    std::printf("skipped %zu record row(s) and %zu event row(s) with "
+                "out-of-range values\n",
+                csv_stats.skipped_record_rows, csv_stats.skipped_event_rows);
+  }
 
   core::MonitorConfig config;
   config.transform = transform::TransformKind::kCorrelation;
@@ -69,6 +75,14 @@ int main(int argc, char** argv) {
     ++alarm_days;
   }
   std::printf("%zu alarm day(s).\n", alarm_days);
+
+  const core::DataQualityReport quality = run.TotalQuality();
+  std::printf("ingest: %zu records seen, %zu dropped (%zu stationary, %zu "
+              "sensor-faulty, %zu duplicate, %zu late, %zu non-finite)\n",
+              quality.records_seen, quality.RecordsDropped(),
+              quality.stationary_dropped, quality.sensor_faulty_dropped,
+              quality.duplicates_dropped, quality.late_dropped,
+              quality.non_finite_dropped);
 
   const auto metrics = eval::EvaluateAlarms(run.alarms, fleet, 30);
   if (metrics.total_failures > 0) {

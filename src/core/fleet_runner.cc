@@ -16,6 +16,13 @@ std::vector<Alarm> FleetRunResult::AlarmsAt(double factor_or_constant) const {
   return all;
 }
 
+DataQualityReport FleetRunResult::TotalQuality() const {
+  DataQualityReport total;
+  total.vehicle_id = -1;
+  for (const DataQualityReport& report : quality) total.Add(report);
+  return total;
+}
+
 FleetRunResult RunFleet(const telemetry::FleetDataset& fleet,
                         const MonitorConfig& config) {
   FleetRunResult result;
@@ -26,6 +33,7 @@ FleetRunResult RunFleet(const telemetry::FleetDataset& fleet,
   result.threshold_kind = config.threshold.kind;
   result.scored_samples.resize(fleet.vehicles.size());
   result.calibrations.resize(fleet.vehicles.size());
+  result.quality.resize(fleet.vehicles.size());
 
   for (std::size_t v = 0; v < fleet.vehicles.size(); ++v) {
     const telemetry::VehicleHistory& vehicle = fleet.vehicles[v];
@@ -33,6 +41,8 @@ FleetRunResult RunFleet(const telemetry::FleetDataset& fleet,
 
     // Merge records and events by timestamp (events first on ties, so a
     // same-minute service resets Ref before the next measurement arrives).
+    // Record delivery order is preserved as-is: the monitor's ingest guard,
+    // not the runner, is responsible for resequencing corrupted streams.
     std::size_t ri = 0, ei = 0;
     const auto& records = vehicle.records;
     const auto& events = vehicle.events;
@@ -41,16 +51,19 @@ FleetRunResult RunFleet(const telemetry::FleetDataset& fleet,
           ei < events.size() &&
           (ri >= records.size() || events[ei].timestamp <= records[ri].timestamp);
       if (take_event) {
-        monitor.OnEvent(events[ei++]);
+        for (auto& alarm : monitor.OnEvent(events[ei++]))
+          result.alarms.push_back(std::move(alarm));
       } else {
         if (auto alarm = monitor.OnRecord(records[ri++])) {
           result.alarms.push_back(std::move(*alarm));
         }
       }
     }
+    for (auto& alarm : monitor.Flush()) result.alarms.push_back(std::move(alarm));
 
     result.scored_samples[v] = monitor.scored_samples();
     result.calibrations[v] = monitor.calibrations();
+    result.quality[v] = monitor.quality();
     if (result.channel_names.empty() && !monitor.channel_names().empty())
       result.channel_names = monitor.channel_names();
   }

@@ -21,6 +21,8 @@ struct FleetRunResult {
   std::vector<std::vector<ScoredSample>> scored_samples;
   /// Calibration stats per vehicle.
   std::vector<std::vector<CalibrationStats>> calibrations;
+  /// Ingest data-quality counters per vehicle (index-aligned with the fleet).
+  std::vector<DataQualityReport> quality;
   /// Channel names (same for all vehicles).
   std::vector<std::string> channel_names;
   /// Resolved persistence (samples) of the run, reused by AlarmsAt.
@@ -32,6 +34,9 @@ struct FleetRunResult {
 
   /// Replays the recorded traces at a different threshold factor/constant.
   std::vector<Alarm> AlarmsAt(double factor_or_constant) const;
+
+  /// Fleet-wide aggregation of the per-vehicle data-quality counters.
+  DataQualityReport TotalQuality() const;
 };
 
 /// Runs `config` over every vehicle of `fleet`.

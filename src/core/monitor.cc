@@ -33,14 +33,50 @@ double CalibrationStats::ThresholdOf(std::size_t c,
   return factor_or_constant;
 }
 
+std::size_t DataQualityReport::RecordsDropped() const {
+  return duplicates_dropped + late_dropped + non_finite_dropped +
+         stationary_dropped + sensor_faulty_dropped + stuck_run_dropped;
+}
+
+void DataQualityReport::Add(const DataQualityReport& other) {
+  records_seen += other.records_seen;
+  duplicates_dropped += other.duplicates_dropped;
+  reordered_recovered += other.reordered_recovered;
+  late_dropped += other.late_dropped;
+  non_finite_dropped += other.non_finite_dropped;
+  stationary_dropped += other.stationary_dropped;
+  sensor_faulty_dropped += other.sensor_faulty_dropped;
+  stuck_run_records += other.stuck_run_records;
+  stuck_run_dropped += other.stuck_run_dropped;
+  non_finite_features_dropped += other.non_finite_features_dropped;
+  non_finite_scores_dropped += other.non_finite_scores_dropped;
+  quarantine_events += other.quarantine_events;
+}
+
 VehicleMonitor::VehicleMonitor(std::int32_t vehicle_id, const MonitorConfig& config)
     : vehicle_id_(vehicle_id), config_(config) {
   transformer_ = transform::MakeTransformer(config_.transform, config_.transform_options);
   detect::DetectorOptions options = config_.detector_options;
   if (options.feature_names.empty()) options.feature_names = transformer_->FeatureNames();
   detector_ = detect::MakeDetector(config_.detector, options);
+  Initialise();
+}
+
+VehicleMonitor::VehicleMonitor(std::int32_t vehicle_id, const MonitorConfig& config,
+                               std::unique_ptr<transform::Transformer> transformer,
+                               std::unique_ptr<detect::Detector> detector)
+    : vehicle_id_(vehicle_id), config_(config) {
+  NAVARCHOS_CHECK(transformer != nullptr && detector != nullptr);
+  transformer_ = std::move(transformer);
+  detector_ = std::move(detector);
+  Initialise();
+}
+
+void VehicleMonitor::Initialise() {
   profile_length_ = config_.ResolveProfileLength();
   NAVARCHOS_CHECK(profile_length_ >= detector_->MinReferenceSize());
+  NAVARCHOS_CHECK(config_.ingest.reorder_capacity >= 0);
+  quality_.vehicle_id = vehicle_id_;
 }
 
 void VehicleMonitor::ResetReference() {
@@ -48,18 +84,44 @@ void VehicleMonitor::ResetReference() {
   calibration_scores_.clear();
   fitted_ = false;
   calibrating_ = false;
+  quarantined_ = false;
   persistence_.reset();
   // The raw-data buffer restarts as well: the paper discards the old data
   // when a new reference is triggered.
   transformer_->Reset();
 }
 
-void VehicleMonitor::OnEvent(const telemetry::FleetEvent& event) {
-  if (!event.recorded) return;  // invisible to the FMS platform
+std::vector<Alarm> VehicleMonitor::OnEvent(const telemetry::FleetEvent& event) {
+  if (!event.recorded) return {};  // invisible to the FMS platform
   const bool triggers =
       (event.type == telemetry::EventType::kService && config_.reset_on_service) ||
       (event.type == telemetry::EventType::kRepair && config_.reset_on_repair);
-  if (triggers) ResetReference();
+  if (!triggers) return {};
+  // Buffered records precede the event in stream time: release them into the
+  // closing cycle before discarding it.
+  std::vector<Alarm> alarms = Flush();
+  ResetReference();
+  return alarms;
+}
+
+std::vector<Alarm> VehicleMonitor::Flush() {
+  std::vector<Alarm> alarms;
+  while (!reorder_buffer_.empty()) {
+    if (auto alarm = ReleaseOldest()) alarms.push_back(std::move(*alarm));
+  }
+  return alarms;
+}
+
+std::optional<Alarm> VehicleMonitor::ReleaseOldest() {
+  telemetry::Record record = std::move(reorder_buffer_.front());
+  reorder_buffer_.pop_front();
+  watermark_ = record.timestamp;
+  has_released_ = true;
+  recent_released_.push_back(record);
+  const std::size_t ring_size =
+      static_cast<std::size_t>(std::max(4, 4 * config_.ingest.reorder_capacity));
+  while (recent_released_.size() > ring_size) recent_released_.pop_front();
+  return ProcessRecord(record);
 }
 
 void VehicleMonitor::FitOnReference() {
@@ -70,6 +132,16 @@ void VehicleMonitor::FitOnReference() {
   calibrating_ = true;
   ++fit_count_;
 }
+
+namespace {
+
+bool AllFinite(const std::vector<double>& values) {
+  for (double value : values)
+    if (!std::isfinite(value)) return false;
+  return true;
+}
+
+}  // namespace
 
 void VehicleMonitor::FinishCalibration() {
   // Thresholds from two sources of honestly out-of-sample healthy scores:
@@ -105,6 +177,19 @@ void VehicleMonitor::FinishCalibration() {
     stats.max[c] = util::Max(column);
   }
 
+  // A detector whose calibration statistics come out non-finite cannot
+  // self-tune a trustworthy threshold: quarantine this reference cycle
+  // (suppress alarms, discard the calibration) and wait for the next
+  // maintenance reset to re-fit.
+  if (!AllFinite(stats.mean) || !AllFinite(stats.stddev) ||
+      !AllFinite(stats.median) || !AllFinite(stats.mad) || !AllFinite(stats.max)) {
+    quarantined_ = true;
+    calibrating_ = false;
+    calibration_scores_.clear();
+    ++quality_.quarantine_events;
+    return;
+  }
+
   std::vector<double> thresholds(channels);
   const double factor_or_constant = detector_->ScoresAreProbabilities()
                                         ? config_.threshold.constant
@@ -117,9 +202,109 @@ void VehicleMonitor::FinishCalibration() {
 }
 
 std::optional<Alarm> VehicleMonitor::OnRecord(const telemetry::Record& record) {
-  if (!telemetry::IsUsable(record)) return std::nullopt;
+  ++quality_.records_seen;
+  if (!config_.ingest.enabled) return ProcessRecord(record);
+
+  // Duplicate delivery: same timestamp AND identical payload as a record
+  // still buffered or recently released (equal timestamps with differing
+  // payloads are legitimate, e.g. sub-minute bursts, and pass through).
+  const auto duplicates = [&record](const telemetry::Record& seen) {
+    return seen.timestamp == record.timestamp && seen.pids == record.pids;
+  };
+  for (auto it = reorder_buffer_.rbegin(); it != reorder_buffer_.rend(); ++it) {
+    if (it->timestamp < record.timestamp) break;
+    if (duplicates(*it)) {
+      ++quality_.duplicates_dropped;
+      return std::nullopt;
+    }
+  }
+  if (has_released_ && record.timestamp <= watermark_) {
+    for (const auto& seen : recent_released_) {
+      if (duplicates(seen)) {
+        ++quality_.duplicates_dropped;
+        return std::nullopt;
+      }
+    }
+    if (record.timestamp < watermark_) {
+      // Arrived after newer records were already released: beyond repair.
+      ++quality_.late_dropped;
+      return std::nullopt;
+    }
+  }
+
+  // Resequence: insert in timestamp order (arrival order on ties).
+  const telemetry::Minute newest =
+      reorder_buffer_.empty() ? watermark_ : reorder_buffer_.back().timestamp;
+  if ((has_released_ || !reorder_buffer_.empty()) && record.timestamp < newest)
+    ++quality_.reordered_recovered;
+  const auto position = std::upper_bound(
+      reorder_buffer_.begin(), reorder_buffer_.end(), record,
+      [](const telemetry::Record& a, const telemetry::Record& b) {
+        return a.timestamp < b.timestamp;
+      });
+  reorder_buffer_.insert(position, record);
+
+  std::optional<Alarm> alarm;
+  while (reorder_buffer_.size() >
+         static_cast<std::size_t>(config_.ingest.reorder_capacity)) {
+    auto released = ReleaseOldest();
+    if (released && !alarm) alarm = std::move(released);
+  }
+  return alarm;
+}
+
+std::optional<Alarm> VehicleMonitor::ProcessRecord(const telemetry::Record& record) {
+  // Non-finite readings are classified before the range filter: NaN compares
+  // false against every bound, so they would otherwise masquerade as usable.
+  for (double value : record.pids) {
+    if (!std::isfinite(value)) {
+      ++quality_.non_finite_dropped;
+      return std::nullopt;
+    }
+  }
+  if (telemetry::IsStationary(record)) {
+    ++quality_.stationary_dropped;
+    return std::nullopt;
+  }
+  if (telemetry::IsSensorFaulty(record)) {
+    ++quality_.sensor_faulty_dropped;
+    return std::nullopt;
+  }
+
+  // Stuck-sensor runs: a channel repeating the exact same value across
+  // consecutive usable records. Always counted; dropping is opt-in.
+  bool in_stuck_run = false;
+  if (config_.ingest.stuck_run_length > 0) {
+    if (has_stuck_previous_) {
+      for (int c = 0; c < telemetry::kNumPids; ++c) {
+        const auto channel = static_cast<std::size_t>(c);
+        if (record.pids[channel] == stuck_previous_[channel]) {
+          if (++stuck_run_[channel] >= config_.ingest.stuck_run_length)
+            in_stuck_run = true;
+        } else {
+          stuck_run_[channel] = 1;
+        }
+      }
+    } else {
+      stuck_run_.fill(1);
+    }
+    stuck_previous_ = record.pids;
+    has_stuck_previous_ = true;
+    if (in_stuck_run) {
+      ++quality_.stuck_run_records;
+      if (config_.ingest.drop_stuck_runs) {
+        ++quality_.stuck_run_dropped;
+        return std::nullopt;
+      }
+    }
+  }
+
   auto sample = transformer_->Collect(record);
   if (!sample) return std::nullopt;
+  if (!AllFinite(sample->features)) {
+    ++quality_.non_finite_features_dropped;
+    return std::nullopt;
+  }
 
   if (!fitted_) {
     reference_.push_back(std::move(sample->features));
@@ -127,8 +312,21 @@ std::optional<Alarm> VehicleMonitor::OnRecord(const telemetry::Record& record) {
     return std::nullopt;
   }
 
+  // A quarantined cycle scores nothing until a maintenance reset re-fits.
+  if (quarantined_) return std::nullopt;
+
   if (calibrating_) {
-    calibration_scores_.push_back(detector_->Score(sample->features));
+    std::vector<double> scores = detector_->Score(sample->features);
+    if (!AllFinite(scores)) {
+      // The detector cannot be trusted on this reference: quarantine the
+      // cycle instead of folding NaN/Inf into the self-tuning thresholds.
+      quarantined_ = true;
+      calibrating_ = false;
+      calibration_scores_.clear();
+      ++quality_.quarantine_events;
+      return std::nullopt;
+    }
+    calibration_scores_.push_back(std::move(scores));
     const int burn_in = config_.threshold.ResolveBurnIn(
         transform::EffectiveStride(config_.transform, config_.transform_options));
     if (calibration_scores_.size() >= static_cast<std::size_t>(burn_in)) {
@@ -141,6 +339,10 @@ std::optional<Alarm> VehicleMonitor::OnRecord(const telemetry::Record& record) {
   scored.vehicle_id = vehicle_id_;
   scored.timestamp = sample->timestamp;
   scored.scores = detector_->Score(sample->features);
+  if (!AllFinite(scored.scores)) {
+    ++quality_.non_finite_scores_dropped;
+    return std::nullopt;
+  }
   scored.calibration_index = static_cast<int>(calibrations_.size()) - 1;
   scored_samples_.push_back(scored);
 

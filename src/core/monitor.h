@@ -1,5 +1,7 @@
 // The complete solution (paper §4.2, Algorithm 1): a streaming per-vehicle
 // monitor that
+//   0. guards the ingest against transport corruption (duplicate and
+//      out-of-order deliveries, non-finite readings, stuck sensor runs),
 //   1. filters stationary / sensor-faulty records,
 //   2. transforms the stream (step 1),
 //   3. maintains a dynamic healthy reference profile Ref that is rebuilt
@@ -9,10 +11,14 @@
 //
 // The monitor also exposes every scored sample with its calibration
 // statistics, so evaluation sweeps over threshold factors can be replayed
-// without re-fitting detectors (the factor only enters at comparison time).
+// without re-fitting detectors (the factor only enters at comparison time),
+// and a DataQualityReport counting everything the ingest guard rejected.
 #ifndef NAVARCHOS_CORE_MONITOR_H_
 #define NAVARCHOS_CORE_MONITOR_H_
 
+#include <array>
+#include <deque>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -25,8 +31,58 @@
 
 namespace navarchos::core {
 
+/// Ingest-guard knobs: how the monitor defends itself against corrupted
+/// telemetry transport before any record reaches the pipeline.
+struct IngestGuardConfig {
+  /// Master switch. Disabled, records flow straight to the filters (the
+  /// pre-hardening behaviour).
+  bool enabled = true;
+  /// Records buffered for out-of-order recovery. Deliveries are released in
+  /// timestamp order with a latency of this many records; late records that
+  /// still fit the buffer are resequenced, later ones are dropped. Covers
+  /// clock skew up to roughly this many operating minutes.
+  int reorder_capacity = 8;
+  /// A channel repeating the exact same value for this many consecutive
+  /// usable records counts as a stuck-sensor run. Clean simulated streams
+  /// show exact-repeat runs up to 5 (speed clamping), so the default keeps a
+  /// wide margin.
+  int stuck_run_length = 30;
+  /// Drop records inside detected stuck runs instead of only counting them.
+  /// Off by default: a frozen channel is indistinguishable from a legitimate
+  /// constant regime in synthetic streams, so dropping is an opt-in policy
+  /// for corruption-hardened deployments (see bench/robustness_sweep).
+  bool drop_stuck_runs = false;
+};
+
+/// Per-vehicle counters of everything the hardened ingest path rejected or
+/// repaired. Totals are comparable against a CorruptionManifest when the
+/// stream was corrupted by a CorruptionModel.
+struct DataQualityReport {
+  std::int32_t vehicle_id = 0;
+  std::size_t records_seen = 0;        ///< All records offered to OnRecord.
+  std::size_t duplicates_dropped = 0;  ///< Same timestamp + identical PIDs.
+  std::size_t reordered_recovered = 0; ///< Late arrivals resequenced in-buffer.
+  std::size_t late_dropped = 0;        ///< Arrived too late for the buffer.
+  std::size_t non_finite_dropped = 0;  ///< Records carrying NaN/Inf PIDs.
+  std::size_t stationary_dropped = 0;  ///< Parked/idling minutes (paper §3.2).
+  std::size_t sensor_faulty_dropped = 0;  ///< Outside the plausible envelope.
+  std::size_t stuck_run_records = 0;   ///< Records inside exact-repeat runs.
+  std::size_t stuck_run_dropped = 0;   ///< Of those, dropped (opt-in policy).
+  std::size_t non_finite_features_dropped = 0;  ///< Transform emitted NaN/Inf.
+  std::size_t non_finite_scores_dropped = 0;    ///< Detector emitted NaN/Inf.
+  std::size_t quarantine_events = 0;   ///< Reference cycles quarantined.
+
+  /// Total records rejected before reaching the transform.
+  std::size_t RecordsDropped() const;
+
+  /// Accumulates another vehicle's counters (fleet aggregation).
+  void Add(const DataQualityReport& other);
+};
+
 /// Full configuration of a monitor (one framework instantiation).
 struct MonitorConfig {
+  /// Ingest hardening against corrupted telemetry transport.
+  IngestGuardConfig ingest;
   transform::TransformKind transform = transform::TransformKind::kCorrelation;
   transform::TransformOptions transform_options;
   detect::DetectorKind detector = detect::DetectorKind::kClosestPair;
@@ -83,15 +139,39 @@ class VehicleMonitor {
  public:
   VehicleMonitor(std::int32_t vehicle_id, const MonitorConfig& config);
 
-  /// Feeds a recorded fleet event; maintenance events reset Ref.
-  void OnEvent(const telemetry::FleetEvent& event);
+  /// Dependency-injecting constructor: uses the given transformer/detector
+  /// instead of building them from the config's kinds (testing seams and
+  /// out-of-tree extensions). Both must be non-null.
+  VehicleMonitor(std::int32_t vehicle_id, const MonitorConfig& config,
+                 std::unique_ptr<transform::Transformer> transformer,
+                 std::unique_ptr<detect::Detector> detector);
+
+  /// Feeds a recorded fleet event; maintenance events reset Ref. Records
+  /// still held in the reorder buffer are drained first (they precede the
+  /// event in stream time); any alarms they raise are returned.
+  std::vector<Alarm> OnEvent(const telemetry::FleetEvent& event);
 
   /// Feeds a telemetry record; returns an alarm when a threshold (at the
   /// config's factor/constant) is violated. Unusable records are ignored.
+  /// With the ingest guard enabled, processing lags delivery by up to
+  /// `ingest.reorder_capacity` records; call Flush() at end of stream.
   std::optional<Alarm> OnRecord(const telemetry::Record& record);
+
+  /// Drains the reorder buffer at end of stream, returning any alarms the
+  /// remaining records raise. No-op when the ingest guard is disabled.
+  std::vector<Alarm> Flush();
 
   /// All live scored samples so far (excludes reference-building samples).
   const std::vector<ScoredSample>& scored_samples() const { return scored_samples_; }
+
+  /// Data-quality counters of everything the ingest path rejected so far.
+  const DataQualityReport& quality() const { return quality_; }
+
+  /// True while the current reference cycle is quarantined: the detector
+  /// emitted non-finite scores during calibration, so its thresholds cannot
+  /// be trusted. Alarms are suppressed until the next maintenance reset
+  /// triggers a re-fit.
+  bool quarantined() const { return quarantined_; }
 
   /// Calibration statistics per reference cycle.
   const std::vector<CalibrationStats>& calibrations() const { return calibrations_; }
@@ -106,9 +186,14 @@ class VehicleMonitor {
   bool collecting_reference() const { return !fitted_; }
 
  private:
+  void Initialise();
   void ResetReference();
   void FitOnReference();
   void FinishCalibration();
+  /// The pre-guard pipeline: filter -> transform -> fit/calibrate/score.
+  std::optional<Alarm> ProcessRecord(const telemetry::Record& record);
+  /// Releases the oldest buffered record into ProcessRecord.
+  std::optional<Alarm> ReleaseOldest();
 
   std::int32_t vehicle_id_;
   MonitorConfig config_;
@@ -119,12 +204,24 @@ class VehicleMonitor {
   std::vector<std::vector<double>> calibration_scores_;  ///< Burn-in scores.
   bool fitted_ = false;
   bool calibrating_ = false;
+  bool quarantined_ = false;
   int fit_count_ = 0;
   detect::ThresholdPolicy policy_;
   std::unique_ptr<detect::PersistenceTracker> persistence_;
   std::vector<std::string> channel_names_;
   std::vector<CalibrationStats> calibrations_;
   std::vector<ScoredSample> scored_samples_;
+
+  // Ingest guard state (survives reference resets: stream time only moves
+  // forward and the physical sensors do not renew at a service).
+  DataQualityReport quality_;
+  std::deque<telemetry::Record> reorder_buffer_;  ///< Sorted by timestamp.
+  std::deque<telemetry::Record> recent_released_; ///< Dedup ring.
+  telemetry::Minute watermark_ = std::numeric_limits<telemetry::Minute>::min();
+  bool has_released_ = false;
+  telemetry::PidVector stuck_previous_{};
+  std::array<int, telemetry::kNumPids> stuck_run_{};
+  bool has_stuck_previous_ = false;
 };
 
 /// Derives alarms from recorded score traces for an arbitrary threshold

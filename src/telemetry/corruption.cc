@@ -1,0 +1,219 @@
+#include "telemetry/corruption.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace navarchos::telemetry {
+namespace {
+
+// Saturation ceilings per channel (where an ADC or CAN scaling pegs): the
+// classic OBD artefacts are MAF 655.35 g/s and rpm 8191.75, above the
+// plausible-range filter so clipped records are detectably corrupt.
+constexpr double kSaturation[kNumPids] = {
+    8191.75,  // rpm
+    255.0,    // speed
+    215.0,    // coolantTemp
+    215.0,    // intakeTemp
+    255.0,    // mapIntake
+    655.35,   // MAFairFlowRate
+};
+
+/// Geometric-ish run length with the given mean, always >= 1.
+int RunLength(util::Rng& rng, double mean_run) {
+  const double draw = rng.Exponential(1.0 / std::max(1.0, mean_run));
+  return std::max(1, static_cast<int>(std::lround(draw)));
+}
+
+/// Probability of *starting* a run per record so that the expected fraction
+/// of affected records is `rate` for runs of mean length `mean_run`.
+double StartProbability(double rate, double mean_run) {
+  return std::clamp(rate / std::max(1.0, mean_run), 0.0, 1.0);
+}
+
+}  // namespace
+
+const char* CorruptionKindName(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kDropout: return "dropout";
+    case CorruptionKind::kStuckAt: return "stuck_at";
+    case CorruptionKind::kNanChannel: return "nan_channel";
+    case CorruptionKind::kSpike: return "spike";
+    case CorruptionKind::kClip: return "clip";
+    case CorruptionKind::kDuplicate: return "duplicate";
+    case CorruptionKind::kClockSkew: return "clock_skew";
+  }
+  return "unknown";
+}
+
+bool CorruptionConfig::Inactive() const {
+  return dropout_rate <= 0.0 && stuck_rate <= 0.0 && nan_rate <= 0.0 &&
+         spike_rate <= 0.0 && clip_rate <= 0.0 && duplicate_rate <= 0.0 &&
+         skew_rate <= 0.0;
+}
+
+CorruptionConfig CorruptionConfig::Moderate() {
+  CorruptionConfig config;
+  config.dropout_rate = 0.02;
+  config.stuck_rate = 0.01;
+  config.nan_rate = 0.005;
+  config.spike_rate = 0.002;
+  config.clip_rate = 0.002;
+  config.duplicate_rate = 0.005;
+  config.skew_rate = 0.01;
+  config.max_skew_minutes = 3;
+  return config;
+}
+
+CorruptionConfig CorruptionConfig::Scaled(double severity) const {
+  NAVARCHOS_CHECK(severity >= 0.0);
+  CorruptionConfig scaled = *this;
+  const auto scale = [severity](double rate) {
+    return std::clamp(rate * severity, 0.0, 0.95);
+  };
+  scaled.dropout_rate = scale(dropout_rate);
+  scaled.stuck_rate = scale(stuck_rate);
+  scaled.nan_rate = scale(nan_rate);
+  scaled.spike_rate = scale(spike_rate);
+  scaled.clip_rate = scale(clip_rate);
+  scaled.duplicate_rate = scale(duplicate_rate);
+  scaled.skew_rate = scale(skew_rate);
+  return scaled;
+}
+
+std::size_t CorruptionManifest::CountOf(CorruptionKind kind) const {
+  std::size_t count = 0;
+  for (const auto& entry : entries)
+    if (entry.kind == kind) ++count;
+  return count;
+}
+
+CorruptionModel::CorruptionModel(const CorruptionConfig& config)
+    : config_(config) {}
+
+std::vector<Record> CorruptionModel::CorruptStream(
+    const std::vector<Record>& records, CorruptionManifest* manifest) const {
+  if (config_.Inactive() || records.empty()) return records;
+
+  const std::int32_t vehicle_id = records.front().vehicle_id;
+  util::Rng rng =
+      util::Rng(config_.seed).Fork(static_cast<std::uint64_t>(vehicle_id) + 1);
+
+  const auto add = [&](const Record& record, CorruptionKind kind, int channel) {
+    if (manifest == nullptr) return;
+    CorruptionEntry entry;
+    entry.vehicle_id = record.vehicle_id;
+    entry.timestamp = record.timestamp;
+    entry.kind = kind;
+    entry.channel = channel;
+    manifest->entries.push_back(entry);
+  };
+
+  // Pass 1: dropout and in-place value corruptions, in stream order. Each
+  // surviving record gets a delivery key; skewed records sort after every
+  // on-time record of their delayed delivery minute.
+  struct Delivery {
+    Record record;
+    std::int64_t key;  ///< 2 * delivery minute (+1 when skewed).
+  };
+  std::vector<Delivery> deliveries;
+  deliveries.reserve(records.size());
+
+  const double dropout_start =
+      StartProbability(config_.dropout_rate, config_.dropout_mean_run);
+  const double stuck_start =
+      StartProbability(config_.stuck_rate, config_.stuck_mean_run);
+  int dropout_left = 0;
+  int stuck_left = 0;
+  int stuck_channel = -1;
+  double stuck_value = 0.0;
+
+  for (const Record& in : records) {
+    if (dropout_left == 0 && rng.Bernoulli(dropout_start))
+      dropout_left = RunLength(rng, config_.dropout_mean_run);
+    if (dropout_left > 0) {
+      --dropout_left;
+      add(in, CorruptionKind::kDropout, -1);
+      continue;
+    }
+
+    Record out = in;
+    if (stuck_left == 0 && rng.Bernoulli(stuck_start)) {
+      stuck_left = RunLength(rng, config_.stuck_mean_run);
+      stuck_channel = static_cast<int>(rng.UniformInt(0, kNumPids - 1));
+      stuck_value = out.pids[static_cast<std::size_t>(stuck_channel)];
+    }
+    if (stuck_left > 0) {
+      --stuck_left;
+      out.pids[static_cast<std::size_t>(stuck_channel)] = stuck_value;
+      add(in, CorruptionKind::kStuckAt, stuck_channel);
+    }
+    if (rng.Bernoulli(config_.nan_rate)) {
+      const int channel = static_cast<int>(rng.UniformInt(0, kNumPids - 1));
+      out.pids[static_cast<std::size_t>(channel)] =
+          std::numeric_limits<double>::quiet_NaN();
+      add(in, CorruptionKind::kNanChannel, channel);
+    }
+    if (rng.Bernoulli(config_.spike_rate)) {
+      const int channel = static_cast<int>(rng.UniformInt(0, kNumPids - 1));
+      auto& value = out.pids[static_cast<std::size_t>(channel)];
+      value *= 1.0 + config_.spike_scale * rng.Uniform();
+      add(in, CorruptionKind::kSpike, channel);
+    }
+    if (rng.Bernoulli(config_.clip_rate)) {
+      const int channel = static_cast<int>(rng.UniformInt(0, kNumPids - 1));
+      out.pids[static_cast<std::size_t>(channel)] =
+          kSaturation[static_cast<std::size_t>(channel)];
+      add(in, CorruptionKind::kClip, channel);
+    }
+
+    Delivery delivery;
+    delivery.record = out;
+    delivery.key = 2 * out.timestamp;
+    if (rng.Bernoulli(config_.skew_rate)) {
+      const std::int64_t skew =
+          rng.UniformInt(1, std::max(1, config_.max_skew_minutes));
+      delivery.key = 2 * (out.timestamp + skew) + 1;
+      add(in, CorruptionKind::kClockSkew, -1);
+    }
+    deliveries.push_back(std::move(delivery));
+  }
+
+  // Pass 2: delivery order. stable_sort keeps on-time records in stream
+  // order; a skewed record lands after every on-time record up to its
+  // delayed minute (the +1 key breaks the tie towards lateness).
+  std::stable_sort(deliveries.begin(), deliveries.end(),
+                   [](const Delivery& a, const Delivery& b) { return a.key < b.key; });
+
+  // Pass 3: duplicated deliveries (immediate re-delivery, the common
+  // transport-retry artefact).
+  std::vector<Record> out;
+  out.reserve(deliveries.size());
+  for (const Delivery& delivery : deliveries) {
+    out.push_back(delivery.record);
+    if (rng.Bernoulli(config_.duplicate_rate)) {
+      out.push_back(delivery.record);
+      add(delivery.record, CorruptionKind::kDuplicate, -1);
+    }
+  }
+  return out;
+}
+
+FleetDataset CorruptionModel::CorruptFleet(const FleetDataset& fleet,
+                                           CorruptionManifest* manifest) const {
+  if (config_.Inactive()) return fleet;
+  FleetDataset corrupted;
+  corrupted.config = fleet.config;
+  corrupted.vehicles.reserve(fleet.vehicles.size());
+  for (const auto& vehicle : fleet.vehicles) {
+    VehicleHistory history = vehicle;
+    history.records = CorruptStream(vehicle.records, manifest);
+    corrupted.vehicles.push_back(std::move(history));
+  }
+  return corrupted;
+}
+
+}  // namespace navarchos::telemetry

@@ -1,0 +1,130 @@
+// Telemetry corruption injection (robustness harness).
+//
+// The paper's central constraint is *partial information*: real OBD-II fleet
+// streams arrive with connectivity dropouts, stuck sensors, duplicated and
+// out-of-order deliveries, and channels that simply stop reporting. The
+// simulator emits a clean, ordered, complete stream; CorruptionModel perturbs
+// such a stream with the realistic failure modes above - each at an
+// independent, seeded rate - and records every injected corruption in a
+// manifest, so the monitor's DataQualityReport and the detection metrics can
+// be evaluated against ground truth as corruption severity scales
+// (bench/robustness_sweep).
+#ifndef NAVARCHOS_TELEMETRY_CORRUPTION_H_
+#define NAVARCHOS_TELEMETRY_CORRUPTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/fleet.h"
+#include "telemetry/types.h"
+
+namespace navarchos::telemetry {
+
+/// The failure modes the corruption layer can inject.
+enum class CorruptionKind : int {
+  kDropout = 0,     ///< Connectivity burst: the record never arrives.
+  kStuckAt = 1,     ///< One channel frozen at its last value for a run.
+  kNanChannel = 2,  ///< One channel reported as NaN (partial PID coverage).
+  kSpike = 3,       ///< Transient outlier on one channel.
+  kClip = 4,        ///< One channel saturated at its ADC ceiling.
+  kDuplicate = 5,   ///< The record is delivered twice.
+  kClockSkew = 6,   ///< Bounded clock skew: delivered late, out of order.
+};
+
+/// Display name of a corruption kind ("dropout", "stuck_at", ...).
+const char* CorruptionKindName(CorruptionKind kind);
+
+/// Number of corruption kinds.
+inline constexpr int kNumCorruptionKinds = 7;
+
+/// Rates and shapes of the injected failure modes. All rates are per-record
+/// probabilities (for the bursty modes: the expected *fraction of records
+/// affected*, so scaling a rate scales the affected volume linearly). A
+/// default-constructed config injects nothing.
+struct CorruptionConfig {
+  /// Fraction of records lost to connectivity dropout bursts.
+  double dropout_rate = 0.0;
+  /// Mean burst length in records (geometric-ish, >= 1).
+  double dropout_mean_run = 12.0;
+  /// Fraction of records with one channel frozen at its previous value.
+  double stuck_rate = 0.0;
+  /// Mean stuck-run length in records (>= 1).
+  double stuck_mean_run = 8.0;
+  /// Fraction of records with one channel replaced by NaN.
+  double nan_rate = 0.0;
+  /// Fraction of records with a transient outlier spike on one channel.
+  double spike_rate = 0.0;
+  /// Spike amplitude as a multiple of the current channel value.
+  double spike_scale = 4.0;
+  /// Fraction of records with one channel clamped to its saturation ceiling.
+  double clip_rate = 0.0;
+  /// Fraction of records delivered twice (immediate re-delivery).
+  double duplicate_rate = 0.0;
+  /// Fraction of records delivered late (out of order).
+  double skew_rate = 0.0;
+  /// Maximum lateness in minutes of a skewed delivery.
+  int max_skew_minutes = 3;
+  /// Seed of the corruption stream; forked per vehicle so corruption of one
+  /// vehicle is independent of fleet composition.
+  std::uint64_t seed = 20240501;
+
+  /// True when every rate is zero: corruption is a byte-identical passthrough.
+  bool Inactive() const;
+
+  /// The issue's "moderate" preset: 2% dropout, 1% stuck-at, 0.5% NaN
+  /// channel, skew bounded by 3 minutes, plus light duplicates/spikes/clips.
+  static CorruptionConfig Moderate();
+
+  /// This config with every rate multiplied by `severity` (clamped to
+  /// [0, 0.95] per rate); shapes (run lengths, skew bound) are unchanged.
+  CorruptionConfig Scaled(double severity) const;
+};
+
+/// One injected corruption, attributed to the original (pre-corruption)
+/// record.
+struct CorruptionEntry {
+  std::int32_t vehicle_id = 0;
+  Minute timestamp = 0;
+  CorruptionKind kind = CorruptionKind::kDropout;
+  int channel = -1;  ///< Affected PID channel, -1 for whole-record modes.
+};
+
+/// Ground truth of everything a CorruptionModel injected.
+struct CorruptionManifest {
+  std::vector<CorruptionEntry> entries;
+
+  /// Number of injected corruptions of `kind`.
+  std::size_t CountOf(CorruptionKind kind) const;
+
+  /// Total injected corruptions.
+  std::size_t Total() const { return entries.size(); }
+};
+
+/// Seeded, configurable corruption injector. Stateless across calls: the
+/// same config applied to the same stream always produces the same corrupted
+/// stream and manifest.
+class CorruptionModel {
+ public:
+  explicit CorruptionModel(const CorruptionConfig& config);
+
+  /// Corrupts one vehicle's time-ordered record stream. The returned stream
+  /// is in *delivery order* (skewed records appear late, duplicates appear
+  /// twice); with an inactive config the input is returned unchanged.
+  /// Appends every injected corruption to `manifest` when non-null.
+  std::vector<Record> CorruptStream(const std::vector<Record>& records,
+                                    CorruptionManifest* manifest = nullptr) const;
+
+  /// Corrupts every vehicle's records of `fleet` (events, faults and specs
+  /// are untouched - corruption is a telemetry-transport phenomenon).
+  FleetDataset CorruptFleet(const FleetDataset& fleet,
+                            CorruptionManifest* manifest = nullptr) const;
+
+  const CorruptionConfig& config() const { return config_; }
+
+ private:
+  CorruptionConfig config_;
+};
+
+}  // namespace navarchos::telemetry
+
+#endif  // NAVARCHOS_TELEMETRY_CORRUPTION_H_

@@ -1,5 +1,7 @@
 #include "telemetry/filters.h"
 
+#include <cmath>
+
 namespace navarchos::telemetry {
 namespace {
 
@@ -22,6 +24,12 @@ constexpr Range kPlausible[kNumPids] = {
 
 }  // namespace
 
+bool HasNonFinite(const Record& record) {
+  for (int i = 0; i < kNumPids; ++i)
+    if (!std::isfinite(record.pids[static_cast<std::size_t>(i)])) return true;
+  return false;
+}
+
 bool IsStationary(const Record& record) {
   return record.pids[static_cast<int>(Pid::kSpeed)] < kMovingSpeedKmh;
 }
@@ -29,7 +37,8 @@ bool IsStationary(const Record& record) {
 bool IsSensorFaulty(const Record& record) {
   for (int i = 0; i < kNumPids; ++i) {
     const double v = record.pids[static_cast<std::size_t>(i)];
-    if (v < kPlausible[i].lo || v > kPlausible[i].hi) return true;
+    // NaN compares false against both bounds: reject non-finite explicitly.
+    if (!std::isfinite(v) || v < kPlausible[i].lo || v > kPlausible[i].hi) return true;
   }
   // Inconsistent reading: engine racing while the vehicle reports no motion.
   if (record.pids[static_cast<int>(Pid::kRpm)] > 4000.0 &&

@@ -10,13 +10,19 @@
 
 namespace navarchos::telemetry {
 
+/// True when any PID of the record is NaN or infinite (partial PID coverage,
+/// transport corruption). Non-finite values compare false against every
+/// range bound, so they need an explicit check.
+bool HasNonFinite(const Record& record);
+
 /// True when the vehicle is effectively parked or idling (speed below the
 /// moving threshold): such minutes carry no drivetrain information.
 bool IsStationary(const Record& record);
 
-/// True when any PID is outside its physically plausible range, which is how
-/// OBD dropouts and stuck sensors manifest (-40 C readings, MAF 655.35, rpm
-/// pegged at 8191 with zero speed, ...).
+/// True when any PID is non-finite or outside its physically plausible
+/// range, which is how OBD dropouts and stuck sensors manifest (-40 C
+/// readings, MAF 655.35, rpm pegged at 8191 with zero speed, NaN from a
+/// channel that stopped reporting, ...).
 bool IsSensorFaulty(const Record& record);
 
 /// True when a record survives both filters.

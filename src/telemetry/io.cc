@@ -1,7 +1,9 @@
 #include "telemetry/io.h"
 
+#include <charconv>
 #include <map>
 #include <string>
+#include <system_error>
 
 #include "util/csv.h"
 
@@ -14,6 +16,25 @@ EventType EventTypeByName(const std::string& name) {
     if (name == EventTypeName(type)) return type;
   }
   return EventType::kOther;
+}
+
+/// Outcome of parsing one numeric cell.
+enum class Parse { kOk, kMalformed, kOutOfRange };
+
+template <typename T>
+Parse ParseNumber(const std::string& cell, T* out) {
+  const char* begin = cell.data();
+  const char* end = begin + cell.size();
+  const auto result = std::from_chars(begin, end, *out);
+  if (result.ec == std::errc::result_out_of_range) return Parse::kOutOfRange;
+  if (result.ec != std::errc() || result.ptr != end) return Parse::kMalformed;
+  return Parse::kOk;
+}
+
+/// "file.csv:12: ..." error for a 0-based data-row index (header is line 1).
+util::Status RowError(const std::string& file, std::size_t row,
+                      const std::string& what) {
+  return util::Status::Error(file + ":" + std::to_string(row + 2) + ": " + what);
 }
 
 }  // namespace
@@ -51,36 +72,82 @@ util::Status WriteFleetCsv(const std::string& prefix, const FleetDataset& fleet)
   return util::WriteCsv(prefix + "_events.csv", events);
 }
 
-util::Status ReadFleetCsv(const std::string& prefix, FleetDataset* fleet) {
+util::Status ReadFleetCsv(const std::string& prefix, FleetDataset* fleet,
+                          FleetCsvStats* stats) {
+  const std::string records_file = prefix + "_records.csv";
+  const std::string events_file = prefix + "_events.csv";
   util::CsvDocument records;
-  util::Status status = util::ReadCsv(prefix + "_records.csv", &records);
+  util::Status status = util::ReadCsv(records_file, &records);
   if (!status.ok()) return status;
   util::CsvDocument events;
-  status = util::ReadCsv(prefix + "_events.csv", &events);
+  status = util::ReadCsv(events_file, &events);
   if (!status.ok()) return status;
 
+  FleetCsvStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = FleetCsvStats();
+
   std::map<std::int32_t, VehicleHistory> vehicles;
-  for (const auto& row : records.rows) {
-    if (row.size() < static_cast<std::size_t>(2 + kNumPids))
-      return util::Status::Error("malformed record row");
+  for (std::size_t r = 0; r < records.rows.size(); ++r) {
+    const auto& row = records.rows[r];
+    if (row.size() != static_cast<std::size_t>(2 + kNumPids)) {
+      return RowError(records_file, r,
+                      "malformed record row: expected " +
+                          std::to_string(2 + kNumPids) + " columns, got " +
+                          std::to_string(row.size()));
+    }
     Record record;
-    record.vehicle_id = std::stoi(row[0]);
-    record.timestamp = std::stoll(row[1]);
-    for (int pid = 0; pid < kNumPids; ++pid)
-      record.pids[static_cast<std::size_t>(pid)] =
-          std::stod(row[static_cast<std::size_t>(2 + pid)]);
+    bool out_of_range = false;
+    Parse parse = ParseNumber(row[0], &record.vehicle_id);
+    if (parse == Parse::kMalformed)
+      return RowError(records_file, r, "unparsable vehicle_id '" + row[0] + "'");
+    out_of_range |= parse == Parse::kOutOfRange;
+    parse = ParseNumber(row[1], &record.timestamp);
+    if (parse == Parse::kMalformed)
+      return RowError(records_file, r, "unparsable timestamp_min '" + row[1] + "'");
+    out_of_range |= parse == Parse::kOutOfRange;
+    for (int pid = 0; pid < kNumPids; ++pid) {
+      const auto& cell = row[static_cast<std::size_t>(2 + pid)];
+      parse = ParseNumber(cell, &record.pids[static_cast<std::size_t>(pid)]);
+      if (parse == Parse::kMalformed) {
+        return RowError(records_file, r, std::string("unparsable ") +
+                                             PidName(pid) + " '" + cell + "'");
+      }
+      out_of_range |= parse == Parse::kOutOfRange;
+    }
+    if (out_of_range) {
+      ++stats->skipped_record_rows;
+      continue;
+    }
+    ++stats->record_rows;
     auto& vehicle = vehicles[record.vehicle_id];
     vehicle.spec.id = record.vehicle_id;
     vehicle.records.push_back(record);
   }
-  for (const auto& row : events.rows) {
-    if (row.size() < 5) return util::Status::Error("malformed event row");
+  for (std::size_t r = 0; r < events.rows.size(); ++r) {
+    const auto& row = events.rows[r];
+    if (row.size() != 5) {
+      return RowError(events_file, r, "malformed event row: expected 5 columns, got " +
+                                          std::to_string(row.size()));
+    }
     FleetEvent event;
-    event.vehicle_id = std::stoi(row[0]);
-    event.timestamp = std::stoll(row[1]);
+    bool out_of_range = false;
+    Parse parse = ParseNumber(row[0], &event.vehicle_id);
+    if (parse == Parse::kMalformed)
+      return RowError(events_file, r, "unparsable vehicle_id '" + row[0] + "'");
+    out_of_range |= parse == Parse::kOutOfRange;
+    parse = ParseNumber(row[1], &event.timestamp);
+    if (parse == Parse::kMalformed)
+      return RowError(events_file, r, "unparsable timestamp_min '" + row[1] + "'");
+    out_of_range |= parse == Parse::kOutOfRange;
+    if (out_of_range) {
+      ++stats->skipped_event_rows;
+      continue;
+    }
     event.type = EventTypeByName(row[2]);
     event.code = row[3];
     event.recorded = row[4] == "1";
+    ++stats->event_rows;
     auto& vehicle = vehicles[event.vehicle_id];
     vehicle.spec.id = event.vehicle_id;
     vehicle.events.push_back(event);

@@ -20,11 +20,27 @@ namespace navarchos::telemetry {
 /// contain exactly what a real platform would have.
 util::Status WriteFleetCsv(const std::string& prefix, const FleetDataset& fleet);
 
+/// Row-level outcomes of one ReadFleetCsv call.
+struct FleetCsvStats {
+  std::size_t record_rows = 0;          ///< Record rows accepted.
+  std::size_t event_rows = 0;           ///< Event rows accepted.
+  std::size_t skipped_record_rows = 0;  ///< Rows with out-of-range values.
+  std::size_t skipped_event_rows = 0;   ///< Rows with out-of-range values.
+};
+
 /// Reads the two CSV files back into a FleetDataset. Vehicle specs and
 /// ground-truth faults are absent (defaults / empty); `reporting` is inferred
 /// as "has at least one recorded maintenance event", matching the paper's
 /// setting26 definition.
-util::Status ReadFleetCsv(const std::string& prefix, FleetDataset* fleet);
+///
+/// Tolerates CRLF line endings and a missing trailing newline. Structurally
+/// malformed rows (wrong column count, unparsable numbers) fail with the
+/// file name and line number in the Status message; rows whose numbers parse
+/// but overflow their type are skipped and counted in `stats` instead of
+/// aborting the import. Non-finite PID values ("nan") are imported verbatim -
+/// the pipeline's filters classify them downstream.
+util::Status ReadFleetCsv(const std::string& prefix, FleetDataset* fleet,
+                          FleetCsvStats* stats = nullptr);
 
 }  // namespace navarchos::telemetry
 

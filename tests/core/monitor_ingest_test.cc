@@ -1,0 +1,257 @@
+// Ingest-guard behaviour of the hardened VehicleMonitor: duplicate and
+// out-of-order delivery recovery, late drops, non-finite rejection, and
+// calibration quarantine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "core/monitor.h"
+#include "util/rng.h"
+
+namespace navarchos::core {
+namespace {
+
+using telemetry::EventType;
+using telemetry::FleetEvent;
+using telemetry::Record;
+
+/// Builds a usable (moving, in-range) record.
+Record MakeRecord(telemetry::Minute t, util::Rng& rng) {
+  Record record;
+  record.timestamp = t;
+  const double speed = 40.0 + 25.0 * rng.Uniform();
+  const double rpm = speed * 35.0 * (1.0 + 0.02 * rng.Gaussian());
+  const double map = 30.0 + 0.4 * speed + rng.Gaussian(0.0, 1.0);
+  double maf = rpm * map / 8000.0 * (1.0 + 0.02 * rng.Gaussian());
+  record.pids = {rpm, speed, 90.0 + rng.Gaussian(0.0, 0.5),
+                 25.0 + rng.Gaussian(0.0, 1.0), map, std::max(1.0, maf)};
+  return record;
+}
+
+MonitorConfig FastConfig() {
+  MonitorConfig config;
+  config.transform_options.window = 30;
+  config.transform_options.stride = 5;
+  config.profile_minutes = 150.0;
+  config.threshold.burn_in_minutes = 50.0;
+  config.threshold.persistence_minutes = 50.0;
+  config.threshold.factor = 5.0;
+  return config;
+}
+
+std::vector<Record> CleanStream(int n, std::uint64_t seed = 11) {
+  util::Rng rng(seed);
+  std::vector<Record> records;
+  records.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) records.push_back(MakeRecord(i, rng));
+  return records;
+}
+
+/// Runs a delivery sequence through a fresh monitor and returns it flushed.
+VehicleMonitor RunThrough(const std::vector<Record>& deliveries,
+                          const MonitorConfig& config = FastConfig()) {
+  VehicleMonitor monitor(0, config);
+  for (const Record& record : deliveries) monitor.OnRecord(record);
+  monitor.Flush();
+  return monitor;
+}
+
+bool SameSamples(const std::vector<ScoredSample>& a,
+                 const std::vector<ScoredSample>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].timestamp != b[i].timestamp || a[i].scores != b[i].scores ||
+        a[i].calibration_index != b[i].calibration_index) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(MonitorIngestTest, DuplicateDeliveriesAreDroppedAndCounted) {
+  const auto records = CleanStream(400);
+  std::vector<Record> duplicated;
+  for (const Record& record : records) {
+    duplicated.push_back(record);
+    duplicated.push_back(record);  // immediate transport retry
+  }
+  const auto clean = RunThrough(records);
+  const auto hardened = RunThrough(duplicated);
+  EXPECT_EQ(hardened.quality().duplicates_dropped, records.size());
+  EXPECT_EQ(hardened.quality().records_seen, duplicated.size());
+  EXPECT_EQ(hardened.quality().late_dropped, 0u);
+  // The duplicated stream must score exactly like the clean one.
+  EXPECT_TRUE(SameSamples(hardened.scored_samples(), clean.scored_samples()));
+}
+
+TEST(MonitorIngestTest, EqualTimestampsWithDifferentPayloadsAreKept) {
+  // Sub-minute bursts produce equal timestamps with distinct readings; the
+  // dedup must not swallow them.
+  auto records = CleanStream(200);
+  for (auto& record : records) record.timestamp /= 2;  // pairs share a minute
+  const auto monitor = RunThrough(records);
+  EXPECT_EQ(monitor.quality().duplicates_dropped, 0u);
+  EXPECT_EQ(monitor.quality().late_dropped, 0u);
+}
+
+TEST(MonitorIngestTest, OutOfOrderDeliveriesAreResequenced) {
+  const auto records = CleanStream(400);
+  std::vector<Record> shuffled = records;
+  // Swap adjacent pairs: every even record arrives after its successor.
+  for (std::size_t i = 0; i + 1 < shuffled.size(); i += 2)
+    std::swap(shuffled[i], shuffled[i + 1]);
+  const auto clean = RunThrough(records);
+  const auto hardened = RunThrough(shuffled);
+  EXPECT_GT(hardened.quality().reordered_recovered, 0u);
+  EXPECT_EQ(hardened.quality().late_dropped, 0u);
+  EXPECT_EQ(hardened.quality().duplicates_dropped, 0u);
+  // Resequencing restores the exact clean-run behaviour...
+  EXPECT_TRUE(SameSamples(hardened.scored_samples(), clean.scored_samples()));
+  // ...and the scored timeline is strictly increasing.
+  for (std::size_t i = 1; i < hardened.scored_samples().size(); ++i) {
+    EXPECT_LT(hardened.scored_samples()[i - 1].timestamp,
+              hardened.scored_samples()[i].timestamp);
+  }
+  ASSERT_FALSE(hardened.scored_samples().empty());
+}
+
+TEST(MonitorIngestTest, HopelesslyLateRecordsAreDropped) {
+  const auto records = CleanStream(100);
+  std::vector<Record> deliveries = records;
+  Record straggler = records[10];
+  straggler.pids[0] += 1.0;  // not a duplicate, genuinely late
+  deliveries.push_back(straggler);
+  const auto monitor = RunThrough(deliveries);
+  EXPECT_EQ(monitor.quality().late_dropped, 1u);
+  EXPECT_EQ(monitor.quality().duplicates_dropped, 0u);
+}
+
+TEST(MonitorIngestTest, NonFiniteRecordsAreRejectedBeforeTheRangeFilter) {
+  const auto records = CleanStream(400);
+  std::vector<Record> deliveries;
+  std::size_t injected = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    deliveries.push_back(records[i]);
+    if (i % 10 == 0) {
+      Record poisoned = records[i];
+      poisoned.pids[i % telemetry::kNumPids] =
+          std::numeric_limits<double>::quiet_NaN();
+      deliveries.push_back(poisoned);
+      ++injected;
+    }
+  }
+  const auto clean = RunThrough(records);
+  const auto hardened = RunThrough(deliveries);
+  EXPECT_EQ(hardened.quality().non_finite_dropped, injected);
+  // A NaN-poisoned record must neither reach the reference nor the scores.
+  EXPECT_TRUE(SameSamples(hardened.scored_samples(), clean.scored_samples()));
+}
+
+TEST(MonitorIngestTest, DisabledGuardRestoresThePassthroughPath) {
+  MonitorConfig config = FastConfig();
+  config.ingest.enabled = false;
+  const auto records = CleanStream(400);
+  std::vector<Record> duplicated;
+  for (const Record& record : records) {
+    duplicated.push_back(record);
+    duplicated.push_back(record);
+  }
+  const auto monitor = RunThrough(duplicated, config);
+  EXPECT_EQ(monitor.quality().duplicates_dropped, 0u);
+  EXPECT_EQ(monitor.quality().records_seen, duplicated.size());
+}
+
+TEST(MonitorIngestTest, StuckRunsAreCountedAndDroppedOnlyOnOptIn) {
+  auto records = CleanStream(400);
+  // Freeze the coolant channel for a long stretch mid-stream.
+  const double frozen = records[100].pids[2];
+  for (std::size_t i = 100; i < 200; ++i) records[i].pids[2] = frozen;
+
+  const auto counting = RunThrough(records);
+  EXPECT_GT(counting.quality().stuck_run_records, 0u);
+  EXPECT_EQ(counting.quality().stuck_run_dropped, 0u);
+
+  MonitorConfig dropping = FastConfig();
+  dropping.ingest.drop_stuck_runs = true;
+  const auto dropped = RunThrough(records, dropping);
+  EXPECT_EQ(dropped.quality().stuck_run_dropped,
+            dropped.quality().stuck_run_records);
+  EXPECT_GT(dropped.quality().stuck_run_dropped, 0u);
+}
+
+/// Pass-through transformer: one feature, the first PID, emitted per record.
+class StubTransformer : public transform::Transformer {
+ public:
+  std::string Name() const override { return "stub"; }
+  std::vector<std::string> FeatureNames() const override { return {"f0"}; }
+  std::optional<transform::TransformedSample> Collect(const Record& record) override {
+    transform::TransformedSample sample;
+    sample.timestamp = record.timestamp;
+    sample.features = {record.pids[0]};
+    return sample;
+  }
+  void Reset() override {}
+};
+
+/// Detector emitting NaN scores on its first reference cycle and finite
+/// scores afterwards (a numerically degenerate first fit).
+class NanOnFirstFitDetector : public detect::Detector {
+ public:
+  std::string Name() const override { return "nan_on_first_fit"; }
+  void Fit(const std::vector<std::vector<double>>& ref) override { ++fits_; (void)ref; }
+  std::vector<double> Score(const std::vector<double>& sample) override {
+    (void)sample;
+    if (fits_ <= 1) return {std::numeric_limits<double>::quiet_NaN()};
+    return {0.5};
+  }
+  std::size_t ScoreChannels() const override { return 1; }
+  std::vector<std::string> ChannelNames() const override { return {"score"}; }
+
+ private:
+  int fits_ = 0;
+};
+
+TEST(MonitorIngestTest, NonFiniteCalibrationQuarantinesTheReferenceCycle) {
+  MonitorConfig config;
+  config.transform = transform::TransformKind::kRaw;  // stride 1
+  config.profile_minutes = 16.0;
+  config.threshold.burn_in_minutes = 10.0;
+  VehicleMonitor monitor(0, config, std::make_unique<StubTransformer>(),
+                         std::make_unique<NanOnFirstFitDetector>());
+  util::Rng rng(21);
+  telemetry::Minute t = 0;
+
+  // Fill the reference; the first post-fit score is NaN -> quarantine.
+  for (int i = 0; i < 40; ++i) monitor.OnRecord(MakeRecord(t++, rng));
+  EXPECT_FALSE(monitor.collecting_reference());
+  EXPECT_TRUE(monitor.quarantined());
+  EXPECT_EQ(monitor.quality().quarantine_events, 1u);
+  EXPECT_TRUE(monitor.scored_samples().empty());
+  EXPECT_TRUE(monitor.calibrations().empty());
+
+  // The quarantined cycle stays silent however much data arrives...
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(monitor.OnRecord(MakeRecord(t++, rng)).has_value());
+  }
+  EXPECT_TRUE(monitor.scored_samples().empty());
+
+  // ...until a maintenance reset triggers a re-fit, which recovers.
+  FleetEvent service;
+  service.timestamp = t;
+  service.type = EventType::kService;
+  monitor.OnEvent(service);
+  EXPECT_FALSE(monitor.quarantined());
+  for (int i = 0; i < 60; ++i) monitor.OnRecord(MakeRecord(t++, rng));
+  monitor.Flush();
+  EXPECT_FALSE(monitor.quarantined());
+  EXPECT_EQ(monitor.fit_count(), 2);
+  EXPECT_EQ(monitor.calibrations().size(), 1u);
+  EXPECT_GT(monitor.scored_samples().size(), 0u);
+  EXPECT_EQ(monitor.quality().quarantine_events, 1u);
+}
+
+}  // namespace
+}  // namespace navarchos::core

@@ -1,5 +1,7 @@
 // Persistence round-trips: GBT models and fleet datasets.
 #include <cmath>
+#include <fstream>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -10,6 +12,22 @@
 
 namespace navarchos {
 namespace {
+
+/// Writes `content` verbatim (binary mode: line endings stay as given).
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+/// Writes a minimal valid events CSV so ReadFleetCsv can open the pair.
+void WriteEventsFile(const std::string& prefix) {
+  WriteFile(prefix + "_events.csv",
+            "vehicle_id,timestamp_min,type,code,recorded\n1,100,service,S1,1\n");
+}
+
+constexpr char kRecordsHeader[] =
+    "vehicle_id,timestamp_min,rpm,speed,coolantTemp,intakeTemp,mapIntake,"
+    "MAFairFlowRate\n";
 
 TEST(GbtSerialisationTest, RoundTripPredictsIdentically) {
   util::Rng rng(1);
@@ -109,6 +127,105 @@ TEST(FleetIoTest, ReportingInferredFromRecordedMaintenance) {
 TEST(FleetIoTest, MissingFilesFail) {
   telemetry::FleetDataset fleet;
   EXPECT_FALSE(telemetry::ReadFleetCsv("/nonexistent/prefix", &fleet).ok());
+}
+
+TEST(FleetIoTest, MalformedCellFailsWithFileAndLine) {
+  const std::string prefix = std::string(::testing::TempDir()) + "/fleet_bad_cell";
+  WriteFile(prefix + "_records.csv",
+            std::string(kRecordsHeader) +
+                "1,100,2000,60,90,25,45,15\n"
+                "1,101,2000,sixty,90,25,45,15\n");
+  WriteEventsFile(prefix);
+  telemetry::FleetDataset fleet;
+  const auto status = telemetry::ReadFleetCsv(prefix, &fleet);
+  ASSERT_FALSE(status.ok());
+  // The bad cell is on data row 1 = file line 3 (line 1 is the header).
+  EXPECT_NE(status.message().find("_records.csv:3"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("sixty"), std::string::npos) << status.message();
+}
+
+TEST(FleetIoTest, WrongColumnCountFailsWithFileAndLine) {
+  const std::string prefix = std::string(::testing::TempDir()) + "/fleet_bad_cols";
+  WriteFile(prefix + "_records.csv",
+            std::string(kRecordsHeader) + "1,100,2000,60,90\n");
+  WriteEventsFile(prefix);
+  telemetry::FleetDataset fleet;
+  const auto status = telemetry::ReadFleetCsv(prefix, &fleet);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("_records.csv:2"), std::string::npos)
+      << status.message();
+}
+
+TEST(FleetIoTest, CrlfAndMissingTrailingNewlineTolerated) {
+  const std::string prefix = std::string(::testing::TempDir()) + "/fleet_crlf";
+  WriteFile(prefix + "_records.csv",
+            "vehicle_id,timestamp_min,rpm,speed,coolantTemp,intakeTemp,"
+            "mapIntake,MAFairFlowRate\r\n"
+            "1,100,2000,60,90,25,45,15\r\n"
+            "1,101,2100,62,90,25,45,15");  // no trailing newline
+  WriteEventsFile(prefix);
+  telemetry::FleetDataset fleet;
+  telemetry::FleetCsvStats stats;
+  ASSERT_TRUE(telemetry::ReadFleetCsv(prefix, &fleet, &stats).ok());
+  EXPECT_EQ(stats.record_rows, 2u);
+  EXPECT_EQ(stats.skipped_record_rows, 0u);
+  ASSERT_EQ(fleet.vehicles.size(), 1u);
+  ASSERT_EQ(fleet.vehicles[0].records.size(), 2u);
+  EXPECT_EQ(fleet.vehicles[0].records[1].timestamp, 101);
+}
+
+TEST(FleetIoTest, OutOfRangeRowsAreSkippedAndCounted) {
+  const std::string prefix = std::string(::testing::TempDir()) + "/fleet_range";
+  WriteFile(prefix + "_records.csv",
+            std::string(kRecordsHeader) +
+                "1,100,2000,60,90,25,45,15\n"
+                // timestamp overflows int64: parses but cannot be represented.
+                "1,99999999999999999999999,2000,60,90,25,45,15\n"
+                // MAF overflows double.
+                "1,102,2000,60,90,25,45,1e999\n"
+                "1,103,2000,60,90,25,45,15\n");
+  WriteFile(prefix + "_events.csv",
+            "vehicle_id,timestamp_min,type,code,recorded\n"
+            "1,100,service,S1,1\n"
+            "99999999999999999999999,101,service,S2,1\n");
+  telemetry::FleetDataset fleet;
+  telemetry::FleetCsvStats stats;
+  ASSERT_TRUE(telemetry::ReadFleetCsv(prefix, &fleet, &stats).ok());
+  EXPECT_EQ(stats.record_rows, 2u);
+  EXPECT_EQ(stats.skipped_record_rows, 2u);
+  EXPECT_EQ(stats.event_rows, 1u);
+  EXPECT_EQ(stats.skipped_event_rows, 1u);
+  ASSERT_EQ(fleet.vehicles.size(), 1u);
+  EXPECT_EQ(fleet.vehicles[0].records.size(), 2u);
+  EXPECT_EQ(fleet.vehicles[0].records[1].timestamp, 103);
+}
+
+TEST(FleetIoTest, NanPidValuesRoundTripVerbatim) {
+  // A channel that stops reporting serialises as "nan"; the importer keeps
+  // it (the pipeline's filters classify it downstream, see DataQualityReport).
+  telemetry::FleetDataset fleet;
+  telemetry::VehicleHistory vehicle;
+  vehicle.spec.id = 1;
+  telemetry::Record record;
+  record.vehicle_id = 1;
+  record.timestamp = 100;
+  record.pids = {2000.0, 60.0, std::numeric_limits<double>::quiet_NaN(),
+                 25.0, 45.0, 15.0};
+  vehicle.records.push_back(record);
+  fleet.vehicles.push_back(vehicle);
+  const std::string prefix = std::string(::testing::TempDir()) + "/fleet_nan";
+  ASSERT_TRUE(telemetry::WriteFleetCsv(prefix, fleet).ok());
+
+  telemetry::FleetDataset loaded;
+  telemetry::FleetCsvStats stats;
+  ASSERT_TRUE(telemetry::ReadFleetCsv(prefix, &loaded, &stats).ok());
+  EXPECT_EQ(stats.record_rows, 1u);
+  EXPECT_EQ(stats.skipped_record_rows, 0u);
+  ASSERT_EQ(loaded.vehicles.size(), 1u);
+  ASSERT_EQ(loaded.vehicles[0].records.size(), 1u);
+  EXPECT_TRUE(std::isnan(loaded.vehicles[0].records[0].pids[2]));
+  EXPECT_DOUBLE_EQ(loaded.vehicles[0].records[0].pids[0], 2000.0);
 }
 
 }  // namespace

@@ -1,0 +1,238 @@
+#include "telemetry/corruption.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "telemetry/filters.h"
+
+namespace navarchos::telemetry {
+namespace {
+
+/// Field-exact equality, including NaN bit patterns (== would reject NaN).
+bool SameRecord(const Record& a, const Record& b) {
+  return a.vehicle_id == b.vehicle_id && a.timestamp == b.timestamp &&
+         std::memcmp(a.pids.data(), b.pids.data(), sizeof(double) * a.pids.size()) == 0;
+}
+
+bool SameStream(const std::vector<Record>& a, const std::vector<Record>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!SameRecord(a[i], b[i])) return false;
+  return true;
+}
+
+bool SameManifest(const CorruptionManifest& a, const CorruptionManifest& b) {
+  if (a.entries.size() != b.entries.size()) return false;
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    const auto& x = a.entries[i];
+    const auto& y = b.entries[i];
+    if (x.vehicle_id != y.vehicle_id || x.timestamp != y.timestamp ||
+        x.kind != y.kind || x.channel != y.channel) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// A clean, contiguous-minute stream with smoothly varying (never exactly
+/// repeating) healthy values.
+std::vector<Record> CleanStream(int n, std::int32_t vehicle_id = 7) {
+  std::vector<Record> records;
+  records.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Record record;
+    record.vehicle_id = vehicle_id;
+    record.timestamp = i;
+    record.pids[static_cast<int>(Pid::kRpm)] = 1500.0 + 0.37 * i;
+    record.pids[static_cast<int>(Pid::kSpeed)] = 40.0 + 0.013 * i;
+    record.pids[static_cast<int>(Pid::kCoolantTemp)] = 88.0 + 0.0011 * i;
+    record.pids[static_cast<int>(Pid::kIntakeTemp)] = 22.0 + 0.0007 * i;
+    record.pids[static_cast<int>(Pid::kMapIntake)] = 45.0 + 0.0023 * i;
+    record.pids[static_cast<int>(Pid::kMafAirFlowRate)] = 14.0 + 0.0017 * i;
+    records.push_back(record);
+  }
+  return records;
+}
+
+TEST(CorruptionTest, InactiveConfigIsByteIdenticalPassthrough) {
+  const auto records = CleanStream(500);
+  const CorruptionModel model{CorruptionConfig{}};
+  CorruptionManifest manifest;
+  const auto out = model.CorruptStream(records, &manifest);
+  EXPECT_TRUE(SameStream(out, records));
+  EXPECT_EQ(manifest.Total(), 0u);
+  EXPECT_TRUE(CorruptionConfig{}.Inactive());
+  EXPECT_FALSE(CorruptionConfig::Moderate().Inactive());
+}
+
+TEST(CorruptionTest, SameSeedAndConfigIsFullyDeterministic) {
+  const auto records = CleanStream(2000);
+  const auto config = CorruptionConfig::Moderate();
+  CorruptionManifest manifest_a, manifest_b;
+  const auto out_a = CorruptionModel(config).CorruptStream(records, &manifest_a);
+  const auto out_b = CorruptionModel(config).CorruptStream(records, &manifest_b);
+  EXPECT_TRUE(SameStream(out_a, out_b));
+  EXPECT_TRUE(SameManifest(manifest_a, manifest_b));
+  EXPECT_GT(manifest_a.Total(), 0u);
+}
+
+TEST(CorruptionTest, DifferentSeedsProduceDifferentStreams) {
+  const auto records = CleanStream(2000);
+  auto config = CorruptionConfig::Moderate();
+  const auto out_a = CorruptionModel(config).CorruptStream(records);
+  config.seed += 1;
+  const auto out_b = CorruptionModel(config).CorruptStream(records);
+  EXPECT_FALSE(SameStream(out_a, out_b));
+}
+
+TEST(CorruptionTest, DropoutLossMatchesManifestAndPreservesOrder) {
+  const auto records = CleanStream(3000);
+  CorruptionConfig config;
+  config.dropout_rate = 0.1;
+  CorruptionManifest manifest;
+  const auto out = CorruptionModel(config).CorruptStream(records, &manifest);
+  EXPECT_EQ(out.size(), records.size() - manifest.CountOf(CorruptionKind::kDropout));
+  EXPECT_GT(manifest.CountOf(CorruptionKind::kDropout), 0u);
+  EXPECT_EQ(manifest.Total(), manifest.CountOf(CorruptionKind::kDropout));
+  // Survivors are an unmodified, order-preserving subsequence.
+  std::size_t cursor = 0;
+  for (const Record& record : out) {
+    while (cursor < records.size() && !SameRecord(records[cursor], record)) ++cursor;
+    ASSERT_LT(cursor, records.size());
+    ++cursor;
+  }
+}
+
+TEST(CorruptionTest, NanChannelCountMatchesManifest) {
+  const auto records = CleanStream(3000);
+  CorruptionConfig config;
+  config.nan_rate = 0.05;
+  CorruptionManifest manifest;
+  const auto out = CorruptionModel(config).CorruptStream(records, &manifest);
+  ASSERT_EQ(out.size(), records.size());
+  std::size_t with_nan = 0;
+  for (const Record& record : out)
+    if (HasNonFinite(record)) ++with_nan;
+  EXPECT_EQ(with_nan, manifest.CountOf(CorruptionKind::kNanChannel));
+  EXPECT_GT(with_nan, 0u);
+  for (const auto& entry : manifest.entries) {
+    EXPECT_GE(entry.channel, 0);
+    EXPECT_LT(entry.channel, kNumPids);
+  }
+}
+
+TEST(CorruptionTest, DuplicatesAreImmediateRedeliveries) {
+  const auto records = CleanStream(3000);
+  CorruptionConfig config;
+  config.duplicate_rate = 0.05;
+  CorruptionManifest manifest;
+  const auto out = CorruptionModel(config).CorruptStream(records, &manifest);
+  const std::size_t duplicates = manifest.CountOf(CorruptionKind::kDuplicate);
+  EXPECT_EQ(out.size(), records.size() + duplicates);
+  EXPECT_GT(duplicates, 0u);
+  std::size_t adjacent_pairs = 0;
+  for (std::size_t i = 1; i < out.size(); ++i)
+    if (SameRecord(out[i], out[i - 1])) ++adjacent_pairs;
+  EXPECT_EQ(adjacent_pairs, duplicates);
+}
+
+TEST(CorruptionTest, ClockSkewIsBoundedByMaxSkewMinutes) {
+  const auto records = CleanStream(3000);
+  CorruptionConfig config;
+  config.skew_rate = 0.1;
+  config.max_skew_minutes = 3;
+  CorruptionManifest manifest;
+  const auto out = CorruptionModel(config).CorruptStream(records, &manifest);
+  ASSERT_EQ(out.size(), records.size());
+  EXPECT_GT(manifest.CountOf(CorruptionKind::kClockSkew), 0u);
+  // Some record must actually arrive out of order...
+  std::size_t inversions = 0;
+  for (std::size_t i = 1; i < out.size(); ++i)
+    if (out[i].timestamp < out[i - 1].timestamp) ++inversions;
+  EXPECT_GT(inversions, 0u);
+  // ...but never by more than the skew bound: with contiguous input minutes,
+  // any later delivery is at most max_skew_minutes older.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    for (std::size_t j = i + 1; j < std::min(out.size(), i + 16); ++j) {
+      EXPECT_LE(out[i].timestamp, out[j].timestamp + config.max_skew_minutes);
+    }
+  }
+}
+
+TEST(CorruptionTest, StuckRunsFreezeOneChannel) {
+  const auto records = CleanStream(3000);
+  CorruptionConfig config;
+  config.stuck_rate = 0.05;
+  CorruptionManifest manifest;
+  const auto out = CorruptionModel(config).CorruptStream(records, &manifest);
+  ASSERT_EQ(out.size(), records.size());
+  const std::size_t stuck = manifest.CountOf(CorruptionKind::kStuckAt);
+  EXPECT_GT(stuck, 0u);
+  // Every stuck record differs from the clean one in exactly the manifest
+  // channel (the clean stream never exactly repeats a value), except the run
+  // head, which freezes the channel at its own current value.
+  std::size_t modified = 0;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (!SameRecord(out[i], records[i])) ++modified;
+  EXPECT_GT(modified, 0u);
+  EXPECT_LE(modified, stuck);
+}
+
+TEST(CorruptionTest, ClippedChannelsLandAboveThePlausibleRange) {
+  const auto records = CleanStream(3000);
+  CorruptionConfig config;
+  config.clip_rate = 0.02;
+  CorruptionManifest manifest;
+  const auto out = CorruptionModel(config).CorruptStream(records, &manifest);
+  ASSERT_EQ(out.size(), records.size());
+  EXPECT_GT(manifest.CountOf(CorruptionKind::kClip), 0u);
+  for (const auto& entry : manifest.entries) {
+    ASSERT_EQ(entry.kind, CorruptionKind::kClip);
+    const auto& record = out[static_cast<std::size_t>(entry.timestamp)];
+    // Saturation ceilings sit above the plausible envelope, so the ingest
+    // range filter flags every clipped record.
+    EXPECT_TRUE(IsSensorFaulty(record));
+  }
+}
+
+TEST(CorruptionTest, ScaledMultipliesRatesAndClamps) {
+  const auto moderate = CorruptionConfig::Moderate();
+  const auto doubled = moderate.Scaled(2.0);
+  EXPECT_DOUBLE_EQ(doubled.dropout_rate, 2.0 * moderate.dropout_rate);
+  EXPECT_DOUBLE_EQ(doubled.nan_rate, 2.0 * moderate.nan_rate);
+  EXPECT_EQ(doubled.max_skew_minutes, moderate.max_skew_minutes);
+  EXPECT_TRUE(moderate.Scaled(0.0).Inactive());
+  EXPECT_DOUBLE_EQ(moderate.Scaled(1e6).dropout_rate, 0.95);
+}
+
+TEST(CorruptionTest, CorruptFleetIsDeterministicAndLeavesEventsAlone) {
+  FleetDataset fleet;
+  for (std::int32_t v = 0; v < 3; ++v) {
+    VehicleHistory vehicle;
+    vehicle.spec.id = v;
+    vehicle.records = CleanStream(800, v);
+    FleetEvent event;
+    event.vehicle_id = v;
+    event.timestamp = 400;
+    event.type = EventType::kService;
+    vehicle.events.push_back(event);
+    fleet.vehicles.push_back(std::move(vehicle));
+  }
+  const CorruptionModel model(CorruptionConfig::Moderate());
+  CorruptionManifest manifest_a, manifest_b;
+  const auto fleet_a = model.CorruptFleet(fleet, &manifest_a);
+  const auto fleet_b = model.CorruptFleet(fleet, &manifest_b);
+  ASSERT_EQ(fleet_a.vehicles.size(), fleet.vehicles.size());
+  EXPECT_TRUE(SameManifest(manifest_a, manifest_b));
+  for (std::size_t v = 0; v < fleet.vehicles.size(); ++v) {
+    EXPECT_TRUE(SameStream(fleet_a.vehicles[v].records, fleet_b.vehicles[v].records));
+    ASSERT_EQ(fleet_a.vehicles[v].events.size(), 1u);
+    EXPECT_EQ(fleet_a.vehicles[v].events[0].timestamp, 400);
+    EXPECT_FALSE(SameStream(fleet_a.vehicles[v].records, fleet.vehicles[v].records));
+  }
+}
+
+}  // namespace
+}  // namespace navarchos::telemetry

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace navarchos::telemetry {
 namespace {
 
@@ -43,6 +45,23 @@ TEST(FiltersTest, SensorDropoutValuesRejected) {
   record = HealthyRecord();
   record.pids[static_cast<int>(Pid::kCoolantTemp)] = -40.0;
   EXPECT_TRUE(IsSensorFaulty(record));
+}
+
+TEST(FiltersTest, NonFiniteValuesRejectedOnEveryChannel) {
+  // NaN compares false against both range bounds, so a plain lo/hi check
+  // would silently accept it; every channel must reject NaN and +-Inf.
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (int pid = 0; pid < kNumPids; ++pid) {
+    for (const double poison : {kNan, kInf, -kInf}) {
+      Record record = HealthyRecord();
+      record.pids[static_cast<std::size_t>(pid)] = poison;
+      EXPECT_TRUE(HasNonFinite(record)) << "pid " << pid;
+      EXPECT_TRUE(IsSensorFaulty(record)) << "pid " << pid;
+      EXPECT_FALSE(IsUsable(record)) << "pid " << pid;
+    }
+  }
+  EXPECT_FALSE(HasNonFinite(HealthyRecord()));
 }
 
 TEST(FiltersTest, RacingEngineAtZeroSpeedRejected) {
