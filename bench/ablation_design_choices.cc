@@ -22,8 +22,9 @@ struct Outcome {
 };
 
 Outcome BestAtPh30(const telemetry::FleetDataset& fleet,
-                   const core::MonitorConfig& config) {
-  const auto run = core::RunFleet(fleet, config);
+                   const core::MonitorConfig& config,
+                   const runtime::RuntimeConfig& runtime) {
+  const auto run = core::RunFleet(fleet, config, runtime);
   const eval::SweepConfig sweep;
   Outcome best;
   for (double factor : sweep.factors) {
@@ -60,31 +61,31 @@ int Main(int argc, char** argv) {
 
   util::Table table({"knob", "value", "F0.5", "P", "R", "FP", "factor"});
 
-  AddRow(table, "baseline", "(defaults)", BestAtPh30(fleet, base));
+  AddRow(table, "baseline", "(defaults)", BestAtPh30(fleet, base, options.Runtime()));
 
   for (int window : {120, 300, 480}) {
     core::MonitorConfig config = base;
     config.transform_options.window = window;
     AddRow(table, "correlation window", std::to_string(window) + " min",
-           BestAtPh30(fleet, config));
+           BestAtPh30(fleet, config, options.Runtime()));
   }
   for (double profile : {600.0, 1200.0, 1800.0}) {
     core::MonitorConfig config = base;
     config.profile_minutes = profile;
     AddRow(table, "profile length", util::Table::Num(profile, 0) + " min",
-           BestAtPh30(fleet, config));
+           BestAtPh30(fleet, config, options.Runtime()));
   }
   for (double burn_in : {320.0, 960.0, 1600.0}) {
     core::MonitorConfig config = base;
     config.threshold.burn_in_minutes = burn_in;
     AddRow(table, "calibration burn-in", util::Table::Num(burn_in, 0) + " min",
-           BestAtPh30(fleet, config));
+           BestAtPh30(fleet, config, options.Runtime()));
   }
   for (double minutes : {100.0, 400.0, 800.0}) {
     core::MonitorConfig config = base;
     config.threshold.persistence_minutes = minutes;
     AddRow(table, "persistence", util::Table::Num(minutes, 0) + " min",
-           BestAtPh30(fleet, config));
+           BestAtPh30(fleet, config, options.Runtime()));
   }
 
   std::printf("\n%s", table.ToString().c_str());

@@ -27,7 +27,7 @@ int Main(int argc, char** argv) {
   config.detector = detect::DetectorKind::kClosestPair;
   // Scores and calibrations do not depend on the rule: run once, replay per
   // rule.
-  const auto run = core::RunFleet(fleet, config);
+  const auto run = core::RunFleet(fleet, config, options.Runtime());
 
   struct Rule {
     const char* name;

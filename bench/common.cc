@@ -1,5 +1,7 @@
 #include "bench/common.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 
@@ -14,6 +16,7 @@ BenchOptions BenchOptions::FromArgs(const util::Args& args) {
   options.days = static_cast<int>(args.GetInt("days", options.days));
   options.seed = static_cast<std::uint64_t>(args.GetInt("seed", 42));
   options.cache_dir = args.GetString("cache-dir", options.cache_dir);
+  options.threads = static_cast<int>(args.GetInt("threads", options.threads));
   return options;
 }
 
@@ -21,7 +24,7 @@ telemetry::FleetDataset MakeSetting40(const BenchOptions& options) {
   telemetry::FleetConfig config = telemetry::FleetConfig::PaperScale();
   config.days = options.days;
   config.seed = options.seed;
-  return telemetry::GenerateFleet(config);
+  return telemetry::GenerateFleet(config, options.Runtime());
 }
 
 telemetry::FleetDataset MakeSetting26(const BenchOptions& options) {
@@ -123,16 +126,29 @@ std::vector<GridRecord> LoadOrComputeGrid(const std::string& setting,
       setting == "setting26" ? MakeSetting26(options) : MakeSetting40(options);
   eval::SweepConfig sweep;
   core::MonitorConfig base;
-  const auto cells = eval::RunGrid(fleet, sweep, base, /*threads=*/0);
+  const auto cells = eval::RunGrid(fleet, sweep, base, options.Runtime());
 
   std::vector<GridRecord> grid;
   grid.reserve(cells.size());
   for (const eval::CellResult& cell : cells) grid.push_back({setting, cell});
 
-  std::filesystem::create_directories(options.cache_dir);
-  const util::Status status = util::WriteCsv(path, SerialiseGrid(grid));
-  if (!status.ok())
+  // Concurrent bench invocations may race on the cache: tolerate the
+  // directory already existing, write to a process-unique temp file, and
+  // publish it with an atomic rename so readers never observe a torn CSV.
+  std::error_code ec;
+  std::filesystem::create_directories(options.cache_dir, ec);
+  const std::string temp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const util::Status status = util::WriteCsv(temp_path, SerialiseGrid(grid));
+  if (!status.ok()) {
     std::fprintf(stderr, "[grid] cache write failed: %s\n", status.message().c_str());
+    return grid;
+  }
+  std::filesystem::rename(temp_path, path, ec);
+  if (ec) {
+    std::fprintf(stderr, "[grid] cache publish failed: %s\n", ec.message().c_str());
+    std::filesystem::remove(temp_path, ec);
+  }
   return grid;
 }
 
@@ -205,6 +221,9 @@ void PrintHeader(const std::string& title, const BenchOptions& options) {
   std::printf("%s\n", title.c_str());
   std::printf("fleet: %d days, seed %llu (paper-scale preset; use --days/--seed)\n",
               options.days, static_cast<unsigned long long>(options.seed));
+  std::printf("runtime: %d thread(s) (--threads, 0 = all cores; results are "
+              "identical at any count)\n",
+              options.Runtime().ResolveThreads());
   std::printf("==============================================================\n");
 }
 

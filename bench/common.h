@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "eval/experiment.h"
+#include "runtime/runtime_config.h"
 #include "telemetry/fleet.h"
 #include "util/args.h"
 
@@ -22,6 +23,12 @@ struct BenchOptions {
   int days = 365;
   std::uint64_t seed = 42;
   std::string cache_dir = "navarchos_bench_cache";
+  /// Worker threads (--threads): 0 = all hardware threads, 1 = serial.
+  /// Results are bit-identical at any value; only wall-clock changes.
+  int threads = 0;
+
+  /// The execution runtime all bench work should run on.
+  runtime::RuntimeConfig Runtime() const { return runtime::RuntimeConfig{threads}; }
 
   static BenchOptions FromArgs(const util::Args& args);
 };

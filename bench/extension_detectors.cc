@@ -31,7 +31,7 @@ int Main(int argc, char** argv) {
     core::MonitorConfig config;
     config.transform = transform::TransformKind::kCorrelation;
     config.detector = detector;
-    const auto run = core::RunFleet(fleet, config);
+    const auto run = core::RunFleet(fleet, config, options.Runtime());
 
     const bool probability = detector == detect::DetectorKind::kGrand ||
                              detector == detect::DetectorKind::kIsolationForest;

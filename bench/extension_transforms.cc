@@ -33,7 +33,7 @@ int Main(int argc, char** argv) {
     core::MonitorConfig config;
     config.transform = transform_kind;
     config.detector = detect::DetectorKind::kClosestPair;
-    const auto run = core::RunFleet(fleet, config);
+    const auto run = core::RunFleet(fleet, config, options.Runtime());
 
     eval::EvalResult best15, best30;
     for (double factor : sweep.factors) {

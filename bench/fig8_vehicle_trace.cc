@@ -31,7 +31,7 @@ int Main(int argc, char** argv) {
   config.transform = transform::TransformKind::kCorrelation;
   config.detector = detect::DetectorKind::kClosestPair;
   config.threshold.factor = static_cast<double>(args.GetDouble("factor", 14.0));
-  const auto run = core::RunFleet(fleet, config);
+  const auto run = core::RunFleet(fleet, config, options.Runtime());
 
   // Pick the repair-bearing vehicle with the most scored samples.
   std::size_t best_vehicle = 0;

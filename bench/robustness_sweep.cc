@@ -54,7 +54,7 @@ int Main(int argc, char** argv) {
     const telemetry::CorruptionModel model(corruption);
     const auto corrupted = model.CorruptFleet(fleet, &manifest);
 
-    const auto run = core::RunFleet(corrupted, config);
+    const auto run = core::RunFleet(corrupted, config, options.Runtime());
     // The hardened pipeline must never leak non-finite scores, whatever the
     // severity.
     std::size_t non_finite = 0;

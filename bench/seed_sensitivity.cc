@@ -34,7 +34,7 @@ int Main(int argc, char** argv) {
     core::MonitorConfig config;
     config.transform = transform::TransformKind::kCorrelation;
     config.detector = detect::DetectorKind::kClosestPair;
-    const auto run = core::RunFleet(fleet, config);
+    const auto run = core::RunFleet(fleet, config, options.Runtime());
 
     eval::EvalResult best;
     for (double factor : sweep.factors) {

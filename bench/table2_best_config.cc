@@ -28,8 +28,8 @@ int Main(int argc, char** argv) {
   config.transform = transform::TransformKind::kCorrelation;
   config.detector = detect::DetectorKind::kClosestPair;
 
-  const auto run40 = core::RunFleet(setting40, config);
-  const auto run26 = core::RunFleet(setting26, config);
+  const auto run40 = core::RunFleet(setting40, config, options.Runtime());
+  const auto run26 = core::RunFleet(setting26, config, options.Runtime());
 
   // One factor for all rows, selected on the headline row (setting26, PH30).
   const eval::SweepConfig sweep;

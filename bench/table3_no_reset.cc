@@ -29,8 +29,8 @@ int Main(int argc, char** argv) {
   config.detector = detect::DetectorKind::kClosestPair;
   config.reset_on_service = false;  // the ablation
 
-  const auto run40 = core::RunFleet(setting40, config);
-  const auto run26 = core::RunFleet(setting26, config);
+  const auto run40 = core::RunFleet(setting40, config, options.Runtime());
+  const auto run26 = core::RunFleet(setting26, config, options.Runtime());
 
   // Per-row threshold tuning (the paper: "we fine tune each row separately").
   const eval::SweepConfig sweep;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "runtime/parallel.h"
+
 namespace navarchos::core {
 
 std::vector<Alarm> FleetRunResult::AlarmsAt(double factor_or_constant) const {
@@ -24,7 +26,8 @@ DataQualityReport FleetRunResult::TotalQuality() const {
 }
 
 FleetRunResult RunFleet(const telemetry::FleetDataset& fleet,
-                        const MonitorConfig& config) {
+                        const MonitorConfig& config,
+                        const runtime::RuntimeConfig& runtime) {
   FleetRunResult result;
   const auto [pw, pm] = config.threshold.ResolvePersistence(
       transform::EffectiveStride(config.transform, config.transform_options));
@@ -35,9 +38,15 @@ FleetRunResult RunFleet(const telemetry::FleetDataset& fleet,
   result.calibrations.resize(fleet.vehicles.size());
   result.quality.resize(fleet.vehicles.size());
 
-  for (std::size_t v = 0; v < fleet.vehicles.size(); ++v) {
+  // One monitor per vehicle, each writing only its own index-aligned slots;
+  // alarms land in a per-vehicle vector and are concatenated in vehicle
+  // order after the barrier, so the result is identical at any thread count.
+  std::vector<std::vector<Alarm>> vehicle_alarms(fleet.vehicles.size());
+  std::vector<std::vector<std::string>> vehicle_channel_names(fleet.vehicles.size());
+  runtime::ParallelFor(runtime, fleet.vehicles.size(), [&](std::size_t v) {
     const telemetry::VehicleHistory& vehicle = fleet.vehicles[v];
     VehicleMonitor monitor(vehicle.spec.id, config);
+    std::vector<Alarm>& alarms = vehicle_alarms[v];
 
     // Merge records and events by timestamp (events first on ties, so a
     // same-minute service resets Ref before the next measurement arrives).
@@ -52,22 +61,35 @@ FleetRunResult RunFleet(const telemetry::FleetDataset& fleet,
           (ri >= records.size() || events[ei].timestamp <= records[ri].timestamp);
       if (take_event) {
         for (auto& alarm : monitor.OnEvent(events[ei++]))
-          result.alarms.push_back(std::move(alarm));
+          alarms.push_back(std::move(alarm));
       } else {
         if (auto alarm = monitor.OnRecord(records[ri++])) {
-          result.alarms.push_back(std::move(*alarm));
+          alarms.push_back(std::move(*alarm));
         }
       }
     }
-    for (auto& alarm : monitor.Flush()) result.alarms.push_back(std::move(alarm));
+    for (auto& alarm : monitor.Flush()) alarms.push_back(std::move(alarm));
 
     result.scored_samples[v] = monitor.scored_samples();
     result.calibrations[v] = monitor.calibrations();
     result.quality[v] = monitor.quality();
-    if (result.channel_names.empty() && !monitor.channel_names().empty())
-      result.channel_names = monitor.channel_names();
+    vehicle_channel_names[v] = monitor.channel_names();
+  });
+
+  for (std::vector<Alarm>& alarms : vehicle_alarms)
+    for (Alarm& alarm : alarms) result.alarms.push_back(std::move(alarm));
+  for (std::vector<std::string>& names : vehicle_channel_names) {
+    if (!names.empty()) {
+      result.channel_names = std::move(names);
+      break;
+    }
   }
   return result;
+}
+
+FleetRunResult RunFleet(const telemetry::FleetDataset& fleet,
+                        const MonitorConfig& config) {
+  return RunFleet(fleet, config, runtime::RuntimeConfig::Serial());
 }
 
 }  // namespace navarchos::core

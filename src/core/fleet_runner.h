@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/monitor.h"
+#include "runtime/runtime_config.h"
 #include "telemetry/fleet.h"
 
 namespace navarchos::core {
@@ -40,6 +41,15 @@ struct FleetRunResult {
 };
 
 /// Runs `config` over every vehicle of `fleet`.
+///
+/// Vehicles are monitored in parallel on `runtime.threads` workers (one
+/// VehicleMonitor per vehicle, results written to index-aligned slots and
+/// alarms concatenated in vehicle order after the barrier), so the result
+/// is bit-identical at any thread count. The two-argument overload runs
+/// strictly serially.
+FleetRunResult RunFleet(const telemetry::FleetDataset& fleet,
+                        const MonitorConfig& config,
+                        const runtime::RuntimeConfig& runtime);
 FleetRunResult RunFleet(const telemetry::FleetDataset& fleet,
                         const MonitorConfig& config);
 

@@ -1,8 +1,6 @@
 #include "eval/experiment.h"
 
-#include <atomic>
-#include <thread>
-
+#include "runtime/parallel.h"
 #include "util/timer.h"
 
 namespace navarchos::eval {
@@ -68,35 +66,20 @@ std::vector<CellResult> RunCell(const telemetry::FleetDataset& fleet,
 std::vector<CellResult> RunGrid(const telemetry::FleetDataset& fleet,
                                 const SweepConfig& sweep,
                                 const core::MonitorConfig& base_config,
-                                int threads) {
-  // Flatten the cell list so workers can claim cells off a shared counter.
+                                const runtime::RuntimeConfig& runtime) {
+  // Flatten the cell list so workers can claim cells as tasks; results land
+  // in index-aligned slots, so cell order never depends on completion order.
   std::vector<std::pair<transform::TransformKind, detect::DetectorKind>> cells;
   for (transform::TransformKind transform_kind : PaperTransforms())
     for (detect::DetectorKind detector_kind : PaperDetectors())
       cells.emplace_back(transform_kind, detector_kind);
 
-  std::vector<std::vector<CellResult>> results(cells.size());
-  if (threads == 0)
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-  threads = std::max(1, std::min<int>(threads, static_cast<int>(cells.size())));
-
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    while (true) {
-      const std::size_t index = next.fetch_add(1);
-      if (index >= cells.size()) return;
-      results[index] = RunCell(fleet, cells[index].first, cells[index].second,
-                               sweep, base_config);
-    }
-  };
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& thread : pool) thread.join();
-  }
+  const auto results =
+      runtime::ParallelMap<std::vector<CellResult>>(
+          runtime, cells.size(), [&](std::size_t index) {
+            return RunCell(fleet, cells[index].first, cells[index].second,
+                           sweep, base_config);
+          });
 
   std::vector<CellResult> all;
   for (const auto& cell : results) all.insert(all.end(), cell.begin(), cell.end());

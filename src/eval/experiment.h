@@ -13,6 +13,7 @@
 
 #include "core/fleet_runner.h"
 #include "eval/metrics.h"
+#include "runtime/runtime_config.h"
 #include "telemetry/fleet.h"
 
 namespace navarchos::eval {
@@ -48,14 +49,15 @@ std::vector<CellResult> RunCell(const telemetry::FleetDataset& fleet,
 
 /// Runs the full grid of the paper's four transformations x four techniques.
 /// Cells are ordered transformation-major (raw, delta, mean, correlation).
-/// Cells are independent and run on up to `threads` worker threads
-/// (threads <= 1 runs sequentially; 0 picks the hardware concurrency).
-/// Results are deterministic regardless of thread count; per-cell runtimes
-/// are wall-clock and therefore noisier when cells share cores.
+/// Cells are independent and dispatched as tasks on the runtime's workers
+/// (results collected into index-aligned slots). Results are bit-identical
+/// regardless of thread count, except CellResult::runtime_seconds, which is
+/// wall-clock and therefore noisier when cells share cores.
 std::vector<CellResult> RunGrid(const telemetry::FleetDataset& fleet,
                                 const SweepConfig& sweep,
                                 const core::MonitorConfig& base_config,
-                                int threads = 1);
+                                const runtime::RuntimeConfig& runtime =
+                                    runtime::RuntimeConfig::Serial());
 
 /// The four transformations of the paper's evaluation, in figure order.
 const std::vector<transform::TransformKind>& PaperTransforms();

@@ -1,0 +1,94 @@
+#include "runtime/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+namespace navarchos::runtime {
+namespace {
+
+void SerialFor(std::size_t n, const std::function<void(std::size_t)>& body) {
+  for (std::size_t i = 0; i < n; ++i) body(i);
+}
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& body) {
+  if (pool == nullptr || n <= 1) {
+    SerialFor(n, body);
+    return;
+  }
+
+  // Shared driver state: workers and the caller claim indices off `next`.
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+  // Helpers posted to the pool; the caller is an additional, uncounted
+  // driver. The loop is complete when every helper exited AND the caller's
+  // own drive exhausted the index range (a helper only exits once the range
+  // is exhausted, so active == 0 implies no index is still in flight).
+  std::size_t active = std::min(pool->size(), n - 1);
+
+  auto drive = [&]() {
+    while (true) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= n) return;
+      try {
+        body(index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t helpers = active;
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool->Post([&]() {
+      drive();
+      std::lock_guard<std::mutex> lock(mu);
+      if (--active == 0) done_cv.notify_all();
+    });
+  }
+
+  drive();  // The caller works too instead of blocking idle.
+
+  // Help with anything still queued before blocking. In particular our own
+  // helper tasks: when this ParallelFor runs inside a pool task (nested
+  // parallelism on a shared pool) the caller occupies a worker, and
+  // blocking on it while helpers wait in its queue would deadlock. Once
+  // TryRunOneTask finds nothing, every helper has been popped (all were
+  // posted before drive() began), so a plain wait is safe.
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      if (active == 0) break;
+    }
+    if (!pool->TryRunOneTask()) {
+      std::unique_lock<std::mutex> lock(mu);
+      done_cv.wait(lock, [&]() { return active == 0; });
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ParallelFor(const RuntimeConfig& config, std::size_t n,
+                 const std::function<void(std::size_t)>& body) {
+  const std::size_t threads =
+      std::min(static_cast<std::size_t>(config.ResolveThreads()), n);
+  if (threads <= 1) {
+    SerialFor(n, body);  // Strictly serial: nothing is spawned.
+    return;
+  }
+  // The caller participates, so the pool only needs threads - 1 workers.
+  ThreadPool pool(static_cast<int>(threads) - 1);
+  ParallelFor(&pool, n, body);
+}
+
+}  // namespace navarchos::runtime

@@ -1,0 +1,49 @@
+// Deterministic data-parallel primitives over ThreadPool.
+//
+// ParallelFor/ParallelMap split an index range over workers that claim
+// indices from a shared atomic counter (work stealing at item granularity),
+// and results are always collected by index - never by completion order -
+// so the output is bit-identical at any thread count. The serial path
+// (threads == 1, or fewer than two items) runs the body inline on the
+// calling thread without spawning anything: the exact pre-runtime code path.
+//
+// Stream discipline for callers: any randomness inside a parallel body must
+// come from an Rng forked per index (util::Rng::Fork(stream), stream derived
+// from the index alone), never from a generator shared across indices.
+#ifndef NAVARCHOS_RUNTIME_PARALLEL_H_
+#define NAVARCHOS_RUNTIME_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "runtime/runtime_config.h"
+#include "runtime/thread_pool.h"
+
+namespace navarchos::runtime {
+
+/// Invokes `body(i)` for every i in [0, n). Indices are claimed dynamically
+/// by up to config.ResolveThreads() threads (the calling thread included),
+/// so long items do not serialise behind short ones. Blocks until every
+/// index completed. If any invocation throws, one of the exceptions is
+/// rethrown here after all indices finished.
+void ParallelFor(const RuntimeConfig& config, std::size_t n,
+                 const std::function<void(std::size_t)>& body);
+
+/// ParallelFor over an existing pool; the calling thread participates.
+/// Safe to call from inside a pool task (the caller then helps execute).
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& body);
+
+/// Maps [0, n) through `fn`, collecting results into an index-aligned
+/// vector (deterministic ordered reduction). T must be default-constructible.
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(const RuntimeConfig& config, std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  ParallelFor(config, n, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace navarchos::runtime
+
+#endif  // NAVARCHOS_RUNTIME_PARALLEL_H_

@@ -1,0 +1,13 @@
+#include "runtime/runtime_config.h"
+
+#include <thread>
+
+namespace navarchos::runtime {
+
+int RuntimeConfig::ResolveThreads() const {
+  if (threads > 0) return threads;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+}  // namespace navarchos::runtime

@@ -1,0 +1,34 @@
+// Execution-runtime configuration plumbed through the hot layers.
+//
+// Every parallelised entry point (telemetry::GenerateFleet, core::RunFleet,
+// eval::RunGrid) accepts a RuntimeConfig and guarantees the *determinism
+// invariant*: the returned data is bit-identical at any thread count. The
+// thread count only changes wall-clock time (and wall-clock measurement
+// fields such as CellResult::runtime_seconds), never results.
+#ifndef NAVARCHOS_RUNTIME_RUNTIME_CONFIG_H_
+#define NAVARCHOS_RUNTIME_RUNTIME_CONFIG_H_
+
+namespace navarchos::runtime {
+
+/// Knobs of the parallel execution runtime.
+struct RuntimeConfig {
+  /// Worker threads for parallel regions.
+  ///   0  = one per hardware thread (std::thread::hardware_concurrency);
+  ///   1  = strictly serial: parallel primitives run inline on the calling
+  ///        thread, spawning nothing (the exact pre-runtime code path);
+  ///   N  = at most N threads (capped by the work-item count).
+  int threads = 1;
+
+  /// Thread count with 0 resolved to the hardware concurrency. Always >= 1.
+  int ResolveThreads() const;
+
+  /// A strictly serial runtime (the library default).
+  static RuntimeConfig Serial() { return RuntimeConfig{1}; }
+
+  /// One thread per hardware thread.
+  static RuntimeConfig AllCores() { return RuntimeConfig{0}; }
+};
+
+}  // namespace navarchos::runtime
+
+#endif  // NAVARCHOS_RUNTIME_RUNTIME_CONFIG_H_

@@ -1,0 +1,114 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+
+namespace navarchos::runtime {
+namespace {
+
+/// Identifies the pool worker executing the current thread, if any, so that
+/// reentrant submissions land on the submitting worker's own queue.
+struct WorkerIdentity {
+  ThreadPool* pool = nullptr;
+  std::size_t index = 0;
+};
+
+thread_local WorkerIdentity tls_worker;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const std::size_t count = static_cast<std::size_t>(std::max(1, threads));
+  queues_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    workers_.emplace_back([this, i]() { WorkerLoop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Post(std::function<void()> task) {
+  std::size_t target;
+  if (tls_worker.pool == this) {
+    target = tls_worker.index;  // Reentrant: keep subtasks on our own queue.
+  } else {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    target = round_robin_++ % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ++pending_;
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::PopTask(std::size_t self, std::function<void()>* task) {
+  // Own queue front first: a single worker preserves submission order.
+  if (self < queues_.size()) {
+    std::lock_guard<std::mutex> lock(queues_[self]->mu);
+    if (!queues_[self]->tasks.empty()) {
+      *task = std::move(queues_[self]->tasks.front());
+      queues_[self]->tasks.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of the other queues.
+  for (std::size_t offset = 1; offset <= queues_.size(); ++offset) {
+    const std::size_t victim = (self + offset) % queues_.size();
+    if (victim == self) continue;
+    std::lock_guard<std::mutex> lock(queues_[victim]->mu);
+    if (!queues_[victim]->tasks.empty()) {
+      *task = std::move(queues_[victim]->tasks.back());
+      queues_[victim]->tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  const std::size_t self =
+      tls_worker.pool == this ? tls_worker.index : queues_.size();
+  if (!PopTask(self, &task)) return false;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    --pending_;
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(std::size_t index) {
+  tls_worker = WorkerIdentity{this, index};
+  while (true) {
+    std::function<void()> task;
+    if (PopTask(index, &task)) {
+      {
+        std::lock_guard<std::mutex> lock(wake_mu_);
+        --pending_;
+      }
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this]() { return stop_ || pending_ > 0; });
+    // Drain everything still queued before honouring shutdown: tasks posted
+    // before the destructor ran must execute, not vanish.
+    if (stop_ && pending_ <= 0) return;
+  }
+}
+
+}  // namespace navarchos::runtime

@@ -1,0 +1,92 @@
+// Work-stealing thread pool: the execution engine under ParallelFor/Map.
+//
+// Each worker owns a deque. Submissions from outside the pool are
+// distributed round-robin; submissions from inside a worker (reentrant
+// submission, e.g. a task spawning subtasks) go to the submitting worker's
+// own queue. Owners pop from the front of their queue - a single-worker
+// pool therefore executes tasks in submission order - while idle workers
+// steal from the back of a victim's queue, so imbalanced task durations
+// (one grid cell running 100x longer than another) still saturate the pool.
+//
+// The pool itself is completion-order agnostic; determinism is layered on
+// top by ParallelFor/ParallelMap, which assign results to index-aligned
+// slots and never reduce in completion order.
+#ifndef NAVARCHOS_RUNTIME_THREAD_POOL_H_
+#define NAVARCHOS_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace navarchos::runtime {
+
+/// Fixed-size work-stealing thread pool.
+///
+/// Thread-safe: Submit/Post may be called concurrently from any thread,
+/// including from tasks already running on the pool. The destructor drains
+/// every queued task before joining the workers.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(int threads);
+
+  /// Signals shutdown, drains all still-queued tasks, joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a fire-and-forget task.
+  void Post(std::function<void()> task);
+
+  /// Enqueues a task and returns a future for its result. Exceptions thrown
+  /// by the task are captured and rethrown by future.get().
+  template <typename F>
+  auto Submit(F&& task) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using Result = std::invoke_result_t<std::decay_t<F>>;
+    auto packaged = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<F>(task));
+    std::future<Result> future = packaged->get_future();
+    Post([packaged]() { (*packaged)(); });
+    return future;
+  }
+
+  /// Runs one queued task on the calling thread if any is available.
+  /// Lets a thread blocked on pool work help instead of idling; safe to
+  /// call from inside a task (reentrant).
+  bool TryRunOneTask();
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(std::size_t index);
+  /// Pops a task: front of `self`'s queue first, then steals from the back
+  /// of the other queues. `self` == size() means "not a worker".
+  bool PopTask(std::size_t self, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::int64_t pending_ = 0;  ///< Queued, not yet popped (guarded by wake_mu_).
+  bool stop_ = false;         ///< Guarded by wake_mu_.
+  std::size_t round_robin_ = 0;  ///< Guarded by wake_mu_.
+};
+
+}  // namespace navarchos::runtime
+
+#endif  // NAVARCHOS_RUNTIME_THREAD_POOL_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "runtime/parallel.h"
 #include "telemetry/driving_cycle.h"
 #include "telemetry/engine_model.h"
 #include "util/check.h"
@@ -183,9 +184,106 @@ void CorruptRecord(Record* record, util::Rng& rng) {
   }
 }
 
+/// Synthesises one vehicle's events, DTC stream, faults, and telemetry.
+/// Pure function of its inputs: every random draw comes from `rng` (the
+/// vehicle's private fork of the fleet master), so vehicles can be built
+/// concurrently in any order. `fault_id` is the vehicle's preassigned
+/// ground-truth fault id (-1 when the vehicle does not fail).
+void SynthesiseVehicle(const FleetConfig& config, const WeatherModel& weather,
+                       const VehicleSpec& spec, bool is_reporting, bool fails,
+                       int fault_id, VehicleHistory& vehicle, util::Rng rng) {
+  const int v = spec.id;
+  vehicle.spec = spec;
+  vehicle.reporting = is_reporting;
+
+  // --- Events: services, repair (if failing), other. ---
+  for (Minute service_time : PlanServiceTimes(config, rng)) {
+    FleetEvent event;
+    event.vehicle_id = v;
+    event.timestamp = service_time;
+    event.type = EventType::kService;
+    event.code = "standard_service";
+    event.recorded = vehicle.reporting && rng.Bernoulli(config.service_record_prob);
+    vehicle.events.push_back(event);
+  }
+  if (fails) {
+    // Repair date late enough for a reference profile to exist first, but
+    // clamped so very short simulations stay valid.
+    const int latest_day = std::max(2, config.days - 3);
+    const int min_day = std::min(
+        std::max(config.fault_lead_days + 20, config.days / 3), latest_day);
+    const Minute repair_time =
+        static_cast<Minute>(rng.UniformInt(min_day, latest_day)) * kMinutesPerDay +
+        rng.UniformInt(8 * 60, 18 * 60);
+    FaultInstance fault = SampleFault(fault_id, v, repair_time,
+                                      config.fault_lead_days, rng);
+    vehicle.faults.push_back(fault);
+    FleetEvent event;
+    event.vehicle_id = v;
+    event.timestamp = repair_time;
+    event.type = EventType::kRepair;
+    event.code = FaultTypeName(fault.type);
+    event.recorded = vehicle.reporting;
+    event.fault_id = fault.fault_id;
+    vehicle.events.push_back(event);
+  }
+  if (vehicle.reporting) {
+    const int extra = static_cast<int>(
+        rng.UniformInt(0, static_cast<std::int64_t>(2.0 * config.other_events_per_vehicle)));
+    for (int i = 0; i < extra; ++i) {
+      FleetEvent event;
+      event.vehicle_id = v;
+      event.timestamp = rng.UniformInt(5, config.days - 1) * kMinutesPerDay +
+                        rng.UniformInt(8 * 60, 18 * 60);
+      event.type = EventType::kOther;
+      event.code = "misc_event";
+      event.recorded = true;
+      vehicle.events.push_back(event);
+    }
+  }
+
+  // --- DTC stream (paper Fig. 1 archetypes). ---
+  const DtcStyle style = static_cast<DtcStyle>(
+      rng.Categorical({0.45, 0.20, 0.25, 0.10}));
+  EmitDtcs(config, vehicle, style, &vehicle.events, rng);
+
+  std::sort(vehicle.events.begin(), vehicle.events.end(),
+            [](const FleetEvent& a, const FleetEvent& b) {
+              return a.timestamp < b.timestamp;
+            });
+
+  // --- Telemetry records. ---
+  DrivingCycle cycle(vehicle.spec);
+  EngineModel engine(vehicle.spec);
+  const std::vector<UsageRegime> regimes = SampleRegimeSequence(config.days, rng);
+  vehicle.records.reserve(static_cast<std::size_t>(
+      config.days * vehicle.spec.daily_operating_minutes * 1.2));
+  for (int day = 0; day < config.days; ++day) {
+    const RegimeEffect regime = ApplyRegime(
+        vehicle.spec.ride_mix, regimes[static_cast<std::size_t>(day)]);
+    for (const Ride& ride :
+         cycle.PlanDay(day, rng, &regime.mix, regime.activity_multiplier)) {
+      engine.StartRide(ride.start, weather.AmbientAt(ride.start));
+      const auto trace = cycle.Realise(ride, rng);
+      for (int m = 0; m < ride.duration_min; ++m) {
+        const Minute t = ride.start + m;
+        const FaultEffects effects = CombinedEffectsAt(vehicle.faults, t);
+        Record record;
+        record.vehicle_id = v;
+        record.timestamp = t;
+        record.pids = engine.Step(t, trace[static_cast<std::size_t>(m)],
+                                  weather.AmbientAt(t), effects, rng);
+        if (rng.Bernoulli(config.sensor_fault_rate)) CorruptRecord(&record, rng);
+        vehicle.records.push_back(record);
+      }
+    }
+  }
+}
+
 }  // namespace
 
-FleetDataset GenerateFleet(const FleetConfig& config) {
+FleetDataset GenerateFleet(const FleetConfig& config,
+                           const runtime::RuntimeConfig& runtime) {
   NAVARCHOS_CHECK(config.num_vehicles > 0);
   NAVARCHOS_CHECK(config.num_reporting <= config.num_vehicles);
   NAVARCHOS_CHECK(config.num_recorded_failures <= config.num_reporting);
@@ -222,98 +320,30 @@ FleetDataset GenerateFleet(const FleetConfig& config) {
   for (int i = 0; i < config.num_hidden_failures && i < static_cast<int>(silent_ids.size()); ++i)
     fails[static_cast<std::size_t>(silent_ids[static_cast<std::size_t>(i)])] = true;
 
+  // Fault ids are assigned by vehicle index (the serial order), so they can
+  // be precomputed here and vehicles synthesised in any order.
+  std::vector<int> fault_ids(static_cast<std::size_t>(config.num_vehicles), -1);
   int next_fault_id = 0;
+  for (int v = 0; v < config.num_vehicles; ++v)
+    if (fails[static_cast<std::size_t>(v)]) fault_ids[static_cast<std::size_t>(v)] = next_fault_id++;
+
+  // Per-vehicle synthesis: causally independent given the shared fleet-level
+  // state above (specs, weather, assignments), with all randomness coming
+  // from the vehicle's private Fork(100 + v) stream. Bit-identical at any
+  // thread count.
   dataset.vehicles.resize(static_cast<std::size_t>(config.num_vehicles));
-  for (int v = 0; v < config.num_vehicles; ++v) {
-    VehicleHistory& vehicle = dataset.vehicles[static_cast<std::size_t>(v)];
-    vehicle.spec = specs[static_cast<std::size_t>(v)];
-    vehicle.reporting = reporting[static_cast<std::size_t>(v)];
-    util::Rng rng = master.Fork(100 + static_cast<std::uint64_t>(v));
-
-    // --- Events: services, repair (if failing), other. ---
-    for (Minute service_time : PlanServiceTimes(config, rng)) {
-      FleetEvent event;
-      event.vehicle_id = v;
-      event.timestamp = service_time;
-      event.type = EventType::kService;
-      event.code = "standard_service";
-      event.recorded = vehicle.reporting && rng.Bernoulli(config.service_record_prob);
-      vehicle.events.push_back(event);
-    }
-    if (fails[static_cast<std::size_t>(v)]) {
-      // Repair date late enough for a reference profile to exist first, but
-      // clamped so very short simulations stay valid.
-      const int latest_day = std::max(2, config.days - 3);
-      const int min_day = std::min(
-          std::max(config.fault_lead_days + 20, config.days / 3), latest_day);
-      const Minute repair_time =
-          static_cast<Minute>(rng.UniformInt(min_day, latest_day)) * kMinutesPerDay +
-          rng.UniformInt(8 * 60, 18 * 60);
-      FaultInstance fault = SampleFault(next_fault_id++, v, repair_time,
-                                        config.fault_lead_days, rng);
-      vehicle.faults.push_back(fault);
-      FleetEvent event;
-      event.vehicle_id = v;
-      event.timestamp = repair_time;
-      event.type = EventType::kRepair;
-      event.code = FaultTypeName(fault.type);
-      event.recorded = vehicle.reporting;
-      event.fault_id = fault.fault_id;
-      vehicle.events.push_back(event);
-    }
-    if (vehicle.reporting) {
-      const int extra = static_cast<int>(
-          rng.UniformInt(0, static_cast<std::int64_t>(2.0 * config.other_events_per_vehicle)));
-      for (int i = 0; i < extra; ++i) {
-        FleetEvent event;
-        event.vehicle_id = v;
-        event.timestamp = rng.UniformInt(5, config.days - 1) * kMinutesPerDay +
-                          rng.UniformInt(8 * 60, 18 * 60);
-        event.type = EventType::kOther;
-        event.code = "misc_event";
-        event.recorded = true;
-        vehicle.events.push_back(event);
-      }
-    }
-
-    // --- DTC stream (paper Fig. 1 archetypes). ---
-    const DtcStyle style = static_cast<DtcStyle>(
-        rng.Categorical({0.45, 0.20, 0.25, 0.10}));
-    EmitDtcs(config, vehicle, style, &vehicle.events, rng);
-
-    std::sort(vehicle.events.begin(), vehicle.events.end(),
-              [](const FleetEvent& a, const FleetEvent& b) {
-                return a.timestamp < b.timestamp;
-              });
-
-    // --- Telemetry records. ---
-    DrivingCycle cycle(vehicle.spec);
-    EngineModel engine(vehicle.spec);
-    const std::vector<UsageRegime> regimes = SampleRegimeSequence(config.days, rng);
-    vehicle.records.reserve(static_cast<std::size_t>(
-        config.days * vehicle.spec.daily_operating_minutes * 1.2));
-    for (int day = 0; day < config.days; ++day) {
-      const RegimeEffect regime = ApplyRegime(
-          vehicle.spec.ride_mix, regimes[static_cast<std::size_t>(day)]);
-      for (const Ride& ride :
-           cycle.PlanDay(day, rng, &regime.mix, regime.activity_multiplier)) {
-        engine.StartRide(ride.start, weather.AmbientAt(ride.start));
-        const auto trace = cycle.Realise(ride, rng);
-        for (int m = 0; m < ride.duration_min; ++m) {
-          const Minute t = ride.start + m;
-          const FaultEffects effects = CombinedEffectsAt(vehicle.faults, t);
-          Record record;
-          record.vehicle_id = v;
-          record.timestamp = t;
-          record.pids = engine.Step(t, trace[static_cast<std::size_t>(m)],
-                                    weather.AmbientAt(t), effects, rng);
-          if (rng.Bernoulli(config.sensor_fault_rate)) CorruptRecord(&record, rng);
-          vehicle.records.push_back(record);
-        }
-      }
-    }
-  }
+  runtime::ParallelFor(
+      runtime, static_cast<std::size_t>(config.num_vehicles),
+      [&](std::size_t v) {
+        SynthesiseVehicle(config, weather, specs[v], reporting[v], fails[v],
+                          fault_ids[v], dataset.vehicles[v],
+                          master.Fork(100 + static_cast<std::uint64_t>(v)));
+      });
   return dataset;
+}
+
+FleetDataset GenerateFleet(const FleetConfig& config) {
+  return GenerateFleet(config, runtime::RuntimeConfig::Serial());
 }
 
 }  // namespace navarchos::telemetry

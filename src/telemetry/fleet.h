@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "runtime/runtime_config.h"
 #include "telemetry/faults.h"
 #include "telemetry/types.h"
 #include "telemetry/vehicle.h"
@@ -90,6 +91,13 @@ struct FleetDataset {
 };
 
 /// Generates a fleet deterministically from `config.seed`.
+///
+/// Vehicles are synthesised in parallel on `runtime.threads` workers; each
+/// vehicle draws from its own forked Rng stream (master.Fork(100 + v)), so
+/// the dataset is bit-identical at any thread count. The single-argument
+/// overload runs strictly serially.
+FleetDataset GenerateFleet(const FleetConfig& config,
+                           const runtime::RuntimeConfig& runtime);
 FleetDataset GenerateFleet(const FleetConfig& config);
 
 }  // namespace navarchos::telemetry

@@ -103,7 +103,7 @@ std::size_t Rng::Categorical(const std::vector<double>& weights) {
   return weights.size() - 1;  // numerical tail
 }
 
-Rng Rng::Fork(std::uint64_t stream) {
+Rng Rng::Fork(std::uint64_t stream) const {
   // Mix the parent state with the stream id through splitmix64 so that
   // forked generators are decorrelated from the parent and each other.
   std::uint64_t s = state_[0] ^ Rotl(stream, 13) ^ (stream * 0xd1342543de82ef95ull);

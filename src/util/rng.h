@@ -65,8 +65,18 @@ class Rng {
   }
 
   /// Derives an independent generator; `stream` distinguishes sub-streams
-  /// derived from the same parent state.
-  Rng Fork(std::uint64_t stream);
+  /// derived from the same parent state. Const - forking reads but never
+  /// advances the parent - so a master generator may be forked concurrently
+  /// from parallel workers, and the stream id alone determines the child:
+  /// Fork(s) yields the same generator no matter when or where it is called.
+  ///
+  /// Stream-allocation convention (keeps sub-streams collision-free):
+  ///   1-99            fleet-level streams (specs, weather, assignment, ...);
+  ///   100 + vehicle   per-vehicle simulation streams (GenerateFleet);
+  ///   components owning their own seed (e.g. telemetry::CorruptionModel)
+  ///   fork per-entity streams from a generator built on that seed instead
+  ///   of sharing the fleet master.
+  Rng Fork(std::uint64_t stream) const;
 
  private:
   std::array<std::uint64_t, 4> state_;

@@ -1,0 +1,216 @@
+// The runtime's cardinal invariant: GenerateFleet, RunFleet, and RunGrid
+// produce byte-identical results at any thread count (threads=1 vs
+// threads=4 here, same seed). Every result field is compared exactly -
+// alarms, scored samples, calibrations, quality counters, grid cells -
+// except wall-clock measurements (CellResult::runtime_seconds), which are
+// not results. Also proves FleetRunResult's const replay methods are safe
+// to call concurrently (run under TSan in CI).
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fleet_runner.h"
+#include "eval/experiment.h"
+#include "runtime/runtime_config.h"
+#include "telemetry/fleet.h"
+
+namespace navarchos {
+namespace {
+
+telemetry::FleetConfig SmallConfig() {
+  telemetry::FleetConfig config = telemetry::FleetConfig::TestScale();
+  config.days = 45;  // Keep the full 16-cell grid comparison fast.
+  return config;
+}
+
+core::MonitorConfig FastMonitorConfig() {
+  core::MonitorConfig config;
+  config.transform_options.window = 60;
+  config.transform_options.stride = 10;
+  config.profile_minutes = 400.0;
+  config.threshold.burn_in_minutes = 120.0;
+  config.threshold.persistence_minutes = 60.0;
+  config.detector_options.tranad.epochs = 2;
+  config.detector_options.tranad.d_model = 8;
+  config.detector_options.tranad.window = 4;
+  config.detector_options.gbt.num_trees = 10;
+  config.detector_options.grand.k = 5;
+  return config;
+}
+
+void ExpectRecordsIdentical(const telemetry::Record& a, const telemetry::Record& b) {
+  ASSERT_EQ(a.vehicle_id, b.vehicle_id);
+  ASSERT_EQ(a.timestamp, b.timestamp);
+  for (std::size_t p = 0; p < a.pids.size(); ++p)
+    ASSERT_EQ(a.pids[p], b.pids[p]);  // Exact, not near: bit-identity.
+}
+
+void ExpectFleetsIdentical(const telemetry::FleetDataset& a,
+                           const telemetry::FleetDataset& b) {
+  ASSERT_EQ(a.vehicles.size(), b.vehicles.size());
+  for (std::size_t v = 0; v < a.vehicles.size(); ++v) {
+    const auto& va = a.vehicles[v];
+    const auto& vb = b.vehicles[v];
+    ASSERT_EQ(va.spec.id, vb.spec.id);
+    ASSERT_EQ(va.reporting, vb.reporting);
+    ASSERT_EQ(va.events.size(), vb.events.size());
+    for (std::size_t e = 0; e < va.events.size(); ++e) {
+      ASSERT_EQ(va.events[e].timestamp, vb.events[e].timestamp);
+      ASSERT_EQ(va.events[e].type, vb.events[e].type);
+      ASSERT_EQ(va.events[e].code, vb.events[e].code);
+      ASSERT_EQ(va.events[e].recorded, vb.events[e].recorded);
+      ASSERT_EQ(va.events[e].fault_id, vb.events[e].fault_id);
+    }
+    ASSERT_EQ(va.faults.size(), vb.faults.size());
+    for (std::size_t f = 0; f < va.faults.size(); ++f) {
+      ASSERT_EQ(va.faults[f].fault_id, vb.faults[f].fault_id);
+      ASSERT_EQ(va.faults[f].type, vb.faults[f].type);
+    }
+    ASSERT_EQ(va.records.size(), vb.records.size());
+    for (std::size_t r = 0; r < va.records.size(); ++r)
+      ExpectRecordsIdentical(va.records[r], vb.records[r]);
+  }
+}
+
+void ExpectAlarmsIdentical(const std::vector<core::Alarm>& a,
+                           const std::vector<core::Alarm>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].vehicle_id, b[i].vehicle_id);
+    ASSERT_EQ(a[i].timestamp, b[i].timestamp);
+    ASSERT_EQ(a[i].channel, b[i].channel);
+    ASSERT_EQ(a[i].channel_name, b[i].channel_name);
+    ASSERT_EQ(a[i].score, b[i].score);
+    ASSERT_EQ(a[i].threshold, b[i].threshold);
+  }
+}
+
+void ExpectRunsIdentical(const core::FleetRunResult& a,
+                         const core::FleetRunResult& b) {
+  ExpectAlarmsIdentical(a.alarms, b.alarms);
+  ASSERT_EQ(a.channel_names, b.channel_names);
+  ASSERT_EQ(a.persistence_window, b.persistence_window);
+  ASSERT_EQ(a.persistence_min, b.persistence_min);
+
+  ASSERT_EQ(a.scored_samples.size(), b.scored_samples.size());
+  for (std::size_t v = 0; v < a.scored_samples.size(); ++v) {
+    ASSERT_EQ(a.scored_samples[v].size(), b.scored_samples[v].size());
+    for (std::size_t s = 0; s < a.scored_samples[v].size(); ++s) {
+      ASSERT_EQ(a.scored_samples[v][s].timestamp, b.scored_samples[v][s].timestamp);
+      ASSERT_EQ(a.scored_samples[v][s].calibration_index,
+                b.scored_samples[v][s].calibration_index);
+      ASSERT_EQ(a.scored_samples[v][s].scores, b.scored_samples[v][s].scores);
+    }
+  }
+
+  ASSERT_EQ(a.calibrations.size(), b.calibrations.size());
+  for (std::size_t v = 0; v < a.calibrations.size(); ++v) {
+    ASSERT_EQ(a.calibrations[v].size(), b.calibrations[v].size());
+    for (std::size_t c = 0; c < a.calibrations[v].size(); ++c) {
+      ASSERT_EQ(a.calibrations[v][c].mean, b.calibrations[v][c].mean);
+      ASSERT_EQ(a.calibrations[v][c].stddev, b.calibrations[v][c].stddev);
+      ASSERT_EQ(a.calibrations[v][c].median, b.calibrations[v][c].median);
+      ASSERT_EQ(a.calibrations[v][c].mad, b.calibrations[v][c].mad);
+      ASSERT_EQ(a.calibrations[v][c].max, b.calibrations[v][c].max);
+    }
+  }
+
+  ASSERT_EQ(a.quality.size(), b.quality.size());
+  for (std::size_t v = 0; v < a.quality.size(); ++v) {
+    ASSERT_EQ(a.quality[v].records_seen, b.quality[v].records_seen);
+    ASSERT_EQ(a.quality[v].RecordsDropped(), b.quality[v].RecordsDropped());
+    ASSERT_EQ(a.quality[v].stuck_run_records, b.quality[v].stuck_run_records);
+    ASSERT_EQ(a.quality[v].quarantine_events, b.quality[v].quarantine_events);
+  }
+}
+
+TEST(DeterminismTest, GenerateFleetIsIdenticalAtAnyThreadCount) {
+  const auto serial = telemetry::GenerateFleet(SmallConfig(),
+                                               runtime::RuntimeConfig{1});
+  const auto parallel = telemetry::GenerateFleet(SmallConfig(),
+                                                 runtime::RuntimeConfig{4});
+  ExpectFleetsIdentical(serial, parallel);
+
+  // The single-argument overload is the serial path.
+  const auto legacy = telemetry::GenerateFleet(SmallConfig());
+  ExpectFleetsIdentical(serial, legacy);
+}
+
+TEST(DeterminismTest, RunFleetIsIdenticalAtAnyThreadCount) {
+  const auto fleet = telemetry::GenerateFleet(SmallConfig(),
+                                              runtime::RuntimeConfig{4});
+  const auto config = FastMonitorConfig();
+  const auto serial = core::RunFleet(fleet, config, runtime::RuntimeConfig{1});
+  const auto parallel = core::RunFleet(fleet, config, runtime::RuntimeConfig{4});
+  ExpectRunsIdentical(serial, parallel);
+
+  // Threshold replays over the recorded traces agree too.
+  for (double factor : {3.0, 8.0, 20.0})
+    ExpectAlarmsIdentical(serial.AlarmsAt(factor), parallel.AlarmsAt(factor));
+
+  const auto qa = serial.TotalQuality();
+  const auto qb = parallel.TotalQuality();
+  ASSERT_EQ(qa.records_seen, qb.records_seen);
+  ASSERT_EQ(qa.RecordsDropped(), qb.RecordsDropped());
+}
+
+TEST(DeterminismTest, RunGridIsIdenticalAtAnyThreadCount) {
+  const auto fleet = telemetry::GenerateFleet(SmallConfig(),
+                                              runtime::RuntimeConfig{4});
+  const auto config = FastMonitorConfig();
+  const eval::SweepConfig sweep;
+  const auto serial = eval::RunGrid(fleet, sweep, config,
+                                    runtime::RuntimeConfig{1});
+  const auto parallel = eval::RunGrid(fleet, sweep, config,
+                                      runtime::RuntimeConfig{4});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].transform, parallel[i].transform);
+    ASSERT_EQ(serial[i].detector, parallel[i].detector);
+    ASSERT_EQ(serial[i].ph_days, parallel[i].ph_days);
+    ASSERT_EQ(serial[i].best_threshold, parallel[i].best_threshold);
+    ASSERT_EQ(serial[i].metrics.f05, parallel[i].metrics.f05);
+    ASSERT_EQ(serial[i].metrics.f1, parallel[i].metrics.f1);
+    ASSERT_EQ(serial[i].metrics.precision, parallel[i].metrics.precision);
+    ASSERT_EQ(serial[i].metrics.recall, parallel[i].metrics.recall);
+    ASSERT_EQ(serial[i].metrics.false_positive_episodes,
+              parallel[i].metrics.false_positive_episodes);
+    ASSERT_EQ(serial[i].metrics.detected_failures,
+              parallel[i].metrics.detected_failures);
+    ASSERT_EQ(serial[i].metrics.total_failures,
+              parallel[i].metrics.total_failures);
+    // runtime_seconds deliberately not compared: wall-clock, not a result.
+  }
+}
+
+TEST(DeterminismTest, ConstReplayMethodsAreSafeToCallConcurrently) {
+  // AlarmsAt/TotalQuality are strictly const (no mutable scratch), so grid
+  // threshold sweeps may replay the same recorded run from many threads.
+  // TSan in CI verifies the absence of data races.
+  const auto fleet = telemetry::GenerateFleet(SmallConfig(),
+                                              runtime::RuntimeConfig{2});
+  const auto run = core::RunFleet(fleet, FastMonitorConfig(),
+                                  runtime::RuntimeConfig{2});
+  const auto expected = run.AlarmsAt(5.0);
+  const auto expected_quality = run.TotalQuality();
+
+  std::vector<std::vector<core::Alarm>> replays(4);
+  std::vector<core::DataQualityReport> qualities(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&run, &replays, &qualities, t]() {
+      replays[static_cast<std::size_t>(t)] = run.AlarmsAt(5.0);
+      qualities[static_cast<std::size_t>(t)] = run.TotalQuality();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < 4; ++t) {
+    ExpectAlarmsIdentical(replays[static_cast<std::size_t>(t)], expected);
+    ASSERT_EQ(qualities[static_cast<std::size_t>(t)].records_seen,
+              expected_quality.records_seen);
+  }
+}
+
+}  // namespace
+}  // namespace navarchos

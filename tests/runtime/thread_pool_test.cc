@@ -1,0 +1,173 @@
+// ThreadPool and ParallelFor/Map unit tests: submission-order execution on
+// a single worker, future values, exception propagation, reentrant
+// submission, nested parallelism, and index-ordered reduction.
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/parallel.h"
+#include "runtime/runtime_config.h"
+#include "runtime/thread_pool.h"
+
+namespace navarchos::runtime {
+namespace {
+
+TEST(RuntimeConfigTest, ResolvesThreadCounts) {
+  EXPECT_EQ(RuntimeConfig{1}.ResolveThreads(), 1);
+  EXPECT_EQ(RuntimeConfig{7}.ResolveThreads(), 7);
+  EXPECT_GE(RuntimeConfig{0}.ResolveThreads(), 1);  // hardware concurrency
+  EXPECT_EQ(RuntimeConfig::Serial().ResolveThreads(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutureValues) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 50; ++i)
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPoolTest, SingleWorkerExecutesInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&mu, &order, i]() {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+    }));
+  }
+  for (auto& future : futures) future.get();
+  std::vector<int> expected(100);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+
+  // The pool survives a throwing task and keeps executing.
+  EXPECT_EQ(pool.Submit([]() { return 41 + 1; }).get(), 42);
+}
+
+TEST(ThreadPoolTest, ReentrantSubmissionFromInsideATask) {
+  ThreadPool pool(1);  // One worker: subtasks must queue, not deadlock.
+  std::atomic<int> executed{0};
+  auto outer = pool.Submit([&pool, &executed]() {
+    std::vector<std::future<void>> inner;
+    for (int i = 0; i < 10; ++i)
+      inner.push_back(pool.Submit([&executed]() { ++executed; }));
+    ++executed;
+    return inner;  // Futures outlive the outer task; awaited by the test.
+  });
+  for (auto& future : outer.get()) future.get();
+  EXPECT_EQ(executed.load(), 11);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i)
+      pool.Post([&executed]() {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++executed;
+      });
+  }  // Destructor must run all 64, not drop them.
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(ThreadPoolTest, TryRunOneTaskHelpsFromOutside) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  auto blocker = release.get_future().share();
+  // Occupy the only worker, then queue one more task.
+  auto occupied = pool.Submit([blocker]() { blocker.wait(); });
+  std::atomic<bool> ran{false};
+  pool.Post([&ran]() { ran = true; });
+  // The calling thread can steal and run the queued task itself.
+  while (!ran) {
+    if (!pool.TryRunOneTask())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(ran.load());
+  release.set_value();
+  occupied.get();
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    std::vector<std::atomic<int>> hits(257);
+    ParallelFor(RuntimeConfig{threads}, hits.size(),
+                [&hits](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+  }
+}
+
+TEST(ParallelForTest, RethrowsBodyException) {
+  EXPECT_THROW(
+      ParallelFor(RuntimeConfig{4}, 64,
+                  [](std::size_t i) {
+                    if (i == 13) throw std::runtime_error("body failed");
+                  }),
+      std::runtime_error);
+  // Serial path too.
+  EXPECT_THROW(
+      ParallelFor(RuntimeConfig{1}, 64,
+                  [](std::size_t i) {
+                    if (i == 13) throw std::runtime_error("body failed");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, NestedParallelismDoesNotDeadlock) {
+  std::atomic<int> total{0};
+  ParallelFor(RuntimeConfig{4}, 8, [&total](std::size_t) {
+    ParallelFor(RuntimeConfig{2}, 8, [&total](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParallelForTest, NestedOnSharedPoolDoesNotDeadlock) {
+  // The inner loop reuses the same pool its caller runs on; the caller must
+  // help execute rather than block its worker.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  ParallelFor(&pool, 6, [&pool, &total](std::size_t) {
+    ParallelFor(&pool, 6, [&total](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 36);
+}
+
+TEST(ParallelMapTest, CollectsResultsByIndexNotCompletionOrder) {
+  // Earlier indices sleep longer, so completion order is roughly reversed;
+  // the output must still be index-aligned.
+  const auto out = ParallelMap<int>(RuntimeConfig{4}, 32, [](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::microseconds((32 - i) * 200));
+    return static_cast<int>(i) * 3;
+  });
+  ASSERT_EQ(out.size(), 32u);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+}
+
+TEST(ParallelMapTest, SerialAndParallelAgree) {
+  auto body = [](std::size_t i) { return static_cast<double>(i) * 1.5 + 1.0; };
+  const auto serial = ParallelMap<double>(RuntimeConfig{1}, 100, body);
+  const auto parallel = ParallelMap<double>(RuntimeConfig{4}, 100, body);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace navarchos::runtime
