@@ -164,6 +164,7 @@ int Main(int argc, char** argv) {
   std::fprintf(json, "  \"bench\": \"scaling_sweep\",\n");
   std::fprintf(json, "  \"days\": %d,\n  \"seed\": %" PRIu64 ",\n",
                options.days, options.seed);
+  std::fprintf(json, "  \"threads\": %d,\n", options.threads);
   std::fprintf(json, "  \"hardware_concurrency\": %d,\n", hardware);
   std::fprintf(json, "  \"deterministic_across_thread_counts\": %s,\n",
                identical ? "true" : "false");

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Schema guard for bench JSON artifacts.
+
+Every bench that emits a BENCH_*.json file must record the --threads value
+it ran with in the file's header (top-level "threads" key, integer), so a
+measurement can never be archived without its execution-runtime context.
+CI runs this over every emitted artifact; a missing or mistyped key fails
+the job.
+
+Usage: check_bench_json.py BENCH_a.json [BENCH_b.json ...]
+"""
+import json
+import sys
+
+
+def check(path: str) -> str | None:
+    """Returns an error message for `path`, or None when it conforms."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        return f"{path}: unreadable or invalid JSON: {err}"
+    if not isinstance(data, dict):
+        return f"{path}: top level must be a JSON object"
+    if "bench" not in data:
+        return f"{path}: missing top-level 'bench' name"
+    threads = data.get("threads")
+    # bool is an int subclass in Python; reject it explicitly.
+    if isinstance(threads, bool) or not isinstance(threads, int):
+        return (f"{path}: missing integer top-level 'threads' "
+                f"(the --threads value the bench ran with)")
+    return None
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print("usage: check_bench_json.py BENCH_*.json", file=sys.stderr)
+        return 2
+    errors = [msg for path in argv[1:] if (msg := check(path))]
+    for msg in errors:
+        print(f"check_bench_json: {msg}", file=sys.stderr)
+    if not errors:
+        print(f"check_bench_json: {len(argv) - 1} artifact(s) conform")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

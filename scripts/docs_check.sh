@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Strict public-API documentation check (the CI `docs` job).
+#
+# Runs Doxygen over the documented subsystems' public headers with
+# EXTRACT_ALL=NO and WARN_AS_ERROR=YES: every public declaration in
+# src/runtime, src/core and src/service must carry a documentation comment,
+# and any Doxygen warning fails the check. The full-site Doxyfile (which
+# extracts everything for browsing) stays as-is; this is the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+command -v doxygen >/dev/null || {
+  echo "docs_check: doxygen not installed" >&2
+  exit 1
+}
+
+out_dir="build/docs-api-check"
+mkdir -p "${out_dir}"
+
+(
+  cat Doxyfile
+  echo "INPUT = src/runtime src/core src/service"
+  echo "FILE_PATTERNS = *.h"
+  echo "USE_MDFILE_AS_MAINPAGE ="
+  echo "EXTRACT_ALL = NO"
+  echo "WARN_IF_UNDOCUMENTED = YES"
+  echo "WARN_AS_ERROR = YES"
+  echo "OUTPUT_DIRECTORY = ${out_dir}"
+  echo "GENERATE_HTML = YES"
+  echo "GENERATE_LATEX = NO"
+) | doxygen -
+
+echo "docs_check: public API documentation is complete"

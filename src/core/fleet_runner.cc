@@ -48,26 +48,15 @@ FleetRunResult RunFleet(const telemetry::FleetDataset& fleet,
     VehicleMonitor monitor(vehicle.spec.id, config);
     std::vector<Alarm>& alarms = vehicle_alarms[v];
 
-    // Merge records and events by timestamp (events first on ties, so a
-    // same-minute service resets Ref before the next measurement arrives).
+    // Replay the vehicle's frame sequence through the streaming stepping
+    // API (records and events merged by timestamp, events first on ties so
+    // a same-minute service resets Ref before the next measurement).
     // Record delivery order is preserved as-is: the monitor's ingest guard,
     // not the runner, is responsible for resequencing corrupted streams.
-    std::size_t ri = 0, ei = 0;
-    const auto& records = vehicle.records;
-    const auto& events = vehicle.events;
-    while (ri < records.size() || ei < events.size()) {
-      const bool take_event =
-          ei < events.size() &&
-          (ri >= records.size() || events[ei].timestamp <= records[ri].timestamp);
-      if (take_event) {
-        for (auto& alarm : monitor.OnEvent(events[ei++]))
-          alarms.push_back(std::move(alarm));
-      } else {
-        if (auto alarm = monitor.OnRecord(records[ri++])) {
-          alarms.push_back(std::move(*alarm));
-        }
-      }
-    }
+    // This is the same code path the streaming service drives frame by
+    // frame, which is what makes replay-equals-live checkable at all.
+    for (const telemetry::SensorFrame& frame : telemetry::MakeVehicleStream(vehicle))
+      for (Alarm& alarm : monitor.OnFrame(frame)) alarms.push_back(std::move(alarm));
     for (auto& alarm : monitor.Flush()) alarms.push_back(std::move(alarm));
 
     result.scored_samples[v] = monitor.scored_samples();

@@ -12,6 +12,12 @@
 #include "runtime/runtime_config.h"
 #include "telemetry/fleet.h"
 
+/// \file
+/// \brief RunFleet, the batch fleet runner: replays every vehicle's frame
+/// stream through a VehicleMonitor (in parallel, deterministically) and
+/// collects FleetRunResult - alarms, score traces, calibrations and
+/// data-quality reports.
+
 namespace navarchos::core {
 
 /// Result of running one framework instantiation over a fleet.
@@ -26,8 +32,9 @@ struct FleetRunResult {
   std::vector<DataQualityReport> quality;
   /// Channel names (same for all vehicles).
   std::vector<std::string> channel_names;
-  /// Resolved persistence (samples) of the run, reused by AlarmsAt.
+  /// Resolved persistence window (samples) of the run, reused by AlarmsAt.
   int persistence_window = 20;
+  /// Minimum violations within the window to raise an alarm.
   int persistence_min = 14;
   /// Threshold rule of the run, reused by AlarmsAt.
   detect::ThresholdConfig::Kind threshold_kind =
@@ -50,6 +57,8 @@ struct FleetRunResult {
 FleetRunResult RunFleet(const telemetry::FleetDataset& fleet,
                         const MonitorConfig& config,
                         const runtime::RuntimeConfig& runtime);
+
+/// Strictly serial RunFleet (runtime::RuntimeConfig::Serial()).
 FleetRunResult RunFleet(const telemetry::FleetDataset& fleet,
                         const MonitorConfig& config);
 

@@ -104,6 +104,13 @@ std::vector<Alarm> VehicleMonitor::OnEvent(const telemetry::FleetEvent& event) {
   return alarms;
 }
 
+std::vector<Alarm> VehicleMonitor::OnFrame(const telemetry::SensorFrame& frame) {
+  if (frame.kind == telemetry::SensorFrame::Kind::kEvent) return OnEvent(frame.event);
+  std::vector<Alarm> alarms;
+  if (auto alarm = OnRecord(frame.record)) alarms.push_back(std::move(*alarm));
+  return alarms;
+}
+
 std::vector<Alarm> VehicleMonitor::Flush() {
   std::vector<Alarm> alarms;
   while (!reorder_buffer_.empty()) {

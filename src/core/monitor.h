@@ -26,8 +26,18 @@
 
 #include "detect/factory.h"
 #include "detect/threshold.h"
+#include "telemetry/stream.h"
 #include "telemetry/types.h"
 #include "transform/transformer.h"
+
+/// \file
+/// \brief Algorithm 1: the streaming per-vehicle monitor (ingest guard,
+/// filters, transform, dynamic reference profile, detector scoring) and its
+/// configuration, alarm, calibration and data-quality types.
+
+/// \namespace navarchos::core
+/// \brief The monitoring core: the per-vehicle streaming monitor
+/// (Algorithm 1) and the batch fleet runner built on it.
 
 namespace navarchos::core {
 
@@ -58,7 +68,7 @@ struct IngestGuardConfig {
 /// repaired. Totals are comparable against a CorruptionManifest when the
 /// stream was corrupted by a CorruptionModel.
 struct DataQualityReport {
-  std::int32_t vehicle_id = 0;
+  std::int32_t vehicle_id = 0;         ///< Vehicle the counters belong to.
   std::size_t records_seen = 0;        ///< All records offered to OnRecord.
   std::size_t duplicates_dropped = 0;  ///< Same timestamp + identical PIDs.
   std::size_t reordered_recovered = 0; ///< Late arrivals resequenced in-buffer.
@@ -83,10 +93,15 @@ struct DataQualityReport {
 struct MonitorConfig {
   /// Ingest hardening against corrupted telemetry transport.
   IngestGuardConfig ingest;
+  /// Data transformation of step 1 (paper §4.2).
   transform::TransformKind transform = transform::TransformKind::kCorrelation;
+  /// Options of the transformation (window, stride, PID subset).
   transform::TransformOptions transform_options;
+  /// Detection technique fitted on the reference profile (step 3).
   detect::DetectorKind detector = detect::DetectorKind::kClosestPair;
+  /// Options of the detection technique.
   detect::DetectorOptions detector_options;
+  /// Thresholding rule, factor and persistence configuration.
   detect::ThresholdConfig threshold;
   /// Operating minutes of transformed samples forming the reference profile
   /// (resolved to a sample count through the transform's emission stride, so
@@ -103,21 +118,21 @@ struct MonitorConfig {
 
 /// An alarm raised by the monitor, attributed to a score channel.
 struct Alarm {
-  std::int32_t vehicle_id = 0;
-  telemetry::Minute timestamp = 0;
-  std::size_t channel = 0;
-  std::string channel_name;
-  double score = 0.0;
-  double threshold = 0.0;
+  std::int32_t vehicle_id = 0;      ///< Vehicle that raised the alarm.
+  telemetry::Minute timestamp = 0;  ///< Stream time of the violating sample.
+  std::size_t channel = 0;          ///< Violating score channel index.
+  std::string channel_name;         ///< Human-readable channel name.
+  double score = 0.0;               ///< Score that crossed the threshold.
+  double threshold = 0.0;           ///< Threshold in force at the violation.
 };
 
 /// Per-channel calibration statistics of one reference cycle.
 struct CalibrationStats {
-  std::vector<double> mean;
-  std::vector<double> stddev;
-  std::vector<double> median;
-  std::vector<double> mad;  ///< Median absolute deviation.
-  std::vector<double> max;
+  std::vector<double> mean;    ///< Per-channel mean of the burn-in scores.
+  std::vector<double> stddev;  ///< Per-channel standard deviation.
+  std::vector<double> median;  ///< Per-channel median.
+  std::vector<double> mad;     ///< Per-channel median absolute deviation.
+  std::vector<double> max;     ///< Per-channel maximum.
   bool constant_threshold = false;  ///< True for probability-score detectors.
 
   /// Threshold of channel `c` under the given rule and factor. Constant-
@@ -128,15 +143,17 @@ struct CalibrationStats {
 
 /// One scored live sample (kept for threshold-sweep replay and Fig. 8).
 struct ScoredSample {
-  std::int32_t vehicle_id = 0;
-  telemetry::Minute timestamp = 0;
-  std::vector<double> scores;
+  std::int32_t vehicle_id = 0;      ///< Vehicle the sample belongs to.
+  telemetry::Minute timestamp = 0;  ///< Stream time of the sample.
+  std::vector<double> scores;       ///< One score per detector channel.
   int calibration_index = -1;  ///< Into VehicleMonitor::calibrations().
 };
 
 /// Streaming monitor for one vehicle (Algorithm 1).
 class VehicleMonitor {
  public:
+  /// Builds the monitor for `vehicle_id`, instantiating the transformer and
+  /// detector named by `config`.
   VehicleMonitor(std::int32_t vehicle_id, const MonitorConfig& config);
 
   /// Dependency-injecting constructor: uses the given transformer/detector
@@ -156,6 +173,14 @@ class VehicleMonitor {
   /// With the ingest guard enabled, processing lags delivery by up to
   /// `ingest.reorder_capacity` records; call Flush() at end of stream.
   std::optional<Alarm> OnRecord(const telemetry::Record& record);
+
+  /// Incremental stepping API for streaming feeds: dispatches one
+  /// multiplexed-stream frame to OnRecord or OnEvent by its kind and
+  /// returns whatever alarms it raised. Feeding a vehicle's frame sequence
+  /// through OnFrame (plus a final Flush) is exactly equivalent to the
+  /// batch runner's record/event walk - the streaming service and
+  /// core::RunFleet share this code path.
+  std::vector<Alarm> OnFrame(const telemetry::SensorFrame& frame);
 
   /// Drains the reorder buffer at end of stream, returning any alarms the
   /// remaining records raise. No-op when the ingest guard is disabled.

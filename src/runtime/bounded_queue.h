@@ -1,0 +1,141 @@
+// Bounded FIFO queue with blocking and rejecting backpressure: the ingest
+// primitive under the streaming fleet service's per-vehicle lanes.
+//
+// Mutex + condition-variable implementation, deliberately simple: one lane
+// carries one vehicle's frames (single producer, single pump consumer at a
+// time), so lock contention is negligible next to monitor work, and the
+// blocking semantics are exactly what backpressure needs - a full queue
+// makes the producer wait (kBlock) or hands it an immediate refusal
+// (TryPush, for kReject policies) instead of growing without bound.
+//
+// Shutdown protocol: Close() refuses all further pushes while Pop/TryPop
+// keep draining whatever was accepted before the close - an accepted item
+// is never lost. Pop returns false only when the queue is closed AND empty.
+#ifndef NAVARCHOS_RUNTIME_BOUNDED_QUEUE_H_
+#define NAVARCHOS_RUNTIME_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "util/check.h"
+
+/// \file
+/// \brief BoundedQueue, the blocking/rejecting bounded FIFO under the
+/// streaming service's per-vehicle ingest lanes.
+
+namespace navarchos::runtime {
+
+/// Thread-safe bounded FIFO queue with backpressure and drain-on-close.
+///
+/// All members may be called concurrently from any number of producer and
+/// consumer threads; FIFO order is global (items pop in exactly the order
+/// their pushes were admitted).
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Creates a queue admitting at most `capacity` buffered items
+  /// (`capacity` must be >= 1).
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    NAVARCHOS_CHECK(capacity >= 1);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocking push: waits while the queue is full. Returns true when the
+  /// item was admitted, false when the queue was closed (the item is
+  /// dropped; closed queues admit nothing).
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this]() { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: admits the item only if the queue has space and is
+  /// open; otherwise returns false immediately (rejection backpressure).
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop: waits while the queue is empty and open. Returns true
+  /// with the oldest item in `*out`, or false once the queue is closed and
+  /// fully drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this]() { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop: returns true with the oldest item in `*out`, false
+  /// when nothing is currently buffered (whether open or closed).
+  bool TryPop(T* out) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return false;
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Closes the queue: all current and future pushes fail, blocked pushers
+  /// wake with false, and consumers drain the remaining items before Pop
+  /// reports exhaustion. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// True once Close() has been called.
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Number of items currently buffered.
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// True when nothing is currently buffered.
+  bool Empty() const { return size() == 0; }
+
+  /// Maximum number of buffered items.
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace navarchos::runtime
+
+#endif  // NAVARCHOS_RUNTIME_BOUNDED_QUEUE_H_

@@ -20,6 +20,11 @@
 #include "runtime/runtime_config.h"
 #include "runtime/thread_pool.h"
 
+/// \file
+/// \brief ParallelFor/ParallelMap, the deterministic data-parallel
+/// primitives (index-claimed work, index-aligned reduction, inline serial
+/// path at threads == 1).
+
 namespace navarchos::runtime {
 
 /// Invokes `body(i)` for every i in [0, n). Indices are claimed dynamically

@@ -8,6 +8,19 @@
 #ifndef NAVARCHOS_RUNTIME_RUNTIME_CONFIG_H_
 #define NAVARCHOS_RUNTIME_RUNTIME_CONFIG_H_
 
+/// \file
+/// \brief RuntimeConfig, the thread-count knob plumbed through every
+/// parallelised entry point; results are bit-identical at any value.
+
+/// \namespace navarchos
+/// \brief Root namespace of the Navarchos-PdM reproduction.
+
+/// \namespace navarchos::runtime
+/// \brief Deterministic parallel execution runtime: thread pool, data
+/// parallel primitives, bounded queues and their configuration. Every
+/// construct preserves the determinism invariant - outputs are
+/// bit-identical at any thread count.
+
 namespace navarchos::runtime {
 
 /// Knobs of the parallel execution runtime.

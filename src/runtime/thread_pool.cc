@@ -86,9 +86,21 @@ bool ThreadPool::TryRunOneTask() {
   {
     std::lock_guard<std::mutex> lock(wake_mu_);
     --pending_;
+    ++executing_;
   }
   task();
+  FinishTask();
   return true;
+}
+
+void ThreadPool::FinishTask() {
+  std::lock_guard<std::mutex> lock(wake_mu_);
+  if (--executing_ == 0 && pending_ <= 0) idle_cv_.notify_all();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  idle_cv_.wait(lock, [this]() { return pending_ <= 0 && executing_ == 0; });
 }
 
 void ThreadPool::WorkerLoop(std::size_t index) {
@@ -99,8 +111,10 @@ void ThreadPool::WorkerLoop(std::size_t index) {
       {
         std::lock_guard<std::mutex> lock(wake_mu_);
         --pending_;
+        ++executing_;
       }
       task();
+      FinishTask();
       continue;
     }
     std::unique_lock<std::mutex> lock(wake_mu_);

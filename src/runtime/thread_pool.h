@@ -25,6 +25,10 @@
 #include <type_traits>
 #include <vector>
 
+/// \file
+/// \brief ThreadPool, the fixed-size work-stealing pool under ParallelFor,
+/// ParallelMap and the streaming service's lane pumps.
+
 namespace navarchos::runtime {
 
 /// Fixed-size work-stealing thread pool.
@@ -66,6 +70,13 @@ class ThreadPool {
   /// call from inside a task (reentrant).
   bool TryRunOneTask();
 
+  /// Blocks until the pool is idle: no task queued and none executing.
+  /// Tasks posted by still-running tasks are waited for too (the pool only
+  /// counts as idle once the whole cascade has finished), which is what a
+  /// graceful service drain needs. Must not be called from inside a pool
+  /// task (it would wait for itself).
+  void WaitIdle();
+
  private:
   struct Queue {
     std::mutex mu;
@@ -76,14 +87,18 @@ class ThreadPool {
   /// Pops a task: front of `self`'s queue first, then steals from the back
   /// of the other queues. `self` == size() means "not a worker".
   bool PopTask(std::size_t self, std::function<void()>* task);
+  /// Marks one popped task finished and wakes WaitIdle when the pool drains.
+  void FinishTask();
 
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
 
   std::mutex wake_mu_;
   std::condition_variable wake_cv_;
-  std::int64_t pending_ = 0;  ///< Queued, not yet popped (guarded by wake_mu_).
-  bool stop_ = false;         ///< Guarded by wake_mu_.
+  std::condition_variable idle_cv_;  ///< Signalled when the pool goes idle.
+  std::int64_t pending_ = 0;    ///< Queued, not yet popped (guarded by wake_mu_).
+  std::int64_t executing_ = 0;  ///< Popped, still running (guarded by wake_mu_).
+  bool stop_ = false;           ///< Guarded by wake_mu_.
   std::size_t round_robin_ = 0;  ///< Guarded by wake_mu_.
 };
 

@@ -1,0 +1,251 @@
+#include "service/fleet_service.h"
+
+#include <utility>
+
+#include "transform/transformer.h"
+#include "util/check.h"
+
+namespace navarchos::service {
+
+// ---------------------------------------------------------------- OrderedSink
+
+void FleetService::OrderedSink::Complete(std::uint64_t global_seq,
+                                         std::uint64_t vehicle_seq,
+                                         std::int32_t vehicle_id,
+                                         std::vector<core::Alarm> alarms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++frames_processed_;
+  FrameCompletion completion;
+  completion.global_seq = global_seq;
+  completion.vehicle_seq = vehicle_seq;
+  completion.vehicle_id = vehicle_id;
+  completion.alarms = alarms.size();
+  pending_.emplace(global_seq, completion);
+  pending_alarms_.emplace(global_seq, std::move(alarms));
+
+  // Release every completion that is now contiguous with the cursor. Worker
+  // scheduling decides only when a completion *arrives*, never when it is
+  // *released*: the release order is the admission order, always.
+  auto it = pending_.find(next_release_);
+  while (it != pending_.end()) {
+    auto alarms_it = pending_alarms_.find(next_release_);
+    for (core::Alarm& alarm : alarms_it->second) {
+      if (alarm_callback) alarm_callback(alarm);
+      alarms_.push_back(std::move(alarm));
+    }
+    if (completion_callback) completion_callback(it->second);
+    pending_alarms_.erase(alarms_it);
+    pending_.erase(it);
+    ++next_release_;
+    it = pending_.find(next_release_);
+  }
+}
+
+void FleetService::OrderedSink::AppendUnsequenced(std::int32_t vehicle_id,
+                                                  std::vector<core::Alarm> alarms) {
+  (void)vehicle_id;
+  std::lock_guard<std::mutex> lock(mu_);
+  NAVARCHOS_CHECK(pending_.empty());  // only legal after the drain barrier
+  for (core::Alarm& alarm : alarms) {
+    if (alarm_callback) alarm_callback(alarm);
+    alarms_.push_back(std::move(alarm));
+  }
+}
+
+std::size_t FleetService::OrderedSink::frames_processed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_processed_;
+}
+
+std::size_t FleetService::OrderedSink::alarms_emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alarms_.size();
+}
+
+// --------------------------------------------------------------- FleetService
+
+FleetService::FleetService(const ServiceConfig& config)
+    : config_(config), pool_(config.runtime.ResolveThreads()) {
+  NAVARCHOS_CHECK(config_.queue_capacity >= 1);
+  NAVARCHOS_CHECK(config_.pump_batch >= 1);
+}
+
+FleetService::~FleetService() { Drain(); }
+
+FleetService::VehicleLane* FleetService::LaneOfLocked(std::int32_t vehicle_id) {
+  const auto it = lane_index_.find(vehicle_id);
+  if (it != lane_index_.end()) return lanes_[it->second].get();
+  lanes_.push_back(std::make_unique<VehicleLane>(vehicle_id, config_.monitor,
+                                                 config_.queue_capacity));
+  lane_index_.emplace(vehicle_id, lanes_.size() - 1);
+  return lanes_.back().get();
+}
+
+int FleetService::RegisterVehicle(std::int32_t vehicle_id) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  NAVARCHOS_CHECK(!draining_);
+  LaneOfLocked(vehicle_id);
+  return static_cast<int>(lane_index_.at(vehicle_id));
+}
+
+void FleetService::SchedulePumpLocked(VehicleLane* lane) {
+  std::lock_guard<std::mutex> lock(lane->pump_mu);
+  if (lane->pump_scheduled) return;  // a pump is already queued or running
+  lane->pump_scheduled = true;
+  pool_.Post([this, lane]() { PumpLane(lane); });
+}
+
+void FleetService::PumpLane(VehicleLane* lane) {
+  // Step up to pump_batch frames, then yield the worker: a flooded vehicle
+  // reschedules itself behind the other lanes' pumps instead of starving
+  // them. Only one pump per lane is ever scheduled (pump_scheduled), so the
+  // monitor is touched by one thread at a time and sees frames in exactly
+  // the admitted FIFO order - the per-vehicle half of the determinism story.
+  TaggedFrame tagged;
+  for (std::size_t n = 0; n < config_.pump_batch && lane->queue.TryPop(&tagged); ++n) {
+    std::vector<core::Alarm> alarms = lane->monitor.OnFrame(tagged.frame);
+    sink_.Complete(tagged.global_seq, tagged.vehicle_seq, lane->vehicle_id,
+                   std::move(alarms));
+  }
+
+  // Reschedule-or-park must see the producer's push: both sides order their
+  // queue access before taking pump_mu, so either the producer observes
+  // pump_scheduled == true or this pump observes the non-empty queue.
+  std::lock_guard<std::mutex> lock(lane->pump_mu);
+  if (!lane->queue.Empty()) {
+    pool_.Post([this, lane]() { PumpLane(lane); });
+  } else {
+    lane->pump_scheduled = false;
+  }
+}
+
+bool FleetService::Submit(const telemetry::SensorFrame& frame) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  ++frames_submitted_;
+  if (draining_) {
+    ++frames_rejected_;
+    return false;
+  }
+  VehicleLane* lane = LaneOfLocked(frame.vehicle_id());
+
+  TaggedFrame tagged;
+  tagged.global_seq = next_global_seq_;
+  tagged.vehicle_seq = lane->next_vehicle_seq;
+  tagged.frame = frame;
+  const bool admitted = config_.backpressure == BackpressurePolicy::kBlock
+                            ? lane->queue.Push(std::move(tagged))
+                            : lane->queue.TryPush(std::move(tagged));
+  if (!admitted) {
+    // Shed (kReject on a full lane). The sequence numbers were not
+    // consumed, so the ordered sink's contiguous release is unaffected.
+    ++frames_rejected_;
+    return false;
+  }
+  ++next_global_seq_;
+  ++lane->next_vehicle_seq;
+  ++frames_accepted_;
+  SchedulePumpLocked(lane);
+  return true;
+}
+
+void FleetService::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    if (drained_) return;
+    draining_ = true;
+    // Closing refuses nothing already admitted: pumps keep TryPop-draining
+    // the buffered frames; only new pushes fail.
+    for (auto& lane : lanes_) lane->queue.Close();
+  }
+
+  // Barrier: a non-empty lane always has a pump queued or running (Submit
+  // schedules one on every admission; a pump re-posts itself while its lane
+  // is non-empty), so an idle pool means every admitted frame has been
+  // processed and completed into the sink.
+  pool_.WaitIdle();
+
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    // End-of-stream flush of each monitor's reorder buffer, in lane order -
+    // deterministic because the drain barrier already passed.
+    for (auto& lane : lanes_)
+      sink_.AppendUnsequenced(lane->vehicle_id, lane->monitor.Flush());
+    drained_ = true;
+  }
+}
+
+core::FleetRunResult FleetService::TakeResult() {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  NAVARCHOS_CHECK(drained_);
+  core::FleetRunResult result;
+  const auto [pw, pm] = config_.monitor.threshold.ResolvePersistence(
+      transform::EffectiveStride(config_.monitor.transform,
+                                 config_.monitor.transform_options));
+  result.persistence_window = pw;
+  result.persistence_min = pm;
+  result.threshold_kind = config_.monitor.threshold.kind;
+  result.alarms = std::move(sink_.alarms());
+  result.scored_samples.reserve(lanes_.size());
+  result.calibrations.reserve(lanes_.size());
+  result.quality.reserve(lanes_.size());
+  for (auto& lane : lanes_) {
+    result.scored_samples.push_back(lane->monitor.scored_samples());
+    result.calibrations.push_back(lane->monitor.calibrations());
+    result.quality.push_back(lane->monitor.quality());
+    if (result.channel_names.empty())
+      result.channel_names = lane->monitor.channel_names();
+  }
+  return result;
+}
+
+ServiceStats FleetService::stats() const {
+  ServiceStats stats;
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    stats.frames_submitted = frames_submitted_;
+    stats.frames_accepted = frames_accepted_;
+    stats.frames_rejected = frames_rejected_;
+  }
+  stats.frames_processed = sink_.frames_processed();
+  stats.alarms_emitted = sink_.alarms_emitted();
+  return stats;
+}
+
+void FleetService::set_alarm_callback(AlarmCallback callback) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  NAVARCHOS_CHECK(next_global_seq_ == 0);  // before the first admission
+  sink_.alarm_callback = std::move(callback);
+}
+
+void FleetService::set_completion_callback(CompletionCallback callback) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  NAVARCHOS_CHECK(next_global_seq_ == 0);
+  sink_.completion_callback = std::move(callback);
+}
+
+std::size_t FleetService::vehicle_count() const {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  return lanes_.size();
+}
+
+// ------------------------------------------------------------------- helpers
+
+core::FleetRunResult RunStream(const std::vector<telemetry::SensorFrame>& stream,
+                               const std::vector<std::int32_t>& vehicle_ids,
+                               const ServiceConfig& config) {
+  FleetService service(config);
+  for (const std::int32_t id : vehicle_ids) service.RegisterVehicle(id);
+  for (const telemetry::SensorFrame& frame : stream) service.Submit(frame);
+  service.Drain();
+  return service.TakeResult();
+}
+
+std::vector<std::int32_t> VehicleIdsOf(const telemetry::FleetDataset& fleet) {
+  std::vector<std::int32_t> ids;
+  ids.reserve(fleet.vehicles.size());
+  for (const telemetry::VehicleHistory& vehicle : fleet.vehicles)
+    ids.push_back(vehicle.spec.id);
+  return ids;
+}
+
+}  // namespace navarchos::service

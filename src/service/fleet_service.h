@@ -1,0 +1,280 @@
+// Streaming fleet service: live, multiplexed monitoring of many vehicles.
+//
+// The batch runner (core::RunFleet) consumes pre-materialised per-vehicle
+// histories; a deployed fleet platform instead sees one interleaved feed of
+// SensorFrames from all vehicles at once. FleetService is that serving
+// layer: each submitted frame is routed to a bounded per-vehicle ingest
+// queue (backpressure instead of unbounded buffering), per-vehicle pump
+// tasks on a shared runtime::ThreadPool step the vehicle's VehicleMonitor
+// frame by frame, and alarms leave through an ordered sink that restores
+// one deterministic total order.
+//
+// Determinism contract (the replay-equals-live invariant): for a given
+// submission sequence, the service's complete output - alarms in order,
+// scored samples, calibrations, DataQualityReports - is bit-identical at
+// any worker thread count, and bit-identical between a live run and any
+// later replay of the same recorded stream. Three conventions make this
+// hold, mirroring the batch runtime:
+//   * per-vehicle FIFO lanes: a vehicle's frames are processed in
+//     submission order by exactly one pump at a time, so each monitor sees
+//     the same sequence a serial run would feed it;
+//   * index-aligned slots: per-vehicle results live in the lane's own
+//     state and are collected in registration order after the drain
+//     barrier, never in completion order;
+//   * sequence numbers: every accepted frame takes a global ingest
+//     sequence number (and a per-vehicle one), and the ordered sink
+//     releases alarms in contiguous global-sequence order - a total-order
+//     merge that no worker interleaving can perturb.
+#ifndef NAVARCHOS_SERVICE_FLEET_SERVICE_H_
+#define NAVARCHOS_SERVICE_FLEET_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fleet_runner.h"
+#include "core/monitor.h"
+#include "runtime/bounded_queue.h"
+#include "runtime/runtime_config.h"
+#include "runtime/thread_pool.h"
+#include "telemetry/stream.h"
+
+/// \file
+/// \brief FleetService, the streaming serving layer: per-vehicle bounded
+/// ingest queues, monitor pumps on a shared thread pool, and a
+/// deterministic ordered alarm sink (replay equals live at any thread
+/// count).
+
+/// \namespace navarchos::service
+/// \brief The streaming serving layer: FleetService and its stream-replay
+/// helpers, turning the batch monitoring core into a live multi-vehicle
+/// service with deterministic (replay-equals-live) output.
+
+namespace navarchos::service {
+
+/// What Submit does when a vehicle's ingest queue is full.
+enum class BackpressurePolicy : int {
+  /// Block the submitting thread until the pump frees space. Lossless:
+  /// required for the replay-equals-live determinism guarantee.
+  kBlock = 0,
+  /// Refuse the frame immediately (Submit returns false and the frame is
+  /// counted in ServiceStats::frames_rejected). Load-shedding mode for
+  /// ingest paths that must never stall; which frames are shed depends on
+  /// timing, so rejected runs are NOT replay-deterministic.
+  kReject = 1,
+};
+
+/// Configuration of a streaming fleet service.
+struct ServiceConfig {
+  /// Monitor pipeline instantiated per vehicle (one VehicleMonitor each).
+  core::MonitorConfig monitor;
+  /// Worker threads of the shared monitor pool (0 = all hardware threads).
+  /// Results are bit-identical at any value; only wall-clock changes.
+  runtime::RuntimeConfig runtime;
+  /// Frames buffered per vehicle before backpressure engages.
+  std::size_t queue_capacity = 256;
+  /// Full-queue behaviour; see BackpressurePolicy.
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Frames a pump task processes before rescheduling itself, so one
+  /// flooded vehicle cannot monopolise a worker while others wait.
+  std::size_t pump_batch = 64;
+};
+
+/// Counters of one service run. Totals are exact after Drain().
+struct ServiceStats {
+  std::size_t frames_submitted = 0;  ///< All frames offered to Submit.
+  std::size_t frames_accepted = 0;   ///< Admitted to an ingest queue.
+  std::size_t frames_rejected = 0;   ///< Shed by the kReject policy.
+  std::size_t frames_processed = 0;  ///< Stepped through a monitor.
+  std::size_t alarms_emitted = 0;    ///< Released by the ordered sink.
+};
+
+/// One frame's completion notice, delivered in global-sequence order.
+struct FrameCompletion {
+  std::uint64_t global_seq = 0;   ///< Ingest sequence number of the frame.
+  std::uint64_t vehicle_seq = 0;  ///< Per-vehicle sequence number.
+  std::int32_t vehicle_id = 0;    ///< Vehicle the frame belonged to.
+  std::size_t alarms = 0;         ///< Alarms this frame raised.
+};
+
+/// Observer of alarms as the ordered sink releases them (live consumers).
+/// Invoked in the deterministic total order, possibly from worker threads
+/// (never concurrently with itself).
+using AlarmCallback = std::function<void(const core::Alarm&)>;
+
+/// Observer of per-frame completions in global-sequence order; same
+/// threading rules as AlarmCallback. Used by the throughput bench to
+/// measure per-frame latency.
+using CompletionCallback = std::function<void(const FrameCompletion&)>;
+
+/// The streaming fleet service. Typical lifecycle:
+///
+/// \code
+///   FleetService svc(config);
+///   for (auto id : vehicle_ids) svc.RegisterVehicle(id);
+///   while (feed.Next(&frame)) svc.Submit(frame);   // live ingest
+///   svc.Drain();                                   // graceful shutdown
+///   core::FleetRunResult result = svc.TakeResult();
+/// \endcode
+///
+/// Threading: Submit/RegisterVehicle are serialised internally and may be
+/// called from any thread, but the deterministic-output guarantee is
+/// defined over the admission order, so a replayable deployment uses one
+/// ingest thread (multiplexing upstream), as real telemetry gateways do.
+/// Drain() must be called by an ingest thread, never from a callback.
+class FleetService {
+ public:
+  /// Builds the service and starts its worker pool.
+  explicit FleetService(const ServiceConfig& config);
+
+  /// Drains (if Drain was not called) and stops the workers.
+  ~FleetService();
+
+  FleetService(const FleetService&) = delete;
+  FleetService& operator=(const FleetService&) = delete;
+
+  /// Creates the vehicle's monitor and ingest lane; returns the lane index
+  /// (the vehicle's slot in TakeResult()'s index-aligned vectors).
+  /// Registering an already-known vehicle returns its existing lane.
+  int RegisterVehicle(std::int32_t vehicle_id);
+
+  /// Submits one live frame, routing it to its vehicle's lane (unknown
+  /// vehicles are auto-registered in first-seen order). Returns true when
+  /// the frame was admitted; false when it was shed (kReject policy with a
+  /// full lane) or the service is already draining. Under kBlock a full
+  /// lane makes Submit wait for the pump - that stall is the backpressure.
+  bool Submit(const telemetry::SensorFrame& frame);
+
+  /// Graceful shutdown: refuses further submissions, waits until every
+  /// admitted frame has been processed and its alarms released, then
+  /// flushes each monitor's reorder buffer (in lane order) through the
+  /// sink. Idempotent. After Drain the service is quiescent: stats() are
+  /// final and TakeResult() may be called.
+  void Drain();
+
+  /// Moves the accumulated run result out of the service: alarms in the
+  /// deterministic total order, plus per-vehicle scored samples,
+  /// calibrations and DataQualityReports index-aligned with lane
+  /// registration order - the same shape core::RunFleet returns, so batch
+  /// and streaming runs are directly comparable. Requires Drain() first.
+  core::FleetRunResult TakeResult();
+
+  /// Run counters; exact once Drain() returned.
+  ServiceStats stats() const;
+
+  /// Installs a live alarm observer. Must be set before the first Submit.
+  void set_alarm_callback(AlarmCallback callback);
+
+  /// Installs a per-frame completion observer. Must be set before the
+  /// first Submit.
+  void set_completion_callback(CompletionCallback callback);
+
+  /// Number of registered vehicles (lanes).
+  std::size_t vehicle_count() const;
+
+ private:
+  /// A frame admitted to a lane, tagged with its sequence numbers.
+  struct TaggedFrame {
+    std::uint64_t global_seq = 0;
+    std::uint64_t vehicle_seq = 0;
+    telemetry::SensorFrame frame;
+  };
+
+  /// One vehicle's ingest lane: its queue, monitor and pump-schedule flag.
+  struct VehicleLane {
+    VehicleLane(std::int32_t id, const core::MonitorConfig& config,
+                std::size_t capacity)
+        : vehicle_id(id), monitor(id, config), queue(capacity) {}
+
+    const std::int32_t vehicle_id;
+    core::VehicleMonitor monitor;  ///< Touched only by the lane's active pump.
+    runtime::BoundedQueue<TaggedFrame> queue;
+    std::mutex pump_mu;            ///< Guards pump_scheduled.
+    bool pump_scheduled = false;   ///< A pump task is queued or running.
+    std::uint64_t next_vehicle_seq = 0;  ///< Producer side (under ingest_mu_).
+  };
+
+  /// Restores the deterministic total order: completions buffer until
+  /// their global sequence number is next, then release contiguously.
+  class OrderedSink {
+   public:
+    /// Records the completion of frame `global_seq` and releases every
+    /// contiguous completion from the release cursor onwards.
+    void Complete(std::uint64_t global_seq, std::uint64_t vehicle_seq,
+                  std::int32_t vehicle_id, std::vector<core::Alarm> alarms);
+
+    /// Appends alarms that bypass sequencing (the end-of-stream monitor
+    /// flushes, which run after the drain barrier in lane order).
+    void AppendUnsequenced(std::int32_t vehicle_id, std::vector<core::Alarm> alarms);
+
+    /// Released alarms in total order; stable only once the service drained.
+    std::vector<core::Alarm>& alarms() { return alarms_; }
+
+    /// Frames completed / alarms released so far.
+    std::size_t frames_processed() const;
+    std::size_t alarms_emitted() const;
+
+    AlarmCallback alarm_callback;            ///< Optional observer.
+    CompletionCallback completion_callback;  ///< Optional observer.
+
+   private:
+    mutable std::mutex mu_;
+    std::uint64_t next_release_ = 0;  ///< First not-yet-released sequence.
+    /// Out-of-order completions waiting for their turn, keyed by sequence.
+    std::map<std::uint64_t, FrameCompletion> pending_;
+    std::map<std::uint64_t, std::vector<core::Alarm>> pending_alarms_;
+    std::vector<core::Alarm> alarms_;
+    std::size_t frames_processed_ = 0;
+  };
+
+  /// Returns the lane of `vehicle_id`, creating it if needed. Caller must
+  /// hold ingest_mu_.
+  VehicleLane* LaneOfLocked(std::int32_t vehicle_id);
+
+  /// Ensures a pump task is scheduled for `lane` (at most one at a time).
+  void SchedulePumpLocked(VehicleLane* lane);
+
+  /// Pump body: steps up to pump_batch frames of `lane` through its
+  /// monitor, then reschedules itself if the lane is still non-empty.
+  void PumpLane(VehicleLane* lane);
+
+  const ServiceConfig config_;
+
+  mutable std::mutex ingest_mu_;  ///< Serialises Submit/Register/Drain.
+  std::vector<std::unique_ptr<VehicleLane>> lanes_;  ///< Registration order.
+  std::unordered_map<std::int32_t, std::size_t> lane_index_;
+  std::uint64_t next_global_seq_ = 0;
+  bool draining_ = false;
+  bool drained_ = false;
+  std::size_t frames_submitted_ = 0;
+  std::size_t frames_accepted_ = 0;
+  std::size_t frames_rejected_ = 0;
+
+  OrderedSink sink_;
+
+  /// Declared last: destroyed first, so in-flight pump tasks finish while
+  /// the lanes they reference are still alive.
+  runtime::ThreadPool pool_;
+};
+
+/// Replays a recorded interleaved stream through a fresh service:
+/// registers `vehicle_ids` in order (so the result's per-vehicle vectors
+/// are index-aligned with them), submits every frame in sequence, drains,
+/// and returns the result. With the same stream and config this is
+/// bit-identical at any thread count - the replay-equals-live invariant in
+/// function form.
+core::FleetRunResult RunStream(const std::vector<telemetry::SensorFrame>& stream,
+                               const std::vector<std::int32_t>& vehicle_ids,
+                               const ServiceConfig& config);
+
+/// Vehicle ids of `fleet` in fleet order: the id list that makes
+/// RunStream results index-aligned with core::RunFleet's.
+std::vector<std::int32_t> VehicleIdsOf(const telemetry::FleetDataset& fleet);
+
+}  // namespace navarchos::service
+
+#endif  // NAVARCHOS_SERVICE_FLEET_SERVICE_H_

@@ -1,0 +1,95 @@
+#include "telemetry/stream.h"
+
+#include <utility>
+
+namespace navarchos::telemetry {
+namespace {
+
+/// Merges one vehicle's delivery-ordered records with its time-ordered
+/// events: the vehicle stream is consumed front-to-front, events winning
+/// ties, which preserves record delivery order even when it is locally out
+/// of timestamp order (corrupted transport).
+std::vector<SensorFrame> MergeVehicle(const std::vector<Record>& records,
+                                      const std::vector<FleetEvent>& events) {
+  std::vector<SensorFrame> stream;
+  stream.reserve(records.size() + events.size());
+  std::size_t ri = 0, ei = 0;
+  while (ri < records.size() || ei < events.size()) {
+    const bool take_event =
+        ei < events.size() &&
+        (ri >= records.size() || events[ei].timestamp <= records[ri].timestamp);
+    if (take_event) {
+      stream.push_back(SensorFrame::OfEvent(events[ei++]));
+    } else {
+      stream.push_back(SensorFrame::OfRecord(records[ri++]));
+    }
+  }
+  return stream;
+}
+
+std::vector<SensorFrame> Interleave(std::vector<std::vector<SensorFrame>> streams) {
+  std::size_t total = 0;
+  for (const auto& stream : streams) total += stream.size();
+  std::vector<SensorFrame> merged;
+  merged.reserve(total);
+
+  // K-way merge on the head frames. Picking the smallest head timestamp
+  // (lowest vehicle index on ties) never reorders within a vehicle, so a
+  // locally out-of-order corrupted stream stays in its delivery order - a
+  // late frame is simply emitted when it reaches the front of its lane.
+  std::vector<std::size_t> cursor(streams.size(), 0);
+  while (merged.size() < total) {
+    std::size_t best = streams.size();
+    for (std::size_t v = 0; v < streams.size(); ++v) {
+      if (cursor[v] >= streams[v].size()) continue;
+      if (best == streams.size() ||
+          streams[v][cursor[v]].timestamp() < streams[best][cursor[best]].timestamp()) {
+        best = v;
+      }
+    }
+    merged.push_back(std::move(streams[best][cursor[best]++]));
+  }
+  return merged;
+}
+
+}  // namespace
+
+SensorFrame SensorFrame::OfRecord(Record r) {
+  SensorFrame frame;
+  frame.kind = Kind::kRecord;
+  frame.record = std::move(r);
+  return frame;
+}
+
+SensorFrame SensorFrame::OfEvent(FleetEvent e) {
+  SensorFrame frame;
+  frame.kind = Kind::kEvent;
+  frame.event = std::move(e);
+  return frame;
+}
+
+std::vector<SensorFrame> MakeVehicleStream(const VehicleHistory& vehicle) {
+  return MergeVehicle(vehicle.records, vehicle.events);
+}
+
+std::vector<SensorFrame> InterleaveFleetStream(const FleetDataset& fleet) {
+  std::vector<std::vector<SensorFrame>> streams;
+  streams.reserve(fleet.vehicles.size());
+  for (const VehicleHistory& vehicle : fleet.vehicles)
+    streams.push_back(MakeVehicleStream(vehicle));
+  return Interleave(std::move(streams));
+}
+
+std::vector<SensorFrame> InterleaveFleetStream(const FleetDataset& fleet,
+                                               const CorruptionModel& model,
+                                               CorruptionManifest* manifest) {
+  std::vector<std::vector<SensorFrame>> streams;
+  streams.reserve(fleet.vehicles.size());
+  for (const VehicleHistory& vehicle : fleet.vehicles) {
+    const std::vector<Record> corrupted = model.CorruptStream(vehicle.records, manifest);
+    streams.push_back(MergeVehicle(corrupted, vehicle.events));
+  }
+  return Interleave(std::move(streams));
+}
+
+}  // namespace navarchos::telemetry

@@ -1,0 +1,89 @@
+// Interleaved fleet streams: the wire format of the streaming service layer.
+//
+// The batch pipeline walks each vehicle's records and events separately;
+// a live deployment sees ONE multiplexed feed in which frames from many
+// vehicles arrive interleaved by time. SensorFrame is that feed's unit (a
+// telemetry record or a fleet event, tagged), and the replayer functions
+// below turn a recorded FleetDataset into the exact frame sequence a live
+// ingest would deliver - optionally pushed through the PR-1 CorruptionModel
+// first, so corruption studies compose with the streaming service.
+#ifndef NAVARCHOS_TELEMETRY_STREAM_H_
+#define NAVARCHOS_TELEMETRY_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/corruption.h"
+#include "telemetry/fleet.h"
+#include "telemetry/types.h"
+
+/// \file
+/// \brief SensorFrame (the unit of a multiplexed live fleet feed) and the
+/// deterministic stream replayer that flattens a recorded FleetDataset into
+/// the frame sequence a live ingest would deliver.
+
+namespace navarchos::telemetry {
+
+/// One frame of a multiplexed fleet feed: either a telemetry record or a
+/// fleet event, tagged by kind. Exactly one of `record`/`event` is
+/// meaningful, selected by `kind`.
+struct SensorFrame {
+  /// Discriminator of the frame payload.
+  enum class Kind : int {
+    kRecord = 0,  ///< `record` carries a telemetry Record.
+    kEvent = 1,   ///< `event` carries a FleetEvent.
+  };
+
+  /// Which payload member is valid.
+  Kind kind = Kind::kRecord;
+  /// The telemetry record; meaningful when `kind == Kind::kRecord`.
+  Record record;
+  /// The fleet event; meaningful when `kind == Kind::kEvent`.
+  FleetEvent event;
+
+  /// Wraps a telemetry record into a frame.
+  static SensorFrame OfRecord(Record r);
+
+  /// Wraps a fleet event into a frame.
+  static SensorFrame OfEvent(FleetEvent e);
+
+  /// Vehicle the frame belongs to (routing key of the service layer).
+  std::int32_t vehicle_id() const {
+    return kind == Kind::kRecord ? record.vehicle_id : event.vehicle_id;
+  }
+
+  /// Nominal timestamp of the payload. Note that a corrupted stream is in
+  /// *delivery* order, so timestamps may run backwards locally.
+  Minute timestamp() const {
+    return kind == Kind::kRecord ? record.timestamp : event.timestamp;
+  }
+};
+
+/// Flattens one vehicle's history into its frame sequence: records and
+/// events merged by timestamp with events first on ties (a same-minute
+/// service resets Ref before the next measurement arrives) - the exact
+/// delivery order the batch runner feeds a VehicleMonitor, so replaying the
+/// stream through `VehicleMonitor::OnFrame` reproduces `core::RunFleet`
+/// bit-for-bit.
+std::vector<SensorFrame> MakeVehicleStream(const VehicleHistory& vehicle);
+
+/// Interleaves every vehicle of `fleet` into one multiplexed feed: a k-way
+/// merge that repeatedly emits the front frame of the vehicle whose head
+/// timestamp is smallest (ties broken by fleet vehicle index). Per-vehicle
+/// delivery order is always preserved - even when a vehicle's own stream is
+/// locally out of order (corrupted input) - so the merge is deterministic
+/// and composes with CorruptionModel delivery perturbations.
+std::vector<SensorFrame> InterleaveFleetStream(const FleetDataset& fleet);
+
+/// Same interleaving with each vehicle's records first pushed through
+/// `model` (events are untouched - corruption is a telemetry-transport
+/// phenomenon). Injected corruptions are appended to `manifest` when
+/// non-null, in fleet vehicle order, exactly as
+/// `CorruptionModel::CorruptFleet` records them.
+std::vector<SensorFrame> InterleaveFleetStream(const FleetDataset& fleet,
+                                               const CorruptionModel& model,
+                                               CorruptionManifest* manifest = nullptr);
+
+}  // namespace navarchos::telemetry
+
+#endif  // NAVARCHOS_TELEMETRY_STREAM_H_

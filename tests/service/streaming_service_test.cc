@@ -1,0 +1,202 @@
+// FleetService behaviour: the streaming run of an interleaved fleet feed
+// must reproduce the batch runner's per-vehicle results exactly, the stats
+// counters must account for every frame, the ordered callbacks must observe
+// alarms and completions in the deterministic total order, and shutdown
+// (Drain) must be graceful and idempotent.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fleet_runner.h"
+#include "runtime/runtime_config.h"
+#include "service/fleet_service.h"
+#include "telemetry/fleet.h"
+#include "telemetry/stream.h"
+
+namespace navarchos {
+namespace {
+
+telemetry::FleetConfig SmallFleetConfig() {
+  telemetry::FleetConfig config = telemetry::FleetConfig::TestScale();
+  config.days = 30;
+  return config;
+}
+
+core::MonitorConfig FastMonitorConfig() {
+  core::MonitorConfig config;
+  config.transform_options.window = 60;
+  config.transform_options.stride = 10;
+  config.profile_minutes = 400.0;
+  config.threshold.burn_in_minutes = 120.0;
+  config.threshold.persistence_minutes = 60.0;
+  return config;
+}
+
+service::ServiceConfig SmallServiceConfig(int threads) {
+  service::ServiceConfig config;
+  config.monitor = FastMonitorConfig();
+  config.runtime = runtime::RuntimeConfig{threads};
+  return config;
+}
+
+void ExpectAlarmsIdentical(const std::vector<core::Alarm>& a,
+                           const std::vector<core::Alarm>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].vehicle_id, b[i].vehicle_id);
+    ASSERT_EQ(a[i].timestamp, b[i].timestamp);
+    ASSERT_EQ(a[i].channel, b[i].channel);
+    ASSERT_EQ(a[i].channel_name, b[i].channel_name);
+    ASSERT_EQ(a[i].score, b[i].score);
+    ASSERT_EQ(a[i].threshold, b[i].threshold);
+  }
+}
+
+TEST(StreamingServiceTest, StreamingRunMatchesBatchRunnerExactly) {
+  // The defining property of the service layer: feeding the interleaved
+  // stream through FleetService yields the very results core::RunFleet
+  // computes from the per-vehicle histories - field-exact, per vehicle.
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto batch = core::RunFleet(fleet, FastMonitorConfig(),
+                                    runtime::RuntimeConfig{1});
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto streamed = service::RunStream(stream, service::VehicleIdsOf(fleet),
+                                           SmallServiceConfig(2));
+
+  ASSERT_EQ(streamed.channel_names, batch.channel_names);
+  ASSERT_EQ(streamed.persistence_window, batch.persistence_window);
+  ASSERT_EQ(streamed.persistence_min, batch.persistence_min);
+
+  // Batch alarms are grouped by vehicle (vehicle-major); streaming alarms
+  // are in stream order. The multisets must agree - compare per vehicle.
+  ASSERT_EQ(streamed.alarms.size(), batch.alarms.size());
+  for (std::size_t v = 0; v < fleet.vehicles.size(); ++v) {
+    const std::int32_t id = fleet.vehicles[v].spec.id;
+    std::vector<core::Alarm> batch_alarms;
+    std::vector<core::Alarm> stream_alarms;
+    for (const auto& alarm : batch.alarms)
+      if (alarm.vehicle_id == id) batch_alarms.push_back(alarm);
+    for (const auto& alarm : streamed.alarms)
+      if (alarm.vehicle_id == id) stream_alarms.push_back(alarm);
+    ExpectAlarmsIdentical(stream_alarms, batch_alarms);
+  }
+
+  // Per-vehicle traces are index-aligned (RunStream registered the ids in
+  // fleet order) and bit-identical.
+  ASSERT_EQ(streamed.scored_samples.size(), batch.scored_samples.size());
+  for (std::size_t v = 0; v < batch.scored_samples.size(); ++v) {
+    ASSERT_EQ(streamed.scored_samples[v].size(), batch.scored_samples[v].size());
+    for (std::size_t s = 0; s < batch.scored_samples[v].size(); ++s) {
+      ASSERT_EQ(streamed.scored_samples[v][s].timestamp,
+                batch.scored_samples[v][s].timestamp);
+      ASSERT_EQ(streamed.scored_samples[v][s].scores,
+                batch.scored_samples[v][s].scores);
+    }
+    ASSERT_EQ(streamed.quality[v].records_seen, batch.quality[v].records_seen);
+    ASSERT_EQ(streamed.quality[v].RecordsDropped(),
+              batch.quality[v].RecordsDropped());
+    ASSERT_EQ(streamed.calibrations[v].size(), batch.calibrations[v].size());
+  }
+}
+
+TEST(StreamingServiceTest, StatsAccountForEveryFrame) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+
+  service::FleetService svc(SmallServiceConfig(2));
+  for (const auto id : service::VehicleIdsOf(fleet)) svc.RegisterVehicle(id);
+  ASSERT_EQ(svc.vehicle_count(), fleet.vehicles.size());
+  for (const auto& frame : stream) ASSERT_TRUE(svc.Submit(frame));
+  svc.Drain();
+
+  const auto stats = svc.stats();
+  ASSERT_EQ(stats.frames_submitted, stream.size());
+  ASSERT_EQ(stats.frames_accepted, stream.size());  // kBlock: lossless
+  ASSERT_EQ(stats.frames_rejected, 0u);
+  ASSERT_EQ(stats.frames_processed, stream.size());
+  const auto result = svc.TakeResult();
+  ASSERT_EQ(stats.alarms_emitted, result.alarms.size());
+}
+
+TEST(StreamingServiceTest, CallbacksObserveTheDeterministicTotalOrder) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+
+  service::FleetService svc(SmallServiceConfig(4));
+  std::vector<core::Alarm> live_alarms;
+  std::vector<std::uint64_t> completion_seqs;
+  // Callbacks run under the sink lock, never concurrently with themselves,
+  // so plain vectors are safe here.
+  svc.set_alarm_callback(
+      [&live_alarms](const core::Alarm& alarm) { live_alarms.push_back(alarm); });
+  svc.set_completion_callback([&completion_seqs](const service::FrameCompletion& c) {
+    completion_seqs.push_back(c.global_seq);
+  });
+  for (const auto id : service::VehicleIdsOf(fleet)) svc.RegisterVehicle(id);
+  for (const auto& frame : stream) ASSERT_TRUE(svc.Submit(frame));
+  svc.Drain();
+
+  // Completions arrive in contiguous global-sequence order regardless of
+  // worker scheduling: exactly 0, 1, 2, ... N-1.
+  ASSERT_EQ(completion_seqs.size(), stream.size());
+  for (std::size_t i = 0; i < completion_seqs.size(); ++i)
+    ASSERT_EQ(completion_seqs[i], static_cast<std::uint64_t>(i));
+
+  // The live alarm feed is the recorded result, in the same total order.
+  const auto result = svc.TakeResult();
+  ExpectAlarmsIdentical(live_alarms, result.alarms);
+}
+
+TEST(StreamingServiceTest, RejectPolicyShedsInsteadOfBlocking) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+
+  service::ServiceConfig config = SmallServiceConfig(1);
+  config.backpressure = service::BackpressurePolicy::kReject;
+  config.queue_capacity = 1;  // Tiny lanes: shedding is all but guaranteed.
+  service::FleetService svc(config);
+  std::size_t admitted = 0;
+  for (const auto& frame : stream) admitted += svc.Submit(frame) ? 1u : 0u;
+  svc.Drain();
+
+  const auto stats = svc.stats();
+  ASSERT_EQ(stats.frames_submitted, stream.size());
+  ASSERT_EQ(stats.frames_accepted, admitted);
+  ASSERT_EQ(stats.frames_accepted + stats.frames_rejected, stream.size());
+  // Every admitted frame is still processed: shedding loses frames at the
+  // door, never after admission.
+  ASSERT_EQ(stats.frames_processed, stats.frames_accepted);
+}
+
+TEST(StreamingServiceTest, DrainIsIdempotentAndRefusesLateSubmissions) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+
+  service::FleetService svc(SmallServiceConfig(2));
+  for (const auto& frame : stream) ASSERT_TRUE(svc.Submit(frame));
+  svc.Drain();
+  const auto stats_after_first = svc.stats();
+  svc.Drain();  // Idempotent: second drain is a no-op.
+  ASSERT_EQ(svc.stats().frames_processed, stats_after_first.frames_processed);
+  ASSERT_EQ(svc.stats().alarms_emitted, stats_after_first.alarms_emitted);
+
+  ASSERT_FALSE(svc.Submit(stream.front()));  // Refused after drain.
+  ASSERT_EQ(svc.stats().frames_rejected, stats_after_first.frames_rejected + 1);
+}
+
+TEST(StreamingServiceTest, RegisterVehicleReturnsStableLaneIndices) {
+  service::FleetService svc(SmallServiceConfig(1));
+  ASSERT_EQ(svc.RegisterVehicle(7), 0);
+  ASSERT_EQ(svc.RegisterVehicle(3), 1);
+  ASSERT_EQ(svc.RegisterVehicle(7), 0);  // Re-registration: same lane.
+  ASSERT_EQ(svc.vehicle_count(), 2u);
+  svc.Drain();
+  const auto result = svc.TakeResult();
+  ASSERT_EQ(result.scored_samples.size(), 2u);  // One slot per lane.
+  ASSERT_EQ(result.quality[0].vehicle_id, 7);
+  ASSERT_EQ(result.quality[1].vehicle_id, 3);
+}
+
+}  // namespace
+}  // namespace navarchos
