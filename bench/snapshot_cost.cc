@@ -1,0 +1,208 @@
+// Cost of the checkpoint/restore subsystem, per detector.
+//
+// For every detector kind (plus the raw GBT regressor that backs the
+// XGBoost technique) this bench fits the model on a synthetic reference,
+// advances its streaming state with a few scored samples, then measures
+//   * bytes     - encoded SaveState size,
+//   * save_ms   - time to serialise the state,
+//   * restore_ms- time to rebuild a fresh instance from the bytes,
+// and verifies that the restored instance scores a held-out probe slice
+// bit-identically to the original (the restore-equals-uninterrupted
+// contract at the detector level). Results land in BENCH_snapshot.json.
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "detect/factory.h"
+#include "persist/codec.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace navarchos {
+namespace {
+
+constexpr std::size_t kRefRows = 256;
+constexpr std::size_t kProbeRows = 16;
+constexpr std::size_t kDims = 6;
+constexpr int kReps = 5;
+
+struct Measurement {
+  std::string detector;
+  std::size_t bytes = 0;
+  double save_ms = 0.0;
+  double restore_ms = 0.0;
+  bool restored_identical = false;
+};
+
+/// Correlated synthetic rows (shared latent factor + per-dim noise), the
+/// same shape the transform stage would emit.
+std::vector<std::vector<double>> MakeRows(std::size_t rows, util::Rng* rng) {
+  std::vector<std::vector<double>> out(rows, std::vector<double>(kDims));
+  for (auto& row : out) {
+    const double latent = rng->Gaussian();
+    for (std::size_t d = 0; d < kDims; ++d)
+      row[d] = 0.7 * latent + 0.3 * rng->Gaussian();
+  }
+  return out;
+}
+
+detect::DetectorOptions Options(std::uint64_t seed) {
+  detect::DetectorOptions options;
+  options.gbt.seed = seed;
+  for (std::size_t d = 0; d < kDims; ++d)
+    options.feature_names.push_back("f" + std::to_string(d));
+  return options;
+}
+
+Measurement MeasureDetector(detect::DetectorKind kind, std::uint64_t seed) {
+  Measurement m;
+  m.detector = detect::DetectorKindName(kind);
+  util::Rng rng(seed);
+  const auto ref = MakeRows(kRefRows, &rng);
+  const auto warm = MakeRows(kProbeRows, &rng);
+  const auto probe = MakeRows(kProbeRows, &rng);
+
+  auto original = detect::MakeDetector(kind, Options(seed));
+  original->Fit(ref);
+  for (const auto& row : warm) original->Score(row);  // advance stream state
+
+  // Save: the snapshot the checkpoint would embed for this detector.
+  std::vector<std::uint8_t> bytes;
+  util::Timer save_timer;
+  for (int rep = 0; rep < kReps; ++rep) {
+    persist::Encoder encoder;
+    original->SaveState(encoder);
+    bytes = std::move(encoder).TakeBytes();
+  }
+  m.save_ms = save_timer.ElapsedSeconds() * 1e3 / kReps;
+  m.bytes = bytes.size();
+
+  // Restore into fresh, never-fitted instances.
+  std::unique_ptr<detect::Detector> restored;
+  util::Timer restore_timer;
+  for (int rep = 0; rep < kReps; ++rep) {
+    restored = detect::MakeDetector(kind, Options(seed));
+    persist::Decoder decoder(bytes.data(), bytes.size());
+    if (!restored->RestoreState(decoder) || !decoder.ok()) {
+      std::fprintf(stderr, "%s: restore failed: %s\n", m.detector.c_str(),
+                   decoder.error().c_str());
+      return m;
+    }
+  }
+  m.restore_ms = restore_timer.ElapsedSeconds() * 1e3 / kReps;
+
+  // Lockstep probe: both instances continue the stream from the snapshot
+  // point and must agree bit-for-bit on every score.
+  m.restored_identical = true;
+  for (const auto& row : probe) {
+    const auto a = original->Score(row);
+    const auto b = restored->Score(row);
+    if (a != b) m.restored_identical = false;
+  }
+  return m;
+}
+
+Measurement MeasureGbt(std::uint64_t seed) {
+  Measurement m;
+  m.detector = "gbt";
+  util::Rng rng(seed);
+  const auto x = MakeRows(kRefRows, &rng);
+  std::vector<double> y(kRefRows);
+  for (std::size_t i = 0; i < kRefRows; ++i) y[i] = x[i][0] + rng.Gaussian() * 0.1;
+
+  detect::GbtParams params;
+  params.seed = seed;
+  detect::GbtRegressor original(params);
+  original.Fit(x, y);
+
+  std::vector<std::uint8_t> bytes;
+  util::Timer save_timer;
+  for (int rep = 0; rep < kReps; ++rep) {
+    persist::Encoder encoder;
+    encoder.PutString(original.Serialise());
+    bytes = std::move(encoder).TakeBytes();
+  }
+  m.save_ms = save_timer.ElapsedSeconds() * 1e3 / kReps;
+  m.bytes = bytes.size();
+
+  detect::GbtRegressor restored(params);
+  util::Timer restore_timer;
+  for (int rep = 0; rep < kReps; ++rep) {
+    persist::Decoder decoder(bytes.data(), bytes.size());
+    restored = detect::GbtRegressor(params);
+    if (!restored.Deserialise(decoder.GetString()) || !decoder.ok()) {
+      std::fprintf(stderr, "gbt: restore failed\n");
+      return m;
+    }
+  }
+  m.restore_ms = restore_timer.ElapsedSeconds() * 1e3 / kReps;
+
+  m.restored_identical = true;
+  const auto probe = MakeRows(kProbeRows, &rng);
+  for (const auto& row : probe)
+    if (original.Predict(row) != restored.Predict(row)) m.restored_identical = false;
+  return m;
+}
+
+int Main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto options = bench::BenchOptions::FromArgs(args);
+  bench::PrintHeader("Snapshot cost - serialised size and save/restore "
+                     "latency per detector", options);
+
+  const detect::DetectorKind kinds[] = {
+      detect::DetectorKind::kClosestPair,    detect::DetectorKind::kGrand,
+      detect::DetectorKind::kTranAd,         detect::DetectorKind::kXgBoost,
+      detect::DetectorKind::kIsolationForest, detect::DetectorKind::kMlp,
+      detect::DetectorKind::kKnnDistance,
+  };
+  std::vector<Measurement> measurements;
+  for (const auto kind : kinds) measurements.push_back(MeasureDetector(kind, options.seed));
+  measurements.push_back(MeasureGbt(options.seed));
+
+  bool all_identical = true;
+  for (const auto& m : measurements) {
+    std::printf("%-18s %9zu bytes   save %8.3f ms   restore %8.3f ms   %s\n",
+                m.detector.c_str(), m.bytes, m.save_ms, m.restore_ms,
+                m.restored_identical ? "identical" : "MISMATCH");
+    all_identical = all_identical && m.restored_identical;
+  }
+
+  std::FILE* json = std::fopen("BENCH_snapshot.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_snapshot.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"snapshot_cost\",\n");
+  std::fprintf(json, "  \"days\": %d,\n  \"seed\": %" PRIu64 ",\n",
+               options.days, options.seed);
+  std::fprintf(json, "  \"threads\": %d,\n", options.threads);
+  std::fprintf(json, "  \"reference_rows\": %zu,\n", kRefRows);
+  std::fprintf(json, "  \"dims\": %zu,\n", kDims);
+  std::fprintf(json, "  \"all_restored_identical\": %s,\n",
+               all_identical ? "true" : "false");
+  std::fprintf(json, "  \"results\": [\n");
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    const Measurement& m = measurements[i];
+    std::fprintf(json,
+                 "    {\"detector\": \"%s\", \"bytes\": %zu, "
+                 "\"save_ms\": %.4f, \"restore_ms\": %.4f, "
+                 "\"restored_identical\": %s}%s\n",
+                 m.detector.c_str(), m.bytes, m.save_ms, m.restore_ms,
+                 m.restored_identical ? "true" : "false",
+                 i + 1 < measurements.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nmeasurements written to BENCH_snapshot.json\n");
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace navarchos
+
+int main(int argc, char** argv) { return navarchos::Main(argc, argv); }

@@ -1,4 +1,5 @@
-// Streaming service demo: live fleet monitoring over one multiplexed feed.
+// Streaming service demo: live fleet monitoring over one multiplexed feed,
+// with durable checkpoint/restore.
 //
 // 1. Simulate a small fleet and flatten it into the interleaved SensorFrame
 //    stream a live telemetry gateway would deliver (all vehicles mixed,
@@ -6,19 +7,57 @@
 // 2. Feed the stream into service::FleetService: frames are routed to
 //    per-vehicle bounded ingest queues and monitored concurrently on a
 //    worker pool, while an alarm callback consumes alarms live, in the
-//    deterministic total order.
+//    deterministic total order. With --snapshot-every N the service also
+//    writes a durable checkpoint every N submitted frames.
 // 3. Drain (graceful shutdown), then show that the collected result is the
 //    one a replay at any other thread count would produce.
 //
+// Restore mode (--restore <path>) rebuilds the service from a checkpoint
+// written by a previous - possibly SIGKILLed - run, resumes the stream from
+// the checkpointed cursor, and produces the same total alarm order as an
+// uninterrupted run (restore-equals-uninterrupted).
+//
 // Build & run:  ./build/examples/streaming_service
+// Flags:
+//   --threads N          worker threads (default 4)
+//   --snapshot-every N   checkpoint every N submitted frames (default off)
+//   --snapshot-path P    checkpoint file (default streaming_service.snapshot)
+//   --restore P          restore from checkpoint P, then resume the stream
+//   --alarm-log P        write the final alarm list (total order) to P
 #include <cstdio>
+#include <string>
 
 #include "service/fleet_service.h"
 #include "telemetry/fleet.h"
 #include "telemetry/stream.h"
+#include "util/args.h"
 
-int main() {
+namespace {
+
+bool WriteAlarmLog(const std::string& path,
+                   const std::vector<navarchos::core::Alarm>& alarms) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  for (const auto& alarm : alarms) {
+    std::fprintf(file, "%d %lld %zu %s %.17g %.17g\n", alarm.vehicle_id,
+                 static_cast<long long>(alarm.timestamp), alarm.channel,
+                 alarm.channel_name.c_str(), alarm.score, alarm.threshold);
+  }
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace navarchos;
+  const util::Args args(argc, argv);
+  const int threads = static_cast<int>(args.GetInt("threads", 4));
+  const std::int64_t snapshot_every = args.GetInt("snapshot-every", 0);
+  const std::string snapshot_path =
+      args.GetString("snapshot-path", "streaming_service.snapshot");
+  const std::string restore_path = args.GetString("restore", "");
+  const std::string alarm_log = args.GetString("alarm-log", "");
 
   // --- 1. A recorded interleaved feed (stand-in for the live gateway). ----
   telemetry::FleetConfig fleet_config = telemetry::FleetConfig::TestScale();
@@ -30,15 +69,33 @@ int main() {
   std::printf("interleaved feed: %zu frames from %zu vehicles\n",
               stream.size(), fleet.vehicles.size());
 
-  // --- 2. The streaming service: 4 workers, blocking backpressure. --------
+  // --- 2. The streaming service, with blocking backpressure. --------------
   service::ServiceConfig config;
   config.monitor.transform = transform::TransformKind::kCorrelation;
   config.monitor.detector = detect::DetectorKind::kClosestPair;
   config.monitor.threshold.factor = 10.0;
-  config.runtime = runtime::RuntimeConfig{4};
+  config.runtime = runtime::RuntimeConfig{threads};
   config.queue_capacity = 128;  // frames buffered per vehicle before blocking
 
   service::FleetService svc(config);
+  std::size_t resume_cursor = 0;
+  if (!restore_path.empty()) {
+    // Rebuild the whole service - lanes, monitors, sequence counters, the
+    // released alarms - from the checkpoint, then resume the stream from the
+    // checkpointed ingest cursor (every frame before it was fully processed
+    // and released before the checkpoint was written).
+    const util::Status status = svc.RestoreFromFile(restore_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "restore failed: %s\n", status.message().c_str());
+      return 2;
+    }
+    resume_cursor = svc.stats().frames_accepted;
+    std::printf("restored %zu vehicles from %s, resuming at frame %zu\n",
+                svc.vehicle_count(), restore_path.c_str(), resume_cursor);
+  } else {
+    for (const auto& vehicle : fleet.vehicles) svc.RegisterVehicle(vehicle.spec.id);
+  }
+
   std::size_t live_alarms = 0;
   svc.set_alarm_callback([&live_alarms](const core::Alarm& alarm) {
     if (++live_alarms <= 5)  // print the first few, count the rest
@@ -47,9 +104,20 @@ int main() {
                   alarm.channel_name.c_str());
   });
 
-  for (const auto& vehicle : fleet.vehicles) svc.RegisterVehicle(vehicle.spec.id);
-  for (const auto& frame : stream) svc.Submit(frame);  // live ingest
-  svc.Drain();                                         // graceful shutdown
+  std::size_t since_snapshot = 0;
+  for (std::size_t i = resume_cursor; i < stream.size(); ++i) {  // live ingest
+    svc.Submit(stream[i]);
+    if (snapshot_every > 0 &&
+        ++since_snapshot >= static_cast<std::size_t>(snapshot_every)) {
+      since_snapshot = 0;
+      const util::Status status = svc.Checkpoint(snapshot_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "checkpoint failed: %s\n", status.message().c_str());
+        return 2;
+      }
+    }
+  }
+  svc.Drain();  // graceful shutdown
 
   // --- 3. The drained result is deterministic: a serial replay agrees. ----
   const auto stats = svc.stats();
@@ -57,6 +125,11 @@ int main() {
   std::printf("\nprocessed %zu/%zu frames, %zu alarms (%zu seen live)\n",
               stats.frames_processed, stats.frames_submitted,
               live.alarms.size(), live_alarms);
+
+  if (!alarm_log.empty() && !WriteAlarmLog(alarm_log, live.alarms)) {
+    std::fprintf(stderr, "cannot write alarm log %s\n", alarm_log.c_str());
+    return 2;
+  }
 
   service::ServiceConfig replay_config = config;
   replay_config.runtime = runtime::RuntimeConfig{1};

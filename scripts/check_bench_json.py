@@ -4,39 +4,89 @@
 Every bench that emits a BENCH_*.json file must record the --threads value
 it ran with in the file's header (top-level "threads" key, integer), so a
 measurement can never be archived without its execution-runtime context.
-CI runs this over every emitted artifact; a missing or mistyped key fails
-the job.
+On top of that universal rule, benches registered in SCHEMAS must carry
+their bench-specific result fields (e.g. BENCH_snapshot.json must list
+detector/bytes/save_ms/restore_ms per result row).
+
+Unknown bench names are NOT skipped: they still must satisfy the universal
+header rule, so a new bench cannot silently ship unguarded artifacts.
+
+CI runs this over every emitted artifact; any violation fails the job.
 
 Usage: check_bench_json.py BENCH_a.json [BENCH_b.json ...]
 """
 import json
 import sys
 
+# Type predicates for schema rows: (predicate, human-readable name).
+_NUMBER = (lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+           "number")
+_INT = (lambda v: isinstance(v, int) and not isinstance(v, bool), "integer")
+_STR = (lambda v: isinstance(v, str), "string")
 
-def check(path: str) -> str | None:
-    """Returns an error message for `path`, or None when it conforms."""
+# Per-bench result-row requirements: bench name -> [(field, predicate, name)].
+SCHEMAS = {
+    "snapshot_cost": [
+        ("detector", *_STR),
+        ("bytes", *_INT),
+        ("save_ms", *_NUMBER),
+        ("restore_ms", *_NUMBER),
+    ],
+    "streaming_throughput": [
+        ("threads", *_INT),
+        ("seconds", *_NUMBER),
+        ("frames_per_sec", *_NUMBER),
+    ],
+}
+
+
+def check_results(path: str, bench: str, data: dict) -> list[str]:
+    """Bench-specific checks for registered benches."""
+    schema = SCHEMAS.get(bench)
+    if schema is None:
+        return []
+    results = data.get("results")
+    if not isinstance(results, list) or not results:
+        return [f"{path}: bench '{bench}' must carry a non-empty 'results' list"]
+    errors = []
+    for i, row in enumerate(results):
+        if not isinstance(row, dict):
+            errors.append(f"{path}: results[{i}] must be an object")
+            continue
+        for field, predicate, type_name in schema:
+            if not predicate(row.get(field)):
+                errors.append(
+                    f"{path}: results[{i}] missing {type_name} '{field}'")
+    return errors
+
+
+def check(path: str) -> list[str]:
+    """Returns the error messages for `path` (empty when it conforms)."""
     try:
         with open(path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
     except (OSError, json.JSONDecodeError) as err:
-        return f"{path}: unreadable or invalid JSON: {err}"
+        return [f"{path}: unreadable or invalid JSON: {err}"]
     if not isinstance(data, dict):
-        return f"{path}: top level must be a JSON object"
-    if "bench" not in data:
-        return f"{path}: missing top-level 'bench' name"
+        return [f"{path}: top level must be a JSON object"]
+    bench = data.get("bench")
+    if not isinstance(bench, str) or not bench:
+        return [f"{path}: missing top-level 'bench' name"]
+    errors = []
     threads = data.get("threads")
     # bool is an int subclass in Python; reject it explicitly.
     if isinstance(threads, bool) or not isinstance(threads, int):
-        return (f"{path}: missing integer top-level 'threads' "
-                f"(the --threads value the bench ran with)")
-    return None
+        errors.append(f"{path}: missing integer top-level 'threads' "
+                      f"(the --threads value the bench ran with)")
+    errors.extend(check_results(path, bench, data))
+    return errors
 
 
 def main(argv: list[str]) -> int:
     if len(argv) < 2:
         print("usage: check_bench_json.py BENCH_*.json", file=sys.stderr)
         return 2
-    errors = [msg for path in argv[1:] if (msg := check(path))]
+    errors = [msg for path in argv[1:] for msg in check(path)]
     for msg in errors:
         print(f"check_bench_json: {msg}", file=sys.stderr)
     if not errors:

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Kill-and-restore check (the CI `kill-restore` job).
+#
+# Proves the headline guarantee of the checkpoint/restore subsystem end to
+# end, process boundary included:
+#   1. reference: run the streaming example uninterrupted, record its alarm
+#      log (the deterministic total order);
+#   2. crash: run it again with periodic checkpoints, SIGKILL the process
+#      the moment a snapshot exists on disk - no drain, no destructor;
+#   3. restore: start a fresh process from the snapshot, let it replay the
+#      remaining frames;
+#   4. verify: the restored run's alarm log must be byte-identical to the
+#      uninterrupted reference.
+#
+# Usage: kill_restore_check.sh [path-to-streaming_service-binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+binary="${1:-build/examples/streaming_service}"
+[[ -x "${binary}" ]] || {
+  echo "kill_restore_check: ${binary} not built" >&2
+  exit 1
+}
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+snapshot="${workdir}/checkpoint.bin"
+reference_log="${workdir}/reference_alarms.log"
+restored_log="${workdir}/restored_alarms.log"
+
+echo "== reference: uninterrupted run =="
+"${binary}" --alarm-log "${reference_log}" > /dev/null
+[[ -s "${reference_log}" ]] || {
+  echo "kill_restore_check: reference produced no alarms - nothing to compare" >&2
+  exit 1
+}
+
+echo "== crash run: checkpoint every 20000 frames, SIGKILL mid-stream =="
+"${binary}" --snapshot-every 20000 --snapshot-path "${snapshot}" > /dev/null &
+victim=$!
+for _ in $(seq 1 600); do
+  [[ -s "${snapshot}" ]] && break
+  kill -0 "${victim}" 2>/dev/null || break
+  sleep 0.05
+done
+if [[ ! -s "${snapshot}" ]]; then
+  wait "${victim}" || true
+  echo "kill_restore_check: no snapshot appeared before the run ended" >&2
+  exit 1
+fi
+kill -KILL "${victim}" 2>/dev/null || true
+wait "${victim}" 2>/dev/null || true
+echo "killed pid ${victim} with a snapshot of $(wc -c < "${snapshot}") bytes"
+
+echo "== restore run: resume from the snapshot =="
+"${binary}" --restore "${snapshot}" --alarm-log "${restored_log}"
+
+echo "== verify: alarm logs must be byte-identical =="
+if ! diff -q "${reference_log}" "${restored_log}"; then
+  echo "kill_restore_check: restored alarm log differs from the uninterrupted reference" >&2
+  diff "${reference_log}" "${restored_log}" | head -20 >&2 || true
+  exit 1
+fi
+echo "kill_restore_check: restore equals uninterrupted ($(wc -l < "${reference_log}") alarms)"

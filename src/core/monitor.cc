@@ -392,6 +392,244 @@ std::optional<Alarm> VehicleMonitor::ProcessRecord(const telemetry::Record& reco
   return alarm;
 }
 
+namespace {
+
+// Monitor chunk-payload layout version; bumped on any change below.
+constexpr std::uint32_t kMonitorStateVersion = 1;
+
+void SaveRecord(persist::Encoder& encoder, const telemetry::Record& record) {
+  encoder.PutI32(record.vehicle_id);
+  encoder.PutI64(record.timestamp);
+  for (double value : record.pids) encoder.PutDouble(value);
+}
+
+telemetry::Record RestoreRecord(persist::Decoder& decoder) {
+  telemetry::Record record;
+  record.vehicle_id = decoder.GetI32();
+  record.timestamp = decoder.GetI64();
+  for (double& value : record.pids) value = decoder.GetDouble();
+  return record;
+}
+
+void SaveQuality(persist::Encoder& encoder, const DataQualityReport& quality) {
+  encoder.PutI32(quality.vehicle_id);
+  encoder.PutU64(quality.records_seen);
+  encoder.PutU64(quality.duplicates_dropped);
+  encoder.PutU64(quality.reordered_recovered);
+  encoder.PutU64(quality.late_dropped);
+  encoder.PutU64(quality.non_finite_dropped);
+  encoder.PutU64(quality.stationary_dropped);
+  encoder.PutU64(quality.sensor_faulty_dropped);
+  encoder.PutU64(quality.stuck_run_records);
+  encoder.PutU64(quality.stuck_run_dropped);
+  encoder.PutU64(quality.non_finite_features_dropped);
+  encoder.PutU64(quality.non_finite_scores_dropped);
+  encoder.PutU64(quality.quarantine_events);
+}
+
+DataQualityReport RestoreQuality(persist::Decoder& decoder) {
+  DataQualityReport quality;
+  quality.vehicle_id = decoder.GetI32();
+  quality.records_seen = decoder.GetU64();
+  quality.duplicates_dropped = decoder.GetU64();
+  quality.reordered_recovered = decoder.GetU64();
+  quality.late_dropped = decoder.GetU64();
+  quality.non_finite_dropped = decoder.GetU64();
+  quality.stationary_dropped = decoder.GetU64();
+  quality.sensor_faulty_dropped = decoder.GetU64();
+  quality.stuck_run_records = decoder.GetU64();
+  quality.stuck_run_dropped = decoder.GetU64();
+  quality.non_finite_features_dropped = decoder.GetU64();
+  quality.non_finite_scores_dropped = decoder.GetU64();
+  quality.quarantine_events = decoder.GetU64();
+  return quality;
+}
+
+}  // namespace
+
+void VehicleMonitor::Save(persist::Encoder& encoder) const {
+  encoder.PutU32(kMonitorStateVersion);
+  // Fingerprint: enough to reject a snapshot taken under a different
+  // configuration before any state is interpreted.
+  encoder.PutI32(vehicle_id_);
+  encoder.PutString(transformer_->Name());
+  encoder.PutString(detector_->Name());
+  encoder.PutU64(profile_length_);
+
+  transformer_->SaveState(encoder);
+  detector_->SaveState(encoder);
+
+  encoder.PutDoubleMat(reference_);
+  encoder.PutDoubleMat(calibration_scores_);
+  encoder.PutBool(fitted_);
+  encoder.PutBool(calibrating_);
+  encoder.PutBool(quarantined_);
+  encoder.PutI32(fit_count_);
+  encoder.PutDoubleVec(policy_.thresholds());
+  encoder.PutU64(channel_names_.size());
+  for (const std::string& name : channel_names_) encoder.PutString(name);
+
+  encoder.PutU64(calibrations_.size());
+  for (const CalibrationStats& stats : calibrations_) {
+    encoder.PutDoubleVec(stats.mean);
+    encoder.PutDoubleVec(stats.stddev);
+    encoder.PutDoubleVec(stats.median);
+    encoder.PutDoubleVec(stats.mad);
+    encoder.PutDoubleVec(stats.max);
+    encoder.PutBool(stats.constant_threshold);
+  }
+
+  encoder.PutU64(scored_samples_.size());
+  for (const ScoredSample& sample : scored_samples_) {
+    encoder.PutI32(sample.vehicle_id);
+    encoder.PutI64(sample.timestamp);
+    encoder.PutDoubleVec(sample.scores);
+    encoder.PutI32(sample.calibration_index);
+  }
+
+  encoder.PutBool(persistence_ != nullptr);
+  if (persistence_ != nullptr) {
+    encoder.PutU64(policy_.thresholds().size());
+    persistence_->Save(encoder);
+  }
+
+  SaveQuality(encoder, quality_);
+  encoder.PutU64(reorder_buffer_.size());
+  for (const auto& record : reorder_buffer_) SaveRecord(encoder, record);
+  encoder.PutU64(recent_released_.size());
+  for (const auto& record : recent_released_) SaveRecord(encoder, record);
+  encoder.PutI64(watermark_);
+  encoder.PutBool(has_released_);
+  for (double value : stuck_previous_) encoder.PutDouble(value);
+  for (int run : stuck_run_) encoder.PutI32(run);
+  encoder.PutBool(has_stuck_previous_);
+}
+
+bool VehicleMonitor::Restore(persist::Decoder& decoder) {
+  const std::uint32_t version = decoder.GetU32();
+  if (decoder.ok() && version != kMonitorStateVersion) {
+    decoder.Fail("unsupported monitor state version " + std::to_string(version));
+    return false;
+  }
+  const std::int32_t vehicle_id = decoder.GetI32();
+  const std::string transformer_name = decoder.GetString();
+  const std::string detector_name = decoder.GetString();
+  const std::uint64_t profile_length = decoder.GetU64();
+  if (!decoder.ok()) return false;
+  if (vehicle_id != vehicle_id_ || transformer_name != transformer_->Name() ||
+      detector_name != detector_->Name() || profile_length != profile_length_) {
+    decoder.Fail("monitor fingerprint mismatch: snapshot is for vehicle " +
+                 std::to_string(vehicle_id) + "/" + transformer_name + "/" +
+                 detector_name + ", this monitor is vehicle " +
+                 std::to_string(vehicle_id_) + "/" + transformer_->Name() + "/" +
+                 detector_->Name());
+    return false;
+  }
+
+  if (!transformer_->RestoreState(decoder)) return false;
+  if (!detector_->RestoreState(decoder)) return false;
+
+  reference_ = decoder.GetDoubleMat();
+  calibration_scores_ = decoder.GetDoubleMat();
+  fitted_ = decoder.GetBool();
+  calibrating_ = decoder.GetBool();
+  quarantined_ = decoder.GetBool();
+  fit_count_ = decoder.GetI32();
+  // Empty thresholds = not yet calibrated (Explicit rejects empty vectors).
+  std::vector<double> thresholds = decoder.GetDoubleVec();
+  policy_ = thresholds.empty() ? detect::ThresholdPolicy()
+                               : detect::ThresholdPolicy::Explicit(std::move(thresholds));
+  const std::uint64_t name_count = decoder.GetU64();
+  if (!decoder.ok() || name_count > decoder.remaining() / 8) {
+    decoder.Fail("monitor channel-name count out of bounds");
+    return false;
+  }
+  channel_names_.clear();
+  for (std::uint64_t i = 0; i < name_count; ++i)
+    channel_names_.push_back(decoder.GetString());
+
+  const std::uint64_t calibration_count = decoder.GetU64();
+  if (!decoder.ok() || calibration_count > decoder.remaining() / 41) {
+    decoder.Fail("monitor calibration count out of bounds");
+    return false;
+  }
+  calibrations_.clear();
+  for (std::uint64_t i = 0; i < calibration_count; ++i) {
+    CalibrationStats stats;
+    stats.mean = decoder.GetDoubleVec();
+    stats.stddev = decoder.GetDoubleVec();
+    stats.median = decoder.GetDoubleVec();
+    stats.mad = decoder.GetDoubleVec();
+    stats.max = decoder.GetDoubleVec();
+    stats.constant_threshold = decoder.GetBool();
+    if (!decoder.ok()) return false;
+    calibrations_.push_back(std::move(stats));
+  }
+
+  const std::uint64_t sample_count = decoder.GetU64();
+  if (!decoder.ok() || sample_count > decoder.remaining() / 24) {
+    decoder.Fail("monitor scored-sample count out of bounds");
+    return false;
+  }
+  scored_samples_.clear();
+  for (std::uint64_t i = 0; i < sample_count; ++i) {
+    ScoredSample sample;
+    sample.vehicle_id = decoder.GetI32();
+    sample.timestamp = decoder.GetI64();
+    sample.scores = decoder.GetDoubleVec();
+    sample.calibration_index = decoder.GetI32();
+    if (!decoder.ok()) return false;
+    if (sample.calibration_index < 0 ||
+        static_cast<std::size_t>(sample.calibration_index) >= calibrations_.size()) {
+      decoder.Fail("monitor scored sample references unknown calibration");
+      return false;
+    }
+    scored_samples_.push_back(std::move(sample));
+  }
+
+  persistence_.reset();
+  if (decoder.GetBool()) {
+    const std::uint64_t channels = decoder.GetU64();
+    if (!decoder.ok()) return false;
+    if (channels == 0 || channels != policy_.thresholds().size()) {
+      decoder.Fail("monitor persistence channel count mismatch");
+      return false;
+    }
+    const auto [window, min_violations] = config_.threshold.ResolvePersistence(
+        transform::EffectiveStride(config_.transform, config_.transform_options));
+    persistence_ = std::make_unique<detect::PersistenceTracker>(
+        window, min_violations, static_cast<std::size_t>(channels));
+    if (!persistence_->Restore(decoder)) return false;
+  }
+
+  quality_ = RestoreQuality(decoder);
+  const std::uint64_t buffered = decoder.GetU64();
+  if (!decoder.ok() ||
+      buffered > static_cast<std::uint64_t>(config_.ingest.reorder_capacity) + 1) {
+    decoder.Fail("monitor reorder buffer out of bounds");
+    return false;
+  }
+  reorder_buffer_.clear();
+  for (std::uint64_t i = 0; i < buffered; ++i)
+    reorder_buffer_.push_back(RestoreRecord(decoder));
+  const std::uint64_t released = decoder.GetU64();
+  const std::uint64_t ring_size =
+      static_cast<std::uint64_t>(std::max(4, 4 * config_.ingest.reorder_capacity));
+  if (!decoder.ok() || released > ring_size) {
+    decoder.Fail("monitor dedup ring out of bounds");
+    return false;
+  }
+  recent_released_.clear();
+  for (std::uint64_t i = 0; i < released; ++i)
+    recent_released_.push_back(RestoreRecord(decoder));
+  watermark_ = decoder.GetI64();
+  has_released_ = decoder.GetBool();
+  for (double& value : stuck_previous_) value = decoder.GetDouble();
+  for (int& run : stuck_run_) run = decoder.GetI32();
+  has_stuck_previous_ = decoder.GetBool();
+  return decoder.ok();
+}
+
 std::vector<Alarm> AlarmsForThreshold(const std::vector<ScoredSample>& samples,
                                       const std::vector<CalibrationStats>& calibrations,
                                       double factor_or_constant,

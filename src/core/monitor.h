@@ -210,6 +210,18 @@ class VehicleMonitor {
   /// True while the reference profile is still filling.
   bool collecting_reference() const { return !fitted_; }
 
+  /// Serialises the monitor's complete mutable state - ingest guard buffers,
+  /// transform buffers, reference profile, detector state, calibrations,
+  /// scored samples, persistence rings - prefixed with a fingerprint
+  /// (transformer/detector names, profile length) that Restore validates.
+  void Save(persist::Encoder& encoder) const;
+
+  /// Restores state written by Save into a freshly constructed monitor with
+  /// the same configuration. Returns false (leaving the decoder failed, with
+  /// a message) on malformed input or a configuration mismatch; the monitor
+  /// must not be used after a failed restore.
+  bool Restore(persist::Decoder& decoder);
+
  private:
   void Initialise();
   void ResetReference();

@@ -60,6 +60,27 @@ std::vector<double> ClosestPairDetector::Score(const std::vector<double>& sample
   return scores;
 }
 
+void ClosestPairDetector::SaveState(persist::Encoder& encoder) const {
+  // The sorted columns are a deterministic function of the temporal ones, so
+  // only the temporal order is stored.
+  encoder.PutDoubleMat(columns_temporal_);
+}
+
+bool ClosestPairDetector::RestoreState(persist::Decoder& decoder) {
+  columns_temporal_ = decoder.GetDoubleMat();
+  if (!decoder.ok()) return false;
+  const std::size_t n = columns_temporal_.empty() ? 0 : columns_temporal_.front().size();
+  for (const auto& column : columns_temporal_) {
+    if (column.size() != n) {
+      decoder.Fail("closest_pair ragged reference columns");
+      return false;
+    }
+  }
+  columns_ = columns_temporal_;
+  for (auto& column : columns_) std::sort(column.begin(), column.end());
+  return true;
+}
+
 std::vector<std::string> ClosestPairDetector::ChannelNames() const {
   if (!feature_names_.empty()) return feature_names_;
   std::vector<std::string> names;

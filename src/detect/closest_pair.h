@@ -30,6 +30,8 @@ class ClosestPairDetector : public Detector {
   std::vector<std::string> ChannelNames() const override;
   std::vector<std::vector<double>> SelfCalibrationScores(
       int exclusion_radius) const override;
+  void SaveState(persist::Encoder& encoder) const override;
+  bool RestoreState(persist::Decoder& decoder) override;
 
  private:
   std::vector<std::string> feature_names_;

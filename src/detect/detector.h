@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "persist/codec.h"
+
 namespace navarchos::detect {
 
 /// Unsupervised anomaly scorer fitted on a healthy reference sample.
@@ -60,6 +62,22 @@ class Detector {
   /// the only such technique and is thresholded with a constant instead of
   /// the self-tuning rule).
   virtual bool ScoresAreProbabilities() const { return false; }
+
+  /// Serialises everything Score() depends on - fitted parameters, model
+  /// weights, streaming state (rolling windows, martingales, RNG positions) -
+  /// so that a restored detector scores the remaining stream bit-identically
+  /// to the uninterrupted one. Optimiser scratch (gradients, Adam moments) is
+  /// deliberately excluded: Fit() always rebuilds models from scratch with
+  /// detector-owned seeds, so inference state fully determines the future.
+  virtual void SaveState(persist::Encoder& encoder) const { (void)encoder; }
+
+  /// Restores state written by SaveState into a freshly constructed detector
+  /// of the same kind and parameters. Returns false (leaving the decoder
+  /// failed) on malformed input.
+  virtual bool RestoreState(persist::Decoder& decoder) {
+    (void)decoder;
+    return true;
+  }
 };
 
 /// The four technique choices evaluated in the paper, plus two extensions

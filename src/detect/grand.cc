@@ -30,7 +30,12 @@ void GrandDetector::Fit(const std::vector<std::vector<double>>& ref) {
   NAVARCHOS_CHECK(ref.size() >= MinReferenceSize());
   standardizer_.Fit(ref);
   ref_standardized_ = standardizer_.ApplyAll(ref);
+  BuildDerived();
+  log_martingale_ = 0.0;
+  last_p_value_ = 1.0;
+}
 
+void GrandDetector::BuildDerived() {
   const std::size_t dims = ref_standardized_.front().size();
   median_.resize(dims);
   {
@@ -77,9 +82,48 @@ void GrandDetector::Fit(const std::vector<std::vector<double>>& ref) {
   }
   if (config_.ncm == GrandNcm::kLof) ref_strangeness_sorted_ = lof_->FitScores();
   std::sort(ref_strangeness_sorted_.begin(), ref_strangeness_sorted_.end());
+}
 
-  log_martingale_ = 0.0;
-  last_p_value_ = 1.0;
+void GrandDetector::SaveState(persist::Encoder& encoder) const {
+  // The median, kNN index, LOF model and sorted reference strangeness are
+  // deterministic functions of the standardized reference, so only that
+  // reference travels in the snapshot; RestoreState rebuilds the rest.
+  standardizer_.Save(encoder);
+  encoder.PutDoubleMat(ref_standardized_);
+  encoder.PutDouble(log_martingale_);
+  encoder.PutDouble(last_p_value_);
+  const util::RngState rng = tie_rng_.SaveState();
+  for (std::uint64_t word : rng.words) encoder.PutU64(word);
+  encoder.PutBool(rng.has_spare_gaussian);
+  encoder.PutDouble(rng.spare_gaussian);
+}
+
+bool GrandDetector::RestoreState(persist::Decoder& decoder) {
+  if (!standardizer_.Restore(decoder)) return false;
+  ref_standardized_ = decoder.GetDoubleMat();
+  log_martingale_ = decoder.GetDouble();
+  last_p_value_ = decoder.GetDouble();
+  util::RngState rng;
+  for (std::uint64_t& word : rng.words) word = decoder.GetU64();
+  rng.has_spare_gaussian = decoder.GetBool();
+  rng.spare_gaussian = decoder.GetDouble();
+  if (!decoder.ok()) return false;
+  if (!ref_standardized_.empty()) {
+    if (ref_standardized_.size() < MinReferenceSize()) {
+      decoder.Fail("grand reference smaller than minimum");
+      return false;
+    }
+    const std::size_t dims = ref_standardized_.front().size();
+    for (const auto& row : ref_standardized_) {
+      if (row.size() != dims || dims == 0) {
+        decoder.Fail("grand ragged standardized reference");
+        return false;
+      }
+    }
+    BuildDerived();
+  }
+  tie_rng_.RestoreState(rng);
+  return true;
 }
 
 double GrandDetector::Strangeness(const std::vector<double>& standardized) const {

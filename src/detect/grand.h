@@ -70,8 +70,16 @@ class GrandDetector : public Detector {
   /// Conformal p-value of the last scored sample (for tests/diagnostics).
   double last_p_value() const { return last_p_value_; }
 
+  void SaveState(persist::Encoder& encoder) const override;
+  bool RestoreState(persist::Decoder& decoder) override;
+
  private:
   double Strangeness(const std::vector<double>& standardized) const;
+
+  /// Deterministically recomputes median_, knn_, lof_ and
+  /// ref_strangeness_sorted_ from ref_standardized_ (shared by Fit and
+  /// RestoreState, so snapshots only need to carry the reference).
+  void BuildDerived();
 
   GrandConfig config_;
   transform::Standardizer standardizer_;

@@ -106,6 +106,70 @@ void IsolationForestDetector::Fit(const std::vector<std::vector<double>>& ref) {
   }
 }
 
+void IsolationForestDetector::SaveState(persist::Encoder& encoder) const {
+  standardizer_.Save(encoder);
+  encoder.PutDouble(expected_path_);
+  encoder.PutU64(trees_.size());
+  for (const Tree& tree : trees_) {
+    encoder.PutU64(tree.nodes.size());
+    for (const Node& node : tree.nodes) {
+      encoder.PutI32(node.feature);
+      encoder.PutDouble(node.threshold);
+      encoder.PutI32(node.left);
+      encoder.PutI32(node.right);
+      encoder.PutI32(node.size);
+    }
+  }
+}
+
+bool IsolationForestDetector::RestoreState(persist::Decoder& decoder) {
+  if (!standardizer_.Restore(decoder)) return false;
+  expected_path_ = decoder.GetDouble();
+  const std::uint64_t tree_count = decoder.GetU64();
+  // Each tree costs at least its 8-byte node count; reject absurd counts
+  // before allocating.
+  if (!decoder.ok() || tree_count > decoder.remaining() / 8) {
+    decoder.Fail("isolation_forest tree count out of bounds");
+    return false;
+  }
+  trees_.assign(static_cast<std::size_t>(tree_count), Tree{});
+  for (Tree& tree : trees_) {
+    const std::uint64_t node_count = decoder.GetU64();
+    // Each node occupies 24 encoded bytes.
+    if (!decoder.ok() || node_count > decoder.remaining() / 24) {
+      decoder.Fail("isolation_forest node count out of bounds");
+      return false;
+    }
+    tree.nodes.assign(static_cast<std::size_t>(node_count), Node{});
+    for (Node& node : tree.nodes) {
+      node.feature = decoder.GetI32();
+      node.threshold = decoder.GetDouble();
+      node.left = decoder.GetI32();
+      node.right = decoder.GetI32();
+      node.size = decoder.GetI32();
+    }
+    if (!decoder.ok()) return false;
+    // Validate child links: trees are built preorder, so internal nodes must
+    // point strictly forward - this both bounds PathLength's walk and rules
+    // out cycles in corrupted input.
+    for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+      const Node& node = tree.nodes[i];
+      if (node.feature < 0) continue;
+      if (node.feature >= static_cast<int>(standardizer_.mean().size())) {
+        decoder.Fail("isolation_forest split feature out of range");
+        return false;
+      }
+      const int limit = static_cast<int>(tree.nodes.size());
+      if (node.left <= static_cast<int>(i) || node.left >= limit ||
+          node.right <= static_cast<int>(i) || node.right >= limit) {
+        decoder.Fail("isolation_forest invalid tree links");
+        return false;
+      }
+    }
+  }
+  return decoder.ok();
+}
+
 double IsolationForestDetector::PathLength(const Tree& tree,
                                            const std::vector<double>& sample) const {
   int node_id = 0;

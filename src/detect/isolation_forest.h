@@ -39,6 +39,8 @@ class IsolationForestDetector : public Detector {
   std::vector<std::string> ChannelNames() const override { return {"isolation"}; }
   bool ScoresAreProbabilities() const override { return true; }
   std::size_t MinReferenceSize() const override { return 16; }
+  void SaveState(persist::Encoder& encoder) const override;
+  bool RestoreState(persist::Decoder& decoder) override;
 
  private:
   struct Node {

@@ -62,4 +62,32 @@ std::vector<std::vector<double>> KnnDistanceDetector::SelfCalibrationScores(
   return scores;
 }
 
+void KnnDistanceDetector::SaveState(persist::Encoder& encoder) const {
+  // The index is a deterministic function of the standardised reference.
+  standardizer_.Save(encoder);
+  encoder.PutDoubleMat(reference_);
+}
+
+bool KnnDistanceDetector::RestoreState(persist::Decoder& decoder) {
+  if (!standardizer_.Restore(decoder)) return false;
+  reference_ = decoder.GetDoubleMat();
+  if (!decoder.ok()) return false;
+  index_.reset();
+  if (!reference_.empty()) {
+    if (reference_.size() < MinReferenceSize()) {
+      decoder.Fail("knn_distance reference smaller than minimum");
+      return false;
+    }
+    const std::size_t dims = reference_.front().size();
+    for (const auto& row : reference_) {
+      if (row.size() != dims || dims == 0) {
+        decoder.Fail("knn_distance ragged reference");
+        return false;
+      }
+    }
+    index_ = std::make_unique<neighbors::KnnIndex>(reference_);
+  }
+  return true;
+}
+
 }  // namespace navarchos::detect

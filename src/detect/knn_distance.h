@@ -31,6 +31,8 @@ class KnnDistanceDetector : public Detector {
   }
   std::vector<std::vector<double>> SelfCalibrationScores(
       int exclusion_radius) const override;
+  void SaveState(persist::Encoder& encoder) const override;
+  bool RestoreState(persist::Decoder& decoder) override;
 
  private:
   double MeanNeighbourDistance(std::span<const double> standardized,

@@ -84,6 +84,46 @@ std::vector<double> MlpDetector::Score(const std::vector<double>& sample) {
   return scores;
 }
 
+void MlpDetector::SaveState(persist::Encoder& encoder) const {
+  // Score() only runs forwards, so the trained layer weights are the whole
+  // inference state; gradients and Adam moments stay out of the snapshot.
+  standardizer_.Save(encoder);
+  encoder.PutU64(models_.size());
+  for (const Model& model : models_) {
+    model.layer1->Save(encoder);
+    model.layer2->Save(encoder);
+    encoder.PutI32(model.steps);
+  }
+}
+
+bool MlpDetector::RestoreState(persist::Decoder& decoder) {
+  if (!standardizer_.Restore(decoder)) return false;
+  const std::uint64_t count = decoder.GetU64();
+  if (!decoder.ok() || count > decoder.remaining() / 8) {
+    decoder.Fail("mlp model count out of bounds");
+    return false;
+  }
+  if (count > 0 && (count < 2 || count != standardizer_.mean().size())) {
+    decoder.Fail("mlp model count does not match feature count");
+    return false;
+  }
+  models_.clear();
+  models_.resize(static_cast<std::size_t>(count));
+  // Architecture is rebuilt from the saved dimensionality; the dummy init
+  // draws are overwritten by the restored weights immediately after.
+  util::Rng init_rng(params_.seed);
+  for (Model& model : models_) {
+    model.layer1 = std::make_unique<nn::Linear>(static_cast<int>(count) - 1,
+                                                params_.hidden, init_rng);
+    model.relu = std::make_unique<nn::Relu>();
+    model.layer2 = std::make_unique<nn::Linear>(params_.hidden, 1, init_rng);
+    if (!model.layer1->Restore(decoder) || !model.layer2->Restore(decoder))
+      return false;
+    model.steps = decoder.GetI32();
+  }
+  return decoder.ok();
+}
+
 std::vector<std::string> MlpDetector::ChannelNames() const {
   if (!feature_names_.empty()) return feature_names_;
   std::vector<std::string> names;

@@ -91,6 +91,24 @@ void Linear::AdamStep(int step, double lr) {
   AdamUpdate(b_, gb_, adam_b_, step, lr);
 }
 
+void Linear::Save(persist::Encoder& encoder) const {
+  encoder.PutDoubleVec(w_);
+  encoder.PutDoubleVec(b_);
+}
+
+bool Linear::Restore(persist::Decoder& decoder) {
+  const std::vector<double> w = decoder.GetDoubleVec();
+  const std::vector<double> b = decoder.GetDoubleVec();
+  if (!decoder.ok()) return false;
+  if (w.size() != w_.size() || b.size() != b_.size()) {
+    decoder.Fail("linear layer shape mismatch");
+    return false;
+  }
+  w_ = w;
+  b_ = b;
+  return true;
+}
+
 // ------------------------------------------------------------------ Relu --
 
 Matrix Relu::Forward(const Matrix& x) {
@@ -188,6 +206,24 @@ void LayerNorm::AdamStep(int step, double lr) {
   AdamUpdate(beta_, g_beta_, adam_beta_, step, lr);
 }
 
+void LayerNorm::Save(persist::Encoder& encoder) const {
+  encoder.PutDoubleVec(gamma_);
+  encoder.PutDoubleVec(beta_);
+}
+
+bool LayerNorm::Restore(persist::Decoder& decoder) {
+  const std::vector<double> gamma = decoder.GetDoubleVec();
+  const std::vector<double> beta = decoder.GetDoubleVec();
+  if (!decoder.ok()) return false;
+  if (gamma.size() != gamma_.size() || beta.size() != beta_.size()) {
+    decoder.Fail("layer-norm shape mismatch");
+    return false;
+  }
+  gamma_ = gamma;
+  beta_ = beta;
+  return true;
+}
+
 // --------------------------------------------------------- SelfAttention --
 
 SelfAttention::SelfAttention(int dim, util::Rng& rng)
@@ -278,6 +314,18 @@ void SelfAttention::AdamStep(int step, double lr) {
   wk_.AdamStep(step, lr);
   wv_.AdamStep(step, lr);
   wo_.AdamStep(step, lr);
+}
+
+void SelfAttention::Save(persist::Encoder& encoder) const {
+  wq_.Save(encoder);
+  wk_.Save(encoder);
+  wv_.Save(encoder);
+  wo_.Save(encoder);
+}
+
+bool SelfAttention::Restore(persist::Decoder& decoder) {
+  return wq_.Restore(decoder) && wk_.Restore(decoder) &&
+         wv_.Restore(decoder) && wo_.Restore(decoder);
 }
 
 // --------------------------------------------------------------- Helpers --

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "persist/codec.h"
 #include "util/matrix.h"
 #include "util/rng.h"
 
@@ -48,6 +49,14 @@ class Linear {
   int in_dim() const { return in_dim_; }
   int out_dim() const { return out_dim_; }
 
+  /// Serialises the weights and bias (inference state only - gradients and
+  /// Adam moments are training scratch that Fit rebuilds from scratch).
+  void Save(persist::Encoder& encoder) const;
+
+  /// Restores weights/bias saved by Save() into a layer constructed with the
+  /// same dimensions; returns false (leaving the decoder failed) otherwise.
+  bool Restore(persist::Decoder& decoder);
+
  private:
   int in_dim_;
   int out_dim_;
@@ -80,6 +89,12 @@ class LayerNorm {
   void ZeroGrad();
   void AdamStep(int step, double lr);
 
+  /// Serialises gamma/beta (inference state only).
+  void Save(persist::Encoder& encoder) const;
+
+  /// Restores gamma/beta into a same-dimension layer.
+  bool Restore(persist::Decoder& decoder);
+
  private:
   int dim_;
   std::vector<double> gamma_;
@@ -101,6 +116,12 @@ class SelfAttention {
   Matrix Backward(const Matrix& grad_out);
   void ZeroGrad();
   void AdamStep(int step, double lr);
+
+  /// Serialises the four projection layers (inference state only).
+  void Save(persist::Encoder& encoder) const;
+
+  /// Restores the projections into a same-dimension attention block.
+  bool Restore(persist::Decoder& decoder);
 
  private:
   int dim_;

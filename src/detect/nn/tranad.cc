@@ -118,6 +118,24 @@ void TranAdModel::AdamStep() {
   decoder2_.AdamStep(adam_step_, params_.lr);
 }
 
+void TranAdModel::Save(persist::Encoder& encoder) const {
+  embed_.Save(encoder);
+  attention_.Save(encoder);
+  norm1_.Save(encoder);
+  ffn1_.Save(encoder);
+  ffn2_.Save(encoder);
+  norm2_.Save(encoder);
+  decoder1_.Save(encoder);
+  decoder2_.Save(encoder);
+}
+
+bool TranAdModel::Restore(persist::Decoder& decoder) {
+  return embed_.Restore(decoder) && attention_.Restore(decoder) &&
+         norm1_.Restore(decoder) && ffn1_.Restore(decoder) &&
+         ffn2_.Restore(decoder) && norm2_.Restore(decoder) &&
+         decoder1_.Restore(decoder) && decoder2_.Restore(decoder);
+}
+
 void TranAdModel::Train(const std::vector<Matrix>& windows) {
   NAVARCHOS_CHECK(!windows.empty());
   util::Rng shuffle_rng(params_.seed ^ 0x5u);

@@ -49,6 +49,14 @@ class TranAdModel {
 
   const TranAdParams& params() const { return params_; }
 
+  /// Serialises all layer weights (inference state only; Train rebuilds the
+  /// optimiser state from scratch).
+  void Save(persist::Encoder& encoder) const;
+
+  /// Restores the weights into a model constructed with the same
+  /// feature_dim and params.
+  bool Restore(persist::Decoder& decoder);
+
  private:
   struct Outputs {
     Matrix o1;

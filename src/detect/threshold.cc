@@ -64,6 +64,35 @@ void PersistenceTracker::Reset() {
   filled_ = 0;
 }
 
+void PersistenceTracker::Save(persist::Encoder& encoder) const {
+  encoder.PutI32(cursor_);
+  encoder.PutI32(filled_);
+  for (const auto& ring : history_)
+    for (bool bit : ring) encoder.PutBool(bit);
+}
+
+bool PersistenceTracker::Restore(persist::Decoder& decoder) {
+  const std::int32_t cursor = decoder.GetI32();
+  const std::int32_t filled = decoder.GetI32();
+  if (!decoder.ok()) return false;
+  if (cursor < 0 || cursor >= window_ || filled < 0 || filled > window_) {
+    decoder.Fail("persistence cursor out of range");
+    return false;
+  }
+  Reset();
+  cursor_ = cursor;
+  filled_ = filled;
+  for (std::size_t c = 0; c < channels_; ++c) {
+    auto& ring = history_[c];
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const bool bit = decoder.GetBool();
+      ring[i] = bit;
+      if (bit) ++counts_[c];  // counts are derived from the rings
+    }
+  }
+  return decoder.ok();
+}
+
 std::vector<bool> PersistenceTracker::Update(const std::vector<bool>& violations) {
   NAVARCHOS_CHECK(violations.size() == channels_);
   std::vector<bool> fires(channels_, false);

@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "persist/codec.h"
+
 namespace navarchos::detect {
 
 /// How alarms are derived from scores.
@@ -77,6 +79,14 @@ class PersistenceTracker {
 
   /// Clears all history (reference rebuild).
   void Reset();
+
+  /// Serialises the ring buffers and cursors (not the configuration, which
+  /// the owner reconstructs from its own config).
+  void Save(persist::Encoder& encoder) const;
+
+  /// Restores state saved by Save() into a tracker constructed with the same
+  /// window/min_count/channels. Returns false on malformed input.
+  bool Restore(persist::Decoder& decoder);
 
  private:
   int window_;

@@ -47,4 +47,47 @@ std::vector<double> TranAdDetector::Score(const std::vector<double>& sample) {
   return {model_->Score(window)};
 }
 
+void TranAdDetector::SaveState(persist::Encoder& encoder) const {
+  standardizer_.Save(encoder);
+  encoder.PutBool(model_ != nullptr);
+  if (model_ != nullptr) {
+    encoder.PutI32(static_cast<std::int32_t>(standardizer_.mean().size()));
+    model_->Save(encoder);
+  }
+  // The rolling window is live streaming state: scores after a restore must
+  // see the same recent samples the uninterrupted run would have.
+  encoder.PutU64(rolling_window_.size());
+  for (const auto& row : rolling_window_) encoder.PutDoubleVec(row);
+}
+
+bool TranAdDetector::RestoreState(persist::Decoder& decoder) {
+  if (!standardizer_.Restore(decoder)) return false;
+  model_.reset();
+  if (decoder.GetBool()) {
+    const std::int32_t dims = decoder.GetI32();
+    if (!decoder.ok()) return false;
+    if (dims < 1 || static_cast<std::size_t>(dims) != standardizer_.mean().size()) {
+      decoder.Fail("tranad feature dimension mismatch");
+      return false;
+    }
+    model_ = std::make_unique<nn::TranAdModel>(dims, params_);
+    if (!model_->Restore(decoder)) return false;
+  }
+  const std::uint64_t rows = decoder.GetU64();
+  if (!decoder.ok() || rows > static_cast<std::uint64_t>(params_.window)) {
+    decoder.Fail("tranad rolling window out of bounds");
+    return false;
+  }
+  rolling_window_.clear();
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    rolling_window_.push_back(decoder.GetDoubleVec());
+    if (!decoder.ok()) return false;
+    if (rolling_window_.back().size() != standardizer_.mean().size()) {
+      decoder.Fail("tranad rolling-window row width mismatch");
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace navarchos::detect

@@ -33,6 +33,8 @@ class TranAdDetector : public Detector {
   std::size_t MinReferenceSize() const override {
     return static_cast<std::size_t>(2 * params_.window);
   }
+  void SaveState(persist::Encoder& encoder) const override;
+  bool RestoreState(persist::Decoder& decoder) override;
 
  private:
   nn::TranAdParams params_;

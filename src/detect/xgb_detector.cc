@@ -58,6 +58,37 @@ std::vector<double> XgbDetector::Score(const std::vector<double>& sample) {
   return scores;
 }
 
+void XgbDetector::SaveState(persist::Encoder& encoder) const {
+  // Per-target models travel in GbtRegressor's lossless (%.17g) text format.
+  standardizer_.Save(encoder);
+  encoder.PutU64(models_.size());
+  for (const GbtRegressor& model : models_) encoder.PutString(model.Serialise());
+}
+
+bool XgbDetector::RestoreState(persist::Decoder& decoder) {
+  if (!standardizer_.Restore(decoder)) return false;
+  const std::uint64_t count = decoder.GetU64();
+  // Each serialised model costs at least its 8-byte length prefix.
+  if (!decoder.ok() || count > decoder.remaining() / 8) {
+    decoder.Fail("xgboost model count out of bounds");
+    return false;
+  }
+  models_.clear();
+  for (std::uint64_t target = 0; target < count; ++target) {
+    const std::string text = decoder.GetString();
+    if (!decoder.ok()) return false;
+    GbtParams params = params_;
+    params.seed = params_.seed + target;
+    GbtRegressor model(params);
+    if (!model.Deserialise(text)) {
+      decoder.Fail("xgboost model " + std::to_string(target) + " malformed");
+      return false;
+    }
+    models_.push_back(std::move(model));
+  }
+  return true;
+}
+
 std::vector<std::string> XgbDetector::ChannelNames() const {
   if (!feature_names_.empty()) return feature_names_;
   std::vector<std::string> names;

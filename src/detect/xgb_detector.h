@@ -31,6 +31,8 @@ class XgbDetector : public Detector {
   std::size_t ScoreChannels() const override { return models_.size(); }
   std::vector<std::string> ChannelNames() const override;
   std::size_t MinReferenceSize() const override { return 16; }
+  void SaveState(persist::Encoder& encoder) const override;
+  bool RestoreState(persist::Decoder& decoder) override;
 
  private:
   /// Builds the model-j input row: all features except j.

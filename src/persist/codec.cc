@@ -1,0 +1,178 @@
+#include "persist/codec.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace navarchos::persist {
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = MakeCrcTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xFFu];
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ------------------------------------------------------------------ Encoder
+
+void Encoder::PutU8(std::uint8_t value) { bytes_.push_back(value); }
+
+void Encoder::PutU32(std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void Encoder::PutU64(std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void Encoder::PutI32(std::int32_t value) { PutU32(static_cast<std::uint32_t>(value)); }
+
+void Encoder::PutI64(std::int64_t value) { PutU64(static_cast<std::uint64_t>(value)); }
+
+void Encoder::PutBool(bool value) { PutU8(value ? 1 : 0); }
+
+void Encoder::PutDouble(double value) { PutU64(std::bit_cast<std::uint64_t>(value)); }
+
+void Encoder::PutString(std::string_view value) {
+  PutU64(value.size());
+  bytes_.insert(bytes_.end(), value.begin(), value.end());
+}
+
+void Encoder::PutDoubleVec(const std::vector<double>& values) {
+  PutU64(values.size());
+  for (double value : values) PutDouble(value);
+}
+
+void Encoder::PutDoubleMat(const std::vector<std::vector<double>>& rows) {
+  PutU64(rows.size());
+  for (const auto& row : rows) PutDoubleVec(row);
+}
+
+// ------------------------------------------------------------------ Decoder
+
+Decoder::Decoder(const std::uint8_t* data, std::size_t size)
+    : data_(data), size_(size) {}
+
+Decoder::Decoder(const std::vector<std::uint8_t>& bytes)
+    : data_(bytes.data()), size_(bytes.size()) {}
+
+bool Decoder::Take(std::size_t n) {
+  if (!ok()) return false;
+  if (n > size_ - offset_) {
+    error_ = "truncated read of " + std::to_string(n) + " byte(s) at offset " +
+             std::to_string(offset_) + " (" + std::to_string(size_ - offset_) +
+             " remaining)";
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t Decoder::GetU8() {
+  if (!Take(1)) return 0;
+  return data_[offset_++];
+}
+
+std::uint32_t Decoder::GetU32() {
+  if (!Take(4)) return 0;
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i)
+    value |= static_cast<std::uint32_t>(data_[offset_ + static_cast<std::size_t>(i)])
+             << (8 * i);
+  offset_ += 4;
+  return value;
+}
+
+std::uint64_t Decoder::GetU64() {
+  if (!Take(8)) return 0;
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i)
+    value |= static_cast<std::uint64_t>(data_[offset_ + static_cast<std::size_t>(i)])
+             << (8 * i);
+  offset_ += 8;
+  return value;
+}
+
+std::int32_t Decoder::GetI32() { return static_cast<std::int32_t>(GetU32()); }
+
+std::int64_t Decoder::GetI64() { return static_cast<std::int64_t>(GetU64()); }
+
+bool Decoder::GetBool() {
+  const std::uint8_t value = GetU8();
+  if (ok() && value > 1) Fail("invalid bool byte " + std::to_string(value));
+  return value == 1;
+}
+
+double Decoder::GetDouble() { return std::bit_cast<double>(GetU64()); }
+
+std::string Decoder::GetString() {
+  const std::uint64_t length = GetU64();
+  // Validate before allocating: a corrupted length prefix must produce a
+  // clean error, never a gigantic allocation or an out-of-bounds read.
+  if (!ok() || !Take(static_cast<std::size_t>(length))) {
+    if (ok()) Fail("string length out of bounds");
+    return {};
+  }
+  std::string value(reinterpret_cast<const char*>(data_ + offset_),
+                    static_cast<std::size_t>(length));
+  offset_ += static_cast<std::size_t>(length);
+  return value;
+}
+
+std::vector<double> Decoder::GetDoubleVec() {
+  const std::uint64_t count = GetU64();
+  if (!ok() || count > remaining() / 8) {
+    if (ok()) Fail("double-vector length out of bounds");
+    return {};
+  }
+  std::vector<double> values(static_cast<std::size_t>(count));
+  for (auto& value : values) value = GetDouble();
+  return values;
+}
+
+std::vector<std::vector<double>> Decoder::GetDoubleMat() {
+  const std::uint64_t rows = GetU64();
+  // Each row costs at least its 8-byte length prefix.
+  if (!ok() || rows > remaining() / 8) {
+    if (ok()) Fail("matrix row count out of bounds");
+    return {};
+  }
+  std::vector<std::vector<double>> matrix(static_cast<std::size_t>(rows));
+  for (auto& row : matrix) {
+    row = GetDoubleVec();
+    if (!ok()) return {};
+  }
+  return matrix;
+}
+
+void Decoder::Fail(const std::string& message) {
+  if (!ok()) return;
+  error_ = message + " at offset " + std::to_string(offset_);
+}
+
+util::Status Decoder::ToStatus(std::string_view context) const {
+  if (!ok()) return util::Status::Error(std::string(context) + ": " + error_);
+  if (remaining() != 0) {
+    return util::Status::Error(std::string(context) + ": " +
+                               std::to_string(remaining()) +
+                               " trailing byte(s) after offset " +
+                               std::to_string(offset_));
+  }
+  return util::Status();
+}
+
+}  // namespace navarchos::persist

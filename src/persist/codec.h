@@ -1,0 +1,142 @@
+// Binary encoding primitives of the checkpoint/restore subsystem.
+//
+// Encoder appends fixed-width little-endian primitives to a byte buffer;
+// Decoder reads them back with full bounds checking. Doubles are encoded by
+// bit pattern (never through text), so a value restored from a snapshot is
+// bit-identical to the value saved - the foundation of the subsystem's
+// restore-equals-uninterrupted determinism guarantee.
+//
+// Decoder robustness contract: no input - truncated, bit-flipped, or
+// adversarial - may crash the decoder or trigger an unbounded allocation.
+// Every length field is validated against the bytes actually remaining
+// before any allocation, and the first malformed read latches an error
+// (with its byte offset) after which every further read returns a default.
+#ifndef NAVARCHOS_PERSIST_CODEC_H_
+#define NAVARCHOS_PERSIST_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// \brief Bounds-checked binary Encoder/Decoder (little-endian, bit-exact
+/// doubles) and the CRC32 used to checksum snapshot chunks.
+
+/// \namespace navarchos::persist
+/// \brief The checkpoint/restore subsystem: binary codec, versioned
+/// checksummed snapshot files, and the Save/Restore plumbing that lets a
+/// monitoring service restart mid-stream with bit-identical output.
+
+namespace navarchos::persist {
+
+/// CRC32 (IEEE 802.3, polynomial 0xEDB88320) of `size` bytes at `data`.
+/// Guarantees detection of any single-bit or single-byte corruption of the
+/// checksummed region.
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t size);
+
+/// Append-only binary encoder (little-endian, bit-exact doubles).
+class Encoder {
+ public:
+  /// Appends one byte.
+  void PutU8(std::uint8_t value);
+  /// Appends a 32-bit unsigned value.
+  void PutU32(std::uint32_t value);
+  /// Appends a 64-bit unsigned value.
+  void PutU64(std::uint64_t value);
+  /// Appends a 32-bit signed value (two's complement).
+  void PutI32(std::int32_t value);
+  /// Appends a 64-bit signed value (two's complement).
+  void PutI64(std::int64_t value);
+  /// Appends a bool as one byte (0 or 1).
+  void PutBool(bool value);
+  /// Appends a double by bit pattern (bit-exact round trip, NaN included).
+  void PutDouble(double value);
+  /// Appends a length-prefixed byte string.
+  void PutString(std::string_view value);
+  /// Appends a length-prefixed vector of doubles.
+  void PutDoubleVec(const std::vector<double>& values);
+  /// Appends a row-count-prefixed matrix (vector of double rows).
+  void PutDoubleMat(const std::vector<std::vector<double>>& rows);
+
+  /// The encoded bytes so far.
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+  /// Moves the encoded bytes out of the encoder.
+  std::vector<std::uint8_t> TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked binary decoder over a borrowed byte range.
+///
+/// The first malformed read (out-of-bounds, oversized length prefix, or an
+/// explicit Fail) latches `ok() == false` with the failing byte offset;
+/// every subsequent read returns a default value without touching the
+/// input, so restore code can decode an entire structure and check ok()
+/// once at the end.
+class Decoder {
+ public:
+  /// Decodes `size` bytes at `data` (borrowed; must outlive the decoder).
+  Decoder(const std::uint8_t* data, std::size_t size);
+
+  /// Decodes a byte vector (borrowed; must outlive the decoder).
+  explicit Decoder(const std::vector<std::uint8_t>& bytes);
+
+  /// Reads one byte.
+  std::uint8_t GetU8();
+  /// Reads a 32-bit unsigned value.
+  std::uint32_t GetU32();
+  /// Reads a 64-bit unsigned value.
+  std::uint64_t GetU64();
+  /// Reads a 32-bit signed value.
+  std::int32_t GetI32();
+  /// Reads a 64-bit signed value.
+  std::int64_t GetI64();
+  /// Reads a bool; any byte other than 0/1 fails the decoder.
+  bool GetBool();
+  /// Reads a double by bit pattern.
+  double GetDouble();
+  /// Reads a length-prefixed byte string.
+  std::string GetString();
+  /// Reads a length-prefixed vector of doubles.
+  std::vector<double> GetDoubleVec();
+  /// Reads a row-count-prefixed matrix of doubles.
+  std::vector<std::vector<double>> GetDoubleMat();
+
+  /// True until the first malformed read or Fail().
+  bool ok() const { return error_.empty(); }
+
+  /// Description of the first failure; empty while ok().
+  const std::string& error() const { return error_; }
+
+  /// Current read offset in bytes.
+  std::size_t offset() const { return offset_; }
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return size_ - offset_; }
+
+  /// Latches a semantic validation failure (recorded at the current
+  /// offset). No-op if the decoder already failed.
+  void Fail(const std::string& message);
+
+  /// Converts the decoder state to a Status: OK while ok() and fully
+  /// consumed, an error naming `context` and the failing offset otherwise.
+  util::Status ToStatus(std::string_view context) const;
+
+ private:
+  /// Reserves `n` bytes for reading; latches an error when unavailable.
+  bool Take(std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+  std::string error_;
+};
+
+}  // namespace navarchos::persist
+
+#endif  // NAVARCHOS_PERSIST_CODEC_H_

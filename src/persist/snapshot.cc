@@ -1,0 +1,158 @@
+#include "persist/snapshot.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+namespace navarchos::persist {
+namespace {
+
+constexpr char kMagic[8] = {'N', 'A', 'V', 'S', 'N', 'P', '0', '1'};
+
+std::uint32_t ChunkCrc(const SnapshotChunk& chunk) {
+  // CRC over tag + payload so a flipped tag byte is detected even when the
+  // payload itself is intact.
+  std::vector<std::uint8_t> buffer;
+  buffer.reserve(chunk.tag.size() + chunk.payload.size());
+  buffer.insert(buffer.end(), chunk.tag.begin(), chunk.tag.end());
+  buffer.insert(buffer.end(), chunk.payload.begin(), chunk.payload.end());
+  return Crc32(buffer.data(), buffer.size());
+}
+
+}  // namespace
+
+void Snapshot::Add(std::string tag, Encoder&& encoder) {
+  chunks_.push_back(SnapshotChunk{std::move(tag), encoder.TakeBytes()});
+}
+
+void Snapshot::Add(std::string tag, std::vector<std::uint8_t> payload) {
+  chunks_.push_back(SnapshotChunk{std::move(tag), std::move(payload)});
+}
+
+const SnapshotChunk* Snapshot::Find(std::string_view tag) const {
+  for (const auto& chunk : chunks_)
+    if (chunk.tag == tag) return &chunk;
+  return nullptr;
+}
+
+std::size_t Snapshot::PayloadBytes() const {
+  std::size_t total = 0;
+  for (const auto& chunk : chunks_) total += chunk.payload.size();
+  return total;
+}
+
+std::vector<std::uint8_t> SerialiseSnapshot(const Snapshot& snapshot) {
+  Encoder encoder;
+  for (char c : kMagic) encoder.PutU8(static_cast<std::uint8_t>(c));
+  encoder.PutU32(kSnapshotVersion);
+  encoder.PutU32(static_cast<std::uint32_t>(snapshot.chunks().size()));
+  for (const auto& chunk : snapshot.chunks()) {
+    encoder.PutU32(static_cast<std::uint32_t>(chunk.tag.size()));
+    for (char c : chunk.tag) encoder.PutU8(static_cast<std::uint8_t>(c));
+    encoder.PutU64(chunk.payload.size());
+    encoder.PutU32(ChunkCrc(chunk));
+    for (std::uint8_t byte : chunk.payload) encoder.PutU8(byte);
+  }
+  return encoder.TakeBytes();
+}
+
+util::Status WriteSnapshot(const std::string& path, const Snapshot& snapshot) {
+  const std::vector<std::uint8_t> bytes = SerialiseSnapshot(snapshot);
+  const std::string temp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return util::Status::Error("snapshot write: cannot open " + temp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(temp, ec);
+      return util::Status::Error("snapshot write: short write to " + temp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::filesystem::remove(temp, ec);
+    return util::Status::Error("snapshot write: cannot publish " + path);
+  }
+  return util::Status();
+}
+
+util::Status ParseSnapshot(const std::uint8_t* data, std::size_t size,
+                           const std::string& context, Snapshot* out) {
+  *out = Snapshot();
+  Decoder decoder(data, size);
+  for (char expected : kMagic) {
+    const std::size_t at = decoder.offset();
+    const std::uint8_t byte = decoder.GetU8();
+    if (decoder.ok() && byte != static_cast<std::uint8_t>(expected)) {
+      decoder.Fail("bad magic byte at offset " + std::to_string(at) +
+                   " (not a snapshot file)");
+    }
+    if (!decoder.ok()) return decoder.ToStatus(context);
+  }
+  const std::uint32_t version = decoder.GetU32();
+  if (decoder.ok() && version != kSnapshotVersion) {
+    decoder.Fail("unsupported snapshot version " + std::to_string(version) +
+                 " (expected " + std::to_string(kSnapshotVersion) + ")");
+  }
+  const std::uint32_t count = decoder.GetU32();
+  if (!decoder.ok()) return decoder.ToStatus(context);
+
+  Snapshot parsed;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t tag_len = decoder.GetU32();
+    SnapshotChunk chunk;
+    if (decoder.ok() && tag_len > decoder.remaining()) {
+      decoder.Fail("chunk " + std::to_string(i) + " tag length " +
+                   std::to_string(tag_len) + " out of bounds");
+    }
+    if (!decoder.ok()) return decoder.ToStatus(context);
+    chunk.tag.reserve(tag_len);
+    for (std::uint32_t b = 0; b < tag_len; ++b)
+      chunk.tag.push_back(static_cast<char>(decoder.GetU8()));
+    const std::uint64_t payload_len = decoder.GetU64();
+    const std::uint32_t expected_crc = decoder.GetU32();
+    if (decoder.ok() && payload_len > decoder.remaining()) {
+      decoder.Fail("chunk " + std::to_string(i) + " (\"" + chunk.tag +
+                   "\") payload length " + std::to_string(payload_len) +
+                   " out of bounds");
+    }
+    if (!decoder.ok()) return decoder.ToStatus(context);
+    const std::size_t payload_offset = decoder.offset();
+    chunk.payload.assign(data + payload_offset,
+                         data + payload_offset + payload_len);
+    for (std::uint64_t b = 0; b < payload_len; ++b) decoder.GetU8();
+    const std::uint32_t found_crc = ChunkCrc(chunk);
+    if (found_crc != expected_crc) {
+      return util::Status::Error(
+          context + ": chunk " + std::to_string(i) + " (\"" + chunk.tag +
+          "\") CRC mismatch at offset " + std::to_string(payload_offset) +
+          ": expected " + std::to_string(expected_crc) + ", found " +
+          std::to_string(found_crc));
+    }
+    parsed.Add(std::move(chunk.tag), std::move(chunk.payload));
+  }
+  util::Status status = decoder.ToStatus(context);
+  if (!status.ok()) return status;
+  *out = std::move(parsed);
+  return util::Status();
+}
+
+util::Status ReadSnapshot(const std::string& path, Snapshot* out) {
+  *out = Snapshot();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::Error("snapshot read: cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (in.bad()) return util::Status::Error("snapshot read: I/O error on " + path);
+  return ParseSnapshot(bytes.data(), bytes.size(), path, out);
+}
+
+}  // namespace navarchos::persist

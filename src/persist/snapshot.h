@@ -1,0 +1,100 @@
+// Versioned, checksummed snapshot files: the durable container of the
+// checkpoint/restore subsystem.
+//
+// A Snapshot is an ordered sequence of tagged chunks (tag string + opaque
+// payload). On disk it is a tagged chunk stream:
+//
+//   offset 0   magic     "NAVSNP01"                        (8 bytes)
+//   offset 8   version   u32, little-endian                (currently 1)
+//   offset 12  count     u32, number of chunks
+//   then, per chunk:
+//              tag_len   u32
+//              tag       tag_len bytes (UTF-8, no NUL)
+//              size      u64, payload bytes
+//              crc32     u32 over tag bytes + payload bytes
+//              payload   size bytes
+//   EOF exactly after the last chunk (trailing bytes are an error).
+//
+// Writes are atomic: the stream goes to a process-unique temp file that is
+// published with std::filesystem::rename (same idiom as the bench grid
+// cache), so a reader - including a restore racing a crash - never observes
+// a torn snapshot. Reads verify magic, version, every bound and every
+// chunk CRC before any payload is exposed; any corruption yields a Status
+// error naming the file, offset, and expected-vs-found CRC, never a crash.
+//
+// Compatibility policy: the version field is bumped on any layout change;
+// readers reject snapshots whose version they do not know (no silent
+// best-effort decoding of foreign layouts). Chunk payloads carry their own
+// per-subsystem state version so subsystems can evolve independently.
+#ifndef NAVARCHOS_PERSIST_SNAPSHOT_H_
+#define NAVARCHOS_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "persist/codec.h"
+#include "util/status.h"
+
+/// \file
+/// \brief Snapshot (an ordered tagged-chunk container) and its durable,
+/// CRC-checked, atomically-written file format.
+
+namespace navarchos::persist {
+
+/// Current snapshot file-format version (see the compatibility policy in
+/// the header comment).
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// One tagged chunk of a snapshot: an opaque payload labelled by the
+/// subsystem that owns it (e.g. "service/meta", "lane/3").
+struct SnapshotChunk {
+  std::string tag;                    ///< Owner label; unique per snapshot.
+  std::vector<std::uint8_t> payload;  ///< Opaque encoded bytes.
+};
+
+/// An ordered collection of tagged chunks - the in-memory form of a
+/// snapshot file.
+class Snapshot {
+ public:
+  /// Appends a chunk holding the encoder's bytes under `tag`.
+  void Add(std::string tag, Encoder&& encoder);
+
+  /// Appends a chunk holding raw payload bytes under `tag`.
+  void Add(std::string tag, std::vector<std::uint8_t> payload);
+
+  /// Returns the first chunk tagged `tag`, or nullptr when absent.
+  const SnapshotChunk* Find(std::string_view tag) const;
+
+  /// All chunks in append order.
+  const std::vector<SnapshotChunk>& chunks() const { return chunks_; }
+
+  /// Sum of payload sizes in bytes (excludes framing).
+  std::size_t PayloadBytes() const;
+
+ private:
+  std::vector<SnapshotChunk> chunks_;
+};
+
+/// Serialises `snapshot` to `path` atomically (temp file + rename). Returns
+/// an error Status when the file cannot be written or published.
+util::Status WriteSnapshot(const std::string& path, const Snapshot& snapshot);
+
+/// Parses the snapshot file at `path` into `out`, verifying magic, version,
+/// all bounds and every chunk's CRC32. On any corruption - truncation, bit
+/// flips, version mismatch - returns an error Status naming the file and
+/// byte offset (and expected-vs-found CRC for checksum failures); `out` is
+/// left empty. Never crashes on malformed input.
+util::Status ReadSnapshot(const std::string& path, Snapshot* out);
+
+/// In-memory variant of ReadSnapshot over `size` bytes at `data`;
+/// `context` names the source in error messages.
+util::Status ParseSnapshot(const std::uint8_t* data, std::size_t size,
+                           const std::string& context, Snapshot* out);
+
+/// Serialises `snapshot` to its byte-stream form (the exact file contents).
+std::vector<std::uint8_t> SerialiseSnapshot(const Snapshot& snapshot);
+
+}  // namespace navarchos::persist
+
+#endif  // NAVARCHOS_PERSIST_SNAPSHOT_H_

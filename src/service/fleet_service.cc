@@ -1,11 +1,44 @@
 #include "service/fleet_service.h"
 
+#include <string>
 #include <utility>
 
 #include "transform/transformer.h"
 #include "util/check.h"
 
 namespace navarchos::service {
+
+namespace {
+
+/// Layout version of the service-level snapshot chunks ("service", "sink",
+/// "lane.<i>"), carried in the "service" chunk and bumped whenever any of
+/// their encodings changes incompatibly.
+constexpr std::uint32_t kServiceStateVersion = 1;
+
+/// Minimum encoded size of one alarm (fixed fields + empty name), used to
+/// bound the alarm count claimed by a snapshot before allocating.
+constexpr std::size_t kMinAlarmBytes = 4 + 8 + 8 + 4 + 8 + 8;
+
+void SaveAlarm(persist::Encoder& encoder, const core::Alarm& alarm) {
+  encoder.PutI32(alarm.vehicle_id);
+  encoder.PutI64(alarm.timestamp);
+  encoder.PutU64(alarm.channel);
+  encoder.PutString(alarm.channel_name);
+  encoder.PutDouble(alarm.score);
+  encoder.PutDouble(alarm.threshold);
+}
+
+bool RestoreAlarm(persist::Decoder& decoder, core::Alarm* alarm) {
+  alarm->vehicle_id = decoder.GetI32();
+  alarm->timestamp = decoder.GetI64();
+  alarm->channel = static_cast<std::size_t>(decoder.GetU64());
+  alarm->channel_name = decoder.GetString();
+  alarm->score = decoder.GetDouble();
+  alarm->threshold = decoder.GetDouble();
+  return decoder.ok();
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- OrderedSink
 
@@ -60,6 +93,42 @@ std::size_t FleetService::OrderedSink::frames_processed() const {
 std::size_t FleetService::OrderedSink::alarms_emitted() const {
   std::lock_guard<std::mutex> lock(mu_);
   return alarms_.size();
+}
+
+void FleetService::OrderedSink::Save(persist::Encoder& encoder) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  NAVARCHOS_CHECK(pending_.empty());  // checkpoint barrier already passed
+  encoder.PutU64(next_release_);
+  encoder.PutU64(frames_processed_);
+  encoder.PutU64(alarms_.size());
+  for (const core::Alarm& alarm : alarms_) SaveAlarm(encoder, alarm);
+}
+
+bool FleetService::OrderedSink::Restore(persist::Decoder& decoder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t next_release = decoder.GetU64();
+  const std::uint64_t frames_processed = decoder.GetU64();
+  const std::uint64_t alarm_count = decoder.GetU64();
+  if (!decoder.ok()) return false;
+  if (alarm_count > decoder.remaining() / kMinAlarmBytes) {
+    decoder.Fail("sink alarm count exceeds payload size");
+    return false;
+  }
+  next_release_ = next_release;
+  frames_processed_ = static_cast<std::size_t>(frames_processed);
+  alarms_.clear();
+  alarms_.reserve(static_cast<std::size_t>(alarm_count));
+  for (std::uint64_t i = 0; i < alarm_count; ++i) {
+    core::Alarm alarm;
+    if (!RestoreAlarm(decoder, &alarm)) return false;
+    alarms_.push_back(std::move(alarm));
+  }
+  return decoder.ok();
+}
+
+std::vector<core::Alarm> FleetService::OrderedSink::released() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alarms_;
 }
 
 // --------------------------------------------------------------- FleetService
@@ -121,6 +190,7 @@ void FleetService::PumpLane(VehicleLane* lane) {
 
 bool FleetService::Submit(const telemetry::SensorFrame& frame) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
+  ingest_started_ = true;
   ++frames_submitted_;
   if (draining_) {
     ++frames_rejected_;
@@ -213,19 +283,150 @@ ServiceStats FleetService::stats() const {
 
 void FleetService::set_alarm_callback(AlarmCallback callback) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
-  NAVARCHOS_CHECK(next_global_seq_ == 0);  // before the first admission
+  // Before the first Submit - but a restored service carries sequence
+  // numbers from its previous life, so the guard is on local ingest, not on
+  // next_global_seq_.
+  NAVARCHOS_CHECK(!ingest_started_);
   sink_.alarm_callback = std::move(callback);
 }
 
 void FleetService::set_completion_callback(CompletionCallback callback) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
-  NAVARCHOS_CHECK(next_global_seq_ == 0);
+  NAVARCHOS_CHECK(!ingest_started_);
   sink_.completion_callback = std::move(callback);
 }
 
 std::size_t FleetService::vehicle_count() const {
   std::lock_guard<std::mutex> lock(ingest_mu_);
   return lanes_.size();
+}
+
+// --------------------------------------------------------- checkpoint/restore
+
+void FleetService::SaveLocked(persist::Snapshot* snapshot) const {
+  // "service" chunk: version, cursors and counters, lane count.
+  persist::Encoder service_encoder;
+  service_encoder.PutU32(kServiceStateVersion);
+  service_encoder.PutU64(next_global_seq_);
+  service_encoder.PutU64(frames_submitted_);
+  service_encoder.PutU64(frames_accepted_);
+  service_encoder.PutU64(frames_rejected_);
+  service_encoder.PutU64(lanes_.size());
+  snapshot->Add("service", std::move(service_encoder));
+
+  // "sink" chunk: release cursor and the released alarms in total order.
+  persist::Encoder sink_encoder;
+  sink_.Save(sink_encoder);
+  snapshot->Add("sink", std::move(sink_encoder));
+
+  // One "lane.<i>" chunk per registered vehicle, in registration order, so a
+  // restore recreates the same lane indices (TakeResult alignment).
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    const VehicleLane& lane = *lanes_[i];
+    persist::Encoder lane_encoder;
+    lane_encoder.PutI32(lane.vehicle_id);
+    lane_encoder.PutU64(lane.next_vehicle_seq);
+    lane.monitor.Save(lane_encoder);
+    snapshot->Add("lane." + std::to_string(i), std::move(lane_encoder));
+  }
+}
+
+util::Status FleetService::Checkpoint(const std::string& path) {
+  // Holding ingest_mu_ blocks new admissions; the pumps do not need it, so
+  // they drain every already-admitted frame and the pool falls idle - at
+  // which point the sink has released everything (no pending completions)
+  // and every monitor is between frames. That is exactly the state a
+  // restarted service must resume from.
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  if (draining_ || drained_)
+    return util::Status::Error("checkpoint: service is draining or drained");
+  pool_.WaitIdle();
+  persist::Snapshot snapshot;
+  SaveLocked(&snapshot);
+  return persist::WriteSnapshot(path, snapshot);
+}
+
+util::Status FleetService::RestoreFrom(const persist::Snapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  if (ingest_started_ || next_global_seq_ != 0 || !lanes_.empty() || draining_)
+    return util::Status::Error("restore: service is not fresh");
+
+  const persist::SnapshotChunk* service_chunk = snapshot.Find("service");
+  if (service_chunk == nullptr)
+    return util::Status::Error("restore: snapshot has no \"service\" chunk");
+  persist::Decoder service_decoder(service_chunk->payload.data(),
+                                   service_chunk->payload.size());
+  const std::uint32_t version = service_decoder.GetU32();
+  if (service_decoder.ok() && version != kServiceStateVersion) {
+    return util::Status::Error(
+        "restore: unsupported service state version " + std::to_string(version) +
+        " (expected " + std::to_string(kServiceStateVersion) + ")");
+  }
+  const std::uint64_t next_global_seq = service_decoder.GetU64();
+  const std::uint64_t frames_submitted = service_decoder.GetU64();
+  const std::uint64_t frames_accepted = service_decoder.GetU64();
+  const std::uint64_t frames_rejected = service_decoder.GetU64();
+  const std::uint64_t lane_count = service_decoder.GetU64();
+  util::Status status = service_decoder.ToStatus("service chunk");
+  if (!status.ok()) return status;
+  if (lane_count > snapshot.chunks().size())
+    return util::Status::Error("restore: service chunk claims " +
+                               std::to_string(lane_count) +
+                               " lanes but the snapshot has only " +
+                               std::to_string(snapshot.chunks().size()) +
+                               " chunks");
+
+  // Lanes in saved registration order, each with its monitor state.
+  for (std::uint64_t i = 0; i < lane_count; ++i) {
+    const std::string tag = "lane." + std::to_string(i);
+    const persist::SnapshotChunk* chunk = snapshot.Find(tag);
+    if (chunk == nullptr)
+      return util::Status::Error("restore: snapshot has no \"" + tag + "\" chunk");
+    persist::Decoder decoder(chunk->payload.data(), chunk->payload.size());
+    const std::int32_t vehicle_id = decoder.GetI32();
+    const std::uint64_t next_vehicle_seq = decoder.GetU64();
+    if (decoder.ok() && lane_index_.count(vehicle_id) != 0)
+      decoder.Fail("duplicate vehicle id " + std::to_string(vehicle_id));
+    if (!decoder.ok()) return decoder.ToStatus(tag + " chunk");
+    VehicleLane* lane = LaneOfLocked(vehicle_id);
+    lane->next_vehicle_seq = next_vehicle_seq;
+    if (!lane->monitor.Restore(decoder)) return decoder.ToStatus(tag + " chunk");
+    status = decoder.ToStatus(tag + " chunk");
+    if (!status.ok()) return status;
+  }
+
+  const persist::SnapshotChunk* sink_chunk = snapshot.Find("sink");
+  if (sink_chunk == nullptr)
+    return util::Status::Error("restore: snapshot has no \"sink\" chunk");
+  persist::Decoder sink_decoder(sink_chunk->payload.data(),
+                                sink_chunk->payload.size());
+  if (!sink_.Restore(sink_decoder)) return sink_decoder.ToStatus("sink chunk");
+  status = sink_decoder.ToStatus("sink chunk");
+  if (!status.ok()) return status;
+
+  // Quiescence invariants of a checkpoint: everything admitted was released.
+  if (sink_.frames_processed() != frames_accepted)
+    return util::Status::Error(
+        "restore: snapshot inconsistent (processed " +
+        std::to_string(sink_.frames_processed()) + " frames, accepted " +
+        std::to_string(frames_accepted) + ")");
+
+  next_global_seq_ = next_global_seq;
+  frames_submitted_ = static_cast<std::size_t>(frames_submitted);
+  frames_accepted_ = static_cast<std::size_t>(frames_accepted);
+  frames_rejected_ = static_cast<std::size_t>(frames_rejected);
+  return util::Status();
+}
+
+util::Status FleetService::RestoreFromFile(const std::string& path) {
+  persist::Snapshot snapshot;
+  util::Status status = persist::ReadSnapshot(path, &snapshot);
+  if (!status.ok()) return status;
+  return RestoreFrom(snapshot);
+}
+
+std::vector<core::Alarm> FleetService::released_alarms() const {
+  return sink_.released();
 }
 
 // ------------------------------------------------------------------- helpers

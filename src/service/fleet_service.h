@@ -38,10 +38,12 @@
 
 #include "core/fleet_runner.h"
 #include "core/monitor.h"
+#include "persist/snapshot.h"
 #include "runtime/bounded_queue.h"
 #include "runtime/runtime_config.h"
 #include "runtime/thread_pool.h"
 #include "telemetry/stream.h"
+#include "util/status.h"
 
 /// \file
 /// \brief FleetService, the streaming serving layer: per-vehicle bounded
@@ -176,6 +178,29 @@ class FleetService {
   /// Number of registered vehicles (lanes).
   std::size_t vehicle_count() const;
 
+  /// Durable checkpoint: blocks new submissions, waits until every admitted
+  /// frame has been processed and released (WaitIdle barrier), writes a
+  /// snapshot of the complete service state to `path` atomically, then
+  /// resumes ingest. The stream may continue afterwards - a later restore
+  /// from this snapshot replays the remaining frames bit-identically to the
+  /// uninterrupted run at any thread count. Fails while draining/drained.
+  util::Status Checkpoint(const std::string& path);
+
+  /// Restores a checkpoint into this service. Only legal on a fresh service
+  /// (no registrations or submissions yet) built with the same monitor
+  /// configuration as the checkpointing one; lanes are recreated in their
+  /// registration order and every monitor, sequence counter and released
+  /// alarm is reinstated. On error the service must be discarded.
+  util::Status RestoreFrom(const persist::Snapshot& snapshot);
+
+  /// Reads `path` and delegates to RestoreFrom.
+  util::Status RestoreFromFile(const std::string& path);
+
+  /// Copy of the alarms released by the ordered sink so far (total order).
+  /// Stable only while quiescent (after Drain, after a restore, or inside
+  /// no ingest); used to re-emit alarm logs after a restore.
+  std::vector<core::Alarm> released_alarms() const;
+
  private:
   /// A frame admitted to a lane, tagged with its sequence numbers.
   struct TaggedFrame {
@@ -218,6 +243,17 @@ class FleetService {
     std::size_t frames_processed() const;
     std::size_t alarms_emitted() const;
 
+    /// Serialises the release cursor, counters and released alarms. Legal
+    /// only while quiescent (nothing pending), which the checkpoint barrier
+    /// guarantees.
+    void Save(persist::Encoder& encoder) const;
+
+    /// Restores state saved by Save(). Returns false on malformed input.
+    bool Restore(persist::Decoder& decoder);
+
+    /// Copy of the released alarms (quiescent callers only).
+    std::vector<core::Alarm> released() const;
+
     AlarmCallback alarm_callback;            ///< Optional observer.
     CompletionCallback completion_callback;  ///< Optional observer.
 
@@ -242,12 +278,17 @@ class FleetService {
   /// monitor, then reschedules itself if the lane is still non-empty.
   void PumpLane(VehicleLane* lane);
 
+  /// Serialises the quiescent service into `snapshot`. Caller holds
+  /// ingest_mu_ and has passed the WaitIdle barrier.
+  void SaveLocked(persist::Snapshot* snapshot) const;
+
   const ServiceConfig config_;
 
   mutable std::mutex ingest_mu_;  ///< Serialises Submit/Register/Drain.
   std::vector<std::unique_ptr<VehicleLane>> lanes_;  ///< Registration order.
   std::unordered_map<std::int32_t, std::size_t> lane_index_;
   std::uint64_t next_global_seq_ = 0;
+  bool ingest_started_ = false;  ///< A frame has been offered to Submit.
   bool draining_ = false;
   bool drained_ = false;
   std::size_t frames_submitted_ = 0;

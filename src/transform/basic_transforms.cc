@@ -44,6 +44,17 @@ std::optional<TransformedSample> DeltaTransform::Collect(const telemetry::Record
   return sample;
 }
 
+void DeltaTransform::SaveState(persist::Encoder& encoder) const {
+  encoder.PutBool(has_previous_);
+  for (double value : previous_) encoder.PutDouble(value);
+}
+
+bool DeltaTransform::RestoreState(persist::Decoder& decoder) {
+  has_previous_ = decoder.GetBool();
+  for (double& value : previous_) value = decoder.GetDouble();
+  return decoder.ok();
+}
+
 WindowedTransform::WindowedTransform(const TransformOptions& options)
     : options_(options) {
   NAVARCHOS_CHECK(options_.window >= 2);
@@ -77,6 +88,32 @@ std::optional<TransformedSample> WindowedTransform::Collect(
   sample.timestamp = record.timestamp;
   sample.features = ComputeFeatures();
   return sample;
+}
+
+void WindowedTransform::SaveState(persist::Encoder& encoder) const {
+  encoder.PutU64(window_.size());
+  for (const auto& pids : window_)
+    for (double value : pids) encoder.PutDouble(value);
+  encoder.PutI32(since_last_emit_);
+}
+
+bool WindowedTransform::RestoreState(persist::Decoder& decoder) {
+  const std::uint64_t count = decoder.GetU64();
+  if (decoder.ok() && count > static_cast<std::uint64_t>(options_.window)) {
+    decoder.Fail("window length " + std::to_string(count) +
+                 " exceeds configured window " + std::to_string(options_.window));
+  }
+  if (!decoder.ok()) return false;
+  window_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    telemetry::PidVector pids{};
+    for (double& value : pids) value = decoder.GetDouble();
+    window_.push_back(pids);
+  }
+  since_last_emit_ = decoder.GetI32();
+  if (decoder.ok() && (since_last_emit_ < 0 || since_last_emit_ >= options_.stride))
+    decoder.Fail("stride cursor " + std::to_string(since_last_emit_) + " out of range");
+  return decoder.ok();
 }
 
 std::vector<std::string> MeanAggregationTransform::FeatureNames() const {

@@ -28,6 +28,8 @@ class DeltaTransform : public Transformer {
   std::vector<std::string> FeatureNames() const override;
   std::optional<TransformedSample> Collect(const telemetry::Record& record) override;
   void Reset() override { has_previous_ = false; }
+  void SaveState(persist::Encoder& encoder) const override;
+  bool RestoreState(persist::Decoder& decoder) override;
 
  private:
   bool has_previous_ = false;
@@ -41,6 +43,8 @@ class WindowedTransform : public Transformer {
 
   std::optional<TransformedSample> Collect(const telemetry::Record& record) override;
   void Reset() override;
+  void SaveState(persist::Encoder& encoder) const override;
+  bool RestoreState(persist::Decoder& decoder) override;
 
  protected:
   /// Computes the feature vector from the full window (column-major access

@@ -41,4 +41,17 @@ std::vector<std::vector<double>> Standardizer::ApplyAll(
   return out;
 }
 
+void Standardizer::Save(persist::Encoder& encoder) const {
+  encoder.PutDoubleVec(mean_);
+  encoder.PutDoubleVec(scale_);
+}
+
+bool Standardizer::Restore(persist::Decoder& decoder) {
+  mean_ = decoder.GetDoubleVec();
+  scale_ = decoder.GetDoubleVec();
+  if (decoder.ok() && mean_.size() != scale_.size())
+    decoder.Fail("standardizer mean/scale size mismatch");
+  return decoder.ok();
+}
+
 }  // namespace navarchos::transform

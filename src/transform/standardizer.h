@@ -9,6 +9,8 @@
 
 #include <vector>
 
+#include "persist/codec.h"
+
 namespace navarchos::transform {
 
 /// Per-feature z-score scaler.
@@ -31,6 +33,13 @@ class Standardizer {
 
   const std::vector<double>& mean() const { return mean_; }
   const std::vector<double>& scale() const { return scale_; }
+
+  /// Serialises the fitted means and scales (bit-exact).
+  void Save(persist::Encoder& encoder) const;
+
+  /// Restores means and scales saved by Save(); returns false (leaving the
+  /// decoder failed) on malformed input.
+  bool Restore(persist::Decoder& decoder);
 
  private:
   std::vector<double> mean_;

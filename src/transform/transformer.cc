@@ -7,6 +7,15 @@
 
 namespace navarchos::transform {
 
+void Transformer::SaveState(persist::Encoder& encoder) const {
+  (void)encoder;  // stateless by default
+}
+
+bool Transformer::RestoreState(persist::Decoder& decoder) {
+  (void)decoder;  // stateless by default
+  return true;
+}
+
 const char* TransformKindName(TransformKind kind) {
   switch (kind) {
     case TransformKind::kRaw: return "raw";

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "persist/codec.h"
 #include "telemetry/types.h"
 
 namespace navarchos::transform {
@@ -47,6 +48,17 @@ class Transformer {
 
   /// Clears internal buffers.
   virtual void Reset() = 0;
+
+  /// Serialises the mutable streaming state (window buffers, previous-sample
+  /// caches) into `encoder`. Stateless transforms keep the default no-op.
+  /// Configuration is not saved: restore targets a transformer freshly
+  /// constructed with the same kind and options.
+  virtual void SaveState(persist::Encoder& encoder) const;
+
+  /// Restores state written by SaveState into a freshly constructed
+  /// transformer of the same kind and options. Returns false (leaving the
+  /// decoder failed) on malformed input.
+  virtual bool RestoreState(persist::Decoder& decoder);
 };
 
 /// The transformation choices evaluated in the paper plus two extensions

@@ -103,6 +103,20 @@ std::size_t Rng::Categorical(const std::vector<double>& weights) {
   return weights.size() - 1;  // numerical tail
 }
 
+RngState Rng::SaveState() const {
+  RngState state;
+  state.words = state_;
+  state.has_spare_gaussian = has_spare_gaussian_;
+  state.spare_gaussian = spare_gaussian_;
+  return state;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  state_ = state.words;
+  has_spare_gaussian_ = state.has_spare_gaussian;
+  spare_gaussian_ = state.spare_gaussian;
+}
+
 Rng Rng::Fork(std::uint64_t stream) const {
   // Mix the parent state with the stream id through splitmix64 so that
   // forked generators are decorrelated from the parent and each other.

@@ -16,6 +16,15 @@
 
 namespace navarchos::util {
 
+/// Complete serialisable state of an Rng: the four xoshiro256** state words
+/// plus the Box-Muller spare, so a restored generator resumes its stream at
+/// the exact position it was captured (including a pending Gaussian spare).
+struct RngState {
+  std::array<std::uint64_t, 4> words{};  ///< xoshiro256** state words.
+  bool has_spare_gaussian = false;       ///< True when a spare draw is cached.
+  double spare_gaussian = 0.0;           ///< The cached Box-Muller spare.
+};
+
 /// Deterministic, seedable random number generator (xoshiro256**).
 ///
 /// Not thread-safe; create one Rng per thread or per simulated entity.
@@ -77,6 +86,13 @@ class Rng {
   ///   fork per-entity streams from a generator built on that seed instead
   ///   of sharing the fleet master.
   Rng Fork(std::uint64_t stream) const;
+
+  /// Captures the full generator state (stream position included).
+  RngState SaveState() const;
+
+  /// Resets the generator to a previously captured state; the stream then
+  /// continues exactly as it would have from the capture point.
+  void RestoreState(const RngState& state);
 
  private:
   std::array<std::uint64_t, 4> state_;

@@ -1,0 +1,170 @@
+// The binary codec under the checkpoint/restore subsystem: every primitive
+// round-trips bit-exactly (doubles included, NaN included), and no
+// truncated or corrupted input may crash the decoder or trigger an
+// unbounded allocation - length prefixes are validated before any memory
+// is reserved.
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "persist/codec.h"
+
+namespace navarchos::persist {
+namespace {
+
+TEST(CodecTest, PrimitivesRoundTrip) {
+  Encoder encoder;
+  encoder.PutU8(0xAB);
+  encoder.PutU32(0xDEADBEEFu);
+  encoder.PutU64(0x0123456789ABCDEFull);
+  encoder.PutI32(-123456789);
+  encoder.PutI64(-1234567890123456789ll);
+  encoder.PutBool(true);
+  encoder.PutBool(false);
+  encoder.PutDouble(3.141592653589793);
+  encoder.PutString("hello snapshot");
+
+  Decoder decoder(encoder.bytes());
+  EXPECT_EQ(decoder.GetU8(), 0xAB);
+  EXPECT_EQ(decoder.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(decoder.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(decoder.GetI32(), -123456789);
+  EXPECT_EQ(decoder.GetI64(), -1234567890123456789ll);
+  EXPECT_TRUE(decoder.GetBool());
+  EXPECT_FALSE(decoder.GetBool());
+  EXPECT_EQ(decoder.GetDouble(), 3.141592653589793);
+  EXPECT_EQ(decoder.GetString(), "hello snapshot");
+  EXPECT_TRUE(decoder.ok());
+  EXPECT_EQ(decoder.remaining(), 0u);
+}
+
+TEST(CodecTest, DoublesAreBitExact) {
+  // Snapshots must reproduce scores bit-for-bit, so the codec must round
+  // trip every bit pattern - including the ones text formatting mangles.
+  const double values[] = {0.0,
+                           -0.0,
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::min(),
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           1.0 / 3.0,
+                           6.02214076e23};
+  Encoder encoder;
+  for (double value : values) encoder.PutDouble(value);
+  encoder.PutDouble(std::numeric_limits<double>::quiet_NaN());
+
+  Decoder decoder(encoder.bytes());
+  for (double value : values) {
+    const double restored = decoder.GetDouble();
+    EXPECT_EQ(std::signbit(restored), std::signbit(value));
+    EXPECT_EQ(restored, value);
+  }
+  EXPECT_TRUE(std::isnan(decoder.GetDouble()));
+  EXPECT_TRUE(decoder.ok());
+}
+
+TEST(CodecTest, VectorAndMatrixRoundTrip) {
+  const std::vector<double> vec = {1.5, -2.5, 0.0, 1e300};
+  const std::vector<std::vector<double>> mat = {{1.0, 2.0}, {}, {3.0}};
+  Encoder encoder;
+  encoder.PutDoubleVec(vec);
+  encoder.PutDoubleMat(mat);
+
+  Decoder decoder(encoder.bytes());
+  EXPECT_EQ(decoder.GetDoubleVec(), vec);
+  EXPECT_EQ(decoder.GetDoubleMat(), mat);
+  EXPECT_TRUE(decoder.ok());
+}
+
+TEST(CodecTest, TruncationAtEveryPrefixFailsCleanly) {
+  Encoder encoder;
+  encoder.PutU32(42);
+  encoder.PutString("payload");
+  encoder.PutDoubleVec({1.0, 2.0, 3.0});
+  const auto& bytes = encoder.bytes();
+
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    Decoder decoder(bytes.data(), len);
+    decoder.GetU32();
+    decoder.GetString();
+    decoder.GetDoubleVec();
+    EXPECT_FALSE(decoder.ok()) << "prefix length " << len;
+    EXPECT_FALSE(decoder.error().empty());
+  }
+}
+
+TEST(CodecTest, OversizedLengthPrefixFailsBeforeAllocating) {
+  // A corrupted length prefix claiming ~2^64 bytes must fail on the bounds
+  // check, never reach the allocator.
+  Encoder encoder;
+  encoder.PutU32(0xFFFFFFFFu);  // string length prefix
+  {
+    Decoder decoder(encoder.bytes());
+    decoder.GetString();
+    EXPECT_FALSE(decoder.ok());
+  }
+
+  Encoder vec_encoder;
+  vec_encoder.PutU64(0xFFFFFFFFFFFFFFFFull);  // vector count prefix
+  {
+    Decoder decoder(vec_encoder.bytes());
+    decoder.GetDoubleVec();
+    EXPECT_FALSE(decoder.ok());
+  }
+
+  Encoder mat_encoder;
+  mat_encoder.PutU64(0xFFFFFFFFFFFFFFFFull);  // row count prefix
+  {
+    Decoder decoder(mat_encoder.bytes());
+    decoder.GetDoubleMat();
+    EXPECT_FALSE(decoder.ok());
+  }
+}
+
+TEST(CodecTest, ErrorLatchesAndReadsReturnDefaults) {
+  Encoder encoder;
+  encoder.PutU32(7);
+  Decoder decoder(encoder.bytes());
+  EXPECT_EQ(decoder.GetU32(), 7u);
+  EXPECT_EQ(decoder.GetU64(), 0u);  // past the end: latches
+  EXPECT_FALSE(decoder.ok());
+  const std::string first_error = decoder.error();
+  EXPECT_EQ(decoder.GetDouble(), 0.0);  // latched: defaults, error unchanged
+  EXPECT_EQ(decoder.GetString(), "");
+  EXPECT_EQ(decoder.error(), first_error);
+}
+
+TEST(CodecTest, BoolRejectsNonCanonicalBytes) {
+  Encoder encoder;
+  encoder.PutU8(2);
+  Decoder decoder(encoder.bytes());
+  decoder.GetBool();
+  EXPECT_FALSE(decoder.ok());
+}
+
+TEST(CodecTest, ToStatusReportsTrailingBytes) {
+  Encoder encoder;
+  encoder.PutU32(1);
+  encoder.PutU32(2);
+  Decoder decoder(encoder.bytes());
+  decoder.GetU32();
+  EXPECT_TRUE(decoder.ok());
+  EXPECT_FALSE(decoder.ToStatus("payload").ok());  // 4 bytes unconsumed
+  decoder.GetU32();
+  EXPECT_TRUE(decoder.ToStatus("payload").ok());
+}
+
+TEST(CodecTest, Crc32MatchesKnownVector) {
+  // The IEEE 802.3 check value for "123456789".
+  const std::string data = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const std::uint8_t*>(data.data()), data.size()),
+            0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+}  // namespace
+}  // namespace navarchos::persist

@@ -1,0 +1,182 @@
+// VehicleMonitor checkpoint round trips: cut a vehicle's frame stream at
+// several points, snapshot the monitor mid-stream, restore into a fresh
+// monitor, and feed both the remaining frames - alarms, scored samples,
+// calibrations and the DataQualityReport must match field-exactly
+// (restore-equals-uninterrupted at the monitor level). Fingerprint
+// mismatches and truncated payloads must be rejected cleanly.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+#include "persist/codec.h"
+#include "telemetry/corruption.h"
+#include "telemetry/fleet.h"
+#include "telemetry/stream.h"
+
+namespace navarchos {
+namespace {
+
+core::MonitorConfig FastMonitorConfig() {
+  core::MonitorConfig config;
+  config.transform_options.window = 60;
+  config.transform_options.stride = 10;
+  config.profile_minutes = 400.0;
+  config.threshold.burn_in_minutes = 120.0;
+  config.threshold.persistence_minutes = 60.0;
+  return config;
+}
+
+std::vector<telemetry::SensorFrame> FramesOfFirstVehicle(bool corrupted) {
+  telemetry::FleetConfig fleet_config = telemetry::FleetConfig::TestScale();
+  fleet_config.days = 20;
+  const auto fleet = telemetry::GenerateFleet(fleet_config);
+  std::vector<telemetry::SensorFrame> stream;
+  if (corrupted) {
+    const telemetry::CorruptionModel model(telemetry::CorruptionConfig::Moderate());
+    stream = telemetry::InterleaveFleetStream(fleet, model);
+  } else {
+    stream = telemetry::InterleaveFleetStream(fleet);
+  }
+  const std::int32_t id = fleet.vehicles.front().spec.id;
+  std::vector<telemetry::SensorFrame> frames;
+  for (const auto& frame : stream)
+    if (frame.vehicle_id() == id) frames.push_back(frame);
+  return frames;
+}
+
+void ExpectMonitorsEqual(const core::VehicleMonitor& a,
+                         const core::VehicleMonitor& b) {
+  ASSERT_EQ(a.scored_samples().size(), b.scored_samples().size());
+  for (std::size_t i = 0; i < a.scored_samples().size(); ++i) {
+    ASSERT_EQ(a.scored_samples()[i].timestamp, b.scored_samples()[i].timestamp);
+    ASSERT_EQ(a.scored_samples()[i].scores, b.scored_samples()[i].scores);
+    ASSERT_EQ(a.scored_samples()[i].calibration_index,
+              b.scored_samples()[i].calibration_index);
+  }
+  ASSERT_EQ(a.calibrations().size(), b.calibrations().size());
+  for (std::size_t i = 0; i < a.calibrations().size(); ++i) {
+    ASSERT_EQ(a.calibrations()[i].mean, b.calibrations()[i].mean);
+    ASSERT_EQ(a.calibrations()[i].stddev, b.calibrations()[i].stddev);
+    ASSERT_EQ(a.calibrations()[i].median, b.calibrations()[i].median);
+    ASSERT_EQ(a.calibrations()[i].mad, b.calibrations()[i].mad);
+    ASSERT_EQ(a.calibrations()[i].max, b.calibrations()[i].max);
+  }
+  ASSERT_EQ(a.channel_names(), b.channel_names());
+  ASSERT_EQ(a.quality().records_seen, b.quality().records_seen);
+  ASSERT_EQ(a.quality().RecordsDropped(), b.quality().RecordsDropped());
+}
+
+void ExpectAlarmsEqual(const std::vector<core::Alarm>& a,
+                       const std::vector<core::Alarm>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].timestamp, b[i].timestamp);
+    ASSERT_EQ(a[i].channel, b[i].channel);
+    ASSERT_EQ(a[i].score, b[i].score);
+    ASSERT_EQ(a[i].threshold, b[i].threshold);
+  }
+}
+
+void RunCutPointCase(bool corrupted) {
+  const auto frames = FramesOfFirstVehicle(corrupted);
+  ASSERT_GT(frames.size(), 100u);
+  const std::int32_t id = frames.front().vehicle_id();
+  const core::MonitorConfig config = FastMonitorConfig();
+
+  // The uninterrupted reference run.
+  core::VehicleMonitor reference(id, config);
+  std::vector<core::Alarm> reference_alarms;
+  for (const auto& frame : frames)
+    for (auto& alarm : reference.OnFrame(frame))
+      reference_alarms.push_back(std::move(alarm));
+  for (auto& alarm : reference.Flush()) reference_alarms.push_back(std::move(alarm));
+
+  // Cut points spanning pre-calibration, mid-calibration and steady state.
+  for (const double fraction : {0.05, 0.33, 0.71, 0.95}) {
+    const std::size_t cut =
+        static_cast<std::size_t>(fraction * static_cast<double>(frames.size()));
+
+    core::VehicleMonitor live(id, config);
+    std::vector<core::Alarm> alarms;
+    for (std::size_t i = 0; i < cut; ++i)
+      for (auto& alarm : live.OnFrame(frames[i])) alarms.push_back(std::move(alarm));
+
+    persist::Encoder encoder;
+    live.Save(encoder);
+    const std::vector<std::uint8_t> bytes = encoder.bytes();
+
+    core::VehicleMonitor restored(id, config);
+    persist::Decoder decoder(bytes.data(), bytes.size());
+    ASSERT_TRUE(restored.Restore(decoder)) << decoder.error();
+    ASSERT_TRUE(decoder.ok()) << decoder.error();
+    ASSERT_EQ(decoder.remaining(), 0u);
+
+    for (std::size_t i = cut; i < frames.size(); ++i)
+      for (auto& alarm : restored.OnFrame(frames[i]))
+        alarms.push_back(std::move(alarm));
+    for (auto& alarm : restored.Flush()) alarms.push_back(std::move(alarm));
+
+    ExpectAlarmsEqual(alarms, reference_alarms);
+    ExpectMonitorsEqual(restored, reference);
+  }
+}
+
+TEST(MonitorRoundTripTest, RestoreEqualsUninterruptedOnCleanStream) {
+  RunCutPointCase(/*corrupted=*/false);
+}
+
+TEST(MonitorRoundTripTest, RestoreEqualsUninterruptedOnCorruptedStream) {
+  // Corruption keeps the reorder buffer, dedup window and stuck-run
+  // counters busy - all state the snapshot must carry.
+  RunCutPointCase(/*corrupted=*/true);
+}
+
+TEST(MonitorRoundTripTest, FingerprintMismatchIsRejected) {
+  const auto frames = FramesOfFirstVehicle(/*corrupted=*/false);
+  const std::int32_t id = frames.front().vehicle_id();
+  core::VehicleMonitor saved(id, FastMonitorConfig());
+  for (std::size_t i = 0; i < 50; ++i) saved.OnFrame(frames[i]);
+  persist::Encoder encoder;
+  saved.Save(encoder);
+
+  // Wrong vehicle.
+  {
+    core::VehicleMonitor other(id + 1, FastMonitorConfig());
+    persist::Decoder decoder(encoder.bytes());
+    EXPECT_FALSE(other.Restore(decoder));
+    EXPECT_FALSE(decoder.ok());
+  }
+  // Wrong pipeline (different detector).
+  {
+    core::MonitorConfig other_config = FastMonitorConfig();
+    other_config.detector = detect::DetectorKind::kKnnDistance;
+    core::VehicleMonitor other(id, other_config);
+    persist::Decoder decoder(encoder.bytes());
+    EXPECT_FALSE(other.Restore(decoder));
+    EXPECT_FALSE(decoder.ok());
+  }
+}
+
+TEST(MonitorRoundTripTest, TruncatedStateIsRejectedCleanly) {
+  const auto frames = FramesOfFirstVehicle(/*corrupted=*/false);
+  const std::int32_t id = frames.front().vehicle_id();
+  core::VehicleMonitor saved(id, FastMonitorConfig());
+  for (std::size_t i = 0; i < 200 && i < frames.size(); ++i) saved.OnFrame(frames[i]);
+  persist::Encoder encoder;
+  saved.Save(encoder);
+  const std::vector<std::uint8_t>& bytes = encoder.bytes();
+
+  const std::size_t step = std::max<std::size_t>(1, bytes.size() / 131);
+  for (std::size_t len = 0; len < bytes.size(); len += step) {
+    core::VehicleMonitor fresh(id, FastMonitorConfig());
+    persist::Decoder decoder(bytes.data(), len);
+    const bool restored = fresh.Restore(decoder);
+    EXPECT_FALSE(restored && decoder.ok() && decoder.remaining() == 0)
+        << "prefix length " << len;
+  }
+}
+
+}  // namespace
+}  // namespace navarchos

@@ -1,0 +1,174 @@
+// The snapshot container: tagged chunks round-trip through the byte stream
+// and through files (atomic write + read), and the loader survives every
+// corruption we can throw at it - every single-byte bit flip, every
+// truncation prefix, version and magic mismatches - always with a clean
+// error Status, never a crash, OOM or silently wrong data.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "persist/snapshot.h"
+
+namespace navarchos::persist {
+namespace {
+
+Snapshot MakeSample() {
+  Snapshot snapshot;
+  Encoder meta;
+  meta.PutU32(7);
+  meta.PutString("fleet");
+  snapshot.Add("meta", std::move(meta));
+  Encoder lane;
+  lane.PutDouble(2.5);
+  lane.PutU64(99);
+  snapshot.Add("lane.0", std::move(lane));
+  snapshot.Add("raw", std::vector<std::uint8_t>{1, 2, 3, 4});
+  return snapshot;
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(SnapshotTest, ChunksRoundTripThroughBytes) {
+  const Snapshot snapshot = MakeSample();
+  const std::vector<std::uint8_t> bytes = SerialiseSnapshot(snapshot);
+
+  Snapshot restored;
+  const util::Status status =
+      ParseSnapshot(bytes.data(), bytes.size(), "test", &restored);
+  ASSERT_TRUE(status.ok()) << status.message();
+  ASSERT_EQ(restored.chunks().size(), 3u);
+  EXPECT_EQ(restored.chunks()[0].tag, "meta");
+  EXPECT_EQ(restored.chunks()[1].tag, "lane.0");
+  EXPECT_EQ(restored.chunks()[2].tag, "raw");
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(restored.chunks()[i].payload, snapshot.chunks()[i].payload);
+
+  ASSERT_NE(restored.Find("lane.0"), nullptr);
+  Decoder decoder(restored.Find("lane.0")->payload);
+  EXPECT_EQ(decoder.GetDouble(), 2.5);
+  EXPECT_EQ(decoder.GetU64(), 99u);
+  EXPECT_EQ(restored.Find("nope"), nullptr);
+}
+
+TEST(SnapshotTest, FileRoundTripIsExact) {
+  const Snapshot snapshot = MakeSample();
+  const std::string path = TempPath("navsnap_roundtrip.bin");
+  ASSERT_TRUE(WriteSnapshot(path, snapshot).ok());
+
+  Snapshot restored;
+  const util::Status status = ReadSnapshot(path, &restored);
+  ASSERT_TRUE(status.ok()) << status.message();
+  ASSERT_EQ(restored.chunks().size(), snapshot.chunks().size());
+  for (std::size_t i = 0; i < snapshot.chunks().size(); ++i) {
+    EXPECT_EQ(restored.chunks()[i].tag, snapshot.chunks()[i].tag);
+    EXPECT_EQ(restored.chunks()[i].payload, snapshot.chunks()[i].payload);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotTest, MissingFileIsACleanError) {
+  Snapshot restored;
+  const util::Status status =
+      ReadSnapshot(TempPath("navsnap_does_not_exist.bin"), &restored);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(restored.chunks().empty());
+}
+
+TEST(SnapshotTest, EveryTruncationPrefixIsACleanError) {
+  const std::vector<std::uint8_t> bytes = SerialiseSnapshot(MakeSample());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    Snapshot restored;
+    const util::Status status =
+        ParseSnapshot(bytes.data(), len, "test", &restored);
+    EXPECT_FALSE(status.ok()) << "prefix length " << len;
+    EXPECT_TRUE(restored.chunks().empty()) << "prefix length " << len;
+  }
+}
+
+TEST(SnapshotTest, EveryByteFlipIsDetected) {
+  // The satellite corruption-injection test: flip every byte of a small
+  // snapshot (two different XOR masks) and demand a clean error for each -
+  // the CRC covers tag and payload, the header fields are validated, and no
+  // corruption may crash the parser or slip through unnoticed.
+  const std::vector<std::uint8_t> bytes = SerialiseSnapshot(MakeSample());
+  for (const std::uint8_t mask : {std::uint8_t{0x01}, std::uint8_t{0xFF}}) {
+    for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+      std::vector<std::uint8_t> corrupted = bytes;
+      corrupted[pos] = static_cast<std::uint8_t>(corrupted[pos] ^ mask);
+      Snapshot restored;
+      const util::Status status = ParseSnapshot(
+          corrupted.data(), corrupted.size(), "test", &restored);
+      EXPECT_FALSE(status.ok())
+          << "byte " << pos << " XOR " << int{mask} << " went undetected";
+      EXPECT_FALSE(status.message().empty());
+    }
+  }
+}
+
+TEST(SnapshotTest, TrailingGarbageIsAnError) {
+  std::vector<std::uint8_t> bytes = SerialiseSnapshot(MakeSample());
+  bytes.push_back(0);
+  Snapshot restored;
+  EXPECT_FALSE(ParseSnapshot(bytes.data(), bytes.size(), "test", &restored).ok());
+}
+
+TEST(SnapshotTest, VersionMismatchNamesBothVersions) {
+  std::vector<std::uint8_t> bytes = SerialiseSnapshot(MakeSample());
+  bytes[8] = 99;  // version field follows the 8-byte magic
+  Snapshot restored;
+  const util::Status status =
+      ParseSnapshot(bytes.data(), bytes.size(), "test", &restored);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("version 99"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find(std::to_string(kSnapshotVersion)),
+            std::string::npos);
+}
+
+TEST(SnapshotTest, CrcErrorNamesContextOffsetAndBothCrcs) {
+  const Snapshot snapshot = MakeSample();
+  std::vector<std::uint8_t> bytes = SerialiseSnapshot(snapshot);
+  bytes.back() ^= 0xFF;  // corrupt the last payload byte of the last chunk
+  Snapshot restored;
+  const util::Status status =
+      ParseSnapshot(bytes.data(), bytes.size(), "corrupt.bin", &restored);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("corrupt.bin"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("CRC mismatch"), std::string::npos);
+  EXPECT_NE(status.message().find("offset"), std::string::npos);
+  EXPECT_NE(status.message().find("expected"), std::string::npos);
+}
+
+TEST(SnapshotTest, WriteIsAtomicReplace) {
+  const std::string path = TempPath("navsnap_atomic.bin");
+  ASSERT_TRUE(WriteSnapshot(path, MakeSample()).ok());
+
+  // Overwrite with a different snapshot: the reader must see either the old
+  // or the new file, and after the rename returns, exactly the new one.
+  Snapshot second;
+  second.Add("only", std::vector<std::uint8_t>{9});
+  ASSERT_TRUE(WriteSnapshot(path, second).ok());
+
+  Snapshot restored;
+  ASSERT_TRUE(ReadSnapshot(path, &restored).ok());
+  ASSERT_EQ(restored.chunks().size(), 1u);
+  EXPECT_EQ(restored.chunks()[0].tag, "only");
+
+  // No temp files left behind.
+  std::size_t leftovers = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(std::filesystem::temp_directory_path()))
+    if (entry.path().filename().string().find("navsnap_atomic.bin.tmp") == 0)
+      ++leftovers;
+  EXPECT_EQ(leftovers, 0u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace navarchos::persist

@@ -1,0 +1,322 @@
+// The headline guarantee of the checkpoint/restore subsystem: kill the
+// streaming service at any frame boundary, restore from the snapshot, and
+// replay the remaining frames - the combined output (alarms in total order,
+// scored samples, calibrations, DataQualityReports) is field-exact
+// identical to the uninterrupted run, at threads=1 and threads=4, on clean
+// and on corrupted input streams. Also: corrupted snapshot files are
+// rejected with a clean Status, and a checkpointed service keeps running
+// (checkpoint is a pause, not a shutdown).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fleet_runner.h"
+#include "runtime/runtime_config.h"
+#include "service/fleet_service.h"
+#include "telemetry/corruption.h"
+#include "telemetry/fleet.h"
+#include "telemetry/stream.h"
+
+namespace navarchos {
+namespace {
+
+telemetry::FleetConfig SmallFleetConfig() {
+  telemetry::FleetConfig config = telemetry::FleetConfig::TestScale();
+  config.days = 30;
+  return config;
+}
+
+core::MonitorConfig FastMonitorConfig() {
+  core::MonitorConfig config;
+  config.transform_options.window = 60;
+  config.transform_options.stride = 10;
+  config.profile_minutes = 400.0;
+  config.threshold.burn_in_minutes = 120.0;
+  config.threshold.persistence_minutes = 60.0;
+  return config;
+}
+
+service::ServiceConfig ServiceConfigWith(int threads) {
+  service::ServiceConfig config;
+  config.monitor = FastMonitorConfig();
+  config.runtime = runtime::RuntimeConfig{threads};
+  config.queue_capacity = 32;
+  return config;
+}
+
+std::string TempSnapshotPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void ExpectRunsIdentical(const core::FleetRunResult& a,
+                         const core::FleetRunResult& b) {
+  ASSERT_EQ(a.alarms.size(), b.alarms.size());
+  for (std::size_t i = 0; i < a.alarms.size(); ++i) {
+    ASSERT_EQ(a.alarms[i].vehicle_id, b.alarms[i].vehicle_id);
+    ASSERT_EQ(a.alarms[i].timestamp, b.alarms[i].timestamp);
+    ASSERT_EQ(a.alarms[i].channel, b.alarms[i].channel);
+    ASSERT_EQ(a.alarms[i].channel_name, b.alarms[i].channel_name);
+    ASSERT_EQ(a.alarms[i].score, b.alarms[i].score);
+    ASSERT_EQ(a.alarms[i].threshold, b.alarms[i].threshold);
+  }
+  ASSERT_EQ(a.channel_names, b.channel_names);
+
+  ASSERT_EQ(a.scored_samples.size(), b.scored_samples.size());
+  for (std::size_t v = 0; v < a.scored_samples.size(); ++v) {
+    ASSERT_EQ(a.scored_samples[v].size(), b.scored_samples[v].size());
+    for (std::size_t s = 0; s < a.scored_samples[v].size(); ++s) {
+      ASSERT_EQ(a.scored_samples[v][s].timestamp, b.scored_samples[v][s].timestamp);
+      ASSERT_EQ(a.scored_samples[v][s].scores, b.scored_samples[v][s].scores);
+      ASSERT_EQ(a.scored_samples[v][s].calibration_index,
+                b.scored_samples[v][s].calibration_index);
+    }
+  }
+
+  ASSERT_EQ(a.calibrations.size(), b.calibrations.size());
+  for (std::size_t v = 0; v < a.calibrations.size(); ++v) {
+    ASSERT_EQ(a.calibrations[v].size(), b.calibrations[v].size());
+    for (std::size_t c = 0; c < a.calibrations[v].size(); ++c) {
+      ASSERT_EQ(a.calibrations[v][c].mean, b.calibrations[v][c].mean);
+      ASSERT_EQ(a.calibrations[v][c].stddev, b.calibrations[v][c].stddev);
+      ASSERT_EQ(a.calibrations[v][c].median, b.calibrations[v][c].median);
+      ASSERT_EQ(a.calibrations[v][c].mad, b.calibrations[v][c].mad);
+      ASSERT_EQ(a.calibrations[v][c].max, b.calibrations[v][c].max);
+    }
+  }
+
+  ASSERT_EQ(a.quality.size(), b.quality.size());
+  for (std::size_t v = 0; v < a.quality.size(); ++v) {
+    ASSERT_EQ(a.quality[v].records_seen, b.quality[v].records_seen);
+    ASSERT_EQ(a.quality[v].RecordsDropped(), b.quality[v].RecordsDropped());
+    ASSERT_EQ(a.quality[v].duplicates_dropped, b.quality[v].duplicates_dropped);
+    ASSERT_EQ(a.quality[v].reordered_recovered, b.quality[v].reordered_recovered);
+  }
+}
+
+/// Runs the stream to `cut` frames in one service (checkpointing there),
+/// then restores a second service from the file and replays the rest.
+core::FleetRunResult CheckpointedRun(const std::vector<telemetry::SensorFrame>& stream,
+                                     const std::vector<std::int32_t>& ids,
+                                     const service::ServiceConfig& config,
+                                     std::size_t cut, const std::string& path) {
+  {
+    service::FleetService first(config);
+    for (const std::int32_t id : ids) first.RegisterVehicle(id);
+    for (std::size_t i = 0; i < cut; ++i) first.Submit(stream[i]);
+    const util::Status status = first.Checkpoint(path);
+    EXPECT_TRUE(status.ok()) << status.message();
+    // The first service dies here without Drain - the simulated crash. Its
+    // destructor drains, but nothing after the checkpoint is looked at.
+  }
+
+  service::FleetService second(config);
+  const util::Status status = second.RestoreFromFile(path);
+  EXPECT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(second.vehicle_count(), ids.size());
+  EXPECT_EQ(second.stats().frames_accepted, cut);
+  for (std::size_t i = cut; i < stream.size(); ++i) second.Submit(stream[i]);
+  second.Drain();
+  return second.TakeResult();
+}
+
+void RunRestoreEqualsUninterrupted(bool corrupted, int threads) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  std::vector<telemetry::SensorFrame> stream;
+  if (corrupted) {
+    const telemetry::CorruptionModel model(telemetry::CorruptionConfig::Moderate());
+    stream = telemetry::InterleaveFleetStream(fleet, model);
+  } else {
+    stream = telemetry::InterleaveFleetStream(fleet);
+  }
+  const auto ids = service::VehicleIdsOf(fleet);
+  const auto config = ServiceConfigWith(threads);
+  const auto uninterrupted = service::RunStream(stream, ids, config);
+
+  const std::string path = TempSnapshotPath(
+      "navsnap_restore_t" + std::to_string(threads) +
+      (corrupted ? "_corrupt" : "_clean") + ".bin");
+  for (const double fraction : {0.1, 0.5, 0.9}) {
+    const std::size_t cut =
+        static_cast<std::size_t>(fraction * static_cast<double>(stream.size()));
+    const auto restored = CheckpointedRun(stream, ids, config, cut, path);
+    ExpectRunsIdentical(restored, uninterrupted);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(RestoreDeterminismTest, CleanStreamSerial) {
+  RunRestoreEqualsUninterrupted(/*corrupted=*/false, /*threads=*/1);
+}
+
+TEST(RestoreDeterminismTest, CleanStreamParallel) {
+  RunRestoreEqualsUninterrupted(/*corrupted=*/false, /*threads=*/4);
+}
+
+TEST(RestoreDeterminismTest, CorruptedStreamSerial) {
+  RunRestoreEqualsUninterrupted(/*corrupted=*/true, /*threads=*/1);
+}
+
+TEST(RestoreDeterminismTest, CorruptedStreamParallel) {
+  RunRestoreEqualsUninterrupted(/*corrupted=*/true, /*threads=*/4);
+}
+
+TEST(RestoreDeterminismTest, CheckpointAtThreads1RestoresAtThreads4) {
+  // The snapshot is thread-count independent: checkpoint a serial service,
+  // resume on a parallel one (and vice versa), same output.
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const auto uninterrupted = service::RunStream(stream, ids, ServiceConfigWith(1));
+  const std::size_t cut = stream.size() / 2;
+  const std::string path = TempSnapshotPath("navsnap_cross_threads.bin");
+
+  {
+    service::FleetService first(ServiceConfigWith(1));
+    for (const std::int32_t id : ids) first.RegisterVehicle(id);
+    for (std::size_t i = 0; i < cut; ++i) first.Submit(stream[i]);
+    ASSERT_TRUE(first.Checkpoint(path).ok());
+  }
+  service::FleetService second(ServiceConfigWith(4));
+  ASSERT_TRUE(second.RestoreFromFile(path).ok());
+  for (std::size_t i = cut; i < stream.size(); ++i) second.Submit(stream[i]);
+  second.Drain();
+  ExpectRunsIdentical(second.TakeResult(), uninterrupted);
+  std::filesystem::remove(path);
+}
+
+TEST(RestoreDeterminismTest, CheckpointedServiceKeepsRunningUnchanged) {
+  // Checkpoint is a pause, not a shutdown: the service that wrote the
+  // snapshot continues and still produces the uninterrupted result.
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const auto config = ServiceConfigWith(4);
+  const auto uninterrupted = service::RunStream(stream, ids, config);
+  const std::string path = TempSnapshotPath("navsnap_keeps_running.bin");
+
+  service::FleetService svc(config);
+  for (const std::int32_t id : ids) svc.RegisterVehicle(id);
+  std::size_t checkpoints = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    svc.Submit(stream[i]);
+    if (i % (stream.size() / 5 + 1) == 0) {
+      ASSERT_TRUE(svc.Checkpoint(path).ok());
+      ++checkpoints;
+    }
+  }
+  svc.Drain();
+  EXPECT_GE(checkpoints, 3u);
+  ExpectRunsIdentical(svc.TakeResult(), uninterrupted);
+  std::filesystem::remove(path);
+}
+
+TEST(RestoreDeterminismTest, RestoredAlarmsSurviveInTheFinalResult) {
+  // Alarms released before the checkpoint reappear in the restored
+  // service's TakeResult and released_alarms(), so an operator can rebuild
+  // the complete alarm log after a crash.
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const auto config = ServiceConfigWith(2);
+  const auto uninterrupted = service::RunStream(stream, ids, config);
+  if (uninterrupted.alarms.empty()) GTEST_SKIP() << "no alarms in this fleet";
+
+  // Cut right after the last alarm's frame would have been admitted: take
+  // a late cut so some alarms predate the checkpoint.
+  const std::size_t cut = stream.size() * 95 / 100;
+  const std::string path = TempSnapshotPath("navsnap_alarm_carry.bin");
+  {
+    service::FleetService first(config);
+    for (const std::int32_t id : ids) first.RegisterVehicle(id);
+    for (std::size_t i = 0; i < cut; ++i) first.Submit(stream[i]);
+    ASSERT_TRUE(first.Checkpoint(path).ok());
+  }
+  service::FleetService second(config);
+  ASSERT_TRUE(second.RestoreFromFile(path).ok());
+  const std::size_t carried = second.released_alarms().size();
+  for (std::size_t i = cut; i < stream.size(); ++i) second.Submit(stream[i]);
+  second.Drain();
+  const auto result = second.TakeResult();
+  EXPECT_EQ(result.alarms.size(), uninterrupted.alarms.size());
+  EXPECT_LE(carried, result.alarms.size());
+  std::filesystem::remove(path);
+}
+
+TEST(RestoreDeterminismTest, RestoreRejectsNonFreshService) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const std::string path = TempSnapshotPath("navsnap_not_fresh.bin");
+  {
+    service::FleetService first(ServiceConfigWith(1));
+    for (const std::int32_t id : ids) first.RegisterVehicle(id);
+    for (std::size_t i = 0; i < 100; ++i) first.Submit(stream[i]);
+    ASSERT_TRUE(first.Checkpoint(path).ok());
+  }
+  service::FleetService used(ServiceConfigWith(1));
+  used.Submit(stream[0]);
+  const util::Status status = used.RestoreFromFile(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not fresh"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(RestoreDeterminismTest, CorruptedSnapshotFilesAreRejectedCleanly) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const std::string path = TempSnapshotPath("navsnap_service_corrupt.bin");
+  {
+    service::FleetService first(ServiceConfigWith(1));
+    for (const std::int32_t id : ids) first.RegisterVehicle(id);
+    for (std::size_t i = 0; i < 500; ++i) first.Submit(stream[i]);
+    ASSERT_TRUE(first.Checkpoint(path).ok());
+  }
+
+  std::vector<char> bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(bytes.empty());
+
+  // A sweep of single-byte flips across the whole file (header, tags,
+  // CRCs, payloads): every one must yield a clean error, never a crash.
+  const std::size_t step = std::max<std::size_t>(1, bytes.size() / 211);
+  const std::string flipped = path + ".flipped";
+  for (std::size_t pos = 0; pos < bytes.size(); pos += step) {
+    std::vector<char> corrupted = bytes;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x40);
+    {
+      std::ofstream out(flipped, std::ios::binary | std::ios::trunc);
+      out.write(corrupted.data(), static_cast<std::streamsize>(corrupted.size()));
+    }
+    service::FleetService fresh(ServiceConfigWith(1));
+    const util::Status status = fresh.RestoreFromFile(flipped);
+    EXPECT_FALSE(status.ok()) << "flip at byte " << pos << " went undetected";
+    EXPECT_FALSE(status.message().empty());
+  }
+
+  // Truncations of the file, same contract.
+  for (const double fraction : {0.0, 0.3, 0.7, 0.999}) {
+    const std::size_t len =
+        static_cast<std::size_t>(fraction * static_cast<double>(bytes.size()));
+    {
+      std::ofstream out(flipped, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(len));
+    }
+    service::FleetService fresh(ServiceConfigWith(1));
+    EXPECT_FALSE(fresh.RestoreFromFile(flipped).ok()) << "prefix " << len;
+  }
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(flipped);
+}
+
+}  // namespace
+}  // namespace navarchos
