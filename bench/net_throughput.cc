@@ -1,0 +1,257 @@
+// Throughput, latency and reconnect recovery of the TCP ingest front end.
+//
+// Streams the interleaved setting40 feed through net::IngestClient ->
+// loopback TCP -> net::IngestServer -> service::FleetService at worker
+// thread counts {1, 4}, measuring end-to-end frames/sec and the per-frame
+// latency distribution (client send to ordered release, p50/p99) via the
+// service's completion callback. A second pass per thread count cuts the
+// connection mid-stream and measures reconnect recovery time: Abort() to
+// the resumed client's WELCOME. Both passes must fingerprint-match the
+// in-process replay of the same stream - the loopback-equals-in-process
+// invariant - and the exit code reflects exactly that.
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "net/ingest_client.h"
+#include "net/ingest_server.h"
+#include "service/fleet_service.h"
+#include "telemetry/stream.h"
+#include "util/timer.h"
+
+namespace navarchos {
+namespace {
+
+/// Order-sensitive FNV-1a over the bytes of a double sequence.
+class Fingerprint {
+ public:
+  void Add(double value) {
+    unsigned char bytes[sizeof(double)];
+    __builtin_memcpy(bytes, &value, sizeof(double));
+    for (unsigned char byte : bytes) {
+      hash_ ^= byte;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  void Add(std::int64_t value) { Add(static_cast<double>(value)); }
+  void Add(std::size_t value) { Add(static_cast<double>(value)); }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+std::uint64_t RunFingerprint(const core::FleetRunResult& run) {
+  Fingerprint fp;
+  fp.Add(run.alarms.size());
+  for (const auto& alarm : run.alarms) {
+    fp.Add(static_cast<std::int64_t>(alarm.vehicle_id));
+    fp.Add(alarm.timestamp);
+    fp.Add(alarm.score);
+    fp.Add(alarm.threshold);
+  }
+  for (const auto& samples : run.scored_samples) {
+    fp.Add(samples.size());
+    for (const auto& sample : samples)
+      for (double score : sample.scores) fp.Add(score);
+  }
+  for (const auto& quality : run.quality) {
+    fp.Add(quality.records_seen);
+    fp.Add(quality.RecordsDropped());
+  }
+  return fp.value();
+}
+
+struct Measurement {
+  int threads = 0;
+  double seconds = 0.0;
+  double frames_per_sec = 0.0;
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double reconnect_ms = 0.0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t resumed_fingerprint = 0;
+};
+
+double PercentileUs(std::vector<double>* latencies, double q) {
+  if (latencies->empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      q * static_cast<double>(latencies->size() - 1));
+  std::nth_element(latencies->begin(),
+                   latencies->begin() + static_cast<std::ptrdiff_t>(rank),
+                   latencies->end());
+  return (*latencies)[rank];
+}
+
+service::ServiceConfig ServiceConfigWith(int threads,
+                                         const core::MonitorConfig& monitor) {
+  service::ServiceConfig config;
+  config.monitor = monitor;
+  config.runtime = runtime::RuntimeConfig{threads};
+  return config;
+}
+
+net::ClientConfig ClientConfigFor(std::uint16_t port) {
+  net::ClientConfig config;
+  config.port = port;
+  config.session_id = "bench";
+  return config;
+}
+
+Measurement MeasureAt(int threads,
+                      const std::vector<telemetry::SensorFrame>& stream,
+                      const std::vector<std::int32_t>& ids,
+                      const core::MonitorConfig& monitor) {
+  using Clock = std::chrono::steady_clock;
+  Measurement m;
+  m.threads = threads;
+
+  // --- Clean pass: frames/sec and per-frame latency over loopback. --------
+  {
+    service::FleetService svc(ServiceConfigWith(threads, monitor));
+    // Under kBlock with one session every frame is admitted, so global_seq
+    // equals the stream index: send timestamps land in an index-aligned
+    // vector and the completion callback (serialised by the ordered sink)
+    // writes its own slot.
+    std::vector<Clock::time_point> sent(stream.size());
+    std::vector<double> latencies_us(stream.size(), 0.0);
+    svc.set_completion_callback(
+        [&sent, &latencies_us](const service::FrameCompletion& c) {
+          const auto delta = Clock::now() - sent[c.global_seq];
+          latencies_us[c.global_seq] =
+              std::chrono::duration<double, std::micro>(delta).count();
+        });
+    net::IngestServer server(&svc, net::ServerConfig{});
+    if (!server.Start().ok()) return m;
+    net::IngestClient client(ClientConfigFor(server.port()));
+    if (!client.Connect(ids).ok()) return m;
+
+    util::Timer timer;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      sent[i] = Clock::now();
+      if (!client.Send(stream[i]).ok()) return m;
+    }
+    if (!client.Finish().ok()) return m;
+    server.WaitForFinishedSessions(1);
+    server.Stop();
+    svc.Drain();
+    m.seconds = timer.ElapsedSeconds();
+    m.frames_per_sec =
+        m.seconds > 0 ? static_cast<double>(stream.size()) / m.seconds : 0.0;
+    m.p50_latency_us = PercentileUs(&latencies_us, 0.50);
+    m.p99_latency_us = PercentileUs(&latencies_us, 0.99);
+    m.fingerprint = RunFingerprint(svc.TakeResult());
+  }
+
+  // --- Reconnect pass: cut mid-stream, resume, same result. ---------------
+  {
+    service::FleetService svc(ServiceConfigWith(threads, monitor));
+    net::IngestServer server(&svc, net::ServerConfig{});
+    if (!server.Start().ok()) return m;
+    const net::ClientConfig client_config = ClientConfigFor(server.port());
+
+    const std::size_t cut = stream.size() / 2 + 17;  // mid-batch, not aligned
+    {
+      net::IngestClient first(client_config);
+      if (!first.Connect(ids).ok()) return m;
+      for (std::size_t i = 0; i < cut; ++i)
+        if (!first.Send(stream[i]).ok()) return m;
+      first.Abort();  // simulated crash: no flush, no FIN
+    }
+    util::Timer reconnect_timer;
+    net::IngestClient resumed(client_config);
+    if (!resumed.Connect(ids, /*resume=*/true).ok()) return m;
+    m.reconnect_ms = reconnect_timer.ElapsedSeconds() * 1e3;
+    for (std::size_t i = resumed.next_seq(); i < stream.size(); ++i)
+      if (!resumed.Send(stream[i]).ok()) return m;
+    if (!resumed.Finish().ok()) return m;
+    server.WaitForFinishedSessions(1);
+    server.Stop();
+    svc.Drain();
+    m.resumed_fingerprint = RunFingerprint(svc.TakeResult());
+  }
+  return m;
+}
+
+int Main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  auto options = bench::BenchOptions::FromArgs(args);
+  // Two full loopback passes per thread count: default to a reduced
+  // fleet-quarter so the sweep stays in bench territory. --days overrides.
+  if (!args.Has("days")) options.days = 60;
+  bench::PrintHeader("Net throughput - frames/sec, latency and reconnect "
+                     "recovery of the TCP ingest front end", options);
+
+  const auto fleet = bench::MakeSetting40(options);
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  core::MonitorConfig monitor;
+  const int hardware = runtime::RuntimeConfig::AllCores().ResolveThreads();
+  std::printf("frames: %zu   vehicles: %zu   hardware threads: %d\n\n",
+              stream.size(), ids.size(), hardware);
+
+  // The loopback run must reproduce the in-process run bit-for-bit.
+  const std::uint64_t reference = RunFingerprint(service::RunStream(
+      stream, ids, ServiceConfigWith(1, monitor)));
+
+  std::vector<Measurement> measurements;
+  for (int threads : {1, 4}) {
+    const Measurement m = MeasureAt(threads, stream, ids, monitor);
+    std::printf("threads=%-3d %8.2fs   %9.0f frames/s   p50 %8.1fus   "
+                "p99 %9.1fus   reconnect %6.2fms\n",
+                m.threads, m.seconds, m.frames_per_sec, m.p50_latency_us,
+                m.p99_latency_us, m.reconnect_ms);
+    std::fflush(stdout);
+    measurements.push_back(m);
+  }
+
+  bool loopback_identical = true;
+  bool resume_identical = true;
+  for (const auto& m : measurements) {
+    loopback_identical = loopback_identical && m.fingerprint == reference;
+    resume_identical = resume_identical && m.resumed_fingerprint == reference;
+  }
+  std::printf("\nloopback vs in-process: %s   after disconnect+resume: %s\n",
+              loopback_identical ? "IDENTICAL" : "MISMATCH",
+              resume_identical ? "IDENTICAL" : "MISMATCH");
+
+  std::FILE* json = std::fopen("BENCH_net.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_net.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"net_throughput\",\n");
+  std::fprintf(json, "  \"days\": %d,\n  \"seed\": %" PRIu64 ",\n",
+               options.days, options.seed);
+  std::fprintf(json, "  \"threads\": %d,\n", options.threads);
+  std::fprintf(json, "  \"hardware_concurrency\": %d,\n", hardware);
+  std::fprintf(json, "  \"frames\": %zu,\n", stream.size());
+  std::fprintf(json, "  \"loopback_equals_in_process\": %s,\n",
+               loopback_identical ? "true" : "false");
+  std::fprintf(json, "  \"resume_equals_uninterrupted\": %s,\n",
+               resume_identical ? "true" : "false");
+  std::fprintf(json, "  \"results\": [\n");
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    const Measurement& m = measurements[i];
+    std::fprintf(json,
+                 "    {\"threads\": %d, \"seconds\": %.3f, "
+                 "\"frames_per_sec\": %.1f, \"p50_latency_us\": %.1f, "
+                 "\"p99_latency_us\": %.1f, \"reconnect_ms\": %.2f}%s\n",
+                 m.threads, m.seconds, m.frames_per_sec, m.p50_latency_us,
+                 m.p99_latency_us, m.reconnect_ms,
+                 i + 1 < measurements.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("measurements written to BENCH_net.json\n");
+  return loopback_identical && resume_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace navarchos
+
+int main(int argc, char** argv) { return navarchos::Main(argc, argv); }

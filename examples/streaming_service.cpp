@@ -1,5 +1,5 @@
 // Streaming service demo: live fleet monitoring over one multiplexed feed,
-// with durable checkpoint/restore.
+// with durable checkpoint/restore and an optional TCP front end.
 //
 // 1. Simulate a small fleet and flatten it into the interleaved SensorFrame
 //    stream a live telemetry gateway would deliver (all vehicles mixed,
@@ -17,22 +17,50 @@
 // the checkpointed cursor, and produces the same total alarm order as an
 // uninterrupted run (restore-equals-uninterrupted).
 //
+// Network mode splits the demo into two processes talking the src/net wire
+// protocol over TCP. Loopback quickstart:
+//
+//   ./build/examples/streaming_service --listen 7600 &
+//   ./build/examples/streaming_service --connect 7600
+//
+// The server feeds every received frame into its FleetService and (with
+// --verify) checks the drained result against an in-process replay of the
+// same deterministic stream - the loopback run is bit-identical. A client
+// cut mid-stream (--abort-after N, or a real SIGKILL) leaves the server's
+// session cursor intact; rerunning the client with --resume continues from
+// the last acknowledged frame and the final output is still identical.
+//
 // Build & run:  ./build/examples/streaming_service
-// Flags:
+// Flags (in-process mode):
 //   --threads N          worker threads (default 4)
 //   --snapshot-every N   checkpoint every N submitted frames (default off)
 //   --snapshot-path P    checkpoint file (default streaming_service.snapshot)
 //   --restore P          restore from checkpoint P, then resume the stream
 //   --alarm-log P        write the final alarm list (total order) to P
+// Flags (server role):
+//   --listen N           serve ingest on port N (0 = ephemeral)
+//   --port-file P        write the bound port to P (for scripts using 0)
+//   --sessions N         finished sessions to wait for (default 1)
+//   --verify             after draining, compare against an in-process replay
+// Flags (client role):
+//   --connect N          stream the demo fleet to port N
+//   --host H             server address (default 127.0.0.1)
+//   --session S          session id (default "demo"; resume key)
+//   --resume             resume the session from the server's cursor
+//   --abort-after N      simulate a crash: exit without FIN after N frames
 #include <cstdio>
 #include <string>
 
+#include "net/ingest_client.h"
+#include "net/ingest_server.h"
 #include "service/fleet_service.h"
 #include "telemetry/fleet.h"
 #include "telemetry/stream.h"
 #include "util/args.h"
 
 namespace {
+
+using namespace navarchos;
 
 bool WriteAlarmLog(const std::string& path,
                    const std::vector<navarchos::core::Alarm>& alarms) {
@@ -47,11 +75,168 @@ bool WriteAlarmLog(const std::string& path,
   return true;
 }
 
+// The demo fleet: deterministic, so server, client and the in-process
+// verification replay all reconstruct the identical stream independently.
+telemetry::FleetDataset MakeFleet() {
+  telemetry::FleetConfig fleet_config = telemetry::FleetConfig::TestScale();
+  fleet_config.days = 200;
+  fleet_config.service_interval_days = 60;
+  fleet_config.fault_lead_days = 30;
+  return telemetry::GenerateFleet(fleet_config);
+}
+
+service::ServiceConfig MakeServiceConfig(int threads) {
+  service::ServiceConfig config;
+  config.monitor.transform = transform::TransformKind::kCorrelation;
+  config.monitor.detector = detect::DetectorKind::kClosestPair;
+  config.monitor.threshold.factor = 10.0;
+  config.runtime = runtime::RuntimeConfig{threads};
+  config.queue_capacity = 128;  // frames buffered per vehicle before blocking
+  return config;
+}
+
+bool AlarmsIdentical(const std::vector<core::Alarm>& a,
+                     const std::vector<core::Alarm>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].vehicle_id != b[i].vehicle_id ||
+        a[i].timestamp != b[i].timestamp || a[i].score != b[i].score)
+      return false;
+  return true;
+}
+
+/// Server role: serve TCP ingest until the expected sessions finished, then
+/// drain and report - optionally verifying against the in-process replay.
+int RunServer(const util::Args& args) {
+  const int threads = static_cast<int>(args.GetInt("threads", 4));
+  const auto listen_port =
+      static_cast<std::uint16_t>(args.GetInt("listen", 0));
+  const std::string port_file = args.GetString("port-file", "");
+  const auto sessions = static_cast<std::uint64_t>(args.GetInt("sessions", 1));
+  const std::string alarm_log = args.GetString("alarm-log", "");
+
+  service::FleetService svc(MakeServiceConfig(threads));
+  net::ServerConfig server_config;
+  server_config.port = listen_port;
+  net::IngestServer server(&svc, server_config);
+  const util::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n", status.message().c_str());
+    return 2;
+  }
+  std::printf("listening on port %u\n", server.port());
+  std::fflush(stdout);  // scripts background this role and tail the log
+  if (!port_file.empty()) {
+    std::FILE* file = std::fopen(port_file.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write port file %s\n", port_file.c_str());
+      return 2;
+    }
+    std::fprintf(file, "%u\n", server.port());
+    std::fclose(file);
+  }
+
+  server.WaitForFinishedSessions(sessions);
+  server.Stop();
+  svc.Drain();
+
+  const net::ServerStats net_stats = server.stats();
+  const auto stats = svc.stats();
+  const auto live = svc.TakeResult();
+  std::printf(
+      "served %llu frames (%llu admitted, %llu shed, %llu duplicates "
+      "skipped) over %llu connections, %llu resume(s)\n",
+      static_cast<unsigned long long>(net_stats.frames_received),
+      static_cast<unsigned long long>(net_stats.frames_admitted),
+      static_cast<unsigned long long>(net_stats.frames_shed),
+      static_cast<unsigned long long>(net_stats.duplicates_skipped),
+      static_cast<unsigned long long>(net_stats.connections_accepted),
+      static_cast<unsigned long long>(net_stats.resumes));
+  std::printf("processed %zu frames, %zu alarms\n", stats.frames_processed,
+              live.alarms.size());
+
+  if (!alarm_log.empty() && !WriteAlarmLog(alarm_log, live.alarms)) {
+    std::fprintf(stderr, "cannot write alarm log %s\n", alarm_log.c_str());
+    return 2;
+  }
+
+  if (args.Has("verify")) {
+    const telemetry::FleetDataset fleet = MakeFleet();
+    const auto stream = telemetry::InterleaveFleetStream(fleet);
+    const auto replay = service::RunStream(
+        stream, service::VehicleIdsOf(fleet), MakeServiceConfig(1));
+    const bool identical = AlarmsIdentical(replay.alarms, live.alarms);
+    std::printf("in-process replay of the same stream: %s\n",
+                identical ? "identical alarms (loopback == in-process)"
+                          : "MISMATCH");
+    return identical ? 0 : 1;
+  }
+  return 0;
+}
+
+/// Client role: stream the demo fleet to a server, resuming from the
+/// server's cursor; --abort-after simulates a mid-stream crash (no FIN).
+int RunClient(const util::Args& args) {
+  net::ClientConfig config;
+  config.host = args.GetString("host", "127.0.0.1");
+  config.port = static_cast<std::uint16_t>(args.GetInt("connect", 0));
+  config.session_id = args.GetString("session", "demo");
+  const std::int64_t abort_after = args.GetInt("abort-after", 0);
+  const bool resume = args.Has("resume");
+
+  const telemetry::FleetDataset fleet = MakeFleet();
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+
+  net::IngestClient client(config);
+  util::Status status = client.Connect(service::VehicleIdsOf(fleet), resume);
+  if (!status.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", status.message().c_str());
+    return 2;
+  }
+  const std::uint64_t start = client.next_seq();
+  std::printf("%s session '%s' at frame %llu of %zu\n",
+              resume ? "resumed" : "started", config.session_id.c_str(),
+              static_cast<unsigned long long>(start), stream.size());
+
+  std::uint64_t sent = 0;
+  for (std::uint64_t i = start; i < stream.size(); ++i) {
+    status = client.Send(stream[i]);
+    if (!status.ok()) {
+      std::fprintf(stderr, "send failed at frame %llu: %s\n",
+                   static_cast<unsigned long long>(i),
+                   status.message().c_str());
+      return 2;
+    }
+    if (abort_after > 0 &&
+        ++sent >= static_cast<std::uint64_t>(abort_after)) {
+      // Simulated crash: drop the connection with no flush and no FIN -
+      // from the server's viewpoint this is a client SIGKILL. Un-ACKed
+      // frames are re-sent by the next client that resumes the session.
+      client.Abort();
+      std::printf("aborted after %llu frames (next unsent seq %llu)\n",
+                  static_cast<unsigned long long>(sent),
+                  static_cast<unsigned long long>(client.next_seq()));
+      return 0;
+    }
+  }
+  status = client.Finish();
+  if (!status.ok()) {
+    std::fprintf(stderr, "finish failed: %s\n", status.message().c_str());
+    return 2;
+  }
+  std::printf("streamed %llu frames, %zu shed (NACKed)\n",
+              static_cast<unsigned long long>(client.stats().frames_sent),
+              client.nacks().size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace navarchos;
   const util::Args args(argc, argv);
+  if (args.Has("listen")) return RunServer(args);
+  if (args.Has("connect")) return RunClient(args);
+
   const int threads = static_cast<int>(args.GetInt("threads", 4));
   const std::int64_t snapshot_every = args.GetInt("snapshot-every", 0);
   const std::string snapshot_path =
@@ -60,22 +245,13 @@ int main(int argc, char** argv) {
   const std::string alarm_log = args.GetString("alarm-log", "");
 
   // --- 1. A recorded interleaved feed (stand-in for the live gateway). ----
-  telemetry::FleetConfig fleet_config = telemetry::FleetConfig::TestScale();
-  fleet_config.days = 200;
-  fleet_config.service_interval_days = 60;
-  fleet_config.fault_lead_days = 30;
-  const telemetry::FleetDataset fleet = telemetry::GenerateFleet(fleet_config);
+  const telemetry::FleetDataset fleet = MakeFleet();
   const auto stream = telemetry::InterleaveFleetStream(fleet);
   std::printf("interleaved feed: %zu frames from %zu vehicles\n",
               stream.size(), fleet.vehicles.size());
 
   // --- 2. The streaming service, with blocking backpressure. --------------
-  service::ServiceConfig config;
-  config.monitor.transform = transform::TransformKind::kCorrelation;
-  config.monitor.detector = detect::DetectorKind::kClosestPair;
-  config.monitor.threshold.factor = 10.0;
-  config.runtime = runtime::RuntimeConfig{threads};
-  config.queue_capacity = 128;  // frames buffered per vehicle before blocking
+  const service::ServiceConfig config = MakeServiceConfig(threads);
 
   service::FleetService svc(config);
   std::size_t resume_cursor = 0;
@@ -135,16 +311,7 @@ int main(int argc, char** argv) {
   replay_config.runtime = runtime::RuntimeConfig{1};
   const auto replay = service::RunStream(stream, service::VehicleIdsOf(fleet),
                                          replay_config);
-  const bool identical =
-      replay.alarms.size() == live.alarms.size() &&
-      [&]() {
-        for (std::size_t i = 0; i < replay.alarms.size(); ++i)
-          if (replay.alarms[i].vehicle_id != live.alarms[i].vehicle_id ||
-              replay.alarms[i].timestamp != live.alarms[i].timestamp ||
-              replay.alarms[i].score != live.alarms[i].score)
-            return false;
-        return true;
-      }();
+  const bool identical = AlarmsIdentical(replay.alarms, live.alarms);
   std::printf("serial replay of the recorded stream: %s\n",
               identical ? "identical alarms (replay == live)" : "MISMATCH");
   return identical ? 0 : 1;

@@ -37,6 +37,13 @@ SCHEMAS = {
         ("seconds", *_NUMBER),
         ("frames_per_sec", *_NUMBER),
     ],
+    "net_throughput": [
+        ("threads", *_INT),
+        ("frames_per_sec", *_NUMBER),
+        ("p50_latency_us", *_NUMBER),
+        ("p99_latency_us", *_NUMBER),
+        ("reconnect_ms", *_NUMBER),
+    ],
 }
 
 

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Network disconnect-and-resume check (the CI `net-resume` job).
+#
+# Proves the headline guarantee of the TCP ingest front end end to end,
+# process boundary included:
+#   1. reference: run the streaming example in process, uninterrupted,
+#      record its alarm log (the deterministic total order);
+#   2. serve: start the example as an ingest server on an ephemeral port;
+#   3. crash: stream the fleet from a client process that cuts the
+#      connection mid-stream without FIN (the server sees exactly what a
+#      SIGKILLed client would leave behind: a dead socket and un-ACKed
+#      frames);
+#   4. resume: a fresh client process reconnects under the same session id
+#      with RESUME and streams the rest from the server's cursor;
+#   5. verify: the server's drained alarm log must be byte-identical to the
+#      in-process reference.
+#
+# Usage: net_resume_check.sh [path-to-streaming_service-binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+binary="${1:-build/examples/streaming_service}"
+[[ -x "${binary}" ]] || {
+  echo "net_resume_check: ${binary} not built" >&2
+  exit 1
+}
+
+workdir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [[ -n "${server_pid}" ]] && kill "${server_pid}" 2>/dev/null || true
+  rm -rf "${workdir}"
+}
+trap cleanup EXIT
+port_file="${workdir}/port"
+reference_log="${workdir}/reference_alarms.log"
+streamed_log="${workdir}/streamed_alarms.log"
+server_out="${workdir}/server.out"
+
+echo "== reference: uninterrupted in-process run =="
+"${binary}" --alarm-log "${reference_log}" > /dev/null
+[[ -s "${reference_log}" ]] || {
+  echo "net_resume_check: reference produced no alarms - nothing to compare" >&2
+  exit 1
+}
+
+echo "== server: listen on an ephemeral port =="
+"${binary}" --listen 0 --port-file "${port_file}" --sessions 1 \
+  --alarm-log "${streamed_log}" > "${server_out}" 2>&1 &
+server_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "${port_file}" ]] && break
+  kill -0 "${server_pid}" 2>/dev/null || break
+  sleep 0.05
+done
+[[ -s "${port_file}" ]] || {
+  echo "net_resume_check: server never published its port" >&2
+  cat "${server_out}" >&2 || true
+  exit 1
+}
+port="$(cat "${port_file}")"
+echo "server pid ${server_pid} on port ${port}"
+
+echo "== crash run: client cuts the connection mid-stream (no FIN) =="
+"${binary}" --connect "${port}" --session resume-check --abort-after 40000
+
+echo "== resume run: fresh client process continues the session =="
+"${binary}" --connect "${port}" --session resume-check --resume
+
+echo "== drain: wait for the server to finish =="
+wait "${server_pid}"
+server_pid=""
+
+echo "== verify: alarm logs must be byte-identical =="
+if ! diff -q "${reference_log}" "${streamed_log}"; then
+  echo "net_resume_check: streamed alarm log differs from the in-process reference" >&2
+  diff "${reference_log}" "${streamed_log}" | head -20 >&2 || true
+  cat "${server_out}" >&2 || true
+  exit 1
+fi
+echo "net_resume_check: disconnect+resume over TCP equals in-process ($(wc -l < "${reference_log}") alarms)"

@@ -1,0 +1,166 @@
+#include "net/ingest_client.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace navarchos::net {
+
+namespace {
+
+constexpr std::size_t kRecvChunkBytes = 64 * 1024;
+
+}  // namespace
+
+IngestClient::IngestClient(const ClientConfig& config) : config_(config) {}
+
+IngestClient::~IngestClient() { Abort(); }
+
+util::Status IngestClient::Connect(const std::vector<std::int32_t>& vehicle_ids,
+                                   bool resume) {
+  util::Status status;
+  int backoff_ms = config_.backoff_ms;
+  for (int attempt = 0; attempt < config_.connect_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+    ++stats_.connect_attempts;
+    status = ConnectTcp(config_.host, config_.port, &socket_);
+    if (status.ok()) break;
+  }
+  if (!status.ok())
+    return util::Status::Error("connect to " + config_.host + ":" +
+                               std::to_string(config_.port) + " failed after " +
+                               std::to_string(config_.connect_attempts) +
+                               " attempts: " + status.message());
+
+  HelloMessage hello;
+  hello.session_id = config_.session_id;
+  hello.resume = resume;
+  hello.vehicle_ids = vehicle_ids;
+  const auto bytes = EncodeHello(hello);
+  status = socket_.SendAll(bytes.data(), bytes.size());
+  if (!status.ok()) return status;
+
+  // Block for WELCOME (or ERROR).
+  std::vector<std::uint8_t> buffer(kRecvChunkBytes);
+  while (true) {
+    WireMessage message;
+    const MessageReader::Result result = reader_.Next(&message);
+    if (result == MessageReader::Result::kError)
+      return util::Status::Error("corrupt server stream: " + reader_.error());
+    if (result == MessageReader::Result::kMessage) {
+      if (message.type == MessageType::kError) {
+        ErrorMessage error;
+        (void)DecodeError(message.payload, &error);
+        return util::Status::Error("server refused HELLO: " + error.message);
+      }
+      if (message.type != MessageType::kWelcome)
+        return util::Status::Error(std::string("expected WELCOME, got ") +
+                                   MessageTypeName(message.type));
+      WelcomeMessage welcome;
+      status = DecodeWelcome(message.payload, &welcome);
+      if (!status.ok()) return status;
+      next_seq_ = welcome.next_seq;
+      acked_through_ = welcome.next_seq;
+      pending_.first_seq = next_seq_;
+      pending_.frames.clear();
+      return util::Status();
+    }
+    std::size_t received = 0;
+    std::string error;
+    const Socket::RecvResult recv =
+        socket_.Recv(buffer.data(), buffer.size(), &received, &error);
+    if (recv == Socket::RecvResult::kEof)
+      return util::Status::Error("server closed the connection before WELCOME");
+    if (recv == Socket::RecvResult::kError) return util::Status::Error(error);
+    reader_.Append(buffer.data(), received);
+  }
+}
+
+util::Status IngestClient::Send(const telemetry::SensorFrame& frame) {
+  if (!socket_.valid()) return util::Status::Error("client is not connected");
+  if (pending_.frames.empty()) pending_.first_seq = next_seq_;
+  pending_.frames.push_back(frame);
+  ++next_seq_;
+  ++stats_.frames_sent;
+  if (pending_.frames.size() >= config_.batch_frames) return Flush();
+  return util::Status();
+}
+
+util::Status IngestClient::Flush() {
+  if (pending_.frames.empty()) return util::Status();
+  if (!socket_.valid()) return util::Status::Error("client is not connected");
+  const auto bytes = EncodeFrames(pending_);
+  util::Status status = socket_.SendAll(bytes.data(), bytes.size());
+  if (!status.ok()) return status;
+  ++stats_.batches_sent;
+  const std::uint64_t target = pending_.first_seq + pending_.frames.size();
+  pending_.frames.clear();
+  return AwaitAck(target);
+}
+
+util::Status IngestClient::Finish() {
+  util::Status status = Flush();
+  if (!status.ok()) return status;
+  const FinMessage fin{next_seq_};
+  const auto bytes = EncodeFin(fin);
+  status = socket_.SendAll(bytes.data(), bytes.size());
+  if (!status.ok()) return status;
+  status = AwaitAck(next_seq_);
+  socket_.Close();
+  return status;
+}
+
+void IngestClient::Abort() { socket_.Close(); }
+
+util::Status IngestClient::AwaitAck(std::uint64_t target) {
+  std::vector<std::uint8_t> buffer(kRecvChunkBytes);
+  while (acked_through_ < target) {
+    WireMessage message;
+    const MessageReader::Result result = reader_.Next(&message);
+    if (result == MessageReader::Result::kError)
+      return util::Status::Error("corrupt server stream: " + reader_.error());
+    if (result == MessageReader::Result::kMessage) {
+      switch (message.type) {
+        case MessageType::kAck: {
+          AckMessage ack;
+          const util::Status status = DecodeAck(message.payload, &ack);
+          if (!status.ok()) return status;
+          acked_through_ = ack.through_seq;
+          break;
+        }
+        case MessageType::kNack: {
+          NackMessage nack;
+          const util::Status status = DecodeNack(message.payload, &nack);
+          if (!status.ok()) return status;
+          nacks_.push_back(nack);
+          break;
+        }
+        case MessageType::kError: {
+          ErrorMessage error;
+          (void)DecodeError(message.payload, &error);
+          return util::Status::Error("server error: " + error.message);
+        }
+        default:
+          return util::Status::Error(std::string("unexpected ") +
+                                     MessageTypeName(message.type) +
+                                     " while awaiting ACK");
+      }
+      continue;
+    }
+    std::size_t received = 0;
+    std::string error;
+    const Socket::RecvResult recv =
+        socket_.Recv(buffer.data(), buffer.size(), &received, &error);
+    if (recv == Socket::RecvResult::kEof)
+      return util::Status::Error(
+          "server closed the connection while an ACK was outstanding");
+    if (recv == Socket::RecvResult::kError) return util::Status::Error(error);
+    reader_.Append(buffer.data(), received);
+  }
+  return util::Status();
+}
+
+}  // namespace navarchos::net

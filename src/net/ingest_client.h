@@ -1,0 +1,126 @@
+// Blocking ingest client of the network front end.
+//
+// IngestClient dials an IngestServer with bounded retry/backoff, opens (or
+// resumes) a session with HELLO, and ships SensorFrames in stop-and-wait
+// batches: Send buffers frames locally, Flush writes one FRAMES message
+// and blocks until the server's cumulative ACK for it arrives, collecting
+// any NACKs (shed frames, attributable by wire sequence number) delivered
+// in between. The stop-and-wait discipline is the client half of the flow
+// control story: a server stalled on lane backpressure simply delays the
+// ACK, and the client stops producing.
+//
+// Resume: after any disconnect - transport error, crash, Abort() - a new
+// client constructed with the same session id and resume=true learns the
+// server's cursor from WELCOME (next_seq) and re-sends from exactly there.
+// The caller keeps its frames addressable by wire sequence number (for a
+// recorded stream, wire seq == stream index), so resuming is a loop
+// restart, not a protocol dance.
+#ifndef NAVARCHOS_NET_INGEST_CLIENT_H_
+#define NAVARCHOS_NET_INGEST_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+/// \file
+/// \brief IngestClient: blocking stop-and-wait sender with bounded
+/// connect retry/backoff, NACK collection and session resume.
+
+namespace navarchos::net {
+
+/// Configuration of an ingest client.
+struct ClientConfig {
+  /// Server IPv4 address.
+  std::string host = "127.0.0.1";
+  /// Server port.
+  std::uint16_t port = 0;
+  /// Session id; reconnects under the same id resume its cursor.
+  std::string session_id = "default";
+  /// Frames buffered per FRAMES batch before Flush happens implicitly.
+  std::size_t batch_frames = 256;
+  /// Connection attempts before Connect gives up.
+  int connect_attempts = 5;
+  /// Backoff before the second attempt; doubles per further attempt.
+  int backoff_ms = 50;
+};
+
+/// Counters of one client's lifetime.
+struct ClientStats {
+  std::uint64_t frames_sent = 0;      ///< Frames handed to Send.
+  std::uint64_t batches_sent = 0;     ///< FRAMES messages written.
+  std::uint64_t connect_attempts = 0; ///< Dial attempts made.
+};
+
+/// Blocking stop-and-wait ingest client. Single-threaded by design: all
+/// calls must come from one thread (the ingest thread of the deployment).
+class IngestClient {
+ public:
+  /// Stores the configuration; nothing is dialled yet.
+  explicit IngestClient(const ClientConfig& config);
+
+  /// Closes the connection without FIN (like Abort).
+  ~IngestClient();
+
+  IngestClient(const IngestClient&) = delete;
+  IngestClient& operator=(const IngestClient&) = delete;
+
+  /// Dials the server (bounded retry with exponential backoff), sends
+  /// HELLO with `vehicle_ids` and `resume`, and blocks for WELCOME. On
+  /// success next_seq() holds the server's cursor: the first wire sequence
+  /// number this client must send.
+  util::Status Connect(const std::vector<std::int32_t>& vehicle_ids,
+                       bool resume = false);
+
+  /// The next wire sequence number to send: the WELCOME cursor after
+  /// Connect, then advancing with every Send.
+  std::uint64_t next_seq() const { return next_seq_; }
+
+  /// Buffers one frame under the next wire sequence number; flushes
+  /// implicitly when the batch is full. An implicit flush blocks for the
+  /// batch's ACK (stop-and-wait).
+  util::Status Send(const telemetry::SensorFrame& frame);
+
+  /// Sends the buffered partial batch (if any) and blocks until its ACK
+  /// arrived, collecting NACKs on the way. No-op on an empty buffer.
+  util::Status Flush();
+
+  /// Flushes, sends FIN and blocks for the final ACK, then closes the
+  /// connection in an orderly way.
+  util::Status Finish();
+
+  /// Simulated crash: closes the socket immediately - no flush, no FIN.
+  /// The server keeps the session cursor; a new client with resume=true
+  /// picks up where the last ACKed batch ended.
+  void Abort();
+
+  /// Cumulative ACK cursor: every wire seq below it was decided.
+  std::uint64_t acked_through() const { return acked_through_; }
+
+  /// Every NACK received so far (shed frames by wire sequence number).
+  const std::vector<NackMessage>& nacks() const { return nacks_; }
+
+  /// Counter snapshot.
+  const ClientStats& stats() const { return stats_; }
+
+ private:
+  /// Blocks until an ACK with through_seq >= `target` arrives, collecting
+  /// NACKs; fails on ERROR messages, EOF or transport errors.
+  util::Status AwaitAck(std::uint64_t target);
+
+  const ClientConfig config_;
+  Socket socket_;
+  MessageReader reader_;
+  FramesMessage pending_;  ///< The batch being built.
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t acked_through_ = 0;
+  std::vector<NackMessage> nacks_;
+  ClientStats stats_;
+};
+
+}  // namespace navarchos::net
+
+#endif  // NAVARCHOS_NET_INGEST_CLIENT_H_

@@ -1,0 +1,324 @@
+#include "net/ingest_server.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "util/check.h"
+
+namespace navarchos::net {
+
+namespace {
+
+/// Receive buffer of one read call; frames reassemble across reads, so the
+/// size only trades syscalls against memory.
+constexpr std::size_t kRecvChunkBytes = 64 * 1024;
+
+}  // namespace
+
+IngestServer::IngestServer(service::FleetService* service,
+                           const ServerConfig& config)
+    : service_(service), config_(config) {
+  NAVARCHOS_CHECK(service != nullptr);
+}
+
+IngestServer::~IngestServer() { Stop(); }
+
+util::Status IngestServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return util::Status::Error("server already running");
+  }
+  util::Status status = listener_.Bind(config_.bind_address, config_.port);
+  if (!status.ok()) return status;
+  if (::pipe(wake_pipe_) != 0) {
+    listener_.Close();
+    return util::Status::Error("cannot create wake pipe");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = true;
+  }
+  thread_ = std::thread([this]() { Serve(); });
+  return util::Status();
+}
+
+void IngestServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  // Wake the poll loop; the serving thread exits at the top of its cycle.
+  const std::uint8_t byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  thread_.join();
+  connections_.clear();
+  listener_.Close();
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+std::uint16_t IngestServer::port() const { return listener_.port(); }
+
+ServerStats IngestServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::uint64_t IngestServer::finished_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_sessions_;
+}
+
+bool IngestServer::WaitForFinishedSessions(std::uint64_t count,
+                                           std::int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto reached = [this, count]() { return finished_sessions_ >= count; };
+  if (timeout_ms <= 0) {
+    finished_cv_.wait(lock, reached);
+    return true;
+  }
+  return finished_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                               reached);
+}
+
+void IngestServer::Serve() {
+  std::vector<std::uint8_t> buffer(kRecvChunkBytes);
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!running_) return;
+    }
+
+    std::vector<pollfd> fds;
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    for (const auto& conn : connections_)
+      fds.push_back({conn->socket.fd(), POLLIN, 0});
+
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      return;  // unrecoverable poll failure; Stop() still joins cleanly
+    }
+
+    if (fds[0].revents != 0) continue;  // wake byte: re-check running_
+
+    if (fds[1].revents != 0) {
+      Socket accepted;
+      if (listener_.Accept(&accepted).ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.connections_accepted;
+        if (connections_.size() >= config_.max_connections) {
+          ErrorMessage refusal{"server connection limit reached"};
+          const auto bytes = EncodeError(refusal);
+          (void)accepted.SendAll(bytes.data(), bytes.size());
+        } else {
+          auto conn = std::make_unique<Connection>();
+          conn->socket = std::move(accepted);
+          connections_.push_back(std::move(conn));
+        }
+      }
+    }
+
+    // Readable connections: fds[2 + i] mirrors connections_[i] (the list
+    // only changes below, after the poll results are consumed).
+    for (std::size_t i = 0; i < connections_.size(); ++i) {
+      if (fds[2 + i].revents == 0) continue;
+      Connection* conn = connections_[i].get();
+      std::size_t received = 0;
+      std::string error;
+      const Socket::RecvResult result =
+          conn->socket.Recv(buffer.data(), buffer.size(), &received, &error);
+      if (result == Socket::RecvResult::kData) {
+        conn->reader.Append(buffer.data(), received);
+        if (!HandleReadable(conn)) conn->closing = true;
+      } else {
+        // EOF or reset: the session cursor survives for a later RESUME; an
+        // incomplete trailing message is simply discarded (its frames were
+        // never decided, so the resume cursor re-requests them).
+        conn->closing = true;
+      }
+    }
+
+    connections_.erase(
+        std::remove_if(connections_.begin(), connections_.end(),
+                       [](const std::unique_ptr<Connection>& conn) {
+                         return conn->closing;
+                       }),
+        connections_.end());
+  }
+}
+
+bool IngestServer::HandleReadable(Connection* conn) {
+  WireMessage message;
+  while (true) {
+    const MessageReader::Result result = conn->reader.Next(&message);
+    if (result == MessageReader::Result::kNeedMore) return true;
+    if (result == MessageReader::Result::kError) {
+      FailConnection(conn, conn->reader.error());
+      return false;
+    }
+    if (!HandleMessage(conn, message)) return false;
+  }
+}
+
+bool IngestServer::HandleMessage(Connection* conn, const WireMessage& message) {
+  switch (message.type) {
+    case MessageType::kHello: {
+      HelloMessage hello;
+      util::Status status = DecodeHello(message.payload, &hello);
+      if (!status.ok()) {
+        FailConnection(conn, status.message());
+        return false;
+      }
+      if (hello.protocol_version != kProtocolVersion) {
+        FailConnection(conn, "unsupported protocol version " +
+                                 std::to_string(hello.protocol_version));
+        return false;
+      }
+      if (conn->session != nullptr) {
+        FailConnection(conn, "duplicate HELLO on one connection");
+        return false;
+      }
+      const bool known = sessions_.count(hello.session_id) != 0;
+      Session& session = sessions_[hello.session_id];
+      conn->session = &session;
+      // Register the client's vehicles in its declared order, fixing the
+      // serving FleetService's lane order (idempotent on resume).
+      for (const std::int32_t id : hello.vehicle_ids)
+        service_->RegisterVehicle(id);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (known)
+          ++stats_.resumes;
+        else
+          ++stats_.sessions_started;
+      }
+      const WelcomeMessage welcome{session.next_expected};
+      const auto bytes = EncodeWelcome(welcome);
+      return conn->socket.SendAll(bytes.data(), bytes.size()).ok();
+    }
+
+    case MessageType::kFrames: {
+      if (conn->session == nullptr) {
+        FailConnection(conn, "FRAMES before HELLO");
+        return false;
+      }
+      FramesMessage frames;
+      util::Status status = DecodeFrames(message.payload, &frames);
+      if (!status.ok()) {
+        FailConnection(conn, status.message());
+        return false;
+      }
+      Session& session = *conn->session;
+      if (frames.first_seq > session.next_expected) {
+        FailConnection(conn, "sequence gap: batch starts at " +
+                                 std::to_string(frames.first_seq) +
+                                 " but the session expects " +
+                                 std::to_string(session.next_expected));
+        return false;
+      }
+      std::uint64_t admitted = 0;
+      std::uint64_t shed = 0;
+      std::uint64_t duplicates = 0;
+      for (std::size_t i = 0; i < frames.frames.size(); ++i) {
+        const std::uint64_t seq = frames.first_seq + i;
+        if (seq < session.next_expected) {
+          // Overlap below the resume cursor: already decided, skip - this
+          // is what makes a reconnect admit every frame exactly once.
+          ++duplicates;
+          continue;
+        }
+        const service::Admission admission = service_->Ingest(frames.frames[i]);
+        session.next_expected = seq + 1;
+        if (admission.accepted()) {
+          ++admitted;
+        } else {
+          ++shed;
+          ++session.sheds;
+          const NackMessage nack{
+              seq, admission.vehicle_id,
+              admission.code == service::AdmissionCode::kShedQueueFull
+                  ? NackCode::kQueueFull
+                  : NackCode::kDraining};
+          const auto bytes = EncodeNack(nack);
+          if (!conn->socket.SendAll(bytes.data(), bytes.size()).ok())
+            return false;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.frames_received += frames.frames.size();
+        stats_.frames_admitted += admitted;
+        stats_.frames_shed += shed;
+        stats_.duplicates_skipped += duplicates;
+      }
+      const AckMessage ack{session.next_expected, session.sheds};
+      const auto bytes = EncodeAck(ack);
+      return conn->socket.SendAll(bytes.data(), bytes.size()).ok();
+    }
+
+    case MessageType::kFin: {
+      if (conn->session == nullptr) {
+        FailConnection(conn, "FIN before HELLO");
+        return false;
+      }
+      FinMessage fin;
+      util::Status status = DecodeFin(message.payload, &fin);
+      if (!status.ok()) {
+        FailConnection(conn, status.message());
+        return false;
+      }
+      Session& session = *conn->session;
+      if (fin.total_seq != session.next_expected) {
+        FailConnection(conn, "FIN claims " + std::to_string(fin.total_seq) +
+                                 " frames but the session decided " +
+                                 std::to_string(session.next_expected));
+        return false;
+      }
+      const AckMessage ack{session.next_expected, session.sheds};
+      const auto bytes = EncodeAck(ack);
+      (void)conn->socket.SendAll(bytes.data(), bytes.size());
+      if (!session.finished) {
+        session.finished = true;
+        std::lock_guard<std::mutex> lock(mu_);
+        ++finished_sessions_;
+        finished_cv_.notify_all();
+      }
+      return false;  // orderly close after the final ACK
+    }
+
+    case MessageType::kError: {
+      ErrorMessage error;
+      if (DecodeError(message.payload, &error).ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.protocol_errors;
+      }
+      return false;
+    }
+
+    default:
+      FailConnection(conn, std::string("unexpected ") +
+                               MessageTypeName(message.type) +
+                               " message on the server side");
+      return false;
+  }
+}
+
+void IngestServer::FailConnection(Connection* conn, const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.protocol_errors;
+  }
+  const ErrorMessage error{message};
+  const auto bytes = EncodeError(error);
+  (void)conn->socket.SendAll(bytes.data(), bytes.size());
+}
+
+}  // namespace navarchos::net

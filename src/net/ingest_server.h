@@ -1,0 +1,172 @@
+// Poll-based TCP ingest front end of the streaming fleet service.
+//
+// IngestServer accepts connections on one listening socket, reassembles
+// wire messages per connection, and feeds decoded SensorFrames into a
+// borrowed service::FleetService - turning the in-process ingest API into
+// a network-facing one without changing any monitoring semantics.
+//
+// Determinism: the server runs ONE serving thread, so all admissions
+// happen in wire-arrival order - exactly the single-ingest-thread
+// deployment the FleetService determinism contract is defined over. A
+// fleet streamed over loopback therefore produces output bit-identical to
+// the in-process run at any worker thread count.
+//
+// Backpressure: when a vehicle's lane is full under kBlock, the Ingest
+// call blocks the serving thread; the server stops reading, the kernel
+// socket buffers fill, and the client's send stalls - lane backpressure
+// becomes TCP backpressure with no extra machinery. Under kReject the
+// shed is surfaced immediately as a NACK carrying the frame's wire
+// sequence number, so the client can attribute every lost frame.
+//
+// Resume: sessions are keyed by the HELLO session id and survive
+// disconnects. The server tracks the next undecided wire sequence number
+// per session; a reconnecting client is WELCOMEd with that cursor and
+// re-sends from there, while anything below the cursor (overlap from a
+// cut batch) is skipped as a duplicate - every frame is admitted exactly
+// once, wherever the previous connection died.
+#ifndef NAVARCHOS_NET_INGEST_SERVER_H_
+#define NAVARCHOS_NET_INGEST_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "service/fleet_service.h"
+#include "util/status.h"
+
+/// \file
+/// \brief IngestServer: the poll-based TCP acceptor that feeds a
+/// FleetService, with NACK shed reporting, TCP-level backpressure and
+/// per-session resume cursors.
+
+namespace navarchos::net {
+
+/// Configuration of an ingest server.
+struct ServerConfig {
+  /// Address to bind; loopback by default (the quickstart deployment).
+  std::string bind_address = "127.0.0.1";
+  /// Port to bind; 0 picks an ephemeral port (read it back with port()).
+  std::uint16_t port = 0;
+  /// Connections above this are accepted and immediately refused with an
+  /// ERROR message.
+  std::size_t max_connections = 64;
+};
+
+/// Counters of one server's lifetime; exact snapshots at any time.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;  ///< TCP accepts.
+  std::uint64_t sessions_started = 0;      ///< Distinct HELLO session ids.
+  std::uint64_t resumes = 0;               ///< HELLOs onto a known session.
+  std::uint64_t frames_received = 0;       ///< Frames decoded off the wire.
+  std::uint64_t frames_admitted = 0;       ///< Accepted by the service.
+  std::uint64_t frames_shed = 0;           ///< NACKed back to the client.
+  std::uint64_t duplicates_skipped = 0;    ///< Below a resume cursor.
+  std::uint64_t protocol_errors = 0;       ///< Connections dropped on ERROR.
+};
+
+/// TCP front end feeding one FleetService. Lifecycle:
+///
+/// \code
+///   service::FleetService svc(config);
+///   net::IngestServer server(&svc, {});
+///   NAVARCHOS_CHECK(server.Start().ok());
+///   ... clients stream; server.WaitForFinishedSessions(1) ...
+///   server.Stop();
+///   svc.Drain();
+/// \endcode
+///
+/// Threading: Start spawns the single serving thread; Start/Stop/stats and
+/// the waits may be called from any other thread. The served FleetService
+/// must outlive the server and is fed only from the serving thread.
+class IngestServer {
+ public:
+  /// Binds nothing yet; `service` is borrowed and must outlive the server.
+  IngestServer(service::FleetService* service, const ServerConfig& config);
+
+  /// Stops the serving thread (if running) and closes every socket.
+  ~IngestServer();
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  /// Binds the configured address and spawns the serving thread. Errors
+  /// (address in use, invalid address) are returned, not thrown.
+  util::Status Start();
+
+  /// Wakes the serving thread, joins it, and closes all sockets. Sessions'
+  /// cursors are kept (a later Start on the same server object resumes
+  /// them). Idempotent.
+  void Stop();
+
+  /// Port actually bound (meaningful after a successful Start).
+  std::uint16_t port() const;
+
+  /// Counter snapshot; thread-safe at any time.
+  ServerStats stats() const;
+
+  /// Number of sessions that ended with FIN so far.
+  std::uint64_t finished_sessions() const;
+
+  /// Blocks until at least `count` sessions finished with FIN, or until
+  /// `timeout_ms` elapsed (0 waits forever). Returns whether the count was
+  /// reached.
+  bool WaitForFinishedSessions(std::uint64_t count, std::int64_t timeout_ms = 0);
+
+ private:
+  /// One client session, keyed by HELLO session id; survives disconnects.
+  struct Session {
+    std::uint64_t next_expected = 0;  ///< First undecided wire seq.
+    std::uint64_t sheds = 0;          ///< NACKs sent so far.
+    bool finished = false;            ///< FIN received.
+  };
+
+  /// One live connection and its reassembly state.
+  struct Connection {
+    Socket socket;
+    MessageReader reader;
+    Session* session = nullptr;  ///< Set by HELLO.
+    bool closing = false;        ///< Marked for removal after this cycle.
+  };
+
+  /// Serving-thread main loop: poll over wake pipe + listener + conns.
+  void Serve();
+
+  /// Handles readable bytes on `conn`; returns false when the connection
+  /// must be closed (EOF, transport error, protocol error).
+  bool HandleReadable(Connection* conn);
+
+  /// Dispatches one reassembled message; returns false to close.
+  bool HandleMessage(Connection* conn, const WireMessage& message);
+
+  /// Sends an ERROR frame (best effort) and counts the violation.
+  void FailConnection(Connection* conn, const std::string& message);
+
+  service::FleetService* const service_;
+  const ServerConfig config_;
+
+  Listener listener_;
+  std::thread thread_;
+  int wake_pipe_[2] = {-1, -1};  ///< Self-pipe waking poll() for Stop().
+  bool running_ = false;         ///< Guarded by mu_.
+
+  mutable std::mutex mu_;
+  std::condition_variable finished_cv_;
+  ServerStats stats_;                 ///< Guarded by mu_.
+  std::uint64_t finished_sessions_ = 0;  ///< Guarded by mu_.
+
+  /// Sessions by id; touched only by the serving thread while it runs,
+  /// and by Start/Stop while it does not.
+  std::map<std::string, Session> sessions_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace navarchos::net
+
+#endif  // NAVARCHOS_NET_INGEST_SERVER_H_

@@ -1,0 +1,148 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace navarchos::net {
+
+namespace {
+
+std::string ErrnoText(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+util::Status Socket::SendAll(const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::Error(ErrnoText("send"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return util::Status();
+}
+
+Socket::RecvResult Socket::Recv(std::uint8_t* buffer, std::size_t capacity,
+                                std::size_t* received, std::string* error) {
+  while (true) {
+    const ssize_t n = ::recv(fd_, buffer, capacity, 0);
+    if (n > 0) {
+      *received = static_cast<std::size_t>(n);
+      return RecvResult::kData;
+    }
+    if (n == 0) return RecvResult::kEof;
+    if (errno == EINTR) continue;
+    if (error != nullptr) *error = ErrnoText("recv");
+    return RecvResult::kError;
+  }
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status ConnectTcp(const std::string& host, std::uint16_t port,
+                        Socket* out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return util::Status::Error(ErrnoText("socket"));
+  Socket socket(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    return util::Status::Error("connect: invalid IPv4 address \"" + host + "\"");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+    return util::Status::Error(ErrnoText("connect"));
+
+  // Batches are already sized for the wire; disable Nagle so a flushed
+  // partial batch (and every ACK) leaves immediately.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  *out = std::move(socket);
+  return util::Status();
+}
+
+util::Status Listener::Bind(const std::string& address, std::uint16_t port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return util::Status::Error(ErrnoText("socket"));
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::Status::Error("bind: invalid IPv4 address \"" + address + "\"");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const util::Status status = util::Status::Error(ErrnoText("bind"));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const util::Status status = util::Status::Error(ErrnoText("listen"));
+    ::close(fd);
+    return status;
+  }
+
+  // Read back the bound port (the kernel's pick when asked for port 0).
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    const util::Status status = util::Status::Error(ErrnoText("getsockname"));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  return util::Status();
+}
+
+util::Status Listener::Accept(Socket* out) {
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      *out = Socket(fd);
+      return util::Status();
+    }
+    if (errno == EINTR) continue;
+    return util::Status::Error(ErrnoText("accept"));
+  }
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace navarchos::net

@@ -1,0 +1,114 @@
+// Thin RAII wrappers over POSIX TCP sockets, shared by the ingest server
+// and client. Deliberately minimal: blocking send with full-write
+// semantics, a tri-state receive that distinguishes orderly EOF from
+// transport errors, and a loopback-first listener with ephemeral-port
+// support (bind port 0, read the kernel's choice back). All sends use
+// MSG_NOSIGNAL so a peer that died mid-stream surfaces as EPIPE, never as
+// a process-killing SIGPIPE.
+#ifndef NAVARCHOS_NET_SOCKET_H_
+#define NAVARCHOS_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+/// \file
+/// \brief RAII TCP socket, connect helper and listener used by the network
+/// ingest front end.
+
+namespace navarchos::net {
+
+/// Owning wrapper around one connected TCP socket file descriptor.
+class Socket {
+ public:
+  /// An invalid (unconnected) socket.
+  Socket() = default;
+
+  /// Adopts ownership of `fd` (-1 for invalid).
+  explicit Socket(int fd) : fd_(fd) {}
+
+  /// Closes the descriptor if still open.
+  ~Socket() { Close(); }
+
+  /// Moves ownership of the descriptor; the source becomes invalid.
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+  /// Move-assigns, closing any descriptor currently held.
+  Socket& operator=(Socket&& other) noexcept;
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// The raw descriptor (-1 when invalid).
+  int fd() const { return fd_; }
+
+  /// True while a descriptor is held.
+  bool valid() const { return fd_ >= 0; }
+
+  /// Blocking full write: loops over partial writes and EINTR until every
+  /// byte is sent. MSG_NOSIGNAL: a dead peer yields an error Status.
+  util::Status SendAll(const std::uint8_t* data, std::size_t size);
+
+  /// Outcome of one Recv call.
+  enum class RecvResult {
+    kData,   ///< `*received` bytes were read into the buffer.
+    kEof,    ///< The peer closed the connection in an orderly way.
+    kError,  ///< Transport error; `*error` holds errno text.
+  };
+
+  /// Blocking read of up to `capacity` bytes. Retries EINTR; connection
+  /// resets report kError with the errno string in `*error`.
+  RecvResult Recv(std::uint8_t* buffer, std::size_t capacity,
+                  std::size_t* received, std::string* error);
+
+  /// Closes the descriptor now (idempotent).
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Dials `host`:`port` (numeric IPv4 host, e.g. "127.0.0.1"). Returns the
+/// connected socket in `*out` or an error Status naming the failure.
+util::Status ConnectTcp(const std::string& host, std::uint16_t port,
+                        Socket* out);
+
+/// Listening TCP socket bound to one address.
+class Listener {
+ public:
+  /// An unbound listener.
+  Listener() = default;
+
+  /// Closes the listening descriptor if open.
+  ~Listener() { Close(); }
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds `address`:`port` (port 0 picks an ephemeral port; read it back
+  /// with port()) and starts listening. SO_REUSEADDR is set so restarts do
+  /// not trip over TIME_WAIT.
+  util::Status Bind(const std::string& address, std::uint16_t port);
+
+  /// Port actually bound (the kernel's choice when Bind was given 0).
+  std::uint16_t port() const { return port_; }
+
+  /// The listening descriptor (-1 when unbound); poll on this for accepts.
+  int fd() const { return fd_; }
+
+  /// Accepts one pending connection into `*out`. Call after the listening
+  /// descriptor polled readable.
+  util::Status Accept(Socket* out);
+
+  /// Closes the listening descriptor (idempotent).
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace navarchos::net
+
+#endif  // NAVARCHOS_NET_SOCKET_H_

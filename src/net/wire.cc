@@ -1,0 +1,320 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace navarchos::net {
+
+namespace {
+
+/// Encodes `value` as 4 little-endian bytes at `out`.
+void PutU32Le(std::uint32_t value, std::uint8_t* out) {
+  out[0] = static_cast<std::uint8_t>(value);
+  out[1] = static_cast<std::uint8_t>(value >> 8);
+  out[2] = static_cast<std::uint8_t>(value >> 16);
+  out[3] = static_cast<std::uint8_t>(value >> 24);
+}
+
+std::uint32_t GetU32Le(const std::uint8_t* data) {
+  return static_cast<std::uint32_t>(data[0]) |
+         static_cast<std::uint32_t>(data[1]) << 8 |
+         static_cast<std::uint32_t>(data[2]) << 16 |
+         static_cast<std::uint32_t>(data[3]) << 24;
+}
+
+/// CRC32 over the frame's checksummed region: type byte, length field (as
+/// its 4 LE bytes) and the payload, folded incrementally so no payload-size
+/// copy is ever made.
+std::uint32_t FrameCrc(MessageType type, const std::uint8_t* payload,
+                       std::size_t size) {
+  std::uint8_t header[5];
+  header[0] = static_cast<std::uint8_t>(type);
+  PutU32Le(static_cast<std::uint32_t>(size), header + 1);
+  std::uint32_t crc = persist::Crc32Init();
+  crc = persist::Crc32Update(crc, header, sizeof(header));
+  crc = persist::Crc32Update(crc, payload, size);
+  return persist::Crc32Final(crc);
+}
+
+bool ValidMessageType(std::uint8_t byte) {
+  return byte >= static_cast<std::uint8_t>(MessageType::kHello) &&
+         byte <= static_cast<std::uint8_t>(MessageType::kError);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ frame codecs
+
+void EncodeSensorFrame(persist::Encoder& encoder,
+                       const telemetry::SensorFrame& frame) {
+  encoder.PutU8(static_cast<std::uint8_t>(frame.kind));
+  if (frame.kind == telemetry::SensorFrame::Kind::kRecord) {
+    encoder.PutI32(frame.record.vehicle_id);
+    encoder.PutI64(frame.record.timestamp);
+    for (double pid : frame.record.pids) encoder.PutDouble(pid);
+  } else {
+    encoder.PutI32(frame.event.vehicle_id);
+    encoder.PutI64(frame.event.timestamp);
+    encoder.PutU8(static_cast<std::uint8_t>(frame.event.type));
+    encoder.PutString(frame.event.code);
+    encoder.PutBool(frame.event.recorded);
+    encoder.PutI32(frame.event.fault_id);
+  }
+}
+
+bool DecodeSensorFrame(persist::Decoder& decoder,
+                       telemetry::SensorFrame* frame) {
+  const std::uint8_t kind = decoder.GetU8();
+  if (!decoder.ok()) return false;
+  if (kind == static_cast<std::uint8_t>(telemetry::SensorFrame::Kind::kRecord)) {
+    frame->kind = telemetry::SensorFrame::Kind::kRecord;
+    frame->record.vehicle_id = decoder.GetI32();
+    frame->record.timestamp = decoder.GetI64();
+    for (double& pid : frame->record.pids) pid = decoder.GetDouble();
+  } else if (kind ==
+             static_cast<std::uint8_t>(telemetry::SensorFrame::Kind::kEvent)) {
+    frame->kind = telemetry::SensorFrame::Kind::kEvent;
+    frame->event.vehicle_id = decoder.GetI32();
+    frame->event.timestamp = decoder.GetI64();
+    const std::uint8_t type = decoder.GetU8();
+    if (decoder.ok() &&
+        type > static_cast<std::uint8_t>(telemetry::EventType::kOther)) {
+      decoder.Fail("unknown event type " + std::to_string(type));
+      return false;
+    }
+    frame->event.type = static_cast<telemetry::EventType>(type);
+    frame->event.code = decoder.GetString();
+    frame->event.recorded = decoder.GetBool();
+    frame->event.fault_id = decoder.GetI32();
+  } else {
+    decoder.Fail("unknown frame kind " + std::to_string(kind));
+    return false;
+  }
+  return decoder.ok();
+}
+
+// ---------------------------------------------------------- message codecs
+
+std::vector<std::uint8_t> EncodeFrame(MessageType type,
+                                      const std::vector<std::uint8_t>& payload) {
+  NAVARCHOS_CHECK(payload.size() <= kMaxPayloadBytes);
+  std::vector<std::uint8_t> bytes;
+  bytes.resize(kFrameOverheadBytes + payload.size());
+  PutU32Le(kWireMagic, bytes.data());
+  bytes[4] = static_cast<std::uint8_t>(type);
+  PutU32Le(static_cast<std::uint32_t>(payload.size()), bytes.data() + 5);
+  if (!payload.empty())
+    std::memcpy(bytes.data() + 9, payload.data(), payload.size());
+  PutU32Le(FrameCrc(type, payload.data(), payload.size()),
+           bytes.data() + 9 + payload.size());
+  return bytes;
+}
+
+std::vector<std::uint8_t> EncodeHello(const HelloMessage& message) {
+  persist::Encoder encoder;
+  encoder.PutU32(message.protocol_version);
+  encoder.PutString(message.session_id);
+  encoder.PutBool(message.resume);
+  encoder.PutU32(static_cast<std::uint32_t>(message.vehicle_ids.size()));
+  for (std::int32_t id : message.vehicle_ids) encoder.PutI32(id);
+  return EncodeFrame(MessageType::kHello, encoder.bytes());
+}
+
+std::vector<std::uint8_t> EncodeWelcome(const WelcomeMessage& message) {
+  persist::Encoder encoder;
+  encoder.PutU64(message.next_seq);
+  return EncodeFrame(MessageType::kWelcome, encoder.bytes());
+}
+
+std::vector<std::uint8_t> EncodeFrames(const FramesMessage& message) {
+  persist::Encoder encoder;
+  encoder.PutU64(message.first_seq);
+  encoder.PutU32(static_cast<std::uint32_t>(message.frames.size()));
+  for (const telemetry::SensorFrame& frame : message.frames)
+    EncodeSensorFrame(encoder, frame);
+  return EncodeFrame(MessageType::kFrames, encoder.bytes());
+}
+
+std::vector<std::uint8_t> EncodeAck(const AckMessage& message) {
+  persist::Encoder encoder;
+  encoder.PutU64(message.through_seq);
+  encoder.PutU64(message.sheds);
+  return EncodeFrame(MessageType::kAck, encoder.bytes());
+}
+
+std::vector<std::uint8_t> EncodeNack(const NackMessage& message) {
+  persist::Encoder encoder;
+  encoder.PutU64(message.seq);
+  encoder.PutI32(message.vehicle_id);
+  encoder.PutU8(static_cast<std::uint8_t>(message.code));
+  return EncodeFrame(MessageType::kNack, encoder.bytes());
+}
+
+std::vector<std::uint8_t> EncodeFin(const FinMessage& message) {
+  persist::Encoder encoder;
+  encoder.PutU64(message.total_seq);
+  return EncodeFrame(MessageType::kFin, encoder.bytes());
+}
+
+std::vector<std::uint8_t> EncodeError(const ErrorMessage& message) {
+  persist::Encoder encoder;
+  encoder.PutString(message.message);
+  return EncodeFrame(MessageType::kError, encoder.bytes());
+}
+
+util::Status DecodeHello(const std::vector<std::uint8_t>& payload,
+                         HelloMessage* out) {
+  persist::Decoder decoder(payload);
+  out->protocol_version = decoder.GetU32();
+  out->session_id = decoder.GetString();
+  out->resume = decoder.GetBool();
+  const std::uint32_t count = decoder.GetU32();
+  // Each id is 4 bytes; bound the claimed count by the bytes that remain
+  // before reserving anything (the codec robustness contract).
+  if (decoder.ok() && count > decoder.remaining() / 4)
+    decoder.Fail("vehicle id count exceeds payload size");
+  if (decoder.ok()) {
+    out->vehicle_ids.clear();
+    out->vehicle_ids.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+      out->vehicle_ids.push_back(decoder.GetI32());
+  }
+  return decoder.ToStatus("HELLO payload");
+}
+
+util::Status DecodeWelcome(const std::vector<std::uint8_t>& payload,
+                           WelcomeMessage* out) {
+  persist::Decoder decoder(payload);
+  out->next_seq = decoder.GetU64();
+  return decoder.ToStatus("WELCOME payload");
+}
+
+util::Status DecodeFrames(const std::vector<std::uint8_t>& payload,
+                          FramesMessage* out) {
+  persist::Decoder decoder(payload);
+  out->first_seq = decoder.GetU64();
+  const std::uint32_t count = decoder.GetU32();
+  // The smallest frame (a record) is 1 + 4 + 8 + 6*8 bytes; bounding the
+  // count by that floor rejects absurd claims before any allocation.
+  constexpr std::size_t kMinFrameBytes = 1 + 4 + 8;
+  if (decoder.ok() && count > decoder.remaining() / kMinFrameBytes)
+    decoder.Fail("frame count exceeds payload size");
+  if (decoder.ok()) {
+    out->frames.clear();
+    out->frames.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      telemetry::SensorFrame frame;
+      if (!DecodeSensorFrame(decoder, &frame)) break;
+      out->frames.push_back(std::move(frame));
+    }
+  }
+  return decoder.ToStatus("FRAMES payload");
+}
+
+util::Status DecodeAck(const std::vector<std::uint8_t>& payload,
+                       AckMessage* out) {
+  persist::Decoder decoder(payload);
+  out->through_seq = decoder.GetU64();
+  out->sheds = decoder.GetU64();
+  return decoder.ToStatus("ACK payload");
+}
+
+util::Status DecodeNack(const std::vector<std::uint8_t>& payload,
+                        NackMessage* out) {
+  persist::Decoder decoder(payload);
+  out->seq = decoder.GetU64();
+  out->vehicle_id = decoder.GetI32();
+  const std::uint8_t code = decoder.GetU8();
+  if (decoder.ok() && (code < static_cast<std::uint8_t>(NackCode::kQueueFull) ||
+                       code > static_cast<std::uint8_t>(NackCode::kDraining)))
+    decoder.Fail("unknown NACK code " + std::to_string(code));
+  out->code = static_cast<NackCode>(code);
+  return decoder.ToStatus("NACK payload");
+}
+
+util::Status DecodeFin(const std::vector<std::uint8_t>& payload,
+                       FinMessage* out) {
+  persist::Decoder decoder(payload);
+  out->total_seq = decoder.GetU64();
+  return decoder.ToStatus("FIN payload");
+}
+
+util::Status DecodeError(const std::vector<std::uint8_t>& payload,
+                         ErrorMessage* out) {
+  persist::Decoder decoder(payload);
+  out->message = decoder.GetString();
+  return decoder.ToStatus("ERROR payload");
+}
+
+// --------------------------------------------------------- stream reassembly
+
+void MessageReader::Append(const std::uint8_t* data, std::size_t size) {
+  // Compact the consumed prefix before growing, so a long-lived connection
+  // never accumulates released bytes.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > 4096) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+MessageReader::Result MessageReader::Next(WireMessage* out) {
+  if (!error_.empty()) return Result::kError;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 9) return Result::kNeedMore;  // magic + type + length
+  const std::uint8_t* head = buffer_.data() + consumed_;
+
+  const std::uint32_t magic = GetU32Le(head);
+  if (magic != kWireMagic) {
+    error_ = "bad frame magic (stream desynchronised or corrupt)";
+    return Result::kError;
+  }
+  const std::uint8_t type = head[4];
+  if (!ValidMessageType(type)) {
+    error_ = "unknown message type " + std::to_string(type);
+    return Result::kError;
+  }
+  const std::uint32_t length = GetU32Le(head + 5);
+  if (length > kMaxPayloadBytes) {
+    error_ = "payload length " + std::to_string(length) +
+             " exceeds the protocol maximum";
+    return Result::kError;
+  }
+  if (available < kFrameOverheadBytes + length) return Result::kNeedMore;
+
+  const std::uint8_t* payload = head + 9;
+  const std::uint32_t expected_crc = GetU32Le(payload + length);
+  const std::uint32_t found_crc = FrameCrc(static_cast<MessageType>(type),
+                                           payload, length);
+  if (expected_crc != found_crc) {
+    error_ = "frame CRC mismatch on a " +
+             std::string(MessageTypeName(static_cast<MessageType>(type))) +
+             " message";
+    return Result::kError;
+  }
+
+  out->type = static_cast<MessageType>(type);
+  out->payload.assign(payload, payload + length);
+  consumed_ += kFrameOverheadBytes + length;
+  return Result::kMessage;
+}
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kHello: return "HELLO";
+    case MessageType::kWelcome: return "WELCOME";
+    case MessageType::kFrames: return "FRAMES";
+    case MessageType::kAck: return "ACK";
+    case MessageType::kNack: return "NACK";
+    case MessageType::kFin: return "FIN";
+    case MessageType::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace navarchos::net

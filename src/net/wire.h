@@ -1,0 +1,243 @@
+// Binary wire protocol of the network ingest front end.
+//
+// A connection carries a stream of length-prefixed, CRC-checksummed
+// messages. Every message is framed identically:
+//
+//   offset 0  magic    u32 LE   kWireMagic ("NWP1") - desync tripwire
+//   offset 4  type     u8       MessageType
+//   offset 5  length   u32 LE   payload bytes (<= kMaxPayloadBytes)
+//   offset 9  payload  length bytes (persist::Encoder encoding)
+//   then      crc32    u32 LE   CRC32 over type byte + length field + payload
+//
+// The CRC covers the type and length as well as the payload, so a flipped
+// header byte is caught even when the payload survives intact; the magic is
+// outside the CRC but any flip there fails the magic check first. Payloads
+// reuse the bounds-checked persist::Encoder/Decoder codecs, so the decoder
+// robustness contract of the persistence layer (no crash, no unbounded
+// allocation on any input) extends to every byte that arrives off the wire.
+//
+// Protocol flow (client -> server unless noted):
+//   HELLO    session id, resume flag, vehicle registration list
+//   WELCOME  (server) next expected wire sequence number for the session
+//   FRAMES   a batch of SensorFrames, first_seq + count (stop-and-wait:
+//            the client sends the next batch only after the ACK)
+//   ACK      (server) cumulative: every wire seq < through_seq was decided
+//   NACK     (server) one shed frame, attributable by wire seq
+//   FIN      end of stream; the server acks and closes
+//   ERROR    protocol violation, either direction; the connection closes
+//
+// Wire sequence numbers count the frames of one session in submission
+// order, across reconnects: a client that reconnects RESUMEs from the
+// WELCOME cursor, so the server admits every frame exactly once no matter
+// where the previous connection was cut.
+#ifndef NAVARCHOS_NET_WIRE_H_
+#define NAVARCHOS_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "persist/codec.h"
+#include "telemetry/stream.h"
+#include "util/status.h"
+
+/// \file
+/// \brief Wire protocol of the network ingest front end: message framing
+/// with per-message CRC32, typed control/data messages, SensorFrame codecs
+/// and the incremental MessageReader used by both peers.
+
+/// \namespace navarchos::net
+/// \brief The network ingest front end: binary wire protocol, the
+/// poll-based IngestServer that feeds a FleetService over TCP, and the
+/// blocking IngestClient with bounded retry and session resume.
+
+namespace navarchos::net {
+
+/// Frame magic ("NWP1" little-endian) leading every wire message.
+inline constexpr std::uint32_t kWireMagic = 0x3150574Eu;
+
+/// Protocol version negotiated in HELLO; bumped on any incompatible change.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Upper bound on one message's payload, enforced before any allocation on
+/// both the encode and decode paths.
+inline constexpr std::size_t kMaxPayloadBytes = std::size_t{4} << 20;
+
+/// Bytes of framing around a payload (magic + type + length + crc32).
+inline constexpr std::size_t kFrameOverheadBytes = 4 + 1 + 4 + 4;
+
+/// Message discriminator on the wire.
+enum class MessageType : std::uint8_t {
+  kHello = 1,    ///< Client opens (or resumes) a session.
+  kWelcome = 2,  ///< Server answers HELLO with the session's resume cursor.
+  kFrames = 3,   ///< Client ships a batch of SensorFrames.
+  kAck = 4,      ///< Server acknowledges every wire seq below a cursor.
+  kNack = 5,     ///< Server reports one shed frame by wire seq.
+  kFin = 6,      ///< Client ends the stream.
+  kError = 7,    ///< Protocol violation; sender closes after this.
+};
+
+/// Reason a frame was shed, carried in a NACK.
+enum class NackCode : std::uint8_t {
+  kQueueFull = 1,  ///< The vehicle's ingest lane was full (kReject policy).
+  kDraining = 2,   ///< The service was already draining.
+};
+
+/// HELLO payload: opens a session (or resumes one after a disconnect).
+struct HelloMessage {
+  /// Protocol version of the client; the server rejects mismatches.
+  std::uint32_t protocol_version = kProtocolVersion;
+  /// Stable session name; reconnects with the same id resume its cursor.
+  std::string session_id;
+  /// True when the client expects an existing session (reconnect). Purely
+  /// diagnostic: the WELCOME cursor is authoritative either way.
+  bool resume = false;
+  /// Vehicles to register, in registration order (fixes the lane order of
+  /// the serving FleetService, hence result index alignment).
+  std::vector<std::int32_t> vehicle_ids;
+};
+
+/// WELCOME payload: the server's answer to HELLO.
+struct WelcomeMessage {
+  /// First wire sequence number the server has not yet decided; the client
+  /// (re)starts streaming from exactly here.
+  std::uint64_t next_seq = 0;
+};
+
+/// FRAMES payload: one batch of consecutive frames.
+struct FramesMessage {
+  /// Wire sequence number of frames[0]; frame i carries first_seq + i.
+  std::uint64_t first_seq = 0;
+  /// The batch, in submission order.
+  std::vector<telemetry::SensorFrame> frames;
+};
+
+/// ACK payload: cumulative acknowledgement.
+struct AckMessage {
+  /// Every wire sequence number < through_seq has been decided (admitted
+  /// or shed); the client may discard its copies below this cursor.
+  std::uint64_t through_seq = 0;
+  /// Total frames the session has shed so far (NACK count).
+  std::uint64_t sheds = 0;
+};
+
+/// NACK payload: one shed frame, attributable by sequence number.
+struct NackMessage {
+  std::uint64_t seq = 0;        ///< Wire sequence number of the shed frame.
+  std::int32_t vehicle_id = 0;  ///< Vehicle the frame belonged to.
+  NackCode code = NackCode::kQueueFull;  ///< Why it was shed.
+};
+
+/// FIN payload: graceful end of stream.
+struct FinMessage {
+  /// Total frames the session streamed (the expected final ACK cursor).
+  std::uint64_t total_seq = 0;
+};
+
+/// ERROR payload: human-readable protocol violation report.
+struct ErrorMessage {
+  std::string message;  ///< What went wrong, for logs and Status values.
+};
+
+/// One reassembled wire message: its type and raw (CRC-verified) payload.
+struct WireMessage {
+  MessageType type = MessageType::kError;  ///< Frame type byte.
+  std::vector<std::uint8_t> payload;       ///< Verified payload bytes.
+};
+
+// ------------------------------------------------------------ frame codecs
+
+/// Appends `frame` to `encoder` (kind tag, then the record or event).
+void EncodeSensorFrame(persist::Encoder& encoder,
+                       const telemetry::SensorFrame& frame);
+
+/// Decodes one SensorFrame; returns false (with the decoder failed) on any
+/// malformed input - unknown kind or event type included.
+bool DecodeSensorFrame(persist::Decoder& decoder, telemetry::SensorFrame* frame);
+
+// ---------------------------------------------------------- message codecs
+
+/// Frames `payload` of `type` into the full wire form (magic, header,
+/// payload, CRC32). Payloads above kMaxPayloadBytes are a programming
+/// error.
+std::vector<std::uint8_t> EncodeFrame(MessageType type,
+                                      const std::vector<std::uint8_t>& payload);
+
+/// Encodes a HELLO into its full wire form.
+std::vector<std::uint8_t> EncodeHello(const HelloMessage& message);
+/// Encodes a WELCOME into its full wire form.
+std::vector<std::uint8_t> EncodeWelcome(const WelcomeMessage& message);
+/// Encodes a FRAMES batch into its full wire form.
+std::vector<std::uint8_t> EncodeFrames(const FramesMessage& message);
+/// Encodes an ACK into its full wire form.
+std::vector<std::uint8_t> EncodeAck(const AckMessage& message);
+/// Encodes a NACK into its full wire form.
+std::vector<std::uint8_t> EncodeNack(const NackMessage& message);
+/// Encodes a FIN into its full wire form.
+std::vector<std::uint8_t> EncodeFin(const FinMessage& message);
+/// Encodes an ERROR into its full wire form.
+std::vector<std::uint8_t> EncodeError(const ErrorMessage& message);
+
+/// Decodes a HELLO payload (as delivered by MessageReader).
+util::Status DecodeHello(const std::vector<std::uint8_t>& payload,
+                         HelloMessage* out);
+/// Decodes a WELCOME payload.
+util::Status DecodeWelcome(const std::vector<std::uint8_t>& payload,
+                           WelcomeMessage* out);
+/// Decodes a FRAMES payload.
+util::Status DecodeFrames(const std::vector<std::uint8_t>& payload,
+                          FramesMessage* out);
+/// Decodes an ACK payload.
+util::Status DecodeAck(const std::vector<std::uint8_t>& payload, AckMessage* out);
+/// Decodes a NACK payload.
+util::Status DecodeNack(const std::vector<std::uint8_t>& payload,
+                        NackMessage* out);
+/// Decodes a FIN payload.
+util::Status DecodeFin(const std::vector<std::uint8_t>& payload, FinMessage* out);
+/// Decodes an ERROR payload.
+util::Status DecodeError(const std::vector<std::uint8_t>& payload,
+                         ErrorMessage* out);
+
+// --------------------------------------------------------- stream reassembly
+
+/// Incremental reassembler of wire messages from a TCP byte stream.
+///
+/// Both peers feed every received chunk through Append and then drain
+/// complete messages with Next. The reader verifies magic, type, the
+/// payload-length bound and the CRC32 before exposing any payload; the
+/// first violation latches an error (the connection must be dropped - a
+/// byte stream that framed one bad message cannot be resynchronised).
+class MessageReader {
+ public:
+  /// Outcome of one Next() call.
+  enum class Result {
+    kMessage,   ///< `*out` holds the next complete, CRC-verified message.
+    kNeedMore,  ///< The buffer holds no complete message yet.
+    kError,     ///< The stream is corrupt; error() describes the violation.
+  };
+
+  /// Appends `size` received bytes to the reassembly buffer.
+  void Append(const std::uint8_t* data, std::size_t size);
+
+  /// Extracts the next complete message, if any. After kError every further
+  /// call returns kError.
+  Result Next(WireMessage* out);
+
+  /// Description of the first framing violation; empty until one occurs.
+  const std::string& error() const { return error_; }
+
+  /// Bytes currently buffered (incomplete trailing message).
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  ///< Prefix of buffer_ already handed out.
+  std::string error_;
+};
+
+/// Human-readable name of a message type ("HELLO", "FRAMES", ...).
+const char* MessageTypeName(MessageType type);
+
+}  // namespace navarchos::net
+
+#endif  // NAVARCHOS_NET_WIRE_H_

@@ -21,12 +21,20 @@ std::array<std::uint32_t, 256> MakeCrcTable() {
 }  // namespace
 
 std::uint32_t Crc32(const std::uint8_t* data, std::size_t size) {
+  return Crc32Final(Crc32Update(Crc32Init(), data, size));
+}
+
+std::uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+std::uint32_t Crc32Update(std::uint32_t crc, const std::uint8_t* data,
+                          std::size_t size) {
   static const std::array<std::uint32_t, 256> table = MakeCrcTable();
-  std::uint32_t crc = 0xFFFFFFFFu;
   for (std::size_t i = 0; i < size; ++i)
     crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xFFu];
-  return crc ^ 0xFFFFFFFFu;
+  return crc;
 }
+
+std::uint32_t Crc32Final(std::uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
 
 // ------------------------------------------------------------------ Encoder
 

@@ -37,6 +37,19 @@ namespace navarchos::persist {
 /// checksummed region.
 std::uint32_t Crc32(const std::uint8_t* data, std::size_t size);
 
+/// Incremental CRC32 over discontiguous spans: start from Crc32Init(),
+/// fold each span in with Crc32Update, finish with Crc32Final. The result
+/// is bit-identical to Crc32 over the concatenation, so callers (e.g. the
+/// wire protocol's header+payload checksum) avoid joining buffers.
+std::uint32_t Crc32Init();
+
+/// Folds `size` bytes at `data` into a running CRC started by Crc32Init().
+std::uint32_t Crc32Update(std::uint32_t crc, const std::uint8_t* data,
+                          std::size_t size);
+
+/// Finalises a running CRC into the Crc32-compatible checksum value.
+std::uint32_t Crc32Final(std::uint32_t crc);
+
 /// Append-only binary encoder (little-endian, bit-exact doubles).
 class Encoder {
  public:

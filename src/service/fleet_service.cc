@@ -189,14 +189,23 @@ void FleetService::PumpLane(VehicleLane* lane) {
 }
 
 bool FleetService::Submit(const telemetry::SensorFrame& frame) {
+  return Ingest(frame).accepted();
+}
+
+Admission FleetService::Ingest(const telemetry::SensorFrame& frame) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
   ingest_started_ = true;
   ++frames_submitted_;
+  Admission admission;
+  admission.vehicle_id = frame.vehicle_id();
   if (draining_) {
     ++frames_rejected_;
-    return false;
+    admission.code = AdmissionCode::kShedDraining;
+    return admission;
   }
   VehicleLane* lane = LaneOfLocked(frame.vehicle_id());
+  admission.lane = static_cast<int>(lane_index_.at(frame.vehicle_id()));
+  admission.vehicle_seq = lane->next_vehicle_seq;
 
   TaggedFrame tagged;
   tagged.global_seq = next_global_seq_;
@@ -209,13 +218,16 @@ bool FleetService::Submit(const telemetry::SensorFrame& frame) {
     // Shed (kReject on a full lane). The sequence numbers were not
     // consumed, so the ordered sink's contiguous release is unaffected.
     ++frames_rejected_;
-    return false;
+    admission.code = AdmissionCode::kShedQueueFull;
+    return admission;
   }
+  admission.code = AdmissionCode::kAccepted;
+  admission.global_seq = next_global_seq_;
   ++next_global_seq_;
   ++lane->next_vehicle_seq;
   ++frames_accepted_;
   SchedulePumpLocked(lane);
-  return true;
+  return admission;
 }
 
 void FleetService::Drain() {

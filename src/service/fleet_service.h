@@ -103,6 +103,35 @@ struct FrameCompletion {
   std::size_t alarms = 0;         ///< Alarms this frame raised.
 };
 
+/// Outcome class of one frame's admission decision.
+enum class AdmissionCode : int {
+  kAccepted = 0,      ///< Admitted to its lane; sequence numbers assigned.
+  kShedQueueFull = 1, ///< Shed: the lane was full under the kReject policy.
+  kShedDraining = 2,  ///< Shed: the service was already draining/drained.
+};
+
+/// Per-frame admission result of Ingest: every shed frame is attributable
+/// (which vehicle, which per-vehicle slot, why), and every accepted frame
+/// carries the sequence numbers under which its completion and alarms will
+/// later be released - the hook a network front end needs to ACK/NACK
+/// frames by sequence number.
+struct Admission {
+  AdmissionCode code = AdmissionCode::kShedDraining;  ///< Decision.
+  /// Global ingest sequence number (valid only when accepted).
+  std::uint64_t global_seq = 0;
+  /// Per-vehicle sequence number the frame took (accepted) or would have
+  /// taken (shed): the lane-local slot the decision is attributable to.
+  std::uint64_t vehicle_seq = 0;
+  /// Vehicle the frame belonged to.
+  std::int32_t vehicle_id = 0;
+  /// Lane index of the vehicle (-1 when the frame was shed before routing,
+  /// i.e. while draining).
+  int lane = -1;
+
+  /// True when the frame was admitted.
+  bool accepted() const { return code == AdmissionCode::kAccepted; }
+};
+
 /// Observer of alarms as the ordered sink releases them (live consumers).
 /// Invoked in the deterministic total order, possibly from worker threads
 /// (never concurrently with itself).
@@ -149,7 +178,15 @@ class FleetService {
   /// the frame was admitted; false when it was shed (kReject policy with a
   /// full lane) or the service is already draining. Under kBlock a full
   /// lane makes Submit wait for the pump - that stall is the backpressure.
+  /// Equivalent to Ingest(frame).accepted().
   bool Submit(const telemetry::SensorFrame& frame);
+
+  /// Submit with a full per-frame admission result: the decision, the
+  /// sequence numbers an accepted frame was tagged with, and - for shed
+  /// frames - which vehicle slot the shed is attributable to. Network
+  /// front ends use this to ACK accepted frames and NACK sheds by
+  /// sequence number instead of collapsing the outcome to a bool.
+  Admission Ingest(const telemetry::SensorFrame& frame);
 
   /// Graceful shutdown: refuses further submissions, waits until every
   /// admitted frame has been processed and its alarms released, then

@@ -1,0 +1,412 @@
+// Behaviour of the ingest server/client pair and the per-frame Admission
+// API it is built on: sequence-number assignment, shed attribution (NACKs
+// over the wire, Admission codes in process), exactly-once duplicate
+// skipping on resume, and protocol violations failing the connection
+// instead of the service.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/ingest_client.h"
+#include "net/ingest_server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "runtime/runtime_config.h"
+#include "service/fleet_service.h"
+#include "telemetry/stream.h"
+
+namespace navarchos::net {
+namespace {
+
+telemetry::SensorFrame RecordFrame(std::int32_t vehicle, std::int64_t minute) {
+  telemetry::Record record;
+  record.vehicle_id = vehicle;
+  record.timestamp = minute;
+  record.pids.fill(static_cast<double>(minute) * 0.5);
+  return telemetry::SensorFrame::OfRecord(record);
+}
+
+service::ServiceConfig TinyServiceConfig(
+    service::BackpressurePolicy policy = service::BackpressurePolicy::kBlock) {
+  service::ServiceConfig config;
+  config.runtime = runtime::RuntimeConfig{1};
+  config.queue_capacity = 2;
+  config.backpressure = policy;
+  return config;
+}
+
+/// A protocol-level test client: raw socket plus reassembly, so tests can
+/// send exactly the bytes they mean to (including protocol violations the
+/// real IngestClient refuses to produce).
+class RawClient {
+ public:
+  bool Connect(std::uint16_t port) {
+    return ConnectTcp("127.0.0.1", port, &socket_).ok();
+  }
+
+  bool SendBytes(const std::vector<std::uint8_t>& bytes) {
+    return socket_.SendAll(bytes.data(), bytes.size()).ok();
+  }
+
+  /// Reads until one message is reassembled; returns false on EOF or
+  /// transport/protocol error.
+  bool ReadMessage(WireMessage* out) {
+    std::vector<std::uint8_t> buffer(4096);
+    while (true) {
+      const MessageReader::Result result = reader_.Next(out);
+      if (result == MessageReader::Result::kMessage) return true;
+      if (result == MessageReader::Result::kError) return false;
+      std::size_t received = 0;
+      std::string error;
+      const Socket::RecvResult recv =
+          socket_.Recv(buffer.data(), buffer.size(), &received, &error);
+      if (recv != Socket::RecvResult::kData) return false;
+      reader_.Append(buffer.data(), received);
+    }
+  }
+
+  /// Sends HELLO and expects WELCOME; returns the cursor (or -1 on refusal).
+  std::int64_t Hello(const std::string& session_id, bool resume,
+                     const std::vector<std::int32_t>& ids) {
+    HelloMessage hello;
+    hello.session_id = session_id;
+    hello.resume = resume;
+    hello.vehicle_ids = ids;
+    if (!SendBytes(EncodeHello(hello))) return -1;
+    WireMessage message;
+    if (!ReadMessage(&message) || message.type != MessageType::kWelcome)
+      return -1;
+    WelcomeMessage welcome;
+    if (!DecodeWelcome(message.payload, &welcome).ok()) return -1;
+    return static_cast<std::int64_t>(welcome.next_seq);
+  }
+
+  void Close() { socket_.Close(); }
+
+ private:
+  Socket socket_;
+  MessageReader reader_;
+};
+
+TEST(AdmissionTest, AcceptedFramesCarryTheirSequenceNumbers) {
+  service::FleetService svc(TinyServiceConfig());
+  svc.RegisterVehicle(7);
+  svc.RegisterVehicle(9);
+
+  const service::Admission a = svc.Ingest(RecordFrame(7, 10));
+  const service::Admission b = svc.Ingest(RecordFrame(9, 10));
+  const service::Admission c = svc.Ingest(RecordFrame(7, 11));
+
+  EXPECT_EQ(a.code, service::AdmissionCode::kAccepted);
+  EXPECT_TRUE(a.accepted());
+  EXPECT_EQ(a.vehicle_id, 7);
+  EXPECT_EQ(a.lane, 0);
+  EXPECT_EQ(a.vehicle_seq, 0u);
+
+  EXPECT_EQ(b.vehicle_id, 9);
+  EXPECT_EQ(b.lane, 1);
+  EXPECT_EQ(b.vehicle_seq, 0u);
+
+  EXPECT_EQ(c.lane, 0);
+  EXPECT_EQ(c.vehicle_seq, 1u);  // second frame of vehicle 7
+
+  // Global sequence numbers follow admission order.
+  EXPECT_EQ(b.global_seq, a.global_seq + 1);
+  EXPECT_EQ(c.global_seq, b.global_seq + 1);
+
+  svc.Drain();
+  (void)svc.TakeResult();
+}
+
+TEST(AdmissionTest, DrainingServiceShedsDeterministically) {
+  service::FleetService svc(TinyServiceConfig());
+  svc.RegisterVehicle(1);
+  ASSERT_TRUE(svc.Ingest(RecordFrame(1, 0)).accepted());
+  svc.Drain();
+
+  const service::Admission shed = svc.Ingest(RecordFrame(1, 1));
+  EXPECT_EQ(shed.code, service::AdmissionCode::kShedDraining);
+  EXPECT_FALSE(shed.accepted());
+  EXPECT_EQ(shed.lane, -1);  // shed before routing
+  EXPECT_EQ(svc.stats().frames_rejected, 1u);
+  (void)svc.TakeResult();
+}
+
+TEST(AdmissionTest, RejectPolicyAttributesShedsToVehicleSlots) {
+  // One worker, a capacity-2 lane and kReject: flooding a single vehicle
+  // must eventually shed, and every shed must name the per-vehicle slot it
+  // would have taken.
+  service::FleetService svc(
+      TinyServiceConfig(service::BackpressurePolicy::kReject));
+  svc.RegisterVehicle(5);
+
+  const int kFrames = 512;
+  std::vector<service::Admission> sheds;
+  std::uint64_t accepted = 0;
+  for (int i = 0; i < kFrames; ++i) {
+    const service::Admission result = svc.Ingest(RecordFrame(5, i));
+    if (result.accepted()) {
+      ++accepted;
+    } else {
+      EXPECT_EQ(result.code, service::AdmissionCode::kShedQueueFull);
+      EXPECT_EQ(result.vehicle_id, 5);
+      EXPECT_EQ(result.lane, 0);
+      sheds.push_back(result);
+    }
+  }
+  svc.Drain();
+
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.frames_submitted, static_cast<std::size_t>(kFrames));
+  EXPECT_EQ(stats.frames_accepted, accepted);
+  EXPECT_EQ(stats.frames_rejected, sheds.size());
+  EXPECT_EQ(accepted + sheds.size(), static_cast<std::uint64_t>(kFrames));
+  // vehicle_seq of a shed frame is the slot it failed to take, so each shed
+  // repeats the then-current next slot; slots never decrease.
+  for (std::size_t i = 1; i < sheds.size(); ++i)
+    EXPECT_GE(sheds[i].vehicle_seq, sheds[i - 1].vehicle_seq);
+  (void)svc.TakeResult();
+}
+
+TEST(IngestServerTest, ShedsSurfaceAsNacksWithWireSequenceNumbers) {
+  service::FleetService svc(
+      TinyServiceConfig(service::BackpressurePolicy::kReject));
+  IngestServer server(&svc, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientConfig config;
+  config.port = server.port();
+  config.session_id = "nack-test";
+  config.batch_frames = 32;
+  IngestClient client(config);
+  ASSERT_TRUE(client.Connect({5}).ok());
+
+  const std::uint64_t kFrames = 512;
+  for (std::uint64_t i = 0; i < kFrames; ++i)
+    ASSERT_TRUE(client.Send(RecordFrame(5, static_cast<std::int64_t>(i))).ok());
+  ASSERT_TRUE(client.Finish().ok());
+
+  ASSERT_TRUE(server.WaitForFinishedSessions(1, 30000));
+  server.Stop();
+  svc.Drain();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.frames_received, kFrames);
+  EXPECT_EQ(stats.frames_admitted + stats.frames_shed, kFrames);
+  // Every shed is attributable: one NACK per shed frame, carrying the
+  // frame's wire sequence number and the vehicle it belonged to.
+  ASSERT_EQ(client.nacks().size(), stats.frames_shed);
+  for (const NackMessage& nack : client.nacks()) {
+    EXPECT_LT(nack.seq, kFrames);
+    EXPECT_EQ(nack.vehicle_id, 5);
+    EXPECT_EQ(nack.code, NackCode::kQueueFull);
+  }
+  EXPECT_EQ(client.acked_through(), kFrames);
+  (void)svc.TakeResult();
+}
+
+TEST(IngestServerTest, ReplayedBatchIsSkippedExactlyOnce) {
+  // A client that never saw its ACK re-sends the whole batch after
+  // reconnecting; the server must admit none of the replayed frames twice.
+  service::FleetService svc(TinyServiceConfig());
+  IngestServer server(&svc, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  FramesMessage batch;
+  batch.first_seq = 0;
+  for (int i = 0; i < 3; ++i) batch.frames.push_back(RecordFrame(1, i));
+
+  RawClient raw;
+  ASSERT_TRUE(raw.Connect(server.port()));
+  ASSERT_EQ(raw.Hello("replay-test", false, {1}), 0);
+  ASSERT_TRUE(raw.SendBytes(EncodeFrames(batch)));
+  WireMessage message;
+  ASSERT_TRUE(raw.ReadMessage(&message));
+  ASSERT_EQ(message.type, MessageType::kAck);
+
+  // Same batch again on the same connection (as a resumed client with a
+  // stale cursor would): all three frames are duplicates.
+  ASSERT_TRUE(raw.SendBytes(EncodeFrames(batch)));
+  ASSERT_TRUE(raw.ReadMessage(&message));
+  ASSERT_EQ(message.type, MessageType::kAck);
+  AckMessage ack;
+  ASSERT_TRUE(DecodeAck(message.payload, &ack).ok());
+  EXPECT_EQ(ack.through_seq, 3u);  // cursor did not move
+
+  raw.Close();
+  server.Stop();
+  svc.Drain();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.frames_received, 6u);
+  EXPECT_EQ(stats.frames_admitted, 3u);
+  EXPECT_EQ(stats.duplicates_skipped, 3u);
+  EXPECT_EQ(svc.stats().frames_accepted, 3u);
+  (void)svc.TakeResult();
+}
+
+TEST(IngestServerTest, ResumedSessionIsWelcomedWithItsCursor) {
+  service::FleetService svc(TinyServiceConfig());
+  IngestServer server(&svc, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientConfig config;
+  config.port = server.port();
+  config.session_id = "resume-test";
+  {
+    IngestClient first(config);
+    ASSERT_TRUE(first.Connect({1}).ok());
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(first.Send(RecordFrame(1, i)).ok());
+    ASSERT_TRUE(first.Flush().ok());
+    first.Abort();  // connection dies after the batch was ACKed
+  }
+  {
+    IngestClient second(config);
+    ASSERT_TRUE(second.Connect({1}, /*resume=*/true).ok());
+    EXPECT_EQ(second.next_seq(), 5u);  // WELCOME carried the cursor
+    for (int i = 5; i < 8; ++i)
+      ASSERT_TRUE(second.Send(RecordFrame(1, i)).ok());
+    ASSERT_TRUE(second.Finish().ok());
+  }
+  ASSERT_TRUE(server.WaitForFinishedSessions(1, 30000));
+  server.Stop();
+  svc.Drain();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.sessions_started, 1u);
+  EXPECT_EQ(stats.resumes, 1u);
+  EXPECT_EQ(stats.frames_admitted, 8u);
+  EXPECT_EQ(stats.duplicates_skipped, 0u);
+  (void)svc.TakeResult();
+}
+
+TEST(IngestServerTest, SequenceGapFailsTheConnectionNotTheService) {
+  service::FleetService svc(TinyServiceConfig());
+  IngestServer server(&svc, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient raw;
+  ASSERT_TRUE(raw.Connect(server.port()));
+  ASSERT_EQ(raw.Hello("gap-test", false, {1}), 0);
+
+  FramesMessage gapped;
+  gapped.first_seq = 5;  // nothing was ever sent below 5
+  gapped.frames.push_back(RecordFrame(1, 0));
+  ASSERT_TRUE(raw.SendBytes(EncodeFrames(gapped)));
+
+  WireMessage message;
+  ASSERT_TRUE(raw.ReadMessage(&message));
+  EXPECT_EQ(message.type, MessageType::kError);
+  ErrorMessage error;
+  ASSERT_TRUE(DecodeError(message.payload, &error).ok());
+  EXPECT_NE(error.message.find("gap"), std::string::npos);
+
+  server.Stop();
+  svc.Drain();
+  EXPECT_EQ(server.stats().protocol_errors, 1u);
+  EXPECT_EQ(svc.stats().frames_accepted, 0u);  // nothing leaked through
+  (void)svc.TakeResult();
+}
+
+TEST(IngestServerTest, FramesBeforeHelloAreAProtocolError) {
+  service::FleetService svc(TinyServiceConfig());
+  IngestServer server(&svc, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient raw;
+  ASSERT_TRUE(raw.Connect(server.port()));
+  FramesMessage batch;
+  batch.first_seq = 0;
+  batch.frames.push_back(RecordFrame(1, 0));
+  ASSERT_TRUE(raw.SendBytes(EncodeFrames(batch)));
+
+  WireMessage message;
+  ASSERT_TRUE(raw.ReadMessage(&message));
+  EXPECT_EQ(message.type, MessageType::kError);
+
+  server.Stop();
+  svc.Drain();
+  EXPECT_EQ(server.stats().protocol_errors, 1u);
+  (void)svc.TakeResult();
+}
+
+TEST(IngestServerTest, ProtocolVersionMismatchIsRefused) {
+  service::FleetService svc(TinyServiceConfig());
+  IngestServer server(&svc, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient raw;
+  ASSERT_TRUE(raw.Connect(server.port()));
+  HelloMessage hello;
+  hello.protocol_version = kProtocolVersion + 1;
+  hello.session_id = "future-client";
+  ASSERT_TRUE(raw.SendBytes(EncodeHello(hello)));
+
+  WireMessage message;
+  ASSERT_TRUE(raw.ReadMessage(&message));
+  EXPECT_EQ(message.type, MessageType::kError);
+  ErrorMessage error;
+  ASSERT_TRUE(DecodeError(message.payload, &error).ok());
+  EXPECT_NE(error.message.find("version"), std::string::npos);
+
+  server.Stop();
+  svc.Drain();
+  (void)svc.TakeResult();
+}
+
+TEST(IngestServerTest, CorruptBytesFailTheConnectionNotTheServer) {
+  service::FleetService svc(TinyServiceConfig());
+  IngestServer server(&svc, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    RawClient raw;
+    ASSERT_TRUE(raw.Connect(server.port()));
+    std::vector<std::uint8_t> garbage(64, 0xAB);
+    ASSERT_TRUE(raw.SendBytes(garbage));
+    WireMessage message;
+    EXPECT_FALSE(raw.ReadMessage(&message) &&
+                 message.type != MessageType::kError);
+  }
+
+  // The server survives and serves a well-behaved client afterwards.
+  ClientConfig config;
+  config.port = server.port();
+  config.session_id = "after-garbage";
+  IngestClient client(config);
+  ASSERT_TRUE(client.Connect({1}).ok());
+  ASSERT_TRUE(client.Send(RecordFrame(1, 0)).ok());
+  ASSERT_TRUE(client.Finish().ok());
+  ASSERT_TRUE(server.WaitForFinishedSessions(1, 30000));
+
+  server.Stop();
+  svc.Drain();
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+  EXPECT_EQ(server.stats().frames_admitted, 1u);
+  (void)svc.TakeResult();
+}
+
+TEST(IngestServerTest, FinWithWrongTotalIsAProtocolError) {
+  service::FleetService svc(TinyServiceConfig());
+  IngestServer server(&svc, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient raw;
+  ASSERT_TRUE(raw.Connect(server.port()));
+  ASSERT_EQ(raw.Hello("bad-fin", false, {1}), 0);
+  ASSERT_TRUE(raw.SendBytes(EncodeFin(FinMessage{42})));
+
+  WireMessage message;
+  ASSERT_TRUE(raw.ReadMessage(&message));
+  EXPECT_EQ(message.type, MessageType::kError);
+
+  server.Stop();
+  svc.Drain();
+  EXPECT_EQ(server.finished_sessions(), 0u);
+  (void)svc.TakeResult();
+}
+
+}  // namespace
+}  // namespace navarchos::net

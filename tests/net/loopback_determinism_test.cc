@@ -1,0 +1,198 @@
+// The headline invariant of the network ingest front end: a fleet streamed
+// over loopback TCP - clean or corrupted input, with or without a
+// mid-stream disconnect + RESUME - produces alarms, scores and calibration
+// stats bit-identical to the in-process FleetService run, at worker thread
+// counts 1 and 4. The wire is a transport, never a semantic layer.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/ingest_client.h"
+#include "net/ingest_server.h"
+#include "runtime/runtime_config.h"
+#include "service/fleet_service.h"
+#include "telemetry/corruption.h"
+#include "telemetry/fleet.h"
+#include "telemetry/stream.h"
+
+namespace navarchos {
+namespace {
+
+telemetry::FleetConfig SmallFleetConfig() {
+  telemetry::FleetConfig config = telemetry::FleetConfig::TestScale();
+  config.days = 30;
+  return config;
+}
+
+core::MonitorConfig FastMonitorConfig() {
+  core::MonitorConfig config;
+  config.transform_options.window = 60;
+  config.transform_options.stride = 10;
+  config.profile_minutes = 400.0;
+  config.threshold.burn_in_minutes = 120.0;
+  config.threshold.persistence_minutes = 60.0;
+  return config;
+}
+
+service::ServiceConfig ServiceConfigWith(int threads) {
+  service::ServiceConfig config;
+  config.monitor = FastMonitorConfig();
+  config.runtime = runtime::RuntimeConfig{threads};
+  config.queue_capacity = 32;  // small enough to exercise backpressure
+  return config;
+}
+
+void ExpectAlarmsIdentical(const std::vector<core::Alarm>& a,
+                           const std::vector<core::Alarm>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].vehicle_id, b[i].vehicle_id);
+    ASSERT_EQ(a[i].timestamp, b[i].timestamp);
+    ASSERT_EQ(a[i].channel, b[i].channel);
+    ASSERT_EQ(a[i].channel_name, b[i].channel_name);
+    ASSERT_EQ(a[i].score, b[i].score);
+    ASSERT_EQ(a[i].threshold, b[i].threshold);
+  }
+}
+
+void ExpectRunsIdentical(const core::FleetRunResult& a,
+                         const core::FleetRunResult& b) {
+  ExpectAlarmsIdentical(a.alarms, b.alarms);
+  ASSERT_EQ(a.channel_names, b.channel_names);
+  ASSERT_EQ(a.persistence_window, b.persistence_window);
+  ASSERT_EQ(a.persistence_min, b.persistence_min);
+
+  ASSERT_EQ(a.scored_samples.size(), b.scored_samples.size());
+  for (std::size_t v = 0; v < a.scored_samples.size(); ++v) {
+    ASSERT_EQ(a.scored_samples[v].size(), b.scored_samples[v].size());
+    for (std::size_t s = 0; s < a.scored_samples[v].size(); ++s) {
+      ASSERT_EQ(a.scored_samples[v][s].timestamp, b.scored_samples[v][s].timestamp);
+      ASSERT_EQ(a.scored_samples[v][s].calibration_index,
+                b.scored_samples[v][s].calibration_index);
+      ASSERT_EQ(a.scored_samples[v][s].scores, b.scored_samples[v][s].scores);
+    }
+  }
+
+  ASSERT_EQ(a.calibrations.size(), b.calibrations.size());
+  for (std::size_t v = 0; v < a.calibrations.size(); ++v) {
+    ASSERT_EQ(a.calibrations[v].size(), b.calibrations[v].size());
+    for (std::size_t c = 0; c < a.calibrations[v].size(); ++c) {
+      ASSERT_EQ(a.calibrations[v][c].mean, b.calibrations[v][c].mean);
+      ASSERT_EQ(a.calibrations[v][c].stddev, b.calibrations[v][c].stddev);
+      ASSERT_EQ(a.calibrations[v][c].median, b.calibrations[v][c].median);
+      ASSERT_EQ(a.calibrations[v][c].mad, b.calibrations[v][c].mad);
+      ASSERT_EQ(a.calibrations[v][c].max, b.calibrations[v][c].max);
+    }
+  }
+
+  ASSERT_EQ(a.quality.size(), b.quality.size());
+  for (std::size_t v = 0; v < a.quality.size(); ++v) {
+    ASSERT_EQ(a.quality[v].records_seen, b.quality[v].records_seen);
+    ASSERT_EQ(a.quality[v].RecordsDropped(), b.quality[v].RecordsDropped());
+  }
+}
+
+/// Streams `stream` into a fresh service behind an IngestServer over
+/// loopback TCP and returns the drained result. When `disconnect_at` is
+/// positive, the first client is Abort()ed (no FIN, no flush) after that
+/// many frames and a second client RESUMEs the session to finish the
+/// stream - exercising the reconnect path mid-run.
+core::FleetRunResult RunOverLoopback(
+    const std::vector<telemetry::SensorFrame>& stream,
+    const std::vector<std::int32_t>& ids, const service::ServiceConfig& config,
+    std::size_t disconnect_at = 0) {
+  service::FleetService svc(config);
+  net::IngestServer server(&svc, net::ServerConfig{});
+  EXPECT_TRUE(server.Start().ok());
+
+  net::ClientConfig client_config;
+  client_config.port = server.port();
+  client_config.session_id = "loopback-test";
+  client_config.batch_frames = 64;
+
+  if (disconnect_at > 0 && disconnect_at < stream.size()) {
+    net::IngestClient first(client_config);
+    EXPECT_TRUE(first.Connect(ids).ok());
+    for (std::size_t i = 0; i < disconnect_at; ++i) {
+      const util::Status status = first.Send(stream[i]);
+      if (!status.ok()) break;
+    }
+    first.Abort();  // simulated crash: cut mid-batch, no FIN
+  }
+
+  net::IngestClient client(client_config);
+  EXPECT_TRUE(client.Connect(ids, /*resume=*/disconnect_at > 0).ok());
+  // The WELCOME cursor tells the client where the server's decisions end;
+  // for a fresh session it is 0, after a cut it is the resume point.
+  for (std::size_t i = client.next_seq(); i < stream.size(); ++i)
+    EXPECT_TRUE(client.Send(stream[i]).ok());
+  EXPECT_TRUE(client.Finish().ok());
+  EXPECT_TRUE(client.nacks().empty());  // kBlock never sheds
+
+  EXPECT_TRUE(server.WaitForFinishedSessions(1, 30000));
+  server.Stop();
+  svc.Drain();
+  return svc.TakeResult();
+}
+
+TEST(LoopbackDeterminismTest, CleanStreamOverTcpEqualsInProcessRun) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+
+  const auto in_process = service::RunStream(stream, ids, ServiceConfigWith(1));
+  const auto over_tcp_serial = RunOverLoopback(stream, ids, ServiceConfigWith(1));
+  const auto over_tcp_parallel =
+      RunOverLoopback(stream, ids, ServiceConfigWith(4));
+
+  ExpectRunsIdentical(in_process, over_tcp_serial);
+  ExpectRunsIdentical(in_process, over_tcp_parallel);
+}
+
+TEST(LoopbackDeterminismTest, DisconnectAndResumeEqualsUninterruptedRun) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+
+  const auto in_process = service::RunStream(stream, ids, ServiceConfigWith(1));
+  // Cut mid-batch (not on a batch boundary): frames sent but never ACKed
+  // must be re-sent by the resumed client, and frames the server already
+  // decided must not be admitted twice.
+  const std::size_t cut = stream.size() / 2 + 17;
+  const auto resumed_serial =
+      RunOverLoopback(stream, ids, ServiceConfigWith(1), cut);
+  const auto resumed_parallel =
+      RunOverLoopback(stream, ids, ServiceConfigWith(4), cut);
+
+  ExpectRunsIdentical(in_process, resumed_serial);
+  ExpectRunsIdentical(in_process, resumed_parallel);
+}
+
+TEST(LoopbackDeterminismTest, CorruptedStreamOverTcpEqualsInProcessRun) {
+  // Transport-corrupted telemetry (reorder, duplicates, NaN spikes, skew)
+  // must survive the wire bit-exactly: the monitors' quarantine decisions
+  // depend on exact byte patterns, so any wire-layer mangling would show
+  // up as a result mismatch here.
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const telemetry::CorruptionModel model(telemetry::CorruptionConfig::Moderate());
+  const auto stream = telemetry::InterleaveFleetStream(fleet, model);
+  const auto ids = service::VehicleIdsOf(fleet);
+
+  const auto in_process = service::RunStream(stream, ids, ServiceConfigWith(1));
+  const auto over_tcp = RunOverLoopback(stream, ids, ServiceConfigWith(4));
+  ExpectRunsIdentical(in_process, over_tcp);
+
+  // And with a mid-stream disconnect on top of the corruption.
+  const auto resumed =
+      RunOverLoopback(stream, ids, ServiceConfigWith(4), stream.size() / 3);
+  ExpectRunsIdentical(in_process, resumed);
+
+  // The corruption actually bit.
+  std::size_t dropped = 0;
+  for (const auto& quality : in_process.quality)
+    dropped += quality.RecordsDropped();
+  ASSERT_GT(dropped, 0u);
+}
+
+}  // namespace
+}  // namespace navarchos
