@@ -96,6 +96,9 @@ void IngestServer::Serve() {
       if (!running_) return;
     }
 
+    // Snapshot the polled connection count: the accept block below may
+    // append to connections_, and those new entries have no pollfd yet.
+    const std::size_t polled = connections_.size();
     std::vector<pollfd> fds;
     fds.push_back({wake_pipe_[0], POLLIN, 0});
     fds.push_back({listener_.fd(), POLLIN, 0});
@@ -126,9 +129,10 @@ void IngestServer::Serve() {
       }
     }
 
-    // Readable connections: fds[2 + i] mirrors connections_[i] (the list
-    // only changes below, after the poll results are consumed).
-    for (std::size_t i = 0; i < connections_.size(); ++i) {
+    // Readable connections: fds[2 + i] mirrors connections_[i] for the
+    // first `polled` entries only - connections accepted this cycle were
+    // never polled and are served from the next cycle on.
+    for (std::size_t i = 0; i < polled; ++i) {
       if (fds[2 + i].revents == 0) continue;
       Connection* conn = connections_[i].get();
       std::size_t received = 0;
@@ -137,12 +141,12 @@ void IngestServer::Serve() {
           conn->socket.Recv(buffer.data(), buffer.size(), &received, &error);
       if (result == Socket::RecvResult::kData) {
         conn->reader.Append(buffer.data(), received);
-        if (!HandleReadable(conn)) conn->closing = true;
+        if (!HandleReadable(conn)) MarkClosing(conn);
       } else {
         // EOF or reset: the session cursor survives for a later RESUME; an
         // incomplete trailing message is simply discarded (its frames were
         // never decided, so the resume cursor re-requests them).
-        conn->closing = true;
+        MarkClosing(conn);
       }
     }
 
@@ -188,11 +192,25 @@ bool IngestServer::HandleMessage(Connection* conn, const WireMessage& message) {
       }
       const bool known = sessions_.count(hello.session_id) != 0;
       Session& session = sessions_[hello.session_id];
-      conn->session = &session;
+      if (session.bound) {
+        // A second connection HELLOing a bound session would interleave
+        // cursor updates with the first and break exactly-once admission.
+        FailConnection(conn, "session '" + hello.session_id +
+                                 "' is already bound to a live connection");
+        return false;
+      }
       // Register the client's vehicles in its declared order, fixing the
-      // serving FleetService's lane order (idempotent on resume).
-      for (const std::int32_t id : hello.vehicle_ids)
-        service_->RegisterVehicle(id);
+      // serving FleetService's lane order (idempotent on resume). A
+      // draining service refuses cleanly instead of aborting the server.
+      for (const std::int32_t id : hello.vehicle_ids) {
+        const util::Status registered = service_->TryRegisterVehicle(id);
+        if (!registered.ok()) {
+          FailConnection(conn, registered.message());
+          return false;
+        }
+      }
+      session.bound = true;
+      conn->session = &session;
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (known)
@@ -308,6 +326,16 @@ bool IngestServer::HandleMessage(Connection* conn, const WireMessage& message) {
                                MessageTypeName(message.type) +
                                " message on the server side");
       return false;
+  }
+}
+
+void IngestServer::MarkClosing(Connection* conn) {
+  conn->closing = true;
+  // Release the session binding immediately (not at erase time) so that a
+  // reconnect processed later in the same poll cycle can already rebind.
+  if (conn->session != nullptr) {
+    conn->session->bound = false;
+    conn->session = nullptr;
   }
 }
 

@@ -125,14 +125,24 @@ class IngestServer {
     std::uint64_t next_expected = 0;  ///< First undecided wire seq.
     std::uint64_t sheds = 0;          ///< NACKs sent so far.
     bool finished = false;            ///< FIN received.
+    /// A live connection currently owns this session. A second HELLO for a
+    /// bound session is refused - two connections interleaving one cursor
+    /// would break the exactly-once admission contract.
+    bool bound = false;
   };
 
   /// One live connection and its reassembly state.
   struct Connection {
     Socket socket;
     MessageReader reader;
-    Session* session = nullptr;  ///< Set by HELLO.
+    Session* session = nullptr;  ///< Set by HELLO; owns session->bound.
     bool closing = false;        ///< Marked for removal after this cycle.
+
+    /// Unbinds the session on destruction (covers Stop(), where live
+    /// connections are dropped without passing through MarkClosing).
+    ~Connection() {
+      if (session != nullptr) session->bound = false;
+    }
   };
 
   /// Serving-thread main loop: poll over wake pipe + listener + conns.
@@ -144,6 +154,10 @@ class IngestServer {
 
   /// Dispatches one reassembled message; returns false to close.
   bool HandleMessage(Connection* conn, const WireMessage& message);
+
+  /// Marks `conn` for removal at the end of the poll cycle and releases
+  /// its session binding so a reconnect can HELLO the session again.
+  void MarkClosing(Connection* conn);
 
   /// Sends an ERROR frame (best effort) and counts the violation.
   void FailConnection(Connection* conn, const std::string& message);

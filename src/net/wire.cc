@@ -195,9 +195,12 @@ util::Status DecodeFrames(const std::vector<std::uint8_t>& payload,
   persist::Decoder decoder(payload);
   out->first_seq = decoder.GetU64();
   const std::uint32_t count = decoder.GetU32();
-  // The smallest frame (a record) is 1 + 4 + 8 + 6*8 bytes; bounding the
-  // count by that floor rejects absurd claims before any allocation.
-  constexpr std::size_t kMinFrameBytes = 1 + 4 + 8;
+  // The smallest encodable frame is an event with an empty code string:
+  // kind + vehicle id + timestamp + event type + string length prefix +
+  // recorded flag + fault id. Records are larger (the fixed pid array).
+  // Bounding the count by that floor rejects inflated claims before any
+  // allocation.
+  constexpr std::size_t kMinFrameBytes = 1 + 4 + 8 + 1 + 8 + 1 + 4;
   if (decoder.ok() && count > decoder.remaining() / kMinFrameBytes)
     decoder.Fail("frame count exceeds payload size");
   if (decoder.ok()) {

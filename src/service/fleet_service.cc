@@ -157,6 +157,16 @@ int FleetService::RegisterVehicle(std::int32_t vehicle_id) {
   return static_cast<int>(lane_index_.at(vehicle_id));
 }
 
+util::Status FleetService::TryRegisterVehicle(std::int32_t vehicle_id,
+                                              int* lane_out) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  if (draining_) return util::Status::Error("service is draining");
+  LaneOfLocked(vehicle_id);
+  if (lane_out != nullptr)
+    *lane_out = static_cast<int>(lane_index_.at(vehicle_id));
+  return util::Status();
+}
+
 void FleetService::SchedulePumpLocked(VehicleLane* lane) {
   std::lock_guard<std::mutex> lock(lane->pump_mu);
   if (lane->pump_scheduled) return;  // a pump is already queued or running

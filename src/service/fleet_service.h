@@ -171,7 +171,17 @@ class FleetService {
   /// Creates the vehicle's monitor and ingest lane; returns the lane index
   /// (the vehicle's slot in TakeResult()'s index-aligned vectors).
   /// Registering an already-known vehicle returns its existing lane.
+  /// Registering while draining is a programming error (CHECK); callers
+  /// that cannot rule it out use TryRegisterVehicle.
   int RegisterVehicle(std::int32_t vehicle_id);
+
+  /// RegisterVehicle for callers racing Drain(): refuses with an error
+  /// status instead of aborting when the service is draining. On success
+  /// writes the lane index to `lane_out` (when non-null). Network front
+  /// ends use this so a client connecting during shutdown gets a clean
+  /// protocol error, not a server crash.
+  util::Status TryRegisterVehicle(std::int32_t vehicle_id,
+                                  int* lane_out = nullptr);
 
   /// Submits one live frame, routing it to its vehicle's lane (unknown
   /// vehicles are auto-registered in first-seen order). Returns true when

@@ -388,6 +388,96 @@ TEST(IngestServerTest, CorruptBytesFailTheConnectionNotTheServer) {
   (void)svc.TakeResult();
 }
 
+TEST(IngestServerTest, HelloWhileDrainingIsRefusedWithAnError) {
+  // A client connecting while the served FleetService drains must get a
+  // clean protocol ERROR, never crash the server process.
+  service::FleetService svc(TinyServiceConfig());
+  IngestServer server(&svc, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+  svc.Drain();
+
+  RawClient raw;
+  ASSERT_TRUE(raw.Connect(server.port()));
+  HelloMessage hello;
+  hello.session_id = "late-client";
+  hello.vehicle_ids = {1};
+  ASSERT_TRUE(raw.SendBytes(EncodeHello(hello)));
+
+  WireMessage message;
+  ASSERT_TRUE(raw.ReadMessage(&message));
+  EXPECT_EQ(message.type, MessageType::kError);
+  ErrorMessage error;
+  ASSERT_TRUE(DecodeError(message.payload, &error).ok());
+  EXPECT_NE(error.message.find("draining"), std::string::npos);
+
+  server.Stop();
+  EXPECT_EQ(server.stats().protocol_errors, 1u);
+  EXPECT_EQ(svc.stats().frames_accepted, 0u);
+  (void)svc.TakeResult();
+}
+
+TEST(IngestServerTest, SecondHelloOnABoundSessionIsRefused) {
+  // Two live connections must never share one session cursor; the second
+  // HELLO is refused until the first connection closes, after which the
+  // session rebinds and resumes from its cursor.
+  service::FleetService svc(TinyServiceConfig());
+  IngestServer server(&svc, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient first;
+  ASSERT_TRUE(first.Connect(server.port()));
+  ASSERT_EQ(first.Hello("dup-session", false, {1}), 0);
+
+  RawClient second;
+  ASSERT_TRUE(second.Connect(server.port()));
+  HelloMessage hello;
+  hello.session_id = "dup-session";
+  hello.resume = true;
+  hello.vehicle_ids = {1};
+  ASSERT_TRUE(second.SendBytes(EncodeHello(hello)));
+  WireMessage message;
+  ASSERT_TRUE(second.ReadMessage(&message));
+  EXPECT_EQ(message.type, MessageType::kError);
+  ErrorMessage error;
+  ASSERT_TRUE(DecodeError(message.payload, &error).ok());
+  EXPECT_NE(error.message.find("bound"), std::string::npos);
+
+  // The refusal did not disturb the first connection's session.
+  FramesMessage batch;
+  batch.first_seq = 0;
+  batch.frames.push_back(RecordFrame(1, 0));
+  batch.frames.push_back(RecordFrame(1, 1));
+  ASSERT_TRUE(first.SendBytes(EncodeFrames(batch)));
+  ASSERT_TRUE(first.ReadMessage(&message));
+  ASSERT_EQ(message.type, MessageType::kAck);
+
+  // Once the owning connection closes, the session accepts a new HELLO
+  // and WELCOMEs it with the preserved cursor.
+  first.Close();
+  RawClient third;
+  ASSERT_TRUE(third.Connect(server.port()));
+  EXPECT_EQ(third.Hello("dup-session", true, {1}), 2);
+
+  server.Stop();
+  svc.Drain();
+  EXPECT_EQ(server.stats().frames_admitted, 2u);
+  EXPECT_EQ(server.stats().resumes, 1u);
+  (void)svc.TakeResult();
+}
+
+TEST(FleetServiceTest, TryRegisterVehicleRefusesWhileDraining) {
+  service::FleetService svc(TinyServiceConfig());
+  int lane = -1;
+  ASSERT_TRUE(svc.TryRegisterVehicle(3, &lane).ok());
+  EXPECT_EQ(lane, 0);
+  ASSERT_TRUE(svc.TryRegisterVehicle(3).ok());  // idempotent
+  svc.Drain();
+  const util::Status refused = svc.TryRegisterVehicle(4);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_NE(refused.message().find("draining"), std::string::npos);
+  (void)svc.TakeResult();
+}
+
 TEST(IngestServerTest, FinWithWrongTotalIsAProtocolError) {
   service::FleetService svc(TinyServiceConfig());
   IngestServer server(&svc, ServerConfig{});
