@@ -465,7 +465,7 @@ TEST(IngestServerTest, SecondHelloOnABoundSessionIsRefused) {
   (void)svc.TakeResult();
 }
 
-TEST(FleetServiceTest, TryRegisterVehicleRefusesWhileDraining) {
+TEST(AdmissionTest, TryRegisterVehicleRefusesWhileDraining) {
   service::FleetService svc(TinyServiceConfig());
   int lane = -1;
   ASSERT_TRUE(svc.TryRegisterVehicle(3, &lane).ok());
