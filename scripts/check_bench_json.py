@@ -44,6 +44,13 @@ SCHEMAS = {
         ("p99_latency_us", *_NUMBER),
         ("reconnect_ms", *_NUMBER),
     ],
+    "chaos_sweep": [
+        ("threads", *_INT),
+        ("seconds", *_NUMBER),
+        ("frames_per_sec", *_NUMBER),
+        ("faults_injected", *_INT),
+        ("reconnects", *_INT),
+    ],
 }
 
 

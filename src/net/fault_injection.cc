@@ -1,0 +1,237 @@
+#include "net/fault_injection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace navarchos::net {
+
+namespace {
+
+/// Sleep slice used when a fault must present "no progress" on a
+/// descriptor that may well be poll-ready: long enough that a deadline
+/// loop cannot spin hot, short enough not to distort small test deadlines.
+constexpr std::chrono::milliseconds kNoProgressNap(1);
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kShortRead: return "short_read";
+    case FaultKind::kShortWrite: return "short_write";
+    case FaultKind::kInterrupt: return "interrupt";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kReset: return "reset";
+    case FaultKind::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+bool FaultScript::Inactive() const {
+  return read_chunk == 0 && write_chunk == 0 && interrupt_every == 0 &&
+         stall_every == 0 && reset_after_bytes == 0 &&
+         half_open_after_bytes == 0;
+}
+
+std::string FaultScript::Describe() const {
+  if (Inactive()) return "clean";
+  std::string out;
+  const auto append = [&out](const std::string& part) {
+    if (!out.empty()) out += ' ';
+    out += part;
+  };
+  if (read_chunk > 0) append("short_read(" + std::to_string(read_chunk) + ")");
+  if (write_chunk > 0)
+    append("short_write(" + std::to_string(write_chunk) + ")");
+  if (interrupt_every > 0)
+    append("interrupt_every(" + std::to_string(interrupt_every) + ")");
+  if (stall_every > 0)
+    append("stall_every(" + std::to_string(stall_every) + "," +
+           std::to_string(stall_ms) + "ms)");
+  if (reset_after_bytes > 0)
+    append("reset@" + std::to_string(reset_after_bytes));
+  if (half_open_after_bytes > 0)
+    append("half_open@" + std::to_string(half_open_after_bytes));
+  return out;
+}
+
+std::size_t FaultManifest::CountOf(FaultKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(),
+                    [kind](const FaultEvent& e) { return e.kind == kind; }));
+}
+
+FaultInjector::FaultInjector(std::vector<FaultScript> scripts)
+    : scripts_(std::move(scripts)) {}
+
+TransportFactory FaultInjector::Factory() {
+  return [this](Socket socket) -> std::unique_ptr<Transport> {
+    FaultScript script;
+    int connection = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      connection = next_connection_++;
+      if (static_cast<std::size_t>(connection) < scripts_.size())
+        script = scripts_[static_cast<std::size_t>(connection)];
+    }
+    auto inner = MakeSocketTransport(std::move(socket));
+    if (script.Inactive()) return inner;
+    return std::make_unique<FaultySocket>(std::move(inner), script, connection,
+                                          this);
+  };
+}
+
+FaultManifest FaultInjector::manifest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manifest_;
+}
+
+int FaultInjector::connections_opened() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_connection_;
+}
+
+void FaultInjector::Record(const FaultEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  manifest_.events.push_back(event);
+}
+
+FaultySocket::FaultySocket(std::unique_ptr<Transport> inner,
+                           const FaultScript& script, int connection,
+                           FaultInjector* recorder)
+    : inner_(std::move(inner)),
+      script_(script),
+      connection_(connection),
+      recorder_(recorder) {}
+
+void FaultySocket::RecordOnce(bool* flag, FaultKind kind) {
+  if (*flag) return;
+  *flag = true;
+  if (recorder_ != nullptr)
+    recorder_->Record(FaultEvent{connection_, kind, bytes_});
+}
+
+bool FaultySocket::PreOp(IoStatus* status, std::string* error) {
+  if (reset_) {
+    if (error != nullptr) *error = "injected connection reset (replayed)";
+    *status = IoStatus::kError;
+    return false;
+  }
+  ++ops_;
+  if (script_.interrupt_every > 0 &&
+      ops_ % static_cast<std::uint64_t>(script_.interrupt_every) == 0) {
+    if (recorder_ != nullptr)
+      recorder_->Record(FaultEvent{connection_, FaultKind::kInterrupt, bytes_});
+    // Nap so a poll loop retrying a ready-but-interrupted descriptor
+    // cannot spin hot; progress resumes on the next call.
+    std::this_thread::sleep_for(kNoProgressNap);
+    *status = IoStatus::kWouldBlock;
+    return false;
+  }
+  if (script_.stall_every > 0 &&
+      ops_ % static_cast<std::uint64_t>(script_.stall_every) == 0) {
+    if (recorder_ != nullptr)
+      recorder_->Record(FaultEvent{connection_, FaultKind::kStall, bytes_});
+    std::this_thread::sleep_for(std::chrono::milliseconds(script_.stall_ms));
+  }
+  if (script_.reset_after_bytes > 0 && bytes_ >= script_.reset_after_bytes) {
+    reset_ = true;
+    if (recorder_ != nullptr)
+      recorder_->Record(FaultEvent{connection_, FaultKind::kReset, bytes_});
+    inner_->Close();
+    if (error != nullptr) *error = "injected connection reset";
+    *status = IoStatus::kError;
+    return false;
+  }
+  if (script_.half_open_after_bytes > 0 &&
+      bytes_ >= script_.half_open_after_bytes) {
+    RecordOnce(&recorded_half_open_, FaultKind::kHalfOpen);
+    half_open_ = true;
+  }
+  return true;
+}
+
+std::size_t FaultySocket::CapToResetBoundary(std::size_t want) const {
+  std::uint64_t cap = want;
+  if (script_.reset_after_bytes > 0)
+    cap = std::min<std::uint64_t>(cap, script_.reset_after_bytes - bytes_);
+  if (script_.half_open_after_bytes > 0 && !half_open_)
+    cap = std::min<std::uint64_t>(cap, script_.half_open_after_bytes - bytes_);
+  return static_cast<std::size_t>(cap);
+}
+
+IoStatus FaultySocket::Read(std::uint8_t* buffer, std::size_t capacity,
+                            std::size_t* received, std::string* error) {
+  IoStatus gate = IoStatus::kOk;
+  if (!PreOp(&gate, error)) return gate;
+  if (half_open_) {
+    // Silent death: the peer's bytes never arrive and EOF never comes.
+    std::this_thread::sleep_for(kNoProgressNap);
+    return IoStatus::kWouldBlock;
+  }
+  std::size_t want = capacity;
+  if (script_.read_chunk > 0 && want > script_.read_chunk) {
+    RecordOnce(&recorded_short_read_, FaultKind::kShortRead);
+    want = script_.read_chunk;
+  }
+  want = CapToResetBoundary(want);
+  const IoStatus status = inner_->Read(buffer, want, received, error);
+  if (status == IoStatus::kOk) bytes_ += *received;
+  return status;
+}
+
+IoStatus FaultySocket::Write(const std::uint8_t* data, std::size_t size,
+                             std::size_t* written, std::string* error) {
+  IoStatus gate = IoStatus::kOk;
+  if (!PreOp(&gate, error)) return gate;
+  if (half_open_) {
+    // Silent death: pretend the bytes left, so only a missing response
+    // (per-op deadline, idle reaping) can expose the dead link.
+    *written = size;
+    return IoStatus::kOk;
+  }
+  std::size_t want = size;
+  if (script_.write_chunk > 0 && want > script_.write_chunk) {
+    RecordOnce(&recorded_short_write_, FaultKind::kShortWrite);
+    want = script_.write_chunk;
+  }
+  want = CapToResetBoundary(want);
+  const IoStatus status = inner_->Write(data, want, written, error);
+  if (status == IoStatus::kOk) bytes_ += *written;
+  return status;
+}
+
+std::vector<FaultScript> SeededFaultScripts(std::uint64_t seed, int count) {
+  util::Rng rng(seed);
+  std::vector<FaultScript> scripts;
+  scripts.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    FaultScript script;
+    switch (rng.UniformInt(0, 3)) {
+      case 0:  // reset at a varied cumulative offset
+        script.reset_after_bytes =
+            static_cast<std::uint64_t>(rng.UniformInt(1, 8192));
+        break;
+      case 1:  // short-IO regime, possibly with a later reset
+        script.read_chunk = static_cast<std::size_t>(rng.UniformInt(1, 7));
+        script.write_chunk = static_cast<std::size_t>(rng.UniformInt(1, 7));
+        if (rng.Bernoulli(0.5))
+          script.reset_after_bytes =
+              static_cast<std::uint64_t>(rng.UniformInt(64, 16384));
+        break;
+      case 2:  // EINTR storm
+        script.interrupt_every = static_cast<int>(rng.UniformInt(2, 5));
+        break;
+      default:  // stalls (kept short: they cost wall-clock, not correctness)
+        script.stall_every = static_cast<int>(rng.UniformInt(3, 9));
+        script.stall_ms = static_cast<int>(rng.UniformInt(1, 4));
+        break;
+    }
+    scripts.push_back(script);
+  }
+  return scripts;
+}
+
+}  // namespace navarchos::net

@@ -1,0 +1,184 @@
+// Deterministic transport fault injection (the chaos harness substrate).
+//
+// The PR-1 playbook applied to the transport: telemetry::CorruptionModel
+// perturbs the *data* with seeded failure modes and records a ground-truth
+// manifest; FaultySocket perturbs the *byte transport* the same way. A
+// FaultScript declares, per connection, exactly which hostile-link
+// behaviours to execute - short reads/writes, EINTR-style interrupt storms,
+// a connection reset at a precise cumulative byte offset, periodic stalls,
+// and silent half-open death - and a FaultInjector hands scripts to
+// successive connections (in dial/accept order) while recording every
+// injected fault in a FaultManifest.
+//
+// Determinism: byte offsets are cumulative over the transport, so kernel
+// read/write chunking cannot move a scripted reset; the stop-and-wait wire
+// protocol makes the send/receive interleaving itself deterministic. The
+// chaos suites exploit this: for every scripted schedule, the served
+// results must be bit-identical to the in-process reference.
+#ifndef NAVARCHOS_NET_FAULT_INJECTION_H_
+#define NAVARCHOS_NET_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+
+/// \file
+/// \brief Scripted transport fault injection: FaultScript schedules,
+/// FaultySocket (the Transport decorator executing them), FaultInjector
+/// (the per-connection script dispenser) and the ground-truth
+/// FaultManifest, mirroring telemetry/corruption one layer down.
+
+namespace navarchos::net {
+
+/// The transport failure modes FaultySocket can inject.
+enum class FaultKind : int {
+  kShortRead = 0,   ///< Reads clamped to a few bytes per call.
+  kShortWrite = 1,  ///< Writes clamped to a few bytes per call.
+  kInterrupt = 2,   ///< Spurious zero-progress interruption (EINTR storm).
+  kStall = 3,       ///< The operation stalls before making progress.
+  kReset = 4,       ///< Connection reset at an exact cumulative byte offset.
+  kHalfOpen = 5,    ///< Silent death: writes vanish, reads never return.
+};
+
+/// Display name of a fault kind ("short_read", "reset", ...).
+const char* FaultKindName(FaultKind kind);
+
+/// Number of fault kinds.
+inline constexpr int kNumFaultKinds = 6;
+
+/// What one connection's transport does to its byte stream. Zero-valued
+/// fields inject nothing, so a default FaultScript is a clean transport.
+struct FaultScript {
+  /// >0: every Read returns at most this many bytes (short-read regime).
+  std::size_t read_chunk = 0;
+  /// >0: every Write accepts at most this many bytes (short-write regime).
+  std::size_t write_chunk = 0;
+  /// >0: every Nth transport operation makes no progress and reports
+  /// would-block - the visible effect of an EINTR storm.
+  int interrupt_every = 0;
+  /// >0: every Nth transport operation stalls for stall_ms first.
+  int stall_every = 0;
+  /// Stall duration in milliseconds (used when stall_every > 0).
+  int stall_ms = 5;
+  /// >0: the connection dies with an injected reset once the cumulative
+  /// byte count (sent + received) reaches exactly this offset.
+  std::uint64_t reset_after_bytes = 0;
+  /// >0: silent half-open death once the cumulative byte count reaches
+  /// this offset - writes pretend to succeed, reads never complete. Only
+  /// deadlines (client) or idle reaping (server) can detect it.
+  std::uint64_t half_open_after_bytes = 0;
+
+  /// True when every field is zero: the script is a clean passthrough.
+  bool Inactive() const;
+
+  /// Human-readable one-line summary ("reset@97 short_read(3)" style).
+  std::string Describe() const;
+};
+
+/// One injected fault, attributed to its connection and byte offset.
+struct FaultEvent {
+  int connection = 0;          ///< Dial/accept index of the connection.
+  FaultKind kind = FaultKind::kReset;  ///< What was injected.
+  std::uint64_t offset = 0;    ///< Cumulative transport bytes at injection.
+};
+
+/// Ground truth of everything a FaultInjector's transports injected.
+struct FaultManifest {
+  std::vector<FaultEvent> events;  ///< In injection order.
+
+  /// Number of injected faults of `kind`. Clamp-style regimes (short
+  /// reads/writes) are recorded once per connection, not once per call.
+  std::size_t CountOf(FaultKind kind) const;
+
+  /// Total injected faults.
+  std::size_t Total() const { return events.size(); }
+};
+
+/// Hands one FaultScript to each successive connection and collects the
+/// manifest. Connections beyond the script list get clean transports, so
+/// every scripted run terminates. Thread-safe: the server's serving thread
+/// and the client's ingest thread may both open connections through one
+/// injector.
+class FaultInjector {
+ public:
+  /// Scripts for connections 0, 1, ... in open order.
+  explicit FaultInjector(std::vector<FaultScript> scripts);
+
+  /// A TransportFactory wiring this injector into a ServerConfig or
+  /// ClientConfig. The injector must outlive every transport it wraps.
+  TransportFactory Factory();
+
+  /// Copy of the manifest so far (thread-safe snapshot).
+  FaultManifest manifest() const;
+
+  /// Connections opened through the factory so far.
+  int connections_opened() const;
+
+ private:
+  friend class FaultySocket;
+
+  /// Appends one injected-fault record (called by FaultySocket).
+  void Record(const FaultEvent& event);
+
+  mutable std::mutex mu_;
+  const std::vector<FaultScript> scripts_;
+  int next_connection_ = 0;
+  FaultManifest manifest_;
+};
+
+/// Transport decorator executing one FaultScript over an inner transport.
+/// Single-threaded like every Transport; the shared FaultInjector only
+/// sees locked manifest appends.
+class FaultySocket final : public Transport {
+ public:
+  /// Wraps `inner`, executing `script`; `connection` labels manifest
+  /// entries and `recorder` (may be null) collects them.
+  FaultySocket(std::unique_ptr<Transport> inner, const FaultScript& script,
+               int connection, FaultInjector* recorder);
+
+  IoStatus Read(std::uint8_t* buffer, std::size_t capacity,
+                std::size_t* received, std::string* error) override;
+  IoStatus Write(const std::uint8_t* data, std::size_t size,
+                 std::size_t* written, std::string* error) override;
+  int fd() const override { return inner_->fd(); }
+  bool valid() const override { return !reset_ && inner_->valid(); }
+  void Close() override { inner_->Close(); }
+
+ private:
+  /// Shared interrupt/stall/reset/half-open gate run before each
+  /// operation; returns false when the op must not touch the inner
+  /// transport (the IoStatus to surface is in `*status`).
+  bool PreOp(IoStatus* status, std::string* error);
+
+  /// Bytes the current op may still move before the reset boundary.
+  std::size_t CapToResetBoundary(std::size_t want) const;
+
+  void RecordOnce(bool* flag, FaultKind kind);
+
+  std::unique_ptr<Transport> inner_;
+  const FaultScript script_;
+  const int connection_;
+  FaultInjector* const recorder_;
+
+  std::uint64_t bytes_ = 0;  ///< Cumulative bytes moved (both directions).
+  std::uint64_t ops_ = 0;    ///< Transport operations attempted.
+  bool reset_ = false;       ///< The scripted reset has fired.
+  bool half_open_ = false;   ///< The scripted half-open death has begun.
+  bool recorded_short_read_ = false;
+  bool recorded_short_write_ = false;
+  bool recorded_half_open_ = false;
+};
+
+/// A seeded corpus of `count` fault scripts for sweep-style harnesses:
+/// deterministic in `seed`, mixing resets at varied offsets, short-IO
+/// regimes, interrupt storms and stalls (never half-open death, which
+/// needs client deadlines to terminate).
+std::vector<FaultScript> SeededFaultScripts(std::uint64_t seed, int count);
+
+}  // namespace navarchos::net
+
+#endif  // NAVARCHOS_NET_FAULT_INJECTION_H_

@@ -1,6 +1,8 @@
 #include "net/ingest_client.h"
 
+#include <algorithm>
 #include <chrono>
+#include <limits>
 #include <thread>
 #include <utility>
 
@@ -12,75 +14,226 @@ constexpr std::size_t kRecvChunkBytes = 64 * 1024;
 
 }  // namespace
 
-IngestClient::IngestClient(const ClientConfig& config) : config_(config) {}
+IngestClient::IngestClient(const ClientConfig& config)
+    : config_(config), backoff_rng_(config.jitter_seed) {}
 
 IngestClient::~IngestClient() { Abort(); }
 
-util::Status IngestClient::Connect(const std::vector<std::int32_t>& vehicle_ids,
-                                   bool resume) {
-  util::Status status;
-  int backoff_ms = config_.backoff_ms;
-  for (int attempt = 0; attempt < config_.connect_attempts; ++attempt) {
-    if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_ms *= 2;
-    }
-    ++stats_.connect_attempts;
-    status = ConnectTcp(config_.host, config_.port, &socket_);
-    if (status.ok()) break;
+IngestClient::OpBudget IngestClient::StartOp() const {
+  OpBudget budget;
+  budget.reconnects_left = config_.max_reconnects;
+  if (config_.total_deadline_ms > 0) {
+    budget.has_total = true;
+    budget.total_deadline =
+        Clock::now() + std::chrono::milliseconds(config_.total_deadline_ms);
   }
-  if (!status.ok())
-    return util::Status::Error("connect to " + config_.host + ":" +
-                               std::to_string(config_.port) + " failed after " +
-                               std::to_string(config_.connect_attempts) +
-                               " attempts: " + status.message());
+  return budget;
+}
+
+bool IngestClient::NextWaitDeadline(const OpBudget& budget,
+                                    int* deadline_ms) const {
+  *deadline_ms = config_.op_deadline_ms > 0 ? config_.op_deadline_ms : 0;
+  if (!budget.has_total) return true;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      budget.total_deadline - Clock::now());
+  if (left.count() <= 0) return false;
+  const int total_left = static_cast<int>(
+      std::min<std::int64_t>(left.count(), std::numeric_limits<int>::max()));
+  *deadline_ms = *deadline_ms > 0 ? std::min(*deadline_ms, total_left)
+                                  : total_left;
+  return true;
+}
+
+int IngestClient::BackoffDelayMs(int attempt) {
+  if (attempt <= 0) return 0;
+  // Double in 64-bit and clamp: the old `backoff_ms *= 2` int walk
+  // overflowed into negative (i.e. zero) waits after ~25 attempts,
+  // turning a patient retry loop into a hot one.
+  std::int64_t ceiling = config_.backoff_ms;
+  for (int i = 1; i < attempt && ceiling < config_.max_backoff_ms; ++i)
+    ceiling *= 2;
+  ceiling = std::min<std::int64_t>(ceiling, config_.max_backoff_ms);
+  if (ceiling <= 0) return 0;
+  // Decorrelating jitter over [ceiling/2, ceiling]: a fleet of clients
+  // reconnecting after one server blip spreads out instead of thundering
+  // back in lockstep, while any single client stays reproducible.
+  return static_cast<int>(backoff_rng_.UniformInt(ceiling / 2, ceiling));
+}
+
+util::Status IngestClient::SendWithin(OpBudget* budget,
+                                      const std::vector<std::uint8_t>& bytes) {
+  int deadline_ms = 0;
+  if (!NextWaitDeadline(*budget, &deadline_ms))
+    return util::Status::Error("total deadline exceeded");
+  return SendAllWithin(transport_.get(), bytes.data(), bytes.size(),
+                       deadline_ms);
+}
+
+util::Status IngestClient::NextMessage(OpBudget* budget, WireMessage* out,
+                                       bool* fatal) {
+  int deadline_ms = 0;
+  if (!NextWaitDeadline(*budget, &deadline_ms)) {
+    *fatal = true;
+    return util::Status::Error("total deadline exceeded");
+  }
+  const Clock::time_point start = Clock::now();
+  std::vector<std::uint8_t> buffer(kRecvChunkBytes);
+  while (true) {
+    const MessageReader::Result result = reader_.Next(out);
+    if (result == MessageReader::Result::kError)
+      return util::Status::Error("corrupt server stream: " + reader_.error());
+    if (result == MessageReader::Result::kMessage) return util::Status();
+
+    int remaining_ms = deadline_ms;
+    if (deadline_ms > 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          Clock::now() - start);
+      remaining_ms = deadline_ms - static_cast<int>(elapsed.count());
+      if (remaining_ms <= 0)
+        return util::Status::Error("deadline expired waiting for the server");
+    }
+    if (!WaitReady(*transport_, /*for_write=*/false, remaining_ms))
+      return util::Status::Error("deadline expired waiting for the server");
+    std::size_t received = 0;
+    std::string error;
+    switch (transport_->Read(buffer.data(), buffer.size(), &received, &error)) {
+      case IoStatus::kOk:
+        reader_.Append(buffer.data(), received);
+        break;
+      case IoStatus::kWouldBlock:
+        break;  // readiness was a hint (fault layer); re-check the deadline
+      case IoStatus::kEof:
+        return util::Status::Error("server closed the connection");
+      case IoStatus::kError:
+        return util::Status::Error(error);
+    }
+  }
+}
+
+util::Status IngestClient::ConnectOnce(OpBudget* budget, bool resume,
+                                       bool adopt_cursor, bool* fatal) {
+  *fatal = false;
+  int deadline_ms = 0;
+  if (!NextWaitDeadline(*budget, &deadline_ms)) {
+    *fatal = true;
+    return util::Status::Error("total deadline exceeded");
+  }
+  int connect_timeout_ms = config_.connect_timeout_ms;
+  if (deadline_ms > 0 &&
+      (connect_timeout_ms <= 0 || deadline_ms < connect_timeout_ms))
+    connect_timeout_ms = deadline_ms;
+
+  ++stats_.connect_attempts;
+  Socket socket;
+  util::Status status =
+      ConnectTcp(config_.host, config_.port, &socket, connect_timeout_ms);
+  if (!status.ok()) return status;
+  transport_ = config_.transport_factory
+                   ? config_.transport_factory(std::move(socket))
+                   : MakeSocketTransport(std::move(socket));
+  // A fresh connection is a fresh byte stream: drop any half-reassembled
+  // message (and latched framing error) of the previous one.
+  reader_ = MessageReader();
 
   HelloMessage hello;
   hello.session_id = config_.session_id;
   hello.resume = resume;
-  hello.vehicle_ids = vehicle_ids;
-  const auto bytes = EncodeHello(hello);
-  status = socket_.SendAll(bytes.data(), bytes.size());
-  if (!status.ok()) return status;
+  hello.vehicle_ids = vehicle_ids_;
+  status = SendWithin(budget, EncodeHello(hello));
+  if (!status.ok()) {
+    transport_->Close();
+    return status;
+  }
 
-  // Block for WELCOME (or ERROR).
-  std::vector<std::uint8_t> buffer(kRecvChunkBytes);
-  while (true) {
-    WireMessage message;
-    const MessageReader::Result result = reader_.Next(&message);
-    if (result == MessageReader::Result::kError)
-      return util::Status::Error("corrupt server stream: " + reader_.error());
-    if (result == MessageReader::Result::kMessage) {
-      if (message.type == MessageType::kError) {
-        ErrorMessage error;
-        (void)DecodeError(message.payload, &error);
-        return util::Status::Error("server refused HELLO: " + error.message);
-      }
-      if (message.type != MessageType::kWelcome)
-        return util::Status::Error(std::string("expected WELCOME, got ") +
-                                   MessageTypeName(message.type));
-      WelcomeMessage welcome;
-      status = DecodeWelcome(message.payload, &welcome);
-      if (!status.ok()) return status;
-      next_seq_ = welcome.next_seq;
-      acked_through_ = welcome.next_seq;
+  WireMessage message;
+  status = NextMessage(budget, &message, fatal);
+  if (!status.ok()) {
+    transport_->Close();
+    return status;
+  }
+  if (message.type == MessageType::kError) {
+    ErrorMessage error;
+    (void)DecodeError(message.payload, &error);
+    transport_->Close();
+    // The server refusing HELLO (draining, bound session, bad version) is
+    // a decision, not a transport fault: healing must not hammer it.
+    *fatal = true;
+    return util::Status::Error("server refused HELLO: " + error.message);
+  }
+  if (message.type != MessageType::kWelcome) {
+    transport_->Close();
+    return util::Status::Error(std::string("expected WELCOME, got ") +
+                               MessageTypeName(message.type));
+  }
+  WelcomeMessage welcome;
+  status = DecodeWelcome(message.payload, &welcome);
+  if (!status.ok()) {
+    transport_->Close();
+    return status;
+  }
+  // The server's cursor: everything below it is decided. A healing
+  // reconnect must NOT rewind next_seq_ - the frames in [cursor,
+  // next_seq_) are exactly the retained in-flight batch being resent.
+  acked_through_ = welcome.next_seq;
+  if (adopt_cursor) next_seq_ = welcome.next_seq;
+  return util::Status();
+}
+
+util::Status IngestClient::Connect(const std::vector<std::int32_t>& vehicle_ids,
+                                   bool resume) {
+  vehicle_ids_ = vehicle_ids;
+  OpBudget budget = StartOp();
+  util::Status status;
+  for (int attempt = 0; attempt < config_.connect_attempts; ++attempt) {
+    const int delay_ms = BackoffDelayMs(attempt);
+    if (delay_ms > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    bool fatal = false;
+    status = ConnectOnce(&budget, resume, /*adopt_cursor=*/true, &fatal);
+    if (status.ok()) {
+      connected_once_ = true;
       pending_.first_seq = next_seq_;
       pending_.frames.clear();
       return util::Status();
     }
-    std::size_t received = 0;
-    std::string error;
-    const Socket::RecvResult recv =
-        socket_.Recv(buffer.data(), buffer.size(), &received, &error);
-    if (recv == Socket::RecvResult::kEof)
-      return util::Status::Error("server closed the connection before WELCOME");
-    if (recv == Socket::RecvResult::kError) return util::Status::Error(error);
-    reader_.Append(buffer.data(), received);
+    if (fatal) return status;
+  }
+  return util::Status::Error("connect to " + config_.host + ":" +
+                             std::to_string(config_.port) + " failed after " +
+                             std::to_string(config_.connect_attempts) +
+                             " attempts: " + status.message());
+}
+
+bool IngestClient::Heal(OpBudget* budget, util::Status* status) {
+  if (!connected_once_) return false;
+  if (transport_) transport_->Close();
+  for (int attempt = 0;; ++attempt) {
+    if (budget->reconnects_left <= 0) {
+      *status = util::Status::Error("reconnect budget exhausted; last error: " +
+                                    status->message());
+      return false;
+    }
+    --budget->reconnects_left;
+    const int delay_ms = BackoffDelayMs(attempt);
+    if (delay_ms > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    bool fatal = false;
+    const util::Status attempt_status =
+        ConnectOnce(budget, /*resume=*/true, /*adopt_cursor=*/false, &fatal);
+    if (attempt_status.ok()) {
+      ++stats_.reconnects;
+      return true;
+    }
+    if (fatal) {
+      *status = attempt_status;
+      return false;
+    }
   }
 }
 
 util::Status IngestClient::Send(const telemetry::SensorFrame& frame) {
-  if (!socket_.valid()) return util::Status::Error("client is not connected");
+  if (!transport_ || !transport_->valid())
+    return util::Status::Error("client is not connected");
   if (pending_.frames.empty()) pending_.first_seq = next_seq_;
   pending_.frames.push_back(frame);
   ++next_seq_;
@@ -91,74 +244,110 @@ util::Status IngestClient::Send(const telemetry::SensorFrame& frame) {
 
 util::Status IngestClient::Flush() {
   if (pending_.frames.empty()) return util::Status();
-  if (!socket_.valid()) return util::Status::Error("client is not connected");
-  const auto bytes = EncodeFrames(pending_);
-  util::Status status = socket_.SendAll(bytes.data(), bytes.size());
-  if (!status.ok()) return status;
-  ++stats_.batches_sent;
-  const std::uint64_t target = pending_.first_seq + pending_.frames.size();
-  pending_.frames.clear();
-  return AwaitAck(target);
+  if (!transport_ || !transport_->valid())
+    return util::Status::Error("client is not connected");
+  inflight_ = std::move(pending_);
+  pending_ = FramesMessage{};
+  OpBudget budget = StartOp();
+  const util::Status status = FlushInflight(&budget);
+  inflight_ = FramesMessage{};
+  return status;
+}
+
+util::Status IngestClient::FlushInflight(OpBudget* budget) {
+  const std::uint64_t target = inflight_.first_seq + inflight_.frames.size();
+  while (acked_through_ < target) {
+    // Rewind to the server's cursor: frames below it were decided on a
+    // previous connection; resending them would only be skipped as
+    // duplicates, so drop them here and keep the wire minimal.
+    if (inflight_.first_seq < acked_through_) {
+      const std::size_t decided =
+          static_cast<std::size_t>(acked_through_ - inflight_.first_seq);
+      inflight_.frames.erase(inflight_.frames.begin(),
+                             inflight_.frames.begin() +
+                                 static_cast<std::ptrdiff_t>(decided));
+      inflight_.first_seq = acked_through_;
+    }
+    util::Status status = SendWithin(budget, EncodeFrames(inflight_));
+    bool fatal = false;
+    if (status.ok()) {
+      ++stats_.batches_sent;
+      status = AwaitAck(budget, target, /*require_ack_message=*/false, &fatal);
+    }
+    if (status.ok()) break;
+    if (fatal) return status;
+    if (!Heal(budget, &status)) return status;
+  }
+  return util::Status();
 }
 
 util::Status IngestClient::Finish() {
   util::Status status = Flush();
   if (!status.ok()) return status;
-  const FinMessage fin{next_seq_};
-  const auto bytes = EncodeFin(fin);
-  status = socket_.SendAll(bytes.data(), bytes.size());
-  if (!status.ok()) return status;
-  status = AwaitAck(next_seq_);
-  socket_.Close();
-  return status;
+  if (!transport_ || !transport_->valid())
+    return util::Status::Error("client is not connected");
+  OpBudget budget = StartOp();
+  while (true) {
+    const FinMessage fin{next_seq_};
+    status = SendWithin(&budget, EncodeFin(fin));
+    bool fatal = false;
+    if (status.ok()) {
+      // Insist on a fresh ACK *message*, not just cursor coverage: after a
+      // heal the cursor already covers next_seq_, but only the FIN ACK
+      // proves the server actually recorded the finish (a half-open link
+      // swallows the FIN silently). Retransmitted FINs are safe - the
+      // server counts a session's finish once.
+      status = AwaitAck(&budget, next_seq_, /*require_ack_message=*/true,
+                        &fatal);
+    }
+    if (status.ok()) break;
+    if (fatal) return status;
+    if (!Heal(&budget, &status)) return status;
+  }
+  transport_->Close();
+  return util::Status();
 }
 
-void IngestClient::Abort() { socket_.Close(); }
+void IngestClient::Abort() {
+  if (transport_) transport_->Close();
+}
 
-util::Status IngestClient::AwaitAck(std::uint64_t target) {
-  std::vector<std::uint8_t> buffer(kRecvChunkBytes);
-  while (acked_through_ < target) {
+util::Status IngestClient::AwaitAck(OpBudget* budget, std::uint64_t target,
+                                    bool require_ack_message, bool* fatal) {
+  *fatal = false;
+  bool got_ack = false;
+  while (acked_through_ < target || (require_ack_message && !got_ack)) {
     WireMessage message;
-    const MessageReader::Result result = reader_.Next(&message);
-    if (result == MessageReader::Result::kError)
-      return util::Status::Error("corrupt server stream: " + reader_.error());
-    if (result == MessageReader::Result::kMessage) {
-      switch (message.type) {
-        case MessageType::kAck: {
-          AckMessage ack;
-          const util::Status status = DecodeAck(message.payload, &ack);
-          if (!status.ok()) return status;
-          acked_through_ = ack.through_seq;
-          break;
-        }
-        case MessageType::kNack: {
-          NackMessage nack;
-          const util::Status status = DecodeNack(message.payload, &nack);
-          if (!status.ok()) return status;
-          nacks_.push_back(nack);
-          break;
-        }
-        case MessageType::kError: {
-          ErrorMessage error;
-          (void)DecodeError(message.payload, &error);
-          return util::Status::Error("server error: " + error.message);
-        }
-        default:
-          return util::Status::Error(std::string("unexpected ") +
-                                     MessageTypeName(message.type) +
-                                     " while awaiting ACK");
+    util::Status status = NextMessage(budget, &message, fatal);
+    if (!status.ok()) return status;
+    switch (message.type) {
+      case MessageType::kAck: {
+        AckMessage ack;
+        status = DecodeAck(message.payload, &ack);
+        if (!status.ok()) return status;
+        acked_through_ = std::max(acked_through_, ack.through_seq);
+        got_ack = ack.through_seq >= target;
+        break;
       }
-      continue;
+      case MessageType::kNack: {
+        NackMessage nack;
+        status = DecodeNack(message.payload, &nack);
+        if (!status.ok()) return status;
+        nacks_.push_back(nack);
+        break;
+      }
+      case MessageType::kError: {
+        ErrorMessage error;
+        (void)DecodeError(message.payload, &error);
+        *fatal = true;
+        return util::Status::Error("server error: " + error.message);
+      }
+      default:
+        *fatal = true;
+        return util::Status::Error(std::string("unexpected ") +
+                                   MessageTypeName(message.type) +
+                                   " while awaiting ACK");
     }
-    std::size_t received = 0;
-    std::string error;
-    const Socket::RecvResult recv =
-        socket_.Recv(buffer.data(), buffer.size(), &received, &error);
-    if (recv == Socket::RecvResult::kEof)
-      return util::Status::Error(
-          "server closed the connection while an ACK was outstanding");
-    if (recv == Socket::RecvResult::kError) return util::Status::Error(error);
-    reader_.Append(buffer.data(), received);
   }
   return util::Status();
 }

@@ -1,34 +1,51 @@
-// Blocking ingest client of the network front end.
+// Self-healing blocking ingest client of the network front end.
 //
-// IngestClient dials an IngestServer with bounded retry/backoff, opens (or
-// resumes) a session with HELLO, and ships SensorFrames in stop-and-wait
-// batches: Send buffers frames locally, Flush writes one FRAMES message
-// and blocks until the server's cumulative ACK for it arrives, collecting
-// any NACKs (shed frames, attributable by wire sequence number) delivered
-// in between. The stop-and-wait discipline is the client half of the flow
-// control story: a server stalled on lane backpressure simply delays the
-// ACK, and the client stops producing.
+// IngestClient dials an IngestServer with bounded retry and capped,
+// seeded-jitter exponential backoff, opens (or resumes) a session with
+// HELLO, and ships SensorFrames in stop-and-wait batches: Send buffers
+// frames locally, Flush writes one FRAMES message and blocks until the
+// server's cumulative ACK for it arrives, collecting any NACKs (shed
+// frames, attributable by wire sequence number) delivered in between. The
+// stop-and-wait discipline is the client half of the flow control story: a
+// server stalled on lane backpressure simply delays the ACK, and the
+// client stops producing.
 //
-// Resume: after any disconnect - transport error, crash, Abort() - a new
-// client constructed with the same session id and resume=true learns the
-// server's cursor from WELCOME (next_seq) and re-sends from exactly there.
-// The caller keeps its frames addressable by wire sequence number (for a
-// recorded stream, wire seq == stream index), so resuming is a loop
-// restart, not a protocol dance.
+// Self-healing: a transport failure in the middle of Flush or Finish -
+// connection reset, EOF, a missed per-operation deadline against a
+// half-open peer - does not surface to the caller. The client retains the
+// in-flight batch, reconnects under the same session id, learns the
+// server's cursor from WELCOME, rewinds the batch to that cursor (frames
+// below it were already decided; resending them would only be skipped as
+// duplicates) and resumes. Only fatal conditions end the operation: a
+// server ERROR message, the reconnect budget, or the total deadline.
+//
+// Deadlines: op_deadline_ms bounds every individual blocking wait (connect,
+// WELCOME, ACK) so a silently dead peer costs a bounded wait instead of
+// forever; total_deadline_ms bounds one whole logical operation (Connect /
+// Flush / Finish) across all its healing attempts.
+//
+// Resume across client objects still works as before: a new client
+// constructed with the same session id and resume=true learns the server's
+// cursor from WELCOME (next_seq) and re-sends from exactly there.
 #ifndef NAVARCHOS_NET_INGEST_CLIENT_H_
 #define NAVARCHOS_NET_INGEST_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "net/socket.h"
+#include "net/transport.h"
 #include "net/wire.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 /// \file
-/// \brief IngestClient: blocking stop-and-wait sender with bounded
-/// connect retry/backoff, NACK collection and session resume.
+/// \brief IngestClient: self-healing stop-and-wait sender with capped
+/// jittered backoff, per-operation and total deadlines, automatic
+/// reconnect-and-resume, NACK collection and session resume.
 
 namespace navarchos::net {
 
@@ -42,21 +59,47 @@ struct ClientConfig {
   std::string session_id = "default";
   /// Frames buffered per FRAMES batch before Flush happens implicitly.
   std::size_t batch_frames = 256;
-  /// Connection attempts before Connect gives up.
+  /// Connection attempts per dial before the dial gives up.
   int connect_attempts = 5;
   /// Backoff before the second attempt; doubles per further attempt.
   int backoff_ms = 50;
+  /// Ceiling of the exponential backoff: however many attempts have
+  /// failed, no single wait exceeds this (the doubling is computed in
+  /// 64-bit and clamped, so it cannot overflow into a negative wait).
+  int max_backoff_ms = 2000;
+  /// Seed of the backoff jitter stream. Jitter decorrelates reconnect
+  /// storms across clients; seeding it keeps any single client's timing
+  /// reproducible. Clients sharing a seed jitter identically.
+  std::uint64_t jitter_seed = 1;
+  /// Bound on one TCP connect (passed to ConnectTcp); 0 waits forever.
+  int connect_timeout_ms = 2000;
+  /// Bound on each individual blocking wait - for WELCOME, for an ACK, for
+  /// outbound bytes to drain. A breached deadline counts as a transport
+  /// failure and triggers healing. 0 disables (waits forever).
+  int op_deadline_ms = 0;
+  /// Bound on one whole logical operation (Connect / Flush / Finish)
+  /// including every healing attempt inside it. 0 disables.
+  int total_deadline_ms = 0;
+  /// Healing reconnects allowed per logical operation before the failure
+  /// is surfaced to the caller.
+  int max_reconnects = 8;
+  /// Wraps each dialled socket in a Transport; null uses the plain
+  /// non-blocking SocketTransport. The seam for FaultySocket in the chaos
+  /// suites.
+  TransportFactory transport_factory;
 };
 
 /// Counters of one client's lifetime.
 struct ClientStats {
-  std::uint64_t frames_sent = 0;      ///< Frames handed to Send.
-  std::uint64_t batches_sent = 0;     ///< FRAMES messages written.
-  std::uint64_t connect_attempts = 0; ///< Dial attempts made.
+  std::uint64_t frames_sent = 0;       ///< Frames handed to Send.
+  std::uint64_t batches_sent = 0;      ///< FRAMES messages written.
+  std::uint64_t connect_attempts = 0;  ///< Dial attempts made.
+  std::uint64_t reconnects = 0;        ///< Healing reconnects that succeeded.
 };
 
-/// Blocking stop-and-wait ingest client. Single-threaded by design: all
-/// calls must come from one thread (the ingest thread of the deployment).
+/// Self-healing stop-and-wait ingest client. Single-threaded by design:
+/// all calls must come from one thread (the ingest thread of the
+/// deployment).
 class IngestClient {
  public:
   /// Stores the configuration; nothing is dialled yet.
@@ -68,10 +111,11 @@ class IngestClient {
   IngestClient(const IngestClient&) = delete;
   IngestClient& operator=(const IngestClient&) = delete;
 
-  /// Dials the server (bounded retry with exponential backoff), sends
+  /// Dials the server (bounded retry with capped jittered backoff), sends
   /// HELLO with `vehicle_ids` and `resume`, and blocks for WELCOME. On
   /// success next_seq() holds the server's cursor: the first wire sequence
-  /// number this client must send.
+  /// number this client must send. The vehicle ids are retained for
+  /// healing re-HELLOs.
   util::Status Connect(const std::vector<std::int32_t>& vehicle_ids,
                        bool resume = false);
 
@@ -81,14 +125,18 @@ class IngestClient {
 
   /// Buffers one frame under the next wire sequence number; flushes
   /// implicitly when the batch is full. An implicit flush blocks for the
-  /// batch's ACK (stop-and-wait).
+  /// batch's ACK (stop-and-wait) and heals like an explicit one.
   util::Status Send(const telemetry::SensorFrame& frame);
 
   /// Sends the buffered partial batch (if any) and blocks until its ACK
-  /// arrived, collecting NACKs on the way. No-op on an empty buffer.
+  /// arrived, collecting NACKs on the way; transparently reconnects and
+  /// resumes from the server's cursor on mid-stream transport failures.
+  /// No-op on an empty buffer.
   util::Status Flush();
 
-  /// Flushes, sends FIN and blocks for the final ACK, then closes the
+  /// Flushes, sends FIN and blocks for the final ACK (healing across
+  /// failures like Flush; a retransmitted FIN after a reconnect is safe -
+  /// the server counts a session's finish only once), then closes the
   /// connection in an orderly way.
   util::Status Finish();
 
@@ -107,18 +155,73 @@ class IngestClient {
   const ClientStats& stats() const { return stats_; }
 
  private:
-  /// Blocks until an ACK with through_seq >= `target` arrives, collecting
-  /// NACKs; fails on ERROR messages, EOF or transport errors.
-  util::Status AwaitAck(std::uint64_t target);
+  using Clock = std::chrono::steady_clock;
+
+  /// Deadline bookkeeping of one logical operation: the total budget plus
+  /// the healing-reconnect allowance.
+  struct OpBudget {
+    Clock::time_point total_deadline{};  ///< Zero when no total deadline.
+    bool has_total = false;
+    int reconnects_left = 0;
+  };
+
+  /// Opens the budget of one logical operation.
+  OpBudget StartOp() const;
+
+  /// Effective deadline of the next blocking wait: op_deadline_ms capped
+  /// by what remains of the operation's total budget. Returns false when
+  /// the total budget is already exhausted.
+  bool NextWaitDeadline(const OpBudget& budget, int* deadline_ms) const;
+
+  /// Capped exponential backoff with seeded jitter for retry `attempt`
+  /// (0-based; attempt 0 has no wait).
+  int BackoffDelayMs(int attempt);
+
+  /// Dials + HELLOs + blocks for WELCOME within `budget`; on success the
+  /// transport is live and acked_through_ holds the server's cursor
+  /// (adopted into next_seq_ only when `adopt_cursor` - healing reconnects
+  /// keep next_seq_, since [cursor, next_seq_) is the retained in-flight
+  /// batch). `fatal` reports whether a failure should stop healing (server
+  /// refused HELLO, total budget exhausted) or is worth another attempt.
+  util::Status ConnectOnce(OpBudget* budget, bool resume, bool adopt_cursor,
+                           bool* fatal);
+
+  /// Sends raw bytes within the operation budget (counts as one wait).
+  util::Status SendWithin(OpBudget* budget,
+                          const std::vector<std::uint8_t>& bytes);
+
+  /// Blocks for the next complete server message within one wait deadline.
+  util::Status NextMessage(OpBudget* budget, WireMessage* out, bool* fatal);
+
+  /// Sends (and on healing, rewinds + resends) inflight_ until its ACK.
+  util::Status FlushInflight(OpBudget* budget);
+
+  /// Blocks until the cursor covers `target`, collecting NACKs; fails on
+  /// ERROR messages (fatal), EOF, transport errors or a missed deadline
+  /// (recoverable). With `require_ack_message` an ACK covering `target`
+  /// must actually arrive on this connection - cursor coverage inherited
+  /// from a WELCOME is not enough (the FIN case).
+  util::Status AwaitAck(OpBudget* budget, std::uint64_t target,
+                        bool require_ack_message, bool* fatal);
+
+  /// Reconnects under the operation budget and rewinds `inflight_` to the
+  /// server's WELCOME cursor. Returns false (with `*status` set) when
+  /// healing is no longer possible: budget or reconnect cap exhausted,
+  /// or the server refused the resume.
+  bool Heal(OpBudget* budget, util::Status* status);
 
   const ClientConfig config_;
-  Socket socket_;
+  std::unique_ptr<Transport> transport_;
   MessageReader reader_;
-  FramesMessage pending_;  ///< The batch being built.
+  FramesMessage pending_;   ///< The batch being built.
+  FramesMessage inflight_;  ///< The batch being flushed; retained for healing.
+  std::vector<std::int32_t> vehicle_ids_;  ///< Retained for healing re-HELLOs.
+  bool connected_once_ = false;
   std::uint64_t next_seq_ = 0;
   std::uint64_t acked_through_ = 0;
   std::vector<NackMessage> nacks_;
   ClientStats stats_;
+  util::Rng backoff_rng_;
 };
 
 }  // namespace navarchos::net

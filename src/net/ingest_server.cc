@@ -18,6 +18,10 @@ namespace {
 /// size only trades syscalls against memory.
 constexpr std::size_t kRecvChunkBytes = 64 * 1024;
 
+/// Flushed prefixes beyond this are compacted away so a long-lived slow
+/// (but not yet disconnect-worthy) consumer cannot pin retired bytes.
+constexpr std::size_t kOutboundCompactBytes = 64 * 1024;
+
 }  // namespace
 
 IngestServer::IngestServer(service::FleetService* service,
@@ -39,6 +43,7 @@ util::Status IngestServer::Start() {
     listener_.Close();
     return util::Status::Error("cannot create wake pipe");
   }
+  stop_requested_.store(false, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     running_ = true;
@@ -53,6 +58,10 @@ void IngestServer::Stop() {
     if (!running_) return;
     running_ = false;
   }
+  // Latch the stop flag first: the serving thread polls it per admitted
+  // frame, so even a thread blocked behind kBlock lane backpressure
+  // abandons its backlog as soon as the current admission completes.
+  stop_requested_.store(true, std::memory_order_relaxed);
   // Wake the poll loop; the serving thread exits at the top of its cycle.
   const std::uint8_t byte = 1;
   [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
@@ -88,6 +97,61 @@ bool IngestServer::WaitForFinishedSessions(std::uint64_t count,
                                reached);
 }
 
+int IngestServer::PollTimeoutMs() const {
+  if (config_.idle_timeout_ms <= 0 && config_.session_retention_ms <= 0)
+    return -1;
+  bool pending = false;
+  Clock::time_point earliest{};
+  const auto consider = [&pending, &earliest](Clock::time_point t) {
+    if (!pending || t < earliest) earliest = t;
+    pending = true;
+  };
+  if (config_.idle_timeout_ms > 0) {
+    for (const auto& conn : connections_)
+      if (!conn->closing)
+        consider(conn->last_activity +
+                 std::chrono::milliseconds(config_.idle_timeout_ms));
+  }
+  if (config_.session_retention_ms > 0) {
+    for (const auto& entry : sessions_)
+      if (!entry.second.bound)
+        consider(entry.second.last_unbound +
+                 std::chrono::milliseconds(config_.session_retention_ms));
+  }
+  if (!pending) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      earliest - Clock::now());
+  return static_cast<int>(std::clamp<std::int64_t>(left.count(), 1, 1000));
+}
+
+void IngestServer::ReapIdleAndExpireSessions() {
+  const Clock::time_point now = Clock::now();
+  if (config_.idle_timeout_ms > 0) {
+    const auto deadline = std::chrono::milliseconds(config_.idle_timeout_ms);
+    for (auto& conn : connections_) {
+      if (conn->closing || now - conn->last_activity < deadline) continue;
+      // A half-open peer sends nothing and acknowledges nothing: this
+      // reap is the only path that ever frees its connection + binding.
+      CloseNow(conn.get());
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.idle_reaps;
+    }
+  }
+  if (config_.session_retention_ms > 0) {
+    const auto retention =
+        std::chrono::milliseconds(config_.session_retention_ms);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (!it->second.bound && now - it->second.last_unbound >= retention) {
+        it = sessions_.erase(it);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.sessions_expired;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
 void IngestServer::Serve() {
   std::vector<std::uint8_t> buffer(kRecvChunkBytes);
   while (true) {
@@ -102,10 +166,14 @@ void IngestServer::Serve() {
     std::vector<pollfd> fds;
     fds.push_back({wake_pipe_[0], POLLIN, 0});
     fds.push_back({listener_.fd(), POLLIN, 0});
-    for (const auto& conn : connections_)
-      fds.push_back({conn->socket.fd(), POLLIN, 0});
+    for (const auto& conn : connections_) {
+      short events = 0;
+      if (!conn->draining) events |= POLLIN;
+      if (conn->OutboundPending() > 0) events |= POLLOUT;
+      fds.push_back({conn->transport->fd(), events, 0});
+    }
 
-    if (::poll(fds.data(), fds.size(), -1) < 0) {
+    if (::poll(fds.data(), fds.size(), PollTimeoutMs()) < 0) {
       if (errno == EINTR) continue;
       return;  // unrecoverable poll failure; Stop() still joins cleanly
     }
@@ -123,32 +191,55 @@ void IngestServer::Serve() {
           (void)accepted.SendAll(bytes.data(), bytes.size());
         } else {
           auto conn = std::make_unique<Connection>();
-          conn->socket = std::move(accepted);
+          conn->transport = config_.transport_factory
+                                ? config_.transport_factory(std::move(accepted))
+                                : MakeSocketTransport(std::move(accepted));
+          conn->last_activity = Clock::now();
           connections_.push_back(std::move(conn));
         }
       }
     }
 
-    // Readable connections: fds[2 + i] mirrors connections_[i] for the
-    // first `polled` entries only - connections accepted this cycle were
-    // never polled and are served from the next cycle on.
+    // Readable/writable connections: fds[2 + i] mirrors connections_[i]
+    // for the first `polled` entries only - connections accepted this
+    // cycle were never polled and are served from the next cycle on.
     for (std::size_t i = 0; i < polled; ++i) {
-      if (fds[2 + i].revents == 0) continue;
       Connection* conn = connections_[i].get();
+      const short revents = fds[2 + i].revents;
+      if (conn->closing) continue;
+      if (conn->OutboundPending() > 0 && revents != 0) FlushOutbound(conn);
+      if (conn->closing) continue;
+      if (conn->draining) {
+        // Read side is done; the connection lives only to drain its final
+        // ACK/ERROR. A peer that hangs up early just ends it now.
+        if (conn->OutboundPending() == 0 || (revents & (POLLERR | POLLHUP)))
+          conn->closing = true;
+        continue;
+      }
+      if ((revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
       std::size_t received = 0;
       std::string error;
-      const Socket::RecvResult result =
-          conn->socket.Recv(buffer.data(), buffer.size(), &received, &error);
-      if (result == Socket::RecvResult::kData) {
-        conn->reader.Append(buffer.data(), received);
-        if (!HandleReadable(conn)) MarkClosing(conn);
-      } else {
-        // EOF or reset: the session cursor survives for a later RESUME; an
-        // incomplete trailing message is simply discarded (its frames were
-        // never decided, so the resume cursor re-requests them).
-        MarkClosing(conn);
+      const IoStatus result =
+          conn->transport->Read(buffer.data(), buffer.size(), &received, &error);
+      switch (result) {
+        case IoStatus::kOk:
+          conn->last_activity = Clock::now();
+          conn->reader.Append(buffer.data(), received);
+          if (!HandleReadable(conn)) CloseGracefully(conn);
+          break;
+        case IoStatus::kWouldBlock:
+          break;  // poll readiness was a hint (fault layer), not a promise
+        case IoStatus::kEof:
+        case IoStatus::kError:
+          // EOF or reset: the session cursor survives for a later RESUME;
+          // an incomplete trailing message is simply discarded (its frames
+          // were never decided, so the resume cursor re-requests them).
+          CloseNow(conn);
+          break;
       }
     }
+
+    ReapIdleAndExpireSessions();
 
     connections_.erase(
         std::remove_if(connections_.begin(), connections_.end(),
@@ -162,6 +253,7 @@ void IngestServer::Serve() {
 bool IngestServer::HandleReadable(Connection* conn) {
   WireMessage message;
   while (true) {
+    if (stop_requested_.load(std::memory_order_relaxed)) return true;
     const MessageReader::Result result = conn->reader.Next(&message);
     if (result == MessageReader::Result::kNeedMore) return true;
     if (result == MessageReader::Result::kError) {
@@ -219,8 +311,8 @@ bool IngestServer::HandleMessage(Connection* conn, const WireMessage& message) {
           ++stats_.sessions_started;
       }
       const WelcomeMessage welcome{session.next_expected};
-      const auto bytes = EncodeWelcome(welcome);
-      return conn->socket.SendAll(bytes.data(), bytes.size()).ok();
+      QueueBytes(conn, EncodeWelcome(welcome));
+      return !conn->closing;
     }
 
     case MessageType::kFrames: {
@@ -245,8 +337,14 @@ bool IngestServer::HandleMessage(Connection* conn, const WireMessage& message) {
       std::uint64_t admitted = 0;
       std::uint64_t shed = 0;
       std::uint64_t duplicates = 0;
+      std::size_t decided = 0;
+      bool disconnected = false;
       for (std::size_t i = 0; i < frames.frames.size(); ++i) {
+        // A Stop() must not wait for the whole backlog: abandon the rest
+        // of the batch un-ACKed; the resume cursor re-requests it.
+        if (stop_requested_.load(std::memory_order_relaxed)) break;
         const std::uint64_t seq = frames.first_seq + i;
+        ++decided;
         if (seq < session.next_expected) {
           // Overlap below the resume cursor: already decided, skip - this
           // is what makes a reconnect admit every frame exactly once.
@@ -265,21 +363,28 @@ bool IngestServer::HandleMessage(Connection* conn, const WireMessage& message) {
               admission.code == service::AdmissionCode::kShedQueueFull
                   ? NackCode::kQueueFull
                   : NackCode::kDraining};
-          const auto bytes = EncodeNack(nack);
-          if (!conn->socket.SendAll(bytes.data(), bytes.size()).ok())
-            return false;
+          QueueBytes(conn, EncodeNack(nack));
+          if (conn->closing) {  // slow consumer disconnected mid-batch
+            disconnected = true;
+            break;
+          }
         }
       }
       {
+        // Count even a cut-short batch exactly: everything decided above
+        // went through the service, so the wire-side counters must agree
+        // with the service's own.
         std::lock_guard<std::mutex> lock(mu_);
-        stats_.frames_received += frames.frames.size();
+        stats_.frames_received += decided;
         stats_.frames_admitted += admitted;
         stats_.frames_shed += shed;
         stats_.duplicates_skipped += duplicates;
       }
+      if (disconnected) return false;
+      if (decided < frames.frames.size()) return true;  // stopping
       const AckMessage ack{session.next_expected, session.sheds};
-      const auto bytes = EncodeAck(ack);
-      return conn->socket.SendAll(bytes.data(), bytes.size()).ok();
+      QueueBytes(conn, EncodeAck(ack));
+      return !conn->closing;
     }
 
     case MessageType::kFin: {
@@ -301,15 +406,14 @@ bool IngestServer::HandleMessage(Connection* conn, const WireMessage& message) {
         return false;
       }
       const AckMessage ack{session.next_expected, session.sheds};
-      const auto bytes = EncodeAck(ack);
-      (void)conn->socket.SendAll(bytes.data(), bytes.size());
+      QueueBytes(conn, EncodeAck(ack));
       if (!session.finished) {
         session.finished = true;
         std::lock_guard<std::mutex> lock(mu_);
         ++finished_sessions_;
         finished_cv_.notify_all();
       }
-      return false;  // orderly close after the final ACK
+      return false;  // orderly close once the final ACK drained
     }
 
     case MessageType::kError: {
@@ -329,14 +433,70 @@ bool IngestServer::HandleMessage(Connection* conn, const WireMessage& message) {
   }
 }
 
-void IngestServer::MarkClosing(Connection* conn) {
-  conn->closing = true;
-  // Release the session binding immediately (not at erase time) so that a
-  // reconnect processed later in the same poll cycle can already rebind.
+void IngestServer::QueueBytes(Connection* conn,
+                              const std::vector<std::uint8_t>& bytes) {
+  if (conn->closing || !conn->transport->valid()) return;
+  conn->outbound.insert(conn->outbound.end(), bytes.begin(), bytes.end());
+  FlushOutbound(conn);
+  if (conn->closing) return;
+  if (conn->OutboundPending() > config_.max_outbound_bytes) {
+    // The peer stopped reading while the server still owes it this much:
+    // a blocking send here is exactly how a slow consumer would wedge the
+    // single serving thread. Disconnect instead; the session cursor
+    // survives for an honest reconnect.
+    CloseNow(conn);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.slow_consumer_disconnects;
+  }
+}
+
+void IngestServer::FlushOutbound(Connection* conn) {
+  while (conn->OutboundPending() > 0) {
+    std::size_t written = 0;
+    std::string error;
+    const IoStatus status = conn->transport->Write(
+        conn->outbound.data() + conn->outbound_off, conn->OutboundPending(),
+        &written, &error);
+    if (status == IoStatus::kOk) {
+      conn->outbound_off += written;
+      conn->last_activity = Clock::now();
+      continue;
+    }
+    if (status == IoStatus::kWouldBlock) break;
+    CloseNow(conn);  // write error: the peer is gone
+    return;
+  }
+  if (conn->OutboundPending() == 0) {
+    conn->outbound.clear();
+    conn->outbound_off = 0;
+    if (conn->draining) conn->closing = true;
+  } else if (conn->outbound_off > kOutboundCompactBytes) {
+    conn->outbound.erase(
+        conn->outbound.begin(),
+        conn->outbound.begin() + static_cast<std::ptrdiff_t>(conn->outbound_off));
+    conn->outbound_off = 0;
+  }
+}
+
+void IngestServer::UnbindSession(Connection* conn) {
+  // Release immediately (not at erase time) so that a reconnect processed
+  // later in the same poll cycle can already rebind.
   if (conn->session != nullptr) {
     conn->session->bound = false;
+    conn->session->last_unbound = Clock::now();
     conn->session = nullptr;
   }
+}
+
+void IngestServer::CloseGracefully(Connection* conn) {
+  UnbindSession(conn);
+  conn->draining = true;
+  if (conn->OutboundPending() == 0) conn->closing = true;
+}
+
+void IngestServer::CloseNow(Connection* conn) {
+  UnbindSession(conn);
+  conn->closing = true;
 }
 
 void IngestServer::FailConnection(Connection* conn, const std::string& message) {
@@ -345,8 +505,7 @@ void IngestServer::FailConnection(Connection* conn, const std::string& message) 
     ++stats_.protocol_errors;
   }
   const ErrorMessage error{message};
-  const auto bytes = EncodeError(error);
-  (void)conn->socket.SendAll(bytes.data(), bytes.size());
+  QueueBytes(conn, EncodeError(error));
 }
 
 }  // namespace navarchos::net

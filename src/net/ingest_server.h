@@ -18,6 +18,17 @@
 // shed is surfaced immediately as a NACK carrying the frame's wire
 // sequence number, so the client can attribute every lost frame.
 //
+// Self-defence against hostile peers: all outbound traffic goes through a
+// per-connection bounded non-blocking queue, so a client that never reads
+// can no longer wedge the serving thread inside a blocking send - once its
+// queue exceeds max_outbound_bytes it is disconnected as a slow consumer.
+// Poll-driven idle deadlines reap connections whose peers died half-open
+// (no FIN, no RST, just silence), releasing their session bindings for a
+// clean reconnect; session retention GC expires abandoned cursors so
+// sessions_ cannot grow without bound. Every defence is observable:
+// ServerStats counts slow-consumer disconnects, idle reaps and expired
+// sessions exactly.
+//
 // Resume: sessions are keyed by the HELLO session id and survive
 // disconnects. The server tracks the next undecided wire sequence number
 // per session; a reconnecting client is WELCOMEd with that cursor and
@@ -27,6 +38,8 @@
 #ifndef NAVARCHOS_NET_INGEST_SERVER_H_
 #define NAVARCHOS_NET_INGEST_SERVER_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -37,14 +50,16 @@
 #include <vector>
 
 #include "net/socket.h"
+#include "net/transport.h"
 #include "net/wire.h"
 #include "service/fleet_service.h"
 #include "util/status.h"
 
 /// \file
 /// \brief IngestServer: the poll-based TCP acceptor that feeds a
-/// FleetService, with NACK shed reporting, TCP-level backpressure and
-/// per-session resume cursors.
+/// FleetService, with NACK shed reporting, TCP-level backpressure,
+/// per-session resume cursors, bounded outbound queues (slow-consumer
+/// disconnection), idle reaping of half-open peers and session GC.
 
 namespace navarchos::net {
 
@@ -57,6 +72,26 @@ struct ServerConfig {
   /// Connections above this are accepted and immediately refused with an
   /// ERROR message.
   std::size_t max_connections = 64;
+  /// Bound on one connection's queued-but-unsent outbound bytes. A peer
+  /// that stops reading while the server still owes it ACKs/NACKs crosses
+  /// this bound and is disconnected as a slow consumer instead of wedging
+  /// the serving thread in a blocking send.
+  std::size_t max_outbound_bytes = 256 * 1024;
+  /// >0: connections with no transport activity (no bytes in, no flush
+  /// progress out) for this long are reaped - the only way a silently
+  /// dead half-open peer ever frees its connection and session binding.
+  /// 0 disables reaping.
+  int idle_timeout_ms = 0;
+  /// >0: sessions that are unbound (no live connection) for this long are
+  /// garbage-collected, cursor included, and counted in sessions_expired.
+  /// Must exceed the longest disconnect a client may RESUME across: a
+  /// client resuming an expired session restarts from cursor 0. 0 keeps
+  /// sessions forever.
+  int session_retention_ms = 0;
+  /// Wraps each accepted socket in a Transport; null uses the plain
+  /// non-blocking SocketTransport. The seam for FaultySocket in the chaos
+  /// suites.
+  TransportFactory transport_factory;
 };
 
 /// Counters of one server's lifetime; exact snapshots at any time.
@@ -69,6 +104,9 @@ struct ServerStats {
   std::uint64_t frames_shed = 0;           ///< NACKed back to the client.
   std::uint64_t duplicates_skipped = 0;    ///< Below a resume cursor.
   std::uint64_t protocol_errors = 0;       ///< Connections dropped on ERROR.
+  std::uint64_t slow_consumer_disconnects = 0;  ///< Outbound bound exceeded.
+  std::uint64_t idle_reaps = 0;            ///< Idle-deadline disconnections.
+  std::uint64_t sessions_expired = 0;      ///< Retention-GCed sessions.
 };
 
 /// TCP front end feeding one FleetService. Lifecycle:
@@ -100,9 +138,12 @@ class IngestServer {
   /// (address in use, invalid address) are returned, not thrown.
   util::Status Start();
 
-  /// Wakes the serving thread, joins it, and closes all sockets. Sessions'
-  /// cursors are kept (a later Start on the same server object resumes
-  /// them). Idempotent.
+  /// Wakes the serving thread, joins it, and closes all sockets. Returns
+  /// promptly even when the serving thread is blocked inside a kBlock-lane
+  /// Ingest: the stop flag is polled per admitted frame, so the thread
+  /// abandons the remaining backlog (those frames stay below the resume
+  /// cursor and are simply re-requested later). Sessions' cursors are kept
+  /// (a later Start on the same server object resumes them). Idempotent.
   void Stop();
 
   /// Port actually bound (meaningful after a successful Start).
@@ -120,6 +161,8 @@ class IngestServer {
   bool WaitForFinishedSessions(std::uint64_t count, std::int64_t timeout_ms = 0);
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   /// One client session, keyed by HELLO session id; survives disconnects.
   struct Session {
     std::uint64_t next_expected = 0;  ///< First undecided wire seq.
@@ -129,19 +172,32 @@ class IngestServer {
     /// bound session is refused - two connections interleaving one cursor
     /// would break the exactly-once admission contract.
     bool bound = false;
+    /// When the session last lost its connection; the retention GC clock.
+    Clock::time_point last_unbound{};
   };
 
   /// One live connection and its reassembly state.
   struct Connection {
-    Socket socket;
+    std::unique_ptr<Transport> transport;
     MessageReader reader;
     Session* session = nullptr;  ///< Set by HELLO; owns session->bound.
-    bool closing = false;        ///< Marked for removal after this cycle.
+    /// Queued-but-unsent outbound bytes ([outbound_off, outbound.size())).
+    std::vector<std::uint8_t> outbound;
+    std::size_t outbound_off = 0;
+    bool draining = false;  ///< Graceful close: flush outbound, read no more.
+    bool closing = false;   ///< Marked for removal after this cycle.
+    Clock::time_point last_activity{};  ///< Last byte moved either way.
+
+    /// Unsent outbound bytes still owed to the peer.
+    std::size_t OutboundPending() const { return outbound.size() - outbound_off; }
 
     /// Unbinds the session on destruction (covers Stop(), where live
-    /// connections are dropped without passing through MarkClosing).
+    /// connections are dropped without passing through a close path).
     ~Connection() {
-      if (session != nullptr) session->bound = false;
+      if (session != nullptr) {
+        session->bound = false;
+        session->last_unbound = Clock::now();
+      }
     }
   };
 
@@ -149,18 +205,41 @@ class IngestServer {
   void Serve();
 
   /// Handles readable bytes on `conn`; returns false when the connection
-  /// must be closed (EOF, transport error, protocol error).
+  /// must be closed gracefully (protocol error, FIN).
   bool HandleReadable(Connection* conn);
 
   /// Dispatches one reassembled message; returns false to close.
   bool HandleMessage(Connection* conn, const WireMessage& message);
 
-  /// Marks `conn` for removal at the end of the poll cycle and releases
-  /// its session binding so a reconnect can HELLO the session again.
-  void MarkClosing(Connection* conn);
+  /// Queues `bytes` for non-blocking delivery to `conn`, flushing
+  /// opportunistically; disconnects the peer as a slow consumer when its
+  /// pending outbound crosses the configured bound.
+  void QueueBytes(Connection* conn, const std::vector<std::uint8_t>& bytes);
+
+  /// Writes as much pending outbound as the transport accepts right now.
+  void FlushOutbound(Connection* conn);
+
+  /// Graceful close: release the session binding, stop reading, keep the
+  /// connection until its outbound (final ACK / ERROR) drained.
+  void CloseGracefully(Connection* conn);
+
+  /// Hard close: release the session binding and drop the connection at
+  /// the end of this poll cycle, owed bytes included.
+  void CloseNow(Connection* conn);
+
+  /// Releases `conn`'s session binding (idempotent), stamping the
+  /// session's retention clock.
+  void UnbindSession(Connection* conn);
 
   /// Sends an ERROR frame (best effort) and counts the violation.
   void FailConnection(Connection* conn, const std::string& message);
+
+  /// Poll timeout honouring the next idle/retention deadline (-1 when
+  /// neither defence is enabled).
+  int PollTimeoutMs() const;
+
+  /// Reaps idle connections and expires unbound sessions past retention.
+  void ReapIdleAndExpireSessions();
 
   service::FleetService* const service_;
   const ServerConfig config_;
@@ -169,6 +248,9 @@ class IngestServer {
   std::thread thread_;
   int wake_pipe_[2] = {-1, -1};  ///< Self-pipe waking poll() for Stop().
   bool running_ = false;         ///< Guarded by mu_.
+  /// Stop() latch, polled lock-free per admitted frame so the serving
+  /// thread leaves even mid-backlog under kBlock lane backpressure.
+  std::atomic<bool> stop_requested_{false};
 
   mutable std::mutex mu_;
   std::condition_variable finished_cv_;

@@ -3,8 +3,10 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -63,7 +65,7 @@ void Socket::Close() {
 }
 
 util::Status ConnectTcp(const std::string& host, std::uint16_t port,
-                        Socket* out) {
+                        Socket* out, int timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return util::Status::Error(ErrnoText("socket"));
   Socket socket(fd);
@@ -73,8 +75,36 @@ util::Status ConnectTcp(const std::string& host, std::uint16_t port,
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
     return util::Status::Error("connect: invalid IPv4 address \"" + host + "\"");
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
-    return util::Status::Error(ErrnoText("connect"));
+
+  // Non-blocking connect + poll, so a blackholed host costs `timeout_ms`
+  // instead of the kernel's multi-minute SYN retry budget.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0)
+    return util::Status::Error(ErrnoText("fcntl"));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS && errno != EINTR)
+      return util::Status::Error(ErrnoText("connect"));
+    pollfd pfd{fd, POLLOUT, 0};
+    while (true) {
+      const int n = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : -1);
+      if (n > 0) break;
+      if (n == 0)
+        return util::Status::Error("connect to " + host + ":" +
+                                   std::to_string(port) + " timed out after " +
+                                   std::to_string(timeout_ms) + "ms");
+      if (errno != EINTR) return util::Status::Error(ErrnoText("poll"));
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0)
+      return util::Status::Error(ErrnoText("getsockopt"));
+    if (so_error != 0)
+      return util::Status::Error(std::string("connect: ") +
+                                 std::strerror(so_error));
+  }
+  // Back to blocking mode: Socket's SendAll/Recv contract is blocking.
+  if (::fcntl(fd, F_SETFL, flags) != 0)
+    return util::Status::Error(ErrnoText("fcntl"));
 
   // Batches are already sized for the wire; disable Nagle so a flushed
   // partial batch (and every ACK) leaves immediately.

@@ -71,8 +71,12 @@ class Socket {
 
 /// Dials `host`:`port` (numeric IPv4 host, e.g. "127.0.0.1"). Returns the
 /// connected socket in `*out` or an error Status naming the failure.
+/// `timeout_ms` bounds the connect itself (non-blocking connect + poll):
+/// a blackholed host fails with a timeout error after that long instead of
+/// blocking for the kernel default (minutes). 0 waits without limit. The
+/// returned socket is in blocking mode either way.
 util::Status ConnectTcp(const std::string& host, std::uint16_t port,
-                        Socket* out);
+                        Socket* out, int timeout_ms = 0);
 
 /// Listening TCP socket bound to one address.
 class Listener {

@@ -1,0 +1,121 @@
+#include "net/transport.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+namespace navarchos::net {
+
+namespace {
+
+std::string ErrnoText(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(Socket socket) : socket_(std::move(socket)) {
+  if (socket_.valid()) {
+    const int flags = ::fcntl(socket_.fd(), F_GETFL, 0);
+    if (flags >= 0) ::fcntl(socket_.fd(), F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+IoStatus SocketTransport::Read(std::uint8_t* buffer, std::size_t capacity,
+                               std::size_t* received, std::string* error) {
+  while (true) {
+    const ssize_t n = ::recv(socket_.fd(), buffer, capacity, 0);
+    if (n > 0) {
+      *received = static_cast<std::size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (n == 0) return IoStatus::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    if (error != nullptr) *error = ErrnoText("recv");
+    return IoStatus::kError;
+  }
+}
+
+IoStatus SocketTransport::Write(const std::uint8_t* data, std::size_t size,
+                                std::size_t* written, std::string* error) {
+  while (true) {
+    const ssize_t n = ::send(socket_.fd(), data, size, MSG_NOSIGNAL);
+    if (n >= 0) {
+      *written = static_cast<std::size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    if (error != nullptr) *error = ErrnoText("send");
+    return IoStatus::kError;
+  }
+}
+
+std::unique_ptr<Transport> MakeSocketTransport(Socket socket) {
+  return std::make_unique<SocketTransport>(std::move(socket));
+}
+
+bool WaitReady(const Transport& transport, bool for_write, int deadline_ms) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(deadline_ms);
+  while (true) {
+    int timeout = -1;
+    if (deadline_ms > 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) return false;
+      timeout = static_cast<int>(left.count());
+    }
+    pollfd pfd{transport.fd(), static_cast<short>(for_write ? POLLOUT : POLLIN),
+               0};
+    const int n = ::poll(&pfd, 1, timeout);
+    if (n > 0) return true;
+    if (n == 0) return false;  // timeout
+    if (errno != EINTR) return false;
+  }
+}
+
+util::Status SendAllWithin(Transport* transport, const std::uint8_t* data,
+                           std::size_t size, int deadline_ms) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  std::size_t sent = 0;
+  while (sent < size) {
+    std::size_t written = 0;
+    std::string error;
+    const IoStatus status =
+        transport->Write(data + sent, size - sent, &written, &error);
+    switch (status) {
+      case IoStatus::kOk:
+        sent += written;
+        continue;
+      case IoStatus::kWouldBlock: {
+        int remaining_ms = 0;  // 0 = wait forever
+        if (deadline_ms > 0) {
+          const auto elapsed =
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  Clock::now() - start);
+          remaining_ms = deadline_ms - static_cast<int>(elapsed.count());
+          if (remaining_ms <= 0)
+            return util::Status::Error("send deadline exceeded");
+        }
+        if (!WaitReady(*transport, /*for_write=*/true, remaining_ms) &&
+            deadline_ms > 0)
+          return util::Status::Error("send deadline exceeded");
+        continue;
+      }
+      case IoStatus::kEof:
+        return util::Status::Error("connection closed during send");
+      case IoStatus::kError:
+        return util::Status::Error(error);
+    }
+  }
+  return util::Status();
+}
+
+}  // namespace navarchos::net

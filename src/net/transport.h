@@ -1,0 +1,115 @@
+// The byte-transport seam of the network ingest front end.
+//
+// Socket is a concrete RAII wrapper over one TCP file descriptor; Transport
+// is the virtual seam above it that the server and client actually talk
+// through. Everything above the seam (framing, sessions, backpressure,
+// resume) sees only non-blocking Read/Write calls with explicit would-block
+// results, so a deterministic fault layer (net::FaultySocket) can be slid
+// between the protocol and the kernel without either peer noticing - the
+// exact analogue of telemetry::CorruptionModel one layer down the stack.
+//
+// All transports are single-owner, single-thread objects: one connection is
+// driven by exactly one thread (the serving thread on the server, the
+// ingest thread on the client), so no locking happens on the byte path.
+#ifndef NAVARCHOS_NET_TRANSPORT_H_
+#define NAVARCHOS_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/socket.h"
+#include "util/status.h"
+
+/// \file
+/// \brief Transport, the injectable byte-transport seam between the wire
+/// protocol and the kernel socket, plus the default SocketTransport and the
+/// poll-based deadline helpers built on it.
+
+namespace navarchos::net {
+
+/// Outcome of one non-blocking transport operation.
+enum class IoStatus {
+  kOk,          ///< Some bytes were transferred (count in the out-param).
+  kWouldBlock,  ///< No progress right now; poll and retry.
+  kEof,         ///< The peer closed the connection in an orderly way.
+  kError,       ///< Transport failure; the error string names it.
+};
+
+/// The injectable byte-transport seam. Implementations must be non-blocking:
+/// Read/Write never wait for the peer, they report kWouldBlock instead, and
+/// the caller drives progress off poll(fd()).
+class Transport {
+ public:
+  /// Closing is the implementation's job (RAII over the descriptor).
+  virtual ~Transport() = default;
+
+  /// Reads up to `capacity` bytes into `buffer`. On kOk, `*received` holds
+  /// the (positive) byte count; on kError, `*error` names the failure.
+  virtual IoStatus Read(std::uint8_t* buffer, std::size_t capacity,
+                        std::size_t* received, std::string* error) = 0;
+
+  /// Writes up to `size` bytes of `data`. On kOk, `*written` holds the
+  /// (positive) byte count - partial writes are normal; on kError, `*error`
+  /// names the failure. Write never reports kEof.
+  virtual IoStatus Write(const std::uint8_t* data, std::size_t size,
+                         std::size_t* written, std::string* error) = 0;
+
+  /// The pollable descriptor (-1 once closed). Poll readiness is a hint,
+  /// never a promise: a fault layer may still report kWouldBlock on a
+  /// readable descriptor.
+  virtual int fd() const = 0;
+
+  /// True while the transport can still move bytes.
+  virtual bool valid() const = 0;
+
+  /// Closes the underlying descriptor (idempotent).
+  virtual void Close() = 0;
+};
+
+/// The production transport: one connected TCP socket switched to
+/// non-blocking mode. EINTR is retried internally; EAGAIN surfaces as
+/// kWouldBlock.
+class SocketTransport final : public Transport {
+ public:
+  /// Takes ownership of `socket` and switches it to O_NONBLOCK.
+  explicit SocketTransport(Socket socket);
+
+  IoStatus Read(std::uint8_t* buffer, std::size_t capacity,
+                std::size_t* received, std::string* error) override;
+  IoStatus Write(const std::uint8_t* data, std::size_t size,
+                 std::size_t* written, std::string* error) override;
+  int fd() const override { return socket_.fd(); }
+  bool valid() const override { return socket_.valid(); }
+  void Close() override { socket_.Close(); }
+
+ private:
+  Socket socket_;
+};
+
+/// Factory wrapping a freshly connected/accepted socket in a Transport.
+/// The server calls it once per accepted connection, the client once per
+/// dial (reconnects included) - the injection point for FaultySocket.
+using TransportFactory = std::function<std::unique_ptr<Transport>(Socket)>;
+
+/// The default factory: plain SocketTransport over the socket.
+std::unique_ptr<Transport> MakeSocketTransport(Socket socket);
+
+// ------------------------------------------------------- deadline helpers
+
+/// Waits until `transport`'s descriptor polls readable (`for_write` false)
+/// or writable (true), or `deadline_ms` elapses (0 waits forever). Returns
+/// false on timeout or poll failure. A fault layer stalling a ready
+/// descriptor makes the caller loop; WaitReady alone never spins hot
+/// because the fault layer sleeps before reporting spurious would-block.
+bool WaitReady(const Transport& transport, bool for_write, int deadline_ms);
+
+/// Blocking full write over a non-blocking transport: loops Write + poll
+/// until every byte left or `deadline_ms` elapsed (0 = no deadline).
+util::Status SendAllWithin(Transport* transport, const std::uint8_t* data,
+                           std::size_t size, int deadline_ms);
+
+}  // namespace navarchos::net
+
+#endif  // NAVARCHOS_NET_TRANSPORT_H_

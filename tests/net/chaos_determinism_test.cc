@@ -1,0 +1,392 @@
+// Chaos invariant of the network ingest front end: under every scripted
+// transport fault schedule - connection resets at arbitrary byte offsets,
+// short-read/short-write regimes, EINTR storms, stalls, silent half-open
+// death - the self-healing client plus hardened server still admit every
+// frame exactly once, and the served result is bit-identical to the
+// in-process FleetService run at worker thread counts 1 and 4. Faults are
+// deterministic and manifest-recorded (the transport-layer mirror of
+// telemetry::CorruptionModel), so every run is attributable: which
+// connection, which fault, at which cumulative byte offset.
+#include <poll.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/fault_injection.h"
+#include "net/ingest_client.h"
+#include "net/ingest_server.h"
+#include "net/socket.h"
+#include "net/transport.h"
+#include "runtime/runtime_config.h"
+#include "service/fleet_service.h"
+#include "telemetry/fleet.h"
+#include "telemetry/stream.h"
+
+namespace navarchos {
+namespace {
+
+// ---------------------------------------------------------------- helpers
+
+telemetry::FleetConfig SmallFleetConfig() {
+  telemetry::FleetConfig config = telemetry::FleetConfig::TestScale();
+  config.days = 30;
+  return config;
+}
+
+core::MonitorConfig FastMonitorConfig() {
+  core::MonitorConfig config;
+  config.transform_options.window = 60;
+  config.transform_options.stride = 10;
+  config.profile_minutes = 400.0;
+  config.threshold.burn_in_minutes = 120.0;
+  config.threshold.persistence_minutes = 60.0;
+  return config;
+}
+
+service::ServiceConfig ServiceConfigWith(int threads) {
+  service::ServiceConfig config;
+  config.monitor = FastMonitorConfig();
+  config.runtime = runtime::RuntimeConfig{threads};
+  config.queue_capacity = 32;
+  return config;
+}
+
+void ExpectRunsIdentical(const core::FleetRunResult& a,
+                         const core::FleetRunResult& b) {
+  ASSERT_EQ(a.alarms.size(), b.alarms.size());
+  for (std::size_t i = 0; i < a.alarms.size(); ++i) {
+    ASSERT_EQ(a.alarms[i].vehicle_id, b.alarms[i].vehicle_id);
+    ASSERT_EQ(a.alarms[i].timestamp, b.alarms[i].timestamp);
+    ASSERT_EQ(a.alarms[i].channel, b.alarms[i].channel);
+    ASSERT_EQ(a.alarms[i].score, b.alarms[i].score);
+    ASSERT_EQ(a.alarms[i].threshold, b.alarms[i].threshold);
+  }
+  ASSERT_EQ(a.scored_samples.size(), b.scored_samples.size());
+  for (std::size_t v = 0; v < a.scored_samples.size(); ++v) {
+    ASSERT_EQ(a.scored_samples[v].size(), b.scored_samples[v].size());
+    for (std::size_t s = 0; s < a.scored_samples[v].size(); ++s)
+      ASSERT_EQ(a.scored_samples[v][s].scores, b.scored_samples[v][s].scores);
+  }
+  ASSERT_EQ(a.quality.size(), b.quality.size());
+  for (std::size_t v = 0; v < a.quality.size(); ++v) {
+    ASSERT_EQ(a.quality[v].records_seen, b.quality[v].records_seen);
+    ASSERT_EQ(a.quality[v].RecordsDropped(), b.quality[v].RecordsDropped());
+  }
+}
+
+/// Outcome of one chaos run: the served result plus everything needed to
+/// check the exactly-once and attribution invariants.
+struct ChaosOutcome {
+  core::FleetRunResult result;
+  net::ServerStats stats;
+  net::FaultManifest manifest;
+  net::ClientStats client_stats;
+  std::size_t client_nacks = 0;
+};
+
+/// Streams `stream` through an IngestServer whose accepted connections are
+/// wrapped in FaultySockets executing `scripts` (connection n runs script
+/// n; connections beyond the list are clean, so every run terminates). The
+/// self-healing client must absorb every fault; any surfaced error fails
+/// the calling test.
+ChaosOutcome RunUnderChaos(const std::vector<telemetry::SensorFrame>& stream,
+                           const std::vector<std::int32_t>& ids,
+                           const service::ServiceConfig& config,
+                           const std::vector<net::FaultScript>& scripts) {
+  service::FleetService svc(config);
+  net::FaultInjector injector(scripts);
+
+  net::ServerConfig server_config;
+  server_config.transport_factory = injector.Factory();
+  // The only defence against a half-open peer: reap it well before the
+  // client's per-op deadline triggers the healing reconnect, so the
+  // session is unbound by the time the resume HELLO arrives.
+  server_config.idle_timeout_ms = 250;
+  net::IngestServer server(&svc, server_config);
+  EXPECT_TRUE(server.Start().ok());
+
+  net::ClientConfig client_config;
+  client_config.port = server.port();
+  client_config.session_id = "chaos";
+  client_config.batch_frames = 64;
+  client_config.backoff_ms = 1;
+  client_config.max_backoff_ms = 8;
+  client_config.jitter_seed = 7;
+  client_config.connect_timeout_ms = 5000;
+  client_config.op_deadline_ms = 1000;
+  client_config.connect_attempts = static_cast<int>(scripts.size()) + 8;
+  client_config.max_reconnects = static_cast<int>(scripts.size()) + 8;
+
+  net::IngestClient client(client_config);
+  EXPECT_TRUE(client.Connect(ids).ok());
+  for (std::size_t i = client.next_seq(); i < stream.size(); ++i)
+    EXPECT_TRUE(client.Send(stream[i]).ok());
+  EXPECT_TRUE(client.Finish().ok());
+
+  EXPECT_TRUE(server.WaitForFinishedSessions(1, 60000));
+  server.Stop();
+  svc.Drain();
+
+  ChaosOutcome outcome;
+  outcome.stats = server.stats();
+  outcome.manifest = injector.manifest();
+  outcome.client_stats = client.stats();
+  outcome.client_nacks = client.nacks().size();
+  outcome.result = svc.TakeResult();
+  return outcome;
+}
+
+/// The exactly-once invariant: every frame of the stream admitted once,
+/// no duplicates (the healing client rewinds to the WELCOME cursor instead
+/// of blindly replaying), no sheds under kBlock.
+void ExpectExactlyOnce(const ChaosOutcome& outcome, std::size_t frames) {
+  EXPECT_EQ(outcome.stats.frames_admitted, frames);
+  EXPECT_EQ(outcome.stats.duplicates_skipped, 0u);
+  EXPECT_EQ(outcome.stats.frames_shed, 0u);
+  EXPECT_EQ(outcome.client_nacks, 0u);
+}
+
+// ------------------------------------------------- FaultySocket unit tests
+
+/// One loopback TCP connection: `faulty` is the accepted side wrapped by
+/// `injector`'s factory, `peer` the raw connecting side.
+struct FaultyPair {
+  std::unique_ptr<net::Transport> faulty;
+  net::Socket peer;
+};
+
+FaultyPair MakeFaultyPair(net::FaultInjector* injector) {
+  FaultyPair pair;
+  net::Listener listener;
+  EXPECT_TRUE(listener.Bind("127.0.0.1", 0).ok());
+  EXPECT_TRUE(net::ConnectTcp("127.0.0.1", listener.port(), &pair.peer).ok());
+  net::Socket served;
+  EXPECT_TRUE(listener.Accept(&served).ok());
+  pair.faulty = injector->Factory()(std::move(served));
+  return pair;
+}
+
+/// Reads one chunk through a (possibly faulty) non-blocking transport,
+/// waiting out would-block stalls. Returns the final IoStatus.
+net::IoStatus ReadChunk(net::Transport* transport, std::uint8_t* buffer,
+                        std::size_t capacity, std::size_t* received) {
+  for (int spins = 0; spins < 10000; ++spins) {
+    std::string error;
+    const net::IoStatus status =
+        transport->Read(buffer, capacity, received, &error);
+    if (status != net::IoStatus::kWouldBlock) return status;
+    net::WaitReady(*transport, /*for_write=*/false, 10);
+  }
+  return net::IoStatus::kError;
+}
+
+TEST(FaultInjectionTest, ShortReadsAreCappedAtTheScriptedChunk) {
+  net::FaultScript script;
+  script.read_chunk = 3;
+  net::FaultInjector injector({script});
+  FaultyPair pair = MakeFaultyPair(&injector);
+
+  const std::vector<std::uint8_t> payload(10, 0x5A);
+  ASSERT_TRUE(pair.peer.SendAll(payload.data(), payload.size()).ok());
+
+  std::uint8_t buffer[64];
+  std::size_t total = 0;
+  while (total < payload.size()) {
+    std::size_t received = 0;
+    ASSERT_EQ(ReadChunk(pair.faulty.get(), buffer, sizeof(buffer), &received),
+              net::IoStatus::kOk);
+    EXPECT_LE(received, script.read_chunk);  // never more than the chunk
+    total += received;
+  }
+  EXPECT_EQ(total, payload.size());  // chunking loses nothing
+  EXPECT_EQ(injector.manifest().CountOf(net::FaultKind::kShortRead), 1u);
+}
+
+TEST(FaultInjectionTest, ResetFiresAtTheExactCumulativeByteOffset) {
+  net::FaultScript script;
+  script.reset_after_bytes = 5;
+  net::FaultInjector injector({script});
+  FaultyPair pair = MakeFaultyPair(&injector);
+
+  const std::vector<std::uint8_t> payload(10, 0xC3);
+  ASSERT_TRUE(pair.peer.SendAll(payload.data(), payload.size()).ok());
+
+  // Reads are capped so the boundary lands exactly: 5 bytes arrive, then
+  // the reset - regardless of how the kernel chunked the arrival.
+  std::uint8_t buffer[64];
+  std::size_t total = 0;
+  while (true) {
+    std::size_t received = 0;
+    const net::IoStatus status =
+        ReadChunk(pair.faulty.get(), buffer, sizeof(buffer), &received);
+    if (status != net::IoStatus::kOk) {
+      EXPECT_EQ(status, net::IoStatus::kError);
+      break;
+    }
+    total += received;
+  }
+  EXPECT_EQ(total, 5u);
+  ASSERT_EQ(injector.manifest().CountOf(net::FaultKind::kReset), 1u);
+  for (const net::FaultEvent& event : injector.manifest().events) {
+    if (event.kind == net::FaultKind::kReset) {
+      EXPECT_EQ(event.offset, 5u);
+    }
+  }
+
+  // The reset replays: the transport stays dead, it does not heal itself.
+  std::size_t received = 0;
+  std::string error;
+  EXPECT_EQ(pair.faulty->Read(buffer, sizeof(buffer), &received, &error),
+            net::IoStatus::kError);
+}
+
+TEST(FaultInjectionTest, HalfOpenSwallowsWritesAndStarvesReads) {
+  net::FaultScript script;
+  script.half_open_after_bytes = 4;
+  net::FaultInjector injector({script});
+  FaultyPair pair = MakeFaultyPair(&injector);
+
+  const std::vector<std::uint8_t> payload(4, 0x11);
+  ASSERT_TRUE(pair.peer.SendAll(payload.data(), payload.size()).ok());
+  std::uint8_t buffer[64];
+  std::size_t total = 0;
+  while (total < payload.size()) {
+    std::size_t received = 0;
+    ASSERT_EQ(ReadChunk(pair.faulty.get(), buffer, sizeof(buffer), &received),
+              net::IoStatus::kOk);
+    total += received;
+  }
+
+  // Past the threshold the link is silently dead: writes pretend success
+  // (nothing reaches the peer), reads never progress and never EOF.
+  std::size_t written = 0;
+  std::string error;
+  ASSERT_EQ(pair.faulty->Write(payload.data(), payload.size(), &written, &error),
+            net::IoStatus::kOk);
+  EXPECT_EQ(written, payload.size());
+  std::size_t received = 0;
+  EXPECT_EQ(pair.faulty->Read(buffer, sizeof(buffer), &received, &error),
+            net::IoStatus::kWouldBlock);
+
+  // The peer sees none of the swallowed bytes.
+  pollfd pfd{pair.peer.fd(), POLLIN, 0};
+  EXPECT_EQ(::poll(&pfd, 1, 50), 0);
+  EXPECT_EQ(injector.manifest().CountOf(net::FaultKind::kHalfOpen), 1u);
+}
+
+TEST(FaultInjectionTest, InterruptStormYieldsSpuriousWouldBlock) {
+  net::FaultScript script;
+  script.interrupt_every = 2;  // every second operation is interrupted
+  net::FaultInjector injector({script});
+  FaultyPair pair = MakeFaultyPair(&injector);
+
+  const std::uint8_t byte = 0x7F;
+  int ok = 0;
+  int interrupted = 0;
+  for (int op = 0; op < 6; ++op) {
+    std::size_t written = 0;
+    std::string error;
+    const net::IoStatus status =
+        pair.faulty->Write(&byte, 1, &written, &error);
+    if (status == net::IoStatus::kOk)
+      ++ok;
+    else if (status == net::IoStatus::kWouldBlock)
+      ++interrupted;
+  }
+  EXPECT_EQ(ok, 3);
+  EXPECT_EQ(interrupted, 3);
+  EXPECT_EQ(injector.manifest().CountOf(net::FaultKind::kInterrupt), 3u);
+}
+
+TEST(FaultInjectionTest, SeededScriptsAreReproducible) {
+  const auto a = net::SeededFaultScripts(42, 8);
+  const auto b = net::SeededFaultScripts(42, 8);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_active = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].Describe(), b[i].Describe());
+    any_active = any_active || !a[i].Inactive();
+  }
+  EXPECT_TRUE(any_active);
+
+  const auto c = net::SeededFaultScripts(43, 8);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    differs = differs || a[i].Describe() != c[i].Describe();
+  EXPECT_TRUE(differs);
+}
+
+// ------------------------------------------------------- chaos invariants
+
+TEST(ChaosDeterminismTest, SeededScheduleCorpusPreservesResultsAtBothThreadCounts) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const auto in_process = service::RunStream(stream, ids, ServiceConfigWith(1));
+
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    SCOPED_TRACE("schedule seed " + std::to_string(seed));
+    const auto scripts = net::SeededFaultScripts(seed, 6);
+
+    const ChaosOutcome serial =
+        RunUnderChaos(stream, ids, ServiceConfigWith(1), scripts);
+    const ChaosOutcome parallel =
+        RunUnderChaos(stream, ids, ServiceConfigWith(4), scripts);
+
+    ExpectExactlyOnce(serial, stream.size());
+    ExpectExactlyOnce(parallel, stream.size());
+    ExpectRunsIdentical(in_process, serial.result);
+    ExpectRunsIdentical(in_process, parallel.result);
+    // The same schedule injects the same faults in both runs: the corpus
+    // actually exercised the transport, and deterministically so.
+    EXPECT_GT(serial.manifest.Total(), 0u);
+    EXPECT_EQ(serial.manifest.Total(), parallel.manifest.Total());
+  }
+}
+
+TEST(ChaosDeterminismTest, ResetAtEveryHandshakeByteOffsetStillAdmitsExactlyOnce) {
+  // Kill the first 48 connections at byte offsets 1..48 - a sweep across
+  // every position of the HELLO/WELCOME handshake - and let the healing
+  // client grind through them. The 49th connection onward is clean.
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const auto in_process = service::RunStream(stream, ids, ServiceConfigWith(1));
+
+  std::vector<net::FaultScript> scripts(48);
+  for (std::size_t i = 0; i < scripts.size(); ++i)
+    scripts[i].reset_after_bytes = i + 1;
+
+  const ChaosOutcome outcome =
+      RunUnderChaos(stream, ids, ServiceConfigWith(4), scripts);
+  ExpectExactlyOnce(outcome, stream.size());
+  ExpectRunsIdentical(in_process, outcome.result);
+  EXPECT_EQ(outcome.manifest.CountOf(net::FaultKind::kReset), scripts.size());
+}
+
+TEST(ChaosDeterminismTest, HalfOpenDeathIsReapedAndTheClientHealsThrough) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const auto in_process = service::RunStream(stream, ids, ServiceConfigWith(1));
+
+  // The first connection dies silently mid-stream: no FIN, no RST. Only
+  // the server's idle reaping frees the session binding; only the client's
+  // per-op deadline detects the missing ACK and triggers the heal.
+  net::FaultScript half_open;
+  half_open.half_open_after_bytes = 20000;
+  const ChaosOutcome outcome =
+      RunUnderChaos(stream, ids, ServiceConfigWith(4), {half_open});
+  ExpectExactlyOnce(outcome, stream.size());
+  ExpectRunsIdentical(in_process, outcome.result);
+  EXPECT_EQ(outcome.manifest.CountOf(net::FaultKind::kHalfOpen), 1u);
+  EXPECT_GE(outcome.stats.idle_reaps, 1u);
+  EXPECT_GE(outcome.client_stats.reconnects, 1u);
+}
+
+}  // namespace
+}  // namespace navarchos

@@ -3,8 +3,10 @@
 // over the wire, Admission codes in process), exactly-once duplicate
 // skipping on resume, and protocol violations failing the connection
 // instead of the service.
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -475,6 +477,180 @@ TEST(AdmissionTest, TryRegisterVehicleRefusesWhileDraining) {
   const util::Status refused = svc.TryRegisterVehicle(4);
   EXPECT_FALSE(refused.ok());
   EXPECT_NE(refused.message().find("draining"), std::string::npos);
+  (void)svc.TakeResult();
+}
+
+TEST(IngestServerTest, SlowConsumerIsDisconnectedAtTheOutboundBound) {
+  // A client that sends but never reads lets NACKs pile up: first in the
+  // kernel buffers, then in the server's per-connection outbound queue.
+  // Crossing the configured bound must disconnect that client - not wedge
+  // the single serving thread in a blocking send - and the defence must be
+  // exactly observable in ServerStats.
+  service::FleetService svc(
+      TinyServiceConfig(service::BackpressurePolicy::kReject));
+  ServerConfig config;
+  config.max_outbound_bytes = 2048;
+  IngestServer server(&svc, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient raw;
+  ASSERT_TRUE(raw.Connect(server.port()));
+  ASSERT_EQ(raw.Hello("slow-consumer", false, {5}), 0);
+  std::uint64_t seq = 0;
+  bool disconnected = false;
+  for (int batch = 0; batch < 20000 && !disconnected; ++batch) {
+    FramesMessage frames;
+    frames.first_seq = seq;
+    for (int i = 0; i < 64; ++i)
+      frames.frames.push_back(RecordFrame(5, static_cast<std::int64_t>(seq + i)));
+    seq += 64;
+    // Never read a reply: eventually the server hangs up on us and the
+    // send fails (reset), proving the disconnect reached the kernel.
+    if (!raw.SendBytes(EncodeFrames(frames))) disconnected = true;
+  }
+  ASSERT_TRUE(disconnected);
+
+  // The serving thread survived: an honest client is served normally.
+  ClientConfig client_config;
+  client_config.port = server.port();
+  client_config.session_id = "after-slow-consumer";
+  IngestClient client(client_config);
+  ASSERT_TRUE(client.Connect({6}).ok());
+  ASSERT_TRUE(client.Send(RecordFrame(6, 0)).ok());
+  ASSERT_TRUE(client.Finish().ok());
+  ASSERT_TRUE(server.WaitForFinishedSessions(1, 30000));
+
+  server.Stop();
+  svc.Drain();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.slow_consumer_disconnects, 1u);
+  // Even the cut-short batch was counted exactly: the wire-side counters
+  // agree with the service's own admission counters.
+  EXPECT_EQ(stats.frames_received, svc.stats().frames_submitted);
+  EXPECT_EQ(stats.frames_admitted, svc.stats().frames_accepted);
+  (void)svc.TakeResult();
+}
+
+TEST(IngestServerTest, IdleHalfOpenConnectionIsReapedAndItsSessionRebinds) {
+  // A peer that dies without FIN or RST sends nothing forever. Only the
+  // idle deadline can free its connection and session binding.
+  service::FleetService svc(TinyServiceConfig());
+  ServerConfig config;
+  config.idle_timeout_ms = 100;
+  IngestServer server(&svc, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient first;
+  ASSERT_TRUE(first.Connect(server.port()));
+  ASSERT_EQ(first.Hello("idle-session", false, {1}), 0);
+  FramesMessage batch;
+  batch.first_seq = 0;
+  batch.frames.push_back(RecordFrame(1, 0));
+  batch.frames.push_back(RecordFrame(1, 1));
+  ASSERT_TRUE(first.SendBytes(EncodeFrames(batch)));
+  WireMessage message;
+  ASSERT_TRUE(first.ReadMessage(&message));
+  ASSERT_EQ(message.type, MessageType::kAck);
+
+  // Go silent (the socket stays open) and wait for the reap.
+  bool reaped = false;
+  for (int i = 0; i < 500 && !reaped; ++i) {
+    reaped = server.stats().idle_reaps >= 1;
+    if (!reaped) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(reaped);
+  EXPECT_EQ(server.stats().idle_reaps, 1u);  // exactly our connection
+  EXPECT_FALSE(first.ReadMessage(&message));  // the server hung up on us
+
+  // The binding was released with the cursor intact: a resume rebinds at 2.
+  RawClient second;
+  ASSERT_TRUE(second.Connect(server.port()));
+  EXPECT_EQ(second.Hello("idle-session", true, {1}), 2);
+
+  server.Stop();
+  svc.Drain();
+  EXPECT_EQ(server.stats().resumes, 1u);
+  EXPECT_EQ(server.stats().frames_admitted, 2u);
+  (void)svc.TakeResult();
+}
+
+TEST(IngestServerTest, AbandonedSessionExpiresAfterRetentionAndRestartsAtZero) {
+  service::FleetService svc(TinyServiceConfig());
+  ServerConfig config;
+  config.session_retention_ms = 100;
+  IngestServer server(&svc, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    RawClient raw;
+    ASSERT_TRUE(raw.Connect(server.port()));
+    ASSERT_EQ(raw.Hello("ephemeral", false, {1}), 0);
+    FramesMessage batch;
+    batch.first_seq = 0;
+    for (int i = 0; i < 3; ++i) batch.frames.push_back(RecordFrame(1, i));
+    ASSERT_TRUE(raw.SendBytes(EncodeFrames(batch)));
+    WireMessage message;
+    ASSERT_TRUE(raw.ReadMessage(&message));
+    ASSERT_EQ(message.type, MessageType::kAck);
+    raw.Close();  // disconnect without FIN: the session is now unbound
+  }
+
+  bool expired = false;
+  for (int i = 0; i < 500 && !expired; ++i) {
+    expired = server.stats().sessions_expired >= 1;
+    if (!expired) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(expired);
+  EXPECT_EQ(server.stats().sessions_expired, 1u);
+
+  // The cursor is gone with the session: the same id starts over at 0
+  // (and counts as a new session, not a resume).
+  RawClient raw;
+  ASSERT_TRUE(raw.Connect(server.port()));
+  EXPECT_EQ(raw.Hello("ephemeral", true, {1}), 0);
+
+  server.Stop();
+  svc.Drain();
+  EXPECT_EQ(server.stats().sessions_started, 2u);
+  EXPECT_EQ(server.stats().resumes, 0u);
+  (void)svc.TakeResult();
+}
+
+TEST(IngestServerTest, StopReturnsPromptlyWhileBlockedInKBlockIngest) {
+  // Under kBlock with a tiny lane, the serving thread spends most of a
+  // large batch blocked inside FleetService::Ingest. Stop() must not wait
+  // for the whole backlog: the stop flag is polled per admitted frame, the
+  // rest of the batch is abandoned un-ACKed (it stays above the resume
+  // cursor), and the wire/service counters still agree exactly.
+  service::FleetService svc(TinyServiceConfig());  // kBlock, capacity 2
+  IngestServer server(&svc, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient raw;
+  ASSERT_TRUE(raw.Connect(server.port()));
+  ASSERT_EQ(raw.Hello("stop-under-load", false, {1}), 0);
+
+  const std::size_t kFrames = 20000;
+  FramesMessage batch;
+  batch.first_seq = 0;
+  batch.frames.reserve(kFrames);
+  for (std::size_t i = 0; i < kFrames; ++i)
+    batch.frames.push_back(RecordFrame(1, static_cast<std::int64_t>(i)));
+  ASSERT_TRUE(raw.SendBytes(EncodeFrames(batch)));
+
+  // Wait until the serving thread is demonstrably inside the batch.
+  for (int i = 0; i < 10000 && svc.stats().frames_accepted < 64; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_GE(svc.stats().frames_accepted, 64u);
+
+  const auto stop_started = std::chrono::steady_clock::now();
+  server.Stop();
+  const auto stop_elapsed = std::chrono::steady_clock::now() - stop_started;
+  EXPECT_LT(stop_elapsed, std::chrono::seconds(5));
+
+  svc.Drain();
+  EXPECT_EQ(server.stats().frames_received, svc.stats().frames_submitted);
+  EXPECT_EQ(server.stats().frames_admitted, svc.stats().frames_accepted);
   (void)svc.TakeResult();
 }
 
