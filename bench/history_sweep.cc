@@ -1,0 +1,305 @@
+// Cost and determinism of the anomaly history subsystem.
+//
+// Streams the interleaved setting40 feed through service::FleetService
+// with a live history log attached at worker thread counts {1, 4},
+// measuring the log's on-disk footprint per vehicle, the raw append
+// throughput of HistoryWriter (replaying the captured records into a
+// fresh directory), and the RANK / TIMELINE query latency distribution
+// (p50/p99 over repeated queries against the live directory). Every pass
+// fingerprints the full log contents plus the RANK answer; the exit code
+// asserts the history invariant - identical fingerprints across thread
+// counts and between the live log and its replay.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "history/history_log.h"
+#include "history/history_service.h"
+#include "history/query.h"
+#include "service/fleet_service.h"
+#include "telemetry/stream.h"
+#include "util/timer.h"
+
+namespace navarchos {
+namespace {
+
+/// Order-sensitive FNV-1a over the bytes of a double sequence.
+class Fingerprint {
+ public:
+  void Add(double value) {
+    unsigned char bytes[sizeof(double)];
+    __builtin_memcpy(bytes, &value, sizeof(double));
+    for (unsigned char byte : bytes) {
+      hash_ ^= byte;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  void Add(std::int64_t value) { Add(static_cast<double>(value)); }
+  void Add(std::size_t value) { Add(static_cast<double>(value)); }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+/// Fingerprints every record of every vehicle log in `dir`, plus the
+/// default RANK answer over it - the "query-visible identity" of a log.
+std::uint64_t LogFingerprint(const std::string& dir) {
+  Fingerprint fp;
+  std::vector<history::VehicleLogData> logs;
+  if (!history::HistoryReader::ReadDir(dir, &logs).ok()) return 0;
+  fp.Add(logs.size());
+  for (const history::VehicleLogData& log : logs) {
+    fp.Add(static_cast<std::int64_t>(log.vehicle_id));
+    fp.Add(log.records.size());
+    for (const history::HistoryRecord& record : log.records) {
+      fp.Add(static_cast<std::int64_t>(record.global_seq));
+      fp.Add(record.timestamp);
+      fp.Add(record.score);
+      fp.Add(record.threshold);
+      fp.Add(static_cast<std::int64_t>(record.alarm ? 1 : 0));
+      fp.Add(record.top_channels.size());
+      for (const std::uint32_t channel : record.top_channels)
+        fp.Add(static_cast<std::int64_t>(channel));
+    }
+  }
+  const history::QueryEngine engine(dir);
+  history::RankResult rank;
+  if (!engine.Rank(history::RankQuery{}, &rank).ok()) return 0;
+  for (const history::RankEntry& entry : rank.entries) {
+    fp.Add(static_cast<std::int64_t>(entry.vehicle_id));
+    fp.Add(static_cast<std::int64_t>(entry.records));
+    fp.Add(static_cast<std::int64_t>(entry.alarms));
+    fp.Add(entry.mean_ratio);
+    fp.Add(entry.max_ratio);
+    fp.Add(entry.last_ts);
+  }
+  return fp.value();
+}
+
+std::uintmax_t DirBytes(const std::string& dir) {
+  std::uintmax_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.is_regular_file()) total += entry.file_size();
+  return total;
+}
+
+double PercentileMs(std::vector<double>* samples, double q) {
+  if (samples->empty()) return 0.0;
+  const std::size_t rank =
+      static_cast<std::size_t>(q * static_cast<double>(samples->size() - 1));
+  std::nth_element(samples->begin(),
+                   samples->begin() + static_cast<std::ptrdiff_t>(rank),
+                   samples->end());
+  return (*samples)[rank];
+}
+
+struct Measurement {
+  int threads = 0;
+  std::size_t records = 0;
+  double append_records_per_sec = 0.0;
+  double segment_bytes_per_vehicle = 0.0;
+  double rank_p50_ms = 0.0;
+  double rank_p99_ms = 0.0;
+  double timeline_p50_ms = 0.0;
+  double timeline_p99_ms = 0.0;
+  std::uint64_t fingerprint = 0;        ///< Live log + RANK answer.
+  std::uint64_t replay_fingerprint = 0; ///< Same, after re-append.
+};
+
+service::ServiceConfig ServiceConfigWith(int threads,
+                                         const core::MonitorConfig& monitor) {
+  service::ServiceConfig config;
+  config.monitor = monitor;
+  config.runtime = runtime::RuntimeConfig{threads};
+  return config;
+}
+
+constexpr int kQueryReps = 40;
+
+Measurement MeasureAt(int threads,
+                      const std::vector<telemetry::SensorFrame>& stream,
+                      const std::vector<std::int32_t>& ids,
+                      const core::MonitorConfig& monitor) {
+  Measurement m;
+  m.threads = threads;
+  const std::string live_dir =
+      (std::filesystem::temp_directory_path() /
+       ("navhist_bench_live_t" + std::to_string(threads)))
+          .string();
+  const std::string replay_dir =
+      (std::filesystem::temp_directory_path() /
+       ("navhist_bench_replay_t" + std::to_string(threads)))
+          .string();
+  std::filesystem::remove_all(live_dir);
+  std::filesystem::remove_all(replay_dir);
+
+  // --- Live pass: service run with the log attached. ----------------------
+  // The history callback runs inside the ordered release path (serialised),
+  // so the side capture into `records` needs no lock.
+  std::vector<history::HistoryRecord> records;
+  {
+    history::HistoryService history(live_dir);
+    const util::Status opened = history.Open();
+    if (!opened.ok()) {
+      std::fprintf(stderr, "history open: %s\n", opened.message().c_str());
+      return m;
+    }
+    service::FleetService svc(ServiceConfigWith(threads, monitor));
+    svc.set_history_callback(
+        [&history, &records](const history::HistoryRecord& record) {
+          history.Append(record);
+          records.push_back(record);
+        });
+    svc.set_checkpoint_barrier([&history] { return history.Flush(); });
+    for (const std::int32_t id : ids) svc.RegisterVehicle(id);
+    for (const telemetry::SensorFrame& frame : stream) svc.Submit(frame);
+    svc.Drain();
+    const util::Status flushed = history.Flush();
+    if (!flushed.ok() || !history.first_error().ok()) {
+      std::fprintf(stderr, "history flush: %s\n",
+                   (flushed.ok() ? history.first_error() : flushed)
+                       .message()
+                       .c_str());
+      return m;
+    }
+    (void)svc.TakeResult();
+  }
+  m.records = records.size();
+  m.segment_bytes_per_vehicle =
+      ids.empty() ? 0.0
+                  : static_cast<double>(DirBytes(live_dir)) /
+                        static_cast<double>(ids.size());
+
+  // --- Append throughput: replay the captured records into a fresh log. ---
+  {
+    history::HistoryWriter writer;
+    if (!writer.Open(replay_dir).ok()) return m;
+    util::Timer timer;
+    for (const history::HistoryRecord& record : records)
+      if (!writer.Append(record).ok()) return m;
+    if (!writer.Close().ok()) return m;
+    const double seconds = timer.ElapsedSeconds();
+    m.append_records_per_sec =
+        seconds > 0 ? static_cast<double>(records.size()) / seconds : 0.0;
+  }
+
+  // --- Query latency against the live directory. --------------------------
+  {
+    const history::QueryEngine engine(live_dir);
+    history::RankResult rank;
+    if (!engine.Rank(history::RankQuery{}, &rank).ok() || rank.entries.empty())
+      return m;
+    const std::int32_t busiest = rank.entries.front().vehicle_id;
+
+    std::vector<double> rank_ms, timeline_ms;
+    rank_ms.reserve(kQueryReps);
+    timeline_ms.reserve(kQueryReps);
+    for (int rep = 0; rep < kQueryReps; ++rep) {
+      util::Timer timer;
+      history::RankResult result;
+      if (!engine.Rank(history::RankQuery{}, &result).ok()) return m;
+      rank_ms.push_back(timer.ElapsedSeconds() * 1e3);
+    }
+    for (int rep = 0; rep < kQueryReps; ++rep) {
+      util::Timer timer;
+      history::TimelineQuery query;
+      query.vehicle_id = busiest;
+      history::TimelineResult result;
+      if (!engine.Timeline(query, &result).ok()) return m;
+      timeline_ms.push_back(timer.ElapsedSeconds() * 1e3);
+    }
+    m.rank_p50_ms = PercentileMs(&rank_ms, 0.50);
+    m.rank_p99_ms = PercentileMs(&rank_ms, 0.99);
+    m.timeline_p50_ms = PercentileMs(&timeline_ms, 0.50);
+    m.timeline_p99_ms = PercentileMs(&timeline_ms, 0.99);
+  }
+
+  m.fingerprint = LogFingerprint(live_dir);
+  m.replay_fingerprint = LogFingerprint(replay_dir);
+  std::filesystem::remove_all(live_dir);
+  std::filesystem::remove_all(replay_dir);
+  return m;
+}
+
+int Main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  auto options = bench::BenchOptions::FromArgs(args);
+  // Two full service runs per thread count: default to a reduced horizon
+  // so the sweep stays in bench territory. --days overrides.
+  if (!args.Has("days")) options.days = 60;
+  bench::PrintHeader("History sweep - append throughput, log footprint and "
+                     "query latency of the anomaly history store", options);
+
+  const auto fleet = bench::MakeSetting40(options);
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  core::MonitorConfig monitor;
+  const int hardware = runtime::RuntimeConfig::AllCores().ResolveThreads();
+  std::printf("frames: %zu   vehicles: %zu   hardware threads: %d\n\n",
+              stream.size(), ids.size(), hardware);
+
+  std::vector<Measurement> measurements;
+  for (int threads : {1, 4}) {
+    const Measurement m = MeasureAt(threads, stream, ids, monitor);
+    std::printf(
+        "threads=%-3d %8zu records   %9.0f appends/s   %8.0f B/vehicle   "
+        "rank p50 %6.2fms p99 %6.2fms   timeline p50 %6.2fms p99 %6.2fms\n",
+        m.threads, m.records, m.append_records_per_sec,
+        m.segment_bytes_per_vehicle, m.rank_p50_ms, m.rank_p99_ms,
+        m.timeline_p50_ms, m.timeline_p99_ms);
+    std::fflush(stdout);
+    measurements.push_back(m);
+  }
+
+  bool identical = !measurements.empty();
+  for (const Measurement& m : measurements)
+    identical = identical && m.fingerprint != 0 &&
+                m.fingerprint == measurements.front().fingerprint &&
+                m.replay_fingerprint == m.fingerprint;
+  std::printf("\nlog across thread counts and live vs replay: %s\n",
+              identical ? "IDENTICAL" : "MISMATCH");
+
+  std::FILE* json = std::fopen("BENCH_history.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_history.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"history_sweep\",\n");
+  std::fprintf(json, "  \"days\": %d,\n  \"seed\": %" PRIu64 ",\n",
+               options.days, options.seed);
+  std::fprintf(json, "  \"threads\": %d,\n", options.threads);
+  std::fprintf(json, "  \"hardware_concurrency\": %d,\n", hardware);
+  std::fprintf(json, "  \"frames\": %zu,\n", stream.size());
+  std::fprintf(json, "  \"live_equals_replay_across_threads\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(json, "  \"results\": [\n");
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    const Measurement& m = measurements[i];
+    std::fprintf(json,
+                 "    {\"threads\": %d, \"records\": %zu, "
+                 "\"append_records_per_sec\": %.1f, "
+                 "\"segment_bytes_per_vehicle\": %.1f, "
+                 "\"rank_p50_ms\": %.3f, \"rank_p99_ms\": %.3f, "
+                 "\"timeline_p50_ms\": %.3f, \"timeline_p99_ms\": %.3f, "
+                 "\"fingerprint\": \"%016" PRIx64 "\"}%s\n",
+                 m.threads, m.records, m.append_records_per_sec,
+                 m.segment_bytes_per_vehicle, m.rank_p50_ms, m.rank_p99_ms,
+                 m.timeline_p50_ms, m.timeline_p99_ms, m.fingerprint,
+                 i + 1 < measurements.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("measurements written to BENCH_history.json\n");
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace navarchos
+
+int main(int argc, char** argv) { return navarchos::Main(argc, argv); }

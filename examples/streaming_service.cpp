@@ -30,6 +30,13 @@
 // session cursor intact; rerunning the client with --resume continues from
 // the last acknowledged frame and the final output is still identical.
 //
+// History mode (--history-dir, any role): every scored sample is appended
+// to an on-disk anomaly history log in the ordered-release order, and the
+// log answers RANK / TIMELINE / COMOVE queries - locally (--query with
+// --history-dir) or over the wire from a running server (--query with
+// --connect). The query output is printed deterministically (%.17g
+// doubles) so two runs over identical logs diff clean.
+//
 // Build & run:  ./build/examples/streaming_service
 // Flags (in-process mode):
 //   --threads N          worker threads (default 4)
@@ -37,20 +44,37 @@
 //   --snapshot-path P    checkpoint file (default streaming_service.snapshot)
 //   --restore P          restore from checkpoint P, then resume the stream
 //   --alarm-log P        write the final alarm list (total order) to P
+//   --history-dir D      append the anomaly history log under directory D
 // Flags (server role):
 //   --listen N           serve ingest on port N (0 = ephemeral)
 //   --port-file P        write the bound port to P (for scripts using 0)
 //   --sessions N         finished sessions to wait for (default 1)
 //   --verify             after draining, compare against an in-process replay
+//   --history-dir D      write the history log AND serve QUERY messages
 // Flags (client role):
 //   --connect N          stream the demo fleet to port N
 //   --host H             server address (default 127.0.0.1)
 //   --session S          session id (default "demo"; resume key)
 //   --resume             resume the session from the server's cursor
 //   --abort-after N      simulate a crash: exit without FIN after N frames
+// Flags (query role; --query picks the role):
+//   --query K            rank | timeline | comove
+//   --connect N          query a running server on port N over the wire, or
+//   --history-dir D      query a local log directory directly
+//   --vehicle V          timeline: vehicle id (required)
+//   --window-minutes N   rank: severity window in minutes (0 = whole log)
+//   --end-ts T           rank/timeline: range end (0 = log end)
+//   --limit N            rank: vehicles to print (0 = all)
+//   --start-ts T         timeline: range start (0 = log start)
+//   --max-records N      timeline: newest records kept (0 = all)
+//   --alarm-seq S        comove: global seq of the anchoring alarm
+//   --window N           comove: records per side (default 16)
 #include <cstdio>
+#include <memory>
 #include <string>
 
+#include "history/history_service.h"
+#include "history/query.h"
 #include "net/ingest_client.h"
 #include "net/ingest_server.h"
 #include "service/fleet_service.h"
@@ -95,6 +119,151 @@ service::ServiceConfig MakeServiceConfig(int threads) {
   return config;
 }
 
+/// Opens (or recovers) the history log under `dir` and hooks it into the
+/// service's ordered release path. Null `dir` leaves history off.
+std::unique_ptr<history::HistoryService> AttachHistory(
+    service::FleetService* svc, const std::string& dir) {
+  if (dir.empty()) return nullptr;
+  auto service = std::make_unique<history::HistoryService>(dir);
+  const util::Status status = service->Open();
+  if (!status.ok()) {
+    std::fprintf(stderr, "history open failed: %s\n", status.message().c_str());
+    return nullptr;
+  }
+  history::HistoryService* raw = service.get();
+  svc->set_history_callback(
+      [raw](const history::HistoryRecord& record) { raw->Append(record); });
+  // Flush the log inside every checkpoint's quiesced window, so a crash
+  // never leaves a checkpoint claiming records the log does not hold.
+  svc->set_checkpoint_barrier([raw] { return raw->Flush(); });
+  return service;
+}
+
+/// Flushes the log after a drain and reports what it holds; returns false
+/// on a latched append/flush error.
+bool FinishHistory(history::HistoryService* service) {
+  if (service == nullptr) return true;
+  util::Status status = service->Flush();
+  if (status.ok()) status = service->first_error();
+  if (!status.ok()) {
+    std::fprintf(stderr, "history log failed: %s\n", status.message().c_str());
+    return false;
+  }
+  const history::WriterStats stats = service->writer_stats();
+  std::printf("history log: %llu records appended (%llu replayed duplicates "
+              "skipped) in %s\n",
+              static_cast<unsigned long long>(stats.records_appended),
+              static_cast<unsigned long long>(stats.records_skipped),
+              service->dir().c_str());
+  return true;
+}
+
+void PrintRank(const history::RankResult& result) {
+  std::printf("RANK (%zu vehicles)\n", result.entries.size());
+  for (const auto& entry : result.entries)
+    std::printf("vehicle %d: records %llu alarms %llu mean %.17g max %.17g "
+                "last_ts %lld\n",
+                entry.vehicle_id,
+                static_cast<unsigned long long>(entry.records),
+                static_cast<unsigned long long>(entry.alarms),
+                entry.mean_ratio, entry.max_ratio,
+                static_cast<long long>(entry.last_ts));
+}
+
+void PrintTimeline(std::int32_t vehicle_id,
+                   const history::TimelineResult& result) {
+  std::printf("TIMELINE vehicle %d (%zu records)\n", vehicle_id,
+              result.records.size());
+  for (const auto& record : result.records) {
+    std::printf("seq %llu ts %lld score %.17g thr %.17g alarm %d top [",
+                static_cast<unsigned long long>(record.global_seq),
+                static_cast<long long>(record.timestamp), record.score,
+                record.threshold, record.alarm ? 1 : 0);
+    for (std::size_t i = 0; i < record.top_channels.size(); ++i)
+      std::printf(i == 0 ? "%u" : " %u", record.top_channels[i]);
+    std::printf("]\n");
+  }
+}
+
+void PrintComove(const history::ComoveResult& result) {
+  std::printf("COMOVE vehicle %d alarm_ts %lld (%zu channels)\n",
+              result.vehicle_id, static_cast<long long>(result.alarm_ts),
+              result.entries.size());
+  for (const auto& entry : result.entries)
+    std::printf("channel %u hits %llu weight %llu\n", entry.channel,
+                static_cast<unsigned long long>(entry.hits),
+                static_cast<unsigned long long>(entry.weight));
+}
+
+/// Query role: answer one RANK / TIMELINE / COMOVE - over the wire against
+/// a running server (--connect) or directly off a log directory
+/// (--history-dir) - and pretty-print the result deterministically.
+int RunQueryRole(const util::Args& args) {
+  const std::string kind = args.GetString("query", "");
+  const std::string history_dir = args.GetString("history-dir", "");
+  const auto port = static_cast<std::uint16_t>(args.GetInt("connect", 0));
+  if (history_dir.empty() && port == 0) {
+    std::fprintf(stderr,
+                 "--query needs --connect PORT (wire) or --history-dir D "
+                 "(local)\n");
+    return 2;
+  }
+
+  history::RankQuery rank;
+  rank.window_minutes = args.GetInt("window-minutes", 0);
+  rank.end_ts = args.GetInt("end-ts", 0);
+  rank.limit = static_cast<std::uint32_t>(args.GetInt("limit", 0));
+  history::TimelineQuery timeline;
+  timeline.vehicle_id = static_cast<std::int32_t>(args.GetInt("vehicle", 0));
+  timeline.start_ts = args.GetInt("start-ts", 0);
+  timeline.end_ts = args.GetInt("end-ts", 0);
+  timeline.max_records =
+      static_cast<std::uint32_t>(args.GetInt("max-records", 0));
+  history::ComoveQuery comove;
+  comove.alarm_seq = static_cast<std::uint64_t>(args.GetInt("alarm-seq", 0));
+  comove.window = static_cast<std::uint32_t>(args.GetInt("window", 16));
+
+  history::RankResult rank_result;
+  history::TimelineResult timeline_result;
+  history::ComoveResult comove_result;
+  util::Status status;
+  if (port != 0) {
+    net::ClientConfig config;
+    config.host = args.GetString("host", "127.0.0.1");
+    config.port = port;
+    net::IngestClient client(config);
+    if (kind == "rank")
+      status = client.QueryRank(rank, &rank_result);
+    else if (kind == "timeline")
+      status = client.QueryTimeline(timeline, &timeline_result);
+    else if (kind == "comove")
+      status = client.QueryComove(comove, &comove_result);
+    else
+      status = util::Status::Error("unknown query kind '" + kind + "'");
+  } else {
+    const history::QueryEngine engine(history_dir);
+    if (kind == "rank")
+      status = engine.Rank(rank, &rank_result);
+    else if (kind == "timeline")
+      status = engine.Timeline(timeline, &timeline_result);
+    else if (kind == "comove")
+      status = engine.Comove(comove, &comove_result);
+    else
+      status = util::Status::Error("unknown query kind '" + kind + "'");
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", status.message().c_str());
+    return 2;
+  }
+  if (kind == "rank")
+    PrintRank(rank_result);
+  else if (kind == "timeline")
+    PrintTimeline(timeline.vehicle_id, timeline_result);
+  else
+    PrintComove(comove_result);
+  return 0;
+}
+
 bool AlarmsIdentical(const std::vector<core::Alarm>& a,
                      const std::vector<core::Alarm>& b) {
   if (a.size() != b.size()) return false;
@@ -116,8 +285,13 @@ int RunServer(const util::Args& args) {
   const std::string alarm_log = args.GetString("alarm-log", "");
 
   service::FleetService svc(MakeServiceConfig(threads));
+  const std::unique_ptr<history::HistoryService> history =
+      AttachHistory(&svc, args.GetString("history-dir", ""));
+  if (!args.GetString("history-dir", "").empty() && history == nullptr)
+    return 2;
   net::ServerConfig server_config;
   server_config.port = listen_port;
+  server_config.history = history.get();
   net::IngestServer server(&svc, server_config);
   const util::Status status = server.Start();
   if (!status.ok()) {
@@ -139,6 +313,7 @@ int RunServer(const util::Args& args) {
   server.WaitForFinishedSessions(sessions);
   server.Stop();
   svc.Drain();
+  if (!FinishHistory(history.get())) return 2;
 
   const net::ServerStats net_stats = server.stats();
   const auto stats = svc.stats();
@@ -234,6 +409,7 @@ int RunClient(const util::Args& args) {
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  if (args.Has("query")) return RunQueryRole(args);
   if (args.Has("listen")) return RunServer(args);
   if (args.Has("connect")) return RunClient(args);
 
@@ -272,6 +448,11 @@ int main(int argc, char** argv) {
     for (const auto& vehicle : fleet.vehicles) svc.RegisterVehicle(vehicle.spec.id);
   }
 
+  const std::unique_ptr<history::HistoryService> history =
+      AttachHistory(&svc, args.GetString("history-dir", ""));
+  if (!args.GetString("history-dir", "").empty() && history == nullptr)
+    return 2;
+
   std::size_t live_alarms = 0;
   svc.set_alarm_callback([&live_alarms](const core::Alarm& alarm) {
     if (++live_alarms <= 5)  // print the first few, count the rest
@@ -294,6 +475,7 @@ int main(int argc, char** argv) {
     }
   }
   svc.Drain();  // graceful shutdown
+  if (!FinishHistory(history.get())) return 2;
 
   // --- 3. The drained result is deterministic: a serial replay agrees. ----
   const auto stats = svc.stats();

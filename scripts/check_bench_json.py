@@ -51,6 +51,16 @@ SCHEMAS = {
         ("faults_injected", *_INT),
         ("reconnects", *_INT),
     ],
+    "history_sweep": [
+        ("threads", *_INT),
+        ("append_records_per_sec", *_NUMBER),
+        ("segment_bytes_per_vehicle", *_NUMBER),
+        ("rank_p50_ms", *_NUMBER),
+        ("rank_p99_ms", *_NUMBER),
+        ("timeline_p50_ms", *_NUMBER),
+        ("timeline_p99_ms", *_NUMBER),
+        ("fingerprint", *_STR),
+    ],
 }
 
 
@@ -74,8 +84,14 @@ def check_results(path: str, bench: str, data: dict) -> list[str]:
     return errors
 
 
-def check(path: str) -> list[str]:
-    """Returns the error messages for `path` (empty when it conforms)."""
+def check(path: str, warnings: list[str]) -> list[str]:
+    """Returns the error messages for `path` (empty when it conforms).
+
+    A readable artifact whose bench name has no SCHEMAS entry is not an
+    error (the universal header rule still applies), but it IS appended to
+    `warnings`: a new bench should register its result schema here rather
+    than ship unguarded measurement rows.
+    """
     try:
         with open(path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
@@ -86,6 +102,10 @@ def check(path: str) -> list[str]:
     bench = data.get("bench")
     if not isinstance(bench, str) or not bench:
         return [f"{path}: missing top-level 'bench' name"]
+    if bench not in SCHEMAS:
+        warnings.append(
+            f"{path}: bench '{bench}' has no registered result schema - "
+            f"add one to SCHEMAS in scripts/check_bench_json.py")
     errors = []
     threads = data.get("threads")
     # bool is an int subclass in Python; reject it explicitly.
@@ -100,11 +120,15 @@ def main(argv: list[str]) -> int:
     if len(argv) < 2:
         print("usage: check_bench_json.py BENCH_*.json", file=sys.stderr)
         return 2
-    errors = [msg for path in argv[1:] for msg in check(path)]
+    warnings: list[str] = []
+    errors = [msg for path in argv[1:] for msg in check(path, warnings)]
+    for msg in warnings:
+        print(f"check_bench_json: warning: {msg}", file=sys.stderr)
     for msg in errors:
         print(f"check_bench_json: {msg}", file=sys.stderr)
     if not errors:
-        print(f"check_bench_json: {len(argv) - 1} artifact(s) conform")
+        print(f"check_bench_json: {len(argv) - 1} artifact(s) conform"
+              + (f" ({len(warnings)} warning(s))" if warnings else ""))
     return 1 if errors else 0
 
 

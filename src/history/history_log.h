@@ -1,0 +1,214 @@
+// Append-only per-vehicle anomaly history log.
+//
+// The streaming service scores every live frame, but those scores used to
+// leave through the ordered sink and vanish. The history log is the durable
+// substrate underneath fleet-level triage ("which vehicles look worst this
+// week", "what co-moved around this alarm"): one compact record per scored
+// sample, appended in the deterministic OrderedSink release order, stored
+// in fixed-size CRC-checked segments that survive a kill -9 mid-write.
+//
+// On-disk layout (one directory per log):
+//
+//   v<ID>_<ORDINAL>.hseg   sealed segment (immutable, strict CRC on read)
+//   v<ID>_<ORDINAL>.part   the vehicle's active tail segment (append-only)
+//
+// Segment format (persist::Encoder little-endian encoding throughout):
+//
+//   header   magic "NHS1" u32 | version u32 | vehicle i32 |
+//            base_seq u64 | base_ts i64 | crc32(header bytes) u32
+//   block*   length u32 | payload | crc32(payload) u32
+//   payload  count u32 | count x record
+//   record   dseq u64 | dts i64 | score f64 | threshold f64 | flags u8 |
+//            k x channel u32       (k = flags >> 1, alarm bit = flags & 1)
+//
+// dseq/dts are deltas against the previous record of the segment (the
+// header's base for the first one); the delta chain runs across blocks,
+// which is safe because only the final block of the active tail can ever
+// be torn. Each block is written with a single write() call after its CRC
+// is computed, so a crash leaves at most one torn block at the very end of
+// one .part file. Readers verify every block CRC: a torn tail block is
+// detected, reported, and truncated - never silently served. Sealing is
+// atomic via the snapshot temp-file+rename pattern: the segment's bytes
+// (mirrored in memory while the .part grows) are rewritten to a temp file,
+// renamed to .hseg, and the .part unlinked; a crash between rename and
+// unlink leaves both, and the reader/writer prefer the sealed twin.
+//
+// Idempotent re-append: records carry the admitting frame's global
+// sequence number, and several records may share one (a frame can release
+// multiple reorder-buffered samples). The writer tracks the last
+// (global_seq, sub-index) pair per vehicle - recovered from disk on Open -
+// and silently skips re-appends at or below it, so a restored service
+// replaying from its checkpoint regenerates the byte-identical records
+// without ever duplicating a line of history.
+#ifndef NAVARCHOS_HISTORY_HISTORY_LOG_H_
+#define NAVARCHOS_HISTORY_HISTORY_LOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// \brief Append-only per-vehicle anomaly history log: CRC'd delta-encoded
+/// segments with torn-tail recovery, an idempotent HistoryWriter and the
+/// HistoryReader that scans a log directory back into records.
+
+/// \namespace navarchos::history
+/// \brief The anomaly history subsystem: durable per-vehicle score/alarm
+/// logs on the persist codecs plus the query engine (RANK / TIMELINE /
+/// COMOVE) that turns them into fleet-level triage answers.
+
+namespace navarchos::history {
+
+/// Magic leading every history segment ("NHS1" little-endian).
+inline constexpr std::uint32_t kSegmentMagic = 0x3153484Eu;
+
+/// Layout version of the segment format; bumped on incompatible change.
+inline constexpr std::uint32_t kSegmentVersion = 1;
+
+/// Encoded size of a segment header (magic, version, vehicle, base_seq,
+/// base_ts, header CRC).
+inline constexpr std::size_t kSegmentHeaderBytes = 4 + 4 + 4 + 8 + 8 + 4;
+
+/// Upper bound on one block's payload; a length field above this in a tail
+/// segment is treated as torn garbage, not an allocation request.
+inline constexpr std::size_t kMaxBlockBytes = std::size_t{8} << 20;
+
+/// Most contributing channels a record can carry (flags packs k into 7
+/// bits).
+inline constexpr std::size_t kMaxTopChannels = 127;
+
+/// One scored sample as logged: the anomaly bit and severity of one frame
+/// release, attributable to its admitting global sequence number.
+struct HistoryRecord {
+  std::int32_t vehicle_id = 0;   ///< Vehicle the sample belongs to.
+  std::uint64_t global_seq = 0;  ///< Admitting frame's global ingest seq.
+  std::int64_t timestamp = 0;    ///< Stream time (minutes) of the sample.
+  double score = 0.0;            ///< Score of the worst channel.
+  double threshold = 0.0;        ///< Threshold of the worst channel.
+  bool alarm = false;            ///< True when this sample raised an alarm.
+  /// Contributing score channels, worst first (severity-ratio descending,
+  /// ties to the lower channel index), at most kMaxTopChannels entries.
+  std::vector<std::uint32_t> top_channels;
+};
+
+/// Tuning knobs of a history log.
+struct HistoryConfig {
+  /// Roll (seal) a vehicle's active segment once it reaches this many
+  /// bytes. Small segments bound the bytes a torn tail can lose.
+  std::size_t segment_bytes = 64 * 1024;
+  /// Records buffered per vehicle before a block is written. Flush() writes
+  /// a partial block, so durability never waits for a full one.
+  std::size_t block_records = 64;
+};
+
+/// Counters of one writer's lifetime (diagnostics and bench reporting).
+struct WriterStats {
+  std::uint64_t records_appended = 0;   ///< Accepted (new) records.
+  std::uint64_t records_skipped = 0;    ///< Idempotent re-append skips.
+  std::uint64_t blocks_written = 0;     ///< CRC'd blocks written.
+  std::uint64_t segments_sealed = 0;    ///< .part files rolled to .hseg.
+  std::uint64_t torn_bytes_truncated = 0;  ///< Tail bytes dropped on Open.
+};
+
+/// Appends HistoryRecords to a log directory, one segment chain per
+/// vehicle. Not thread-safe: the intended caller is the FleetService
+/// history callback, which the OrderedSink already serialises.
+class HistoryWriter {
+ public:
+  /// Builds an unopened writer with the given tuning.
+  explicit HistoryWriter(HistoryConfig config = HistoryConfig());
+
+  /// Closes (best effort) without flushing buffered records; call Flush()
+  /// or Close() first for durability.
+  ~HistoryWriter();
+
+  HistoryWriter(const HistoryWriter&) = delete;
+  HistoryWriter& operator=(const HistoryWriter&) = delete;
+
+  /// Opens (creating if needed) the log directory: scans existing
+  /// segments, truncates any torn tail, and recovers each vehicle's
+  /// append cursor so re-appends of already-logged records are skipped.
+  util::Status Open(const std::string& dir);
+
+  /// Appends one record (routing by vehicle id; unknown vehicles start a
+  /// new segment chain). Records already on disk - at or below the
+  /// vehicle's recovered (global_seq, sub) cursor - are skipped, which is
+  /// what makes checkpoint-replay after a crash idempotent.
+  util::Status Append(const HistoryRecord& record);
+
+  /// Writes every buffered record out as (possibly partial) blocks.
+  util::Status Flush();
+
+  /// Flush, then close every file descriptor. The active tails stay
+  /// .part files; a later Open resumes them in place.
+  util::Status Close();
+
+  /// Lifetime counters.
+  const WriterStats& stats() const { return stats_; }
+
+  /// The opened directory (empty before Open).
+  const std::string& dir() const { return dir_; }
+
+ private:
+  /// Per-vehicle append state: the active tail and the idempotence cursor.
+  struct VehicleLog {
+    std::uint32_t next_ordinal = 0;  ///< Ordinal the next segment takes.
+    int fd = -1;                     ///< Open .part file, -1 when none.
+    std::string part_path;           ///< Path of the active .part.
+    bool has_active = false;         ///< A tail segment is open.
+    std::uint64_t prev_seq = 0;      ///< Delta-chain cursor (seq).
+    std::int64_t prev_ts = 0;        ///< Delta-chain cursor (timestamp).
+    std::vector<std::uint8_t> mirror;  ///< In-memory copy of the .part.
+    std::vector<HistoryRecord> pending;  ///< Records not yet in a block.
+    bool has_logged = false;         ///< Any record accepted/recovered.
+    std::uint64_t last_seq = 0;      ///< Idempotence cursor: last seq.
+    std::uint32_t last_sub = 0;      ///< ... and its sub-index.
+    bool has_incoming = false;       ///< Any record offered this lifetime.
+    std::uint64_t in_seq = 0;        ///< Incoming-stream cursor (seq).
+    std::uint32_t in_sub = 0;        ///< ... and its sub-index.
+  };
+
+  util::Status StartSegment(std::int32_t vehicle_id, VehicleLog* log,
+                            const HistoryRecord& first);
+  util::Status WriteBlock(std::int32_t vehicle_id, VehicleLog* log);
+  util::Status SealSegment(std::int32_t vehicle_id, VehicleLog* log);
+
+  HistoryConfig config_;
+  std::string dir_;
+  bool open_ = false;
+  std::map<std::int32_t, VehicleLog> vehicles_;
+  WriterStats stats_;
+};
+
+/// One vehicle's decoded log: every record in append order.
+struct VehicleLogData {
+  std::int32_t vehicle_id = 0;
+  std::vector<HistoryRecord> records;
+};
+
+/// Counters of one directory scan.
+struct ReadStats {
+  std::size_t segments = 0;         ///< Segments decoded (sealed + tails).
+  std::size_t records = 0;          ///< Records decoded in total.
+  std::size_t torn_tail_bytes = 0;  ///< Bytes rejected from torn tails.
+};
+
+/// Scans a history log directory back into per-vehicle record vectors.
+class HistoryReader {
+ public:
+  /// Reads every vehicle's segment chain under `dir`, in vehicle-id order.
+  /// Sealed segments must verify fully (any CRC or decode failure is an
+  /// error); the one active tail per vehicle may be torn, in which case
+  /// the valid prefix is returned and the torn bytes are counted in
+  /// `stats` - torn data is detected and dropped, never served.
+  static util::Status ReadDir(const std::string& dir,
+                              std::vector<VehicleLogData>* out,
+                              ReadStats* stats = nullptr);
+};
+
+}  // namespace navarchos::history
+
+#endif  // NAVARCHOS_HISTORY_HISTORY_LOG_H_

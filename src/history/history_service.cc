@@ -1,0 +1,67 @@
+#include "history/history_service.h"
+
+#include <utility>
+
+namespace navarchos::history {
+
+HistoryService::HistoryService(std::string dir, HistoryConfig config)
+    : dir_(std::move(dir)), writer_(config), engine_(dir_) {}
+
+util::Status HistoryService::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_.Open(dir_);
+}
+
+void HistoryService::Append(const HistoryRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!error_.ok()) return;  // latched: drop, surface through queries
+  error_ = writer_.Append(record);
+}
+
+util::Status HistoryService::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!error_.ok()) return error_;
+  error_ = writer_.Flush();
+  return error_;
+}
+
+util::Status HistoryService::PrepareQuery() {
+  if (!error_.ok()) return error_;
+  error_ = writer_.Flush();
+  return error_;
+}
+
+util::Status HistoryService::Rank(const RankQuery& query, RankResult* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::Status status = PrepareQuery();
+  if (!status.ok()) return status;
+  return engine_.Rank(query, out);
+}
+
+util::Status HistoryService::Timeline(const TimelineQuery& query,
+                                      TimelineResult* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::Status status = PrepareQuery();
+  if (!status.ok()) return status;
+  return engine_.Timeline(query, out);
+}
+
+util::Status HistoryService::Comove(const ComoveQuery& query,
+                                    ComoveResult* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::Status status = PrepareQuery();
+  if (!status.ok()) return status;
+  return engine_.Comove(query, out);
+}
+
+util::Status HistoryService::first_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+WriterStats HistoryService::writer_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_.stats();
+}
+
+}  // namespace navarchos::history

@@ -1,0 +1,77 @@
+// Thread-safe facade over one history log: appends from the service's
+// ordered release path, queries from the network front end.
+//
+// The FleetService history callback runs on worker threads (serialised by
+// the OrderedSink, but on whichever thread released the frame), while the
+// IngestServer answers QUERY messages from its own poll thread. The
+// HistoryService owns the writer and the query engine behind one mutex:
+// Append is the callback target, and each query first flushes buffered
+// blocks so a result always reflects every record released before it.
+#ifndef NAVARCHOS_HISTORY_HISTORY_SERVICE_H_
+#define NAVARCHOS_HISTORY_HISTORY_SERVICE_H_
+
+#include <mutex>
+#include <string>
+
+#include "history/history_log.h"
+#include "history/query.h"
+#include "util/status.h"
+
+/// \file
+/// \brief HistoryService: the mutex-guarded writer + query engine pair
+/// that lets ingest append and the network front end query one log.
+
+namespace navarchos::history {
+
+/// One history log served for both appends and queries. Thread-safe; the
+/// first append error latches (later appends are dropped) and is surfaced
+/// through first_error() and every subsequent query.
+class HistoryService {
+ public:
+  /// Builds the service over `dir` with the given log tuning.
+  explicit HistoryService(std::string dir,
+                          HistoryConfig config = HistoryConfig());
+
+  /// Opens (creating or recovering) the log directory.
+  util::Status Open();
+
+  /// Appends one record; the FleetService history-callback target.
+  /// Errors latch into first_error() instead of throwing into the
+  /// release path.
+  void Append(const HistoryRecord& record);
+
+  /// Flushes buffered blocks to disk.
+  util::Status Flush();
+
+  /// Flushes, then answers RANK over the log.
+  util::Status Rank(const RankQuery& query, RankResult* out);
+
+  /// Flushes, then answers TIMELINE over the log.
+  util::Status Timeline(const TimelineQuery& query, TimelineResult* out);
+
+  /// Flushes, then answers COMOVE over the log.
+  util::Status Comove(const ComoveQuery& query, ComoveResult* out);
+
+  /// First append/flush error, if any (OK otherwise).
+  util::Status first_error() const;
+
+  /// Writer counters (records appended/skipped, blocks, seals).
+  WriterStats writer_stats() const;
+
+  /// The log directory.
+  const std::string& dir() const { return dir_; }
+
+ private:
+  /// Flush + latched-error check shared by the query entry points.
+  util::Status PrepareQuery();
+
+  const std::string dir_;
+  mutable std::mutex mu_;
+  HistoryWriter writer_;
+  QueryEngine engine_;
+  util::Status error_;
+};
+
+}  // namespace navarchos::history
+
+#endif  // NAVARCHOS_HISTORY_HISTORY_SERVICE_H_

@@ -1,0 +1,148 @@
+#include "history/query.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace navarchos::history {
+
+double SeverityRatio(const HistoryRecord& record) {
+  return record.threshold > 0.0 ? record.score / record.threshold
+                                : record.score;
+}
+
+QueryEngine::QueryEngine(std::string dir) : dir_(std::move(dir)) {}
+
+util::Status QueryEngine::Rank(const RankQuery& query, RankResult* out) const {
+  out->entries.clear();
+  std::vector<VehicleLogData> logs;
+  util::Status status = HistoryReader::ReadDir(dir_, &logs);
+  if (!status.ok()) return status;
+
+  // Resolve the window end: the newest timestamp anywhere in the log when
+  // the query leaves it open. Deterministic because the log itself is.
+  std::int64_t end_ts = query.end_ts;
+  if (end_ts == 0) {
+    for (const VehicleLogData& log : logs)
+      for (const HistoryRecord& record : log.records)
+        end_ts = std::max(end_ts, record.timestamp);
+  }
+
+  for (const VehicleLogData& log : logs) {
+    RankEntry entry;
+    entry.vehicle_id = log.vehicle_id;
+    double ratio_sum = 0.0;
+    for (const HistoryRecord& record : log.records) {
+      if (record.timestamp > end_ts) continue;
+      if (query.window_minutes > 0 &&
+          record.timestamp <= end_ts - query.window_minutes)
+        continue;
+      const double ratio = SeverityRatio(record);
+      ++entry.records;
+      if (record.alarm) ++entry.alarms;
+      ratio_sum += ratio;
+      entry.max_ratio = std::max(entry.max_ratio, ratio);
+      entry.last_ts = std::max(entry.last_ts, record.timestamp);
+    }
+    if (entry.records == 0) continue;
+    entry.mean_ratio = ratio_sum / static_cast<double>(entry.records);
+    out->entries.push_back(entry);
+  }
+
+  std::sort(out->entries.begin(), out->entries.end(),
+            [](const RankEntry& a, const RankEntry& b) {
+              if (a.mean_ratio != b.mean_ratio)
+                return a.mean_ratio > b.mean_ratio;
+              if (a.max_ratio != b.max_ratio) return a.max_ratio > b.max_ratio;
+              return a.vehicle_id < b.vehicle_id;
+            });
+  if (query.limit > 0 && out->entries.size() > query.limit)
+    out->entries.resize(query.limit);
+  return util::Status();
+}
+
+util::Status QueryEngine::Timeline(const TimelineQuery& query,
+                                   TimelineResult* out) const {
+  out->records.clear();
+  std::vector<VehicleLogData> logs;
+  util::Status status = HistoryReader::ReadDir(dir_, &logs);
+  if (!status.ok()) return status;
+
+  for (VehicleLogData& log : logs) {
+    if (log.vehicle_id != query.vehicle_id) continue;
+    for (HistoryRecord& record : log.records) {
+      if (record.timestamp < query.start_ts) continue;
+      if (query.end_ts != 0 && record.timestamp > query.end_ts) continue;
+      out->records.push_back(std::move(record));
+    }
+  }
+  // Keep the newest max_records: the recent tail is what triage reads.
+  if (query.max_records > 0 && out->records.size() > query.max_records)
+    out->records.erase(out->records.begin(),
+                       out->records.end() - query.max_records);
+  return util::Status();
+}
+
+util::Status QueryEngine::Comove(const ComoveQuery& query,
+                                 ComoveResult* out) const {
+  out->entries.clear();
+  std::vector<VehicleLogData> logs;
+  util::Status status = HistoryReader::ReadDir(dir_, &logs);
+  if (!status.ok()) return status;
+
+  // Locate the anchoring alarm: the first alarmed record carrying the
+  // queried global sequence number, scanning vehicles in id order.
+  const VehicleLogData* vehicle = nullptr;
+  std::size_t anchor = 0;
+  for (const VehicleLogData& log : logs) {
+    for (std::size_t i = 0; i < log.records.size(); ++i) {
+      if (log.records[i].global_seq == query.alarm_seq &&
+          log.records[i].alarm) {
+        vehicle = &log;
+        anchor = i;
+        break;
+      }
+    }
+    if (vehicle != nullptr) break;
+  }
+  if (vehicle == nullptr)
+    return util::Status::Error("comove: no alarmed record with global seq " +
+                               std::to_string(query.alarm_seq));
+
+  out->vehicle_id = vehicle->vehicle_id;
+  out->alarm_ts = vehicle->records[anchor].timestamp;
+
+  const std::size_t window = query.window;
+  const std::size_t first = anchor > window ? anchor - window : 0;
+  const std::size_t last =
+      std::min(vehicle->records.size() - 1, anchor + window);
+
+  // Rank-weighted co-occurrence of the worst channels across the window:
+  // the channel at position p of a record's k worst contributes k - p.
+  // All-integer accumulation, so the result is byte-identical everywhere.
+  std::vector<ComoveEntry> entries;
+  const auto entry_of = [&entries](std::uint32_t channel) -> ComoveEntry& {
+    for (ComoveEntry& entry : entries)
+      if (entry.channel == channel) return entry;
+    entries.push_back(ComoveEntry{channel, 0, 0});
+    return entries.back();
+  };
+  for (std::size_t i = first; i <= last; ++i) {
+    const HistoryRecord& record = vehicle->records[i];
+    const std::size_t k = record.top_channels.size();
+    for (std::size_t p = 0; p < k; ++p) {
+      ComoveEntry& entry = entry_of(record.top_channels[p]);
+      ++entry.hits;
+      entry.weight += static_cast<std::uint64_t>(k - p);
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const ComoveEntry& a, const ComoveEntry& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.hits != b.hits) return a.hits > b.hits;
+              return a.channel < b.channel;
+            });
+  out->entries = std::move(entries);
+  return util::Status();
+}
+
+}  // namespace navarchos::history

@@ -1,0 +1,131 @@
+// Query engine over the anomaly history log: RANK / TIMELINE / COMOVE.
+//
+// The three queries are the fleet-triage primitives the history log
+// exists for (the Anomaly-Advisor pattern): RANK orders the fleet's
+// vehicles by anomaly severity over a time window, TIMELINE returns one
+// vehicle's score/alarm series, and COMOVE reports which score channels
+// co-moved around a given alarm. Every query re-scans the log directory,
+// so results always reflect the latest flushed block; determinism is
+// inherited from the log (records are in the OrderedSink total order) and
+// from the engine's fixed iteration and tie-break rules - the same log
+// yields byte-identical results wherever and whenever a query runs.
+#ifndef NAVARCHOS_HISTORY_QUERY_H_
+#define NAVARCHOS_HISTORY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "history/history_log.h"
+#include "util/status.h"
+
+/// \file
+/// \brief QueryEngine answering RANK / TIMELINE / COMOVE over a history
+/// log directory, with deterministic ordering and tie-break rules.
+
+namespace navarchos::history {
+
+/// Severity of one record: score relative to its threshold (score/threshold
+/// when the threshold is positive, the raw score otherwise). Dimensionless,
+/// so it compares across detectors and reference cycles.
+double SeverityRatio(const HistoryRecord& record);
+
+/// RANK parameters: order the fleet by severity over a trailing window.
+struct RankQuery {
+  /// Window length in stream minutes; 0 ranks over the whole log.
+  std::int64_t window_minutes = 0;
+  /// Window end (inclusive); 0 means the latest timestamp in the log.
+  std::int64_t end_ts = 0;
+  /// Most entries to return; 0 means all vehicles with in-window records.
+  std::uint32_t limit = 0;
+};
+
+/// One vehicle's row in a RANK result.
+struct RankEntry {
+  std::int32_t vehicle_id = 0;  ///< The vehicle.
+  std::uint64_t records = 0;    ///< Scored samples inside the window.
+  std::uint64_t alarms = 0;     ///< How many of them raised alarms.
+  double mean_ratio = 0.0;      ///< Mean severity ratio over the window.
+  double max_ratio = 0.0;       ///< Worst single ratio in the window.
+  std::int64_t last_ts = 0;     ///< Timestamp of the newest in-window record.
+};
+
+/// RANK result: entries sorted worst first (mean ratio descending, then
+/// max ratio descending, then vehicle id ascending). Vehicles with no
+/// in-window records are omitted.
+struct RankResult {
+  std::vector<RankEntry> entries;
+};
+
+/// TIMELINE parameters: one vehicle's score/alarm series.
+struct TimelineQuery {
+  std::int32_t vehicle_id = 0;  ///< Vehicle to read.
+  std::int64_t start_ts = 0;    ///< Inclusive range start (0 = log start).
+  std::int64_t end_ts = 0;      ///< Inclusive range end (0 = log end).
+  /// Most records to return; 0 means all. When the range holds more, the
+  /// NEWEST max_records are kept (a dashboard wants the recent tail).
+  std::uint32_t max_records = 0;
+};
+
+/// TIMELINE result: the vehicle's records in log (stream) order.
+struct TimelineResult {
+  std::vector<HistoryRecord> records;
+};
+
+/// COMOVE parameters: channels that co-moved around one alarm, identified
+/// by the admitting frame's global sequence number (as reported in RANK /
+/// TIMELINE records and in the service's alarm stream).
+struct ComoveQuery {
+  std::uint64_t alarm_seq = 0;  ///< Global seq of an alarmed record.
+  /// Records considered on each side of the alarm (the co-movement
+  /// window is 2*window + 1 records of the same vehicle).
+  std::uint32_t window = 16;
+};
+
+/// One channel's co-movement evidence around the alarm.
+struct ComoveEntry {
+  std::uint32_t channel = 0;  ///< Score channel index.
+  std::uint64_t hits = 0;     ///< Windows records listing the channel.
+  /// Rank-weighted evidence: a record contributes (k - position) for the
+  /// channel at `position` of its k worst channels, so channels that were
+  /// repeatedly among the worst dominate. Integer arithmetic, hence
+  /// trivially byte-identical everywhere.
+  std::uint64_t weight = 0;
+};
+
+/// COMOVE result: the anchoring alarm plus channels sorted by evidence
+/// (weight descending, hits descending, channel ascending).
+struct ComoveResult {
+  std::int32_t vehicle_id = 0;  ///< Vehicle of the anchoring alarm.
+  std::int64_t alarm_ts = 0;    ///< Its timestamp.
+  std::vector<ComoveEntry> entries;
+};
+
+/// Answers RANK / TIMELINE / COMOVE over one history log directory. Each
+/// call re-scans the directory (tolerating a torn tail segment), so a
+/// single engine can serve queries while a writer keeps appending.
+class QueryEngine {
+ public:
+  /// Builds an engine over `dir` (not opened until the first query).
+  explicit QueryEngine(std::string dir);
+
+  /// Ranks the fleet's vehicles by severity over the query window.
+  util::Status Rank(const RankQuery& query, RankResult* out) const;
+
+  /// Returns one vehicle's score/alarm series in the query range.
+  util::Status Timeline(const TimelineQuery& query, TimelineResult* out) const;
+
+  /// Reports the channels that co-moved around the given alarm. Fails
+  /// when no alarmed record carries `alarm_seq`.
+  util::Status Comove(const ComoveQuery& query, ComoveResult* out) const;
+
+  /// The log directory this engine scans.
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace navarchos::history
+
+#endif  // NAVARCHOS_HISTORY_QUERY_H_

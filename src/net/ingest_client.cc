@@ -312,6 +312,122 @@ void IngestClient::Abort() {
   if (transport_) transport_->Close();
 }
 
+util::Status IngestClient::RunQuery(const QueryMessage& query,
+                                    std::vector<ResultMessage>* pages) {
+  pages->clear();
+  OpBudget budget = StartOp();
+  // When no ingest connection is live, dial a dedicated one without HELLO:
+  // queries are stateless reads, so they neither need nor want a session.
+  const bool ephemeral = !transport_ || !transport_->valid();
+  if (ephemeral) {
+    int deadline_ms = 0;
+    if (!NextWaitDeadline(budget, &deadline_ms))
+      return util::Status::Error("total deadline exceeded");
+    int connect_timeout_ms = config_.connect_timeout_ms;
+    if (deadline_ms > 0 &&
+        (connect_timeout_ms <= 0 || deadline_ms < connect_timeout_ms))
+      connect_timeout_ms = deadline_ms;
+    ++stats_.connect_attempts;
+    Socket socket;
+    util::Status status =
+        ConnectTcp(config_.host, config_.port, &socket, connect_timeout_ms);
+    if (!status.ok()) return status;
+    transport_ = config_.transport_factory
+                     ? config_.transport_factory(std::move(socket))
+                     : MakeSocketTransport(std::move(socket));
+    reader_ = MessageReader();
+  }
+
+  util::Status status = SendWithin(&budget, EncodeQuery(query));
+  while (status.ok()) {
+    WireMessage message;
+    bool fatal = false;
+    status = NextMessage(&budget, &message, &fatal);
+    if (!status.ok()) break;
+    if (message.type == MessageType::kError) {
+      ErrorMessage error;
+      (void)DecodeError(message.payload, &error);
+      status = util::Status::Error("server error: " + error.message);
+      break;
+    }
+    if (message.type != MessageType::kResult) {
+      status = util::Status::Error(std::string("unexpected ") +
+                                   MessageTypeName(message.type) +
+                                   " while awaiting RESULT");
+      break;
+    }
+    ResultMessage page;
+    status = DecodeResult(message.payload, &page);
+    if (!status.ok()) break;
+    if (page.kind != query.kind) {
+      status = util::Status::Error(
+          std::string("RESULT answers ") + QueryKindName(page.kind) +
+          " but the query was " + QueryKindName(query.kind));
+      break;
+    }
+    if (page.page != pages->size()) {
+      status = util::Status::Error(
+          "RESULT pages out of order: got page " + std::to_string(page.page) +
+          ", expected " + std::to_string(pages->size()));
+      break;
+    }
+    const bool last = page.last;
+    pages->push_back(std::move(page));
+    if (last) break;
+  }
+  if (ephemeral) transport_->Close();
+  return status;
+}
+
+util::Status IngestClient::QueryRank(const history::RankQuery& query,
+                                     history::RankResult* out) {
+  QueryMessage message;
+  message.kind = QueryKind::kRank;
+  message.rank = query;
+  std::vector<ResultMessage> pages;
+  util::Status status = RunQuery(message, &pages);
+  if (!status.ok()) return status;
+  out->entries.clear();
+  for (const ResultMessage& page : pages)
+    out->entries.insert(out->entries.end(), page.rank_entries.begin(),
+                        page.rank_entries.end());
+  return util::Status();
+}
+
+util::Status IngestClient::QueryTimeline(const history::TimelineQuery& query,
+                                         history::TimelineResult* out) {
+  QueryMessage message;
+  message.kind = QueryKind::kTimeline;
+  message.timeline = query;
+  std::vector<ResultMessage> pages;
+  util::Status status = RunQuery(message, &pages);
+  if (!status.ok()) return status;
+  out->records.clear();
+  for (const ResultMessage& page : pages)
+    out->records.insert(out->records.end(), page.timeline_records.begin(),
+                        page.timeline_records.end());
+  return util::Status();
+}
+
+util::Status IngestClient::QueryComove(const history::ComoveQuery& query,
+                                       history::ComoveResult* out) {
+  QueryMessage message;
+  message.kind = QueryKind::kComove;
+  message.comove = query;
+  std::vector<ResultMessage> pages;
+  util::Status status = RunQuery(message, &pages);
+  if (!status.ok()) return status;
+  out->entries.clear();
+  if (!pages.empty()) {
+    out->vehicle_id = pages.front().comove_vehicle_id;
+    out->alarm_ts = pages.front().comove_alarm_ts;
+  }
+  for (const ResultMessage& page : pages)
+    out->entries.insert(out->entries.end(), page.comove_entries.begin(),
+                        page.comove_entries.end());
+  return util::Status();
+}
+
 util::Status IngestClient::AwaitAck(OpBudget* budget, std::uint64_t target,
                                     bool require_ack_message, bool* fatal) {
   *fatal = false;

@@ -145,6 +145,24 @@ class IngestClient {
   /// picks up where the last ACKed batch ended.
   void Abort();
 
+  /// Runs a RANK query against the server's history log, collecting every
+  /// RESULT page into `out`. Works on the live ingest connection (between
+  /// batches - the stop-and-wait discipline leaves the stream quiet) or,
+  /// when not connected, over a short-lived dedicated connection with no
+  /// HELLO (queries are stateless). Queries do not heal: a transport
+  /// failure or server ERROR is surfaced directly - re-issuing a read is
+  /// the caller's one-line retry.
+  util::Status QueryRank(const history::RankQuery& query,
+                         history::RankResult* out);
+
+  /// Runs a TIMELINE query; same connection and failure rules as QueryRank.
+  util::Status QueryTimeline(const history::TimelineQuery& query,
+                             history::TimelineResult* out);
+
+  /// Runs a COMOVE query; same connection and failure rules as QueryRank.
+  util::Status QueryComove(const history::ComoveQuery& query,
+                           history::ComoveResult* out);
+
   /// Cumulative ACK cursor: every wire seq below it was decided.
   std::uint64_t acked_through() const { return acked_through_; }
 
@@ -209,6 +227,12 @@ class IngestClient {
   /// healing is no longer possible: budget or reconnect cap exhausted,
   /// or the server refused the resume.
   bool Heal(OpBudget* budget, util::Status* status);
+
+  /// Sends one QUERY and collects its RESULT pages in order (dialling a
+  /// dedicated HELLO-less connection first when none is live). The shared
+  /// engine under the three Query* calls.
+  util::Status RunQuery(const QueryMessage& query,
+                        std::vector<ResultMessage>* pages);
 
   const ClientConfig config_;
   std::unique_ptr<Transport> transport_;

@@ -416,6 +416,19 @@ bool IngestServer::HandleMessage(Connection* conn, const WireMessage& message) {
       return false;  // orderly close once the final ACK drained
     }
 
+    case MessageType::kQuery: {
+      // Queries are stateless reads: no HELLO/session required, so a
+      // dashboard can dial, QUERY, collect RESULT pages and hang up
+      // without ever touching the ingest cursor machinery.
+      QueryMessage query;
+      util::Status status = DecodeQuery(message.payload, &query);
+      if (!status.ok()) {
+        FailConnection(conn, status.message());
+        return false;
+      }
+      return HandleQuery(conn, query);
+    }
+
     case MessageType::kError: {
       ErrorMessage error;
       if (DecodeError(message.payload, &error).ok()) {
@@ -431,6 +444,97 @@ bool IngestServer::HandleMessage(Connection* conn, const WireMessage& message) {
                                " message on the server side");
       return false;
   }
+}
+
+bool IngestServer::HandleQuery(Connection* conn, const QueryMessage& query) {
+  if (config_.history == nullptr) {
+    FailConnection(conn, "history queries are not enabled on this server");
+    return false;
+  }
+  // Answer pages are built fully before queueing: a failed query must be
+  // answered with ERROR alone, never a RESULT prefix followed by ERROR.
+  std::vector<ResultMessage> pages;
+  switch (query.kind) {
+    case QueryKind::kRank: {
+      history::RankResult result;
+      const util::Status status = config_.history->Rank(query.rank, &result);
+      if (!status.ok()) {
+        FailConnection(conn, status.message());
+        return false;
+      }
+      const std::size_t total = result.entries.size();
+      for (std::size_t off = 0; off == 0 || off < total;
+           off += kMaxResultEntriesPerPage) {
+        ResultMessage page;
+        page.kind = QueryKind::kRank;
+        page.page = static_cast<std::uint32_t>(pages.size());
+        const std::size_t end =
+            std::min(total, off + kMaxResultEntriesPerPage);
+        page.rank_entries.assign(result.entries.begin() + off,
+                                 result.entries.begin() + end);
+        page.last = end == total;
+        pages.push_back(std::move(page));
+      }
+      break;
+    }
+    case QueryKind::kTimeline: {
+      history::TimelineResult result;
+      const util::Status status =
+          config_.history->Timeline(query.timeline, &result);
+      if (!status.ok()) {
+        FailConnection(conn, status.message());
+        return false;
+      }
+      const std::size_t total = result.records.size();
+      for (std::size_t off = 0; off == 0 || off < total;
+           off += kMaxResultEntriesPerPage) {
+        ResultMessage page;
+        page.kind = QueryKind::kTimeline;
+        page.page = static_cast<std::uint32_t>(pages.size());
+        const std::size_t end =
+            std::min(total, off + kMaxResultEntriesPerPage);
+        page.timeline_records.assign(result.records.begin() + off,
+                                     result.records.begin() + end);
+        page.last = end == total;
+        pages.push_back(std::move(page));
+      }
+      break;
+    }
+    case QueryKind::kComove: {
+      history::ComoveResult result;
+      const util::Status status =
+          config_.history->Comove(query.comove, &result);
+      if (!status.ok()) {
+        FailConnection(conn, status.message());
+        return false;
+      }
+      const std::size_t total = result.entries.size();
+      for (std::size_t off = 0; off == 0 || off < total;
+           off += kMaxResultEntriesPerPage) {
+        ResultMessage page;
+        page.kind = QueryKind::kComove;
+        page.page = static_cast<std::uint32_t>(pages.size());
+        page.comove_vehicle_id = result.vehicle_id;
+        page.comove_alarm_ts = result.alarm_ts;
+        const std::size_t end =
+            std::min(total, off + kMaxResultEntriesPerPage);
+        page.comove_entries.assign(result.entries.begin() + off,
+                                   result.entries.begin() + end);
+        page.last = end == total;
+        pages.push_back(std::move(page));
+      }
+      break;
+    }
+  }
+  for (const ResultMessage& page : pages) {
+    QueueBytes(conn, EncodeResult(page));
+    if (conn->closing) return false;  // slow consumer mid-reply
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queries_served;
+  }
+  return !conn->closing;
 }
 
 void IngestServer::QueueBytes(Connection* conn,

@@ -49,6 +49,7 @@
 #include <thread>
 #include <vector>
 
+#include "history/history_service.h"
 #include "net/socket.h"
 #include "net/transport.h"
 #include "net/wire.h"
@@ -92,6 +93,10 @@ struct ServerConfig {
   /// non-blocking SocketTransport. The seam for FaultySocket in the chaos
   /// suites.
   TransportFactory transport_factory;
+  /// History log served for QUERY messages (borrowed; must outlive the
+  /// server). Null refuses every QUERY with a clean protocol ERROR - the
+  /// front end then serves ingest only.
+  history::HistoryService* history = nullptr;
 };
 
 /// Counters of one server's lifetime; exact snapshots at any time.
@@ -107,6 +112,7 @@ struct ServerStats {
   std::uint64_t slow_consumer_disconnects = 0;  ///< Outbound bound exceeded.
   std::uint64_t idle_reaps = 0;            ///< Idle-deadline disconnections.
   std::uint64_t sessions_expired = 0;      ///< Retention-GCed sessions.
+  std::uint64_t queries_served = 0;        ///< QUERYs answered with RESULTs.
 };
 
 /// TCP front end feeding one FleetService. Lifecycle:
@@ -210,6 +216,10 @@ class IngestServer {
 
   /// Dispatches one reassembled message; returns false to close.
   bool HandleMessage(Connection* conn, const WireMessage& message);
+
+  /// Runs a decoded QUERY against the configured history service and
+  /// queues its paginated RESULT pages; returns false to close.
+  bool HandleQuery(Connection* conn, const QueryMessage& query);
 
   /// Queues `bytes` for non-blocking delivery to `conn`, flushing
   /// opportunistically; disconnects the peer as a slow consumer when its

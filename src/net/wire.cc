@@ -1,5 +1,6 @@
 #include "net/wire.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/check.h"
@@ -39,7 +40,49 @@ std::uint32_t FrameCrc(MessageType type, const std::uint8_t* payload,
 
 bool ValidMessageType(std::uint8_t byte) {
   return byte >= static_cast<std::uint8_t>(MessageType::kHello) &&
-         byte <= static_cast<std::uint8_t>(MessageType::kError);
+         byte <= static_cast<std::uint8_t>(MessageType::kResult);
+}
+
+bool ValidQueryKind(std::uint8_t byte) {
+  return byte >= static_cast<std::uint8_t>(QueryKind::kRank) &&
+         byte <= static_cast<std::uint8_t>(QueryKind::kComove);
+}
+
+/// Appends one history record (a TIMELINE result row) to `encoder`.
+void EncodeHistoryRecord(persist::Encoder& encoder,
+                         const history::HistoryRecord& record) {
+  encoder.PutI32(record.vehicle_id);
+  encoder.PutU64(record.global_seq);
+  encoder.PutI64(record.timestamp);
+  encoder.PutDouble(record.score);
+  encoder.PutDouble(record.threshold);
+  encoder.PutBool(record.alarm);
+  encoder.PutU8(static_cast<std::uint8_t>(
+      std::min(record.top_channels.size(), history::kMaxTopChannels)));
+  for (std::size_t c = 0;
+       c < record.top_channels.size() && c < history::kMaxTopChannels; ++c)
+    encoder.PutU32(record.top_channels[c]);
+}
+
+bool DecodeHistoryRecord(persist::Decoder& decoder,
+                         history::HistoryRecord* record) {
+  record->vehicle_id = decoder.GetI32();
+  record->global_seq = decoder.GetU64();
+  record->timestamp = decoder.GetI64();
+  record->score = decoder.GetDouble();
+  record->threshold = decoder.GetDouble();
+  record->alarm = decoder.GetBool();
+  const std::uint8_t top_k = decoder.GetU8();
+  if (!decoder.ok()) return false;
+  if (top_k > decoder.remaining() / 4) {
+    decoder.Fail("record channel count exceeds payload size");
+    return false;
+  }
+  record->top_channels.clear();
+  record->top_channels.reserve(top_k);
+  for (std::uint8_t c = 0; c < top_k; ++c)
+    record->top_channels.push_back(decoder.GetU32());
+  return decoder.ok();
 }
 
 }  // namespace
@@ -250,6 +293,171 @@ util::Status DecodeError(const std::vector<std::uint8_t>& payload,
   return decoder.ToStatus("ERROR payload");
 }
 
+std::vector<std::uint8_t> EncodeQuery(const QueryMessage& message) {
+  persist::Encoder encoder;
+  encoder.PutU8(static_cast<std::uint8_t>(message.kind));
+  switch (message.kind) {
+    case QueryKind::kRank:
+      encoder.PutI64(message.rank.window_minutes);
+      encoder.PutI64(message.rank.end_ts);
+      encoder.PutU32(message.rank.limit);
+      break;
+    case QueryKind::kTimeline:
+      encoder.PutI32(message.timeline.vehicle_id);
+      encoder.PutI64(message.timeline.start_ts);
+      encoder.PutI64(message.timeline.end_ts);
+      encoder.PutU32(message.timeline.max_records);
+      break;
+    case QueryKind::kComove:
+      encoder.PutU64(message.comove.alarm_seq);
+      encoder.PutU32(message.comove.window);
+      break;
+  }
+  return EncodeFrame(MessageType::kQuery, encoder.bytes());
+}
+
+std::vector<std::uint8_t> EncodeResult(const ResultMessage& message) {
+  persist::Encoder encoder;
+  encoder.PutU8(static_cast<std::uint8_t>(message.kind));
+  encoder.PutU32(message.page);
+  encoder.PutBool(message.last);
+  switch (message.kind) {
+    case QueryKind::kRank:
+      encoder.PutU32(static_cast<std::uint32_t>(message.rank_entries.size()));
+      for (const history::RankEntry& entry : message.rank_entries) {
+        encoder.PutI32(entry.vehicle_id);
+        encoder.PutU64(entry.records);
+        encoder.PutU64(entry.alarms);
+        encoder.PutDouble(entry.mean_ratio);
+        encoder.PutDouble(entry.max_ratio);
+        encoder.PutI64(entry.last_ts);
+      }
+      break;
+    case QueryKind::kTimeline:
+      encoder.PutU32(
+          static_cast<std::uint32_t>(message.timeline_records.size()));
+      for (const history::HistoryRecord& record : message.timeline_records)
+        EncodeHistoryRecord(encoder, record);
+      break;
+    case QueryKind::kComove:
+      encoder.PutI32(message.comove_vehicle_id);
+      encoder.PutI64(message.comove_alarm_ts);
+      encoder.PutU32(
+          static_cast<std::uint32_t>(message.comove_entries.size()));
+      for (const history::ComoveEntry& entry : message.comove_entries) {
+        encoder.PutU32(entry.channel);
+        encoder.PutU64(entry.hits);
+        encoder.PutU64(entry.weight);
+      }
+      break;
+  }
+  return EncodeFrame(MessageType::kResult, encoder.bytes());
+}
+
+util::Status DecodeQuery(const std::vector<std::uint8_t>& payload,
+                         QueryMessage* out) {
+  persist::Decoder decoder(payload);
+  const std::uint8_t kind = decoder.GetU8();
+  if (decoder.ok() && !ValidQueryKind(kind))
+    decoder.Fail("unknown query kind " + std::to_string(kind));
+  if (!decoder.ok()) return decoder.ToStatus("QUERY payload");
+  out->kind = static_cast<QueryKind>(kind);
+  switch (out->kind) {
+    case QueryKind::kRank:
+      out->rank.window_minutes = decoder.GetI64();
+      out->rank.end_ts = decoder.GetI64();
+      out->rank.limit = decoder.GetU32();
+      break;
+    case QueryKind::kTimeline:
+      out->timeline.vehicle_id = decoder.GetI32();
+      out->timeline.start_ts = decoder.GetI64();
+      out->timeline.end_ts = decoder.GetI64();
+      out->timeline.max_records = decoder.GetU32();
+      break;
+    case QueryKind::kComove:
+      out->comove.alarm_seq = decoder.GetU64();
+      out->comove.window = decoder.GetU32();
+      break;
+  }
+  return decoder.ToStatus("QUERY payload");
+}
+
+util::Status DecodeResult(const std::vector<std::uint8_t>& payload,
+                          ResultMessage* out) {
+  persist::Decoder decoder(payload);
+  const std::uint8_t kind = decoder.GetU8();
+  if (decoder.ok() && !ValidQueryKind(kind))
+    decoder.Fail("unknown query kind " + std::to_string(kind));
+  out->page = decoder.GetU32();
+  out->last = decoder.GetBool();
+  if (!decoder.ok()) return decoder.ToStatus("RESULT payload");
+  out->kind = static_cast<QueryKind>(kind);
+  // Bound every claimed count by the minimum encoded entry size before
+  // reserving anything (the codec robustness contract).
+  switch (out->kind) {
+    case QueryKind::kRank: {
+      const std::uint32_t count = decoder.GetU32();
+      constexpr std::size_t kMinRankEntryBytes = 4 + 8 + 8 + 8 + 8 + 8;
+      if (decoder.ok() && count > decoder.remaining() / kMinRankEntryBytes)
+        decoder.Fail("rank entry count exceeds payload size");
+      if (decoder.ok()) {
+        out->rank_entries.clear();
+        out->rank_entries.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          history::RankEntry entry;
+          entry.vehicle_id = decoder.GetI32();
+          entry.records = decoder.GetU64();
+          entry.alarms = decoder.GetU64();
+          entry.mean_ratio = decoder.GetDouble();
+          entry.max_ratio = decoder.GetDouble();
+          entry.last_ts = decoder.GetI64();
+          if (!decoder.ok()) break;
+          out->rank_entries.push_back(entry);
+        }
+      }
+      break;
+    }
+    case QueryKind::kTimeline: {
+      const std::uint32_t count = decoder.GetU32();
+      constexpr std::size_t kMinRecordBytes = 4 + 8 + 8 + 8 + 8 + 1 + 1;
+      if (decoder.ok() && count > decoder.remaining() / kMinRecordBytes)
+        decoder.Fail("timeline record count exceeds payload size");
+      if (decoder.ok()) {
+        out->timeline_records.clear();
+        out->timeline_records.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          history::HistoryRecord record;
+          if (!DecodeHistoryRecord(decoder, &record)) break;
+          out->timeline_records.push_back(std::move(record));
+        }
+      }
+      break;
+    }
+    case QueryKind::kComove: {
+      out->comove_vehicle_id = decoder.GetI32();
+      out->comove_alarm_ts = decoder.GetI64();
+      const std::uint32_t count = decoder.GetU32();
+      constexpr std::size_t kMinComoveEntryBytes = 4 + 8 + 8;
+      if (decoder.ok() && count > decoder.remaining() / kMinComoveEntryBytes)
+        decoder.Fail("comove entry count exceeds payload size");
+      if (decoder.ok()) {
+        out->comove_entries.clear();
+        out->comove_entries.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          history::ComoveEntry entry;
+          entry.channel = decoder.GetU32();
+          entry.hits = decoder.GetU64();
+          entry.weight = decoder.GetU64();
+          if (!decoder.ok()) break;
+          out->comove_entries.push_back(entry);
+        }
+      }
+      break;
+    }
+  }
+  return decoder.ToStatus("RESULT payload");
+}
+
 // --------------------------------------------------------- stream reassembly
 
 void MessageReader::Append(const std::uint8_t* data, std::size_t size) {
@@ -316,6 +524,17 @@ const char* MessageTypeName(MessageType type) {
     case MessageType::kNack: return "NACK";
     case MessageType::kFin: return "FIN";
     case MessageType::kError: return "ERROR";
+    case MessageType::kQuery: return "QUERY";
+    case MessageType::kResult: return "RESULT";
+  }
+  return "UNKNOWN";
+}
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kRank: return "RANK";
+    case QueryKind::kTimeline: return "TIMELINE";
+    case QueryKind::kComove: return "COMOVE";
   }
   return "UNKNOWN";
 }

@@ -25,6 +25,8 @@
 //   NACK     (server) one shed frame, attributable by wire seq
 //   FIN      end of stream; the server acks and closes
 //   ERROR    protocol violation, either direction; the connection closes
+//   QUERY    a history query (RANK / TIMELINE / COMOVE); needs no session
+//   RESULT   (server) one page of a query's result; `last` ends the reply
 //
 // Wire sequence numbers count the frames of one session in submission
 // order, across reconnects: a client that reconnects RESUMEs from the
@@ -37,6 +39,8 @@
 #include <string>
 #include <vector>
 
+#include "history/history_log.h"
+#include "history/query.h"
 #include "persist/codec.h"
 #include "telemetry/stream.h"
 #include "util/status.h"
@@ -75,6 +79,8 @@ enum class MessageType : std::uint8_t {
   kNack = 5,     ///< Server reports one shed frame by wire seq.
   kFin = 6,      ///< Client ends the stream.
   kError = 7,    ///< Protocol violation; sender closes after this.
+  kQuery = 8,    ///< Client asks a history query (no session required).
+  kResult = 9,   ///< Server returns one page of a query result.
 };
 
 /// Reason a frame was shed, carried in a NACK.
@@ -139,6 +145,46 @@ struct ErrorMessage {
   std::string message;  ///< What went wrong, for logs and Status values.
 };
 
+/// Which history query a QUERY message carries.
+enum class QueryKind : std::uint8_t {
+  kRank = 1,      ///< Rank the fleet by severity over a window.
+  kTimeline = 2,  ///< One vehicle's score/alarm series.
+  kComove = 3,    ///< Channels that co-moved around one alarm.
+};
+
+/// Entries a RESULT page carries at most; a larger result is split into
+/// consecutive pages (all but the final one with `last == false`), which
+/// keeps every page far below kMaxPayloadBytes.
+inline constexpr std::size_t kMaxResultEntriesPerPage = 512;
+
+/// QUERY payload: a tagged union over the three history query shapes (only
+/// the member selected by `kind` is encoded on the wire). Queries need no
+/// HELLO/session - reads are stateless.
+struct QueryMessage {
+  QueryKind kind = QueryKind::kRank;   ///< Which query this is.
+  history::RankQuery rank;             ///< Parameters when kind == kRank.
+  history::TimelineQuery timeline;     ///< ... when kind == kTimeline.
+  history::ComoveQuery comove;         ///< ... when kind == kComove.
+};
+
+/// RESULT payload: one page of a query's answer. Pages arrive in order
+/// (page 0, 1, ...) and the reply ends with the page whose `last` is true;
+/// a failed query is answered with ERROR instead.
+struct ResultMessage {
+  QueryKind kind = QueryKind::kRank;  ///< Query this page answers.
+  std::uint32_t page = 0;             ///< Page index within the reply.
+  bool last = true;                   ///< True on the reply's final page.
+  /// RANK entries of this page (kind == kRank).
+  std::vector<history::RankEntry> rank_entries;
+  /// TIMELINE records of this page (kind == kTimeline).
+  std::vector<history::HistoryRecord> timeline_records;
+  /// COMOVE anchor (kind == kComove; repeated on every page).
+  std::int32_t comove_vehicle_id = 0;
+  std::int64_t comove_alarm_ts = 0;   ///< Timestamp of the COMOVE anchor.
+  /// COMOVE entries of this page (kind == kComove).
+  std::vector<history::ComoveEntry> comove_entries;
+};
+
 /// One reassembled wire message: its type and raw (CRC-verified) payload.
 struct WireMessage {
   MessageType type = MessageType::kError;  ///< Frame type byte.
@@ -177,6 +223,10 @@ std::vector<std::uint8_t> EncodeNack(const NackMessage& message);
 std::vector<std::uint8_t> EncodeFin(const FinMessage& message);
 /// Encodes an ERROR into its full wire form.
 std::vector<std::uint8_t> EncodeError(const ErrorMessage& message);
+/// Encodes a QUERY into its full wire form.
+std::vector<std::uint8_t> EncodeQuery(const QueryMessage& message);
+/// Encodes one RESULT page into its full wire form.
+std::vector<std::uint8_t> EncodeResult(const ResultMessage& message);
 
 /// Decodes a HELLO payload (as delivered by MessageReader).
 util::Status DecodeHello(const std::vector<std::uint8_t>& payload,
@@ -197,6 +247,12 @@ util::Status DecodeFin(const std::vector<std::uint8_t>& payload, FinMessage* out
 /// Decodes an ERROR payload.
 util::Status DecodeError(const std::vector<std::uint8_t>& payload,
                          ErrorMessage* out);
+/// Decodes a QUERY payload.
+util::Status DecodeQuery(const std::vector<std::uint8_t>& payload,
+                         QueryMessage* out);
+/// Decodes a RESULT payload.
+util::Status DecodeResult(const std::vector<std::uint8_t>& payload,
+                          ResultMessage* out);
 
 // --------------------------------------------------------- stream reassembly
 
@@ -237,6 +293,9 @@ class MessageReader {
 
 /// Human-readable name of a message type ("HELLO", "FRAMES", ...).
 const char* MessageTypeName(MessageType type);
+
+/// Human-readable name of a query kind ("RANK", "TIMELINE", "COMOVE").
+const char* QueryKindName(QueryKind kind);
 
 }  // namespace navarchos::net
 

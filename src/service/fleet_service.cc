@@ -1,5 +1,8 @@
 #include "service/fleet_service.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -12,8 +15,9 @@ namespace {
 
 /// Layout version of the service-level snapshot chunks ("service", "sink",
 /// "lane.<i>"), carried in the "service" chunk and bumped whenever any of
-/// their encodings changes incompatibly.
-constexpr std::uint32_t kServiceStateVersion = 1;
+/// their encodings changes incompatibly. Version 2 added the lane's
+/// last_global_seq (history-record attribution of end-of-stream flushes).
+constexpr std::uint32_t kServiceStateVersion = 2;
 
 /// Minimum encoded size of one alarm (fixed fields + empty name), used to
 /// bound the alarm count claimed by a snapshot before allocating.
@@ -42,10 +46,10 @@ bool RestoreAlarm(persist::Decoder& decoder, core::Alarm* alarm) {
 
 // ---------------------------------------------------------------- OrderedSink
 
-void FleetService::OrderedSink::Complete(std::uint64_t global_seq,
-                                         std::uint64_t vehicle_seq,
-                                         std::int32_t vehicle_id,
-                                         std::vector<core::Alarm> alarms) {
+void FleetService::OrderedSink::Complete(
+    std::uint64_t global_seq, std::uint64_t vehicle_seq,
+    std::int32_t vehicle_id, std::vector<core::Alarm> alarms,
+    std::vector<history::HistoryRecord> records) {
   std::lock_guard<std::mutex> lock(mu_);
   ++frames_processed_;
   FrameCompletion completion;
@@ -55,6 +59,7 @@ void FleetService::OrderedSink::Complete(std::uint64_t global_seq,
   completion.alarms = alarms.size();
   pending_.emplace(global_seq, completion);
   pending_alarms_.emplace(global_seq, std::move(alarms));
+  pending_records_.emplace(global_seq, std::move(records));
 
   // Release every completion that is now contiguous with the cursor. Worker
   // scheduling decides only when a completion *arrives*, never when it is
@@ -66,7 +71,12 @@ void FleetService::OrderedSink::Complete(std::uint64_t global_seq,
       if (alarm_callback) alarm_callback(alarm);
       alarms_.push_back(std::move(alarm));
     }
+    auto records_it = pending_records_.find(next_release_);
+    if (history_callback)
+      for (const history::HistoryRecord& record : records_it->second)
+        history_callback(record);
     if (completion_callback) completion_callback(it->second);
+    pending_records_.erase(records_it);
     pending_alarms_.erase(alarms_it);
     pending_.erase(it);
     ++next_release_;
@@ -74,8 +84,9 @@ void FleetService::OrderedSink::Complete(std::uint64_t global_seq,
   }
 }
 
-void FleetService::OrderedSink::AppendUnsequenced(std::int32_t vehicle_id,
-                                                  std::vector<core::Alarm> alarms) {
+void FleetService::OrderedSink::AppendUnsequenced(
+    std::int32_t vehicle_id, std::vector<core::Alarm> alarms,
+    std::vector<history::HistoryRecord> records) {
   (void)vehicle_id;
   std::lock_guard<std::mutex> lock(mu_);
   NAVARCHOS_CHECK(pending_.empty());  // only legal after the drain barrier
@@ -83,6 +94,9 @@ void FleetService::OrderedSink::AppendUnsequenced(std::int32_t vehicle_id,
     if (alarm_callback) alarm_callback(alarm);
     alarms_.push_back(std::move(alarm));
   }
+  if (history_callback)
+    for (const history::HistoryRecord& record : records)
+      history_callback(record);
 }
 
 std::size_t FleetService::OrderedSink::frames_processed() const {
@@ -183,8 +197,12 @@ void FleetService::PumpLane(VehicleLane* lane) {
   TaggedFrame tagged;
   for (std::size_t n = 0; n < config_.pump_batch && lane->queue.TryPop(&tagged); ++n) {
     std::vector<core::Alarm> alarms = lane->monitor.OnFrame(tagged.frame);
+    std::vector<history::HistoryRecord> records;
+    if (history_enabled_)
+      records = BuildHistoryRecords(lane, alarms, tagged.global_seq);
+    lane->last_global_seq = tagged.global_seq;
     sink_.Complete(tagged.global_seq, tagged.vehicle_seq, lane->vehicle_id,
-                   std::move(alarms));
+                   std::move(alarms), std::move(records));
   }
 
   // Reschedule-or-park must see the producer's push: both sides order their
@@ -259,9 +277,18 @@ void FleetService::Drain() {
   {
     std::lock_guard<std::mutex> lock(ingest_mu_);
     // End-of-stream flush of each monitor's reorder buffer, in lane order -
-    // deterministic because the drain barrier already passed.
-    for (auto& lane : lanes_)
-      sink_.AppendUnsequenced(lane->vehicle_id, lane->monitor.Flush());
+    // deterministic because the drain barrier already passed. Flush records
+    // are attributed to the lane's last pumped frame (its global seq never
+    // decreases within a vehicle, so the log stays delta-encodable).
+    for (auto& lane : lanes_) {
+      std::vector<core::Alarm> alarms = lane->monitor.Flush();
+      std::vector<history::HistoryRecord> records;
+      if (history_enabled_)
+        records =
+            BuildHistoryRecords(lane.get(), alarms, lane->last_global_seq);
+      sink_.AppendUnsequenced(lane->vehicle_id, std::move(alarms),
+                              std::move(records));
+    }
     drained_ = true;
   }
 }
@@ -318,6 +345,97 @@ void FleetService::set_completion_callback(CompletionCallback callback) {
   sink_.completion_callback = std::move(callback);
 }
 
+void FleetService::set_history_callback(HistoryCallback callback) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  NAVARCHOS_CHECK(!ingest_started_);
+  // Pumps read the flag without ingest_mu_, but every pump task is posted
+  // under it, so the pool's task handoff publishes the write.
+  history_enabled_ = static_cast<bool>(callback);
+  sink_.history_callback = std::move(callback);
+}
+
+void FleetService::set_checkpoint_barrier(
+    std::function<util::Status()> barrier) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  NAVARCHOS_CHECK(!ingest_started_);
+  checkpoint_barrier_ = std::move(barrier);
+}
+
+std::vector<history::HistoryRecord> FleetService::BuildHistoryRecords(
+    VehicleLane* lane, const std::vector<core::Alarm>& alarms,
+    std::uint64_t global_seq) {
+  std::vector<history::HistoryRecord> records;
+  const std::vector<core::ScoredSample>& samples =
+      lane->monitor.scored_samples();
+  const std::vector<core::CalibrationStats>& calibrations =
+      lane->monitor.calibrations();
+  for (std::size_t i = lane->history_cursor; i < samples.size(); ++i) {
+    const core::ScoredSample& sample = samples[i];
+    history::HistoryRecord record;
+    record.vehicle_id = lane->vehicle_id;
+    record.global_seq = global_seq;
+    record.timestamp = sample.timestamp;
+
+    // Mirror the monitor's own threshold computation (constant-threshold
+    // detectors use the config's constant, self-tuning ones its factor) so
+    // the logged threshold is bit-identical to the alarming one.
+    const std::size_t channels = sample.scores.size();
+    std::vector<double> thresholds(channels, 0.0);
+    if (sample.calibration_index >= 0 &&
+        static_cast<std::size_t>(sample.calibration_index) <
+            calibrations.size()) {
+      const core::CalibrationStats& stats =
+          calibrations[static_cast<std::size_t>(sample.calibration_index)];
+      const double factor_or_constant = stats.constant_threshold
+                                            ? config_.monitor.threshold.constant
+                                            : config_.monitor.threshold.factor;
+      for (std::size_t c = 0; c < channels; ++c)
+        thresholds[c] =
+            stats.ThresholdOf(c, config_.monitor.threshold.kind,
+                              factor_or_constant);
+    }
+
+    // Channels by severity (score relative to threshold) descending, ties
+    // to the lower index; non-finite ratios sort last. Deterministic by
+    // construction - no float accumulation across threads.
+    const auto severity = [&](std::size_t c) {
+      const double ratio = thresholds[c] > 0.0
+                               ? sample.scores[c] / thresholds[c]
+                               : sample.scores[c];
+      return std::isnan(ratio) ? -std::numeric_limits<double>::infinity()
+                               : ratio;
+    };
+    std::vector<std::size_t> order(channels);
+    for (std::size_t c = 0; c < channels; ++c) order[c] = c;
+    std::sort(order.begin(), order.end(),
+              [&severity](std::size_t a, std::size_t b) {
+                const double sa = severity(a);
+                const double sb = severity(b);
+                if (sa != sb) return sa > sb;
+                return a < b;
+              });
+    if (!order.empty()) {
+      record.score = sample.scores[order[0]];
+      record.threshold = thresholds[order[0]];
+    }
+    const std::size_t top_k = std::min(
+        {config_.history_top_k, channels, history::kMaxTopChannels});
+    record.top_channels.reserve(top_k);
+    for (std::size_t c = 0; c < top_k; ++c)
+      record.top_channels.push_back(static_cast<std::uint32_t>(order[c]));
+
+    for (const core::Alarm& alarm : alarms) {
+      if (alarm.timestamp == sample.timestamp) {
+        record.alarm = true;
+        break;
+      }
+    }
+    records.push_back(std::move(record));
+  }
+  lane->history_cursor = samples.size();
+  return records;
+}
+
 std::size_t FleetService::vehicle_count() const {
   std::lock_guard<std::mutex> lock(ingest_mu_);
   return lanes_.size();
@@ -348,6 +466,7 @@ void FleetService::SaveLocked(persist::Snapshot* snapshot) const {
     persist::Encoder lane_encoder;
     lane_encoder.PutI32(lane.vehicle_id);
     lane_encoder.PutU64(lane.next_vehicle_seq);
+    lane_encoder.PutU64(lane.last_global_seq);
     lane.monitor.Save(lane_encoder);
     snapshot->Add("lane." + std::to_string(i), std::move(lane_encoder));
   }
@@ -363,6 +482,16 @@ util::Status FleetService::Checkpoint(const std::string& path) {
   if (draining_ || drained_)
     return util::Status::Error("checkpoint: service is draining or drained");
   pool_.WaitIdle();
+  if (checkpoint_barrier_) {
+    // Make dependent state (the history log) durable BEFORE the snapshot:
+    // whichever of the two files a crash leaves behind, the log always
+    // covers at least the surviving checkpoint, so a restore's replay can
+    // re-emit the difference and never has to invent lost records.
+    const util::Status status = checkpoint_barrier_();
+    if (!status.ok())
+      return util::Status::Error("checkpoint barrier failed: " +
+                                 status.message());
+  }
   persist::Snapshot snapshot;
   SaveLocked(&snapshot);
   return persist::WriteSnapshot(path, snapshot);
@@ -407,14 +536,19 @@ util::Status FleetService::RestoreFrom(const persist::Snapshot& snapshot) {
     persist::Decoder decoder(chunk->payload.data(), chunk->payload.size());
     const std::int32_t vehicle_id = decoder.GetI32();
     const std::uint64_t next_vehicle_seq = decoder.GetU64();
+    const std::uint64_t last_global_seq = decoder.GetU64();
     if (decoder.ok() && lane_index_.count(vehicle_id) != 0)
       decoder.Fail("duplicate vehicle id " + std::to_string(vehicle_id));
     if (!decoder.ok()) return decoder.ToStatus(tag + " chunk");
     VehicleLane* lane = LaneOfLocked(vehicle_id);
     lane->next_vehicle_seq = next_vehicle_seq;
+    lane->last_global_seq = last_global_seq;
     if (!lane->monitor.Restore(decoder)) return decoder.ToStatus(tag + " chunk");
     status = decoder.ToStatus(tag + " chunk");
     if (!status.ok()) return status;
+    // Samples restored with the monitor were already released (and logged,
+    // when a history writer was attached) before the checkpoint.
+    lane->history_cursor = lane->monitor.scored_samples().size();
   }
 
   const persist::SnapshotChunk* sink_chunk = snapshot.Find("sink");

@@ -38,6 +38,7 @@
 
 #include "core/fleet_runner.h"
 #include "core/monitor.h"
+#include "history/history_log.h"
 #include "persist/snapshot.h"
 #include "runtime/bounded_queue.h"
 #include "runtime/runtime_config.h"
@@ -84,6 +85,9 @@ struct ServiceConfig {
   /// Frames a pump task processes before rescheduling itself, so one
   /// flooded vehicle cannot monopolise a worker while others wait.
   std::size_t pump_batch = 64;
+  /// Contributing score channels recorded per history entry (worst first)
+  /// when a history callback is installed; see set_history_callback.
+  std::size_t history_top_k = 4;
 };
 
 /// Counters of one service run. Totals are exact after Drain().
@@ -141,6 +145,14 @@ using AlarmCallback = std::function<void(const core::Alarm&)>;
 /// threading rules as AlarmCallback. Used by the throughput bench to
 /// measure per-frame latency.
 using CompletionCallback = std::function<void(const FrameCompletion&)>;
+
+/// Observer of history records as the ordered sink releases them: one
+/// record per scored sample, in the deterministic total order (same
+/// threading rules as AlarmCallback - possibly from worker threads, never
+/// concurrently with itself). The intended target is
+/// history::HistoryService::Append, which makes the anomaly log's order
+/// equal the sink's release order at any thread count.
+using HistoryCallback = std::function<void(const history::HistoryRecord&)>;
 
 /// The streaming fleet service. Typical lifecycle:
 ///
@@ -222,6 +234,25 @@ class FleetService {
   /// first Submit.
   void set_completion_callback(CompletionCallback callback);
 
+  /// Installs the anomaly-history observer: one history::HistoryRecord per
+  /// scored sample (score/threshold of the worst channel, the alarm bit,
+  /// and the config's history_top_k worst channel indices), delivered in
+  /// the ordered sink's deterministic total order. Must be set before the
+  /// first Submit. Record construction is skipped entirely when no
+  /// callback is installed.
+  void set_history_callback(HistoryCallback callback);
+
+  /// Installs a barrier run inside every Checkpoint after the quiesce
+  /// (WaitIdle) and before the snapshot is written - with ingest blocked
+  /// and every released record already delivered to the callbacks. The
+  /// intended use is flushing an attached history log so a checkpoint
+  /// never claims coverage the log has not made durable: after a crash,
+  /// the log provably holds every record below the checkpoint, and the
+  /// restore's replay re-emits only what followed (duplicates are skipped
+  /// by the writer's cursor). A failing barrier fails the Checkpoint
+  /// without writing the snapshot. Must be set before the first Submit.
+  void set_checkpoint_barrier(std::function<util::Status()> barrier);
+
   /// Number of registered vehicles (lanes).
   std::size_t vehicle_count() const;
 
@@ -268,6 +299,12 @@ class FleetService {
     std::mutex pump_mu;            ///< Guards pump_scheduled.
     bool pump_scheduled = false;   ///< A pump task is queued or running.
     std::uint64_t next_vehicle_seq = 0;  ///< Producer side (under ingest_mu_).
+    /// Scored samples already turned into history records (pump-owned).
+    std::size_t history_cursor = 0;
+    /// Global seq of the lane's last pumped frame: the seq end-of-stream
+    /// flush records are attributed to. Persisted in checkpoints so a
+    /// restored run attributes its flush records identically.
+    std::uint64_t last_global_seq = 0;
   };
 
   /// Restores the deterministic total order: completions buffer until
@@ -275,13 +312,19 @@ class FleetService {
   class OrderedSink {
    public:
     /// Records the completion of frame `global_seq` and releases every
-    /// contiguous completion from the release cursor onwards.
+    /// contiguous completion from the release cursor onwards. `records`
+    /// are the frame's history records, released (history callback) in
+    /// the same deterministic order as its alarms.
     void Complete(std::uint64_t global_seq, std::uint64_t vehicle_seq,
-                  std::int32_t vehicle_id, std::vector<core::Alarm> alarms);
+                  std::int32_t vehicle_id, std::vector<core::Alarm> alarms,
+                  std::vector<history::HistoryRecord> records);
 
-    /// Appends alarms that bypass sequencing (the end-of-stream monitor
-    /// flushes, which run after the drain barrier in lane order).
-    void AppendUnsequenced(std::int32_t vehicle_id, std::vector<core::Alarm> alarms);
+    /// Appends alarms/history records that bypass sequencing (the
+    /// end-of-stream monitor flushes, which run after the drain barrier
+    /// in lane order).
+    void AppendUnsequenced(std::int32_t vehicle_id,
+                           std::vector<core::Alarm> alarms,
+                           std::vector<history::HistoryRecord> records);
 
     /// Released alarms in total order; stable only once the service drained.
     std::vector<core::Alarm>& alarms() { return alarms_; }
@@ -303,6 +346,7 @@ class FleetService {
 
     AlarmCallback alarm_callback;            ///< Optional observer.
     CompletionCallback completion_callback;  ///< Optional observer.
+    HistoryCallback history_callback;        ///< Optional observer.
 
    private:
     mutable std::mutex mu_;
@@ -310,6 +354,8 @@ class FleetService {
     /// Out-of-order completions waiting for their turn, keyed by sequence.
     std::map<std::uint64_t, FrameCompletion> pending_;
     std::map<std::uint64_t, std::vector<core::Alarm>> pending_alarms_;
+    std::map<std::uint64_t, std::vector<history::HistoryRecord>>
+        pending_records_;
     std::vector<core::Alarm> alarms_;
     std::size_t frames_processed_ = 0;
   };
@@ -325,6 +371,15 @@ class FleetService {
   /// monitor, then reschedules itself if the lane is still non-empty.
   void PumpLane(VehicleLane* lane);
 
+  /// Builds history records for the lane's scored samples beyond its
+  /// history cursor (advancing it), attributing them to global sequence
+  /// number `global_seq` and matching `alarms` to set the alarm bit.
+  /// Called by the owning pump (or under the drain barrier), so the
+  /// monitor state it reads is stable.
+  std::vector<history::HistoryRecord> BuildHistoryRecords(
+      VehicleLane* lane, const std::vector<core::Alarm>& alarms,
+      std::uint64_t global_seq);
+
   /// Serialises the quiescent service into `snapshot`. Caller holds
   /// ingest_mu_ and has passed the WaitIdle barrier.
   void SaveLocked(persist::Snapshot* snapshot) const;
@@ -335,6 +390,9 @@ class FleetService {
   std::vector<std::unique_ptr<VehicleLane>> lanes_;  ///< Registration order.
   std::unordered_map<std::int32_t, std::size_t> lane_index_;
   std::uint64_t next_global_seq_ = 0;
+  bool history_enabled_ = false;  ///< A history callback is installed.
+  /// Run inside Checkpoint between the quiesce and the snapshot write.
+  std::function<util::Status()> checkpoint_barrier_;
   bool ingest_started_ = false;  ///< A frame has been offered to Submit.
   bool draining_ = false;
   bool drained_ = false;

@@ -1,0 +1,290 @@
+// The history subsystem's headline guarantee: the on-disk anomaly log -
+// and therefore every RANK / TIMELINE / COMOVE answer - is bit-identical
+// whether it was written live at any worker thread count, replayed through
+// a fresh writer with different segmentation, or recovered after a kill -9
+// that tore the active tail mid-block and lost the buffered remainder,
+// with the service restored from its last checkpoint and the stream
+// replayed.
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "history/history_log.h"
+#include "history/history_service.h"
+#include "history/query.h"
+#include "runtime/runtime_config.h"
+#include "service/fleet_service.h"
+#include "telemetry/fleet.h"
+#include "telemetry/stream.h"
+
+namespace navarchos {
+namespace {
+
+telemetry::FleetConfig SmallFleetConfig() {
+  telemetry::FleetConfig config = telemetry::FleetConfig::TestScale();
+  config.days = 30;
+  return config;
+}
+
+core::MonitorConfig FastMonitorConfig() {
+  core::MonitorConfig config;
+  config.transform_options.window = 60;
+  config.transform_options.stride = 10;
+  config.profile_minutes = 400.0;
+  config.threshold.burn_in_minutes = 120.0;
+  config.threshold.persistence_minutes = 60.0;
+  return config;
+}
+
+service::ServiceConfig ServiceConfigWith(int threads) {
+  service::ServiceConfig config;
+  config.monitor = FastMonitorConfig();
+  config.runtime = runtime::RuntimeConfig{threads};
+  config.queue_capacity = 32;
+  return config;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void ExpectLogsIdentical(const std::string& dir_a, const std::string& dir_b) {
+  std::vector<history::VehicleLogData> a, b;
+  ASSERT_TRUE(history::HistoryReader::ReadDir(dir_a, &a).ok());
+  ASSERT_TRUE(history::HistoryReader::ReadDir(dir_b, &b).ok());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    ASSERT_EQ(a[v].vehicle_id, b[v].vehicle_id);
+    ASSERT_EQ(a[v].records.size(), b[v].records.size())
+        << "vehicle " << a[v].vehicle_id;
+    for (std::size_t i = 0; i < a[v].records.size(); ++i) {
+      const history::HistoryRecord& ra = a[v].records[i];
+      const history::HistoryRecord& rb = b[v].records[i];
+      const std::string where = "vehicle " + std::to_string(a[v].vehicle_id) +
+                                " record " + std::to_string(i);
+      ASSERT_EQ(ra.global_seq, rb.global_seq) << where;
+      ASSERT_EQ(ra.timestamp, rb.timestamp) << where;
+      ASSERT_EQ(ra.score, rb.score) << where;
+      ASSERT_EQ(ra.threshold, rb.threshold) << where;
+      ASSERT_EQ(ra.alarm, rb.alarm) << where;
+      ASSERT_EQ(ra.top_channels, rb.top_channels) << where;
+    }
+  }
+}
+
+/// Compares every query family's answer over the two directories. The
+/// comparisons are exact (==) on every field, doubles included: the win
+/// condition is bit-identity, not closeness.
+void ExpectQueriesIdentical(const std::string& dir_a,
+                            const std::string& dir_b) {
+  const history::QueryEngine engine_a(dir_a);
+  const history::QueryEngine engine_b(dir_b);
+
+  history::RankResult rank_a, rank_b;
+  ASSERT_TRUE(engine_a.Rank(history::RankQuery{}, &rank_a).ok());
+  ASSERT_TRUE(engine_b.Rank(history::RankQuery{}, &rank_b).ok());
+  ASSERT_EQ(rank_a.entries.size(), rank_b.entries.size());
+  for (std::size_t i = 0; i < rank_a.entries.size(); ++i) {
+    ASSERT_EQ(rank_a.entries[i].vehicle_id, rank_b.entries[i].vehicle_id);
+    ASSERT_EQ(rank_a.entries[i].records, rank_b.entries[i].records);
+    ASSERT_EQ(rank_a.entries[i].alarms, rank_b.entries[i].alarms);
+    ASSERT_EQ(rank_a.entries[i].mean_ratio, rank_b.entries[i].mean_ratio);
+    ASSERT_EQ(rank_a.entries[i].max_ratio, rank_b.entries[i].max_ratio);
+    ASSERT_EQ(rank_a.entries[i].last_ts, rank_b.entries[i].last_ts);
+  }
+
+  for (const history::RankEntry& entry : rank_a.entries) {
+    history::TimelineQuery query;
+    query.vehicle_id = entry.vehicle_id;
+    history::TimelineResult timeline_a, timeline_b;
+    ASSERT_TRUE(engine_a.Timeline(query, &timeline_a).ok());
+    ASSERT_TRUE(engine_b.Timeline(query, &timeline_b).ok());
+    ASSERT_EQ(timeline_a.records.size(), timeline_b.records.size());
+    for (std::size_t i = 0; i < timeline_a.records.size(); ++i) {
+      ASSERT_EQ(timeline_a.records[i].global_seq,
+                timeline_b.records[i].global_seq);
+      ASSERT_EQ(timeline_a.records[i].score, timeline_b.records[i].score);
+      ASSERT_EQ(timeline_a.records[i].threshold,
+                timeline_b.records[i].threshold);
+    }
+  }
+
+  // COMOVE around the first alarmed record, when the log has one.
+  std::vector<history::VehicleLogData> logs;
+  ASSERT_TRUE(history::HistoryReader::ReadDir(dir_a, &logs).ok());
+  for (const history::VehicleLogData& log : logs) {
+    for (const history::HistoryRecord& record : log.records) {
+      if (!record.alarm) continue;
+      history::ComoveQuery query;
+      query.alarm_seq = record.global_seq;
+      history::ComoveResult comove_a, comove_b;
+      ASSERT_TRUE(engine_a.Comove(query, &comove_a).ok());
+      ASSERT_TRUE(engine_b.Comove(query, &comove_b).ok());
+      ASSERT_EQ(comove_a.vehicle_id, comove_b.vehicle_id);
+      ASSERT_EQ(comove_a.alarm_ts, comove_b.alarm_ts);
+      ASSERT_EQ(comove_a.entries.size(), comove_b.entries.size());
+      for (std::size_t i = 0; i < comove_a.entries.size(); ++i) {
+        ASSERT_EQ(comove_a.entries[i].channel, comove_b.entries[i].channel);
+        ASSERT_EQ(comove_a.entries[i].hits, comove_b.entries[i].hits);
+        ASSERT_EQ(comove_a.entries[i].weight, comove_b.entries[i].weight);
+      }
+      return;  // one anchor is enough
+    }
+  }
+}
+
+/// Streams the whole fleet through a service with a history log attached.
+void RunWithHistory(const std::vector<telemetry::SensorFrame>& stream,
+                    const std::vector<std::int32_t>& ids, int threads,
+                    const std::string& dir) {
+  history::HistoryService history(dir);
+  ASSERT_TRUE(history.Open().ok());
+  service::FleetService svc(ServiceConfigWith(threads));
+  svc.set_history_callback([&history](const history::HistoryRecord& record) {
+    history.Append(record);
+  });
+  for (const std::int32_t id : ids) svc.RegisterVehicle(id);
+  for (const telemetry::SensorFrame& frame : stream) svc.Submit(frame);
+  svc.Drain();
+  ASSERT_TRUE(history.Flush().ok());
+  ASSERT_TRUE(history.first_error().ok()) << history.first_error().message();
+}
+
+TEST(HistoryDeterminismTest, LiveLogIsIdenticalAcrossThreadCounts) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const std::string dir_serial = FreshDir("navhist_det_t1");
+  const std::string dir_parallel = FreshDir("navhist_det_t4");
+  RunWithHistory(stream, ids, 1, dir_serial);
+  RunWithHistory(stream, ids, 4, dir_parallel);
+  ExpectLogsIdentical(dir_serial, dir_parallel);
+  ExpectQueriesIdentical(dir_serial, dir_parallel);
+  std::filesystem::remove_all(dir_serial);
+  std::filesystem::remove_all(dir_parallel);
+}
+
+TEST(HistoryDeterminismTest, ReplayThroughDifferentSegmentationIsIdentical) {
+  // Queries depend only on the records, not on how segments happened to
+  // roll: replaying a live log through a writer with tiny segments and
+  // blocks answers identically.
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const std::string dir_live = FreshDir("navhist_det_live");
+  const std::string dir_replay = FreshDir("navhist_det_replay");
+  RunWithHistory(stream, ids, 4, dir_live);
+
+  std::vector<history::VehicleLogData> logs;
+  ASSERT_TRUE(history::HistoryReader::ReadDir(dir_live, &logs).ok());
+  history::HistoryConfig tiny;
+  tiny.segment_bytes = 1024;
+  tiny.block_records = 3;
+  history::HistoryWriter writer(tiny);
+  ASSERT_TRUE(writer.Open(dir_replay).ok());
+  // Replay in the global release order (merge by global_seq across the
+  // per-vehicle logs) to mimic the live callback order.
+  std::vector<history::HistoryRecord> all;
+  for (history::VehicleLogData& log : logs)
+    all.insert(all.end(), log.records.begin(), log.records.end());
+  std::stable_sort(all.begin(), all.end(),
+                   [](const history::HistoryRecord& a,
+                      const history::HistoryRecord& b) {
+                     return a.global_seq < b.global_seq;
+                   });
+  for (const history::HistoryRecord& record : all)
+    ASSERT_TRUE(writer.Append(record).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  ExpectLogsIdentical(dir_live, dir_replay);
+  ExpectQueriesIdentical(dir_live, dir_replay);
+  std::filesystem::remove_all(dir_live);
+  std::filesystem::remove_all(dir_replay);
+}
+
+TEST(HistoryDeterminismTest, KillMidSegmentRestoreReplayIsIdentical) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+
+  const std::string dir_reference = FreshDir("navhist_det_ref");
+  RunWithHistory(stream, ids, 4, dir_reference);
+
+  const std::string dir_crash = FreshDir("navhist_det_crash");
+  const std::string snapshot =
+      (std::filesystem::temp_directory_path() / "navhist_det_ckpt.bin")
+          .string();
+  const std::size_t cut = stream.size() / 2;
+  const std::size_t killed = stream.size() * 3 / 4;
+  {
+    // The doomed run: checkpoint at `cut` (the barrier flushes the log
+    // inside the quiesced window), keep streaming, then "die" at `killed` -
+    // the callback goes dead, buffered pending records are lost with the
+    // process (the writer's destructor does not flush), and the checkpoint
+    // on disk stays the one from `cut`.
+    history::HistoryService history(dir_crash);
+    ASSERT_TRUE(history.Open().ok());
+    bool crashed = false;
+    service::FleetService svc(ServiceConfigWith(4));
+    svc.set_history_callback(
+        [&history, &crashed](const history::HistoryRecord& record) {
+          if (!crashed) history.Append(record);
+        });
+    svc.set_checkpoint_barrier([&history] { return history.Flush(); });
+    for (const std::int32_t id : ids) svc.RegisterVehicle(id);
+    for (std::size_t i = 0; i < cut; ++i) svc.Submit(stream[i]);
+    ASSERT_TRUE(svc.Checkpoint(snapshot).ok());
+    for (std::size_t i = cut; i < killed; ++i) svc.Submit(stream[i]);
+    crashed = true;
+    // The service object drains on destruction, but with the callback dead
+    // nothing more reaches the log - exactly a SIGKILL's view of disk.
+  }
+  {
+    // Tear the tail as a kill mid-write() would: trailing garbage that
+    // fails the block framing on the next Open.
+    std::string part;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_crash))
+      if (entry.path().extension() == ".part") {
+        part = entry.path().string();
+        break;
+      }
+    ASSERT_FALSE(part.empty());
+    std::ofstream out(part, std::ios::binary | std::ios::app);
+    const char garbage[] = {0x19, 0x00, 0x00, 0x00, 0x5a};
+    out.write(garbage, sizeof garbage);
+  }
+
+  // Recovery: restore the service from the checkpoint, reopen the log
+  // (truncating the torn tail), replay the remaining stream. Records below
+  // the recovered cursor are skipped, the lost tail is regenerated.
+  history::HistoryService history(dir_crash);
+  ASSERT_TRUE(history.Open().ok());
+  service::FleetService svc(ServiceConfigWith(4));
+  svc.set_history_callback([&history](const history::HistoryRecord& record) {
+    history.Append(record);
+  });
+  ASSERT_TRUE(svc.RestoreFromFile(snapshot).ok());
+  EXPECT_EQ(svc.stats().frames_accepted, cut);
+  for (std::size_t i = cut; i < stream.size(); ++i) svc.Submit(stream[i]);
+  svc.Drain();
+  ASSERT_TRUE(history.Flush().ok());
+  ASSERT_TRUE(history.first_error().ok()) << history.first_error().message();
+  EXPECT_GT(history.writer_stats().records_skipped, 0u);
+
+  ExpectLogsIdentical(dir_reference, dir_crash);
+  ExpectQueriesIdentical(dir_reference, dir_crash);
+  std::filesystem::remove_all(dir_reference);
+  std::filesystem::remove_all(dir_crash);
+  std::filesystem::remove(snapshot);
+}
+
+}  // namespace
+}  // namespace navarchos

@@ -1,0 +1,407 @@
+// The anomaly history log's durability contract: records round-trip
+// exactly through the segment format, tails survive close/reopen, segments
+// roll and seal atomically, torn tail blocks are detected by CRC and
+// truncated (never served), sealed-segment corruption is a hard error, a
+// crash between seal-rename and part-unlink resolves to the sealed twin,
+// and re-appending already-logged records is skipped (the idempotence that
+// makes checkpoint replay safe).
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "history/history_log.h"
+
+namespace navarchos::history {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+HistoryRecord MakeRecord(std::int32_t vehicle, std::uint64_t seq,
+                         std::int64_t ts, double score, double threshold,
+                         bool alarm,
+                         std::vector<std::uint32_t> channels = {1, 0}) {
+  HistoryRecord record;
+  record.vehicle_id = vehicle;
+  record.global_seq = seq;
+  record.timestamp = ts;
+  record.score = score;
+  record.threshold = threshold;
+  record.alarm = alarm;
+  record.top_channels = std::move(channels);
+  return record;
+}
+
+/// A deterministic multi-vehicle record stream: `count` records round-robin
+/// over `vehicles`, seq/ts strictly increasing, varied channel lists.
+std::vector<HistoryRecord> MakeStream(std::size_t count, int vehicles) {
+  std::vector<HistoryRecord> records;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto vehicle = static_cast<std::int32_t>(i % vehicles);
+    std::vector<std::uint32_t> channels;
+    for (std::uint32_t c = 0; c < 1 + i % 4; ++c) channels.push_back((c * 7 + static_cast<std::uint32_t>(i)) % 16);
+    records.push_back(MakeRecord(vehicle, 10 + i, 1000 + 3 * static_cast<std::int64_t>(i),
+                                 0.25 * static_cast<double>(i % 9),
+                                 1.5 + static_cast<double>(i % 3), i % 17 == 0,
+                                 std::move(channels)));
+  }
+  return records;
+}
+
+void ExpectRecordEqual(const HistoryRecord& got, const HistoryRecord& want,
+                       const std::string& where) {
+  EXPECT_EQ(got.vehicle_id, want.vehicle_id) << where;
+  EXPECT_EQ(got.global_seq, want.global_seq) << where;
+  EXPECT_EQ(got.timestamp, want.timestamp) << where;
+  EXPECT_EQ(got.score, want.score) << where;
+  EXPECT_EQ(got.threshold, want.threshold) << where;
+  EXPECT_EQ(got.alarm, want.alarm) << where;
+  EXPECT_EQ(got.top_channels, want.top_channels) << where;
+}
+
+/// Reads the whole directory and checks it holds exactly `want`, in the
+/// original per-vehicle order.
+void ExpectLogHolds(const std::string& dir,
+                    const std::vector<HistoryRecord>& want) {
+  std::vector<VehicleLogData> logs;
+  const util::Status status = HistoryReader::ReadDir(dir, &logs);
+  ASSERT_TRUE(status.ok()) << status.message();
+  std::map<std::int32_t, std::vector<HistoryRecord>> expected;
+  for (const HistoryRecord& record : want)
+    expected[record.vehicle_id].push_back(record);
+  ASSERT_EQ(logs.size(), expected.size());
+  for (const VehicleLogData& log : logs) {
+    const auto it = expected.find(log.vehicle_id);
+    ASSERT_NE(it, expected.end()) << "vehicle " << log.vehicle_id;
+    ASSERT_EQ(log.records.size(), it->second.size())
+        << "vehicle " << log.vehicle_id;
+    for (std::size_t i = 0; i < log.records.size(); ++i)
+      ExpectRecordEqual(log.records[i], it->second[i],
+                        "vehicle " + std::to_string(log.vehicle_id) +
+                            " record " + std::to_string(i));
+  }
+}
+
+/// The path of `vehicle`'s single active .part under `dir`; "" if absent.
+std::string PartPathOf(const std::string& dir, std::int32_t vehicle) {
+  const std::string prefix = "v" + std::to_string(vehicle) + "_";
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) == 0 && entry.path().extension() == ".part")
+      return entry.path().string();
+  }
+  return "";
+}
+
+std::size_t CountFiles(const std::string& dir, const std::string& ext) {
+  std::size_t count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().extension() == ext) ++count;
+  return count;
+}
+
+TEST(HistoryLogTest, RoundtripAcrossVehiclesAndBlocks) {
+  const std::string dir = FreshDir("navhist_roundtrip");
+  const std::vector<HistoryRecord> records = MakeStream(500, 3);
+  HistoryConfig config;
+  config.block_records = 16;  // several blocks per vehicle
+  HistoryWriter writer(config);
+  ASSERT_TRUE(writer.Open(dir).ok());
+  for (const HistoryRecord& record : records)
+    ASSERT_TRUE(writer.Append(record).ok());
+  ASSERT_TRUE(writer.Flush().ok());
+  EXPECT_EQ(writer.stats().records_appended, records.size());
+  EXPECT_EQ(writer.stats().records_skipped, 0u);
+  ExpectLogHolds(dir, records);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HistoryLogTest, TailSurvivesCloseAndReopen) {
+  const std::string dir = FreshDir("navhist_reopen");
+  const std::vector<HistoryRecord> records = MakeStream(120, 2);
+  {
+    HistoryWriter writer;
+    ASSERT_TRUE(writer.Open(dir).ok());
+    for (std::size_t i = 0; i < 60; ++i)
+      ASSERT_TRUE(writer.Append(records[i]).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  {
+    HistoryWriter writer;
+    ASSERT_TRUE(writer.Open(dir).ok());
+    for (std::size_t i = 60; i < records.size(); ++i)
+      ASSERT_TRUE(writer.Append(records[i]).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  ExpectLogHolds(dir, records);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HistoryLogTest, SegmentsRollAndSealAtConfiguredSize) {
+  const std::string dir = FreshDir("navhist_roll");
+  HistoryConfig config;
+  config.segment_bytes = 512;  // tiny: force several seals per vehicle
+  config.block_records = 4;
+  const std::vector<HistoryRecord> records = MakeStream(400, 2);
+  HistoryWriter writer(config);
+  ASSERT_TRUE(writer.Open(dir).ok());
+  for (const HistoryRecord& record : records)
+    ASSERT_TRUE(writer.Append(record).ok());
+  ASSERT_TRUE(writer.Flush().ok());
+  EXPECT_GE(writer.stats().segments_sealed, 4u);
+  EXPECT_GE(CountFiles(dir, ".hseg"), 4u);
+  // Sealing leaves no .tmp behind and at most one .part per vehicle.
+  EXPECT_EQ(CountFiles(dir, ".tmp"), 0u);
+  EXPECT_LE(CountFiles(dir, ".part"), 2u);
+  ExpectLogHolds(dir, records);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HistoryLogTest, TornTailGarbageIsDetectedAndTruncated) {
+  const std::string dir = FreshDir("navhist_torn");
+  const std::vector<HistoryRecord> records = MakeStream(100, 1);
+  {
+    HistoryWriter writer;
+    ASSERT_TRUE(writer.Open(dir).ok());
+    for (const HistoryRecord& record : records)
+      ASSERT_TRUE(writer.Append(record).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  // Simulate a kill -9 mid-write: a partial block frame at the tail.
+  const std::string part = PartPathOf(dir, 0);
+  ASSERT_FALSE(part.empty());
+  const auto clean_size = std::filesystem::file_size(part);
+  {
+    std::ofstream out(part, std::ios::binary | std::ios::app);
+    const char garbage[] = {0x40, 0x00, 0x00, 0x00, 0x13, 0x37, 0x00};
+    out.write(garbage, sizeof garbage);
+  }
+
+  // The read-only reader serves the valid prefix and counts (but does not
+  // remove) the torn bytes.
+  std::vector<VehicleLogData> logs;
+  ReadStats read_stats;
+  ASSERT_TRUE(HistoryReader::ReadDir(dir, &logs, &read_stats).ok());
+  EXPECT_EQ(read_stats.torn_tail_bytes, sizeof(char[7]));
+  ASSERT_EQ(logs.size(), 1u);
+  EXPECT_EQ(logs[0].records.size(), records.size());
+  EXPECT_EQ(std::filesystem::file_size(part), clean_size + 7);
+
+  // Reopening the writer truncates the torn bytes and appends cleanly.
+  HistoryWriter writer;
+  ASSERT_TRUE(writer.Open(dir).ok());
+  EXPECT_EQ(writer.stats().torn_bytes_truncated, 7u);
+  EXPECT_EQ(std::filesystem::file_size(part), clean_size);
+  std::vector<HistoryRecord> extended = records;
+  extended.push_back(MakeRecord(0, 5000, 99999, 4.5, 1.0, true));
+  ASSERT_TRUE(writer.Append(extended.back()).ok());
+  ASSERT_TRUE(writer.Flush().ok());
+  ExpectLogHolds(dir, extended);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HistoryLogTest, CorruptedTailBlockFailsItsCrcAndIsDropped) {
+  const std::string dir = FreshDir("navhist_crcflip");
+  HistoryConfig config;
+  config.block_records = 10;
+  const std::vector<HistoryRecord> records = MakeStream(40, 1);
+  {
+    HistoryWriter writer(config);
+    ASSERT_TRUE(writer.Open(dir).ok());
+    for (const HistoryRecord& record : records)
+      ASSERT_TRUE(writer.Append(record).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  const std::string part = PartPathOf(dir, 0);
+  ASSERT_FALSE(part.empty());
+  const auto size = std::filesystem::file_size(part);
+  {
+    // Flip one byte inside the final block's payload.
+    std::fstream file(part, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(static_cast<std::streamoff>(size) - 20);
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(static_cast<std::streamoff>(size) - 20);
+    byte = static_cast<char>(byte ^ 0x20);
+    file.write(&byte, 1);
+  }
+  std::vector<VehicleLogData> logs;
+  ReadStats read_stats;
+  ASSERT_TRUE(HistoryReader::ReadDir(dir, &logs, &read_stats).ok());
+  ASSERT_EQ(logs.size(), 1u);
+  // The final (corrupt) block is dropped, every block before it survives.
+  EXPECT_EQ(logs[0].records.size(), 30u);
+  EXPECT_GT(read_stats.torn_tail_bytes, 0u);
+  for (std::size_t i = 0; i < logs[0].records.size(); ++i)
+    ExpectRecordEqual(logs[0].records[i], records[i],
+                      "record " + std::to_string(i));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HistoryLogTest, CorruptedSealedSegmentIsAHardError) {
+  const std::string dir = FreshDir("navhist_sealed_corrupt");
+  HistoryConfig config;
+  config.segment_bytes = 512;
+  config.block_records = 4;
+  const std::vector<HistoryRecord> records = MakeStream(200, 1);
+  {
+    HistoryWriter writer(config);
+    ASSERT_TRUE(writer.Open(dir).ok());
+    for (const HistoryRecord& record : records)
+      ASSERT_TRUE(writer.Append(record).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  std::string sealed;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().extension() == ".hseg") sealed = entry.path().string();
+  ASSERT_FALSE(sealed.empty());
+  {
+    std::fstream file(sealed, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(static_cast<std::streamoff>(
+        std::filesystem::file_size(sealed) / 2));
+    const char byte = 0x7f;
+    file.write(&byte, 1);
+  }
+  std::vector<VehicleLogData> logs;
+  const util::Status status = HistoryReader::ReadDir(dir, &logs);
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(status.message().empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HistoryLogTest, CrashBetweenSealRenameAndUnlinkPrefersSealedTwin) {
+  const std::string dir = FreshDir("navhist_twin");
+  HistoryConfig config;
+  config.segment_bytes = 512;
+  config.block_records = 4;
+  const std::vector<HistoryRecord> records = MakeStream(200, 1);
+  {
+    HistoryWriter writer(config);
+    ASSERT_TRUE(writer.Open(dir).ok());
+    for (const HistoryRecord& record : records)
+      ASSERT_TRUE(writer.Append(record).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  // Recreate a stale .part next to a sealed .hseg - the state a crash
+  // between rename and unlink leaves behind. Give it truncated content so
+  // preferring it would visibly lose records.
+  std::string sealed;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().extension() == ".hseg") {
+      sealed = entry.path().string();
+      break;
+    }
+  ASSERT_FALSE(sealed.empty());
+  std::string stale = sealed;
+  stale.replace(stale.size() - 5, 5, ".part");
+  {
+    std::ifstream in(sealed, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    std::ofstream out(stale, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  // Both reader and writer resolve the twin to the sealed segment...
+  ExpectLogHolds(dir, records);
+  HistoryWriter writer(config);
+  ASSERT_TRUE(writer.Open(dir).ok());
+  // ... and Open removes the stale twin for good.
+  EXPECT_FALSE(std::filesystem::exists(stale));
+  ExpectLogHolds(dir, records);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HistoryLogTest, ReappendingLoggedRecordsIsSkipped) {
+  const std::string dir = FreshDir("navhist_idem");
+  const std::vector<HistoryRecord> records = MakeStream(150, 2);
+  {
+    HistoryWriter writer;
+    ASSERT_TRUE(writer.Open(dir).ok());
+    for (const HistoryRecord& record : records)
+      ASSERT_TRUE(writer.Append(record).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  // A checkpoint replay re-offers the whole stream plus new tail records:
+  // the logged prefix must be skipped, the tail appended.
+  std::vector<HistoryRecord> extended = records;
+  extended.push_back(MakeRecord(0, 9000, 77777, 2.5, 1.25, true, {3}));
+  extended.push_back(MakeRecord(1, 9001, 77778, 0.5, 1.25, false, {2, 4}));
+  HistoryWriter writer;
+  ASSERT_TRUE(writer.Open(dir).ok());
+  for (const HistoryRecord& record : extended)
+    ASSERT_TRUE(writer.Append(record).ok());
+  ASSERT_TRUE(writer.Flush().ok());
+  EXPECT_EQ(writer.stats().records_skipped, records.size());
+  EXPECT_EQ(writer.stats().records_appended, 2u);
+  ExpectLogHolds(dir, extended);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HistoryLogTest, RecordsSharingAGlobalSeqReplayIdempotently) {
+  const std::string dir = FreshDir("navhist_subseq");
+  // A frame releasing several reorder-buffered samples logs them all under
+  // one global seq; the (seq, sub) cursor must disambiguate them.
+  std::vector<HistoryRecord> records;
+  records.push_back(MakeRecord(4, 100, 10, 0.1, 1.0, false));
+  records.push_back(MakeRecord(4, 105, 20, 0.2, 1.0, false));
+  records.push_back(MakeRecord(4, 105, 30, 0.3, 1.0, true));
+  records.push_back(MakeRecord(4, 105, 40, 0.4, 1.0, false));
+  {
+    HistoryWriter writer;
+    ASSERT_TRUE(writer.Open(dir).ok());
+    for (const HistoryRecord& record : records)
+      ASSERT_TRUE(writer.Append(record).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  // Replay the identical stream; one more sample of seq 105 follows.
+  std::vector<HistoryRecord> extended = records;
+  extended.push_back(MakeRecord(4, 105, 50, 0.5, 1.0, false));
+  HistoryWriter writer;
+  ASSERT_TRUE(writer.Open(dir).ok());
+  for (const HistoryRecord& record : extended)
+    ASSERT_TRUE(writer.Append(record).ok());
+  ASSERT_TRUE(writer.Flush().ok());
+  EXPECT_EQ(writer.stats().records_skipped, records.size());
+  EXPECT_EQ(writer.stats().records_appended, 1u);
+  ExpectLogHolds(dir, extended);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HistoryLogTest, MissingDirectoryReadsAsEmpty) {
+  std::vector<VehicleLogData> logs;
+  ReadStats read_stats;
+  const util::Status status = HistoryReader::ReadDir(
+      FreshDir("navhist_missing"), &logs, &read_stats);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_TRUE(logs.empty());
+  EXPECT_EQ(read_stats.segments, 0u);
+}
+
+TEST(HistoryLogTest, HeaderTornPartIsRemovedOnOpen) {
+  const std::string dir = FreshDir("navhist_header_torn");
+  std::filesystem::create_directories(dir);
+  // A .part cut inside its header: nothing recoverable, Open removes it.
+  {
+    std::ofstream out(dir + "/v3_000000.part", std::ios::binary);
+    const char bytes[] = {0x4e, 0x48, 0x53};
+    out.write(bytes, sizeof bytes);
+  }
+  HistoryWriter writer;
+  ASSERT_TRUE(writer.Open(dir).ok());
+  EXPECT_FALSE(std::filesystem::exists(dir + "/v3_000000.part"));
+  EXPECT_GT(writer.stats().torn_bytes_truncated, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace navarchos::history

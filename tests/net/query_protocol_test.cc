@@ -1,0 +1,393 @@
+// The QUERY / RESULT wire family: codec roundtrips for all three query
+// kinds, clean rejection of truncated and malformed payloads, and the
+// served path - a loopback IngestServer answering queries over a real
+// socket must return byte-identical results to a local QueryEngine over
+// the same log directory, including multi-page replies, while a server
+// without a history log refuses queries with a clean error.
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "history/history_log.h"
+#include "history/history_service.h"
+#include "history/query.h"
+#include "net/ingest_client.h"
+#include "net/ingest_server.h"
+#include "net/wire.h"
+#include "runtime/runtime_config.h"
+#include "service/fleet_service.h"
+#include "telemetry/stream.h"
+
+namespace navarchos::net {
+namespace {
+
+/// Runs an encoded full wire frame through MessageReader and returns the
+/// verified payload - the exact bytes DecodeQuery/DecodeResult see in
+/// production.
+std::vector<std::uint8_t> PayloadOf(const std::vector<std::uint8_t>& frame) {
+  MessageReader reader;
+  reader.Append(frame.data(), frame.size());
+  WireMessage message;
+  EXPECT_EQ(reader.Next(&message), MessageReader::Result::kMessage);
+  return message.payload;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+service::ServiceConfig TinyServiceConfig() {
+  service::ServiceConfig config;
+  config.runtime = runtime::RuntimeConfig{1};
+  config.queue_capacity = 2;
+  return config;
+}
+
+history::HistoryRecord MakeRecord(std::int32_t vehicle, std::uint64_t seq,
+                                  std::int64_t ts, double score,
+                                  double threshold, bool alarm,
+                                  std::vector<std::uint32_t> channels) {
+  history::HistoryRecord record;
+  record.vehicle_id = vehicle;
+  record.global_seq = seq;
+  record.timestamp = ts;
+  record.score = score;
+  record.threshold = threshold;
+  record.alarm = alarm;
+  record.top_channels = std::move(channels);
+  return record;
+}
+
+// ------------------------------------------------------------ codec level
+
+TEST(QueryProtocolTest, RankQueryRoundtrips) {
+  QueryMessage query;
+  query.kind = QueryKind::kRank;
+  query.rank.window_minutes = 1440;
+  query.rank.end_ts = 987654;
+  query.rank.limit = 25;
+  QueryMessage decoded;
+  ASSERT_TRUE(DecodeQuery(PayloadOf(EncodeQuery(query)), &decoded).ok());
+  EXPECT_EQ(decoded.kind, QueryKind::kRank);
+  EXPECT_EQ(decoded.rank.window_minutes, 1440);
+  EXPECT_EQ(decoded.rank.end_ts, 987654);
+  EXPECT_EQ(decoded.rank.limit, 25u);
+}
+
+TEST(QueryProtocolTest, TimelineQueryRoundtrips) {
+  QueryMessage query;
+  query.kind = QueryKind::kTimeline;
+  query.timeline.vehicle_id = -7;
+  query.timeline.start_ts = 100;
+  query.timeline.end_ts = 2000;
+  query.timeline.max_records = 64;
+  QueryMessage decoded;
+  ASSERT_TRUE(DecodeQuery(PayloadOf(EncodeQuery(query)), &decoded).ok());
+  EXPECT_EQ(decoded.kind, QueryKind::kTimeline);
+  EXPECT_EQ(decoded.timeline.vehicle_id, -7);
+  EXPECT_EQ(decoded.timeline.start_ts, 100);
+  EXPECT_EQ(decoded.timeline.end_ts, 2000);
+  EXPECT_EQ(decoded.timeline.max_records, 64u);
+}
+
+TEST(QueryProtocolTest, ComoveQueryRoundtrips) {
+  QueryMessage query;
+  query.kind = QueryKind::kComove;
+  query.comove.alarm_seq = 0xDEADBEEFCAFEull;
+  query.comove.window = 5;
+  QueryMessage decoded;
+  ASSERT_TRUE(DecodeQuery(PayloadOf(EncodeQuery(query)), &decoded).ok());
+  EXPECT_EQ(decoded.kind, QueryKind::kComove);
+  EXPECT_EQ(decoded.comove.alarm_seq, 0xDEADBEEFCAFEull);
+  EXPECT_EQ(decoded.comove.window, 5u);
+}
+
+TEST(QueryProtocolTest, ResultPagesRoundtripEveryKind) {
+  {
+    ResultMessage page;
+    page.kind = QueryKind::kRank;
+    page.page = 3;
+    page.last = false;
+    history::RankEntry entry;
+    entry.vehicle_id = 12;
+    entry.records = 400;
+    entry.alarms = 7;
+    entry.mean_ratio = 1.25;
+    entry.max_ratio = 9.5;
+    entry.last_ts = 86400;
+    page.rank_entries = {entry, entry};
+    ResultMessage decoded;
+    ASSERT_TRUE(DecodeResult(PayloadOf(EncodeResult(page)), &decoded).ok());
+    EXPECT_EQ(decoded.kind, QueryKind::kRank);
+    EXPECT_EQ(decoded.page, 3u);
+    EXPECT_FALSE(decoded.last);
+    ASSERT_EQ(decoded.rank_entries.size(), 2u);
+    EXPECT_EQ(decoded.rank_entries[1].vehicle_id, 12);
+    EXPECT_EQ(decoded.rank_entries[1].records, 400u);
+    EXPECT_EQ(decoded.rank_entries[1].alarms, 7u);
+    EXPECT_EQ(decoded.rank_entries[1].mean_ratio, 1.25);
+    EXPECT_EQ(decoded.rank_entries[1].max_ratio, 9.5);
+    EXPECT_EQ(decoded.rank_entries[1].last_ts, 86400);
+  }
+  {
+    ResultMessage page;
+    page.kind = QueryKind::kTimeline;
+    page.timeline_records = {
+        MakeRecord(4, 99, 1234, 3.5, 2.0, true, {8, 2, 5})};
+    ResultMessage decoded;
+    ASSERT_TRUE(DecodeResult(PayloadOf(EncodeResult(page)), &decoded).ok());
+    EXPECT_EQ(decoded.kind, QueryKind::kTimeline);
+    EXPECT_TRUE(decoded.last);
+    ASSERT_EQ(decoded.timeline_records.size(), 1u);
+    const history::HistoryRecord& record = decoded.timeline_records[0];
+    EXPECT_EQ(record.vehicle_id, 4);
+    EXPECT_EQ(record.global_seq, 99u);
+    EXPECT_EQ(record.timestamp, 1234);
+    EXPECT_EQ(record.score, 3.5);
+    EXPECT_EQ(record.threshold, 2.0);
+    EXPECT_TRUE(record.alarm);
+    EXPECT_EQ(record.top_channels, (std::vector<std::uint32_t>{8, 2, 5}));
+  }
+  {
+    ResultMessage page;
+    page.kind = QueryKind::kComove;
+    page.comove_vehicle_id = 3;
+    page.comove_alarm_ts = 777;
+    history::ComoveEntry entry;
+    entry.channel = 11;
+    entry.hits = 4;
+    entry.weight = 13;
+    page.comove_entries = {entry};
+    ResultMessage decoded;
+    ASSERT_TRUE(DecodeResult(PayloadOf(EncodeResult(page)), &decoded).ok());
+    EXPECT_EQ(decoded.kind, QueryKind::kComove);
+    EXPECT_EQ(decoded.comove_vehicle_id, 3);
+    EXPECT_EQ(decoded.comove_alarm_ts, 777);
+    ASSERT_EQ(decoded.comove_entries.size(), 1u);
+    EXPECT_EQ(decoded.comove_entries[0].channel, 11u);
+    EXPECT_EQ(decoded.comove_entries[0].hits, 4u);
+    EXPECT_EQ(decoded.comove_entries[0].weight, 13u);
+  }
+}
+
+TEST(QueryProtocolTest, TruncatedQueryPayloadsFailCleanly) {
+  for (const QueryKind kind :
+       {QueryKind::kRank, QueryKind::kTimeline, QueryKind::kComove}) {
+    QueryMessage query;
+    query.kind = kind;
+    const std::vector<std::uint8_t> payload = PayloadOf(EncodeQuery(query));
+    for (std::size_t n = 0; n < payload.size(); ++n) {
+      const std::vector<std::uint8_t> prefix(payload.begin(),
+                                             payload.begin() + n);
+      QueryMessage decoded;
+      EXPECT_FALSE(DecodeQuery(prefix, &decoded).ok())
+          << QueryKindName(kind) << " prefix of " << n << " bytes";
+    }
+  }
+}
+
+TEST(QueryProtocolTest, TruncatedResultPayloadsFailCleanly) {
+  ResultMessage page;
+  page.kind = QueryKind::kTimeline;
+  page.timeline_records = {MakeRecord(1, 5, 60, 1.0, 2.0, false, {3})};
+  const std::vector<std::uint8_t> payload = PayloadOf(EncodeResult(page));
+  for (std::size_t n = 0; n < payload.size(); ++n) {
+    const std::vector<std::uint8_t> prefix(payload.begin(),
+                                           payload.begin() + n);
+    ResultMessage decoded;
+    EXPECT_FALSE(DecodeResult(prefix, &decoded).ok())
+        << "prefix of " << n << " bytes";
+  }
+}
+
+TEST(QueryProtocolTest, UnknownQueryKindIsRejected) {
+  QueryMessage query;
+  std::vector<std::uint8_t> payload = PayloadOf(EncodeQuery(query));
+  payload[0] = 9;  // no such QueryKind
+  QueryMessage decoded;
+  const util::Status status = DecodeQuery(payload, &decoded);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unknown query kind"), std::string::npos);
+}
+
+TEST(QueryProtocolTest, OverclaimedResultCountIsRejected) {
+  ResultMessage page;
+  page.kind = QueryKind::kRank;
+  const std::vector<std::uint8_t> valid = PayloadOf(EncodeResult(page));
+  // Layout: kind u8, page u32, last u8, then the entry count u32.
+  std::vector<std::uint8_t> payload = valid;
+  ASSERT_GE(payload.size(), 10u);
+  payload[6] = payload[7] = payload[8] = payload[9] = 0xFF;
+  ResultMessage decoded;
+  const util::Status status = DecodeResult(payload, &decoded);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("exceeds payload size"), std::string::npos);
+}
+
+// ------------------------------------------------------------ served path
+
+/// Populates `dir` with a deterministic log: `records` samples for vehicle
+/// 1 (alarming every 10th), plus a few for vehicle 2.
+void BuildLog(const std::string& dir, std::size_t records) {
+  history::HistoryWriter writer;
+  ASSERT_TRUE(writer.Open(dir).ok());
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < records; ++i) {
+    const bool alarm = i % 10 == 9;
+    ASSERT_TRUE(writer
+                    .Append(MakeRecord(
+                        1, seq++, static_cast<std::int64_t>(60 + i * 10),
+                        1.0 + 0.001 * static_cast<double>(i), 2.0, alarm,
+                        {static_cast<std::uint32_t>(i % 5), 7}))
+                    .ok());
+    if (i % 3 == 0) {
+      ASSERT_TRUE(writer
+                      .Append(MakeRecord(
+                          2, seq++, static_cast<std::int64_t>(60 + i * 10),
+                          0.5, 2.0, false, {1}))
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(writer.Close().ok());
+}
+
+TEST(QueryProtocolTest, ServedQueriesMatchTheLocalEngineIncludingPaging) {
+  const std::string dir = FreshDir("navhist_qproto_served");
+  // 1300 vehicle-1 records force a 3-page TIMELINE reply (512 per page).
+  BuildLog(dir, 1300);
+
+  history::HistoryService history(dir);
+  ASSERT_TRUE(history.Open().ok());
+  service::FleetService svc(TinyServiceConfig());
+  ServerConfig server_config;
+  server_config.history = &history;
+  IngestServer server(&svc, server_config);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientConfig client_config;
+  client_config.port = server.port();
+  IngestClient client(client_config);
+  const history::QueryEngine local(dir);
+
+  history::RankQuery rank_query;
+  history::RankResult wire_rank, local_rank;
+  ASSERT_TRUE(client.QueryRank(rank_query, &wire_rank).ok());
+  ASSERT_TRUE(local.Rank(rank_query, &local_rank).ok());
+  ASSERT_EQ(wire_rank.entries.size(), local_rank.entries.size());
+  for (std::size_t i = 0; i < wire_rank.entries.size(); ++i) {
+    EXPECT_EQ(wire_rank.entries[i].vehicle_id,
+              local_rank.entries[i].vehicle_id);
+    EXPECT_EQ(wire_rank.entries[i].records, local_rank.entries[i].records);
+    EXPECT_EQ(wire_rank.entries[i].alarms, local_rank.entries[i].alarms);
+    EXPECT_EQ(wire_rank.entries[i].mean_ratio,
+              local_rank.entries[i].mean_ratio);
+    EXPECT_EQ(wire_rank.entries[i].max_ratio,
+              local_rank.entries[i].max_ratio);
+    EXPECT_EQ(wire_rank.entries[i].last_ts, local_rank.entries[i].last_ts);
+  }
+
+  history::TimelineQuery timeline_query;
+  timeline_query.vehicle_id = 1;
+  history::TimelineResult wire_timeline, local_timeline;
+  ASSERT_TRUE(client.QueryTimeline(timeline_query, &wire_timeline).ok());
+  ASSERT_TRUE(local.Timeline(timeline_query, &local_timeline).ok());
+  ASSERT_GT(local_timeline.records.size(), 2 * kMaxResultEntriesPerPage)
+      << "test must exercise pagination";
+  ASSERT_EQ(wire_timeline.records.size(), local_timeline.records.size());
+  for (std::size_t i = 0; i < wire_timeline.records.size(); ++i) {
+    EXPECT_EQ(wire_timeline.records[i].global_seq,
+              local_timeline.records[i].global_seq);
+    EXPECT_EQ(wire_timeline.records[i].timestamp,
+              local_timeline.records[i].timestamp);
+    EXPECT_EQ(wire_timeline.records[i].score,
+              local_timeline.records[i].score);
+    EXPECT_EQ(wire_timeline.records[i].top_channels,
+              local_timeline.records[i].top_channels);
+  }
+
+  history::ComoveQuery comove_query;
+  comove_query.alarm_seq = local_timeline.records[9].global_seq;
+  ASSERT_TRUE(local_timeline.records[9].alarm);
+  history::ComoveResult wire_comove, local_comove;
+  ASSERT_TRUE(client.QueryComove(comove_query, &wire_comove).ok());
+  ASSERT_TRUE(local.Comove(comove_query, &local_comove).ok());
+  EXPECT_EQ(wire_comove.vehicle_id, local_comove.vehicle_id);
+  EXPECT_EQ(wire_comove.alarm_ts, local_comove.alarm_ts);
+  ASSERT_EQ(wire_comove.entries.size(), local_comove.entries.size());
+  for (std::size_t i = 0; i < wire_comove.entries.size(); ++i) {
+    EXPECT_EQ(wire_comove.entries[i].channel, local_comove.entries[i].channel);
+    EXPECT_EQ(wire_comove.entries[i].hits, local_comove.entries[i].hits);
+    EXPECT_EQ(wire_comove.entries[i].weight, local_comove.entries[i].weight);
+  }
+
+  server.Stop();
+  svc.Drain();
+  (void)svc.TakeResult();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(QueryProtocolTest, QueriesWorkMidIngestSession) {
+  const std::string dir = FreshDir("navhist_qproto_midsession");
+  BuildLog(dir, 40);
+
+  history::HistoryService history(dir);
+  ASSERT_TRUE(history.Open().ok());
+  service::FleetService svc(TinyServiceConfig());
+  svc.RegisterVehicle(1);
+  ServerConfig server_config;
+  server_config.history = &history;
+  IngestServer server(&svc, server_config);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientConfig client_config;
+  client_config.port = server.port();
+  IngestClient client(client_config);
+  ASSERT_TRUE(client.Connect({1}).ok());
+
+  telemetry::Record record;
+  record.vehicle_id = 1;
+  record.timestamp = 0;
+  record.pids.fill(1.0);
+  ASSERT_TRUE(client.Send(telemetry::SensorFrame::OfRecord(record)).ok());
+  ASSERT_TRUE(client.Flush().ok());
+
+  // The stream is quiet between batches; a query shares the connection.
+  history::RankResult rank;
+  ASSERT_TRUE(client.QueryRank(history::RankQuery{}, &rank).ok());
+  EXPECT_EQ(rank.entries.size(), 2u);
+
+  ASSERT_TRUE(client.Finish().ok());
+  EXPECT_EQ(server.stats().queries_served, 1u);
+  server.Stop();
+  svc.Drain();
+  (void)svc.TakeResult();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(QueryProtocolTest, ServerWithoutHistoryRefusesQueriesCleanly) {
+  service::FleetService svc(TinyServiceConfig());
+  IngestServer server(&svc, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientConfig client_config;
+  client_config.port = server.port();
+  IngestClient client(client_config);
+  history::RankResult rank;
+  const util::Status status = client.QueryRank(history::RankQuery{}, &rank);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not enabled"), std::string::npos)
+      << status.message();
+
+  server.Stop();
+  svc.Drain();
+  (void)svc.TakeResult();
+}
+
+}  // namespace
+}  // namespace navarchos::net

@@ -1,0 +1,73 @@
+// The incremental CRC32 (Init/Update/Final) must be bit-identical to the
+// one-shot Crc32 over the concatenation, for EVERY way of chunking the
+// input - it checksums the wire frames and the history log's blocks, so a
+// chunking-dependent result would corrupt both on the next refactor that
+// changes buffer boundaries.
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "persist/codec.h"
+#include "util/rng.h"
+
+namespace navarchos::persist {
+namespace {
+
+std::vector<std::uint8_t> ReferenceBuffer(std::size_t size) {
+  util::Rng rng(0x5eed);
+  std::vector<std::uint8_t> bytes(size);
+  for (auto& b : bytes)
+    b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+  return bytes;
+}
+
+TEST(Crc32IncrementalTest, EmptyInputMatchesOneShot) {
+  EXPECT_EQ(Crc32(nullptr, 0), Crc32Final(Crc32Init()));
+}
+
+TEST(Crc32IncrementalTest, EverySingleSplitMatchesOneShot) {
+  const std::vector<std::uint8_t> bytes = ReferenceBuffer(257);
+  const std::uint32_t expected = Crc32(bytes.data(), bytes.size());
+  for (std::size_t split = 0; split <= bytes.size(); ++split) {
+    std::uint32_t crc = Crc32Init();
+    crc = Crc32Update(crc, bytes.data(), split);
+    crc = Crc32Update(crc, bytes.data() + split, bytes.size() - split);
+    EXPECT_EQ(Crc32Final(crc), expected) << "split at " << split;
+  }
+}
+
+TEST(Crc32IncrementalTest, EveryChunkSizeMatchesOneShot) {
+  const std::vector<std::uint8_t> bytes = ReferenceBuffer(509);
+  const std::uint32_t expected = Crc32(bytes.data(), bytes.size());
+  for (std::size_t chunk = 1; chunk <= bytes.size(); ++chunk) {
+    std::uint32_t crc = Crc32Init();
+    for (std::size_t off = 0; off < bytes.size(); off += chunk) {
+      const std::size_t n = std::min(chunk, bytes.size() - off);
+      crc = Crc32Update(crc, bytes.data() + off, n);
+    }
+    EXPECT_EQ(Crc32Final(crc), expected) << "chunk size " << chunk;
+  }
+}
+
+TEST(Crc32IncrementalTest, ByteAtATimeWithEmptySpansMatchesOneShot) {
+  const std::vector<std::uint8_t> bytes = ReferenceBuffer(64);
+  std::uint32_t crc = Crc32Init();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    crc = Crc32Update(crc, bytes.data(), 0);  // empty spans are no-ops
+    crc = Crc32Update(crc, bytes.data() + i, 1);
+  }
+  EXPECT_EQ(Crc32Final(crc), Crc32(bytes.data(), bytes.size()));
+}
+
+TEST(Crc32IncrementalTest, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> bytes = ReferenceBuffer(128);
+  const std::uint32_t expected = Crc32(bytes.data(), bytes.size());
+  bytes[57] ^= 0x10;
+  std::uint32_t crc = Crc32Init();
+  crc = Crc32Update(crc, bytes.data(), 64);
+  crc = Crc32Update(crc, bytes.data() + 64, 64);
+  EXPECT_NE(Crc32Final(crc), expected);
+}
+
+}  // namespace
+}  // namespace navarchos::persist
