@@ -1,0 +1,210 @@
+// Throughput and determinism of the sharded fleet group.
+//
+// Replays the interleaved setting40 feed through shard::ShardGroup at
+// every shard count in {1, 2, 4} x worker threads in {1, 4}, measuring
+// end-to-end frames/sec and the fleet checkpoint's cost (one full
+// Checkpoint(dir) per combination: quiesce + per-shard snapshots + CRC'd
+// manifest). Every combination must produce a bit-identical fleet-wide run
+// result - the sharded extension of the replay-equals-live invariant - and
+// the exit code asserts exactly that. Throughput across shard counts is
+// reported for the perf trajectory; shards share one pool, so the win is
+// lane-map contention spread, not extra cores.
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "service/fleet_service.h"
+#include "shard/shard_group.h"
+#include "telemetry/stream.h"
+#include "util/timer.h"
+
+namespace navarchos {
+namespace {
+
+/// Order-sensitive FNV-1a over the bytes of a double sequence.
+class Fingerprint {
+ public:
+  void Add(double value) {
+    unsigned char bytes[sizeof(double)];
+    __builtin_memcpy(bytes, &value, sizeof(double));
+    for (unsigned char byte : bytes) {
+      hash_ ^= byte;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  void Add(std::int64_t value) { Add(static_cast<double>(value)); }
+  void Add(std::size_t value) { Add(static_cast<double>(value)); }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+/// Fingerprints the fleet-wide ordered output: alarms, per-vehicle scores
+/// and the history records' fleet sequence numbers.
+std::uint64_t RunFingerprint(const core::FleetRunResult& run,
+                             const std::vector<history::HistoryRecord>& records) {
+  Fingerprint fp;
+  fp.Add(run.alarms.size());
+  for (const auto& alarm : run.alarms) {
+    fp.Add(static_cast<std::int64_t>(alarm.vehicle_id));
+    fp.Add(alarm.timestamp);
+    fp.Add(alarm.score);
+    fp.Add(alarm.threshold);
+  }
+  for (const auto& samples : run.scored_samples) {
+    fp.Add(samples.size());
+    for (const auto& sample : samples)
+      for (double score : sample.scores) fp.Add(score);
+  }
+  fp.Add(records.size());
+  for (const auto& record : records) {
+    fp.Add(static_cast<std::int64_t>(record.vehicle_id));
+    fp.Add(static_cast<std::int64_t>(record.global_seq));
+    fp.Add(record.score);
+    fp.Add(record.threshold);
+  }
+  return fp.value();
+}
+
+struct Measurement {
+  int shards = 0;
+  int threads = 0;
+  double frames_per_sec = 0.0;
+  double checkpoint_ms = 0.0;     ///< One fleet checkpoint, mid-stream.
+  std::uintmax_t checkpoint_bytes = 0;  ///< Manifest + per-shard snapshots.
+  std::uint64_t fingerprint = 0;
+};
+
+Measurement MeasureAt(int shards, int threads,
+                      const std::vector<telemetry::SensorFrame>& stream,
+                      const std::vector<std::int32_t>& ids) {
+  Measurement m;
+  m.shards = shards;
+  m.threads = threads;
+  const std::string ckpt_dir =
+      (std::filesystem::temp_directory_path() /
+       ("navshard_bench_s" + std::to_string(shards) + "_t" +
+        std::to_string(threads)))
+          .string();
+  std::filesystem::remove_all(ckpt_dir);
+
+  shard::ShardGroupConfig config;
+  config.service.runtime = runtime::RuntimeConfig{threads};
+  config.shard_count = static_cast<std::uint32_t>(shards);
+  shard::ShardGroup group(config);
+  std::vector<history::HistoryRecord> records;
+  group.set_history_callback([&records](const history::HistoryRecord& record) {
+    records.push_back(record);
+  });
+  for (const std::int32_t id : ids) group.RegisterVehicle(id);
+
+  const std::size_t half = stream.size() / 2;
+  util::Timer timer;
+  for (std::size_t i = 0; i < half; ++i) group.Submit(stream[i]);
+  // One mid-stream fleet checkpoint, timed separately (it quiesces the
+  // whole group, so it is excluded from the throughput window).
+  const double before_ckpt = timer.ElapsedSeconds();
+  {
+    util::Timer ckpt_timer;
+    const util::Status status = group.Checkpoint(ckpt_dir);
+    if (!status.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", status.message().c_str());
+      return m;
+    }
+    m.checkpoint_ms = ckpt_timer.ElapsedSeconds() * 1e3;
+  }
+  util::Timer tail_timer;
+  for (std::size_t i = half; i < stream.size(); ++i) group.Submit(stream[i]);
+  group.Drain();
+  const double ingest_seconds = before_ckpt + tail_timer.ElapsedSeconds();
+  m.frames_per_sec = ingest_seconds > 0
+                         ? static_cast<double>(stream.size()) / ingest_seconds
+                         : 0.0;
+
+  for (const auto& entry : std::filesystem::directory_iterator(ckpt_dir))
+    if (entry.is_regular_file()) m.checkpoint_bytes += entry.file_size();
+  std::filesystem::remove_all(ckpt_dir);
+
+  const auto result = group.TakeResult();
+  m.fingerprint = RunFingerprint(result, records);
+  return m;
+}
+
+int Main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  auto options = bench::BenchOptions::FromArgs(args);
+  // Six full service runs (3 shard counts x 2 thread counts): default to a
+  // reduced horizon so the sweep stays in bench territory. --days overrides.
+  if (!args.Has("days")) options.days = 60;
+  bench::PrintHeader(
+      "Shard sweep - throughput, checkpoint cost and fleet-wide determinism "
+      "of the sharded group", options);
+
+  const auto fleet = bench::MakeSetting40(options);
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const int hardware = runtime::RuntimeConfig::AllCores().ResolveThreads();
+  std::printf("frames: %zu   vehicles: %zu   hardware threads: %d\n\n",
+              stream.size(), ids.size(), hardware);
+
+  std::vector<Measurement> measurements;
+  for (int shards : {1, 2, 4}) {
+    for (int threads : {1, 4}) {
+      const Measurement m = MeasureAt(shards, threads, stream, ids);
+      std::printf(
+          "shards=%d threads=%-3d %9.0f frames/s   checkpoint %7.2fms "
+          "(%ju bytes)   fingerprint %016" PRIx64 "\n",
+          m.shards, m.threads, m.frames_per_sec, m.checkpoint_ms,
+          m.checkpoint_bytes, m.fingerprint);
+      std::fflush(stdout);
+      measurements.push_back(m);
+    }
+  }
+
+  bool identical = !measurements.empty();
+  for (const Measurement& m : measurements)
+    identical = identical && m.fingerprint != 0 &&
+                m.fingerprint == measurements.front().fingerprint;
+  std::printf("\nfleet output across shard x thread counts: %s\n",
+              identical ? "IDENTICAL" : "MISMATCH");
+
+  std::FILE* json = std::fopen("BENCH_shard.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_shard.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"shard_sweep\",\n");
+  std::fprintf(json, "  \"days\": %d,\n  \"seed\": %" PRIu64 ",\n",
+               options.days, options.seed);
+  std::fprintf(json, "  \"threads\": %d,\n", options.threads);
+  std::fprintf(json, "  \"hardware_concurrency\": %d,\n", hardware);
+  std::fprintf(json, "  \"frames\": %zu,\n", stream.size());
+  std::fprintf(json, "  \"deterministic_across_shard_counts\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(json, "  \"results\": [\n");
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    const Measurement& m = measurements[i];
+    std::fprintf(json,
+                 "    {\"shards\": %d, \"threads\": %d, "
+                 "\"frames_per_sec\": %.1f, \"checkpoint_ms\": %.3f, "
+                 "\"checkpoint_bytes\": %ju, "
+                 "\"fingerprint\": \"%016" PRIx64 "\"}%s\n",
+                 m.shards, m.threads, m.frames_per_sec, m.checkpoint_ms,
+                 m.checkpoint_bytes, m.fingerprint,
+                 i + 1 < measurements.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_shard.json\n");
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace navarchos
+
+int main(int argc, char** argv) { return navarchos::Main(argc, argv); }

@@ -37,22 +37,42 @@
 // --connect). The query output is printed deterministically (%.17g
 // doubles) so two runs over identical logs diff clean.
 //
+// Sharded mode (--shards N, in-process or server role) splits the fleet
+// across N shards - each with its own per-vehicle lanes (and, in the server
+// role, its own TCP listener) - behind a consistent-hash router, with a
+// fleet aggregator merging the shards back into ONE totally ordered alarm /
+// history stream. The output is bit-identical to the unsharded run at any
+// shard x thread combination. With --snapshot-every the sharded run writes
+// a fleet checkpoint DIRECTORY (one snapshot per shard plus a CRC'd
+// manifest; the manifest rename is the commit point) and --restore rebuilds
+// the whole group from that directory. A sharded server advertises its
+// shard map in every WELCOME; a --sharded client bootstraps the map from
+// the --connect port and routes each vehicle to its home shard.
+//
 // Build & run:  ./build/examples/streaming_service
 // Flags (in-process mode):
 //   --threads N          worker threads (default 4)
+//   --shards N           shard the fleet across N in-process shards
 //   --snapshot-every N   checkpoint every N submitted frames (default off)
-//   --snapshot-path P    checkpoint file (default streaming_service.snapshot)
+//   --snapshot-path P    checkpoint file (default streaming_service.snapshot;
+//                        a DIRECTORY when --shards > 1)
 //   --restore P          restore from checkpoint P, then resume the stream
+//                        (a fleet checkpoint directory when --shards > 1)
 //   --alarm-log P        write the final alarm list (total order) to P
 //   --history-dir D      append the anomaly history log under directory D
 // Flags (server role):
 //   --listen N           serve ingest on port N (0 = ephemeral)
-//   --port-file P        write the bound port to P (for scripts using 0)
-//   --sessions N         finished sessions to wait for (default 1)
+//   --shards N           one listener + service per shard (bootstrap =
+//                        shard 0 on the --listen port, rest ephemeral)
+//   --port-file P        write the bound (bootstrap) port to P
+//   --sessions N         finished client runs to wait for (default 1; a
+//                        sharded client finishes one session per shard)
 //   --verify             after draining, compare against an in-process replay
 //   --history-dir D      write the history log AND serve QUERY messages
 // Flags (client role):
 //   --connect N          stream the demo fleet to port N
+//   --sharded            learn the shard map from WELCOME and route frames
+//                        to their home shards (one session per shard)
 //   --host H             server address (default 127.0.0.1)
 //   --session S          session id (default "demo"; resume key)
 //   --resume             resume the session from the server's cursor
@@ -78,6 +98,9 @@
 #include "net/ingest_client.h"
 #include "net/ingest_server.h"
 #include "service/fleet_service.h"
+#include "shard/shard_group.h"
+#include "shard/shard_server.h"
+#include "shard/sharded_client.h"
 #include "telemetry/fleet.h"
 #include "telemetry/stream.h"
 #include "util/args.h"
@@ -136,6 +159,25 @@ std::unique_ptr<history::HistoryService> AttachHistory(
   // Flush the log inside every checkpoint's quiesced window, so a crash
   // never leaves a checkpoint claiming records the log does not hold.
   svc->set_checkpoint_barrier([raw] { return raw->Flush(); });
+  return service;
+}
+
+/// ShardGroup flavour of AttachHistory: the group's history callback sees
+/// fleet-sequenced records in the fleet-wide total order, so one log
+/// serves the whole sharded fleet.
+std::unique_ptr<history::HistoryService> AttachHistoryGroup(
+    shard::ShardGroup* group, const std::string& dir) {
+  if (dir.empty()) return nullptr;
+  auto service = std::make_unique<history::HistoryService>(dir);
+  const util::Status status = service->Open();
+  if (!status.ok()) {
+    std::fprintf(stderr, "history open failed: %s\n", status.message().c_str());
+    return nullptr;
+  }
+  history::HistoryService* raw = service.get();
+  group->set_history_callback(
+      [raw](const history::HistoryRecord& record) { raw->Append(record); });
+  group->set_checkpoint_barrier([raw] { return raw->Flush(); });
   return service;
 }
 
@@ -274,6 +316,100 @@ bool AlarmsIdentical(const std::vector<core::Alarm>& a,
   return true;
 }
 
+/// Sharded server role: one TCP listener per shard over one ShardGroup.
+/// Every WELCOME advertises the shard map; the drained fleet-wide result
+/// is bit-identical to the unsharded run.
+int RunShardedServer(const util::Args& args, int shards) {
+  const int threads = static_cast<int>(args.GetInt("threads", 4));
+  const auto listen_port =
+      static_cast<std::uint16_t>(args.GetInt("listen", 0));
+  const std::string port_file = args.GetString("port-file", "");
+  const auto sessions = static_cast<std::uint64_t>(args.GetInt("sessions", 1));
+  const std::string alarm_log = args.GetString("alarm-log", "");
+
+  shard::ShardGroupConfig group_config;
+  group_config.service = MakeServiceConfig(threads);
+  group_config.shard_count = static_cast<std::uint32_t>(shards);
+  shard::ShardGroup group(group_config);
+  const std::unique_ptr<history::HistoryService> history =
+      AttachHistoryGroup(&group, args.GetString("history-dir", ""));
+  if (!args.GetString("history-dir", "").empty() && history == nullptr)
+    return 2;
+
+  net::ServerConfig server_template;
+  server_template.port = listen_port;
+  server_template.history = history.get();
+  shard::ShardServer server(&group, server_template);
+  const util::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n", status.message().c_str());
+    return 2;
+  }
+  std::printf("listening on port %u (%d shards", server.port(0), shards);
+  for (int shard = 1; shard < shards; ++shard)
+    std::printf(", %u", server.port(shard));
+  std::printf(")\n");
+  std::fflush(stdout);  // scripts background this role and tail the log
+  if (!port_file.empty()) {
+    std::FILE* file = std::fopen(port_file.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write port file %s\n", port_file.c_str());
+      return 2;
+    }
+    std::fprintf(file, "%u\n", server.port(0));
+    std::fclose(file);
+  }
+
+  // A sharded client FINishes one session per shard.
+  server.WaitForFinishedSessions(sessions *
+                                 static_cast<std::uint64_t>(shards));
+  server.Stop();
+  group.Drain();
+  if (!FinishHistory(history.get())) return 2;
+
+  net::ServerStats net_stats;
+  for (int shard = 0; shard < shards; ++shard) {
+    const net::ServerStats shard_stats = server.server(shard)->stats();
+    net_stats.frames_received += shard_stats.frames_received;
+    net_stats.frames_admitted += shard_stats.frames_admitted;
+    net_stats.frames_shed += shard_stats.frames_shed;
+    net_stats.duplicates_skipped += shard_stats.duplicates_skipped;
+    net_stats.connections_accepted += shard_stats.connections_accepted;
+    net_stats.resumes += shard_stats.resumes;
+  }
+  const auto stats = group.stats();
+  const auto live = group.TakeResult();
+  std::printf(
+      "served %llu frames (%llu admitted, %llu shed, %llu duplicates "
+      "skipped) over %llu connections, %llu resume(s)\n",
+      static_cast<unsigned long long>(net_stats.frames_received),
+      static_cast<unsigned long long>(net_stats.frames_admitted),
+      static_cast<unsigned long long>(net_stats.frames_shed),
+      static_cast<unsigned long long>(net_stats.duplicates_skipped),
+      static_cast<unsigned long long>(net_stats.connections_accepted),
+      static_cast<unsigned long long>(net_stats.resumes));
+  std::printf("processed %zu frames, %zu alarms\n", stats.frames_processed,
+              live.alarms.size());
+
+  if (!alarm_log.empty() && !WriteAlarmLog(alarm_log, live.alarms)) {
+    std::fprintf(stderr, "cannot write alarm log %s\n", alarm_log.c_str());
+    return 2;
+  }
+
+  if (args.Has("verify")) {
+    const telemetry::FleetDataset fleet = MakeFleet();
+    const auto stream = telemetry::InterleaveFleetStream(fleet);
+    const auto replay = service::RunStream(
+        stream, service::VehicleIdsOf(fleet), MakeServiceConfig(1));
+    const bool identical = AlarmsIdentical(replay.alarms, live.alarms);
+    std::printf("in-process replay of the same stream: %s\n",
+                identical ? "identical alarms (sharded == unsharded)"
+                          : "MISMATCH");
+    return identical ? 0 : 1;
+  }
+  return 0;
+}
+
 /// Server role: serve TCP ingest until the expected sessions finished, then
 /// drain and report - optionally verifying against the in-process replay.
 int RunServer(const util::Args& args) {
@@ -349,6 +485,62 @@ int RunServer(const util::Args& args) {
   return 0;
 }
 
+/// Sharded client role: bootstrap the shard map from the --connect port,
+/// then stream every frame to its vehicle's home shard (one resumable
+/// session per shard). Resume replays the whole stream; frames the shards
+/// already decided are skipped locally.
+int RunShardedClient(const util::Args& args) {
+  shard::ShardedClientConfig config;
+  config.client.host = args.GetString("host", "127.0.0.1");
+  config.client.port = static_cast<std::uint16_t>(args.GetInt("connect", 0));
+  config.client.session_id = args.GetString("session", "demo");
+  const std::int64_t abort_after = args.GetInt("abort-after", 0);
+  const bool resume = args.Has("resume");
+
+  const telemetry::FleetDataset fleet = MakeFleet();
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+
+  shard::ShardedClient client(config);
+  util::Status status = client.Connect(service::VehicleIdsOf(fleet), resume);
+  if (!status.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", status.message().c_str());
+    return 2;
+  }
+  std::printf("%s session '%s' across %u shard(s), %zu frames\n",
+              resume ? "resumed" : "started", config.client.session_id.c_str(),
+              client.shard_map_info().shard_count, stream.size());
+
+  std::uint64_t submitted = 0;
+  for (const auto& frame : stream) {
+    status = client.Send(frame);
+    if (!status.ok()) {
+      std::fprintf(stderr, "send failed at frame %llu: %s\n",
+                   static_cast<unsigned long long>(submitted),
+                   status.message().c_str());
+      return 2;
+    }
+    if (abort_after > 0 &&
+        ++submitted >= static_cast<std::uint64_t>(abort_after)) {
+      // Simulated crash across every shard session at once; a later
+      // --resume run replays the stream and each shard skips its decided
+      // prefix.
+      client.Abort();
+      std::printf("aborted after %llu frames\n",
+                  static_cast<unsigned long long>(submitted));
+      return 0;
+    }
+  }
+  status = client.Finish();
+  if (!status.ok()) {
+    std::fprintf(stderr, "finish failed: %s\n", status.message().c_str());
+    return 2;
+  }
+  std::printf("streamed %llu frames over %u shard session(s)\n",
+              static_cast<unsigned long long>(client.frames_sent()),
+              client.shard_map_info().shard_count);
+  return 0;
+}
+
 /// Client role: stream the demo fleet to a server, resuming from the
 /// server's cursor; --abort-after simulates a mid-stream crash (no FIN).
 int RunClient(const util::Args& args) {
@@ -405,13 +597,108 @@ int RunClient(const util::Args& args) {
   return 0;
 }
 
+/// Sharded in-process role: the default demo, but the fleet is split
+/// across N shards behind the consistent-hash router. The fleet-wide
+/// alarm/history output is bit-identical to the unsharded run, and the
+/// checkpoint is a fleet checkpoint DIRECTORY (per-shard snapshots + a
+/// CRC'd manifest) that --restore rebuilds the whole group from.
+int RunShardedInProcess(const util::Args& args, int shards) {
+  const int threads = static_cast<int>(args.GetInt("threads", 4));
+  const std::int64_t snapshot_every = args.GetInt("snapshot-every", 0);
+  const std::string snapshot_path =
+      args.GetString("snapshot-path", "streaming_service.fleet");
+  const std::string restore_path = args.GetString("restore", "");
+  const std::string alarm_log = args.GetString("alarm-log", "");
+
+  const telemetry::FleetDataset fleet = MakeFleet();
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  std::printf("interleaved feed: %zu frames from %zu vehicles, %d shards\n",
+              stream.size(), fleet.vehicles.size(), shards);
+
+  shard::ShardGroupConfig group_config;
+  group_config.service = MakeServiceConfig(threads);
+  group_config.shard_count = static_cast<std::uint32_t>(shards);
+  shard::ShardGroup group(group_config);
+  std::size_t resume_cursor = 0;
+  if (!restore_path.empty()) {
+    // Verify every per-shard snapshot against the manifest's CRCs, rebuild
+    // all shards and the aggregator, then resume from the fleet cursor.
+    const util::Status status = group.RestoreFromDir(restore_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "restore failed: %s\n", status.message().c_str());
+      return 2;
+    }
+    resume_cursor = group.stats().frames_accepted;
+    std::printf("restored %zu vehicles from %s, resuming at frame %zu\n",
+                group.vehicle_count(), restore_path.c_str(), resume_cursor);
+  } else {
+    for (const auto& vehicle : fleet.vehicles)
+      group.RegisterVehicle(vehicle.spec.id);
+  }
+
+  const std::unique_ptr<history::HistoryService> history =
+      AttachHistoryGroup(&group, args.GetString("history-dir", ""));
+  if (!args.GetString("history-dir", "").empty() && history == nullptr)
+    return 2;
+
+  std::size_t live_alarms = 0;
+  group.set_alarm_callback([&live_alarms](const core::Alarm& alarm) {
+    if (++live_alarms <= 5)
+      std::printf("  live alarm: vehicle %d, minute %lld, channel %s\n",
+                  alarm.vehicle_id, static_cast<long long>(alarm.timestamp),
+                  alarm.channel_name.c_str());
+  });
+
+  std::size_t since_snapshot = 0;
+  for (std::size_t i = resume_cursor; i < stream.size(); ++i) {
+    group.Submit(stream[i]);
+    if (snapshot_every > 0 &&
+        ++since_snapshot >= static_cast<std::size_t>(snapshot_every)) {
+      since_snapshot = 0;
+      const util::Status status = group.Checkpoint(snapshot_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "checkpoint failed: %s\n",
+                     status.message().c_str());
+        return 2;
+      }
+    }
+  }
+  group.Drain();
+  if (!FinishHistory(history.get())) return 2;
+
+  const auto stats = group.stats();
+  const auto live = group.TakeResult();
+  std::printf("\nprocessed %zu/%zu frames, %zu alarms (%zu seen live)\n",
+              stats.frames_processed, stats.frames_submitted,
+              live.alarms.size(), live_alarms);
+
+  if (!alarm_log.empty() && !WriteAlarmLog(alarm_log, live.alarms)) {
+    std::fprintf(stderr, "cannot write alarm log %s\n", alarm_log.c_str());
+    return 2;
+  }
+
+  // The house invariant, extended: the sharded fleet's total order equals
+  // the unsharded single-threaded replay bit for bit.
+  const auto replay = service::RunStream(stream, service::VehicleIdsOf(fleet),
+                                         MakeServiceConfig(1));
+  const bool identical = AlarmsIdentical(replay.alarms, live.alarms);
+  std::printf("unsharded serial replay of the recorded stream: %s\n",
+              identical ? "identical alarms (sharded == unsharded)"
+                        : "MISMATCH");
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  const int shards = static_cast<int>(args.GetInt("shards", 1));
   if (args.Has("query")) return RunQueryRole(args);
-  if (args.Has("listen")) return RunServer(args);
-  if (args.Has("connect")) return RunClient(args);
+  if (args.Has("listen"))
+    return shards > 1 ? RunShardedServer(args, shards) : RunServer(args);
+  if (args.Has("connect"))
+    return args.Has("sharded") ? RunShardedClient(args) : RunClient(args);
+  if (shards > 1) return RunShardedInProcess(args, shards);
 
   const int threads = static_cast<int>(args.GetInt("threads", 4));
   const std::int64_t snapshot_every = args.GetInt("snapshot-every", 0);

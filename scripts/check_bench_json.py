@@ -8,8 +8,9 @@ On top of that universal rule, benches registered in SCHEMAS must carry
 their bench-specific result fields (e.g. BENCH_snapshot.json must list
 detector/bytes/save_ms/restore_ms per result row).
 
-Unknown bench names are NOT skipped: they still must satisfy the universal
-header rule, so a new bench cannot silently ship unguarded artifacts.
+Unknown bench names are a HARD ERROR: every bench that ships a
+BENCH_*.json artifact must register its result schema in SCHEMAS below, so
+a new bench can never silently ship unguarded measurement rows.
 
 CI runs this over every emitted artifact; any violation fails the job.
 
@@ -61,6 +62,14 @@ SCHEMAS = {
         ("timeline_p99_ms", *_NUMBER),
         ("fingerprint", *_STR),
     ],
+    "shard_sweep": [
+        ("shards", *_INT),
+        ("threads", *_INT),
+        ("frames_per_sec", *_NUMBER),
+        ("checkpoint_ms", *_NUMBER),
+        ("checkpoint_bytes", *_INT),
+        ("fingerprint", *_STR),
+    ],
 }
 
 
@@ -84,13 +93,13 @@ def check_results(path: str, bench: str, data: dict) -> list[str]:
     return errors
 
 
-def check(path: str, warnings: list[str]) -> list[str]:
+def check(path: str) -> list[str]:
     """Returns the error messages for `path` (empty when it conforms).
 
-    A readable artifact whose bench name has no SCHEMAS entry is not an
-    error (the universal header rule still applies), but it IS appended to
-    `warnings`: a new bench should register its result schema here rather
-    than ship unguarded measurement rows.
+    A readable artifact whose bench name has no SCHEMAS entry is an ERROR,
+    not a warning: an unregistered bench ships unguarded measurement rows,
+    which is exactly what this guard exists to prevent. Register the
+    bench's result schema in SCHEMAS before emitting its artifact.
     """
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -102,11 +111,11 @@ def check(path: str, warnings: list[str]) -> list[str]:
     bench = data.get("bench")
     if not isinstance(bench, str) or not bench:
         return [f"{path}: missing top-level 'bench' name"]
+    errors = []
     if bench not in SCHEMAS:
-        warnings.append(
+        errors.append(
             f"{path}: bench '{bench}' has no registered result schema - "
             f"add one to SCHEMAS in scripts/check_bench_json.py")
-    errors = []
     threads = data.get("threads")
     # bool is an int subclass in Python; reject it explicitly.
     if isinstance(threads, bool) or not isinstance(threads, int):
@@ -120,15 +129,11 @@ def main(argv: list[str]) -> int:
     if len(argv) < 2:
         print("usage: check_bench_json.py BENCH_*.json", file=sys.stderr)
         return 2
-    warnings: list[str] = []
-    errors = [msg for path in argv[1:] for msg in check(path, warnings)]
-    for msg in warnings:
-        print(f"check_bench_json: warning: {msg}", file=sys.stderr)
+    errors = [msg for path in argv[1:] for msg in check(path)]
     for msg in errors:
         print(f"check_bench_json: {msg}", file=sys.stderr)
     if not errors:
-        print(f"check_bench_json: {len(argv) - 1} artifact(s) conform"
-              + (f" ({len(warnings)} warning(s))" if warnings else ""))
+        print(f"check_bench_json: {len(argv) - 1} artifact(s) conform")
     return 1 if errors else 0
 
 

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Shard recovery check (the CI `shard-recovery` job).
+#
+# Proves the headline guarantee of the sharded fleet subsystem end to end,
+# process boundary included:
+#   1. reference: run the streaming example unsharded and uninterrupted
+#      with a history log attached, record its alarm log and its
+#      RANK / TIMELINE / COMOVE answers (the fleet-wide total order);
+#   2. crash: run the SAME feed split across 4 shards with periodic fleet
+#      checkpoints (per-shard snapshots + CRC'd manifest) and a fresh log,
+#      SIGKILL the process the moment a committed manifest exists on disk
+#      - no drain, no destructor;
+#   3. restore: start a fresh 4-shard process from the fleet manifest over
+#      the same log directory - every per-shard snapshot is CRC-verified
+#      against the manifest before any state is touched, the group resumes
+#      at the fleet cursor, and the history replay skips checkpointed
+#      records as duplicates;
+#   4. verify: the restored sharded run's alarm log AND every query answer
+#      over its recovered log must be byte-identical to the unsharded
+#      uninterrupted reference.
+#
+# Usage: shard_recovery_check.sh [path-to-streaming_service-binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+binary="${1:-build/examples/streaming_service}"
+[[ -x "${binary}" ]] || {
+  echo "shard_recovery_check: ${binary} not built" >&2
+  exit 1
+}
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+fleet_dir="${workdir}/fleet_checkpoint"
+manifest="${fleet_dir}/fleet.manifest"
+ref_log="${workdir}/reference_alarms.log"
+restored_log="${workdir}/restored_alarms.log"
+ref_hist="${workdir}/history_ref"
+crash_hist="${workdir}/history_crash"
+
+query() { # query <dir> <suffix> -- writes rank/timeline/comove answers
+  local dir="$1" suffix="$2"
+  "${binary}" --query rank --history-dir "${dir}" > "${workdir}/rank_${suffix}.txt"
+  local vehicle
+  vehicle="$(awk 'NR==2 {gsub(":","",$2); print $2; exit}' "${workdir}/rank_${suffix}.txt")"
+  [[ -n "${vehicle}" ]] || {
+    echo "shard_recovery_check: RANK over ${dir} returned no vehicles" >&2
+    exit 1
+  }
+  "${binary}" --query timeline --vehicle "${vehicle}" --history-dir "${dir}" \
+    > "${workdir}/timeline_${suffix}.txt"
+  local alarm_seq
+  alarm_seq="$(awk '/alarm 1/ {print $2; exit}' "${workdir}/timeline_${suffix}.txt")"
+  if [[ -n "${alarm_seq}" ]]; then
+    "${binary}" --query comove --alarm-seq "${alarm_seq}" --history-dir "${dir}" \
+      > "${workdir}/comove_${suffix}.txt"
+  else
+    : > "${workdir}/comove_${suffix}.txt"
+  fi
+}
+
+echo "== reference: unsharded, uninterrupted run =="
+"${binary}" --alarm-log "${ref_log}" --history-dir "${ref_hist}" > /dev/null
+[[ -s "${ref_log}" ]] || {
+  echo "shard_recovery_check: reference produced no alarms - nothing to compare" >&2
+  exit 1
+}
+query "${ref_hist}" ref
+
+echo "== crash run: 4 shards, fleet checkpoint every 20000 frames, SIGKILL mid-stream =="
+"${binary}" --shards 4 --snapshot-every 20000 --snapshot-path "${fleet_dir}" \
+  --history-dir "${crash_hist}" > /dev/null &
+victim=$!
+# Wait for a COMMITTED fleet checkpoint: the manifest is written last and
+# renamed into place atomically, so its existence guarantees all four
+# per-shard snapshots it references are already durable.
+for _ in $(seq 1 600); do
+  [[ -s "${manifest}" ]] && break
+  kill -0 "${victim}" 2>/dev/null || break
+  sleep 0.05
+done
+if [[ ! -s "${manifest}" ]]; then
+  wait "${victim}" || true
+  echo "shard_recovery_check: no committed fleet manifest before the run ended" >&2
+  exit 1
+fi
+kill -KILL "${victim}" 2>/dev/null || true
+wait "${victim}" 2>/dev/null || true
+snaps="$(find "${fleet_dir}" -name 'shard-*.snap' | wc -l)"
+echo "killed pid ${victim}; fleet checkpoint holds ${snaps} shard snapshot(s) + manifest"
+
+echo "== restore run: rebuild all 4 shards from the fleet manifest =="
+"${binary}" --shards 4 --restore "${fleet_dir}" --alarm-log "${restored_log}" \
+  --history-dir "${crash_hist}"
+
+echo "== verify: alarm logs must be byte-identical =="
+if ! diff -q "${ref_log}" "${restored_log}"; then
+  echo "shard_recovery_check: restored sharded alarm log differs from the unsharded reference" >&2
+  diff "${ref_log}" "${restored_log}" | head -20 >&2 || true
+  exit 1
+fi
+
+echo "== verify: fleet query answers must be byte-identical =="
+query "${crash_hist}" crash
+for kind in rank timeline comove; do
+  if ! diff -q "${workdir}/${kind}_ref.txt" "${workdir}/${kind}_crash.txt"; then
+    echo "shard_recovery_check: ${kind} answer differs after sharded recovery" >&2
+    diff "${workdir}/${kind}_ref.txt" "${workdir}/${kind}_crash.txt" | head -20 >&2 || true
+    exit 1
+  fi
+done
+echo "shard_recovery_check: restored 4-shard run equals the unsharded uninterrupted reference ($(wc -l < "${ref_log}") alarms)"

@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "util/check.h"
+
 namespace navarchos::net {
 
 namespace {
@@ -139,6 +141,7 @@ util::Status IngestClient::ConnectOnce(OpBudget* budget, bool resume,
   hello.session_id = config_.session_id;
   hello.resume = resume;
   hello.vehicle_ids = vehicle_ids_;
+  hello.fleet_order = fleet_order_;
   status = SendWithin(budget, EncodeHello(hello));
   if (!status.ok()) {
     transport_->Close();
@@ -175,13 +178,23 @@ util::Status IngestClient::ConnectOnce(OpBudget* budget, bool resume,
   // reconnect must NOT rewind next_seq_ - the frames in [cursor,
   // next_seq_) are exactly the retained in-flight batch being resent.
   acked_through_ = welcome.next_seq;
+  shard_map_ = welcome.shard_map;
   if (adopt_cursor) next_seq_ = welcome.next_seq;
   return util::Status();
 }
 
 util::Status IngestClient::Connect(const std::vector<std::int32_t>& vehicle_ids,
                                    bool resume) {
+  return Connect(vehicle_ids, {}, resume);
+}
+
+util::Status IngestClient::Connect(
+    const std::vector<std::int32_t>& vehicle_ids,
+    const std::vector<std::uint32_t>& fleet_order, bool resume) {
+  NAVARCHOS_CHECK(fleet_order.empty() ||
+                  fleet_order.size() == vehicle_ids.size());
   vehicle_ids_ = vehicle_ids;
+  fleet_order_ = fleet_order;
   OpBudget budget = StartOp();
   util::Status status;
   for (int attempt = 0; attempt < config_.connect_attempts; ++attempt) {
@@ -234,8 +247,25 @@ bool IngestClient::Heal(OpBudget* budget, util::Status* status) {
 util::Status IngestClient::Send(const telemetry::SensorFrame& frame) {
   if (!transport_ || !transport_->valid())
     return util::Status::Error("client is not connected");
+  // A sharded session (fleet seqs in flight) must not interleave plain
+  // sends: the FRAMES tail is all-or-nothing per batch.
+  NAVARCHOS_CHECK(pending_.fleet_seqs.empty());
   if (pending_.frames.empty()) pending_.first_seq = next_seq_;
   pending_.frames.push_back(frame);
+  ++next_seq_;
+  ++stats_.frames_sent;
+  if (pending_.frames.size() >= config_.batch_frames) return Flush();
+  return util::Status();
+}
+
+util::Status IngestClient::Send(const telemetry::SensorFrame& frame,
+                                std::uint64_t fleet_seq) {
+  if (!transport_ || !transport_->valid())
+    return util::Status::Error("client is not connected");
+  NAVARCHOS_CHECK(pending_.fleet_seqs.size() == pending_.frames.size());
+  if (pending_.frames.empty()) pending_.first_seq = next_seq_;
+  pending_.frames.push_back(frame);
+  pending_.fleet_seqs.push_back(fleet_seq);
   ++next_seq_;
   ++stats_.frames_sent;
   if (pending_.frames.size() >= config_.batch_frames) return Flush();
@@ -266,6 +296,11 @@ util::Status IngestClient::FlushInflight(OpBudget* budget) {
       inflight_.frames.erase(inflight_.frames.begin(),
                              inflight_.frames.begin() +
                                  static_cast<std::ptrdiff_t>(decided));
+      // The fleet-seq tail stays parallel to the frames through a rewind.
+      if (!inflight_.fleet_seqs.empty())
+        inflight_.fleet_seqs.erase(inflight_.fleet_seqs.begin(),
+                                   inflight_.fleet_seqs.begin() +
+                                       static_cast<std::ptrdiff_t>(decided));
       inflight_.first_seq = acked_through_;
     }
     util::Status status = SendWithin(budget, EncodeFrames(inflight_));

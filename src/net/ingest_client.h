@@ -119,6 +119,13 @@ class IngestClient {
   util::Status Connect(const std::vector<std::int32_t>& vehicle_ids,
                        bool resume = false);
 
+  /// Connect carrying the HELLO fleet-order tail: `fleet_order[i]` is the
+  /// fleet-wide registration index of `vehicle_ids[i]` (sharded sessions;
+  /// see HelloMessage::fleet_order). Sizes must match.
+  util::Status Connect(const std::vector<std::int32_t>& vehicle_ids,
+                       const std::vector<std::uint32_t>& fleet_order,
+                       bool resume);
+
   /// The next wire sequence number to send: the WELCOME cursor after
   /// Connect, then advancing with every Send.
   std::uint64_t next_seq() const { return next_seq_; }
@@ -127,6 +134,16 @@ class IngestClient {
   /// implicitly when the batch is full. An implicit flush blocks for the
   /// batch's ACK (stop-and-wait) and heals like an explicit one.
   util::Status Send(const telemetry::SensorFrame& frame);
+
+  /// Send carrying the frame's fleet-wide sequence number (the FRAMES
+  /// fleet-seq tail; sharded sessions). A session must use either the
+  /// plain Send or this form throughout, never a mix.
+  util::Status Send(const telemetry::SensorFrame& frame,
+                    std::uint64_t fleet_seq);
+
+  /// Shard topology the server advertised in the last WELCOME; the
+  /// default (unsharded) value until a Connect succeeded.
+  const ShardMapInfo& shard_map() const { return shard_map_; }
 
   /// Sends the buffered partial batch (if any) and blocks until its ACK
   /// arrived, collecting NACKs on the way; transparently reconnects and
@@ -240,6 +257,8 @@ class IngestClient {
   FramesMessage pending_;   ///< The batch being built.
   FramesMessage inflight_;  ///< The batch being flushed; retained for healing.
   std::vector<std::int32_t> vehicle_ids_;  ///< Retained for healing re-HELLOs.
+  std::vector<std::uint32_t> fleet_order_;  ///< HELLO tail; parallel to ids.
+  ShardMapInfo shard_map_;  ///< From the last WELCOME (unsharded default).
   bool connected_once_ = false;
   std::uint64_t next_seq_ = 0;
   std::uint64_t acked_through_ = 0;

@@ -75,6 +75,11 @@ void IngestServer::Stop() {
 
 std::uint16_t IngestServer::port() const { return listener_.port(); }
 
+void IngestServer::set_shard_map(const ShardMapInfo& map) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shard_map_ = map;
+}
+
 ServerStats IngestServer::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
@@ -294,23 +299,35 @@ bool IngestServer::HandleMessage(Connection* conn, const WireMessage& message) {
       // Register the client's vehicles in its declared order, fixing the
       // serving FleetService's lane order (idempotent on resume). A
       // draining service refuses cleanly instead of aborting the server.
-      for (const std::int32_t id : hello.vehicle_ids) {
-        const util::Status registered = service_->TryRegisterVehicle(id);
+      for (std::size_t i = 0; i < hello.vehicle_ids.size(); ++i) {
+        const std::int32_t id = hello.vehicle_ids[i];
+        int lane = 0;
+        const util::Status registered = service_->TryRegisterVehicle(id, &lane);
         if (!registered.ok()) {
           FailConnection(conn, registered.message());
           return false;
         }
+        // Peers that predate the fleet-order tail get the identity
+        // mapping: the shard-local lane index IS the fleet order on a
+        // single-shard fleet (the only fleet shape legacy peers can talk
+        // to).
+        if (config_.registration_hook)
+          config_.registration_hook(id, !hello.fleet_order.empty()
+                                            ? hello.fleet_order[i]
+                                            : static_cast<std::uint32_t>(lane));
       }
       session.bound = true;
       conn->session = &session;
+      WelcomeMessage welcome;
+      welcome.next_seq = session.next_expected;
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (known)
           ++stats_.resumes;
         else
           ++stats_.sessions_started;
+        welcome.shard_map = shard_map_;
       }
-      const WelcomeMessage welcome{session.next_expected};
       QueueBytes(conn, EncodeWelcome(welcome));
       return !conn->closing;
     }
@@ -355,6 +372,13 @@ bool IngestServer::HandleMessage(Connection* conn, const WireMessage& message) {
         session.next_expected = seq + 1;
         if (admission.accepted()) {
           ++admitted;
+          // Tail-less (legacy) peers get the identity mapping: on a
+          // single-shard fleet the local admission seq IS the fleet seq.
+          if (config_.admission_hook)
+            config_.admission_hook(admission.vehicle_id, admission.global_seq,
+                                   frames.fleet_seqs.empty()
+                                       ? admission.global_seq
+                                       : frames.fleet_seqs[i]);
         } else {
           ++shed;
           ++session.sheds;

@@ -42,6 +42,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -97,6 +98,27 @@ struct ServerConfig {
   /// server). Null refuses every QUERY with a clean protocol ERROR - the
   /// front end then serves ingest only.
   history::HistoryService* history = nullptr;
+  /// Sharded serving only: called from the serving thread for each vehicle
+  /// a HELLO registers with a declared fleet-wide registration index (the
+  /// HELLO fleet-order tail). The shard fleet aggregator uses it to place
+  /// the vehicle in the fleet-wide flush order. When the peer sent no tail
+  /// (a pre-shard-map client) the shard-local lane index is reported
+  /// instead - the identity mapping, correct on the single-shard fleets
+  /// such peers are limited to. Null ignores registrations entirely.
+  std::function<void(std::int32_t vehicle_id, std::uint32_t fleet_order)>
+      registration_hook;
+  /// Sharded serving only: called from the serving thread for each ADMITTED
+  /// frame, with the shard-local admission seq and the fleet-wide sequence
+  /// number from the FRAMES fleet-seq tail - or, when the peer sent no
+  /// tail (a pre-shard-map client), the local seq itself: the identity
+  /// mapping, correct on the single-shard fleets such peers are limited
+  /// to. The shard fleet aggregator uses it to merge per-shard ordered
+  /// streams back into the fleet-wide total order. Duplicates below the
+  /// resume cursor and shed frames are never reported. Null ignores
+  /// admissions entirely.
+  std::function<void(std::int32_t vehicle_id, std::uint64_t local_seq,
+                     std::uint64_t fleet_seq)>
+      admission_hook;
 };
 
 /// Counters of one server's lifetime; exact snapshots at any time.
@@ -154,6 +176,12 @@ class IngestServer {
 
   /// Port actually bound (meaningful after a successful Start).
   std::uint16_t port() const;
+
+  /// Installs the shard topology this server advertises in every WELCOME.
+  /// A shard group sets it after all shards bound their listeners (the map
+  /// needs every port); until then WELCOMEs advertise the unsharded
+  /// default. Thread-safe against the serving thread.
+  void set_shard_map(const ShardMapInfo& map);
 
   /// Counter snapshot; thread-safe at any time.
   ServerStats stats() const;
@@ -265,6 +293,7 @@ class IngestServer {
   mutable std::mutex mu_;
   std::condition_variable finished_cv_;
   ServerStats stats_;                 ///< Guarded by mu_.
+  ShardMapInfo shard_map_;            ///< Advertised in WELCOME; by mu_.
   std::uint64_t finished_sessions_ = 0;  ///< Guarded by mu_.
 
   /// Sessions by id; touched only by the serving thread while it runs,

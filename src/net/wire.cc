@@ -161,12 +161,28 @@ std::vector<std::uint8_t> EncodeHello(const HelloMessage& message) {
   encoder.PutBool(message.resume);
   encoder.PutU32(static_cast<std::uint32_t>(message.vehicle_ids.size()));
   for (std::int32_t id : message.vehicle_ids) encoder.PutI32(id);
+  // Optional tail (sharded sessions): fleet-wide registration index per
+  // vehicle. Encoded only when present, so unsharded HELLOs stay
+  // byte-identical to the pre-shard protocol.
+  if (!message.fleet_order.empty()) {
+    NAVARCHOS_CHECK(message.fleet_order.size() == message.vehicle_ids.size());
+    for (std::uint32_t index : message.fleet_order) encoder.PutU32(index);
+  }
   return EncodeFrame(MessageType::kHello, encoder.bytes());
 }
 
 std::vector<std::uint8_t> EncodeWelcome(const WelcomeMessage& message) {
   persist::Encoder encoder;
   encoder.PutU64(message.next_seq);
+  // Optional tail: the shard map, encoded only for sharded topologies so
+  // unsharded WELCOMEs stay byte-identical to the pre-shard protocol.
+  if (!message.shard_map.unsharded()) {
+    NAVARCHOS_CHECK(message.shard_map.ports.size() ==
+                    message.shard_map.shard_count);
+    encoder.PutU32(message.shard_map.shard_count);
+    encoder.PutU64(message.shard_map.hash_seed);
+    for (std::uint16_t port : message.shard_map.ports) encoder.PutU32(port);
+  }
   return EncodeFrame(MessageType::kWelcome, encoder.bytes());
 }
 
@@ -176,6 +192,12 @@ std::vector<std::uint8_t> EncodeFrames(const FramesMessage& message) {
   encoder.PutU32(static_cast<std::uint32_t>(message.frames.size()));
   for (const telemetry::SensorFrame& frame : message.frames)
     EncodeSensorFrame(encoder, frame);
+  // Optional tail (sharded sessions): fleet-wide sequence number per
+  // frame, parallel to `frames`.
+  if (!message.fleet_seqs.empty()) {
+    NAVARCHOS_CHECK(message.fleet_seqs.size() == message.frames.size());
+    for (std::uint64_t seq : message.fleet_seqs) encoder.PutU64(seq);
+  }
   return EncodeFrame(MessageType::kFrames, encoder.bytes());
 }
 
@@ -223,6 +245,17 @@ util::Status DecodeHello(const std::vector<std::uint8_t>& payload,
     for (std::uint32_t i = 0; i < count; ++i)
       out->vehicle_ids.push_back(decoder.GetI32());
   }
+  // Optional fleet-order tail: exactly one u32 per vehicle when present.
+  out->fleet_order.clear();
+  if (decoder.ok() && decoder.remaining() > 0) {
+    if (decoder.remaining() != std::size_t{count} * 4)
+      decoder.Fail("HELLO fleet-order tail size mismatch");
+    if (decoder.ok()) {
+      out->fleet_order.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i)
+        out->fleet_order.push_back(decoder.GetU32());
+    }
+  }
   return decoder.ToStatus("HELLO payload");
 }
 
@@ -230,6 +263,29 @@ util::Status DecodeWelcome(const std::vector<std::uint8_t>& payload,
                            WelcomeMessage* out) {
   persist::Decoder decoder(payload);
   out->next_seq = decoder.GetU64();
+  // Optional shard-map tail; its absence means the unsharded default.
+  out->shard_map = ShardMapInfo{};
+  if (decoder.ok() && decoder.remaining() > 0) {
+    const std::uint32_t shard_count = decoder.GetU32();
+    const std::uint64_t hash_seed = decoder.GetU64();
+    if (decoder.ok() &&
+        (shard_count == 0 ||
+         shard_count > decoder.remaining() / 4))
+      decoder.Fail("WELCOME shard count exceeds payload size");
+    if (decoder.ok()) {
+      out->shard_map.shard_count = shard_count;
+      out->shard_map.hash_seed = hash_seed;
+      out->shard_map.ports.reserve(shard_count);
+      for (std::uint32_t i = 0; i < shard_count; ++i) {
+        const std::uint32_t port = decoder.GetU32();
+        if (port > 0xFFFFu) {
+          decoder.Fail("WELCOME shard port out of range");
+          break;
+        }
+        out->shard_map.ports.push_back(static_cast<std::uint16_t>(port));
+      }
+    }
+  }
   return decoder.ToStatus("WELCOME payload");
 }
 
@@ -253,6 +309,17 @@ util::Status DecodeFrames(const std::vector<std::uint8_t>& payload,
       telemetry::SensorFrame frame;
       if (!DecodeSensorFrame(decoder, &frame)) break;
       out->frames.push_back(std::move(frame));
+    }
+  }
+  // Optional fleet-seq tail: exactly one u64 per frame when present.
+  out->fleet_seqs.clear();
+  if (decoder.ok() && decoder.remaining() > 0) {
+    if (decoder.remaining() != std::size_t{count} * 8)
+      decoder.Fail("FRAMES fleet-seq tail size mismatch");
+    if (decoder.ok()) {
+      out->fleet_seqs.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i)
+        out->fleet_seqs.push_back(decoder.GetU64());
     }
   }
   return decoder.ToStatus("FRAMES payload");

@@ -32,6 +32,16 @@
 // order, across reconnects: a client that reconnects RESUMEs from the
 // WELCOME cursor, so the server admits every frame exactly once no matter
 // where the previous connection was cut.
+//
+// Version-1 extension rule (how sharding fields ride along without a
+// version bump): a payload may grow an OPTIONAL TAIL - extra fields
+// appended after the original encoding, encoded only when they differ
+// from their defaults, and decoded only when payload bytes remain. A
+// default-valued message therefore encodes byte-identically to the
+// pre-tail protocol, and a pre-tail peer decodes it unchanged (decoders
+// demand exact consumption, so a tail sent to an old peer fails loudly
+// rather than being silently dropped). The normative byte layout of every
+// message, tails included, is specified in docs/WIRE_PROTOCOL.md.
 #ifndef NAVARCHOS_NET_WIRE_H_
 #define NAVARCHOS_NET_WIRE_H_
 
@@ -101,6 +111,37 @@ struct HelloMessage {
   /// Vehicles to register, in registration order (fixes the lane order of
   /// the serving FleetService, hence result index alignment).
   std::vector<std::int32_t> vehicle_ids;
+  /// Optional tail (sharded sessions only): fleet-wide registration index
+  /// of each vehicle in `vehicle_ids`, parallel to it. A sharded client
+  /// tells each shard where its vehicles sit in the fleet-wide order, so
+  /// the shard's end-of-stream flush records can be merged back into one
+  /// fleet order. Empty (the default) encodes byte-identically to the
+  /// pre-shard protocol.
+  std::vector<std::uint32_t> fleet_order;
+};
+
+/// Shard topology advertised in a WELCOME (optional payload tail).
+///
+/// A fleet may be served by N in-process shards, each with its own
+/// listener. Any shard's WELCOME advertises the full map; the client
+/// re-routes each vehicle to `ports[ShardMap(shard_count, hash_seed)
+/// .ShardOf(vehicle_id)]` (see src/shard/shard_router.h for the hash).
+/// The default-constructed value means "unsharded" and encodes to zero
+/// bytes, so single-shard WELCOMEs are byte-identical to the pre-shard
+/// protocol and old clients parse them unchanged.
+struct ShardMapInfo {
+  /// Number of shards (1 = unsharded, the default).
+  std::uint32_t shard_count = 1;
+  /// Seed of the consistent-hash ring (must match across client/server).
+  std::uint64_t hash_seed = 0;
+  /// TCP port of each shard's listener, indexed by shard id. Empty when
+  /// unsharded; otherwise size() == shard_count.
+  std::vector<std::uint16_t> ports;
+
+  /// True when this is the default "unsharded" topology.
+  bool unsharded() const {
+    return shard_count == 1 && hash_seed == 0 && ports.empty();
+  }
 };
 
 /// WELCOME payload: the server's answer to HELLO.
@@ -108,6 +149,8 @@ struct WelcomeMessage {
   /// First wire sequence number the server has not yet decided; the client
   /// (re)starts streaming from exactly here.
   std::uint64_t next_seq = 0;
+  /// Shard topology (optional tail; absent == unsharded). See ShardMapInfo.
+  ShardMapInfo shard_map;
 };
 
 /// FRAMES payload: one batch of consecutive frames.
@@ -116,6 +159,13 @@ struct FramesMessage {
   std::uint64_t first_seq = 0;
   /// The batch, in submission order.
   std::vector<telemetry::SensorFrame> frames;
+  /// Optional tail (sharded sessions only): fleet-wide sequence number of
+  /// each frame, parallel to `frames`. A sharded client assigns fleet
+  /// sequence numbers at submission time and carries them to each shard,
+  /// so the server-side aggregator can merge the shards' ordered streams
+  /// back into the one fleet-wide total order. Empty (the default)
+  /// encodes byte-identically to the pre-shard protocol.
+  std::vector<std::uint64_t> fleet_seqs;
 };
 
 /// ACK payload: cumulative acknowledgement.

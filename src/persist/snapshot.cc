@@ -155,4 +155,23 @@ util::Status ReadSnapshot(const std::string& path, Snapshot* out) {
   return ParseSnapshot(bytes.data(), bytes.size(), path, out);
 }
 
+util::Status Crc32OfFile(const std::string& path, std::uint32_t* crc,
+                         std::uint64_t* size) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::Error("crc32: cannot open " + path);
+  std::uint32_t running = Crc32Init();
+  std::uint64_t total = 0;
+  char buffer[64 * 1024];
+  while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+    const std::size_t got = static_cast<std::size_t>(in.gcount());
+    running = Crc32Update(running,
+                          reinterpret_cast<const std::uint8_t*>(buffer), got);
+    total += got;
+  }
+  if (in.bad()) return util::Status::Error("crc32: I/O error on " + path);
+  if (crc != nullptr) *crc = Crc32Final(running);
+  if (size != nullptr) *size = total;
+  return util::Status();
+}
+
 }  // namespace navarchos::persist

@@ -95,6 +95,12 @@ util::Status ParseSnapshot(const std::uint8_t* data, std::size_t size,
 /// Serialises `snapshot` to its byte-stream form (the exact file contents).
 std::vector<std::uint8_t> SerialiseSnapshot(const Snapshot& snapshot);
 
+/// Streams the file at `path` through CRC32, writing the checksum to `crc`
+/// and the byte count to `size` (either may be null). Used by fleet
+/// manifests to fingerprint their per-shard snapshot files.
+util::Status Crc32OfFile(const std::string& path, std::uint32_t* crc,
+                         std::uint64_t* size);
+
 }  // namespace navarchos::persist
 
 #endif  // NAVARCHOS_PERSIST_SNAPSHOT_H_

@@ -148,7 +148,13 @@ std::vector<core::Alarm> FleetService::OrderedSink::released() const {
 // --------------------------------------------------------------- FleetService
 
 FleetService::FleetService(const ServiceConfig& config)
-    : config_(config), pool_(config.runtime.ResolveThreads()) {
+    : config_(config),
+      owned_pool_(config.shared_pool == nullptr
+                      ? std::make_unique<runtime::ThreadPool>(
+                            config.runtime.ResolveThreads())
+                      : nullptr),
+      pool_(config.shared_pool != nullptr ? config.shared_pool
+                                          : owned_pool_.get()) {
   NAVARCHOS_CHECK(config_.queue_capacity >= 1);
   NAVARCHOS_CHECK(config_.pump_batch >= 1);
 }
@@ -185,7 +191,7 @@ void FleetService::SchedulePumpLocked(VehicleLane* lane) {
   std::lock_guard<std::mutex> lock(lane->pump_mu);
   if (lane->pump_scheduled) return;  // a pump is already queued or running
   lane->pump_scheduled = true;
-  pool_.Post([this, lane]() { PumpLane(lane); });
+  pool_->Post([this, lane]() { PumpLane(lane); });
 }
 
 void FleetService::PumpLane(VehicleLane* lane) {
@@ -210,7 +216,7 @@ void FleetService::PumpLane(VehicleLane* lane) {
   // pump_scheduled == true or this pump observes the non-empty queue.
   std::lock_guard<std::mutex> lock(lane->pump_mu);
   if (!lane->queue.Empty()) {
-    pool_.Post([this, lane]() { PumpLane(lane); });
+    pool_->Post([this, lane]() { PumpLane(lane); });
   } else {
     lane->pump_scheduled = false;
   }
@@ -272,7 +278,7 @@ void FleetService::Drain() {
   // schedules one on every admission; a pump re-posts itself while its lane
   // is non-empty), so an idle pool means every admitted frame has been
   // processed and completed into the sink.
-  pool_.WaitIdle();
+  pool_->WaitIdle();
 
   {
     std::lock_guard<std::mutex> lock(ingest_mu_);
@@ -481,7 +487,7 @@ util::Status FleetService::Checkpoint(const std::string& path) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
   if (draining_ || drained_)
     return util::Status::Error("checkpoint: service is draining or drained");
-  pool_.WaitIdle();
+  pool_->WaitIdle();
   if (checkpoint_barrier_) {
     // Make dependent state (the history log) durable BEFORE the snapshot:
     // whichever of the two files a crash leaves behind, the log always

@@ -85,6 +85,13 @@ struct ServiceConfig {
   /// Frames a pump task processes before rescheduling itself, so one
   /// flooded vehicle cannot monopolise a worker while others wait.
   std::size_t pump_batch = 64;
+  /// Borrowed worker pool. When non-null the service posts its pump tasks
+  /// here instead of owning a pool, so N sharded services can share one
+  /// pool (src/shard). The pool must outlive the service, and WaitIdle on
+  /// it quiesces every sharing service at once - a coarser but still
+  /// correct drain/checkpoint barrier. Null (the default) keeps the
+  /// one-pool-per-service behaviour, sized by `runtime`.
+  runtime::ThreadPool* shared_pool = nullptr;
   /// Contributing score channels recorded per history entry (worst first)
   /// when a history callback is installed; see set_history_callback.
   std::size_t history_top_k = 4;
@@ -403,8 +410,11 @@ class FleetService {
   OrderedSink sink_;
 
   /// Declared last: destroyed first, so in-flight pump tasks finish while
-  /// the lanes they reference are still alive.
-  runtime::ThreadPool pool_;
+  /// the lanes they reference are still alive. Null when the service runs
+  /// on a borrowed pool (config_.shared_pool).
+  std::unique_ptr<runtime::ThreadPool> owned_pool_;
+  /// The pool pump tasks run on: owned_pool_.get() or config_.shared_pool.
+  runtime::ThreadPool* pool_;
 };
 
 /// Replays a recorded interleaved stream through a fresh service:

@@ -1,0 +1,51 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace navarchos::shard {
+
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+ShardMap::ShardMap(std::uint32_t shard_count, std::uint64_t seed)
+    : shard_count_(shard_count), seed_(seed) {
+  NAVARCHOS_CHECK(shard_count >= 1);
+  if (shard_count == 1) return;  // everything routes to shard 0; no ring
+  ring_.reserve(std::size_t{shard_count} * kVirtualNodesPerShard);
+  for (std::uint32_t shard = 0; shard < shard_count; ++shard) {
+    for (std::uint32_t vnode = 0; vnode < kVirtualNodesPerShard; ++vnode) {
+      // shard+1 in the high word keeps vnode labels disjoint from the
+      // zero-extended 32-bit vehicle keys: a label never hashes through
+      // the same pre-image as a vehicle id, so no vehicle can land
+      // exactly ON its own ring point (which would pin ids 0..63 to
+      // shard 0).
+      const std::uint64_t label = (std::uint64_t{shard + 1} << 32) | vnode;
+      ring_.emplace_back(Mix64(seed ^ Mix64(label)), shard);
+    }
+  }
+  // Sort by ring position; break hash collisions by shard id so the ring
+  // order (hence every assignment) is a total, reproducible order.
+  std::sort(ring_.begin(), ring_.end());
+}
+
+int ShardMap::ShardOf(std::int32_t vehicle_id) const {
+  if (shard_count_ == 1) return 0;
+  // Zero-extend the id so negative ids hash the same on every platform.
+  const std::uint64_t key =
+      Mix64(seed_ ^ Mix64(static_cast<std::uint32_t>(vehicle_id)));
+  // First ring point clockwise from the key, wrapping past the top.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const std::pair<std::uint64_t, std::uint32_t>& point,
+         std::uint64_t value) { return point.first < value; });
+  if (it == ring_.end()) it = ring_.begin();
+  return static_cast<int>(it->second);
+}
+
+}  // namespace navarchos::shard

@@ -1,0 +1,275 @@
+// Wire compatibility of the version-1 optional-tail extensions: every
+// message type reassembles and decodes identically no matter how the TCP
+// stream fragments it (every segmentation granularity from 1 to 7 bytes),
+// the new HELLO/WELCOME/FRAMES tails round-trip bit-exactly, tail-less
+// encodings stay BYTE-IDENTICAL to the pre-shard protocol (so old peers
+// parse a single-shard fleet unchanged), and malformed tails are rejected
+// with a clean Status. This is the regression fence under
+// docs/WIRE_PROTOCOL.md's extension rule.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/wire.h"
+
+namespace navarchos::net {
+namespace {
+
+telemetry::SensorFrame RecordFrame(std::int32_t vehicle, std::int64_t minute) {
+  telemetry::Record record;
+  record.vehicle_id = vehicle;
+  record.timestamp = minute;
+  for (int i = 0; i < telemetry::kNumPids; ++i)
+    record.pids[static_cast<std::size_t>(i)] = 7.0 * vehicle + i + 0.5;
+  return telemetry::SensorFrame::OfRecord(record);
+}
+
+/// Feeds `bytes` to a reader in chunks of `step` bytes and expects exactly
+/// one complete message out, whose type and payload are returned.
+WireMessage ReassembleAt(const std::vector<std::uint8_t>& bytes,
+                         std::size_t step) {
+  MessageReader reader;
+  WireMessage message;
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    const std::size_t chunk = std::min(step, bytes.size() - offset);
+    reader.Append(bytes.data() + offset, chunk);
+    offset += chunk;
+    const MessageReader::Result result = reader.Next(&message);
+    if (offset < bytes.size()) {
+      EXPECT_EQ(result, MessageReader::Result::kNeedMore)
+          << "message completed early at offset " << offset << " step "
+          << step;
+    } else {
+      EXPECT_EQ(result, MessageReader::Result::kMessage)
+          << "message incomplete after all bytes at step " << step;
+    }
+  }
+  return message;
+}
+
+/// Round-trips `bytes` through every segmentation granularity 1..7 and
+/// checks each reassembly agrees with the whole-buffer read byte for byte.
+void ExpectSegmentationInvariant(const std::vector<std::uint8_t>& bytes) {
+  const WireMessage whole = ReassembleAt(bytes, bytes.size());
+  for (std::size_t step = 1; step <= 7; ++step) {
+    const WireMessage part = ReassembleAt(bytes, step);
+    ASSERT_EQ(part.type, whole.type) << "step " << step;
+    ASSERT_EQ(part.payload, whole.payload) << "step " << step;
+  }
+}
+
+TEST(WireCompatTest, EveryMessageTypeSurvivesEverySegmentation) {
+  HelloMessage hello;
+  hello.session_id = "segmented";
+  hello.vehicle_ids = {1, 2, 3};
+  hello.fleet_order = {4, 0, 9};
+  ExpectSegmentationInvariant(EncodeHello(hello));
+
+  WelcomeMessage welcome;
+  welcome.next_seq = 0x0102030405060708ull;
+  welcome.shard_map.shard_count = 3;
+  welcome.shard_map.hash_seed = 0x9E3779B97F4A7C15ull;
+  welcome.shard_map.ports = {7001, 7002, 7003};
+  ExpectSegmentationInvariant(EncodeWelcome(welcome));
+
+  FramesMessage frames;
+  frames.first_seq = 41;
+  frames.frames = {RecordFrame(5, 100), RecordFrame(6, 101)};
+  frames.fleet_seqs = {9000, 9002};
+  ExpectSegmentationInvariant(EncodeFrames(frames));
+
+  ExpectSegmentationInvariant(EncodeAck(AckMessage{1234, 5}));
+  ExpectSegmentationInvariant(
+      EncodeNack(NackMessage{77, 3, NackCode::kQueueFull}));
+  ExpectSegmentationInvariant(EncodeFin(FinMessage{99}));
+  ExpectSegmentationInvariant(EncodeError(ErrorMessage{"segmented error"}));
+
+  QueryMessage query;
+  query.kind = QueryKind::kTimeline;
+  query.timeline.vehicle_id = 12;
+  query.timeline.max_records = 64;
+  ExpectSegmentationInvariant(EncodeQuery(query));
+
+  ResultMessage result;
+  result.kind = QueryKind::kRank;
+  result.rank_entries.resize(2);
+  result.rank_entries[0].vehicle_id = 1;
+  result.rank_entries[1].vehicle_id = 2;
+  ExpectSegmentationInvariant(EncodeResult(result));
+}
+
+TEST(WireCompatTest, TaillessEncodingsAreByteIdenticalToThePreShardWire) {
+  // The compatibility contract: defaults encode to NOTHING. A session that
+  // never uses sharding produces byte streams a pre-shard peer accepts,
+  // and vice versa. (The old encodings are reconstructed field by field
+  // here - 13-byte frame header, then the documented payload layout.)
+  HelloMessage hello;
+  hello.session_id = "old";
+  hello.resume = false;
+  hello.vehicle_ids = {10, 20};
+  const auto hello_bytes = EncodeHello(hello);
+  // Old HELLO payload: u32 version, u64-length-prefixed session string,
+  // u8 resume, u32 count, i32 ids - and nothing after.
+  const std::size_t hello_payload = 4 + (8 + 3) + 1 + 4 + 2 * 4;
+  EXPECT_EQ(hello_bytes.size(), kFrameOverheadBytes + hello_payload);
+
+  WelcomeMessage welcome;
+  welcome.next_seq = 17;
+  const auto welcome_bytes = EncodeWelcome(welcome);
+  // Old WELCOME payload: exactly one u64 cursor.
+  EXPECT_EQ(welcome_bytes.size(), kFrameOverheadBytes + 8u);
+
+  // An old client's decoder is exact-consumption, so "old client parses a
+  // single-shard WELCOME" is equivalent to: the tail-less payload decodes
+  // with zero remaining bytes and yields the unsharded default map.
+  WireMessage message;
+  MessageReader reader;
+  reader.Append(welcome_bytes.data(), welcome_bytes.size());
+  ASSERT_EQ(reader.Next(&message), MessageReader::Result::kMessage);
+  EXPECT_EQ(message.payload.size(), 8u);
+  WelcomeMessage decoded;
+  ASSERT_TRUE(DecodeWelcome(message.payload, &decoded).ok());
+  EXPECT_EQ(decoded.next_seq, 17u);
+  EXPECT_TRUE(decoded.shard_map.unsharded());
+
+  FramesMessage frames;
+  frames.first_seq = 3;
+  frames.frames = {RecordFrame(1, 50)};
+  const auto with_tail_size =
+      EncodeFrames([&] {
+        FramesMessage tailed = frames;
+        tailed.fleet_seqs = {123};
+        return tailed;
+      }()).size();
+  const auto frames_bytes = EncodeFrames(frames);
+  // The tail costs exactly 8 bytes per frame; without it the encoding is
+  // the pre-shard one.
+  EXPECT_EQ(with_tail_size, frames_bytes.size() + 8u);
+}
+
+TEST(WireCompatTest, ShardMapTailRoundTripsExactly) {
+  WelcomeMessage welcome;
+  welcome.next_seq = 5;
+  welcome.shard_map.shard_count = 4;
+  welcome.shard_map.hash_seed = 0xDEADBEEFCAFEF00Dull;
+  welcome.shard_map.ports = {1, 65535, 40000, 7};
+  const auto bytes = EncodeWelcome(welcome);
+
+  MessageReader reader;
+  reader.Append(bytes.data(), bytes.size());
+  WireMessage message;
+  ASSERT_EQ(reader.Next(&message), MessageReader::Result::kMessage);
+  WelcomeMessage decoded;
+  ASSERT_TRUE(DecodeWelcome(message.payload, &decoded).ok());
+  EXPECT_EQ(decoded.next_seq, 5u);
+  EXPECT_EQ(decoded.shard_map.shard_count, 4u);
+  EXPECT_EQ(decoded.shard_map.hash_seed, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(decoded.shard_map.ports, welcome.shard_map.ports);
+  EXPECT_FALSE(decoded.shard_map.unsharded());
+}
+
+TEST(WireCompatTest, HelloFleetOrderTailRoundTripsExactly) {
+  HelloMessage hello;
+  hello.session_id = "sharded#2";
+  hello.resume = true;
+  hello.vehicle_ids = {3, 1, 2};
+  hello.fleet_order = {7, 0, 4};
+  const auto bytes = EncodeHello(hello);
+
+  MessageReader reader;
+  reader.Append(bytes.data(), bytes.size());
+  WireMessage message;
+  ASSERT_EQ(reader.Next(&message), MessageReader::Result::kMessage);
+  HelloMessage decoded;
+  ASSERT_TRUE(DecodeHello(message.payload, &decoded).ok());
+  EXPECT_EQ(decoded.vehicle_ids, hello.vehicle_ids);
+  EXPECT_EQ(decoded.fleet_order, hello.fleet_order);
+}
+
+TEST(WireCompatTest, FleetSeqTailRoundTripsExactly) {
+  FramesMessage frames;
+  frames.first_seq = 1000;
+  frames.frames = {RecordFrame(1, 10), RecordFrame(2, 11), RecordFrame(1, 12)};
+  frames.fleet_seqs = {5000, 5003, 5004};
+  const auto bytes = EncodeFrames(frames);
+
+  MessageReader reader;
+  reader.Append(bytes.data(), bytes.size());
+  WireMessage message;
+  ASSERT_EQ(reader.Next(&message), MessageReader::Result::kMessage);
+  FramesMessage decoded;
+  ASSERT_TRUE(DecodeFrames(message.payload, &decoded).ok());
+  EXPECT_EQ(decoded.first_seq, 1000u);
+  ASSERT_EQ(decoded.frames.size(), 3u);
+  EXPECT_EQ(decoded.fleet_seqs, frames.fleet_seqs);
+}
+
+TEST(WireCompatTest, MalformedTailsAreRejectedCleanly) {
+  // A truncated or oversized tail must fail with a Status, never crash or
+  // mis-parse. Build valid messages, then surgically damage the tail.
+  WelcomeMessage welcome;
+  welcome.next_seq = 1;
+  welcome.shard_map.shard_count = 2;
+  welcome.shard_map.hash_seed = 9;
+  welcome.shard_map.ports = {100, 200};
+  const auto bytes = EncodeWelcome(welcome);
+  MessageReader reader;
+  reader.Append(bytes.data(), bytes.size());
+  WireMessage message;
+  ASSERT_EQ(reader.Next(&message), MessageReader::Result::kMessage);
+
+  {
+    // Chop the last port off the tail: count says 2, payload holds 1.
+    auto payload = message.payload;
+    payload.resize(payload.size() - 4);
+    WelcomeMessage decoded;
+    EXPECT_FALSE(DecodeWelcome(payload, &decoded).ok());
+  }
+  {
+    // Stray trailing byte after a well-formed tail.
+    auto payload = message.payload;
+    payload.push_back(0xAB);
+    WelcomeMessage decoded;
+    EXPECT_FALSE(DecodeWelcome(payload, &decoded).ok());
+  }
+  {
+    // A fleet-seq tail whose length is not frames*8.
+    FramesMessage frames;
+    frames.first_seq = 0;
+    frames.frames = {RecordFrame(1, 1)};
+    frames.fleet_seqs = {42};
+    const auto frame_bytes = EncodeFrames(frames);
+    MessageReader frames_reader;
+    frames_reader.Append(frame_bytes.data(), frame_bytes.size());
+    WireMessage frames_message;
+    ASSERT_EQ(frames_reader.Next(&frames_message),
+              MessageReader::Result::kMessage);
+    auto payload = frames_message.payload;
+    payload.resize(payload.size() - 3);  // tear the tail mid-integer
+    FramesMessage decoded;
+    EXPECT_FALSE(DecodeFrames(payload, &decoded).ok());
+  }
+  {
+    // A fleet-order tail shorter than the vehicle list.
+    HelloMessage hello;
+    hello.session_id = "x";
+    hello.vehicle_ids = {1, 2};
+    hello.fleet_order = {0, 1};
+    const auto hello_bytes = EncodeHello(hello);
+    MessageReader hello_reader;
+    hello_reader.Append(hello_bytes.data(), hello_bytes.size());
+    WireMessage hello_message;
+    ASSERT_EQ(hello_reader.Next(&hello_message),
+              MessageReader::Result::kMessage);
+    auto payload = hello_message.payload;
+    payload.resize(payload.size() - 4);  // count 2, one entry left
+    HelloMessage decoded;
+    EXPECT_FALSE(DecodeHello(payload, &decoded).ok());
+  }
+}
+
+}  // namespace
+}  // namespace navarchos::net

@@ -102,7 +102,7 @@ TEST(WireProtocolTest, FramesRoundTripBitExactly) {
 TEST(WireProtocolTest, ControlMessagesRoundTrip) {
   WireMessage message;
 
-  const auto welcome_bytes = EncodeWelcome(WelcomeMessage{987654321});
+  const auto welcome_bytes = EncodeWelcome(WelcomeMessage{987654321, {}});
   ASSERT_EQ(ReadOne(welcome_bytes, &message), MessageReader::Result::kMessage);
   WelcomeMessage welcome;
   ASSERT_TRUE(DecodeWelcome(message.payload, &welcome).ok());
@@ -170,7 +170,7 @@ TEST(WireProtocolTest, EveryByteFlipIsRejected) {
   frames.frames.push_back(EventFrame(2, 21));
   const std::vector<std::vector<std::uint8_t>> originals = {
       EncodeFrames(frames),
-      EncodeHello(HelloMessage{kProtocolVersion, "s", false, {1, 2}}),
+      EncodeHello(HelloMessage{kProtocolVersion, "s", false, {1, 2}, {}}),
       EncodeAck(AckMessage{9, 1}),
   };
   for (const auto& original : originals) {

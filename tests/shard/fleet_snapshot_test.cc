@@ -1,0 +1,257 @@
+// The fleet-wide checkpoint: a mid-stream Checkpoint(dir) plus a fresh
+// group's RestoreFromDir must reproduce the uninterrupted run bit for bit
+// (restore-equals-uninterrupted, extended across shards), the manifest's
+// CRC fingerprints must catch any damaged or swapped per-shard snapshot
+// BEFORE any state is touched, and repeated checkpoints must supersede each
+// other atomically (the manifest rename is the commit point).
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fleet_runner.h"
+#include "runtime/runtime_config.h"
+#include "service/fleet_service.h"
+#include "shard/shard_group.h"
+#include "telemetry/fleet.h"
+#include "telemetry/stream.h"
+
+namespace navarchos::shard {
+namespace {
+
+telemetry::FleetConfig SmallFleetConfig() {
+  telemetry::FleetConfig config = telemetry::FleetConfig::TestScale();
+  config.days = 30;
+  return config;
+}
+
+core::MonitorConfig FastMonitorConfig() {
+  core::MonitorConfig config;
+  config.transform_options.window = 60;
+  config.transform_options.stride = 10;
+  config.profile_minutes = 400.0;
+  config.threshold.burn_in_minutes = 120.0;
+  config.threshold.persistence_minutes = 60.0;
+  return config;
+}
+
+ShardGroupConfig GroupConfig(int shards, int threads) {
+  ShardGroupConfig config;
+  config.service.monitor = FastMonitorConfig();
+  config.service.runtime = runtime::RuntimeConfig{threads};
+  config.service.queue_capacity = 32;
+  config.shard_count = static_cast<std::uint32_t>(shards);
+  return config;
+}
+
+std::string TempDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void ExpectAlarmsIdentical(const std::vector<core::Alarm>& a,
+                           const std::vector<core::Alarm>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].vehicle_id, b[i].vehicle_id) << "alarm " << i;
+    ASSERT_EQ(a[i].timestamp, b[i].timestamp) << "alarm " << i;
+    ASSERT_EQ(a[i].score, b[i].score) << "alarm " << i;
+    ASSERT_EQ(a[i].threshold, b[i].threshold) << "alarm " << i;
+  }
+}
+
+/// Flips one byte near the middle of `path`.
+void CorruptFile(const std::string& path) {
+  std::fstream file(path,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.is_open()) << path;
+  file.seekg(0, std::ios::end);
+  const auto size = static_cast<std::streamoff>(file.tellg());
+  ASSERT_GT(size, 0);
+  const std::streamoff pos = size / 2;
+  file.seekg(pos);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(pos);
+  file.write(&byte, 1);
+}
+
+TEST(FleetSnapshotTest, RestoreEqualsUninterruptedAcrossShards) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const std::size_t cut = stream.size() / 2;
+  const std::string dir = TempDir("navshard_fleet_restore");
+
+  // Uninterrupted reference run.
+  ShardGroup reference(GroupConfig(4, 4));
+  for (const auto id : ids) reference.RegisterVehicle(id);
+  for (const auto& frame : stream) reference.Submit(frame);
+  reference.Drain();
+  const auto expected = reference.TakeResult();
+
+  // Interrupted run: checkpoint at the cut, then pretend the process died
+  // (drop the group without draining the rest of the stream).
+  {
+    ShardGroup first(GroupConfig(4, 4));
+    for (const auto id : ids) first.RegisterVehicle(id);
+    for (std::size_t i = 0; i < cut; ++i) first.Submit(stream[i]);
+    const util::Status status = first.Checkpoint(dir);
+    ASSERT_TRUE(status.ok()) << status.message();
+  }
+
+  // A fresh group restores the fleet manifest and replays the tail.
+  ShardGroup restored(GroupConfig(4, 4));
+  const util::Status status = restored.RestoreFromDir(dir);
+  ASSERT_TRUE(status.ok()) << status.message();
+  ASSERT_EQ(restored.stats().frames_accepted, cut);
+  ASSERT_EQ(restored.vehicle_count(), ids.size());
+  for (std::size_t i = cut; i < stream.size(); ++i) restored.Submit(stream[i]);
+  restored.Drain();
+  const auto resumed = restored.TakeResult();
+
+  ExpectAlarmsIdentical(expected.alarms, resumed.alarms);
+  ASSERT_EQ(expected.scored_samples.size(), resumed.scored_samples.size());
+  for (std::size_t v = 0; v < expected.scored_samples.size(); ++v)
+    ASSERT_EQ(expected.scored_samples[v].size(),
+              resumed.scored_samples[v].size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FleetSnapshotTest, LaterCheckpointSupersedesEarlier) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const std::string dir = TempDir("navshard_fleet_epochs");
+
+  ShardGroup group(GroupConfig(2, 2));
+  for (const auto id : ids) group.RegisterVehicle(id);
+  const std::size_t first_cut = stream.size() / 4;
+  const std::size_t second_cut = stream.size() / 2;
+  for (std::size_t i = 0; i < first_cut; ++i) group.Submit(stream[i]);
+  ASSERT_TRUE(group.Checkpoint(dir).ok());
+  for (std::size_t i = first_cut; i < second_cut; ++i)
+    group.Submit(stream[i]);
+  ASSERT_TRUE(group.Checkpoint(dir).ok());
+  group.Drain();
+
+  // The directory holds exactly one epoch: the manifest plus one snapshot
+  // per shard (stale epochs are removed after the commit rename).
+  std::size_t snapshots = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().filename().string().rfind("shard-", 0) == 0)
+      ++snapshots;
+  EXPECT_EQ(snapshots, 2u);
+
+  ShardGroup restored(GroupConfig(2, 2));
+  ASSERT_TRUE(restored.RestoreFromDir(dir).ok());
+  EXPECT_EQ(restored.stats().frames_accepted, second_cut);
+  restored.Drain();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FleetSnapshotTest, CorruptedShardSnapshotIsRejectedBeforeRestore) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const std::string dir = TempDir("navshard_fleet_corrupt_shard");
+
+  {
+    ShardGroup group(GroupConfig(4, 2));
+    for (const auto id : ids) group.RegisterVehicle(id);
+    for (std::size_t i = 0; i < stream.size() / 2; ++i)
+      group.Submit(stream[i]);
+    ASSERT_TRUE(group.Checkpoint(dir).ok());
+    group.Drain();
+  }
+
+  // Damage ONE per-shard snapshot; the manifest itself stays valid. The
+  // restore must fail against the manifest's CRC without touching state.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("shard-0.", 0) == 0) CorruptFile(entry.path().string());
+  }
+  ShardGroup restored(GroupConfig(4, 2));
+  const util::Status status = restored.RestoreFromDir(dir);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(restored.vehicle_count(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FleetSnapshotTest, CorruptedManifestIsRejected) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const std::string dir = TempDir("navshard_fleet_corrupt_manifest");
+
+  {
+    ShardGroup group(GroupConfig(2, 1));
+    for (const auto id : ids) group.RegisterVehicle(id);
+    for (std::size_t i = 0; i < stream.size() / 2; ++i)
+      group.Submit(stream[i]);
+    ASSERT_TRUE(group.Checkpoint(dir).ok());
+    group.Drain();
+  }
+
+  CorruptFile(dir + "/fleet.manifest");
+  ShardGroup restored(GroupConfig(2, 1));
+  EXPECT_FALSE(restored.RestoreFromDir(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FleetSnapshotTest, MissingShardSnapshotIsRejected) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const std::string dir = TempDir("navshard_fleet_missing_shard");
+
+  {
+    ShardGroup group(GroupConfig(2, 1));
+    for (const auto id : ids) group.RegisterVehicle(id);
+    for (std::size_t i = 0; i < stream.size() / 4; ++i)
+      group.Submit(stream[i]);
+    ASSERT_TRUE(group.Checkpoint(dir).ok());
+    group.Drain();
+  }
+
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("shard-1.", 0) == 0)
+      std::filesystem::remove(entry.path());
+  }
+  ShardGroup restored(GroupConfig(2, 1));
+  EXPECT_FALSE(restored.RestoreFromDir(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FleetSnapshotTest, RestoreRejectsMismatchedShardCount) {
+  // The manifest pins the ring parameters: restoring 4 shards' state into
+  // a 2-shard group would silently re-route vehicles, so it must refuse.
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const std::string dir = TempDir("navshard_fleet_wrong_count");
+
+  {
+    ShardGroup group(GroupConfig(4, 1));
+    for (const auto id : ids) group.RegisterVehicle(id);
+    for (std::size_t i = 0; i < stream.size() / 4; ++i)
+      group.Submit(stream[i]);
+    ASSERT_TRUE(group.Checkpoint(dir).ok());
+    group.Drain();
+  }
+
+  ShardGroup restored(GroupConfig(2, 1));
+  EXPECT_FALSE(restored.RestoreFromDir(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace navarchos::shard

@@ -1,0 +1,124 @@
+// The consistent-hash router is a wire-visible contract: every peer of a
+// fleet - routing clients, shard servers, checkpoint manifests - rebuilds
+// the vehicle-to-shard assignment locally from (shard_count, seed) alone,
+// so the hash function and the ring derivation are pinned here value by
+// value. A change that shifts any pinned assignment is a protocol break
+// (it would route resumed sessions to the wrong shard), not a refactor.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shard/shard_router.h"
+
+namespace navarchos::shard {
+namespace {
+
+TEST(ShardRouterTest, Mix64IsTheDocumentedSplitmix64Finalizer) {
+  // First outputs of splitmix64 seeded at 0 and 1, plus one wide pattern.
+  // These pin the exact mixer; std::hash or any "equivalent" mixer would
+  // silently break cross-process agreement.
+  EXPECT_EQ(Mix64(0), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(Mix64(1), 0x910A2DEC89025CC1ull);
+  EXPECT_EQ(Mix64(0x123456789ABCDEFull), 0x157A3807A48FAA9Dull);
+}
+
+TEST(ShardRouterTest, AssignmentsArePinnedAtTheDefaultSeed) {
+  // Exact assignments for the first vehicle ids under the default seed.
+  // Any ring-derivation change (vnode count, label layout, tie-breaks)
+  // shows up here before it can corrupt a deployed fleet.
+  const ShardMap two(2);
+  const std::vector<int> expect_two = {1, 1, 1, 1, 0, 0, 0, 1, 0, 0, 1, 0};
+  for (std::size_t id = 0; id < expect_two.size(); ++id)
+    EXPECT_EQ(two.ShardOf(static_cast<std::int32_t>(id)), expect_two[id])
+        << "vehicle " << id;
+
+  const ShardMap four(4);
+  const std::vector<int> expect_four = {2, 1, 3, 3, 3, 3, 3, 1, 2, 3, 1, 2};
+  for (std::size_t id = 0; id < expect_four.size(); ++id)
+    EXPECT_EQ(four.ShardOf(static_cast<std::int32_t>(id)), expect_four[id])
+        << "vehicle " << id;
+}
+
+TEST(ShardRouterTest, PureFunctionOfCountAndSeed) {
+  const ShardMap a(4, 12345);
+  const ShardMap b(4, 12345);
+  for (std::int32_t id = -100; id < 1000; ++id)
+    ASSERT_EQ(a.ShardOf(id), b.ShardOf(id)) << "vehicle " << id;
+}
+
+TEST(ShardRouterTest, SingleShardRoutesEverythingToZero) {
+  const ShardMap map(1, 999);
+  for (std::int32_t id = -5; id < 100; ++id) EXPECT_EQ(map.ShardOf(id), 0);
+}
+
+TEST(ShardRouterTest, SmallConsecutiveIdsAreNotPinnedToOneShard) {
+  // Regression: vnode labels must be domain-separated from vehicle keys.
+  // Without the (shard + 1) high word, ids 0..63 hash exactly onto shard
+  // 0's ring points and ALL land on shard 0.
+  const ShardMap map(4);
+  std::map<int, int> counts;
+  for (std::int32_t id = 0; id < 64; ++id) ++counts[map.ShardOf(id)];
+  EXPECT_GE(counts.size(), 3u) << "first 64 ids collapsed onto "
+                               << counts.size() << " shard(s)";
+}
+
+TEST(ShardRouterTest, LoadSplitIsRoughlyBalanced) {
+  const ShardMap map(4);
+  std::vector<int> counts(4, 0);
+  for (std::int32_t id = 0; id < 100000; ++id)
+    ++counts[static_cast<std::size_t>(map.ShardOf(id))];
+  for (int shard = 0; shard < 4; ++shard) {
+    // 64 vnodes keep a uniform fleet within a loose band of fair share.
+    EXPECT_GT(counts[static_cast<std::size_t>(shard)], 15000)
+        << "shard " << shard;
+    EXPECT_LT(counts[static_cast<std::size_t>(shard)], 35000)
+        << "shard " << shard;
+  }
+}
+
+TEST(ShardRouterTest, GrowingTheRingOnlyMovesVehiclesToTheNewShard) {
+  // The consistent-hashing promise: adding shard N only inserts new ring
+  // points, so a vehicle either keeps its shard or moves to the NEW one -
+  // and only roughly 1/(N+1) of them move.
+  const ShardMap four(4);
+  const ShardMap five(5);
+  int moved = 0;
+  const int kVehicles = 10000;
+  for (std::int32_t id = 0; id < kVehicles; ++id) {
+    const int before = four.ShardOf(id);
+    const int after = five.ShardOf(id);
+    if (before != after) {
+      ++moved;
+      EXPECT_EQ(after, 4) << "vehicle " << id
+                          << " moved between pre-existing shards";
+    }
+  }
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, kVehicles * 35 / 100);
+}
+
+TEST(ShardRouterTest, SeedChangesTheAssignment) {
+  const ShardMap a(4, 1);
+  const ShardMap b(4, 2);
+  int differing = 0;
+  for (std::int32_t id = 0; id < 1000; ++id)
+    if (a.ShardOf(id) != b.ShardOf(id)) ++differing;
+  EXPECT_GT(differing, 0);
+}
+
+TEST(ShardRouterTest, NegativeIdsRouteConsistently) {
+  // Negative ids are zero-extended through a fixed-width cast, so the
+  // assignment is identical on every platform and process.
+  const ShardMap map(4);
+  for (std::int32_t id = -1000; id < 0; ++id) {
+    const int shard = map.ShardOf(id);
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, 4);
+    ASSERT_EQ(shard, map.ShardOf(id));  // stable on repeated lookup
+  }
+}
+
+}  // namespace
+}  // namespace navarchos::shard

@@ -1,0 +1,182 @@
+// The sharded wire path end to end: a ShardedClient streaming the fleet
+// over loopback TCP to a ShardServer (one listener per shard) produces the
+// same fleet-wide result as the in-process ShardGroup run and the unsharded
+// service - including through a mid-stream abort + resume across every
+// shard session. Also pins the backward-compat boundary: a plain (pre-
+// shard-map) IngestClient against a single-shard ShardServer still works,
+// because a 1-shard WELCOME advertises no map at all.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/ingest_client.h"
+#include "runtime/runtime_config.h"
+#include "service/fleet_service.h"
+#include "shard/shard_group.h"
+#include "shard/shard_server.h"
+#include "shard/sharded_client.h"
+#include "telemetry/fleet.h"
+#include "telemetry/stream.h"
+
+namespace navarchos {
+namespace {
+
+telemetry::FleetConfig SmallFleetConfig() {
+  telemetry::FleetConfig config = telemetry::FleetConfig::TestScale();
+  config.days = 30;
+  return config;
+}
+
+core::MonitorConfig FastMonitorConfig() {
+  core::MonitorConfig config;
+  config.transform_options.window = 60;
+  config.transform_options.stride = 10;
+  config.profile_minutes = 400.0;
+  config.threshold.burn_in_minutes = 120.0;
+  config.threshold.persistence_minutes = 60.0;
+  return config;
+}
+
+shard::ShardGroupConfig GroupConfig(int shards, int threads) {
+  shard::ShardGroupConfig config;
+  config.service.monitor = FastMonitorConfig();
+  config.service.runtime = runtime::RuntimeConfig{threads};
+  config.service.queue_capacity = 32;
+  config.shard_count = static_cast<std::uint32_t>(shards);
+  return config;
+}
+
+void ExpectAlarmsIdentical(const std::vector<core::Alarm>& a,
+                           const std::vector<core::Alarm>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].vehicle_id, b[i].vehicle_id) << "alarm " << i;
+    ASSERT_EQ(a[i].timestamp, b[i].timestamp) << "alarm " << i;
+    ASSERT_EQ(a[i].channel, b[i].channel) << "alarm " << i;
+    ASSERT_EQ(a[i].score, b[i].score) << "alarm " << i;
+    ASSERT_EQ(a[i].threshold, b[i].threshold) << "alarm " << i;
+  }
+}
+
+/// The in-process reference: the same stream through a ShardGroup.
+core::FleetRunResult RunInProcess(
+    const std::vector<telemetry::SensorFrame>& stream,
+    const std::vector<std::int32_t>& ids, int shards, int threads) {
+  shard::ShardGroup group(GroupConfig(shards, threads));
+  for (const auto id : ids) group.RegisterVehicle(id);
+  for (const auto& frame : stream) group.Submit(frame);
+  group.Drain();
+  return group.TakeResult();
+}
+
+TEST(ShardedLoopbackTest, WireRunEqualsInProcessRun) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const auto reference = RunInProcess(stream, ids, 4, 4);
+
+  shard::ShardGroup group(GroupConfig(4, 4));
+  net::ServerConfig server_template;
+  server_template.port = 0;
+  shard::ShardServer server(&group, server_template);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_EQ(server.map_info().shard_count, 4u);
+  ASSERT_EQ(server.map_info().ports.size(), 4u);
+
+  shard::ShardedClientConfig client_config;
+  client_config.client.port = server.port(0);
+  client_config.client.session_id = "sharded-loopback";
+  shard::ShardedClient client(client_config);
+  ASSERT_TRUE(client.Connect(ids, /*resume=*/false).ok());
+  EXPECT_EQ(client.shard_map_info().shard_count, 4u);
+  for (const auto& frame : stream) ASSERT_TRUE(client.Send(frame).ok());
+  ASSERT_TRUE(client.Finish().ok());
+
+  ASSERT_TRUE(server.WaitForFinishedSessions(4, /*timeout_ms=*/30000));
+  server.Stop();
+  group.Drain();
+  const auto wire = group.TakeResult();
+  ExpectAlarmsIdentical(reference.alarms, wire.alarms);
+  ASSERT_EQ(reference.scored_samples.size(), wire.scored_samples.size());
+  for (std::size_t v = 0; v < reference.scored_samples.size(); ++v)
+    ASSERT_EQ(reference.scored_samples[v].size(),
+              wire.scored_samples[v].size());
+}
+
+TEST(ShardedLoopbackTest, AbortAndResumeAcrossShardsStaysExactlyOnce) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const auto reference = RunInProcess(stream, ids, 2, 4);
+
+  shard::ShardGroup group(GroupConfig(2, 4));
+  net::ServerConfig server_template;
+  server_template.port = 0;
+  shard::ShardServer server(&group, server_template);
+  ASSERT_TRUE(server.Start().ok());
+
+  shard::ShardedClientConfig client_config;
+  client_config.client.port = server.port(0);
+  client_config.client.session_id = "sharded-resume";
+
+  // First client dies mid-stream: no flush, no FIN, on any shard.
+  const std::size_t cut = stream.size() / 3;
+  {
+    shard::ShardedClient first(client_config);
+    ASSERT_TRUE(first.Connect(ids, /*resume=*/false).ok());
+    for (std::size_t i = 0; i < cut; ++i)
+      ASSERT_TRUE(first.Send(stream[i]).ok());
+    first.Abort();
+  }
+
+  // The resuming client replays the WHOLE stream; each shard session skips
+  // its decided prefix locally and re-sends only the undecided tail.
+  shard::ShardedClient second(client_config);
+  ASSERT_TRUE(second.Connect(ids, /*resume=*/true).ok());
+  for (const auto& frame : stream) ASSERT_TRUE(second.Send(frame).ok());
+  ASSERT_TRUE(second.Finish().ok());
+
+  ASSERT_TRUE(server.WaitForFinishedSessions(2, /*timeout_ms=*/30000));
+  server.Stop();
+  group.Drain();
+  const auto wire = group.TakeResult();
+  // Exactly-once across the crash: the merged fleet output is the
+  // uninterrupted in-process run, bit for bit.
+  ExpectAlarmsIdentical(reference.alarms, wire.alarms);
+}
+
+TEST(ShardedLoopbackTest, PlainClientStillSpeaksToASingleShardServer) {
+  // Old peers predate the shard map. A 1-shard ShardServer must therefore
+  // advertise nothing (its WELCOME is byte-identical to the unsharded
+  // server's) and a plain IngestClient must complete a session against it.
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const auto reference = RunInProcess(stream, ids, 1, 4);
+
+  shard::ShardGroup group(GroupConfig(1, 4));
+  net::ServerConfig server_template;
+  server_template.port = 0;
+  shard::ShardServer server(&group, server_template);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.map_info().unsharded());
+
+  net::ClientConfig config;
+  config.port = server.port(0);
+  config.session_id = "legacy-client";
+  net::IngestClient client(config);
+  ASSERT_TRUE(client.Connect(ids, /*resume=*/false).ok());
+  EXPECT_TRUE(client.shard_map().unsharded());
+  for (const auto& frame : stream) ASSERT_TRUE(client.Send(frame).ok());
+  ASSERT_TRUE(client.Finish().ok());
+
+  ASSERT_TRUE(server.WaitForFinishedSessions(1, /*timeout_ms=*/30000));
+  server.Stop();
+  group.Drain();
+  const auto wire = group.TakeResult();
+  ExpectAlarmsIdentical(reference.alarms, wire.alarms);
+}
+
+}  // namespace
+}  // namespace navarchos
