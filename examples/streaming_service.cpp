@@ -60,6 +60,13 @@
 //                        (a fleet checkpoint directory when --shards > 1)
 //   --alarm-log P        write the final alarm list (total order) to P
 //   --history-dir D      append the anomaly history log under directory D
+//   --ensemble-k K       monitor with a rolling consensus ensemble of K
+//                        members instead of the single *Ref* model (server
+//                        and sharded roles honour these three flags too)
+//   --ensemble-m M       members that must agree before an alarm passes
+//                        (default: config default, currently 3)
+//   --retrain-every N    samples between background member retrains
+//                        (default: derived from the profile window)
 // Flags (server role):
 //   --listen N           serve ingest on port N (0 = ephemeral)
 //   --shards N           one listener + service per shard (bootstrap =
@@ -132,11 +139,26 @@ telemetry::FleetDataset MakeFleet() {
   return telemetry::GenerateFleet(fleet_config);
 }
 
-service::ServiceConfig MakeServiceConfig(int threads) {
+service::ServiceConfig MakeServiceConfig(const util::Args& args, int threads) {
   service::ServiceConfig config;
   config.monitor.transform = transform::TransformKind::kCorrelation;
   config.monitor.detector = detect::DetectorKind::kClosestPair;
   config.monitor.threshold.factor = 10.0;
+  // --ensemble-k K switches every monitor to the rolling consensus ensemble
+  // (K staggered members, --ensemble-m of them must agree, a member retrained
+  // in the background every --retrain-every samples). The verify replays
+  // below reuse this config, so replay-equals-live holds with it on.
+  const std::int64_t ensemble_k = args.GetInt("ensemble-k", 0);
+  if (ensemble_k > 0) {
+    config.monitor.ensemble.enabled = true;
+    config.monitor.ensemble.k = static_cast<int>(ensemble_k);
+    if (args.Has("ensemble-m"))
+      config.monitor.ensemble.m =
+          static_cast<int>(args.GetInt("ensemble-m", 0));
+    if (args.Has("retrain-every"))
+      config.monitor.ensemble.retrain_every =
+          static_cast<int>(args.GetInt("retrain-every", 0));
+  }
   config.runtime = runtime::RuntimeConfig{threads};
   config.queue_capacity = 128;  // frames buffered per vehicle before blocking
   return config;
@@ -328,7 +350,7 @@ int RunShardedServer(const util::Args& args, int shards) {
   const std::string alarm_log = args.GetString("alarm-log", "");
 
   shard::ShardGroupConfig group_config;
-  group_config.service = MakeServiceConfig(threads);
+  group_config.service = MakeServiceConfig(args, threads);
   group_config.shard_count = static_cast<std::uint32_t>(shards);
   shard::ShardGroup group(group_config);
   const std::unique_ptr<history::HistoryService> history =
@@ -400,7 +422,7 @@ int RunShardedServer(const util::Args& args, int shards) {
     const telemetry::FleetDataset fleet = MakeFleet();
     const auto stream = telemetry::InterleaveFleetStream(fleet);
     const auto replay = service::RunStream(
-        stream, service::VehicleIdsOf(fleet), MakeServiceConfig(1));
+        stream, service::VehicleIdsOf(fleet), MakeServiceConfig(args, 1));
     const bool identical = AlarmsIdentical(replay.alarms, live.alarms);
     std::printf("in-process replay of the same stream: %s\n",
                 identical ? "identical alarms (sharded == unsharded)"
@@ -420,7 +442,7 @@ int RunServer(const util::Args& args) {
   const auto sessions = static_cast<std::uint64_t>(args.GetInt("sessions", 1));
   const std::string alarm_log = args.GetString("alarm-log", "");
 
-  service::FleetService svc(MakeServiceConfig(threads));
+  service::FleetService svc(MakeServiceConfig(args, threads));
   const std::unique_ptr<history::HistoryService> history =
       AttachHistory(&svc, args.GetString("history-dir", ""));
   if (!args.GetString("history-dir", "").empty() && history == nullptr)
@@ -475,7 +497,7 @@ int RunServer(const util::Args& args) {
     const telemetry::FleetDataset fleet = MakeFleet();
     const auto stream = telemetry::InterleaveFleetStream(fleet);
     const auto replay = service::RunStream(
-        stream, service::VehicleIdsOf(fleet), MakeServiceConfig(1));
+        stream, service::VehicleIdsOf(fleet), MakeServiceConfig(args, 1));
     const bool identical = AlarmsIdentical(replay.alarms, live.alarms);
     std::printf("in-process replay of the same stream: %s\n",
                 identical ? "identical alarms (loopback == in-process)"
@@ -616,7 +638,7 @@ int RunShardedInProcess(const util::Args& args, int shards) {
               stream.size(), fleet.vehicles.size(), shards);
 
   shard::ShardGroupConfig group_config;
-  group_config.service = MakeServiceConfig(threads);
+  group_config.service = MakeServiceConfig(args, threads);
   group_config.shard_count = static_cast<std::uint32_t>(shards);
   shard::ShardGroup group(group_config);
   std::size_t resume_cursor = 0;
@@ -680,7 +702,7 @@ int RunShardedInProcess(const util::Args& args, int shards) {
   // The house invariant, extended: the sharded fleet's total order equals
   // the unsharded single-threaded replay bit for bit.
   const auto replay = service::RunStream(stream, service::VehicleIdsOf(fleet),
-                                         MakeServiceConfig(1));
+                                         MakeServiceConfig(args, 1));
   const bool identical = AlarmsIdentical(replay.alarms, live.alarms);
   std::printf("unsharded serial replay of the recorded stream: %s\n",
               identical ? "identical alarms (sharded == unsharded)"
@@ -714,7 +736,7 @@ int main(int argc, char** argv) {
               stream.size(), fleet.vehicles.size());
 
   // --- 2. The streaming service, with blocking backpressure. --------------
-  const service::ServiceConfig config = MakeServiceConfig(threads);
+  const service::ServiceConfig config = MakeServiceConfig(args, threads);
 
   service::FleetService svc(config);
   std::size_t resume_cursor = 0;

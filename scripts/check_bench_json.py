@@ -62,6 +62,21 @@ SCHEMAS = {
         ("timeline_p99_ms", *_NUMBER),
         ("fingerprint", *_STR),
     ],
+    "ensemble_sweep": [
+        ("setting", *_STR),
+        ("config", *_STR),
+        ("threads", *_INT),
+        ("false_alarms", *_INT),
+        ("detected", *_INT),
+        ("total_failures", *_INT),
+        ("mean_lead_days", *_NUMBER),
+        ("latency_p50_ms", *_NUMBER),
+        ("latency_p99_ms", *_NUMBER),
+        ("ensemble_bytes_per_vehicle", *_NUMBER),
+        ("retrains_started", *_INT),
+        ("suppressed_alarms", *_INT),
+        ("fingerprint", *_STR),
+    ],
     "shard_sweep": [
         ("shards", *_INT),
         ("threads", *_INT),

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Ensemble kill-and-restore check (the CI `ensemble-recovery` job).
+#
+# The consensus-ensemble variant of restore-equals-uninterrupted, process
+# boundary included. With --ensemble-k the service's checkpoints carry the
+# full rolling-ensemble state - member models, the rolling training window,
+# the sample counter AND any retrain that was in flight when the snapshot
+# quiesced (the fit is re-posted after restore at the same pre-committed
+# activation boundary). Frequent checkpoints against a small retrain period
+# make it overwhelmingly likely that the surviving snapshot was taken with
+# a background fit pending, so this exercises exactly the state the ctest
+# suite covers in-process (EnsembleSnapshotTest), across a real SIGKILL:
+#   1. reference: run the streaming example with the ensemble on,
+#      uninterrupted, record its alarm log;
+#   2. crash: run it again with periodic checkpoints, SIGKILL the process
+#      the moment a snapshot exists on disk - no drain, no destructor;
+#   3. restore: start a fresh process from the snapshot (same ensemble
+#      flags), let it replay the remaining frames;
+#   4. verify: the restored run's alarm log must be byte-identical to the
+#      uninterrupted reference.
+#
+# Usage: ensemble_recovery_check.sh [path-to-streaming_service-binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+binary="${1:-build/examples/streaming_service}"
+[[ -x "${binary}" ]] || {
+  echo "ensemble_recovery_check: ${binary} not built" >&2
+  exit 1
+}
+
+# K=3/M=2 with a short retrain period: a retrain boundary every 48 usable
+# samples per vehicle keeps a fit pending for a large fraction of the run.
+ensemble_flags=(--ensemble-k 3 --ensemble-m 2 --retrain-every 48)
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+snapshot="${workdir}/checkpoint.bin"
+reference_log="${workdir}/reference_alarms.log"
+restored_log="${workdir}/restored_alarms.log"
+
+echo "== reference: uninterrupted ensemble run =="
+"${binary}" "${ensemble_flags[@]}" --alarm-log "${reference_log}" > /dev/null
+[[ -s "${reference_log}" ]] || {
+  echo "ensemble_recovery_check: reference produced no alarms - nothing to compare" >&2
+  exit 1
+}
+
+echo "== crash run: checkpoint every 10000 frames, SIGKILL mid-stream =="
+"${binary}" "${ensemble_flags[@]}" --snapshot-every 10000 \
+  --snapshot-path "${snapshot}" > /dev/null &
+victim=$!
+for _ in $(seq 1 600); do
+  [[ -s "${snapshot}" ]] && break
+  kill -0 "${victim}" 2>/dev/null || break
+  sleep 0.05
+done
+if [[ ! -s "${snapshot}" ]]; then
+  wait "${victim}" || true
+  echo "ensemble_recovery_check: no snapshot appeared before the run ended" >&2
+  exit 1
+fi
+kill -KILL "${victim}" 2>/dev/null || true
+wait "${victim}" 2>/dev/null || true
+echo "killed pid ${victim} with a snapshot of $(wc -c < "${snapshot}") bytes"
+
+echo "== restore run: resume from the snapshot with the same ensemble flags =="
+"${binary}" "${ensemble_flags[@]}" --restore "${snapshot}" \
+  --alarm-log "${restored_log}"
+
+echo "== verify: alarm logs must be byte-identical =="
+if ! diff -q "${reference_log}" "${restored_log}"; then
+  echo "ensemble_recovery_check: restored alarm log differs from the uninterrupted reference" >&2
+  diff "${reference_log}" "${restored_log}" | head -20 >&2 || true
+  exit 1
+fi
+echo "ensemble_recovery_check: restore equals uninterrupted ($(wc -l < "${reference_log}") alarms)"

@@ -37,6 +37,7 @@ FleetRunResult RunFleet(const telemetry::FleetDataset& fleet,
   result.scored_samples.resize(fleet.vehicles.size());
   result.calibrations.resize(fleet.vehicles.size());
   result.quality.resize(fleet.vehicles.size());
+  result.ensemble_stats.resize(fleet.vehicles.size());
 
   // One monitor per vehicle, each writing only its own index-aligned slots;
   // alarms land in a per-vehicle vector and are concatenated in vehicle
@@ -62,6 +63,7 @@ FleetRunResult RunFleet(const telemetry::FleetDataset& fleet,
     result.scored_samples[v] = monitor.scored_samples();
     result.calibrations[v] = monitor.calibrations();
     result.quality[v] = monitor.quality();
+    result.ensemble_stats[v] = monitor.ensemble_stats();
     vehicle_channel_names[v] = monitor.channel_names();
   });
 

@@ -30,6 +30,9 @@ struct FleetRunResult {
   std::vector<std::vector<CalibrationStats>> calibrations;
   /// Ingest data-quality counters per vehicle (index-aligned with the fleet).
   std::vector<DataQualityReport> quality;
+  /// Rolling-ensemble counters per vehicle (index-aligned with the fleet;
+  /// all zero when the ensemble is disabled).
+  std::vector<ensemble::EnsembleStats> ensemble_stats;
   /// Channel names (same for all vehicles).
   std::vector<std::string> channel_names;
   /// Resolved persistence window (samples) of the run, reused by AlarmsAt.

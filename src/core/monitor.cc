@@ -77,6 +77,33 @@ void VehicleMonitor::Initialise() {
   NAVARCHOS_CHECK(profile_length_ >= detector_->MinReferenceSize());
   NAVARCHOS_CHECK(config_.ingest.reorder_capacity >= 0);
   quality_.vehicle_id = vehicle_id_;
+  if (config_.ensemble.enabled) {
+    ensemble::EnsembleRuntime runtime;
+    runtime.detector = config_.detector;
+    runtime.detector_options = config_.detector_options;
+    if (runtime.detector_options.feature_names.empty())
+      runtime.detector_options.feature_names = transformer_->FeatureNames();
+    runtime.threshold = config_.threshold;
+    runtime.exclusion_radius = std::max(
+        1, config_.transform_options.window / config_.transform_options.stride);
+    runtime.window = config_.ensemble.window > 0
+                         ? static_cast<std::size_t>(config_.ensemble.window)
+                         : profile_length_;
+    ensemble_ =
+        std::make_unique<ensemble::RollingEnsemble>(config_.ensemble, runtime);
+  }
+}
+
+void VehicleMonitor::set_background_pool(runtime::ThreadPool* pool) {
+  if (ensemble_ != nullptr) ensemble_->set_pool(pool);
+}
+
+ensemble::EnsembleStats VehicleMonitor::ensemble_stats() const {
+  return ensemble_ != nullptr ? ensemble_->stats() : ensemble::EnsembleStats();
+}
+
+std::size_t VehicleMonitor::ensemble_bytes() const {
+  return ensemble_ != nullptr ? ensemble_->EncodedBytes() : 0;
 }
 
 void VehicleMonitor::ResetReference() {
@@ -89,6 +116,9 @@ void VehicleMonitor::ResetReference() {
   // The raw-data buffer restarts as well: the paper discards the old data
   // when a new reference is triggered.
   transformer_->Reset();
+  // Ensemble members trained on pre-maintenance data are no longer a
+  // healthy reference; the ensemble rebuilds from the new cycle's stream.
+  if (ensemble_ != nullptr) ensemble_->Reset();
 }
 
 std::vector<Alarm> VehicleMonitor::OnEvent(const telemetry::FleetEvent& event) {
@@ -313,6 +343,12 @@ std::optional<Alarm> VehicleMonitor::ProcessRecord(const telemetry::Record& reco
     return std::nullopt;
   }
 
+  // The rolling ensemble sees every usable sample - including the ones
+  // still building the primary reference - so its members' windows and its
+  // retrain schedule are pure functions of the stream.
+  ensemble::Verdict verdict;
+  if (ensemble_ != nullptr) verdict = ensemble_->OnSample(sample->features);
+
   if (!fitted_) {
     reference_.push_back(std::move(sample->features));
     if (reference_.size() >= profile_length_) FitOnReference();
@@ -351,6 +387,10 @@ std::optional<Alarm> VehicleMonitor::ProcessRecord(const telemetry::Record& reco
     return std::nullopt;
   }
   scored.calibration_index = static_cast<int>(calibrations_.size()) - 1;
+  if (ensemble_ != nullptr) {
+    scored.votes = verdict.votes;
+    scored.ensemble_live = verdict.live;
+  }
   scored_samples_.push_back(scored);
 
   // Windowed persistence: only channels violating on most recent samples
@@ -380,6 +420,13 @@ std::optional<Alarm> VehicleMonitor::ProcessRecord(const telemetry::Record& reco
     }
   }
   if (!worst) return std::nullopt;
+  // Consensus gate: the primary detector's alarm candidate passes only
+  // when at least M live ensemble members independently agree the sample
+  // is anomalous (a bootstrapping ensemble with no members abstains).
+  if (ensemble_ != nullptr && !verdict.pass) {
+    ensemble_->RecordSuppressedAlarm();
+    return std::nullopt;
+  }
   Alarm alarm;
   alarm.vehicle_id = vehicle_id_;
   alarm.timestamp = sample->timestamp;
@@ -395,7 +442,9 @@ std::optional<Alarm> VehicleMonitor::ProcessRecord(const telemetry::Record& reco
 namespace {
 
 // Monitor chunk-payload layout version; bumped on any change below.
-constexpr std::uint32_t kMonitorStateVersion = 1;
+// Version 2 added the scored samples' consensus votes/live fields and the
+// trailing rolling-ensemble state.
+constexpr std::uint32_t kMonitorStateVersion = 2;
 
 void SaveRecord(persist::Encoder& encoder, const telemetry::Record& record) {
   encoder.PutI32(record.vehicle_id);
@@ -485,6 +534,8 @@ void VehicleMonitor::Save(persist::Encoder& encoder) const {
     encoder.PutI64(sample.timestamp);
     encoder.PutDoubleVec(sample.scores);
     encoder.PutI32(sample.calibration_index);
+    encoder.PutI32(sample.votes);
+    encoder.PutI32(sample.ensemble_live);
   }
 
   encoder.PutBool(persistence_ != nullptr);
@@ -503,6 +554,9 @@ void VehicleMonitor::Save(persist::Encoder& encoder) const {
   for (double value : stuck_previous_) encoder.PutDouble(value);
   for (int run : stuck_run_) encoder.PutI32(run);
   encoder.PutBool(has_stuck_previous_);
+
+  encoder.PutBool(ensemble_ != nullptr);
+  if (ensemble_ != nullptr) ensemble_->Save(encoder);
 }
 
 bool VehicleMonitor::Restore(persist::Decoder& decoder) {
@@ -567,7 +621,7 @@ bool VehicleMonitor::Restore(persist::Decoder& decoder) {
   }
 
   const std::uint64_t sample_count = decoder.GetU64();
-  if (!decoder.ok() || sample_count > decoder.remaining() / 24) {
+  if (!decoder.ok() || sample_count > decoder.remaining() / 32) {
     decoder.Fail("monitor scored-sample count out of bounds");
     return false;
   }
@@ -578,6 +632,8 @@ bool VehicleMonitor::Restore(persist::Decoder& decoder) {
     sample.timestamp = decoder.GetI64();
     sample.scores = decoder.GetDoubleVec();
     sample.calibration_index = decoder.GetI32();
+    sample.votes = decoder.GetI32();
+    sample.ensemble_live = decoder.GetI32();
     if (!decoder.ok()) return false;
     if (sample.calibration_index < 0 ||
         static_cast<std::size_t>(sample.calibration_index) >= calibrations_.size()) {
@@ -627,6 +683,18 @@ bool VehicleMonitor::Restore(persist::Decoder& decoder) {
   for (double& value : stuck_previous_) value = decoder.GetDouble();
   for (int& run : stuck_run_) run = decoder.GetI32();
   has_stuck_previous_ = decoder.GetBool();
+
+  const bool has_ensemble = decoder.GetBool();
+  if (!decoder.ok()) return false;
+  if (has_ensemble != (ensemble_ != nullptr)) {
+    decoder.Fail(has_ensemble
+                     ? "snapshot carries an ensemble but this monitor's "
+                       "ensemble is disabled"
+                     : "this monitor expects an ensemble but the snapshot "
+                       "has none");
+    return false;
+  }
+  if (ensemble_ != nullptr && !ensemble_->Restore(decoder)) return false;
   return decoder.ok();
 }
 

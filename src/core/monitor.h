@@ -26,6 +26,8 @@
 
 #include "detect/factory.h"
 #include "detect/threshold.h"
+#include "ensemble/ensemble.h"
+#include "runtime/thread_pool.h"
 #include "telemetry/stream.h"
 #include "telemetry/types.h"
 #include "transform/transformer.h"
@@ -108,6 +110,10 @@ struct MonitorConfig {
   /// per-record and windowed transforms see the same reference horizon).
   double profile_minutes = 1200.0;
 
+  /// Opt-in rolling consensus ensemble: K staggered reference models
+  /// retrained online, gating alarms on M-of-K agreement (src/ensemble).
+  ensemble::EnsembleConfig ensemble;
+
   /// Resolved reference length in samples for this config's transform.
   std::size_t ResolveProfileLength() const;
   /// Rebuild Ref on recorded service events (Table 3 ablation sets false).
@@ -147,6 +153,11 @@ struct ScoredSample {
   telemetry::Minute timestamp = 0;  ///< Stream time of the sample.
   std::vector<double> scores;       ///< One score per detector channel.
   int calibration_index = -1;  ///< Into VehicleMonitor::calibrations().
+  /// Consensus votes of the rolling ensemble for this sample (-1 when the
+  /// ensemble is disabled).
+  std::int32_t votes = -1;
+  /// Live ensemble members that scored this sample (0 when disabled).
+  std::int32_t ensemble_live = 0;
 };
 
 /// Streaming monitor for one vehicle (Algorithm 1).
@@ -207,6 +218,21 @@ class VehicleMonitor {
   /// Number of completed reference cycles (fits).
   int fit_count() const { return fit_count_; }
 
+  /// Installs the pool the ensemble posts its background member fits to.
+  /// Null (the default) runs fits inline at their activation point - same
+  /// output, no overlap with ingest. No-op when the ensemble is disabled.
+  void set_background_pool(runtime::ThreadPool* pool);
+
+  /// The rolling consensus ensemble, or null when disabled.
+  const ensemble::RollingEnsemble* consensus() const { return ensemble_.get(); }
+
+  /// Ensemble lifetime counters (all zero when the ensemble is disabled).
+  ensemble::EnsembleStats ensemble_stats() const;
+
+  /// Encoded bytes of the ensemble state right now (0 when disabled): the
+  /// bytes-per-vehicle metric of the memory-boundedness win condition.
+  std::size_t ensemble_bytes() const;
+
   /// True while the reference profile is still filling.
   bool collecting_reference() const { return !fitted_; }
 
@@ -248,6 +274,7 @@ class VehicleMonitor {
   std::vector<std::string> channel_names_;
   std::vector<CalibrationStats> calibrations_;
   std::vector<ScoredSample> scored_samples_;
+  std::unique_ptr<ensemble::RollingEnsemble> ensemble_;  ///< Null = disabled.
 
   // Ingest guard state (survives reference resets: stream time only moves
   // forward and the physical sensors do not renew at a service).

@@ -1,0 +1,357 @@
+#include "ensemble/ensemble.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+#include "util/statistics.h"
+
+namespace navarchos::ensemble {
+
+namespace {
+
+// Ensemble chunk-payload layout version; bumped on any change below.
+constexpr std::uint32_t kEnsembleStateVersion = 1;
+
+bool AllFinite(const std::vector<double>& values) {
+  for (double value : values)
+    if (!std::isfinite(value)) return false;
+  return true;
+}
+
+// Mirrors core::CalibrationStats::ThresholdOf for one channel's healthy
+// scores (the ensemble cannot depend on core, which embeds it).
+double ThresholdOfColumn(std::vector<double>& column,
+                         detect::ThresholdConfig::Kind kind, double factor) {
+  switch (kind) {
+    case detect::ThresholdConfig::Kind::kSelfTuning:
+      return util::Mean(column) + factor * util::StdDev(column);
+    case detect::ThresholdConfig::Kind::kMedianMad: {
+      const double median = util::Median(column);
+      std::vector<double> deviations(column.size());
+      for (std::size_t i = 0; i < column.size(); ++i)
+        deviations[i] = std::fabs(column[i] - median);
+      // 1.4826 makes the MAD a consistent sigma estimator under normality.
+      return median + factor * 1.4826 * util::Median(deviations);
+    }
+    case detect::ThresholdConfig::Kind::kMaxHealthy:
+      return factor * util::Max(column);
+    case detect::ThresholdConfig::Kind::kConstant:
+      return factor;
+  }
+  return factor;
+}
+
+}  // namespace
+
+RollingEnsemble::RollingEnsemble(const EnsembleConfig& config,
+                                 const EnsembleRuntime& runtime)
+    : config_(config), runtime_(runtime) {
+  NAVARCHOS_CHECK(config_.k >= 1);
+  NAVARCHOS_CHECK(config_.m >= 1 && config_.m <= config_.k);
+  NAVARCHOS_CHECK(runtime_.window >= 1);
+  stagger_ = config_.stagger > 0
+                 ? config_.stagger
+                 : std::max(1, static_cast<int>(runtime_.window) / config_.k);
+  retrain_every_ = config_.retrain_every > 0 ? config_.retrain_every : stagger_;
+  activation_lag_ = config_.activation_lag > 0 ? config_.activation_lag
+                                               : retrain_every_ / 2;
+  activation_lag_ = std::clamp(activation_lag_, 1, retrain_every_);
+  // Probe the member detector kind once for its minimum reference size.
+  min_train_ = detect::MakeDetector(runtime_.detector, runtime_.detector_options)
+                   ->MinReferenceSize();
+}
+
+RollingEnsemble::~RollingEnsemble() = default;
+
+RollingEnsemble::FitResult RollingEnsemble::FitMember(
+    const std::vector<std::vector<double>>& snapshot,
+    const EnsembleRuntime& runtime, bool inject_fail) {
+  FitResult result;
+  if (inject_fail || snapshot.empty()) return result;
+  std::unique_ptr<detect::Detector> detector =
+      detect::MakeDetector(runtime.detector, runtime.detector_options);
+  if (snapshot.size() < detector->MinReferenceSize()) return result;
+  detector->Fit(snapshot);
+  const std::size_t channels = detector->ScoreChannels();
+  if (channels == 0) return result;
+
+  std::vector<double> thresholds(channels, 0.0);
+  if (detector->ScoresAreProbabilities()) {
+    // Probability-scored detectors are thresholded with the constant, like
+    // the monitor's own calibration.
+    thresholds.assign(channels, runtime.threshold.constant);
+  } else {
+    std::vector<std::vector<double>> calib =
+        detector->SelfCalibrationScores(runtime.exclusion_radius);
+    if (calib.empty()) {
+      // Detector without self-calibration support: score the training rows
+      // in order. Stateful detectors advance deterministically - the same
+      // walk every fit of this snapshot would take.
+      calib.reserve(snapshot.size());
+      for (const std::vector<double>& row : snapshot)
+        calib.push_back(detector->Score(row));
+    }
+    std::vector<double> column(calib.size());
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (std::size_t i = 0; i < calib.size(); ++i) {
+        if (calib[i].size() != channels) return result;
+        column[i] = calib[i][c];
+      }
+      thresholds[c] =
+          ThresholdOfColumn(column, runtime.threshold.kind,
+                            runtime.threshold.factor);
+    }
+  }
+  if (!AllFinite(thresholds)) return result;
+  result.ok = true;
+  result.detector = std::move(detector);
+  result.thresholds = std::move(thresholds);
+  return result;
+}
+
+void RollingEnsemble::PostPendingFit() {
+  if (pool_ == nullptr || !pending_) return;
+  // The task is fully detached from `this`: it owns a copy of the snapshot
+  // and communicates only through the future, so it races with nothing and
+  // survives an abandoning Reset().
+  std::vector<std::vector<double>> snapshot = pending_->snapshot;
+  const EnsembleRuntime runtime = runtime_;
+  const bool inject = pending_->inject;
+  pending_->future = pool_->Submit(
+      [snapshot = std::move(snapshot), runtime, inject]() mutable {
+        return FitMember(snapshot, runtime, inject);
+      });
+}
+
+void RollingEnsemble::LaunchPending() {
+  retrains_started_.fetch_add(1, std::memory_order_relaxed);
+  PostPendingFit();
+}
+
+void RollingEnsemble::JoinPending() {
+  Pending pending = std::move(*pending_);
+  pending_.reset();
+  FitResult result;
+  if (pending.future.valid()) {
+    // Help the pool instead of idling: with one worker the fit task may be
+    // queued *behind* this very pump, so blocking without helping would
+    // deadlock. TryRunOneTask runs queued tasks (possibly other lanes'
+    // pumps - safe, a lane's pump is never queued while it runs) until the
+    // fit finishes.
+    while (pending.future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (pool_ == nullptr || !pool_->TryRunOneTask())
+        std::this_thread::yield();
+    }
+    result = pending.future.get();
+  } else {
+    result = FitMember(pending.snapshot, runtime_, pending.inject);
+  }
+  if (!result.ok) {
+    // Keep the previous member; scoring falls back to the survivors.
+    retrains_failed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Member member;
+  member.detector = std::move(result.detector);
+  member.thresholds = std::move(result.thresholds);
+  member.trained_at = pending.boundary;
+  members_.push_back(std::move(member));
+  while (members_.size() > static_cast<std::size_t>(config_.k))
+    members_.erase(members_.begin());  // oldest first
+  retrains_completed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Verdict RollingEnsemble::OnSample(const std::vector<double>& features) {
+  ++counter_;
+
+  // Activation before boundary: with activation_lag == retrain_every the
+  // previous retrain activates exactly when the next boundary fires, and
+  // the swap must precede the new snapshot.
+  if (pending_ && counter_ >= pending_->activation) JoinPending();
+
+  window_.push_back(features);
+  while (window_.size() > runtime_.window) window_.pop_front();
+
+  if (counter_ % static_cast<std::uint64_t>(retrain_every_) == 0 &&
+      window_.size() >= min_train_ && !pending_) {
+    Pending pending;
+    pending.boundary = counter_;
+    pending.activation = counter_ + static_cast<std::uint64_t>(activation_lag_);
+    pending.ordinal = ++retrain_ordinal_;
+    pending.inject =
+        std::find(config_.inject_fit_failures.begin(),
+                  config_.inject_fit_failures.end(),
+                  pending.ordinal) != config_.inject_fit_failures.end();
+    pending.snapshot.assign(window_.begin(), window_.end());
+    pending_ = std::move(pending);
+    LaunchPending();
+  }
+
+  Verdict verdict;
+  verdict.live = static_cast<int>(members_.size());
+  for (Member& member : members_) {
+    const std::vector<double> scores = member.detector->Score(features);
+    if (!AllFinite(scores) || scores.size() != member.thresholds.size())
+      continue;
+    for (std::size_t c = 0; c < scores.size(); ++c) {
+      if (scores[c] > member.thresholds[c]) {
+        ++verdict.votes;
+        break;
+      }
+    }
+  }
+  verdict.pass = verdict.live == 0 ||
+                 verdict.votes >= std::min(config_.m, verdict.live);
+  return verdict;
+}
+
+void RollingEnsemble::RecordSuppressedAlarm() {
+  suppressed_alarms_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RollingEnsemble::Reset() {
+  // An abandoned in-flight fit task finishes on its own and writes into a
+  // future nobody reads - it never touches the ensemble.
+  pending_.reset();
+  members_.clear();
+  window_.clear();
+  counter_ = 0;
+}
+
+EnsembleStats RollingEnsemble::stats() const {
+  EnsembleStats stats;
+  stats.retrains_started = retrains_started_.load(std::memory_order_relaxed);
+  stats.retrains_completed =
+      retrains_completed_.load(std::memory_order_relaxed);
+  stats.retrains_failed = retrains_failed_.load(std::memory_order_relaxed);
+  stats.consensus_suppressed_alarms =
+      suppressed_alarms_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void RollingEnsemble::Save(persist::Encoder& encoder) const {
+  encoder.PutU32(kEnsembleStateVersion);
+  // Fingerprint: reject a snapshot taken under a different schedule before
+  // interpreting any state.
+  encoder.PutI32(config_.k);
+  encoder.PutI32(config_.m);
+  encoder.PutI32(retrain_every_);
+  encoder.PutI32(activation_lag_);
+  encoder.PutU64(runtime_.window);
+
+  encoder.PutU64(counter_);
+  encoder.PutU64(retrain_ordinal_);
+  encoder.PutU64(retrains_started_.load(std::memory_order_relaxed));
+  encoder.PutU64(retrains_completed_.load(std::memory_order_relaxed));
+  encoder.PutU64(retrains_failed_.load(std::memory_order_relaxed));
+  encoder.PutU64(suppressed_alarms_.load(std::memory_order_relaxed));
+
+  encoder.PutU64(window_.size());
+  for (const std::vector<double>& row : window_) encoder.PutDoubleVec(row);
+
+  encoder.PutU64(members_.size());
+  for (const Member& member : members_) {
+    encoder.PutU64(member.trained_at);
+    encoder.PutDoubleVec(member.thresholds);
+    member.detector->SaveState(encoder);
+  }
+
+  encoder.PutBool(pending_.has_value());
+  if (pending_) {
+    encoder.PutU64(pending_->boundary);
+    encoder.PutU64(pending_->activation);
+    encoder.PutU64(pending_->ordinal);
+    encoder.PutBool(pending_->inject);
+    encoder.PutDoubleMat(pending_->snapshot);
+  }
+}
+
+bool RollingEnsemble::Restore(persist::Decoder& decoder) {
+  const std::uint32_t version = decoder.GetU32();
+  if (decoder.ok() && version != kEnsembleStateVersion) {
+    decoder.Fail("unsupported ensemble state version " +
+                 std::to_string(version));
+    return false;
+  }
+  const std::int32_t k = decoder.GetI32();
+  const std::int32_t m = decoder.GetI32();
+  const std::int32_t retrain_every = decoder.GetI32();
+  const std::int32_t activation_lag = decoder.GetI32();
+  const std::uint64_t window = decoder.GetU64();
+  if (!decoder.ok()) return false;
+  if (k != config_.k || m != config_.m || retrain_every != retrain_every_ ||
+      activation_lag != activation_lag_ || window != runtime_.window) {
+    decoder.Fail("ensemble fingerprint mismatch: snapshot is k=" +
+                 std::to_string(k) + " m=" + std::to_string(m) +
+                 " retrain_every=" + std::to_string(retrain_every) +
+                 ", this ensemble is k=" + std::to_string(config_.k) + " m=" +
+                 std::to_string(config_.m) + " retrain_every=" +
+                 std::to_string(retrain_every_));
+    return false;
+  }
+
+  counter_ = decoder.GetU64();
+  retrain_ordinal_ = decoder.GetU64();
+  retrains_started_.store(decoder.GetU64(), std::memory_order_relaxed);
+  retrains_completed_.store(decoder.GetU64(), std::memory_order_relaxed);
+  retrains_failed_.store(decoder.GetU64(), std::memory_order_relaxed);
+  suppressed_alarms_.store(decoder.GetU64(), std::memory_order_relaxed);
+
+  const std::uint64_t window_rows = decoder.GetU64();
+  if (!decoder.ok() || window_rows > runtime_.window) {
+    decoder.Fail("ensemble window row count out of bounds");
+    return false;
+  }
+  window_.clear();
+  for (std::uint64_t i = 0; i < window_rows; ++i) {
+    window_.push_back(decoder.GetDoubleVec());
+    if (!decoder.ok()) return false;
+  }
+
+  const std::uint64_t member_count = decoder.GetU64();
+  if (!decoder.ok() || member_count > static_cast<std::uint64_t>(config_.k)) {
+    decoder.Fail("ensemble member count out of bounds");
+    return false;
+  }
+  members_.clear();
+  for (std::uint64_t i = 0; i < member_count; ++i) {
+    Member member;
+    member.trained_at = decoder.GetU64();
+    member.thresholds = decoder.GetDoubleVec();
+    member.detector =
+        detect::MakeDetector(runtime_.detector, runtime_.detector_options);
+    if (!member.detector->RestoreState(decoder)) return false;
+    if (!decoder.ok()) return false;
+    members_.push_back(std::move(member));
+  }
+
+  pending_.reset();
+  if (decoder.GetBool()) {
+    Pending pending;
+    pending.boundary = decoder.GetU64();
+    pending.activation = decoder.GetU64();
+    pending.ordinal = decoder.GetU64();
+    pending.inject = decoder.GetBool();
+    pending.snapshot = decoder.GetDoubleMat();
+    if (!decoder.ok()) return false;
+    pending_ = std::move(pending);
+    // Re-run the fit: it is a pure function of the snapshot, so the member
+    // activated after restore is bit-identical to the uninterrupted one.
+    // The original launch was already counted in retrains_started.
+    PostPendingFit();
+  }
+  return decoder.ok();
+}
+
+std::size_t RollingEnsemble::EncodedBytes() const {
+  persist::Encoder encoder;
+  Save(encoder);
+  return encoder.bytes().size();
+}
+
+}  // namespace navarchos::ensemble

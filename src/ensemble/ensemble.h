@@ -1,0 +1,253 @@
+// Rolling consensus ensemble: K staggered reference models per vehicle.
+//
+// The paper rebuilds each vehicle's reference model (*Ref*) only at
+// recorded maintenance events, so between rebuilds the single detector
+// drifts with usage and weather and false alarms accumulate. The rolling
+// ensemble layers netdata's production counter-measure on top: maintain K
+// *Ref* models per vehicle, each (re)trained on a window of recent samples
+// offset from its neighbours by `stagger = window / K` samples, score every
+// sample against all live members, and let an alarm through only when at
+// least M of the K members agree the sample is anomalous. One drifted or
+// unluckily-trained member can no longer page an operator on its own.
+//
+// Retraining runs *online*: at a deterministic sample-count boundary
+// (never wall clock) the caller's pump snapshots the training window, a
+// pure fit task runs on the shared runtime::ThreadPool while ingest
+// continues, and the replacement member is swapped in exactly at a
+// pre-committed activation sample count. Because the fitted member is a
+// pure function of the snapshot and both the snapshot and the activation
+// point are fixed by the sample counter, the ensemble's verdict stream is
+// bit-identical at any thread count, with or without a pool, live or
+// replayed, and across checkpoint/restore - the house determinism
+// invariant extended to background training. A failed fit (injected or
+// real) keeps the previous member; scoring falls back to the surviving
+// members.
+#ifndef NAVARCHOS_ENSEMBLE_ENSEMBLE_H_
+#define NAVARCHOS_ENSEMBLE_ENSEMBLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "detect/factory.h"
+#include "detect/threshold.h"
+#include "persist/codec.h"
+#include "runtime/thread_pool.h"
+
+/// \file
+/// \brief RollingEnsemble, the per-vehicle K-of-M consensus layer with
+/// online (ThreadPool) member retraining, plus its configuration and
+/// counters.
+
+/// \namespace navarchos::ensemble
+/// \brief The rolling consensus ensemble subsystem: staggered per-vehicle
+/// reference models retrained online on the shared thread pool, gating
+/// alarms on M-of-K agreement.
+
+namespace navarchos::ensemble {
+
+/// Opt-in configuration of the per-vehicle rolling consensus ensemble.
+/// All schedule knobs are in *usable samples* (transformed feature vectors
+/// that passed the monitor's ingest guard), never wall clock, so the
+/// retrain schedule is a pure function of the stream.
+struct EnsembleConfig {
+  /// Master switch; disabled leaves the single-*Ref* behaviour untouched.
+  bool enabled = false;
+  /// Ensemble size: staggered reference models kept per vehicle.
+  int k = 4;
+  /// Consensus quorum: members that must vote "anomalous" for an alarm to
+  /// pass (clamped to the number of live members while the ring fills).
+  int m = 3;
+  /// Training window per member, in samples. 0 resolves to the monitor's
+  /// reference profile length.
+  int window = 0;
+  /// Sample offset between consecutive members' training windows.
+  /// 0 resolves to window / k (at least 1).
+  int stagger = 0;
+  /// Samples between retrain boundaries: every `retrain_every` usable
+  /// samples the oldest member is re-fitted on the current window.
+  /// 0 resolves to `stagger` - which is what makes the members staggered.
+  int retrain_every = 0;
+  /// Samples between a retrain boundary (window snapshot, fit task posted)
+  /// and the activation point where the fitted member is swapped in. The
+  /// fit has this much stream time to complete in the background before
+  /// the pump would have to wait for it. 0 resolves to retrain_every / 2,
+  /// clamped to [1, retrain_every] so at most one retrain is in flight.
+  int activation_lag = 0;
+  /// Test seam: 1-based retrain ordinals whose fit deliberately fails, so
+  /// the surviving-member fallback is exercisable deterministically.
+  std::vector<std::uint64_t> inject_fit_failures;
+};
+
+/// Everything the ensemble inherits from its owning monitor's pipeline:
+/// how members are built, thresholded and calibrated.
+struct EnsembleRuntime {
+  /// Detector kind each member instantiates.
+  detect::DetectorKind detector = detect::DetectorKind::kClosestPair;
+  /// Options of the member detectors.
+  detect::DetectorOptions detector_options;
+  /// Thresholding rule/factor applied to each member's calibration scores.
+  detect::ThresholdConfig threshold;
+  /// Temporal exclusion radius for SelfCalibrationScores (overlapping
+  /// sliding windows), mirroring the monitor's own calibration.
+  int exclusion_radius = 1;
+  /// Resolved training window in samples (EnsembleConfig::window after the
+  /// 0 -> profile-length default).
+  std::size_t window = 0;
+};
+
+/// Lifetime counters of one ensemble (all monotonic). Readable live from
+/// other threads; exact once the owning pump is quiescent.
+struct EnsembleStats {
+  std::uint64_t retrains_started = 0;    ///< Fit tasks posted (or run inline).
+  std::uint64_t retrains_completed = 0;  ///< Members swapped in successfully.
+  std::uint64_t retrains_failed = 0;     ///< Fits that failed; member kept.
+  /// Alarm candidates the consensus vote vetoed (fewer than M members
+  /// agreed with the primary detector).
+  std::uint64_t consensus_suppressed_alarms = 0;
+};
+
+/// The consensus verdict for one scored sample.
+struct Verdict {
+  int votes = 0;  ///< Members that scored the sample above their threshold.
+  int live = 0;   ///< Members that scored the sample at all.
+  /// True when an alarm may pass: no live members yet (the ensemble is
+  /// still bootstrapping) or at least min(m, live) members voted.
+  bool pass = true;
+};
+
+/// One vehicle's rolling consensus ensemble. Not thread-safe: OnSample /
+/// Reset / Save are called by the single pump (or batch thread) that owns
+/// the vehicle, exactly like the VehicleMonitor that embeds it. The only
+/// cross-thread traffic is the detached fit task (pure, communicates via a
+/// future) and the stats() counters (atomics).
+class RollingEnsemble {
+ public:
+  /// Builds an empty ensemble from the resolved configuration.
+  RollingEnsemble(const EnsembleConfig& config, const EnsembleRuntime& runtime);
+
+  /// Joins any in-flight background fit before tearing down.
+  ~RollingEnsemble();
+
+  RollingEnsemble(const RollingEnsemble&) = delete;
+  RollingEnsemble& operator=(const RollingEnsemble&) = delete;
+
+  /// Installs the pool background fits are posted to. Null (the default)
+  /// runs every fit inline at its activation point - same output, no
+  /// overlap. May be set any time before the next retrain boundary.
+  void set_pool(runtime::ThreadPool* pool) { pool_ = pool; }
+
+  /// Feeds one usable transformed sample: advances the schedule counter,
+  /// joins a pending retrain at its activation point, rolls the training
+  /// window, posts a fit task at a retrain boundary, and scores the sample
+  /// against every live member. Returns the consensus verdict.
+  Verdict OnSample(const std::vector<double>& features);
+
+  /// Records that the owning monitor suppressed an alarm candidate on this
+  /// ensemble's veto (kept here so the counter travels with the ensemble
+  /// through checkpoints).
+  void RecordSuppressedAlarm();
+
+  /// Discards members, window, counter and any pending retrain (the
+  /// maintenance-reset path: pre-maintenance models are invalid).
+  void Reset();
+
+  /// Live member count.
+  int live_members() const { return static_cast<int>(members_.size()); }
+
+  /// True while a retrain is posted but not yet activated.
+  bool retrain_pending() const { return pending_.has_value(); }
+
+  /// Snapshot of the lifetime counters.
+  EnsembleStats stats() const;
+
+  /// Serialises the full ensemble - schedule counter, rolling window,
+  /// every member's detector state and thresholds, and a pending retrain's
+  /// training snapshot (the fit is re-run deterministically on restore).
+  void Save(persist::Encoder& encoder) const;
+
+  /// Restores state written by Save into a freshly built ensemble with the
+  /// same configuration. Returns false (decoder failed) on malformed input
+  /// or a configuration mismatch. A pending retrain is re-posted to the
+  /// pool (set_pool first) or re-fitted inline at activation.
+  bool Restore(persist::Decoder& decoder);
+
+  /// Encoded size of Save()'s output right now: the bytes/vehicle metric
+  /// of the memory-boundedness win condition.
+  std::size_t EncodedBytes() const;
+
+ private:
+  /// One live member: a fitted detector and its calibrated thresholds.
+  struct Member {
+    std::unique_ptr<detect::Detector> detector;
+    std::vector<double> thresholds;
+    std::uint64_t trained_at = 0;  ///< Schedule counter of its fit boundary.
+  };
+
+  /// What a fit task produces. ok == false keeps the previous member.
+  struct FitResult {
+    bool ok = false;
+    std::unique_ptr<detect::Detector> detector;
+    std::vector<double> thresholds;
+  };
+
+  /// A retrain between its boundary and its activation point.
+  struct Pending {
+    std::uint64_t boundary = 0;    ///< Counter value of the snapshot.
+    std::uint64_t activation = 0;  ///< Counter value of the swap.
+    std::uint64_t ordinal = 0;     ///< 1-based retrain number (injection key).
+    bool inject = false;           ///< This fit is scripted to fail.
+    /// The training snapshot; kept so a checkpoint taken mid-retrain can
+    /// re-run the identical fit after restore.
+    std::vector<std::vector<double>> snapshot;
+    /// Result of the background fit; invalid when the fit runs inline at
+    /// activation (no pool, or re-posted after restore without one).
+    std::future<FitResult> future;
+  };
+
+  /// Pure fit: detector from the factory, Fit on the snapshot, thresholds
+  /// from self-calibration scores (falling back to scoring the snapshot
+  /// rows in order). Touches nothing outside its arguments.
+  static FitResult FitMember(const std::vector<std::vector<double>>& snapshot,
+                             const EnsembleRuntime& runtime, bool inject_fail);
+
+  /// Posts (or arms for inline execution) the fit of `pending_`.
+  void LaunchPending();
+
+  /// Posts the pending fit to the pool when one is installed; otherwise
+  /// leaves it to run inline at activation. Does not touch the counters
+  /// (Restore re-posts an already-counted retrain through this).
+  void PostPendingFit();
+
+  /// Blocks until the pending fit finished - helping the pool drain so a
+  /// single-threaded pool cannot deadlock - and swaps the member in (or
+  /// counts the failure and keeps the old member).
+  void JoinPending();
+
+  const EnsembleConfig config_;
+  const EnsembleRuntime runtime_;
+  int stagger_ = 1;
+  int retrain_every_ = 1;
+  int activation_lag_ = 1;
+  std::size_t min_train_ = 8;  ///< Member detector's MinReferenceSize.
+
+  runtime::ThreadPool* pool_ = nullptr;
+  std::uint64_t counter_ = 0;  ///< Usable samples seen this reference cycle.
+  std::uint64_t retrain_ordinal_ = 0;  ///< Lifetime retrains started.
+  std::deque<std::vector<double>> window_;
+  std::vector<Member> members_;  ///< Oldest first.
+  std::optional<Pending> pending_;
+
+  std::atomic<std::uint64_t> retrains_started_{0};
+  std::atomic<std::uint64_t> retrains_completed_{0};
+  std::atomic<std::uint64_t> retrains_failed_{0};
+  std::atomic<std::uint64_t> suppressed_alarms_{0};
+};
+
+}  // namespace navarchos::ensemble
+
+#endif  // NAVARCHOS_ENSEMBLE_ENSEMBLE_H_

@@ -102,6 +102,7 @@ util::Status ReadFileBytes(const std::string& path,
 /// Outcome of decoding one segment's bytes.
 struct SegmentParse {
   bool header_ok = false;       ///< Magic/version/CRC of the header verify.
+  std::uint32_t version = kSegmentVersion;  ///< Record layout of the segment.
   std::int32_t vehicle_id = 0;  ///< From the header.
   std::uint64_t prev_seq = 0;   ///< Delta cursor after the last good record.
   std::int64_t prev_ts = 0;
@@ -137,13 +138,15 @@ void ParseSegment(const std::vector<std::uint8_t>& bytes, SegmentParse* out) {
   const std::uint32_t stored_crc = header.GetU32();
   const std::uint32_t actual_crc =
       persist::Crc32(bytes.data(), kSegmentHeaderBytes - 4);
-  if (!header.ok() || magic != kSegmentMagic || version != kSegmentVersion ||
+  if (!header.ok() || magic != kSegmentMagic ||
+      (version != kSegmentVersion && version != kSegmentVersionVotes) ||
       stored_crc != actual_crc) {
     out->torn = true;
     out->error = "segment header corrupt";
     return;
   }
   out->header_ok = true;
+  out->version = version;
   out->vehicle_id = vehicle_id;
   out->prev_seq = base_seq;
   out->prev_ts = base_ts;
@@ -200,6 +203,13 @@ void ParseSegment(const std::vector<std::uint8_t>& bytes, SegmentParse* out) {
       record.top_channels.reserve(k);
       for (std::size_t c = 0; c < k; ++c)
         record.top_channels.push_back(decoder.GetU32());
+      if (version >= kSegmentVersionVotes) {
+        const std::uint8_t votes_plus1 = decoder.GetU8();
+        record.votes = votes_plus1 == 0
+                           ? -1
+                           : static_cast<std::int32_t>(votes_plus1) - 1;
+        record.ensemble_live = decoder.GetU8();
+      }
       if (!decoder.ok()) {
         block_ok = false;
         break;
@@ -307,6 +317,7 @@ util::Status HistoryWriter::Open(const std::string& dir) {
                                      file.path);
         log.part_path = file.path;
         log.has_active = true;
+        log.segment_version = parse.version;
         log.mirror = std::move(bytes);
         log.prev_seq = parse.prev_seq;
         log.prev_ts = parse.prev_ts;
@@ -362,9 +373,14 @@ util::Status HistoryWriter::StartSegment(std::int32_t vehicle_id,
   log->part_path =
       (std::filesystem::path(dir_) / SegmentName(vehicle_id, ordinal, ".part"))
           .string();
+  // A segment that will carry consensus votes uses the version-2 record
+  // layout; vote-less streams keep writing version-1 segments, byte-
+  // identical to what older builds produced.
+  log->segment_version =
+      first.votes >= 0 ? kSegmentVersionVotes : kSegmentVersion;
   persist::Encoder header;
   header.PutU32(kSegmentMagic);
-  header.PutU32(kSegmentVersion);
+  header.PutU32(log->segment_version);
   header.PutI32(vehicle_id);
   header.PutU64(first.global_seq);
   header.PutI64(first.timestamp);
@@ -411,6 +427,16 @@ util::Status HistoryWriter::WriteBlock(std::int32_t vehicle_id,
     payload_encoder.PutU8(flags);
     for (const std::uint32_t channel : record.top_channels)
       payload_encoder.PutU32(channel);
+    if (log->segment_version >= kSegmentVersionVotes) {
+      const std::uint32_t votes_plus1 =
+          record.votes < 0
+              ? 0u
+              : std::min<std::uint32_t>(
+                    static_cast<std::uint32_t>(record.votes) + 1, 255u);
+      payload_encoder.PutU8(static_cast<std::uint8_t>(votes_plus1));
+      payload_encoder.PutU8(static_cast<std::uint8_t>(
+          std::min<std::uint32_t>(record.ensemble_live, 255u)));
+    }
     log->prev_seq = record.global_seq;
     log->prev_ts = record.timestamp;
   }

@@ -21,6 +21,14 @@
 //   record   dseq u64 | dts i64 | score f64 | threshold f64 | flags u8 |
 //            k x channel u32       (k = flags >> 1, alarm bit = flags & 1)
 //
+// Version-2 segments append a consensus tail to every record:
+//
+//   record   ... | votes_plus1 u8 | live u8
+//
+// votes_plus1 is 0 when the sample carried no ensemble verdict and
+// votes + 1 otherwise (both fields saturate at 255). Readers accept both
+// versions; version-1 records decode with votes = -1, live = 0.
+//
 // dseq/dts are deltas against the previous record of the segment (the
 // header's base for the first one); the delta chain runs across blocks,
 // which is safe because only the final block of the active tail can ever
@@ -65,8 +73,15 @@ namespace navarchos::history {
 /// Magic leading every history segment ("NHS1" little-endian).
 inline constexpr std::uint32_t kSegmentMagic = 0x3153484Eu;
 
-/// Layout version of the segment format; bumped on incompatible change.
+/// Base layout version of the segment format (records without the consensus
+/// tail). Still written for streams that never carry ensemble votes, so an
+/// ensemble-disabled run produces byte-identical logs to older builds.
 inline constexpr std::uint32_t kSegmentVersion = 1;
+
+/// Segment version whose records end with a two-byte consensus tail
+/// (votes_plus1 u8 | live u8). Readers accept both versions; the writer
+/// picks per segment from the first record it sees.
+inline constexpr std::uint32_t kSegmentVersionVotes = 2;
 
 /// Encoded size of a segment header (magic, version, vehicle, base_seq,
 /// base_ts, header CRC).
@@ -92,6 +107,11 @@ struct HistoryRecord {
   /// Contributing score channels, worst first (severity-ratio descending,
   /// ties to the lower channel index), at most kMaxTopChannels entries.
   std::vector<std::uint32_t> top_channels;
+  /// Consensus votes of the rolling ensemble for this sample; -1 when the
+  /// ensemble was disabled (or the record came from a version-1 segment).
+  std::int32_t votes = -1;
+  /// Live ensemble members at the time of the vote (0 without an ensemble).
+  std::uint32_t ensemble_live = 0;
 };
 
 /// Tuning knobs of a history log.
@@ -159,6 +179,10 @@ class HistoryWriter {
     int fd = -1;                     ///< Open .part file, -1 when none.
     std::string part_path;           ///< Path of the active .part.
     bool has_active = false;         ///< A tail segment is open.
+    /// Record layout of the active tail. A resumed version-1 tail keeps
+    /// encoding version-1 records until it seals, even if the stream now
+    /// carries votes (they are dropped for that segment only).
+    std::uint32_t segment_version = kSegmentVersion;
     std::uint64_t prev_seq = 0;      ///< Delta-chain cursor (seq).
     std::int64_t prev_ts = 0;        ///< Delta-chain cursor (timestamp).
     std::vector<std::uint8_t> mirror;  ///< In-memory copy of the .part.

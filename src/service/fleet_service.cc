@@ -166,6 +166,10 @@ FleetService::VehicleLane* FleetService::LaneOfLocked(std::int32_t vehicle_id) {
   if (it != lane_index_.end()) return lanes_[it->second].get();
   lanes_.push_back(std::make_unique<VehicleLane>(vehicle_id, config_.monitor,
                                                  config_.queue_capacity));
+  // Ensemble retrains run as background tasks on the service pool. Wired
+  // before any frame (and before RestoreFrom re-posts a pending fit), so
+  // every fit of this lane goes through the same pool.
+  lanes_.back()->monitor.set_background_pool(pool_);
   lane_index_.emplace(vehicle_id, lanes_.size() - 1);
   return lanes_.back().get();
 }
@@ -317,6 +321,7 @@ core::FleetRunResult FleetService::TakeResult() {
     result.scored_samples.push_back(lane->monitor.scored_samples());
     result.calibrations.push_back(lane->monitor.calibrations());
     result.quality.push_back(lane->monitor.quality());
+    result.ensemble_stats.push_back(lane->monitor.ensemble_stats());
     if (result.channel_names.empty())
       result.channel_names = lane->monitor.channel_names();
   }
@@ -330,6 +335,16 @@ ServiceStats FleetService::stats() const {
     stats.frames_submitted = frames_submitted_;
     stats.frames_accepted = frames_accepted_;
     stats.frames_rejected = frames_rejected_;
+    // The per-lane ensemble counters are relaxed atomics, so reading them
+    // while pumps run is safe; the totals are exact after Drain().
+    for (const auto& lane : lanes_) {
+      const ensemble::EnsembleStats ensemble = lane->monitor.ensemble_stats();
+      stats.retrains_started += ensemble.retrains_started;
+      stats.retrains_completed += ensemble.retrains_completed;
+      stats.retrains_failed += ensemble.retrains_failed;
+      stats.consensus_suppressed_alarms +=
+          ensemble.consensus_suppressed_alarms;
+    }
   }
   stats.frames_processed = sink_.frames_processed();
   stats.alarms_emitted = sink_.alarms_emitted();
@@ -381,6 +396,10 @@ std::vector<history::HistoryRecord> FleetService::BuildHistoryRecords(
     record.vehicle_id = lane->vehicle_id;
     record.global_seq = global_seq;
     record.timestamp = sample.timestamp;
+    record.votes = sample.votes;
+    record.ensemble_live = sample.ensemble_live < 0
+                               ? 0u
+                               : static_cast<std::uint32_t>(sample.ensemble_live);
 
     // Mirror the monitor's own threshold computation (constant-threshold
     // detectors use the config's constant, self-tuning ones its factor) so
@@ -445,6 +464,13 @@ std::vector<history::HistoryRecord> FleetService::BuildHistoryRecords(
 std::size_t FleetService::vehicle_count() const {
   std::lock_guard<std::mutex> lock(ingest_mu_);
   return lanes_.size();
+}
+
+std::size_t FleetService::ensemble_state_bytes() const {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  std::size_t total = 0;
+  for (const auto& lane : lanes_) total += lane->monitor.ensemble_bytes();
+  return total;
 }
 
 // --------------------------------------------------------- checkpoint/restore

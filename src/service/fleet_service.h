@@ -104,6 +104,13 @@ struct ServiceStats {
   std::size_t frames_rejected = 0;   ///< Shed by the kReject policy.
   std::size_t frames_processed = 0;  ///< Stepped through a monitor.
   std::size_t alarms_emitted = 0;    ///< Released by the ordered sink.
+  /// Ensemble member fits posted (or run inline), fleet-wide. All four
+  /// ensemble counters stay zero while the ensemble is disabled.
+  std::uint64_t retrains_started = 0;
+  std::uint64_t retrains_completed = 0;  ///< Members swapped in successfully.
+  std::uint64_t retrains_failed = 0;     ///< Fits that failed; member kept.
+  /// Alarm candidates vetoed by the M-of-K consensus vote.
+  std::uint64_t consensus_suppressed_alarms = 0;
 };
 
 /// One frame's completion notice, delivered in global-sequence order.
@@ -262,6 +269,12 @@ class FleetService {
 
   /// Number of registered vehicles (lanes).
   std::size_t vehicle_count() const;
+
+  /// Total encoded bytes of every lane's rolling-ensemble state (the
+  /// bytes/vehicle memory metric; 0 when the ensemble is disabled). Only
+  /// valid while the service is quiescent - drained, or between Submit
+  /// calls with the pool idle - because it serialises each lane's ensemble.
+  std::size_t ensemble_state_bytes() const;
 
   /// Durable checkpoint: blocks new submissions, waits until every admitted
   /// frame has been processed and released (WaitIdle barrier), writes a

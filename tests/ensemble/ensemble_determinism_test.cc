@@ -1,0 +1,216 @@
+// Determinism of the ensemble-enabled streaming service: with background
+// retraining running on the shared pool, the complete output - alarms,
+// scores, per-sample consensus votes, ensemble counters - is bit-identical
+// at threads=1 and threads=4, across repeated replays, and equal to the
+// serial batch runner. The consensus gate must also demonstrably bite
+// (suppressed alarms are counted) without breaking any of it.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fleet_runner.h"
+#include "runtime/runtime_config.h"
+#include "service/fleet_service.h"
+#include "telemetry/fleet.h"
+#include "telemetry/stream.h"
+
+namespace navarchos {
+namespace {
+
+telemetry::FleetConfig SmallFleetConfig() {
+  telemetry::FleetConfig config = telemetry::FleetConfig::TestScale();
+  config.days = 30;
+  return config;
+}
+
+core::MonitorConfig EnsembleMonitorConfig() {
+  core::MonitorConfig config;
+  config.transform_options.window = 60;
+  config.transform_options.stride = 10;
+  config.profile_minutes = 400.0;
+  config.threshold.burn_in_minutes = 120.0;
+  config.threshold.persistence_minutes = 60.0;
+  config.ensemble.enabled = true;
+  config.ensemble.k = 3;
+  config.ensemble.m = 2;
+  config.ensemble.retrain_every = 24;
+  config.ensemble.activation_lag = 8;
+  return config;
+}
+
+service::ServiceConfig ServiceConfigWith(int threads) {
+  service::ServiceConfig config;
+  config.monitor = EnsembleMonitorConfig();
+  config.runtime = runtime::RuntimeConfig{threads};
+  config.queue_capacity = 32;
+  return config;
+}
+
+void ExpectRunsIdentical(const core::FleetRunResult& a,
+                         const core::FleetRunResult& b) {
+  ASSERT_EQ(a.alarms.size(), b.alarms.size());
+  for (std::size_t i = 0; i < a.alarms.size(); ++i) {
+    ASSERT_EQ(a.alarms[i].vehicle_id, b.alarms[i].vehicle_id);
+    ASSERT_EQ(a.alarms[i].timestamp, b.alarms[i].timestamp);
+    ASSERT_EQ(a.alarms[i].channel, b.alarms[i].channel);
+    ASSERT_EQ(a.alarms[i].score, b.alarms[i].score);
+    ASSERT_EQ(a.alarms[i].threshold, b.alarms[i].threshold);
+  }
+
+  ASSERT_EQ(a.scored_samples.size(), b.scored_samples.size());
+  for (std::size_t v = 0; v < a.scored_samples.size(); ++v) {
+    ASSERT_EQ(a.scored_samples[v].size(), b.scored_samples[v].size());
+    for (std::size_t s = 0; s < a.scored_samples[v].size(); ++s) {
+      ASSERT_EQ(a.scored_samples[v][s].timestamp,
+                b.scored_samples[v][s].timestamp);
+      ASSERT_EQ(a.scored_samples[v][s].scores, b.scored_samples[v][s].scores);
+      // The consensus fields themselves, not just the scores: votes are
+      // produced by members fitted on background threads, so any scheduling
+      // leak shows up here first.
+      ASSERT_EQ(a.scored_samples[v][s].votes, b.scored_samples[v][s].votes);
+      ASSERT_EQ(a.scored_samples[v][s].ensemble_live,
+                b.scored_samples[v][s].ensemble_live);
+    }
+  }
+
+  ASSERT_EQ(a.ensemble_stats.size(), b.ensemble_stats.size());
+  for (std::size_t v = 0; v < a.ensemble_stats.size(); ++v) {
+    ASSERT_EQ(a.ensemble_stats[v].retrains_started,
+              b.ensemble_stats[v].retrains_started);
+    ASSERT_EQ(a.ensemble_stats[v].retrains_completed,
+              b.ensemble_stats[v].retrains_completed);
+    ASSERT_EQ(a.ensemble_stats[v].retrains_failed,
+              b.ensemble_stats[v].retrains_failed);
+    ASSERT_EQ(a.ensemble_stats[v].consensus_suppressed_alarms,
+              b.ensemble_stats[v].consensus_suppressed_alarms);
+  }
+}
+
+TEST(EnsembleDeterminismTest, LiveStreamIsIdenticalAtAnyThreadCount) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+
+  const auto serial = service::RunStream(stream, ids, ServiceConfigWith(1));
+  const auto parallel = service::RunStream(stream, ids, ServiceConfigWith(4));
+  ExpectRunsIdentical(serial, parallel);
+
+  const auto replay = service::RunStream(stream, ids, ServiceConfigWith(4));
+  ExpectRunsIdentical(parallel, replay);
+
+  // The ensemble actually trained in the background - this is not a
+  // vacuous pass on an idle subsystem.
+  std::uint64_t started = 0;
+  for (const auto& stats : parallel.ensemble_stats)
+    started += stats.retrains_started;
+  ASSERT_GT(started, 0u);
+}
+
+TEST(EnsembleDeterminismTest, StreamingMatchesTheSerialBatchRunner) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+
+  const auto streamed = service::RunStream(stream, ids, ServiceConfigWith(4));
+  const auto batch = core::RunFleet(fleet, EnsembleMonitorConfig(),
+                                    runtime::RuntimeConfig{1});
+
+  // Alarm ordering differs by construction (the stream releases in global
+  // admission order, the batch runner concatenates per vehicle), but the
+  // per-vehicle content - scores, votes, ensemble counters - must agree.
+  ASSERT_EQ(streamed.alarms.size(), batch.alarms.size());
+  ASSERT_EQ(streamed.scored_samples.size(), batch.scored_samples.size());
+  for (std::size_t v = 0; v < batch.scored_samples.size(); ++v) {
+    ASSERT_EQ(streamed.scored_samples[v].size(), batch.scored_samples[v].size());
+    for (std::size_t s = 0; s < batch.scored_samples[v].size(); ++s) {
+      ASSERT_EQ(streamed.scored_samples[v][s].scores,
+                batch.scored_samples[v][s].scores);
+      ASSERT_EQ(streamed.scored_samples[v][s].votes,
+                batch.scored_samples[v][s].votes);
+      ASSERT_EQ(streamed.scored_samples[v][s].ensemble_live,
+                batch.scored_samples[v][s].ensemble_live);
+    }
+    ASSERT_EQ(streamed.ensemble_stats[v].retrains_started,
+              batch.ensemble_stats[v].retrains_started);
+    ASSERT_EQ(streamed.ensemble_stats[v].retrains_completed,
+              batch.ensemble_stats[v].retrains_completed);
+    ASSERT_EQ(streamed.ensemble_stats[v].retrains_failed,
+              batch.ensemble_stats[v].retrains_failed);
+    ASSERT_EQ(streamed.ensemble_stats[v].consensus_suppressed_alarms,
+              batch.ensemble_stats[v].consensus_suppressed_alarms);
+  }
+}
+
+TEST(EnsembleDeterminismTest, ConsensusSuppressionIsDeterministicWhenItBites) {
+  // A permissive threshold on the primary detector makes it page often;
+  // a strict quorum (m == k) lets the ensemble veto some of those pages.
+  // The suppressed count must reproduce exactly across thread counts.
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+
+  service::ServiceConfig config = ServiceConfigWith(1);
+  config.monitor.threshold.factor = 1.5;
+  config.monitor.ensemble.m = 3;
+
+  const auto serial = service::RunStream(stream, ids, config);
+  config.runtime = runtime::RuntimeConfig{4};
+  const auto parallel = service::RunStream(stream, ids, config);
+  ExpectRunsIdentical(serial, parallel);
+
+  std::uint64_t suppressed = 0;
+  for (const auto& stats : serial.ensemble_stats)
+    suppressed += stats.consensus_suppressed_alarms;
+  EXPECT_GT(suppressed, 0u);
+}
+
+TEST(EnsembleDeterminismTest, InjectedFitFailuresStayDeterministic) {
+  // Failed retrains fall back to the surviving members; the fallback path
+  // must be as reproducible as the happy path.
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+
+  service::ServiceConfig config = ServiceConfigWith(1);
+  config.monitor.ensemble.inject_fit_failures = {1, 3};
+
+  const auto serial = service::RunStream(stream, ids, config);
+  config.runtime = runtime::RuntimeConfig{4};
+  const auto parallel = service::RunStream(stream, ids, config);
+  ExpectRunsIdentical(serial, parallel);
+
+  std::uint64_t failed = 0;
+  for (const auto& stats : serial.ensemble_stats)
+    failed += stats.retrains_failed;
+  EXPECT_GT(failed, 0u);
+}
+
+TEST(EnsembleDeterminismTest, ServiceStatsAggregateTheLaneCounters) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+
+  service::FleetService service(ServiceConfigWith(4));
+  for (const std::int32_t id : ids) service.RegisterVehicle(id);
+  for (const auto& frame : stream) service.Submit(frame);
+  service.Drain();
+
+  const service::ServiceStats stats = service.stats();
+  const auto result = service.TakeResult();
+  std::uint64_t started = 0, completed = 0, failed = 0, suppressed = 0;
+  for (const auto& lane : result.ensemble_stats) {
+    started += lane.retrains_started;
+    completed += lane.retrains_completed;
+    failed += lane.retrains_failed;
+    suppressed += lane.consensus_suppressed_alarms;
+  }
+  EXPECT_EQ(stats.retrains_started, started);
+  EXPECT_EQ(stats.retrains_completed, completed);
+  EXPECT_EQ(stats.retrains_failed, failed);
+  EXPECT_EQ(stats.consensus_suppressed_alarms, suppressed);
+  EXPECT_GT(started, 0u);
+}
+
+}  // namespace
+}  // namespace navarchos

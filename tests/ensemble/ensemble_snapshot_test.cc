@@ -1,0 +1,219 @@
+// Checkpoint/restore of the ensemble-enabled service: a snapshot taken
+// while ensembles are live (including mid-retrain, between a boundary and
+// its activation) must restore into a service whose remaining output is
+// bit-identical to the uninterrupted run - members, rolling windows,
+// schedule counters, pending fits and the suppressed-alarm counters all
+// travel through the versioned snapshot.
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fleet_runner.h"
+#include "core/monitor.h"
+#include "persist/codec.h"
+#include "runtime/runtime_config.h"
+#include "service/fleet_service.h"
+#include "telemetry/fleet.h"
+#include "telemetry/stream.h"
+
+namespace navarchos {
+namespace {
+
+telemetry::FleetConfig SmallFleetConfig() {
+  telemetry::FleetConfig config = telemetry::FleetConfig::TestScale();
+  config.days = 30;
+  return config;
+}
+
+core::MonitorConfig EnsembleMonitorConfig() {
+  core::MonitorConfig config;
+  config.transform_options.window = 60;
+  config.transform_options.stride = 10;
+  config.profile_minutes = 400.0;
+  config.threshold.burn_in_minutes = 120.0;
+  config.threshold.persistence_minutes = 60.0;
+  config.ensemble.enabled = true;
+  config.ensemble.k = 3;
+  config.ensemble.m = 2;
+  config.ensemble.retrain_every = 24;
+  config.ensemble.activation_lag = 8;
+  return config;
+}
+
+service::ServiceConfig EnsembleServiceConfig(int threads) {
+  service::ServiceConfig config;
+  config.monitor = EnsembleMonitorConfig();
+  config.runtime = runtime::RuntimeConfig{threads};
+  config.queue_capacity = 32;
+  return config;
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void ExpectRunsIdentical(const core::FleetRunResult& a,
+                         const core::FleetRunResult& b) {
+  ASSERT_EQ(a.alarms.size(), b.alarms.size());
+  for (std::size_t i = 0; i < a.alarms.size(); ++i) {
+    ASSERT_EQ(a.alarms[i].vehicle_id, b.alarms[i].vehicle_id);
+    ASSERT_EQ(a.alarms[i].timestamp, b.alarms[i].timestamp);
+    ASSERT_EQ(a.alarms[i].channel, b.alarms[i].channel);
+    ASSERT_EQ(a.alarms[i].score, b.alarms[i].score);
+  }
+  ASSERT_EQ(a.scored_samples.size(), b.scored_samples.size());
+  for (std::size_t v = 0; v < a.scored_samples.size(); ++v) {
+    ASSERT_EQ(a.scored_samples[v].size(), b.scored_samples[v].size());
+    for (std::size_t s = 0; s < a.scored_samples[v].size(); ++s) {
+      ASSERT_EQ(a.scored_samples[v][s].scores, b.scored_samples[v][s].scores);
+      ASSERT_EQ(a.scored_samples[v][s].votes, b.scored_samples[v][s].votes);
+      ASSERT_EQ(a.scored_samples[v][s].ensemble_live,
+                b.scored_samples[v][s].ensemble_live);
+    }
+  }
+  ASSERT_EQ(a.ensemble_stats.size(), b.ensemble_stats.size());
+  for (std::size_t v = 0; v < a.ensemble_stats.size(); ++v) {
+    ASSERT_EQ(a.ensemble_stats[v].retrains_started,
+              b.ensemble_stats[v].retrains_started);
+    ASSERT_EQ(a.ensemble_stats[v].retrains_completed,
+              b.ensemble_stats[v].retrains_completed);
+    ASSERT_EQ(a.ensemble_stats[v].retrains_failed,
+              b.ensemble_stats[v].retrains_failed);
+    ASSERT_EQ(a.ensemble_stats[v].consensus_suppressed_alarms,
+              b.ensemble_stats[v].consensus_suppressed_alarms);
+  }
+}
+
+TEST(EnsembleSnapshotTest, CheckpointedRunEqualsUninterruptedRun) {
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const auto config = EnsembleServiceConfig(4);
+
+  const auto uninterrupted = service::RunStream(stream, ids, config);
+
+  // Several cuts, so checkpoints land at different phases of the lanes'
+  // retrain schedules - before the first fit, mid-ring, and late.
+  for (const double fraction : {0.25, 0.5, 0.8}) {
+    const std::size_t cut =
+        static_cast<std::size_t>(static_cast<double>(stream.size()) * fraction);
+    const std::string path =
+        TempPath("ensemble_snapshot_" + std::to_string(cut) + ".snap");
+    {
+      service::FleetService first(config);
+      for (const std::int32_t id : ids) first.RegisterVehicle(id);
+      for (std::size_t i = 0; i < cut; ++i) first.Submit(stream[i]);
+      ASSERT_TRUE(first.Checkpoint(path).ok());
+      // The first service is discarded here, mid-run: the snapshot is all
+      // that survives, exactly like a crash after a durable checkpoint.
+    }
+    service::FleetService second(config);
+    ASSERT_TRUE(second.RestoreFromFile(path).ok());
+    for (std::size_t i = cut; i < stream.size(); ++i) second.Submit(stream[i]);
+    second.Drain();
+    const auto restored = second.TakeResult();
+    ExpectRunsIdentical(uninterrupted, restored);
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(EnsembleSnapshotTest, MonitorCheckpointMidRetrainRestoresBitIdentically) {
+  // Drive a single monitor to a frame where its ensemble has a fit in
+  // flight (posted at a boundary, not yet activated), snapshot exactly
+  // there, and check the restored monitor's remaining alarm/score/vote
+  // stream is bit-identical. This pins the hardest case: the snapshot must
+  // carry the training window of the unfinished fit so the restore can
+  // re-run it deterministically.
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto& vehicle = fleet.vehicles.front();
+  const auto frames = telemetry::MakeVehicleStream(vehicle);
+  const core::MonitorConfig config = EnsembleMonitorConfig();
+
+  core::VehicleMonitor original(vehicle.spec.id, config);
+  std::vector<core::Alarm> original_alarms;
+  std::size_t cut = frames.size();
+  std::size_t pending_checkpoints = 0;
+  std::vector<std::uint8_t> bytes;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    for (auto& alarm : original.OnFrame(frames[i]))
+      original_alarms.push_back(std::move(alarm));
+    // Snapshot at the *first* frame that leaves a retrain pending.
+    if (bytes.empty() && original.consensus() != nullptr &&
+        original.consensus()->retrain_pending()) {
+      persist::Encoder encoder;
+      original.Save(encoder);
+      bytes = encoder.bytes();
+      cut = i + 1;
+      ++pending_checkpoints;
+    }
+  }
+  for (auto& alarm : original.Flush()) original_alarms.push_back(std::move(alarm));
+  ASSERT_EQ(pending_checkpoints, 1u);
+  ASSERT_FALSE(bytes.empty());
+
+  core::VehicleMonitor restored(vehicle.spec.id, config);
+  persist::Decoder decoder(bytes.data(), bytes.size());
+  ASSERT_TRUE(restored.Restore(decoder));
+  ASSERT_NE(restored.consensus(), nullptr);
+  ASSERT_TRUE(restored.consensus()->retrain_pending());
+
+  std::vector<core::Alarm> restored_alarms;
+  for (std::size_t i = cut; i < frames.size(); ++i)
+    for (auto& alarm : restored.OnFrame(frames[i]))
+      restored_alarms.push_back(std::move(alarm));
+  for (auto& alarm : restored.Flush()) restored_alarms.push_back(std::move(alarm));
+
+  const auto& original_samples = original.scored_samples();
+  const auto& restored_samples = restored.scored_samples();
+  ASSERT_EQ(original_samples.size(), restored_samples.size());
+  for (std::size_t s = 0; s < original_samples.size(); ++s) {
+    ASSERT_EQ(original_samples[s].scores, restored_samples[s].scores);
+    ASSERT_EQ(original_samples[s].votes, restored_samples[s].votes);
+    ASSERT_EQ(original_samples[s].ensemble_live,
+              restored_samples[s].ensemble_live);
+  }
+
+  // The alarms emitted after the cut must agree; the original's prefix is
+  // whatever it was (the restored run never saw those frames live, but its
+  // restored monitor state already accounts for them).
+  ASSERT_LE(restored_alarms.size(), original_alarms.size());
+  const std::size_t offset = original_alarms.size() - restored_alarms.size();
+  for (std::size_t i = 0; i < restored_alarms.size(); ++i) {
+    ASSERT_EQ(original_alarms[offset + i].timestamp, restored_alarms[i].timestamp);
+    ASSERT_EQ(original_alarms[offset + i].score, restored_alarms[i].score);
+  }
+
+  // And the two monitors end in byte-identical ensemble state.
+  persist::Encoder end_a, end_b;
+  original.consensus()->Save(end_a);
+  restored.consensus()->Save(end_b);
+  EXPECT_EQ(end_a.bytes(), end_b.bytes());
+}
+
+TEST(EnsembleSnapshotTest, RestoreRefusesAnEnsembleMismatch) {
+  // A snapshot written with the ensemble enabled must not restore into a
+  // service configured without it (and vice versa): silently dropping the
+  // members would silently change the alarm stream.
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+  const std::string path = TempPath("ensemble_mismatch.snap");
+  {
+    service::FleetService service(EnsembleServiceConfig(2));
+    for (const std::int32_t id : ids) service.RegisterVehicle(id);
+    for (std::size_t i = 0; i < stream.size() / 2; ++i)
+      service.Submit(stream[i]);
+    ASSERT_TRUE(service.Checkpoint(path).ok());
+  }
+  service::ServiceConfig plain = EnsembleServiceConfig(2);
+  plain.monitor.ensemble.enabled = false;
+  service::FleetService mismatched(plain);
+  EXPECT_FALSE(mismatched.RestoreFromFile(path).ok());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace navarchos

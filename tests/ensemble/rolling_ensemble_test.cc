@@ -1,0 +1,208 @@
+// Unit tests of the RollingEnsemble itself: the sample-count retrain
+// schedule, ring replacement, M-of-K voting, deterministic fit-failure
+// fallback, pool-vs-inline equivalence, and the save/restore round trip
+// including a retrain captured between its boundary and its activation.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ensemble/ensemble.h"
+#include "persist/codec.h"
+#include "runtime/thread_pool.h"
+
+namespace navarchos::ensemble {
+namespace {
+
+constexpr int kDims = 3;
+
+// Deterministic pseudo-random healthy sample: bounded, smooth-ish, no
+// global state. `outlier` pushes every channel far outside the cloud.
+std::vector<double> MakeSample(std::uint64_t i, bool outlier = false) {
+  std::vector<double> features(kDims);
+  std::uint64_t x = i * 6364136223846793005ULL + 1442695040888963407ULL;
+  for (int d = 0; d < kDims; ++d) {
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    const double noise =
+        static_cast<double>(x % 10007) / 10007.0 - 0.5;  // [-0.5, 0.5)
+    features[d] = static_cast<double>(d) + noise + (outlier ? 100.0 : 0.0);
+  }
+  return features;
+}
+
+EnsembleConfig TestConfig() {
+  EnsembleConfig config;
+  config.enabled = true;
+  config.k = 3;
+  config.m = 2;
+  config.retrain_every = 16;
+  config.activation_lag = 8;
+  return config;
+}
+
+EnsembleRuntime TestRuntime() {
+  EnsembleRuntime runtime;
+  runtime.detector = detect::DetectorKind::kClosestPair;
+  runtime.threshold.kind = detect::ThresholdConfig::Kind::kSelfTuning;
+  runtime.threshold.factor = 4.0;
+  runtime.exclusion_radius = 1;
+  runtime.window = 32;
+  return runtime;
+}
+
+std::vector<std::uint8_t> Encoded(const RollingEnsemble& ensemble) {
+  persist::Encoder encoder;
+  ensemble.Save(encoder);
+  return encoder.bytes();
+}
+
+TEST(RollingEnsembleTest, ScheduleFillsTheRingAndCapsAtK) {
+  RollingEnsemble ensemble(TestConfig(), TestRuntime());
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    ensemble.OnSample(MakeSample(i));
+    ASSERT_LE(ensemble.live_members(), 3);
+  }
+  EXPECT_EQ(ensemble.live_members(), 3);
+
+  const EnsembleStats stats = ensemble.stats();
+  // Boundaries at 16, 32, ..., 192: twelve retrains started. The last one
+  // (boundary 192, activation 200) may still be pending.
+  EXPECT_EQ(stats.retrains_started, 12u);
+  EXPECT_EQ(stats.retrains_failed, 0u);
+  EXPECT_EQ(stats.retrains_completed,
+            stats.retrains_started - (ensemble.retrain_pending() ? 1u : 0u));
+}
+
+TEST(RollingEnsembleTest, ConsensusVotesSeparateOutliersFromHealthy) {
+  RollingEnsemble ensemble(TestConfig(), TestRuntime());
+  for (std::uint64_t i = 0; i < 120; ++i) ensemble.OnSample(MakeSample(i));
+  ASSERT_EQ(ensemble.live_members(), 3);
+
+  const Verdict healthy = ensemble.OnSample(MakeSample(1000));
+  EXPECT_EQ(healthy.live, 3);
+  EXPECT_LT(healthy.votes, 2);
+  EXPECT_FALSE(healthy.pass);  // fewer than m = 2 members agree: vetoed
+
+  const Verdict outlier = ensemble.OnSample(MakeSample(1001, /*outlier=*/true));
+  EXPECT_EQ(outlier.live, 3);
+  EXPECT_EQ(outlier.votes, 3);
+  EXPECT_TRUE(outlier.pass);
+}
+
+TEST(RollingEnsembleTest, BootstrapPassesEverythingUntilMembersExist) {
+  RollingEnsemble ensemble(TestConfig(), TestRuntime());
+  const Verdict verdict = ensemble.OnSample(MakeSample(0));
+  EXPECT_EQ(verdict.live, 0);
+  EXPECT_TRUE(verdict.pass);  // no members yet: the single *Ref* decides
+}
+
+TEST(RollingEnsembleTest, InjectedFitFailureKeepsTheSurvivors) {
+  EnsembleConfig config = TestConfig();
+  config.inject_fit_failures = {2};  // the second retrain fails
+  RollingEnsemble ensemble(config, TestRuntime());
+  for (std::uint64_t i = 0; i < 200; ++i) ensemble.OnSample(MakeSample(i));
+
+  const EnsembleStats stats = ensemble.stats();
+  EXPECT_EQ(stats.retrains_started, 12u);
+  EXPECT_EQ(stats.retrains_failed, 1u);
+  EXPECT_EQ(stats.retrains_completed,
+            stats.retrains_started - 1u -
+                (ensemble.retrain_pending() ? 1u : 0u));
+  // The ring still fills from the surviving fits.
+  EXPECT_EQ(ensemble.live_members(), 3);
+}
+
+TEST(RollingEnsembleTest, PoolAndInlineFitsProduceIdenticalVerdicts) {
+  runtime::ThreadPool pool(4);
+  RollingEnsemble with_pool(TestConfig(), TestRuntime());
+  with_pool.set_pool(&pool);
+  RollingEnsemble inline_only(TestConfig(), TestRuntime());
+
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const std::vector<double> sample = MakeSample(i);
+    const Verdict a = with_pool.OnSample(sample);
+    const Verdict b = inline_only.OnSample(sample);
+    ASSERT_EQ(a.votes, b.votes) << "sample " << i;
+    ASSERT_EQ(a.live, b.live) << "sample " << i;
+    ASSERT_EQ(a.pass, b.pass) << "sample " << i;
+  }
+  // Same verdicts, same bytes: background training is invisible to state.
+  EXPECT_EQ(Encoded(with_pool), Encoded(inline_only));
+}
+
+TEST(RollingEnsembleTest, SaveRestoreMidRetrainIsBitIdentical) {
+  // Run to a point where a retrain is in flight (between its boundary and
+  // its activation), snapshot there, and check the restored ensemble
+  // continues exactly like the uninterrupted one - the checkpoint-during-
+  // retrain guarantee at its smallest scale.
+  RollingEnsemble original(TestConfig(), TestRuntime());
+  std::uint64_t i = 0;
+  for (; i < 196; ++i) original.OnSample(MakeSample(i));
+  ASSERT_TRUE(original.retrain_pending());  // boundary 192, activation 200
+
+  persist::Encoder encoder;
+  original.Save(encoder);
+  const std::vector<std::uint8_t> bytes = encoder.bytes();
+
+  RollingEnsemble restored(TestConfig(), TestRuntime());
+  persist::Decoder decoder(bytes.data(), bytes.size());
+  ASSERT_TRUE(restored.Restore(decoder));
+  ASSERT_TRUE(restored.retrain_pending());
+  EXPECT_EQ(restored.live_members(), original.live_members());
+
+  for (; i < 320; ++i) {
+    const std::vector<double> sample = MakeSample(i);
+    const Verdict a = original.OnSample(sample);
+    const Verdict b = restored.OnSample(sample);
+    ASSERT_EQ(a.votes, b.votes) << "sample " << i;
+    ASSERT_EQ(a.live, b.live) << "sample " << i;
+    ASSERT_EQ(a.pass, b.pass) << "sample " << i;
+  }
+  EXPECT_EQ(Encoded(original), Encoded(restored));
+}
+
+TEST(RollingEnsembleTest, RestoreRejectsAForeignFingerprint) {
+  RollingEnsemble original(TestConfig(), TestRuntime());
+  for (std::uint64_t i = 0; i < 100; ++i) original.OnSample(MakeSample(i));
+  const std::vector<std::uint8_t> bytes = Encoded(original);
+
+  EnsembleConfig other = TestConfig();
+  other.k = 4;  // different schedule: the snapshot must be refused
+  RollingEnsemble mismatched(other, TestRuntime());
+  persist::Decoder decoder(bytes.data(), bytes.size());
+  EXPECT_FALSE(mismatched.Restore(decoder));
+}
+
+TEST(RollingEnsembleTest, ResetDropsMembersWindowAndPendingRetrain) {
+  runtime::ThreadPool pool(2);
+  RollingEnsemble ensemble(TestConfig(), TestRuntime());
+  ensemble.set_pool(&pool);
+  for (std::uint64_t i = 0; i < 196; ++i) ensemble.OnSample(MakeSample(i));
+  ASSERT_GT(ensemble.live_members(), 0);
+  ASSERT_TRUE(ensemble.retrain_pending());
+
+  ensemble.Reset();
+  EXPECT_EQ(ensemble.live_members(), 0);
+  EXPECT_FALSE(ensemble.retrain_pending());
+  const Verdict verdict = ensemble.OnSample(MakeSample(0));
+  EXPECT_EQ(verdict.live, 0);
+  EXPECT_TRUE(verdict.pass);
+}
+
+TEST(RollingEnsembleTest, SuppressedAlarmCounterTravelsThroughSnapshots) {
+  RollingEnsemble ensemble(TestConfig(), TestRuntime());
+  for (std::uint64_t i = 0; i < 50; ++i) ensemble.OnSample(MakeSample(i));
+  ensemble.RecordSuppressedAlarm();
+  ensemble.RecordSuppressedAlarm();
+  EXPECT_EQ(ensemble.stats().consensus_suppressed_alarms, 2u);
+
+  const std::vector<std::uint8_t> bytes = Encoded(ensemble);
+  RollingEnsemble restored(TestConfig(), TestRuntime());
+  persist::Decoder decoder(bytes.data(), bytes.size());
+  ASSERT_TRUE(restored.Restore(decoder));
+  EXPECT_EQ(restored.stats().consensus_suppressed_alarms, 2u);
+}
+
+}  // namespace
+}  // namespace navarchos::ensemble

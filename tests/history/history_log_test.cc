@@ -66,6 +66,8 @@ void ExpectRecordEqual(const HistoryRecord& got, const HistoryRecord& want,
   EXPECT_EQ(got.threshold, want.threshold) << where;
   EXPECT_EQ(got.alarm, want.alarm) << where;
   EXPECT_EQ(got.top_channels, want.top_channels) << where;
+  EXPECT_EQ(got.votes, want.votes) << where;
+  EXPECT_EQ(got.ensemble_live, want.ensemble_live) << where;
 }
 
 /// Reads the whole directory and checks it holds exactly `want`, in the
@@ -400,6 +402,111 @@ TEST(HistoryLogTest, HeaderTornPartIsRemovedOnOpen) {
   ASSERT_TRUE(writer.Open(dir).ok());
   EXPECT_FALSE(std::filesystem::exists(dir + "/v3_000000.part"));
   EXPECT_GT(writer.stats().torn_bytes_truncated, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+/// The segment version a file's header claims (0 on failure).
+std::uint32_t HeaderVersionOf(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char bytes[8] = {0};
+  in.read(bytes, sizeof bytes);
+  if (!in) return 0;
+  return static_cast<std::uint8_t>(bytes[4]) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[5])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[6])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[7])) << 24);
+}
+
+TEST(HistoryLogTest, ConsensusVotesRoundTripThroughVersion2Segments) {
+  const std::string dir = FreshDir("navhist_votes");
+  std::vector<HistoryRecord> records = MakeStream(200, 2);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    records[i].votes = static_cast<std::int32_t>(i % 4);
+    records[i].ensemble_live = 3;
+  }
+  HistoryConfig config;
+  config.block_records = 16;
+  HistoryWriter writer(config);
+  ASSERT_TRUE(writer.Open(dir).ok());
+  for (const HistoryRecord& record : records)
+    ASSERT_TRUE(writer.Append(record).ok());
+  ASSERT_TRUE(writer.Flush().ok());
+  EXPECT_EQ(HeaderVersionOf(PartPathOf(dir, 0)), kSegmentVersionVotes);
+  ExpectLogHolds(dir, records);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HistoryLogTest, VoteLessStreamsKeepWritingVersion1Segments) {
+  // An ensemble-disabled run (votes == -1 throughout) must produce segments
+  // older builds can read: the version-1 layout, byte for byte.
+  const std::string dir = FreshDir("navhist_v1_compat");
+  const std::vector<HistoryRecord> records = MakeStream(100, 1);
+  HistoryWriter writer;
+  ASSERT_TRUE(writer.Open(dir).ok());
+  for (const HistoryRecord& record : records)
+    ASSERT_TRUE(writer.Append(record).ok());
+  ASSERT_TRUE(writer.Flush().ok());
+  EXPECT_EQ(HeaderVersionOf(PartPathOf(dir, 0)), kSegmentVersion);
+  // Version-1 records decode with the no-ensemble defaults.
+  std::vector<VehicleLogData> logs;
+  ASSERT_TRUE(HistoryReader::ReadDir(dir, &logs).ok());
+  ASSERT_EQ(logs.size(), 1u);
+  for (const HistoryRecord& record : logs[0].records) {
+    EXPECT_EQ(record.votes, -1);
+    EXPECT_EQ(record.ensemble_live, 0u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HistoryLogTest, ResumedVersion1TailKeepsItsLayoutUntilSealed) {
+  // A v1 tail from a pre-ensemble run, reopened by a writer whose stream
+  // now carries votes: the tail keeps encoding v1 records (votes dropped
+  // for that segment only) so its existing delta chain stays decodable.
+  const std::string dir = FreshDir("navhist_v1_resume");
+  std::vector<HistoryRecord> old_records = MakeStream(40, 1);
+  {
+    HistoryWriter writer;
+    ASSERT_TRUE(writer.Open(dir).ok());
+    for (const HistoryRecord& record : old_records)
+      ASSERT_TRUE(writer.Append(record).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  HistoryRecord voted = MakeRecord(0, 5000, 99999, 4.5, 1.0, true);
+  voted.votes = 2;
+  voted.ensemble_live = 3;
+  {
+    HistoryWriter writer;
+    ASSERT_TRUE(writer.Open(dir).ok());
+    ASSERT_TRUE(writer.Append(voted).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  EXPECT_EQ(HeaderVersionOf(PartPathOf(dir, 0)), kSegmentVersion);
+  std::vector<VehicleLogData> logs;
+  ASSERT_TRUE(HistoryReader::ReadDir(dir, &logs).ok());
+  ASSERT_EQ(logs.size(), 1u);
+  ASSERT_EQ(logs[0].records.size(), old_records.size() + 1);
+  const HistoryRecord& last = logs[0].records.back();
+  EXPECT_EQ(last.global_seq, voted.global_seq);
+  EXPECT_EQ(last.votes, -1);  // dropped with the v1 layout, not invented
+  EXPECT_EQ(last.ensemble_live, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HistoryLogTest, VoteFieldsSaturateInsteadOfWrapping) {
+  const std::string dir = FreshDir("navhist_votes_saturate");
+  HistoryRecord record = MakeRecord(0, 10, 1000, 1.0, 2.0, false);
+  record.votes = 1000;          // beyond the u8 tail
+  record.ensemble_live = 1000;  // likewise
+  HistoryWriter writer;
+  ASSERT_TRUE(writer.Open(dir).ok());
+  ASSERT_TRUE(writer.Append(record).ok());
+  ASSERT_TRUE(writer.Flush().ok());
+  std::vector<VehicleLogData> logs;
+  ASSERT_TRUE(HistoryReader::ReadDir(dir, &logs).ok());
+  ASSERT_EQ(logs.size(), 1u);
+  ASSERT_EQ(logs[0].records.size(), 1u);
+  EXPECT_EQ(logs[0].records[0].votes, 254);  // 255 on the wire, minus 1
+  EXPECT_EQ(logs[0].records[0].ensemble_live, 255u);
   std::filesystem::remove_all(dir);
 }
 

@@ -39,9 +39,21 @@ core::MonitorConfig FastMonitorConfig() {
   return config;
 }
 
-service::ServiceConfig ServiceConfigWith(int threads) {
+/// FastMonitorConfig with the rolling consensus ensemble switched on.
+core::MonitorConfig EnsembleMonitorConfig() {
+  core::MonitorConfig config = FastMonitorConfig();
+  config.ensemble.enabled = true;
+  config.ensemble.k = 3;
+  config.ensemble.m = 2;
+  config.ensemble.retrain_every = 24;
+  config.ensemble.activation_lag = 8;
+  return config;
+}
+
+service::ServiceConfig ServiceConfigWith(
+    int threads, const core::MonitorConfig& monitor = FastMonitorConfig()) {
   service::ServiceConfig config;
-  config.monitor = FastMonitorConfig();
+  config.monitor = monitor;
   config.runtime = runtime::RuntimeConfig{threads};
   config.queue_capacity = 32;  // Small enough to exercise backpressure.
   return config;
@@ -56,9 +68,10 @@ struct ShardedRun {
 
 ShardedRun RunSharded(const std::vector<telemetry::SensorFrame>& stream,
                       const std::vector<std::int32_t>& ids, int shards,
-                      int threads) {
+                      int threads,
+                      const core::MonitorConfig& monitor = FastMonitorConfig()) {
   shard::ShardGroupConfig config;
-  config.service = ServiceConfigWith(threads);
+  config.service = ServiceConfigWith(threads, monitor);
   config.shard_count = static_cast<std::uint32_t>(shards);
   shard::ShardGroup group(config);
   ShardedRun run;
@@ -102,6 +115,8 @@ void ExpectRecordsIdentical(const std::vector<history::HistoryRecord>& a,
     ASSERT_EQ(a[i].threshold, b[i].threshold) << "record " << i;
     ASSERT_EQ(a[i].alarm, b[i].alarm) << "record " << i;
     ASSERT_EQ(a[i].top_channels, b[i].top_channels) << "record " << i;
+    ASSERT_EQ(a[i].votes, b[i].votes) << "record " << i;
+    ASSERT_EQ(a[i].ensemble_live, b[i].ensemble_live) << "record " << i;
   }
 }
 
@@ -131,11 +146,13 @@ void ExpectResultsIdentical(const core::FleetRunResult& a,
 }
 
 void CheckInvariantOn(const std::vector<telemetry::SensorFrame>& stream,
-                      const std::vector<std::int32_t>& ids) {
+                      const std::vector<std::int32_t>& ids,
+                      const core::MonitorConfig& monitor = FastMonitorConfig()) {
   // The unsharded serial service is the reference output.
-  const auto reference = service::RunStream(stream, ids, ServiceConfigWith(1));
+  const auto reference =
+      service::RunStream(stream, ids, ServiceConfigWith(1, monitor));
   const ShardedRun baseline = RunSharded(stream, ids, /*shards=*/1,
-                                         /*threads=*/1);
+                                         /*threads=*/1, monitor);
   ExpectResultsIdentical(reference, baseline.result);
   ExpectAlarmsIdentical(reference.alarms, baseline.live_alarms);
 
@@ -144,7 +161,7 @@ void CheckInvariantOn(const std::vector<telemetry::SensorFrame>& stream,
       if (shards == 1 && threads == 1) continue;  // the baseline itself
       SCOPED_TRACE("shards=" + std::to_string(shards) +
                    " threads=" + std::to_string(threads));
-      const ShardedRun run = RunSharded(stream, ids, shards, threads);
+      const ShardedRun run = RunSharded(stream, ids, shards, threads, monitor);
       ExpectResultsIdentical(baseline.result, run.result);
       ExpectAlarmsIdentical(baseline.live_alarms, run.live_alarms);
       ExpectRecordsIdentical(baseline.records, run.records);
@@ -168,6 +185,17 @@ TEST(ShardDeterminismTest,
       telemetry::CorruptionConfig::Moderate());
   const auto stream = telemetry::InterleaveFleetStream(fleet, model);
   CheckInvariantOn(stream, service::VehicleIdsOf(fleet));
+}
+
+TEST(ShardDeterminismTest, EnsembleEnabledStreamIsIdenticalAcrossShards) {
+  // Sharding transparency extended to the consensus ensemble: background
+  // retrains run on each shard's own pool, yet the fleet-wide output -
+  // including per-record consensus votes - is identical at every shard x
+  // thread combination and equal to the unsharded service.
+  const auto fleet = telemetry::GenerateFleet(SmallFleetConfig());
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  CheckInvariantOn(stream, service::VehicleIdsOf(fleet),
+                   EnsembleMonitorConfig());
 }
 
 TEST(ShardDeterminismTest, HistoryRecordsCarryFleetSequencesOfTheirFrames) {
