@@ -215,6 +215,7 @@ int Main(int argc, char** argv) {
   }
   std::fprintf(json, "{\n");
   std::fprintf(json, "  \"bench\": \"chaos_sweep\",\n");
+  bench::WriteBuildMetadata(json);
   std::fprintf(json, "  \"days\": %d,\n  \"seed\": %" PRIu64 ",\n",
                options.days, options.seed);
   std::fprintf(json, "  \"threads\": %d,\n", options.threads);

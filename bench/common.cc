@@ -227,4 +227,34 @@ void PrintHeader(const std::string& title, const BenchOptions& options) {
   std::printf("==============================================================\n");
 }
 
+// Build type and flags are injected by bench/CMakeLists.txt; default them so
+// common.cc still compiles when built outside CMake (e.g. an IDE's single-
+// file check).
+#ifndef NAVARCHOS_BUILD_TYPE
+#define NAVARCHOS_BUILD_TYPE ""
+#endif
+#ifndef NAVARCHOS_CXX_FLAGS
+#define NAVARCHOS_CXX_FLAGS ""
+#endif
+
+void WriteBuildMetadata(std::FILE* json) {
+#if defined(__clang__)
+  std::fprintf(json,
+               "  \"build\": {\"compiler\": \"clang\", "
+               "\"compiler_version\": \"%d.%d.%d\", ",
+               __clang_major__, __clang_minor__, __clang_patchlevel__);
+#elif defined(__GNUC__)
+  std::fprintf(json,
+               "  \"build\": {\"compiler\": \"gcc\", "
+               "\"compiler_version\": \"%d.%d.%d\", ",
+               __GNUC__, __GNUC_MINOR__, __GNUC_PATCHLEVEL__);
+#else
+  std::fprintf(json,
+               "  \"build\": {\"compiler\": \"unknown\", "
+               "\"compiler_version\": \"\", ");
+#endif
+  std::fprintf(json, "\"build_type\": \"%s\", \"flags\": \"%s\"},\n",
+               NAVARCHOS_BUILD_TYPE, NAVARCHOS_CXX_FLAGS);
+}
+
 }  // namespace navarchos::bench

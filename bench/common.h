@@ -8,6 +8,7 @@
 #ifndef NAVARCHOS_BENCH_COMMON_H_
 #define NAVARCHOS_BENCH_COMMON_H_
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,17 @@ std::string RenderSettingFigure(const std::vector<GridRecord>& grid,
 
 /// Prints a standard bench header (binary purpose + fleet parameters).
 void PrintHeader(const std::string& title, const BenchOptions& options);
+
+/// Writes the build-metadata header block into an open BENCH_*.json file:
+///   "build": {"compiler": ..., "compiler_version": ..., "build_type": ...,
+///             "flags": ...},
+/// (two-space indent, trailing comma + newline, ready to sit between other
+/// top-level header fields). The values are baked in at compile time -
+/// compiler id/version from predefined macros, build type and flags from
+/// CMake - so a measurement can never be archived without the toolchain
+/// context it was produced under. check_bench_json.py requires the block
+/// in every artifact.
+void WriteBuildMetadata(std::FILE* json);
 
 /// Renders the Fig. 4/5 grouped bar chart (F0.5 at PH=30, grouped by
 /// transformation, one bar per technique) and writes it next to the grid

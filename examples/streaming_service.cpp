@@ -37,6 +37,15 @@
 // --connect). The query output is printed deterministically (%.17g
 // doubles) so two runs over identical logs diff clean.
 //
+// Observability (any role): every service keeps a unified metrics
+// registry (monotonic counters, high-water gauges, latency histograms).
+// --stats-every N prints one diffable counters line per N frames,
+// --stats-out writes the final snapshot's text rendering to a file, and
+// --query stats scrapes a running server over the wire (--fleet merges
+// every shard of a sharded server). Scraping is invisible to the metrics
+// themselves, so the wire-scraped rendering of a drained server is
+// byte-identical to its in-process --stats-out file.
+//
 // Sharded mode (--shards N, in-process or server role) splits the fleet
 // across N shards - each with its own per-vehicle lanes (and, in the server
 // role, its own TCP listener) - behind a consistent-hash router, with a
@@ -67,6 +76,8 @@
 //                        (default: config default, currently 3)
 //   --retrain-every N    samples between background member retrains
 //                        (default: derived from the profile window)
+//   --stats-every N      print one diffable metrics line every N frames
+//   --stats-out P        write the drained metrics snapshot rendering to P
 // Flags (server role):
 //   --listen N           serve ingest on port N (0 = ephemeral)
 //   --shards N           one listener + service per shard (bootstrap =
@@ -76,6 +87,11 @@
 //                        sharded client finishes one session per shard)
 //   --verify             after draining, compare against an in-process replay
 //   --history-dir D      write the history log AND serve QUERY messages
+//   --stats-out P        drain BEFORE stopping the listener, write the
+//                        quiesced metrics rendering to P, keep answering
+//                        STATS scrapes until shutdown
+//   --await-scrapes N    with --stats-out: stop only after N STATS
+//                        scrapes have been answered
 // Flags (client role):
 //   --connect N          stream the demo fleet to port N
 //   --sharded            learn the shard map from WELCOME and route frames
@@ -85,9 +101,12 @@
 //   --resume             resume the session from the server's cursor
 //   --abort-after N      simulate a crash: exit without FIN after N frames
 // Flags (query role; --query picks the role):
-//   --query K            rank | timeline | comove
+//   --query K            rank | timeline | comove | stats
 //   --connect N          query a running server on port N over the wire, or
-//   --history-dir D      query a local log directory directly
+//   --history-dir D      query a local log directory directly (stats is
+//                        wire-only; local runs use --stats-out instead)
+//   --fleet              stats: scrape every shard advertised in the STATS
+//                        tail once and print the merged fleet snapshot
 //   --vehicle V          timeline: vehicle id (required)
 //   --window-minutes N   rank: severity window in minutes (0 = whole log)
 //   --end-ts T           rank/timeline: range end (0 = log end)
@@ -96,14 +115,17 @@
 //   --max-records N      timeline: newest records kept (0 = all)
 //   --alarm-seq S        comove: global seq of the anchoring alarm
 //   --window N           comove: records per side (default 16)
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "history/history_service.h"
 #include "history/query.h"
 #include "net/ingest_client.h"
 #include "net/ingest_server.h"
+#include "obs/metrics.h"
 #include "service/fleet_service.h"
 #include "shard/shard_group.h"
 #include "shard/shard_server.h"
@@ -125,6 +147,40 @@ bool WriteAlarmLog(const std::string& path,
                  static_cast<long long>(alarm.timestamp), alarm.channel,
                  alarm.channel_name.c_str(), alarm.score, alarm.threshold);
   }
+  std::fclose(file);
+  return true;
+}
+
+/// One diffable line of the live service counters (--stats-every). Reading
+/// the snapshot mid-stream races benignly with the workers: monotonic
+/// counters, never torn values.
+void PrintStatsLine(const obs::StatsSnapshot& snapshot) {
+  const obs::HistogramSample* latency =
+      snapshot.FindHistogram("service.admission_to_release_us");
+  std::printf("[stats] submitted=%llu processed=%llu alarms=%llu "
+              "release_p50_us=%llu release_p99_us=%llu\n",
+              static_cast<unsigned long long>(
+                  snapshot.CounterValue("service.frames_submitted")),
+              static_cast<unsigned long long>(
+                  snapshot.CounterValue("service.frames_processed")),
+              static_cast<unsigned long long>(
+                  snapshot.CounterValue("service.alarms_emitted")),
+              static_cast<unsigned long long>(
+                  latency ? latency->ValueAtQuantile(0.5) : 0),
+              static_cast<unsigned long long>(
+                  latency ? latency->ValueAtQuantile(0.99) : 0));
+}
+
+/// Writes the diffable text rendering of `snapshot` to `path`
+/// (--stats-out). A post-drain wire scrape renders to the same bytes, so
+///   diff <(streaming_service --query stats --fleet --connect P) FILE
+/// is the end-to-end observability check.
+bool WriteStatsFile(const std::string& path,
+                    const obs::StatsSnapshot& snapshot) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string text = obs::FormatSnapshot(snapshot);
+  std::fwrite(text.data(), 1, text.size(), file);
   std::fclose(file);
   return true;
 }
@@ -176,6 +232,7 @@ std::unique_ptr<history::HistoryService> AttachHistory(
     return nullptr;
   }
   history::HistoryService* raw = service.get();
+  raw->AttachMetrics(svc->metrics());
   svc->set_history_callback(
       [raw](const history::HistoryRecord& record) { raw->Append(record); });
   // Flush the log inside every checkpoint's quiesced window, so a crash
@@ -197,6 +254,9 @@ std::unique_ptr<history::HistoryService> AttachHistoryGroup(
     return nullptr;
   }
   history::HistoryService* raw = service.get();
+  // One log serves the whole fleet, so - like the shared pool - its
+  // metrics live in shard 0's registry by convention.
+  raw->AttachMetrics(group->shard_service(0)->metrics());
   group->set_history_callback(
       [raw](const history::HistoryRecord& record) { raw->Append(record); });
   group->set_checkpoint_barrier([raw] { return raw->Flush(); });
@@ -259,11 +319,74 @@ void PrintComove(const history::ComoveResult& result) {
                 static_cast<unsigned long long>(entry.weight));
 }
 
+/// --query stats: scrape a running server's metrics over the wire. The
+/// snapshot rendering goes to stdout alone (shard identity to stderr), so
+/// the output diffs clean against a --stats-out file. With --fleet on a
+/// sharded server, every shard advertised in the STATS tail is scraped
+/// once and the per-shard snapshots merge into the fleet aggregate.
+int RunStatsQuery(const util::Args& args) {
+  const auto port = static_cast<std::uint16_t>(args.GetInt("connect", 0));
+  if (port == 0) {
+    std::fprintf(stderr,
+                 "--query stats needs --connect PORT (local runs render the "
+                 "same snapshot via --stats-every / --stats-out)\n");
+    return 2;
+  }
+  net::ClientConfig config;
+  config.host = args.GetString("host", "127.0.0.1");
+  config.port = port;
+  net::IngestClient client(config);
+  net::StatsMessage message;
+  util::Status status = client.QueryStats(&message);
+  if (!status.ok()) {
+    std::fprintf(stderr, "stats scrape failed: %s\n",
+                 status.message().c_str());
+    return 2;
+  }
+  if (!args.Has("fleet") || message.shard_map.unsharded()) {
+    if (!message.shard_map.unsharded())
+      std::fprintf(stderr, "shard %u of %u\n", message.shard_id,
+                   message.shard_map.shard_count);
+    std::fputs(obs::FormatSnapshot(message.snapshot).c_str(), stdout);
+    return 0;
+  }
+  // Fleet scrape: one snapshot per shard, merged. The bootstrap response
+  // already carries its shard's snapshot; dialing that shard again would
+  // observe the first scrape's own stats_served increment, so every shard
+  // contributes the snapshot of its FIRST scrape only.
+  obs::StatsSnapshot fleet = message.snapshot;
+  for (std::size_t shard = 0; shard < message.shard_map.ports.size();
+       ++shard) {
+    if (shard == message.shard_id) continue;
+    net::ClientConfig shard_config = config;
+    shard_config.port = message.shard_map.ports[shard];
+    net::IngestClient shard_client(shard_config);
+    net::StatsMessage shard_message;
+    status = shard_client.QueryStats(&shard_message);
+    if (!status.ok()) {
+      std::fprintf(stderr, "stats scrape of shard %zu failed: %s\n", shard,
+                   status.message().c_str());
+      return 2;
+    }
+    if (shard_message.shard_id != shard) {
+      std::fprintf(stderr, "shard %zu answered as shard %u\n", shard,
+                   shard_message.shard_id);
+      return 2;
+    }
+    obs::MergeSnapshot(&fleet, shard_message.snapshot);
+  }
+  std::fprintf(stderr, "fleet of %u shards\n",
+               message.shard_map.shard_count);
+  std::fputs(obs::FormatSnapshot(fleet).c_str(), stdout);
+  return 0;
+}
+
 /// Query role: answer one RANK / TIMELINE / COMOVE - over the wire against
 /// a running server (--connect) or directly off a log directory
 /// (--history-dir) - and pretty-print the result deterministically.
 int RunQueryRole(const util::Args& args) {
   const std::string kind = args.GetString("query", "");
+  if (kind == "stats") return RunStatsQuery(args);
   const std::string history_dir = args.GetString("history-dir", "");
   const auto port = static_cast<std::uint16_t>(args.GetInt("connect", 0));
   if (history_dir.empty() && port == 0) {
@@ -385,8 +508,36 @@ int RunShardedServer(const util::Args& args, int shards) {
   // A sharded client FINishes one session per shard.
   server.WaitForFinishedSessions(sessions *
                                  static_cast<std::uint64_t>(shards));
-  server.Stop();
-  group.Drain();
+  const std::string stats_out = args.GetString("stats-out", "");
+  const std::int64_t await_scrapes = args.GetInt("await-scrapes", 0);
+  if (stats_out.empty() && await_scrapes <= 0) {
+    server.Stop();
+    group.Drain();
+  } else {
+    // Observability epilogue: drain FIRST - STATS is stateless, so the
+    // listeners keep answering scrapes over the quiesced registries -
+    // publish the in-process fleet aggregate, then hold the listeners
+    // open until the expected number of wire scrapes has been served.
+    group.Drain();
+    if (!stats_out.empty()) {
+      if (!WriteStatsFile(stats_out, group.FleetSnapshot())) {
+        std::fprintf(stderr, "cannot write stats file %s\n",
+                     stats_out.c_str());
+        return 2;
+      }
+      std::printf("final stats written to %s\n", stats_out.c_str());
+      std::fflush(stdout);
+    }
+    const auto scrapes_served = [&server, shards] {
+      std::uint64_t total = 0;
+      for (int shard = 0; shard < shards; ++shard)
+        total += server.server(shard)->stats().stats_served;
+      return total;
+    };
+    while (scrapes_served() < static_cast<std::uint64_t>(await_scrapes))
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    server.Stop();
+  }
   if (!FinishHistory(history.get())) return 2;
 
   net::ServerStats net_stats;
@@ -469,8 +620,30 @@ int RunServer(const util::Args& args) {
   }
 
   server.WaitForFinishedSessions(sessions);
-  server.Stop();
-  svc.Drain();
+  const std::string stats_out = args.GetString("stats-out", "");
+  const std::int64_t await_scrapes = args.GetInt("await-scrapes", 0);
+  if (stats_out.empty() && await_scrapes <= 0) {
+    server.Stop();
+    svc.Drain();
+  } else {
+    // Observability epilogue, as in the sharded role: drain first so the
+    // registry is quiescent, publish the in-process aggregate, keep the
+    // listener answering STATS until the expected scrapes arrived.
+    svc.Drain();
+    if (!stats_out.empty()) {
+      if (!WriteStatsFile(stats_out, svc.SnapshotStats())) {
+        std::fprintf(stderr, "cannot write stats file %s\n",
+                     stats_out.c_str());
+        return 2;
+      }
+      std::printf("final stats written to %s\n", stats_out.c_str());
+      std::fflush(stdout);
+    }
+    while (server.stats().stats_served <
+           static_cast<std::uint64_t>(await_scrapes))
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    server.Stop();
+  }
   if (!FinishHistory(history.get())) return 2;
 
   const net::ServerStats net_stats = server.stats();
@@ -631,6 +804,8 @@ int RunShardedInProcess(const util::Args& args, int shards) {
       args.GetString("snapshot-path", "streaming_service.fleet");
   const std::string restore_path = args.GetString("restore", "");
   const std::string alarm_log = args.GetString("alarm-log", "");
+  const std::int64_t stats_every = args.GetInt("stats-every", 0);
+  const std::string stats_out = args.GetString("stats-out", "");
 
   const telemetry::FleetDataset fleet = MakeFleet();
   const auto stream = telemetry::InterleaveFleetStream(fleet);
@@ -674,6 +849,9 @@ int RunShardedInProcess(const util::Args& args, int shards) {
   std::size_t since_snapshot = 0;
   for (std::size_t i = resume_cursor; i < stream.size(); ++i) {
     group.Submit(stream[i]);
+    if (stats_every > 0 &&
+        (i + 1) % static_cast<std::size_t>(stats_every) == 0)
+      PrintStatsLine(group.FleetSnapshot());
     if (snapshot_every > 0 &&
         ++since_snapshot >= static_cast<std::size_t>(snapshot_every)) {
       since_snapshot = 0;
@@ -687,6 +865,10 @@ int RunShardedInProcess(const util::Args& args, int shards) {
   }
   group.Drain();
   if (!FinishHistory(history.get())) return 2;
+  if (!stats_out.empty() && !WriteStatsFile(stats_out, group.FleetSnapshot())) {
+    std::fprintf(stderr, "cannot write stats file %s\n", stats_out.c_str());
+    return 2;
+  }
 
   const auto stats = group.stats();
   const auto live = group.TakeResult();
@@ -728,6 +910,8 @@ int main(int argc, char** argv) {
       args.GetString("snapshot-path", "streaming_service.snapshot");
   const std::string restore_path = args.GetString("restore", "");
   const std::string alarm_log = args.GetString("alarm-log", "");
+  const std::int64_t stats_every = args.GetInt("stats-every", 0);
+  const std::string stats_out = args.GetString("stats-out", "");
 
   // --- 1. A recorded interleaved feed (stand-in for the live gateway). ----
   const telemetry::FleetDataset fleet = MakeFleet();
@@ -773,6 +957,9 @@ int main(int argc, char** argv) {
   std::size_t since_snapshot = 0;
   for (std::size_t i = resume_cursor; i < stream.size(); ++i) {  // live ingest
     svc.Submit(stream[i]);
+    if (stats_every > 0 &&
+        (i + 1) % static_cast<std::size_t>(stats_every) == 0)
+      PrintStatsLine(svc.SnapshotStats());
     if (snapshot_every > 0 &&
         ++since_snapshot >= static_cast<std::size_t>(snapshot_every)) {
       since_snapshot = 0;
@@ -785,6 +972,10 @@ int main(int argc, char** argv) {
   }
   svc.Drain();  // graceful shutdown
   if (!FinishHistory(history.get())) return 2;
+  if (!stats_out.empty() && !WriteStatsFile(stats_out, svc.SnapshotStats())) {
+    std::fprintf(stderr, "cannot write stats file %s\n", stats_out.c_str());
+    return 2;
+  }
 
   // --- 3. The drained result is deterministic: a serial replay agrees. ----
   const auto stats = svc.stats();

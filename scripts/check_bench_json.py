@@ -4,7 +4,11 @@
 Every bench that emits a BENCH_*.json file must record the --threads value
 it ran with in the file's header (top-level "threads" key, integer), so a
 measurement can never be archived without its execution-runtime context.
-On top of that universal rule, benches registered in SCHEMAS must carry
+Likewise every artifact must carry a top-level "build" object (compiler,
+compiler_version, build_type, flags - all strings; see
+bench::WriteBuildMetadata), so a measurement can never be archived without
+its toolchain context either.
+On top of those universal rules, benches registered in SCHEMAS must carry
 their bench-specific result fields (e.g. BENCH_snapshot.json must list
 detector/bytes/save_ms/restore_ms per result row).
 
@@ -85,7 +89,26 @@ SCHEMAS = {
         ("checkpoint_bytes", *_INT),
         ("fingerprint", *_STR),
     ],
+    "scaling_sweep": [
+        ("threads", *_INT),
+        ("generate_seconds", *_NUMBER),
+        ("run_fleet_seconds", *_NUMBER),
+        ("run_grid_seconds", *_NUMBER),
+    ],
+    "obs_overhead": [
+        ("threads", *_INT),
+        ("mode", *_STR),
+        ("seconds", *_NUMBER),
+        ("frames_per_sec", *_NUMBER),
+        ("scrapes", *_INT),
+        ("snapshot_bytes", *_INT),
+        ("fingerprint", *_STR),
+    ],
 }
+
+# Universal header requirement: the build-metadata block every artifact
+# must carry (all string-valued).
+BUILD_FIELDS = ("compiler", "compiler_version", "build_type", "flags")
 
 
 def check_results(path: str, bench: str, data: dict) -> list[str]:
@@ -136,6 +159,14 @@ def check(path: str) -> list[str]:
     if isinstance(threads, bool) or not isinstance(threads, int):
         errors.append(f"{path}: missing integer top-level 'threads' "
                       f"(the --threads value the bench ran with)")
+    build = data.get("build")
+    if not isinstance(build, dict):
+        errors.append(f"{path}: missing top-level 'build' object "
+                      f"(toolchain metadata; see bench::WriteBuildMetadata)")
+    else:
+        for field in BUILD_FIELDS:
+            if not isinstance(build.get(field), str):
+                errors.append(f"{path}: 'build' missing string '{field}'")
     errors.extend(check_results(path, bench, data))
     return errors
 

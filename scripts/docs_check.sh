@@ -3,8 +3,8 @@
 #
 # Runs Doxygen over the documented subsystems' public headers with
 # EXTRACT_ALL=NO and WARN_AS_ERROR=YES: every public declaration in
-# src/runtime, src/core, src/service, src/persist, src/net, src/history
-# and src/shard and src/ensemble must carry a documentation comment,
+# src/runtime, src/core, src/service, src/persist, src/net, src/history,
+# src/shard, src/ensemble and src/obs must carry a documentation comment,
 # and any Doxygen warning fails the check. The full-site Doxyfile (which
 # extracts everything for browsing) stays as-is; this is the gate.
 set -euo pipefail
@@ -20,7 +20,7 @@ mkdir -p "${out_dir}"
 
 (
   cat Doxyfile
-  echo "INPUT = src/runtime src/core src/service src/persist src/net src/history src/shard src/ensemble"
+  echo "INPUT = src/runtime src/core src/service src/persist src/net src/history src/shard src/ensemble src/obs"
   echo "FILE_PATTERNS = *.h"
   echo "USE_MDFILE_AS_MAINPAGE ="
   echo "EXTRACT_ALL = NO"

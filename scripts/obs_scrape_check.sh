@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Observability scrape check (the CI `obs-scrape` job).
+#
+# Proves the headline guarantee of the metrics subsystem end to end,
+# process boundary included:
+#   1. serve: start the streaming example as a 4-shard ingest server with
+#      an observability epilogue (--stats-out + --await-scrapes): after
+#      draining it writes the in-process fleet metrics aggregate to a file
+#      and keeps the listeners answering STATS until 8 scrapes landed;
+#   2. mid-stream: a first client streams part of the fleet and cuts the
+#      connection without FIN, pinning the server mid-session (it cannot
+#      drain until a resume arrives) - then every shard is scraped over
+#      the wire (--query stats --fleet) while ingest state is live and
+#      undrained (4 scrapes);
+#   3. post-drain: a resume client finishes the stream; after the server
+#      published its quiesced in-process aggregate, scrape every shard
+#      again and merge (4 more scrapes);
+#   4. verify: the wire-scraped merged fleet snapshot must be
+#      byte-identical to the in-process aggregate the server wrote -
+#      scraping is invisible to the metrics (lazy connection accounting,
+#      post-snapshot stats_served increments, STATS traffic excluded from
+#      the byte counters), so the two renderings diff clean.
+#
+# Usage: obs_scrape_check.sh [path-to-streaming_service-binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+binary="${1:-build/examples/streaming_service}"
+[[ -x "${binary}" ]] || {
+  echo "obs_scrape_check: ${binary} not built" >&2
+  exit 1
+}
+
+workdir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [[ -n "${server_pid}" ]] && kill "${server_pid}" 2>/dev/null || true
+  rm -rf "${workdir}"
+}
+trap cleanup EXIT
+port_file="${workdir}/port"
+server_out="${workdir}/server.out"
+inproc_stats="${workdir}/inproc_stats.txt"
+midstream_stats="${workdir}/midstream_stats.txt"
+fleet_stats="${workdir}/fleet_stats.txt"
+
+echo "== server: 4 shards, ephemeral ports, observability epilogue =="
+"${binary}" --listen 0 --shards 4 --port-file "${port_file}" --sessions 1 \
+  --stats-out "${inproc_stats}" --await-scrapes 8 \
+  > "${server_out}" 2>&1 &
+server_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "${port_file}" ]] && break
+  kill -0 "${server_pid}" 2>/dev/null || break
+  sleep 0.05
+done
+[[ -s "${port_file}" ]] || {
+  echo "obs_scrape_check: server never published its port" >&2
+  cat "${server_out}" >&2 || true
+  exit 1
+}
+port="$(cat "${port_file}")"
+echo "server pid ${server_pid} on bootstrap port ${port}"
+
+echo "== client: stream part of the fleet, then cut without FIN =="
+"${binary}" --connect "${port}" --sharded --abort-after 40000 \
+  > "${workdir}/client_abort.out" 2>&1
+
+echo "== mid-stream: scrape every shard while the sessions are open =="
+# No FIN has arrived, so the server is provably still mid-stream: it
+# cannot start draining before the resume client below finishes.
+"${binary}" --query stats --fleet --connect "${port}" > "${midstream_stats}"
+[[ -s "${midstream_stats}" ]] || {
+  echo "obs_scrape_check: mid-stream fleet scrape produced no output" >&2
+  exit 1
+}
+grep -q '^counter server\.frames_received ' "${midstream_stats}" || {
+  echo "obs_scrape_check: mid-stream scrape is missing server counters" >&2
+  head -20 "${midstream_stats}" >&2 || true
+  exit 1
+}
+
+echo "== resume client: finish the stream =="
+"${binary}" --connect "${port}" --sharded --resume \
+  > "${workdir}/client_resume.out" 2>&1
+
+echo "== drain: wait for the server's quiesced in-process aggregate =="
+for _ in $(seq 1 1200); do
+  grep -q "final stats written" "${server_out}" 2>/dev/null && break
+  kill -0 "${server_pid}" 2>/dev/null || break
+  sleep 0.1
+done
+grep -q "final stats written" "${server_out}" || {
+  echo "obs_scrape_check: server never published its final stats" >&2
+  cat "${server_out}" >&2 || true
+  exit 1
+}
+
+echo "== post-drain: scrape every shard and merge the fleet snapshot =="
+"${binary}" --query stats --fleet --connect "${port}" > "${fleet_stats}"
+
+echo "== verify: wire-scraped merge == in-process aggregate =="
+if ! diff -q "${inproc_stats}" "${fleet_stats}"; then
+  echo "obs_scrape_check: wire-scraped fleet snapshot differs from the" \
+       "in-process aggregate" >&2
+  diff "${inproc_stats}" "${fleet_stats}" | head -40 >&2 || true
+  exit 1
+fi
+
+wait "${server_pid}"
+server_pid=""
+
+echo "obs_scrape_check: PASS (wire scrape == in-process aggregate," \
+     "$(wc -l < "${fleet_stats}") metric lines)"

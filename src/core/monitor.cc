@@ -98,6 +98,10 @@ void VehicleMonitor::set_background_pool(runtime::ThreadPool* pool) {
   if (ensemble_ != nullptr) ensemble_->set_pool(pool);
 }
 
+void VehicleMonitor::set_retrain_histogram(obs::Histogram* histogram) {
+  if (ensemble_ != nullptr) ensemble_->set_retrain_histogram(histogram);
+}
+
 ensemble::EnsembleStats VehicleMonitor::ensemble_stats() const {
   return ensemble_ != nullptr ? ensemble_->stats() : ensemble::EnsembleStats();
 }

@@ -223,6 +223,11 @@ class VehicleMonitor {
   /// output, no overlap with ingest. No-op when the ensemble is disabled.
   void set_background_pool(runtime::ThreadPool* pool);
 
+  /// Installs the histogram ensemble member-fit durations are recorded
+  /// into (microseconds). Observe-only; the histogram must outlive the
+  /// monitor. No-op when the ensemble is disabled.
+  void set_retrain_histogram(obs::Histogram* histogram);
+
   /// The rolling consensus ensemble, or null when disabled.
   const ensemble::RollingEnsemble* consensus() const { return ensemble_.get(); }
 

@@ -121,9 +121,16 @@ void RollingEnsemble::PostPendingFit() {
   std::vector<std::vector<double>> snapshot = pending_->snapshot;
   const EnsembleRuntime runtime = runtime_;
   const bool inject = pending_->inject;
+  obs::Histogram* retrain_us = retrain_us_;
   pending_->future = pool_->Submit(
-      [snapshot = std::move(snapshot), runtime, inject]() mutable {
-        return FitMember(snapshot, runtime, inject);
+      [snapshot = std::move(snapshot), runtime, inject,
+       retrain_us]() mutable {
+        const std::uint64_t start =
+            retrain_us != nullptr ? obs::MonotonicMicros() : 0;
+        FitResult result = FitMember(snapshot, runtime, inject);
+        if (retrain_us != nullptr)
+          retrain_us->Record(obs::MonotonicMicros() - start);
+        return result;
       });
 }
 
@@ -149,7 +156,11 @@ void RollingEnsemble::JoinPending() {
     }
     result = pending.future.get();
   } else {
+    const std::uint64_t start =
+        retrain_us_ != nullptr ? obs::MonotonicMicros() : 0;
     result = FitMember(pending.snapshot, runtime_, pending.inject);
+    if (retrain_us_ != nullptr)
+      retrain_us_->Record(obs::MonotonicMicros() - start);
   }
   if (!result.ok) {
     // Keep the previous member; scoring falls back to the survivors.

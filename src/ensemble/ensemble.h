@@ -35,6 +35,7 @@
 
 #include "detect/factory.h"
 #include "detect/threshold.h"
+#include "obs/metrics.h"
 #include "persist/codec.h"
 #include "runtime/thread_pool.h"
 
@@ -141,6 +142,15 @@ class RollingEnsemble {
   /// overlap. May be set any time before the next retrain boundary.
   void set_pool(runtime::ThreadPool* pool) { pool_ = pool; }
 
+  /// Installs the histogram member-fit durations are recorded into
+  /// (microseconds, background and inline fits alike). Observe-only:
+  /// nothing in the schedule reads it. Null (the default) records nothing.
+  /// The histogram must outlive the ensemble; typically all lanes of a
+  /// service share one `ensemble.retrain_us` histogram (Record is atomic).
+  void set_retrain_histogram(obs::Histogram* histogram) {
+    retrain_us_ = histogram;
+  }
+
   /// Feeds one usable transformed sample: advances the schedule counter,
   /// joins a pending retrain at its activation point, rolls the training
   /// window, posts a fit task at a retrain boundary, and scores the sample
@@ -236,6 +246,7 @@ class RollingEnsemble {
   std::size_t min_train_ = 8;  ///< Member detector's MinReferenceSize.
 
   runtime::ThreadPool* pool_ = nullptr;
+  obs::Histogram* retrain_us_ = nullptr;  ///< Fit-duration sink (optional).
   std::uint64_t counter_ = 0;  ///< Usable samples seen this reference cycle.
   std::uint64_t retrain_ordinal_ = 0;  ///< Lifetime retrains started.
   std::deque<std::vector<double>> window_;

@@ -13,9 +13,19 @@ util::Status HistoryService::Open() {
 }
 
 void HistoryService::Append(const HistoryRecord& record) {
+  const std::uint64_t start =
+      append_us_ != nullptr ? obs::MonotonicMicros() : 0;
   std::lock_guard<std::mutex> lock(mu_);
   if (!error_.ok()) return;  // latched: drop, surface through queries
   error_ = writer_.Append(record);
+  if (append_records_ != nullptr) {
+    append_records_->Increment();
+    // Nominal encoded size of the record's fields (fixed fields + count
+    // byte + 4 bytes per top channel); deterministic per record, unlike
+    // the delta-compressed on-disk footprint.
+    append_bytes_->Add(46 + 4 * record.top_channels.size());
+    append_us_->Record(obs::MonotonicMicros() - start);
+  }
 }
 
 util::Status HistoryService::Flush() {
@@ -62,6 +72,13 @@ util::Status HistoryService::first_error() const {
 WriterStats HistoryService::writer_stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return writer_.stats();
+}
+
+void HistoryService::AttachMetrics(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  append_us_ = registry->histogram("history.append_us");
+  append_bytes_ = registry->counter("history.append_bytes");
+  append_records_ = registry->counter("history.append_records");
 }
 
 }  // namespace navarchos::history

@@ -15,6 +15,7 @@
 
 #include "history/history_log.h"
 #include "history/query.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 /// \file
@@ -58,6 +59,15 @@ class HistoryService {
   /// Writer counters (records appended/skipped, blocks, seals).
   WriterStats writer_stats() const;
 
+  /// Registers the append-path metrics in `registry` and starts
+  /// reporting: `history.append_records` (records offered and not dropped
+  /// by a latched error), `history.append_bytes` (nominal encoded record
+  /// bytes, a deterministic function of each record - not on-disk bytes,
+  /// which delta-compression makes layout-dependent) and the
+  /// `history.append_us` latency histogram. Observe-only. Call once,
+  /// before the first Append; the registry must outlive the service.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
   /// The log directory.
   const std::string& dir() const { return dir_; }
 
@@ -70,6 +80,9 @@ class HistoryService {
   HistoryWriter writer_;
   QueryEngine engine_;
   util::Status error_;
+  obs::Counter* append_records_ = nullptr;  ///< Null until AttachMetrics.
+  obs::Counter* append_bytes_ = nullptr;
+  obs::Histogram* append_us_ = nullptr;
 };
 
 }  // namespace navarchos::history

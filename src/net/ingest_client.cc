@@ -463,6 +463,55 @@ util::Status IngestClient::QueryComove(const history::ComoveQuery& query,
   return util::Status();
 }
 
+util::Status IngestClient::QueryStats(StatsMessage* out) {
+  OpBudget budget = StartOp();
+  // Like RunQuery: a scrape is a stateless read, so when no ingest
+  // connection is live it rides a short-lived dedicated dial with no HELLO.
+  const bool ephemeral = !transport_ || !transport_->valid();
+  if (ephemeral) {
+    int deadline_ms = 0;
+    if (!NextWaitDeadline(budget, &deadline_ms))
+      return util::Status::Error("total deadline exceeded");
+    int connect_timeout_ms = config_.connect_timeout_ms;
+    if (deadline_ms > 0 &&
+        (connect_timeout_ms <= 0 || deadline_ms < connect_timeout_ms))
+      connect_timeout_ms = deadline_ms;
+    ++stats_.connect_attempts;
+    Socket socket;
+    util::Status status =
+        ConnectTcp(config_.host, config_.port, &socket, connect_timeout_ms);
+    if (!status.ok()) return status;
+    transport_ = config_.transport_factory
+                     ? config_.transport_factory(std::move(socket))
+                     : MakeSocketTransport(std::move(socket));
+    reader_ = MessageReader();
+  }
+
+  util::Status status = SendWithin(&budget, EncodeStatsRequest());
+  while (status.ok()) {
+    WireMessage message;
+    bool fatal = false;
+    status = NextMessage(&budget, &message, &fatal);
+    if (!status.ok()) break;
+    if (message.type == MessageType::kError) {
+      ErrorMessage error;
+      (void)DecodeError(message.payload, &error);
+      status = util::Status::Error("server error: " + error.message);
+      break;
+    }
+    if (message.type != MessageType::kStats) {
+      status = util::Status::Error(std::string("unexpected ") +
+                                   MessageTypeName(message.type) +
+                                   " while awaiting STATS");
+      break;
+    }
+    status = DecodeStatsResponse(message.payload, out);
+    break;
+  }
+  if (ephemeral) transport_->Close();
+  return status;
+}
+
 util::Status IngestClient::AwaitAck(OpBudget* budget, std::uint64_t target,
                                     bool require_ack_message, bool* fatal) {
   *fatal = false;

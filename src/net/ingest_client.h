@@ -180,6 +180,15 @@ class IngestClient {
   util::Status QueryComove(const history::ComoveQuery& query,
                            history::ComoveResult* out);
 
+  /// Scrapes the server's metrics: sends an empty STATS request and decodes
+  /// the STATS response into `out` (snapshot plus, on sharded deployments,
+  /// the shard identity tail - shard id, shard count, hash seed, and the
+  /// ports of every shard, from which a scraper can dial the rest of the
+  /// fleet). Same connection and failure rules as QueryRank: works on the
+  /// live ingest connection between batches or over a short-lived HELLO-less
+  /// dial, and does not heal.
+  util::Status QueryStats(StatsMessage* out);
+
   /// Cumulative ACK cursor: every wire seq below it was decided.
   std::uint64_t acked_through() const { return acked_through_; }
 

@@ -28,6 +28,28 @@ IngestServer::IngestServer(service::FleetService* service,
                            const ServerConfig& config)
     : service_(service), config_(config) {
   NAVARCHOS_CHECK(service != nullptr);
+  // All server counters live in the served service's registry, so one
+  // STATS snapshot covers the full stack and ServerStats is just a view.
+  obs::MetricsRegistry* registry = service->metrics();
+  counters_.connections_accepted =
+      registry->counter("server.connections_accepted");
+  counters_.sessions_started = registry->counter("server.sessions_started");
+  counters_.resumes = registry->counter("server.resumes");
+  counters_.frames_received = registry->counter("server.frames_received");
+  counters_.frames_admitted = registry->counter("server.frames_admitted");
+  counters_.frames_shed = registry->counter("server.frames_shed");
+  counters_.duplicates_skipped =
+      registry->counter("server.duplicates_skipped");
+  counters_.protocol_errors = registry->counter("server.protocol_errors");
+  counters_.slow_consumer_disconnects =
+      registry->counter("server.slow_consumer_disconnects");
+  counters_.idle_reaps = registry->counter("server.idle_reaps");
+  counters_.sessions_expired = registry->counter("server.sessions_expired");
+  counters_.queries_served = registry->counter("server.queries_served");
+  counters_.stats_served = registry->counter("server.stats_served");
+  counters_.session_bytes_in = registry->counter("server.session_bytes_in");
+  counters_.session_bytes_out =
+      registry->counter("server.session_bytes_out");
 }
 
 IngestServer::~IngestServer() { Stop(); }
@@ -80,9 +102,30 @@ void IngestServer::set_shard_map(const ShardMapInfo& map) {
   shard_map_ = map;
 }
 
-ServerStats IngestServer::stats() const {
+void IngestServer::set_shard_id(std::uint32_t shard_id) {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  shard_id_ = shard_id;
+}
+
+ServerStats IngestServer::stats() const {
+  ServerStats stats;
+  stats.connections_accepted = counters_.connections_accepted->value();
+  stats.sessions_started = counters_.sessions_started->value();
+  stats.resumes = counters_.resumes->value();
+  stats.frames_received = counters_.frames_received->value();
+  stats.frames_admitted = counters_.frames_admitted->value();
+  stats.frames_shed = counters_.frames_shed->value();
+  stats.duplicates_skipped = counters_.duplicates_skipped->value();
+  stats.protocol_errors = counters_.protocol_errors->value();
+  stats.slow_consumer_disconnects =
+      counters_.slow_consumer_disconnects->value();
+  stats.idle_reaps = counters_.idle_reaps->value();
+  stats.sessions_expired = counters_.sessions_expired->value();
+  stats.queries_served = counters_.queries_served->value();
+  stats.stats_served = counters_.stats_served->value();
+  stats.session_bytes_in = counters_.session_bytes_in->value();
+  stats.session_bytes_out = counters_.session_bytes_out->value();
+  return stats;
 }
 
 std::uint64_t IngestServer::finished_sessions() const {
@@ -138,8 +181,7 @@ void IngestServer::ReapIdleAndExpireSessions() {
       // A half-open peer sends nothing and acknowledges nothing: this
       // reap is the only path that ever frees its connection + binding.
       CloseNow(conn.get());
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.idle_reaps;
+      counters_.idle_reaps->Increment();
     }
   }
   if (config_.session_retention_ms > 0) {
@@ -148,8 +190,7 @@ void IngestServer::ReapIdleAndExpireSessions() {
     for (auto it = sessions_.begin(); it != sessions_.end();) {
       if (!it->second.bound && now - it->second.last_unbound >= retention) {
         it = sessions_.erase(it);
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.sessions_expired;
+        counters_.sessions_expired->Increment();
       } else {
         ++it;
       }
@@ -188,8 +229,9 @@ void IngestServer::Serve() {
     if (fds[1].revents != 0) {
       Socket accepted;
       if (listener_.Accept(&accepted).ok()) {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.connections_accepted;
+        // Not counted yet: connections_accepted counts lazily at the
+        // connection's first non-STATS message, so a scrape-only dial
+        // cannot perturb the snapshot it reads.
         if (connections_.size() >= config_.max_connections) {
           ErrorMessage refusal{"server connection limit reached"};
           const auto bytes = EncodeError(refusal);
@@ -270,6 +312,17 @@ bool IngestServer::HandleReadable(Connection* conn) {
 }
 
 bool IngestServer::HandleMessage(Connection* conn, const WireMessage& message) {
+  if (message.type != MessageType::kStats) {
+    // Lazy accept counting + session byte accounting, both skipping read
+    // traffic (STATS here, QUERY below) so scrapes stay self-invisible.
+    if (!conn->counted_accept) {
+      conn->counted_accept = true;
+      counters_.connections_accepted->Increment();
+    }
+    if (message.type != MessageType::kQuery)
+      counters_.session_bytes_in->Add(kFrameOverheadBytes +
+                                      message.payload.size());
+  }
   switch (message.type) {
     case MessageType::kHello: {
       HelloMessage hello;
@@ -318,17 +371,19 @@ bool IngestServer::HandleMessage(Connection* conn, const WireMessage& message) {
       }
       session.bound = true;
       conn->session = &session;
+      if (known)
+        counters_.resumes->Increment();
+      else
+        counters_.sessions_started->Increment();
       WelcomeMessage welcome;
       welcome.next_seq = session.next_expected;
       {
         std::lock_guard<std::mutex> lock(mu_);
-        if (known)
-          ++stats_.resumes;
-        else
-          ++stats_.sessions_started;
         welcome.shard_map = shard_map_;
       }
-      QueueBytes(conn, EncodeWelcome(welcome));
+      const std::vector<std::uint8_t> bytes = EncodeWelcome(welcome);
+      counters_.session_bytes_out->Add(bytes.size());
+      QueueBytes(conn, bytes);
       return !conn->closing;
     }
 
@@ -387,27 +442,28 @@ bool IngestServer::HandleMessage(Connection* conn, const WireMessage& message) {
               admission.code == service::AdmissionCode::kShedQueueFull
                   ? NackCode::kQueueFull
                   : NackCode::kDraining};
-          QueueBytes(conn, EncodeNack(nack));
+          const std::vector<std::uint8_t> bytes = EncodeNack(nack);
+          counters_.session_bytes_out->Add(bytes.size());
+          QueueBytes(conn, bytes);
           if (conn->closing) {  // slow consumer disconnected mid-batch
             disconnected = true;
             break;
           }
         }
       }
-      {
-        // Count even a cut-short batch exactly: everything decided above
-        // went through the service, so the wire-side counters must agree
-        // with the service's own.
-        std::lock_guard<std::mutex> lock(mu_);
-        stats_.frames_received += decided;
-        stats_.frames_admitted += admitted;
-        stats_.frames_shed += shed;
-        stats_.duplicates_skipped += duplicates;
-      }
+      // Count even a cut-short batch exactly: everything decided above
+      // went through the service, so the wire-side counters must agree
+      // with the service's own.
+      counters_.frames_received->Add(decided);
+      counters_.frames_admitted->Add(admitted);
+      counters_.frames_shed->Add(shed);
+      counters_.duplicates_skipped->Add(duplicates);
       if (disconnected) return false;
       if (decided < frames.frames.size()) return true;  // stopping
       const AckMessage ack{session.next_expected, session.sheds};
-      QueueBytes(conn, EncodeAck(ack));
+      const std::vector<std::uint8_t> bytes = EncodeAck(ack);
+      counters_.session_bytes_out->Add(bytes.size());
+      QueueBytes(conn, bytes);
       return !conn->closing;
     }
 
@@ -430,7 +486,9 @@ bool IngestServer::HandleMessage(Connection* conn, const WireMessage& message) {
         return false;
       }
       const AckMessage ack{session.next_expected, session.sheds};
-      QueueBytes(conn, EncodeAck(ack));
+      const std::vector<std::uint8_t> bytes = EncodeAck(ack);
+      counters_.session_bytes_out->Add(bytes.size());
+      QueueBytes(conn, bytes);
       if (!session.finished) {
         session.finished = true;
         std::lock_guard<std::mutex> lock(mu_);
@@ -455,12 +513,13 @@ bool IngestServer::HandleMessage(Connection* conn, const WireMessage& message) {
 
     case MessageType::kError: {
       ErrorMessage error;
-      if (DecodeError(message.payload, &error).ok()) {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.protocol_errors;
-      }
+      if (DecodeError(message.payload, &error).ok())
+        counters_.protocol_errors->Increment();
       return false;
     }
+
+    case MessageType::kStats:
+      return HandleStats(conn, message);
 
     default:
       FailConnection(conn, std::string("unexpected ") +
@@ -554,10 +613,28 @@ bool IngestServer::HandleQuery(Connection* conn, const QueryMessage& query) {
     QueueBytes(conn, EncodeResult(page));
     if (conn->closing) return false;  // slow consumer mid-reply
   }
+  counters_.queries_served->Increment();
+  return !conn->closing;
+}
+
+bool IngestServer::HandleStats(Connection* conn, const WireMessage& message) {
+  if (!message.payload.empty()) {
+    FailConnection(conn, "STATS request must carry an empty payload");
+    return false;
+  }
+  StatsMessage response;
+  // The snapshot covers the whole stack (service, sink, pool, ensemble,
+  // history and these server counters) because they all live in the
+  // served service's registry.
+  response.snapshot = service_->SnapshotStats();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.queries_served;
+    response.shard_id = shard_id_;
+    response.shard_map = shard_map_;
   }
+  QueueBytes(conn, EncodeStatsResponse(response));
+  // After the snapshot, so the scrape that bumps it never reports itself.
+  counters_.stats_served->Increment();
   return !conn->closing;
 }
 
@@ -573,8 +650,7 @@ void IngestServer::QueueBytes(Connection* conn,
     // single serving thread. Disconnect instead; the session cursor
     // survives for an honest reconnect.
     CloseNow(conn);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.slow_consumer_disconnects;
+    counters_.slow_consumer_disconnects->Increment();
   }
 }
 
@@ -628,12 +704,11 @@ void IngestServer::CloseNow(Connection* conn) {
 }
 
 void IngestServer::FailConnection(Connection* conn, const std::string& message) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.protocol_errors;
-  }
+  counters_.protocol_errors->Increment();
   const ErrorMessage error{message};
-  QueueBytes(conn, EncodeError(error));
+  const std::vector<std::uint8_t> bytes = EncodeError(error);
+  counters_.session_bytes_out->Add(bytes.size());
+  QueueBytes(conn, bytes);
 }
 
 }  // namespace navarchos::net

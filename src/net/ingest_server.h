@@ -122,8 +122,23 @@ struct ServerConfig {
 };
 
 /// Counters of one server's lifetime; exact snapshots at any time.
+///
+/// Reset semantics: counters survive Stop()/Start() cycles and the served
+/// service's Drain(); they are zeroed only by constructing a fresh server.
+/// The values are views over `server.*` counters in the served service's
+/// obs::MetricsRegistry - the single source of truth, so a wire-scraped
+/// StatsSnapshot and this struct can never disagree.
+///
+/// Scrape self-invisibility (what makes a post-drain wire scrape equal the
+/// in-process aggregate): `connections_accepted` counts a connection at
+/// its first non-STATS message, not at accept time, so a scrape-only dial
+/// is never counted; `stats_served` is incremented after the snapshot it
+/// answers with was taken; and the session byte counters exclude
+/// QUERY/RESULT/STATS traffic entirely.
 struct ServerStats {
-  std::uint64_t connections_accepted = 0;  ///< TCP accepts.
+  /// Connections that spoke at least one non-STATS message (see above; a
+  /// connection refused over max_connections is not counted either).
+  std::uint64_t connections_accepted = 0;
   std::uint64_t sessions_started = 0;      ///< Distinct HELLO session ids.
   std::uint64_t resumes = 0;               ///< HELLOs onto a known session.
   std::uint64_t frames_received = 0;       ///< Frames decoded off the wire.
@@ -135,6 +150,13 @@ struct ServerStats {
   std::uint64_t idle_reaps = 0;            ///< Idle-deadline disconnections.
   std::uint64_t sessions_expired = 0;      ///< Retention-GCed sessions.
   std::uint64_t queries_served = 0;        ///< QUERYs answered with RESULTs.
+  std::uint64_t stats_served = 0;          ///< STATS scrapes answered.
+  /// Framed bytes of session-path messages (HELLO/FRAMES/FIN/ERROR in,
+  /// WELCOME/ACK/NACK/ERROR out), frame overhead included. QUERY/RESULT
+  /// and STATS traffic is excluded so reads never perturb the counters
+  /// they report.
+  std::uint64_t session_bytes_in = 0;
+  std::uint64_t session_bytes_out = 0;
 };
 
 /// TCP front end feeding one FleetService. Lifecycle:
@@ -183,6 +205,11 @@ class IngestServer {
   /// default. Thread-safe against the serving thread.
   void set_shard_map(const ShardMapInfo& map);
 
+  /// Installs the shard id this server reports in STATS response tails
+  /// (meaningful only alongside a sharded set_shard_map; 0, the default,
+  /// is what an unsharded server reports). Thread-safe.
+  void set_shard_id(std::uint32_t shard_id);
+
   /// Counter snapshot; thread-safe at any time.
   ServerStats stats() const;
 
@@ -220,6 +247,10 @@ class IngestServer {
     std::size_t outbound_off = 0;
     bool draining = false;  ///< Graceful close: flush outbound, read no more.
     bool closing = false;   ///< Marked for removal after this cycle.
+    /// Already counted in `server.connections_accepted` (lazily, at the
+    /// connection's first non-STATS message - scrape-only dials stay
+    /// invisible to the counters they read).
+    bool counted_accept = false;
     Clock::time_point last_activity{};  ///< Last byte moved either way.
 
     /// Unsent outbound bytes still owed to the peer.
@@ -248,6 +279,12 @@ class IngestServer {
   /// Runs a decoded QUERY against the configured history service and
   /// queues its paginated RESULT pages; returns false to close.
   bool HandleQuery(Connection* conn, const QueryMessage& query);
+
+  /// Answers a STATS request: snapshots the served service's registry and
+  /// queues the response (with the shard identity tail when sharded). The
+  /// scrape counter is bumped only after the snapshot was taken, so a
+  /// scrape never sees itself. Returns false to close.
+  bool HandleStats(Connection* conn, const WireMessage& message);
 
   /// Queues `bytes` for non-blocking delivery to `conn`, flushing
   /// opportunistically; disconnects the peer as a slow consumer when its
@@ -292,9 +329,32 @@ class IngestServer {
 
   mutable std::mutex mu_;
   std::condition_variable finished_cv_;
-  ServerStats stats_;                 ///< Guarded by mu_.
   ShardMapInfo shard_map_;            ///< Advertised in WELCOME; by mu_.
+  std::uint32_t shard_id_ = 0;        ///< Reported in STATS tails; by mu_.
   std::uint64_t finished_sessions_ = 0;  ///< Guarded by mu_.
+
+  /// The `server.*` counters, registered in the served service's registry
+  /// at construction (the single source of truth behind stats()). Two
+  /// servers fronting one service would share and therefore aggregate
+  /// these - by design, the registry is per service.
+  struct Counters {
+    obs::Counter* connections_accepted = nullptr;
+    obs::Counter* sessions_started = nullptr;
+    obs::Counter* resumes = nullptr;
+    obs::Counter* frames_received = nullptr;
+    obs::Counter* frames_admitted = nullptr;
+    obs::Counter* frames_shed = nullptr;
+    obs::Counter* duplicates_skipped = nullptr;
+    obs::Counter* protocol_errors = nullptr;
+    obs::Counter* slow_consumer_disconnects = nullptr;
+    obs::Counter* idle_reaps = nullptr;
+    obs::Counter* sessions_expired = nullptr;
+    obs::Counter* queries_served = nullptr;
+    obs::Counter* stats_served = nullptr;
+    obs::Counter* session_bytes_in = nullptr;
+    obs::Counter* session_bytes_out = nullptr;
+  };
+  Counters counters_;
 
   /// Sessions by id; touched only by the serving thread while it runs,
   /// and by Start/Stop while it does not.

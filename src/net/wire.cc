@@ -40,7 +40,7 @@ std::uint32_t FrameCrc(MessageType type, const std::uint8_t* payload,
 
 bool ValidMessageType(std::uint8_t byte) {
   return byte >= static_cast<std::uint8_t>(MessageType::kHello) &&
-         byte <= static_cast<std::uint8_t>(MessageType::kResult);
+         byte <= static_cast<std::uint8_t>(MessageType::kStats);
 }
 
 bool ValidQueryKind(std::uint8_t byte) {
@@ -421,6 +421,29 @@ std::vector<std::uint8_t> EncodeResult(const ResultMessage& message) {
   return EncodeFrame(MessageType::kResult, encoder.bytes());
 }
 
+std::vector<std::uint8_t> EncodeStatsRequest() {
+  // The request direction is the empty payload; a response always carries
+  // at least the snapshot's version field, so the two cannot collide.
+  return EncodeFrame(MessageType::kStats, {});
+}
+
+std::vector<std::uint8_t> EncodeStatsResponse(const StatsMessage& message) {
+  persist::Encoder encoder;
+  obs::EncodeStatsSnapshot(encoder, message.snapshot);
+  // Optional tail: answering shard id + the shard map, encoded only for
+  // sharded topologies so unsharded responses stay tail-free (and an
+  // unsharded shard_id is 0 by definition).
+  if (!message.shard_map.unsharded()) {
+    NAVARCHOS_CHECK(message.shard_map.ports.size() ==
+                    message.shard_map.shard_count);
+    encoder.PutU32(message.shard_id);
+    encoder.PutU32(message.shard_map.shard_count);
+    encoder.PutU64(message.shard_map.hash_seed);
+    for (std::uint16_t port : message.shard_map.ports) encoder.PutU32(port);
+  }
+  return EncodeFrame(MessageType::kStats, encoder.bytes());
+}
+
 util::Status DecodeQuery(const std::vector<std::uint8_t>& payload,
                          QueryMessage* out) {
   persist::Decoder decoder(payload);
@@ -525,6 +548,45 @@ util::Status DecodeResult(const std::vector<std::uint8_t>& payload,
   return decoder.ToStatus("RESULT payload");
 }
 
+util::Status DecodeStatsResponse(const std::vector<std::uint8_t>& payload,
+                                 StatsMessage* out) {
+  persist::Decoder decoder(payload);
+  if (payload.empty()) {
+    decoder.Fail("STATS payload is empty (a request, not a response)");
+    return decoder.ToStatus("STATS payload");
+  }
+  if (!obs::DecodeStatsSnapshot(decoder, &out->snapshot))
+    return decoder.ToStatus("STATS payload");
+  // Optional shard-identity tail; its absence means unsharded (shard 0).
+  out->shard_id = 0;
+  out->shard_map = ShardMapInfo{};
+  if (decoder.ok() && decoder.remaining() > 0) {
+    const std::uint32_t shard_id = decoder.GetU32();
+    const std::uint32_t shard_count = decoder.GetU32();
+    const std::uint64_t hash_seed = decoder.GetU64();
+    if (decoder.ok() &&
+        (shard_count == 0 || shard_count > decoder.remaining() / 4))
+      decoder.Fail("STATS shard count exceeds payload size");
+    if (decoder.ok() && shard_id >= shard_count)
+      decoder.Fail("STATS shard id out of range");
+    if (decoder.ok()) {
+      out->shard_id = shard_id;
+      out->shard_map.shard_count = shard_count;
+      out->shard_map.hash_seed = hash_seed;
+      out->shard_map.ports.reserve(shard_count);
+      for (std::uint32_t i = 0; i < shard_count; ++i) {
+        const std::uint32_t port = decoder.GetU32();
+        if (port > 0xFFFFu) {
+          decoder.Fail("STATS shard port out of range");
+          break;
+        }
+        out->shard_map.ports.push_back(static_cast<std::uint16_t>(port));
+      }
+    }
+  }
+  return decoder.ToStatus("STATS payload");
+}
+
 // --------------------------------------------------------- stream reassembly
 
 void MessageReader::Append(const std::uint8_t* data, std::size_t size) {
@@ -593,6 +655,7 @@ const char* MessageTypeName(MessageType type) {
     case MessageType::kError: return "ERROR";
     case MessageType::kQuery: return "QUERY";
     case MessageType::kResult: return "RESULT";
+    case MessageType::kStats: return "STATS";
   }
   return "UNKNOWN";
 }

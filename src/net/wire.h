@@ -27,6 +27,9 @@
 //   ERROR    protocol violation, either direction; the connection closes
 //   QUERY    a history query (RANK / TIMELINE / COMOVE); needs no session
 //   RESULT   (server) one page of a query's result; `last` ends the reply
+//   STATS    stats scrape, both directions: an empty payload asks, a
+//            non-empty one answers with the shard's metrics snapshot
+//            (stateless like QUERY - no session required)
 //
 // Wire sequence numbers count the frames of one session in submission
 // order, across reconnects: a client that reconnects RESUMEs from the
@@ -51,6 +54,7 @@
 
 #include "history/history_log.h"
 #include "history/query.h"
+#include "obs/metrics.h"
 #include "persist/codec.h"
 #include "telemetry/stream.h"
 #include "util/status.h"
@@ -91,6 +95,7 @@ enum class MessageType : std::uint8_t {
   kError = 7,    ///< Protocol violation; sender closes after this.
   kQuery = 8,    ///< Client asks a history query (no session required).
   kResult = 9,   ///< Server returns one page of a query result.
+  kStats = 10,   ///< Stats scrape: empty payload = request, else response.
 };
 
 /// Reason a frame was shed, carried in a NACK.
@@ -235,6 +240,23 @@ struct ResultMessage {
   std::vector<history::ComoveEntry> comove_entries;
 };
 
+/// STATS response payload: one shard's point-in-time metrics snapshot.
+///
+/// The request direction is an *empty* STATS payload (a snapshot always
+/// encodes to at least its version field, so the two directions cannot be
+/// confused). Like QUERY, STATS needs no HELLO/session. The response may
+/// carry an optional tail - the answering shard's id plus the full shard
+/// map, encoded only for sharded topologies - so a scraper that knows one
+/// port can discover and scrape every shard of the fleet.
+struct StatsMessage {
+  /// The shard's metrics snapshot (see obs::MetricsRegistry::Snapshot).
+  obs::StatsSnapshot snapshot;
+  /// Optional tail: id of the answering shard (0 when unsharded).
+  std::uint32_t shard_id = 0;
+  /// Optional tail: shard topology, same encoding as the WELCOME tail.
+  ShardMapInfo shard_map;
+};
+
 /// One reassembled wire message: its type and raw (CRC-verified) payload.
 struct WireMessage {
   MessageType type = MessageType::kError;  ///< Frame type byte.
@@ -277,6 +299,10 @@ std::vector<std::uint8_t> EncodeError(const ErrorMessage& message);
 std::vector<std::uint8_t> EncodeQuery(const QueryMessage& message);
 /// Encodes one RESULT page into its full wire form.
 std::vector<std::uint8_t> EncodeResult(const ResultMessage& message);
+/// Encodes a STATS request (empty payload) into its full wire form.
+std::vector<std::uint8_t> EncodeStatsRequest();
+/// Encodes a STATS response into its full wire form.
+std::vector<std::uint8_t> EncodeStatsResponse(const StatsMessage& message);
 
 /// Decodes a HELLO payload (as delivered by MessageReader).
 util::Status DecodeHello(const std::vector<std::uint8_t>& payload,
@@ -303,6 +329,11 @@ util::Status DecodeQuery(const std::vector<std::uint8_t>& payload,
 /// Decodes a RESULT payload.
 util::Status DecodeResult(const std::vector<std::uint8_t>& payload,
                           ResultMessage* out);
+/// Decodes a STATS response payload. An empty payload is a *request*, not
+/// a response, and is rejected; callers distinguish the directions by
+/// payload emptiness before decoding.
+util::Status DecodeStatsResponse(const std::vector<std::uint8_t>& payload,
+                                 StatsMessage* out);
 
 // --------------------------------------------------------- stream reassembly
 

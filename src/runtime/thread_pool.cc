@@ -35,7 +35,37 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+void ThreadPool::AttachMetrics(obs::MetricsRegistry* registry) {
+  // Histogram first: a task may observe tasks_posted_ != null and expect
+  // the histogram to be there too, so publish in dependency order.
+  task_latency_us_.store(registry->histogram("pool.task_us"),
+                         std::memory_order_release);
+  tasks_executed_.store(registry->counter("pool.tasks_executed"),
+                        std::memory_order_release);
+  tasks_posted_.store(registry->counter("pool.tasks_posted"),
+                      std::memory_order_release);
+}
+
+void ThreadPool::RunTask(std::function<void()>& task) {
+  obs::Histogram* latency =
+      task_latency_us_.load(std::memory_order_acquire);
+  if (latency == nullptr) {
+    task();
+    return;
+  }
+  const std::uint64_t start = obs::MonotonicMicros();
+  task();
+  latency->Record(obs::MonotonicMicros() - start);
+  if (obs::Counter* executed =
+          tasks_executed_.load(std::memory_order_acquire);
+      executed != nullptr)
+    executed->Increment();
+}
+
 void ThreadPool::Post(std::function<void()> task) {
+  if (obs::Counter* posted = tasks_posted_.load(std::memory_order_acquire);
+      posted != nullptr)
+    posted->Increment();
   std::size_t target;
   if (tls_worker.pool == this) {
     target = tls_worker.index;  // Reentrant: keep subtasks on our own queue.
@@ -88,7 +118,7 @@ bool ThreadPool::TryRunOneTask() {
     --pending_;
     ++executing_;
   }
-  task();
+  RunTask(task);
   FinishTask();
   return true;
 }
@@ -113,7 +143,7 @@ void ThreadPool::WorkerLoop(std::size_t index) {
         --pending_;
         ++executing_;
       }
-      task();
+      RunTask(task);
       FinishTask();
       continue;
     }

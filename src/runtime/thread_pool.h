@@ -14,6 +14,7 @@
 #ifndef NAVARCHOS_RUNTIME_THREAD_POOL_H_
 #define NAVARCHOS_RUNTIME_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -24,6 +25,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "obs/metrics.h"
 
 /// \file
 /// \brief ThreadPool, the fixed-size work-stealing pool under ParallelFor,
@@ -77,6 +80,14 @@ class ThreadPool {
   /// task (it would wait for itself).
   void WaitIdle();
 
+  /// Registers the pool's metrics in `registry` and starts reporting:
+  /// `pool.tasks_posted` / `pool.tasks_executed` counters and the
+  /// `pool.task_us` task-latency histogram. Observe-only - nothing in the
+  /// pool's scheduling reads these. Call once, before tasks are posted
+  /// (typically by whoever owns both the pool and the registry); the
+  /// registry must outlive the pool.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   struct Queue {
     std::mutex mu;
@@ -90,8 +101,17 @@ class ThreadPool {
   /// Marks one popped task finished and wakes WaitIdle when the pool drains.
   void FinishTask();
 
+  /// Runs `task`, timing it into the attached histogram (when any).
+  void RunTask(std::function<void()>& task);
+
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
+
+  /// Observability (null until AttachMetrics): cached metric pointers, so
+  /// the per-task cost is two relaxed adds and one clock read.
+  std::atomic<obs::Counter*> tasks_posted_{nullptr};
+  std::atomic<obs::Counter*> tasks_executed_{nullptr};
+  std::atomic<obs::Histogram*> task_latency_us_{nullptr};
 
   std::mutex wake_mu_;
   std::condition_variable wake_cv_;

@@ -48,15 +48,19 @@ bool RestoreAlarm(persist::Decoder& decoder, core::Alarm* alarm) {
 
 void FleetService::OrderedSink::Complete(
     std::uint64_t global_seq, std::uint64_t vehicle_seq,
-    std::int32_t vehicle_id, std::vector<core::Alarm> alarms,
+    std::int32_t vehicle_id, std::uint64_t admit_us,
+    std::vector<core::Alarm> alarms,
     std::vector<history::HistoryRecord> records) {
   std::lock_guard<std::mutex> lock(mu_);
   ++frames_processed_;
+  if (frames_processed_counter_ != nullptr)
+    frames_processed_counter_->IncrementSingleWriter();
   FrameCompletion completion;
   completion.global_seq = global_seq;
   completion.vehicle_seq = vehicle_seq;
   completion.vehicle_id = vehicle_id;
   completion.alarms = alarms.size();
+  completion.admit_us = admit_us;
   pending_.emplace(global_seq, completion);
   pending_alarms_.emplace(global_seq, std::move(alarms));
   pending_records_.emplace(global_seq, std::move(records));
@@ -69,6 +73,7 @@ void FleetService::OrderedSink::Complete(
     auto alarms_it = pending_alarms_.find(next_release_);
     for (core::Alarm& alarm : alarms_it->second) {
       if (alarm_callback) alarm_callback(alarm);
+      if (alarms_counter_ != nullptr) alarms_counter_->IncrementSingleWriter();
       alarms_.push_back(std::move(alarm));
     }
     auto records_it = pending_records_.find(next_release_);
@@ -76,6 +81,10 @@ void FleetService::OrderedSink::Complete(
       for (const history::HistoryRecord& record : records_it->second)
         history_callback(record);
     if (completion_callback) completion_callback(it->second);
+    // Only sampled frames carry an admission timestamp (0 = unsampled),
+    // which keeps the clock reads off the common per-frame path.
+    if (latency_us_ != nullptr && it->second.admit_us != 0)
+      latency_us_->Record(obs::MonotonicMicros() - it->second.admit_us);
     pending_records_.erase(records_it);
     pending_alarms_.erase(alarms_it);
     pending_.erase(it);
@@ -92,6 +101,7 @@ void FleetService::OrderedSink::AppendUnsequenced(
   NAVARCHOS_CHECK(pending_.empty());  // only legal after the drain barrier
   for (core::Alarm& alarm : alarms) {
     if (alarm_callback) alarm_callback(alarm);
+    if (alarms_counter_ != nullptr) alarms_counter_->IncrementSingleWriter();
     alarms_.push_back(std::move(alarm));
   }
   if (history_callback)
@@ -130,6 +140,9 @@ bool FleetService::OrderedSink::Restore(persist::Decoder& decoder) {
   }
   next_release_ = next_release;
   frames_processed_ = static_cast<std::size_t>(frames_processed);
+  if (frames_processed_counter_ != nullptr)
+    frames_processed_counter_->Set(frames_processed);
+  if (alarms_counter_ != nullptr) alarms_counter_->Set(alarm_count);
   alarms_.clear();
   alarms_.reserve(static_cast<std::size_t>(alarm_count));
   for (std::uint64_t i = 0; i < alarm_count; ++i) {
@@ -145,6 +158,15 @@ std::vector<core::Alarm> FleetService::OrderedSink::released() const {
   return alarms_;
 }
 
+void FleetService::OrderedSink::AttachMetrics(
+    obs::Counter* frames_processed, obs::Counter* alarms_emitted,
+    obs::Histogram* admission_to_release_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  frames_processed_counter_ = frames_processed;
+  alarms_counter_ = alarms_emitted;
+  latency_us_ = admission_to_release_us;
+}
+
 // --------------------------------------------------------------- FleetService
 
 FleetService::FleetService(const ServiceConfig& config)
@@ -157,6 +179,24 @@ FleetService::FleetService(const ServiceConfig& config)
                                           : owned_pool_.get()) {
   NAVARCHOS_CHECK(config_.queue_capacity >= 1);
   NAVARCHOS_CHECK(config_.pump_batch >= 1);
+  // Wire the registry before anything can count: ingest counters, the
+  // sink's mirrors and latency histogram, the shared ensemble metrics and
+  // - for an owned pool - the pool's task metrics. A borrowed pool is
+  // attached by its owner (shard::ShardGroup), not by every sharing
+  // service.
+  frames_submitted_ = metrics_.counter("service.frames_submitted");
+  frames_accepted_ = metrics_.counter("service.frames_accepted");
+  frames_rejected_ = metrics_.counter("service.frames_rejected");
+  retrains_started_ = metrics_.counter("ensemble.retrains_started");
+  retrains_completed_ = metrics_.counter("ensemble.retrains_completed");
+  retrains_failed_ = metrics_.counter("ensemble.retrains_failed");
+  suppressed_alarms_ =
+      metrics_.counter("ensemble.consensus_suppressed_alarms");
+  retrain_us_ = metrics_.histogram("ensemble.retrain_us");
+  sink_.AttachMetrics(metrics_.counter("service.frames_processed"),
+                      metrics_.counter("service.alarms_emitted"),
+                      metrics_.histogram("service.admission_to_release_us"));
+  if (owned_pool_ != nullptr) owned_pool_->AttachMetrics(&metrics_);
 }
 
 FleetService::~FleetService() { Drain(); }
@@ -170,6 +210,11 @@ FleetService::VehicleLane* FleetService::LaneOfLocked(std::int32_t vehicle_id) {
   // before any frame (and before RestoreFrom re-posts a pending fit), so
   // every fit of this lane goes through the same pool.
   lanes_.back()->monitor.set_background_pool(pool_);
+  lanes_.back()->monitor.set_retrain_histogram(retrain_us_);
+  // Keyed by vehicle id, not lane index, so per-lane gauges stay unique
+  // when shard snapshots merge into one fleet view.
+  lanes_.back()->depth_peak = metrics_.gauge(
+      "service.lane.v" + std::to_string(vehicle_id) + ".depth_peak");
   lane_index_.emplace(vehicle_id, lanes_.size() - 1);
   return lanes_.back().get();
 }
@@ -212,7 +257,7 @@ void FleetService::PumpLane(VehicleLane* lane) {
       records = BuildHistoryRecords(lane, alarms, tagged.global_seq);
     lane->last_global_seq = tagged.global_seq;
     sink_.Complete(tagged.global_seq, tagged.vehicle_seq, lane->vehicle_id,
-                   std::move(alarms), std::move(records));
+                   tagged.admit_us, std::move(alarms), std::move(records));
   }
 
   // Reschedule-or-park must see the producer's push: both sides order their
@@ -233,11 +278,11 @@ bool FleetService::Submit(const telemetry::SensorFrame& frame) {
 Admission FleetService::Ingest(const telemetry::SensorFrame& frame) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
   ingest_started_ = true;
-  ++frames_submitted_;
+  frames_submitted_->IncrementSingleWriter();
   Admission admission;
   admission.vehicle_id = frame.vehicle_id();
   if (draining_) {
-    ++frames_rejected_;
+    frames_rejected_->IncrementSingleWriter();
     admission.code = AdmissionCode::kShedDraining;
     return admission;
   }
@@ -248,6 +293,13 @@ Admission FleetService::Ingest(const telemetry::SensorFrame& frame) {
   TaggedFrame tagged;
   tagged.global_seq = next_global_seq_;
   tagged.vehicle_seq = lane->next_vehicle_seq;
+  // Observability sampling: one frame in kLatencySamplePeriod (by global
+  // sequence, so the sampled set is identical across runs) carries an
+  // admission timestamp and probes the lane depth. Unsampled frames keep
+  // admit_us = 0 and skip the probes entirely, which keeps the clock
+  // read and the queue-mutex depth probe off the common per-frame path.
+  const bool sampled = next_global_seq_ % kLatencySamplePeriod == 0;
+  if (sampled) tagged.admit_us = obs::MonotonicMicros();
   tagged.frame = frame;
   const bool admitted = config_.backpressure == BackpressurePolicy::kBlock
                             ? lane->queue.Push(std::move(tagged))
@@ -255,7 +307,7 @@ Admission FleetService::Ingest(const telemetry::SensorFrame& frame) {
   if (!admitted) {
     // Shed (kReject on a full lane). The sequence numbers were not
     // consumed, so the ordered sink's contiguous release is unaffected.
-    ++frames_rejected_;
+    frames_rejected_->IncrementSingleWriter();
     admission.code = AdmissionCode::kShedQueueFull;
     return admission;
   }
@@ -263,7 +315,11 @@ Admission FleetService::Ingest(const telemetry::SensorFrame& frame) {
   admission.global_seq = next_global_seq_;
   ++next_global_seq_;
   ++lane->next_vehicle_seq;
-  ++frames_accepted_;
+  frames_accepted_->IncrementSingleWriter();
+  // The pump may already have popped the frame, and only sampled frames
+  // probe, so this is a lower bound on the instantaneous depth - which
+  // only makes the recorded high-water mark conservative, never wrong.
+  if (sampled) lane->depth_peak->UpdateMax(lane->queue.size());
   SchedulePumpLocked(lane);
   return admission;
 }
@@ -332,9 +388,12 @@ ServiceStats FleetService::stats() const {
   ServiceStats stats;
   {
     std::lock_guard<std::mutex> lock(ingest_mu_);
-    stats.frames_submitted = frames_submitted_;
-    stats.frames_accepted = frames_accepted_;
-    stats.frames_rejected = frames_rejected_;
+    stats.frames_submitted =
+        static_cast<std::size_t>(frames_submitted_->value());
+    stats.frames_accepted =
+        static_cast<std::size_t>(frames_accepted_->value());
+    stats.frames_rejected =
+        static_cast<std::size_t>(frames_rejected_->value());
     // The per-lane ensemble counters are relaxed atomics, so reading them
     // while pumps run is safe; the totals are exact after Drain().
     for (const auto& lane : lanes_) {
@@ -349,6 +408,27 @@ ServiceStats FleetService::stats() const {
   stats.frames_processed = sink_.frames_processed();
   stats.alarms_emitted = sink_.alarms_emitted();
   return stats;
+}
+
+obs::StatsSnapshot FleetService::SnapshotStats() {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  // The fleet-wide ensemble totals live in per-lane atomics (they travel
+  // with each lane through checkpoints); mirror them into the registry's
+  // derived counters right before snapshotting so the snapshot is
+  // self-contained. Set, not Add: the lane atomics stay authoritative.
+  std::uint64_t started = 0, completed = 0, failed = 0, suppressed = 0;
+  for (const auto& lane : lanes_) {
+    const ensemble::EnsembleStats ensemble = lane->monitor.ensemble_stats();
+    started += ensemble.retrains_started;
+    completed += ensemble.retrains_completed;
+    failed += ensemble.retrains_failed;
+    suppressed += ensemble.consensus_suppressed_alarms;
+  }
+  retrains_started_->Set(started);
+  retrains_completed_->Set(completed);
+  retrains_failed_->Set(failed);
+  suppressed_alarms_->Set(suppressed);
+  return metrics_.Snapshot();
 }
 
 void FleetService::set_alarm_callback(AlarmCallback callback) {
@@ -480,9 +560,9 @@ void FleetService::SaveLocked(persist::Snapshot* snapshot) const {
   persist::Encoder service_encoder;
   service_encoder.PutU32(kServiceStateVersion);
   service_encoder.PutU64(next_global_seq_);
-  service_encoder.PutU64(frames_submitted_);
-  service_encoder.PutU64(frames_accepted_);
-  service_encoder.PutU64(frames_rejected_);
+  service_encoder.PutU64(frames_submitted_->value());
+  service_encoder.PutU64(frames_accepted_->value());
+  service_encoder.PutU64(frames_rejected_->value());
   service_encoder.PutU64(lanes_.size());
   snapshot->Add("service", std::move(service_encoder));
 
@@ -600,9 +680,9 @@ util::Status FleetService::RestoreFrom(const persist::Snapshot& snapshot) {
         std::to_string(frames_accepted) + ")");
 
   next_global_seq_ = next_global_seq;
-  frames_submitted_ = static_cast<std::size_t>(frames_submitted);
-  frames_accepted_ = static_cast<std::size_t>(frames_accepted);
-  frames_rejected_ = static_cast<std::size_t>(frames_rejected);
+  frames_submitted_->Set(frames_submitted);
+  frames_accepted_->Set(frames_accepted);
+  frames_rejected_->Set(frames_rejected);
   return util::Status();
 }
 

@@ -39,6 +39,7 @@
 #include "core/fleet_runner.h"
 #include "core/monitor.h"
 #include "history/history_log.h"
+#include "obs/metrics.h"
 #include "persist/snapshot.h"
 #include "runtime/bounded_queue.h"
 #include "runtime/runtime_config.h"
@@ -98,6 +99,12 @@ struct ServiceConfig {
 };
 
 /// Counters of one service run. Totals are exact after Drain().
+///
+/// Reset semantics: counters survive Drain() (a drained service still
+/// reports its lifetime totals) and are zeroed only by constructing a
+/// fresh service; RestoreFrom reinstates the checkpointed values. The
+/// values are views over the service's obs::MetricsRegistry (see
+/// FleetService::metrics()), which is the single source of truth.
 struct ServiceStats {
   std::size_t frames_submitted = 0;  ///< All frames offered to Submit.
   std::size_t frames_accepted = 0;   ///< Admitted to an ingest queue.
@@ -119,6 +126,9 @@ struct FrameCompletion {
   std::uint64_t vehicle_seq = 0;  ///< Per-vehicle sequence number.
   std::int32_t vehicle_id = 0;    ///< Vehicle the frame belonged to.
   std::size_t alarms = 0;         ///< Alarms this frame raised.
+  /// Admission time (obs::MonotonicMicros) when the frame was sampled for
+  /// the latency histogram, 0 otherwise. Observe-only.
+  std::uint64_t admit_us = 0;
 };
 
 /// Outcome class of one frame's admission decision.
@@ -241,6 +251,29 @@ class FleetService {
   /// Run counters; exact once Drain() returned.
   ServiceStats stats() const;
 
+  /// Sampling period of the admission-to-release latency histogram: one
+  /// frame in every kLatencySamplePeriod (by global ingest sequence) is
+  /// timestamped at admission and recorded at release. Sampling keeps the
+  /// two clock reads off the per-frame hot path; the sampled *set* is a
+  /// pure function of the global sequence, so which frames carry a
+  /// timestamp is deterministic even though the recorded durations are
+  /// wall-clock. The histogram remains observe-only either way.
+  static constexpr std::uint64_t kLatencySamplePeriod = 16;
+
+  /// The service's metrics registry: every layer wired to this service
+  /// (ingest, sink, pool, ensemble, server front end, history) registers
+  /// its counters/gauges/histograms here. Observe-only by contract -
+  /// nothing in the service reads a metric to make a decision, so
+  /// enabling observability cannot perturb the deterministic output.
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+
+  /// Point-in-time snapshot of every registered metric. Refreshes the
+  /// derived ensemble counters (summed from the per-lane atomics) first,
+  /// then snapshots the registry. Callable any time; the numbers are a
+  /// consistent final total once the service is quiescent (drained, or
+  /// between Submit calls with the pool idle).
+  obs::StatsSnapshot SnapshotStats();
+
   /// Installs a live alarm observer. Must be set before the first Submit.
   void set_alarm_callback(AlarmCallback callback);
 
@@ -304,6 +337,11 @@ class FleetService {
   struct TaggedFrame {
     std::uint64_t global_seq = 0;
     std::uint64_t vehicle_seq = 0;
+    /// Admission time (obs::MonotonicMicros), consumed by the sink's
+    /// admission-to-release latency histogram. Stamped only for sampled
+    /// frames (global_seq % kLatencySamplePeriod == 0); 0 = unsampled.
+    /// Observe-only.
+    std::uint64_t admit_us = 0;
     telemetry::SensorFrame frame;
   };
 
@@ -319,6 +357,10 @@ class FleetService {
     std::mutex pump_mu;            ///< Guards pump_scheduled.
     bool pump_scheduled = false;   ///< A pump task is queued or running.
     std::uint64_t next_vehicle_seq = 0;  ///< Producer side (under ingest_mu_).
+    /// High-water mark of this lane's queue depth
+    /// (`service.lane.v<id>.depth_peak`), probed on sampled admissions
+    /// (1 in kLatencySamplePeriod), so the mark is conservative.
+    obs::Gauge* depth_peak = nullptr;
     /// Scored samples already turned into history records (pump-owned).
     std::size_t history_cursor = 0;
     /// Global seq of the lane's last pumped frame: the seq end-of-stream
@@ -334,9 +376,13 @@ class FleetService {
     /// Records the completion of frame `global_seq` and releases every
     /// contiguous completion from the release cursor onwards. `records`
     /// are the frame's history records, released (history callback) in
-    /// the same deterministic order as its alarms.
+    /// the same deterministic order as its alarms. `admit_us` is the
+    /// frame's admission time for sampled frames (0 = unsampled), fed
+    /// into the admission-to-release latency histogram when metrics are
+    /// attached.
     void Complete(std::uint64_t global_seq, std::uint64_t vehicle_seq,
-                  std::int32_t vehicle_id, std::vector<core::Alarm> alarms,
+                  std::int32_t vehicle_id, std::uint64_t admit_us,
+                  std::vector<core::Alarm> alarms,
                   std::vector<history::HistoryRecord> records);
 
     /// Appends alarms/history records that bypass sequencing (the
@@ -364,6 +410,14 @@ class FleetService {
     /// Copy of the released alarms (quiescent callers only).
     std::vector<core::Alarm> released() const;
 
+    /// Wires the sink's mirror counters and latency histogram (all may be
+    /// null). Called once at service construction, before any Complete.
+    /// The counters mirror frames_processed / released-alarm totals into
+    /// the registry; Restore() re-Sets them to the checkpointed values.
+    void AttachMetrics(obs::Counter* frames_processed,
+                       obs::Counter* alarms_emitted,
+                       obs::Histogram* admission_to_release_us);
+
     AlarmCallback alarm_callback;            ///< Optional observer.
     CompletionCallback completion_callback;  ///< Optional observer.
     HistoryCallback history_callback;        ///< Optional observer.
@@ -378,6 +432,9 @@ class FleetService {
         pending_records_;
     std::vector<core::Alarm> alarms_;
     std::size_t frames_processed_ = 0;
+    obs::Counter* frames_processed_counter_ = nullptr;  ///< Registry mirror.
+    obs::Counter* alarms_counter_ = nullptr;            ///< Registry mirror.
+    obs::Histogram* latency_us_ = nullptr;  ///< Admission-to-release latency.
   };
 
   /// Returns the lane of `vehicle_id`, creating it if needed. Caller must
@@ -406,6 +463,12 @@ class FleetService {
 
   const ServiceConfig config_;
 
+  /// The unified metrics registry: single source of truth for every
+  /// counter the service and its attached layers report. Declared before
+  /// the lanes and the pool so metric pointers handed out to monitors and
+  /// workers stay valid until after those are destroyed.
+  obs::MetricsRegistry metrics_;
+
   mutable std::mutex ingest_mu_;  ///< Serialises Submit/Register/Drain.
   std::vector<std::unique_ptr<VehicleLane>> lanes_;  ///< Registration order.
   std::unordered_map<std::int32_t, std::size_t> lane_index_;
@@ -416,9 +479,21 @@ class FleetService {
   bool ingest_started_ = false;  ///< A frame has been offered to Submit.
   bool draining_ = false;
   bool drained_ = false;
-  std::size_t frames_submitted_ = 0;
-  std::size_t frames_accepted_ = 0;
-  std::size_t frames_rejected_ = 0;
+
+  /// Ingest counters, registry-backed (`service.frames_*`); incremented
+  /// under ingest_mu_ at the same points the plain fields used to be, so
+  /// checkpoint encodings are byte-identical.
+  obs::Counter* frames_submitted_ = nullptr;
+  obs::Counter* frames_accepted_ = nullptr;
+  obs::Counter* frames_rejected_ = nullptr;
+  /// Derived fleet-wide ensemble counters (`ensemble.*`), refreshed from
+  /// the per-lane atomics by SnapshotStats()/stats().
+  obs::Counter* retrains_started_ = nullptr;
+  obs::Counter* retrains_completed_ = nullptr;
+  obs::Counter* retrains_failed_ = nullptr;
+  obs::Counter* suppressed_alarms_ = nullptr;
+  /// Member-fit duration histogram shared by every lane's ensemble.
+  obs::Histogram* retrain_us_ = nullptr;
 
   OrderedSink sink_;
 

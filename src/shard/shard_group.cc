@@ -39,6 +39,10 @@ ShardGroup::ShardGroup(const ShardGroupConfig& config)
         std::make_unique<service::FleetService>(shard_config));
     aggregator_.AttachShard(static_cast<int>(shard), shards_.back().get());
   }
+  // The shared pool serves every shard, so its metrics belong to no single
+  // one; by convention they live in shard 0's registry (FleetSnapshot merges
+  // all registries, so the fleet view is the same either way).
+  pool_.AttachMetrics(shards_[0]->metrics());
 }
 
 ShardGroup::~ShardGroup() {
@@ -345,6 +349,13 @@ util::Status ShardGroup::RestoreFromDir(const std::string& dir) {
 
 std::vector<core::Alarm> ShardGroup::released_alarms() const {
   return aggregator_.released_alarms();
+}
+
+obs::StatsSnapshot ShardGroup::FleetSnapshot() {
+  obs::StatsSnapshot fleet;
+  for (auto& shard : shards_)
+    obs::MergeSnapshot(&fleet, shard->SnapshotStats());
+  return fleet;
 }
 
 ShardGroupStats ShardGroup::stats() const {

@@ -127,6 +127,14 @@ class ShardGroup {
   /// Sums of the per-shard service counters.
   ShardGroupStats stats() const;
 
+  /// Merged fleet-wide metrics snapshot: the per-shard registry snapshots
+  /// (FleetService::SnapshotStats) folded together with obs::MergeSnapshot
+  /// - counters and histogram cells add, gauges take the max. Per-lane
+  /// gauge names are keyed by vehicle id, and vehicles are sharded
+  /// disjointly, so no gauge collides across shards. The shared pool's
+  /// metrics live in shard 0's registry and appear here exactly once.
+  obs::StatsSnapshot FleetSnapshot();
+
   /// Number of registered vehicles, fleet-wide.
   std::size_t vehicle_count() const;
 

@@ -39,6 +39,7 @@ util::Status ShardServer::Start() {
     };
     servers_.push_back(std::make_unique<net::IngestServer>(
         group_->shard_service(shard_index), config));
+    servers_.back()->set_shard_id(static_cast<std::uint32_t>(shard_index));
     const util::Status status = servers_.back()->Start();
     if (!status.ok()) {
       Stop();

@@ -1,0 +1,293 @@
+// Reset semantics of the migrated stats: ServiceStats and ServerStats are
+// views over the metrics registry, survive Drain() and session teardown,
+// and are zeroed only by constructing a new service - plus exact-count
+// assertions for the defence counters under seeded scenarios (two slow
+// consumers, one idle half-open peer, a known ensemble retrain schedule
+// with an injected fit failure).
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/ingest_client.h"
+#include "net/ingest_server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "runtime/runtime_config.h"
+#include "service/fleet_service.h"
+#include "telemetry/fleet.h"
+#include "telemetry/stream.h"
+
+namespace navarchos::net {
+namespace {
+
+telemetry::SensorFrame RecordFrame(std::int32_t vehicle, std::int64_t minute) {
+  telemetry::Record record;
+  record.vehicle_id = vehicle;
+  record.timestamp = minute;
+  record.pids.fill(static_cast<double>(minute) * 0.5);
+  return telemetry::SensorFrame::OfRecord(record);
+}
+
+service::ServiceConfig TinyServiceConfig(
+    service::BackpressurePolicy policy = service::BackpressurePolicy::kBlock) {
+  service::ServiceConfig config;
+  config.runtime = runtime::RuntimeConfig{1};
+  config.queue_capacity = 8;
+  config.backpressure = policy;
+  return config;
+}
+
+/// Raw socket client for the slow-consumer and idle scenarios (the real
+/// IngestClient is too well-behaved to produce them).
+class RawClient {
+ public:
+  bool Connect(std::uint16_t port) {
+    return ConnectTcp("127.0.0.1", port, &socket_).ok();
+  }
+
+  bool SendBytes(const std::vector<std::uint8_t>& bytes) {
+    return socket_.SendAll(bytes.data(), bytes.size()).ok();
+  }
+
+  bool ReadMessage(WireMessage* out) {
+    std::vector<std::uint8_t> buffer(4096);
+    while (true) {
+      const MessageReader::Result result = reader_.Next(out);
+      if (result == MessageReader::Result::kMessage) return true;
+      if (result == MessageReader::Result::kError) return false;
+      std::size_t received = 0;
+      std::string error;
+      const Socket::RecvResult recv =
+          socket_.Recv(buffer.data(), buffer.size(), &received, &error);
+      if (recv != Socket::RecvResult::kData) return false;
+      reader_.Append(buffer.data(), received);
+    }
+  }
+
+  std::int64_t Hello(const std::string& session_id,
+                     const std::vector<std::int32_t>& ids) {
+    HelloMessage hello;
+    hello.session_id = session_id;
+    hello.vehicle_ids = ids;
+    if (!SendBytes(EncodeHello(hello))) return -1;
+    WireMessage message;
+    if (!ReadMessage(&message) || message.type != MessageType::kWelcome)
+      return -1;
+    WelcomeMessage welcome;
+    if (!DecodeWelcome(message.payload, &welcome).ok()) return -1;
+    return static_cast<std::int64_t>(welcome.next_seq);
+  }
+
+  void Close() { socket_.Close(); }
+
+ private:
+  Socket socket_;
+  MessageReader reader_;
+};
+
+TEST(StatsResetTest, ServiceStatsSurviveDrainAndAreZeroedOnlyByConstruction) {
+  service::FleetService svc(TinyServiceConfig());
+  svc.RegisterVehicle(1);
+  for (int minute = 0; minute < 25; ++minute)
+    svc.Submit(RecordFrame(1, minute));
+
+  svc.Drain();
+  const service::ServiceStats after_drain = svc.stats();
+  EXPECT_EQ(after_drain.frames_submitted, 25u);
+  EXPECT_EQ(after_drain.frames_accepted, 25u);
+  EXPECT_EQ(after_drain.frames_processed, 25u);
+
+  // Drain is not a reset, and neither is taking the result: the counters
+  // describe the service's lifetime.
+  (void)svc.TakeResult();
+  const service::ServiceStats after_take = svc.stats();
+  EXPECT_EQ(after_take.frames_submitted, after_drain.frames_submitted);
+  EXPECT_EQ(after_take.frames_processed, after_drain.frames_processed);
+  EXPECT_EQ(after_take.alarms_emitted, after_drain.alarms_emitted);
+
+  // The registry snapshot and the struct view agree: one source of truth.
+  const obs::StatsSnapshot snapshot = svc.SnapshotStats();
+  EXPECT_EQ(snapshot.CounterValue("service.frames_submitted"),
+            after_drain.frames_submitted);
+  EXPECT_EQ(snapshot.CounterValue("service.frames_processed"),
+            after_drain.frames_processed);
+  EXPECT_EQ(snapshot.CounterValue("service.alarms_emitted"),
+            after_drain.alarms_emitted);
+
+  // Only construction zeroes.
+  service::FleetService fresh(TinyServiceConfig());
+  EXPECT_EQ(fresh.stats().frames_submitted, 0u);
+  EXPECT_EQ(fresh.SnapshotStats().CounterValue("service.frames_submitted"),
+            0u);
+  fresh.Drain();
+  (void)fresh.TakeResult();
+}
+
+TEST(StatsResetTest, ServerStatsSurviveSessionEndAndServiceDrain) {
+  service::FleetService svc(TinyServiceConfig());
+  IngestServer server(&svc, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientConfig config;
+  config.port = server.port();
+  config.session_id = "reset-semantics";
+  IngestClient client(config);
+  ASSERT_TRUE(client.Connect({1}).ok());
+  for (int minute = 0; minute < 10; ++minute)
+    ASSERT_TRUE(client.Send(RecordFrame(1, minute)).ok());
+  ASSERT_TRUE(client.Finish().ok());
+  ASSERT_TRUE(server.WaitForFinishedSessions(1, 30000));
+
+  const ServerStats live = server.stats();
+  EXPECT_EQ(live.sessions_started, 1u);
+  EXPECT_EQ(live.frames_received, 10u);
+  EXPECT_EQ(live.connections_accepted, 1u);
+
+  // The session is gone and the service drains; the counters stay - they
+  // are lifetime totals, not per-session state.
+  svc.Drain();
+  const ServerStats after_drain = server.stats();
+  EXPECT_EQ(after_drain.sessions_started, live.sessions_started);
+  EXPECT_EQ(after_drain.frames_received, live.frames_received);
+  EXPECT_EQ(after_drain.session_bytes_in, live.session_bytes_in);
+  EXPECT_EQ(after_drain.session_bytes_out, live.session_bytes_out);
+  server.Stop();
+  EXPECT_EQ(server.stats().frames_received, live.frames_received);
+  (void)svc.TakeResult();
+
+  // A new server over a new service starts from zero.
+  service::FleetService fresh_svc(TinyServiceConfig());
+  IngestServer fresh(&fresh_svc, ServerConfig{});
+  EXPECT_EQ(fresh.stats().connections_accepted, 0u);
+  EXPECT_EQ(fresh.stats().frames_received, 0u);
+  fresh_svc.Drain();
+  (void)fresh_svc.TakeResult();
+}
+
+TEST(StatsResetTest, TwoSlowConsumersAndOneIdlePeerCountExactly) {
+  // The seeded defence scenario: exactly two clients that send but never
+  // read (disconnected at the outbound bound), then exactly one peer that
+  // goes silent after HELLO (reaped at the idle deadline). The counters
+  // must report exactly 2 and exactly 1 - not "at least".
+  service::FleetService svc(
+      TinyServiceConfig(service::BackpressurePolicy::kReject));
+  ServerConfig config;
+  config.max_outbound_bytes = 2048;
+  config.idle_timeout_ms = 500;
+  IngestServer server(&svc, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  for (int consumer = 0; consumer < 2; ++consumer) {
+    RawClient raw;
+    ASSERT_TRUE(raw.Connect(server.port()));
+    const std::int32_t vehicle = 5 + consumer;
+    ASSERT_EQ(raw.Hello("slow-" + std::to_string(consumer), {vehicle}), 0);
+    std::uint64_t seq = 0;
+    bool disconnected = false;
+    for (int batch = 0; batch < 20000 && !disconnected; ++batch) {
+      FramesMessage frames;
+      frames.first_seq = seq;
+      for (int i = 0; i < 64; ++i)
+        frames.frames.push_back(
+            RecordFrame(vehicle, static_cast<std::int64_t>(seq + i)));
+      seq += 64;
+      if (!raw.SendBytes(EncodeFrames(frames))) disconnected = true;
+    }
+    ASSERT_TRUE(disconnected) << "consumer " << consumer;
+    raw.Close();
+  }
+
+  RawClient idle;
+  ASSERT_TRUE(idle.Connect(server.port()));
+  ASSERT_EQ(idle.Hello("idle-peer", {9}), 0);
+  bool reaped = false;
+  for (int i = 0; i < 1000 && !reaped; ++i) {
+    reaped = server.stats().idle_reaps >= 1;
+    if (!reaped) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(reaped);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.slow_consumer_disconnects, 2u);
+  EXPECT_EQ(stats.idle_reaps, 1u);
+  // The wire snapshot reports the same exact counts (one source of truth).
+  const obs::StatsSnapshot snapshot = svc.SnapshotStats();
+  EXPECT_EQ(snapshot.CounterValue("server.slow_consumer_disconnects"), 2u);
+  EXPECT_EQ(snapshot.CounterValue("server.idle_reaps"), 1u);
+
+  server.Stop();
+  svc.Drain();
+  (void)svc.TakeResult();
+}
+
+TEST(StatsResetTest, EnsembleRetrainCountsAreExactAndThreadCountInvariant) {
+  // A seeded stream over an ensemble-enabled service: the registry's
+  // derived ensemble counters must equal the per-lane authoritative sums
+  // exactly, reproduce bit-identically at threads=1 and threads=4, and
+  // account for the injected fit failure.
+  telemetry::FleetConfig fleet_config = telemetry::FleetConfig::TestScale();
+  fleet_config.days = 30;
+  const auto fleet = telemetry::GenerateFleet(fleet_config);
+  const auto stream = telemetry::InterleaveFleetStream(fleet);
+  const auto ids = service::VehicleIdsOf(fleet);
+
+  std::uint64_t started_at[2] = {0, 0};
+  std::uint64_t completed_at[2] = {0, 0};
+  std::uint64_t failed_at[2] = {0, 0};
+  const int thread_counts[2] = {1, 4};
+  for (int run = 0; run < 2; ++run) {
+    service::ServiceConfig config;
+    config.monitor.transform_options.window = 60;
+    config.monitor.transform_options.stride = 10;
+    config.monitor.profile_minutes = 400.0;
+    config.monitor.threshold.burn_in_minutes = 120.0;
+    config.monitor.threshold.persistence_minutes = 60.0;
+    config.monitor.ensemble.enabled = true;
+    config.monitor.ensemble.k = 3;
+    config.monitor.ensemble.m = 2;
+    config.monitor.ensemble.retrain_every = 24;
+    config.monitor.ensemble.activation_lag = 8;
+    config.monitor.ensemble.inject_fit_failures = {2};
+    config.runtime = runtime::RuntimeConfig{thread_counts[run]};
+    config.queue_capacity = 32;
+
+    service::FleetService service(config);
+    for (const std::int32_t id : ids) service.RegisterVehicle(id);
+    for (const auto& frame : stream) service.Submit(frame);
+    service.Drain();
+
+    const obs::StatsSnapshot snapshot = service.SnapshotStats();
+    started_at[run] = snapshot.CounterValue("ensemble.retrains_started");
+    completed_at[run] = snapshot.CounterValue("ensemble.retrains_completed");
+    failed_at[run] = snapshot.CounterValue("ensemble.retrains_failed");
+
+    // The registry mirrors equal the authoritative per-lane sums exactly.
+    const auto result = service.TakeResult();
+    std::uint64_t started = 0, completed = 0, failed = 0;
+    for (const auto& lane : result.ensemble_stats) {
+      started += lane.retrains_started;
+      completed += lane.retrains_completed;
+      failed += lane.retrains_failed;
+    }
+    EXPECT_EQ(started_at[run], started);
+    EXPECT_EQ(completed_at[run], completed);
+    EXPECT_EQ(failed_at[run], failed);
+  }
+
+  // Retrain schedules are a pure function of the stream: thread count
+  // changes nothing.
+  EXPECT_EQ(started_at[0], started_at[1]);
+  EXPECT_EQ(completed_at[0], completed_at[1]);
+  EXPECT_EQ(failed_at[0], failed_at[1]);
+  EXPECT_GT(started_at[0], 0u);
+  // Ordinal 2 fails once per vehicle that reaches its second retrain.
+  EXPECT_GT(failed_at[0], 0u);
+}
+
+}  // namespace
+}  // namespace navarchos::net
